@@ -1,0 +1,90 @@
+// bench_common.hpp — shared plumbing for the experiment harnesses: common
+// CLI flags, stderr progress reporting, and table printing in the layout
+// the paper uses (particle order across, processor order down, row/column
+// minima marked like the paper's boldface/italics).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/study.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace sfc::bench {
+
+/// Register the options every harness shares.
+inline void add_common_options(util::ArgParser& args) {
+  args.add_flag("full", "run at the paper's exact scale (slow on laptops)");
+  args.add_flag("csv", "emit CSV instead of ASCII tables");
+  args.add_flag("progress", "report per-cell progress on stderr");
+  args.add_option("seed", "master RNG seed", "1");
+  args.add_option("trials", "independent trials to average", "1");
+}
+
+/// Standard prologue: parse or die; handle --help. Exits the process with
+/// status 1 on a malformed command line; returns false (caller exits 0)
+/// when --help was printed.
+inline bool parse_or_usage(util::ArgParser& args, int argc,
+                           const char* const* argv) {
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    std::exit(1);
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return false;
+  }
+  return true;
+}
+
+inline core::ProgressFn progress_fn(const util::ArgParser& args) {
+  if (!args.flag("progress")) return {};
+  return [](const std::string& msg) { std::cerr << "  .. " << msg << "\n"; };
+}
+
+inline util::TableStyle table_style(const util::ArgParser& args) {
+  return args.flag("csv") ? util::TableStyle::kCsv
+                          : util::TableStyle::kAscii;
+}
+
+/// Print one distribution's 4x4 {processor x particle} matrix, paper layout.
+inline void print_combination_matrix(const core::CombinationStudyResult& r,
+                                     std::size_t dist_index, bool far_field,
+                                     const std::string& title,
+                                     util::TableStyle style,
+                                     const double paper_ref[4][4] = nullptr) {
+  util::Table table(title);
+  std::vector<std::string> header = {"Processor Order v"};
+  for (const CurveKind c : r.config.curves) {
+    header.emplace_back(curve_name(c));
+  }
+  table.set_header(header);
+  table.mark_minima(true);
+  for (std::size_t rc = 0; rc < r.config.curves.size(); ++rc) {
+    std::vector<double> row;
+    for (std::size_t pc = 0; pc < r.config.curves.size(); ++pc) {
+      const auto& cell = r.cells[dist_index][rc][pc];
+      row.push_back(far_field ? cell.ffi_acd : cell.nfi_acd);
+    }
+    table.add_row(std::string(curve_name(r.config.curves[rc])),
+                  std::move(row));
+  }
+  table.print(std::cout, style);
+
+  if (paper_ref != nullptr && style != util::TableStyle::kCsv) {
+    util::Table ref("paper reported (for shape comparison)");
+    ref.set_header(header);
+    ref.mark_minima(true);
+    for (std::size_t rc = 0; rc < 4; ++rc) {
+      ref.add_row(std::string(curve_name(r.config.curves[rc])),
+                  {paper_ref[rc][0], paper_ref[rc][1], paper_ref[rc][2],
+                   paper_ref[rc][3]});
+    }
+    ref.print(std::cout, style);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace sfc::bench

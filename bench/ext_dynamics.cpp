@@ -1,0 +1,103 @@
+// ext_dynamics — the paper's Section VI-A claim, tested dynamically:
+// "since the relative performance of the curves is unchanged, there is no
+// incentive to shift the ordering of particles between FMM iterations to
+// reflect the dynamically changing particle distribution profile."
+//
+// We drift the particles one Chebyshev step per iteration and compare two
+// strategies over T iterations:
+//   * frozen   — keep the chunk assignment computed from the initial
+//     ordering (no data movement between iterations);
+//   * reorder  — re-sort and re-chunk every iteration (perfect ordering,
+//     but in practice costs an all-to-all data shuffle the ACD metric
+//     does not price).
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfc;
+
+  util::ArgParser args("ext_dynamics",
+                       "ACD drift across simulated FMM iterations");
+  bench::add_common_options(args);
+  args.add_option("particles", "number of particles", "50000");
+  args.add_option("level", "log2 resolution side", "9");
+  args.add_option("procs", "processor count", "4096");
+  args.add_option("steps", "iterations to simulate", "16");
+  args.add_option("radius", "near-field Chebyshev radius", "1");
+  if (!bench::parse_or_usage(args, argc, argv)) return 0;
+
+  const auto particles_n = static_cast<std::size_t>(args.i64("particles"));
+  const auto level = static_cast<unsigned>(args.i64("level"));
+  const auto procs = static_cast<topo::Rank>(args.i64("procs"));
+  const auto steps = static_cast<std::uint64_t>(args.i64("steps"));
+  const auto radius = static_cast<unsigned>(args.i64("radius"));
+  const auto seed = static_cast<std::uint64_t>(args.i64("seed"));
+
+  std::cout << "== Dynamics: " << particles_n << " normal particles, "
+            << (1u << level) << "^2 resolution, p=" << procs
+            << " torus, Hilbert both roles, " << steps
+            << " drift steps ==\n\n";
+
+  dist::SampleConfig sample;
+  sample.count = particles_n;
+  sample.level = level;
+  sample.seed = seed;
+  auto particles = dist::sample_particles<2>(dist::DistKind::kNormal, sample);
+
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net =
+      topo::make_topology<2>(topo::TopologyKind::kTorus, procs, curve.get());
+  const fmm::Partition part(particles.size(), procs);
+
+  // Frozen strategy: sort once; as particles drift, keep each particle on
+  // the processor its initial position assigned it to. We realize that by
+  // sorting the initial configuration and then drifting the *sorted*
+  // array in place — index i stays on proc_of(i) forever.
+  core::AcdInstance<2> initial(particles, level, *curve);
+  std::vector<Point2> frozen = initial.particles();
+
+  util::Table table("NFI ACD per iteration: frozen vs re-sorted chunking");
+  table.set_header({"iteration", "frozen", "reordered", "penalty%"});
+
+  for (std::uint64_t t = 0; t <= steps; t += (steps >= 16 ? 4 : 1)) {
+    // Frozen: evaluate with the original index->processor assignment.
+    const fmm::OccupancyGrid<2> grid(frozen, level);
+    const auto frozen_totals =
+        fmm::nfi_totals<2>(frozen, grid, part, *net, radius);
+
+    // Reordered: re-sort the same physical configuration.
+    const core::AcdInstance<2> fresh(frozen, level, *curve);
+    const auto fresh_totals = fresh.nfi(part, *net, radius);
+
+    const double penalty =
+        fresh_totals.acd() == 0.0
+            ? 0.0
+            : (frozen_totals.acd() / fresh_totals.acd() - 1.0) * 100.0;
+    table.add_row("t=" + std::to_string(t),
+                  {frozen_totals.acd(), fresh_totals.acd(), penalty});
+    if (args.flag("progress")) std::cerr << "  .. t=" << t << " done\n";
+
+    // Advance the configuration to the next sampled iteration.
+    if (t < steps) {
+      const std::uint64_t until = std::min(steps, t + (steps >= 16 ? 4u : 1u));
+      for (std::uint64_t s = t; s < until; ++s) {
+        dist::drift_particles<2>(frozen, level, seed, s);
+      }
+    }
+  }
+
+  table.print(std::cout, bench::table_style(args));
+  std::cout
+      << "\nreading guide: 'penalty' is how much ACD the frozen assignment "
+         "loses to re-sorting the drifted\nconfiguration. Two findings: "
+         "(1) the 'reordered' column is flat — the Hilbert ordering stays "
+         "equally\ngood as the distribution evolves, which is the paper's "
+         "Section VI-A point: no incentive to switch SFCs\nbetween "
+         "iterations; (2) the frozen *assignment* does go stale (the "
+         "penalty grows with drift), so real\ncodes re-chunk periodically "
+         "— a cost/benefit the contention-unaware ACD metric does not "
+         "price and a\nsharper reading than the paper's prose suggests.\n";
+  return 0;
+}

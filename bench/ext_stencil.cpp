@@ -1,0 +1,85 @@
+// ext_stencil — SFC domain decomposition for stencil codes, the other
+// classical use of particle-order SFCs: distribute ALL cells of a dense
+// grid (a PDE domain, not sparse particles) into p chunks along the curve
+// and price the ghost-cell exchange of a 5-point/9-point stencil sweep.
+// In model terms this is the NFI with the full grid as the particle set —
+// the machinery is identical, which is itself a point about the ACD
+// abstraction.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fmm/enumerate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfc;
+
+  util::ArgParser args("ext_stencil",
+                       "ghost-exchange ACD for dense-grid decomposition");
+  bench::add_common_options(args);
+  args.add_option("level", "log2 grid side (all 4^level cells used)", "9");
+  args.add_option("procs", "processor count", "4096");
+  if (!bench::parse_or_usage(args, argc, argv)) return 0;
+
+  const auto level = static_cast<unsigned>(args.i64("level"));
+  const auto procs = static_cast<topo::Rank>(args.i64("procs"));
+
+  std::cout << "== Stencil decomposition: full " << (1u << level) << "^2 "
+            << "grid, p=" << procs << " torus ==\n\n";
+
+  // The "particles" are every cell of the domain.
+  std::vector<Point2> cells;
+  cells.reserve(grid_size<2>(level));
+  const std::uint32_t side = 1u << level;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      cells.push_back(make_point(x, y));
+    }
+  }
+
+  util::Table table("ghost-exchange traffic per stencil sweep");
+  table.set_header({"curve", "remote-frac(5pt)", "ACD(5pt)",
+                    "remote-frac(9pt)", "ACD(9pt)"});
+
+  for (const CurveKind kind : kAllCurves) {
+    const auto curve = make_curve<2>(kind);
+    const core::AcdInstance<2> instance(cells, level, *curve);
+    const fmm::Partition part(instance.particles().size(), procs);
+    const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                            procs, curve.get());
+
+    // 5-point stencil: Manhattan-1 neighbors; 9-point: Chebyshev-1.
+    const auto five = instance.nfi(part, *net, 1,
+                                   fmm::NeighborNorm::kManhattan);
+    const auto nine = instance.nfi(part, *net, 1,
+                                   fmm::NeighborNorm::kChebyshev);
+    // Remote fraction: communications that actually cross processors.
+    auto remote_fraction = [&](const core::CommTotals& t,
+                               fmm::NeighborNorm norm) {
+      core::CommTotals local;
+      fmm::nfi_visit<2>(instance.particles(), instance.grid(), 1, norm,
+                        [&](std::size_t a, std::size_t b) {
+                          if (part.proc_of(a) != part.proc_of(b)) {
+                            ++local.count;
+                          }
+                        });
+      return static_cast<double>(local.count) /
+             static_cast<double>(t.count);
+    };
+    table.add_row(std::string(curve_name(kind)),
+                  {remote_fraction(five, fmm::NeighborNorm::kManhattan),
+                   five.acd(),
+                   remote_fraction(nine, fmm::NeighborNorm::kChebyshev),
+                   nine.acd()});
+    if (args.flag("progress")) {
+      std::cerr << "  .. " << curve_name(kind) << " done\n";
+    }
+  }
+
+  table.print(std::cout, bench::table_style(args));
+  std::cout << "\nreading guide: 'remote-frac' is the ghost fraction — "
+               "the surface-to-volume of the chunks the curve\ncuts; ACD "
+               "prices where those ghosts travel. Hilbert/Moore chunks are "
+               "the most compact; row-major's\nchunks are 1-cell-thin "
+               "strips whose entire surface is remote.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// micro_model — google-benchmark timings for the model engines
+// themselves: sampling, instance construction (sort + occupancy + cell
+// tree), and the NFI/FFI reduction passes. These are the numbers that
+// bound how large a study a given machine can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/acd.hpp"
+
+namespace {
+
+using namespace sfc;
+
+constexpr unsigned kLevel = 9;  // 512 x 512
+constexpr std::size_t kParticles = 50000;
+constexpr topo::Rank kProcs = 4096;
+
+std::vector<Point2> particles_for(dist::DistKind kind) {
+  dist::SampleConfig cfg;
+  cfg.count = kParticles;
+  cfg.level = kLevel;
+  cfg.seed = 1;
+  return dist::sample_particles<2>(kind, cfg);
+}
+
+void BM_Sample(benchmark::State& state, dist::DistKind kind) {
+  dist::SampleConfig cfg;
+  cfg.count = kParticles;
+  cfg.level = kLevel;
+  for (auto _ : state) {
+    cfg.seed = static_cast<std::uint64_t>(state.iterations());
+    benchmark::DoNotOptimize(dist::sample_particles<2>(kind, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParticles));
+}
+
+void BM_InstanceBuild(benchmark::State& state, CurveKind kind) {
+  const auto particles = particles_for(dist::DistKind::kUniform);
+  const auto curve = make_curve<2>(kind);
+  for (auto _ : state) {
+    const core::AcdInstance<2> instance(particles, kLevel, *curve);
+    benchmark::DoNotOptimize(&instance);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParticles));
+}
+
+void BM_NfiPass(benchmark::State& state, unsigned radius) {
+  const auto particles = particles_for(dist::DistKind::kUniform);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const core::AcdInstance<2> instance(particles, kLevel, *curve);
+  const fmm::Partition part(instance.particles().size(), kProcs);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kProcs, curve.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance.nfi(part, *net, radius));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParticles));
+}
+
+void BM_FfiPass(benchmark::State& state) {
+  const auto particles = particles_for(dist::DistKind::kUniform);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const core::AcdInstance<2> instance(particles, kLevel, *curve);
+  const fmm::Partition part(instance.particles().size(), kProcs);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kProcs, curve.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance.ffi(part, *net));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(instance.tree().total_cells()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Sample, uniform, sfc::dist::DistKind::kUniform);
+BENCHMARK_CAPTURE(BM_Sample, normal, sfc::dist::DistKind::kNormal);
+BENCHMARK_CAPTURE(BM_Sample, exponential,
+                  sfc::dist::DistKind::kExponential);
+
+BENCHMARK_CAPTURE(BM_InstanceBuild, hilbert, sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_InstanceBuild, morton, sfc::CurveKind::kMorton);
+
+BENCHMARK_CAPTURE(BM_NfiPass, r1, 1u);
+BENCHMARK_CAPTURE(BM_NfiPass, r4, 4u);
+
+BENCHMARK(BM_FfiPass);
+
+BENCHMARK_MAIN();

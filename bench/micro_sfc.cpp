@@ -1,0 +1,148 @@
+// micro_sfc — google-benchmark microbenchmarks for the curve encoders and
+// decoders (the inner loop of every particle-ordering step).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sfc/canonical_hilbert.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/hilbert_lut.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sfc;
+
+constexpr unsigned kLevel2D = 15;  // 32768 x 32768
+constexpr unsigned kLevel3D = 10;  // 1024^3
+
+std::vector<Point2> random_points_2d(std::size_t n) {
+  util::Xoshiro256pp rng(42);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  const std::uint32_t mask = (1u << kLevel2D) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(make_point(static_cast<std::uint32_t>(rng.next()) & mask,
+                             static_cast<std::uint32_t>(rng.next()) & mask));
+  }
+  return pts;
+}
+
+std::vector<Point3> random_points_3d(std::size_t n) {
+  util::Xoshiro256pp rng(43);
+  std::vector<Point3> pts;
+  pts.reserve(n);
+  const std::uint32_t mask = (1u << kLevel3D) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(make_point(static_cast<std::uint32_t>(rng.next()) & mask,
+                             static_cast<std::uint32_t>(rng.next()) & mask,
+                             static_cast<std::uint32_t>(rng.next()) & mask));
+  }
+  return pts;
+}
+
+void BM_Index2D(benchmark::State& state, CurveKind kind) {
+  const auto curve = make_curve<2>(kind);
+  const auto pts = random_points_2d(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->index(pts[i], kLevel2D));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Point2D(benchmark::State& state, CurveKind kind) {
+  const auto curve = make_curve<2>(kind);
+  util::Xoshiro256pp rng(7);
+  std::vector<std::uint64_t> idx(4096);
+  for (auto& v : idx) v = rng.next() & (grid_size<2>(kLevel2D) - 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->point(idx[i], kLevel2D));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Index3D(benchmark::State& state, CurveKind kind) {
+  const auto curve = make_curve<3>(kind);
+  const auto pts = random_points_3d(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->index(pts[i], kLevel3D));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// The three Hilbert encoder strategies head to head: Skilling's transpose
+// algorithm (any dimension), the canonical per-level recursion, and the
+// finite-state-machine LUT.
+void BM_HilbertStrategy_Skilling(benchmark::State& state) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto pts = random_points_2d(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->index(pts[i], kLevel2D));
+    i = (i + 1) & 4095;
+  }
+}
+
+void BM_HilbertStrategy_Canonical(benchmark::State& state) {
+  const auto pts = random_points_2d(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_hilbert_index(pts[i], kLevel2D));
+    i = (i + 1) & 4095;
+  }
+}
+
+void BM_HilbertStrategy_Lut(benchmark::State& state) {
+  const auto pts = random_points_2d(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert_lut_index(pts[i], kLevel2D));
+    i = (i + 1) & 4095;
+  }
+}
+
+void BM_SortByCurve(benchmark::State& state, CurveKind kind) {
+  const auto curve = make_curve<2>(kind);
+  const auto pts = random_points_2d(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto keys = indices_of(*curve, pts, kLevel2D);
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Index2D, hilbert, sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_Index2D, morton, sfc::CurveKind::kMorton);
+BENCHMARK_CAPTURE(BM_Index2D, gray, sfc::CurveKind::kGray);
+BENCHMARK_CAPTURE(BM_Index2D, rowmajor, sfc::CurveKind::kRowMajor);
+BENCHMARK_CAPTURE(BM_Index2D, snake, sfc::CurveKind::kSnake);
+
+BENCHMARK_CAPTURE(BM_Point2D, hilbert, sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_Point2D, morton, sfc::CurveKind::kMorton);
+BENCHMARK_CAPTURE(BM_Point2D, gray, sfc::CurveKind::kGray);
+BENCHMARK_CAPTURE(BM_Point2D, rowmajor, sfc::CurveKind::kRowMajor);
+
+BENCHMARK_CAPTURE(BM_Index3D, hilbert, sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_Index3D, morton, sfc::CurveKind::kMorton);
+BENCHMARK_CAPTURE(BM_Index3D, gray, sfc::CurveKind::kGray);
+
+BENCHMARK(BM_HilbertStrategy_Skilling);
+BENCHMARK(BM_HilbertStrategy_Canonical);
+BENCHMARK(BM_HilbertStrategy_Lut);
+
+BENCHMARK_CAPTURE(BM_SortByCurve, hilbert, sfc::CurveKind::kHilbert)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_SortByCurve, morton, sfc::CurveKind::kMorton)
+    ->Arg(1 << 14);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// micro_topology — google-benchmark microbenchmarks for the hop-distance
+// closed forms (the inner loop of every ACD evaluation) and for the
+// communication-primitive evaluator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "comm/primitives.hpp"
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sfc;
+
+constexpr topo::Rank kProcs = 4096;
+
+std::vector<std::pair<topo::Rank, topo::Rank>> random_pairs(topo::Rank p,
+                                                            std::size_t n) {
+  util::Xoshiro256pp rng(11);
+  std::vector<std::pair<topo::Rank, topo::Rank>> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<topo::Rank>(util::bounded_u64(rng, p)),
+                       static_cast<topo::Rank>(util::bounded_u64(rng, p)));
+  }
+  return pairs;
+}
+
+void BM_Distance(benchmark::State& state, topo::TopologyKind kind) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(kind, kProcs, ranking.get());
+  const auto pairs = random_pairs(kProcs, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->distance(pairs[i].first, pairs[i].second));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TopologyConstruction(benchmark::State& state,
+                             topo::TopologyKind kind) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  for (auto _ : state) {
+    const auto net = topo::make_topology<2>(kind, kProcs, ranking.get());
+    benchmark::DoNotOptimize(net.get());
+  }
+}
+
+void BM_PrimitiveAcd(benchmark::State& state, comm::Primitive primitive) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus, 1024,
+                                          ranking.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::primitive_acd(*net, primitive));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Distance, bus, sfc::topo::TopologyKind::kBus);
+BENCHMARK_CAPTURE(BM_Distance, ring, sfc::topo::TopologyKind::kRing);
+BENCHMARK_CAPTURE(BM_Distance, mesh, sfc::topo::TopologyKind::kMesh);
+BENCHMARK_CAPTURE(BM_Distance, torus, sfc::topo::TopologyKind::kTorus);
+BENCHMARK_CAPTURE(BM_Distance, quadtree, sfc::topo::TopologyKind::kQuadtree);
+BENCHMARK_CAPTURE(BM_Distance, hypercube,
+                  sfc::topo::TopologyKind::kHypercube);
+
+BENCHMARK_CAPTURE(BM_TopologyConstruction, torus,
+                  sfc::topo::TopologyKind::kTorus);
+BENCHMARK_CAPTURE(BM_TopologyConstruction, hypercube,
+                  sfc::topo::TopologyKind::kHypercube);
+
+BENCHMARK_CAPTURE(BM_PrimitiveAcd, broadcast,
+                  sfc::comm::Primitive::kBroadcastBinomial);
+BENCHMARK_CAPTURE(BM_PrimitiveAcd, prefix,
+                  sfc::comm::Primitive::kParallelPrefix);
+BENCHMARK_CAPTURE(BM_PrimitiveAcd, halo,
+                  sfc::comm::Primitive::kHaloExchange1D);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// table2_ffi — reproduces paper Table II: ACD of every {particle-order,
+// processor-order} SFC pairing under the far-field interaction model
+// (interpolation + anterpolation + interaction lists).
+//
+// Paper parameters (the default): 250,000 particles on a 1024x1024 spatial
+// resolution, 65,536 processors on a torus.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "paper_reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfc;
+
+  util::ArgParser args("table2_ffi",
+                       "Table II: particle/processor SFC pairings, FFI ACD");
+  bench::add_common_options(args);
+  args.add_option("particles", "number of particles", "250000");
+  args.add_option("level", "log2 of the spatial resolution side", "10");
+  args.add_option("procs", "processor count (must be 4^k)", "65536");
+  if (!bench::parse_or_usage(args, argc, argv)) return 0;
+
+  core::CombinationStudyConfig cfg;
+  cfg.particles = static_cast<std::size_t>(args.i64("particles"));
+  cfg.level = static_cast<unsigned>(args.i64("level"));
+  cfg.procs = static_cast<topo::Rank>(args.i64("procs"));
+  cfg.seed = static_cast<std::uint64_t>(args.i64("seed"));
+  cfg.trials = static_cast<unsigned>(args.i64("trials"));
+  cfg.topology = topo::TopologyKind::kTorus;
+  cfg.near_field = false;  // Table II is the far-field study
+
+  std::cout << "== Table II reproduction: FFI ACD, " << cfg.particles
+            << " particles, " << (1u << cfg.level) << "^2 resolution, "
+            << cfg.procs << "-processor torus ==\n\n";
+
+  const auto result =
+      core::run_combination_study(cfg, nullptr, bench::progress_fn(args));
+
+  const auto style = bench::table_style(args);
+  for (std::size_t d = 0; d < cfg.distributions.size(); ++d) {
+    bench::print_combination_matrix(
+        result, d, /*far_field=*/true,
+        std::string(dist_name(cfg.distributions[d])) + " distribution (FFI)",
+        style, bench::paper_table2(static_cast<int>(d)));
+  }
+  std::cout << "legend: '*' marks the row minimum (paper boldface), '^' the "
+               "column minimum (paper italics).\n";
+  return 0;
+}

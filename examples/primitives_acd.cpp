@@ -1,0 +1,78 @@
+// primitives_acd — the Section VII generalization in action: the ACD
+// metric applied to generic parallel communication primitives instead of
+// the FMM model. For each primitive we compare topologies, and for the
+// SFC-ranked topologies we compare processor orderings — the same
+// "pick your curve before you run" workflow the paper proposes.
+//
+// Run: ./primitives_acd [--procs 1024]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "comm/primitives.hpp"
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfc;
+
+  util::ArgParser args("primitives_acd",
+                       "ACD of generic communication primitives");
+  args.add_option("procs", "processor count (a power of four)", "1024");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n" << args.usage();
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const auto procs = static_cast<topo::Rank>(args.i64("procs"));
+
+  // --- Part 1: primitive x topology (Hilbert ranking on mesh/torus).
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  std::vector<std::unique_ptr<topo::Topology>> nets;
+  for (const topo::TopologyKind kind : topo::kAllTopologies) {
+    nets.push_back(topo::make_topology<2>(kind, procs, hilbert.get()));
+  }
+
+  std::cout << "== ACD of communication primitives, p=" << procs
+            << " (mesh/torus ranked by Hilbert) ==\n\n";
+  std::printf("%-20s", "primitive");
+  for (const auto& net : nets) {
+    std::printf("%12s", std::string(net->name()).c_str());
+  }
+  std::printf("\n");
+  for (const comm::Primitive prim : comm::kAllPrimitives) {
+    std::printf("%-20s", std::string(comm::primitive_name(prim)).c_str());
+    for (const auto& net : nets) {
+      std::printf("%12.3f", comm::primitive_acd(*net, prim));
+    }
+    std::printf("\n");
+  }
+
+  // --- Part 2: the processor-order SFC matters for primitives too.
+  std::cout << "\n== Torus processor-ordering comparison ==\n\n";
+  std::printf("%-20s", "primitive");
+  for (const CurveKind kind : kPaperCurves) {
+    std::printf("%12s", std::string(curve_name(kind)).c_str());
+  }
+  std::printf("\n");
+  for (const comm::Primitive prim : comm::kAllPrimitives) {
+    std::printf("%-20s", std::string(comm::primitive_name(prim)).c_str());
+    for (const CurveKind kind : kPaperCurves) {
+      const auto curve = make_curve<2>(kind);
+      const auto torus = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                                procs, curve.get());
+      std::printf("%12.3f", comm::primitive_acd(*torus, prim));
+    }
+    std::printf("\n");
+  }
+  std::cout << "\nreading guide: rank-local primitives (halo, ring "
+               "allreduce, prefix) reward a locality-preserving\nprocessor "
+               "ordering — compare the Hilbert and Row-Major columns — "
+               "while all-to-all is ordering-invariant.\n";
+  return 0;
+}

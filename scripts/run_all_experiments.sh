@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Rebuilds and regenerates every table/figure of the reproduction.
+# Usage: scripts/run_all_experiments.sh [--full]
+# With --full the Figure 6/7 harnesses run at the paper's exact scale
+# (roughly 12 minutes each on one core); otherwise reduced defaults.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+FULL=""
+if [ "${1:-}" = "--full" ]; then
+  FULL="--full"
+fi
+
+mkdir -p results
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "== $name =="
+  case "$name" in
+    fig6_topologies|fig7_scaling)
+      "$b" $FULL | tee "results/$name.txt" ;;
+    micro_*)
+      "$b" | tee "results/$name.txt" ;;
+    *)
+      "$b" | tee "results/$name.txt" ;;
+  esac
+done
+echo "results written to results/"

@@ -1,0 +1,198 @@
+#include "comm/primitives.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace sfc::comm {
+
+std::string_view primitive_name(Primitive p) noexcept {
+  switch (p) {
+    case Primitive::kBroadcastBinomial:
+      return "Broadcast(binomial)";
+    case Primitive::kReduceBinomial:
+      return "Reduce(binomial)";
+    case Primitive::kScatter:
+      return "Scatter";
+    case Primitive::kGather:
+      return "Gather";
+    case Primitive::kAllToAll:
+      return "All-to-All";
+    case Primitive::kRingAllreduce:
+      return "Allreduce(ring)";
+    case Primitive::kParallelPrefix:
+      return "Parallel-Prefix";
+    case Primitive::kHaloExchange1D:
+      return "Halo-1D";
+    case Primitive::kAllreduceRecDouble:
+      return "Allreduce(recdbl)";
+    case Primitive::kAllGatherRing:
+      return "Allgather(ring)";
+    case Primitive::kHaloExchange2D:
+      return "Halo-2D";
+  }
+  return "?";
+}
+
+std::optional<Primitive> parse_primitive(std::string_view name) noexcept {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "broadcast" || lower == "bcast")
+    return Primitive::kBroadcastBinomial;
+  if (lower == "reduce") return Primitive::kReduceBinomial;
+  if (lower == "scatter") return Primitive::kScatter;
+  if (lower == "gather") return Primitive::kGather;
+  if (lower == "alltoall" || lower == "all-to-all")
+    return Primitive::kAllToAll;
+  if (lower == "allreduce" || lower == "ring") return Primitive::kRingAllreduce;
+  if (lower == "prefix" || lower == "scan") return Primitive::kParallelPrefix;
+  if (lower == "halo" || lower == "halo1d") return Primitive::kHaloExchange1D;
+  if (lower == "recdouble" || lower == "recursivedoubling")
+    return Primitive::kAllreduceRecDouble;
+  if (lower == "allgather") return Primitive::kAllGatherRing;
+  if (lower == "halo2d") return Primitive::kHaloExchange2D;
+  return std::nullopt;
+}
+
+std::vector<Message> pattern(Primitive primitive, topo::Rank p,
+                             topo::Rank root) {
+  std::vector<Message> msgs;
+  // Rotate ranks so the root acts as virtual rank 0 in the tree-based
+  // primitives (the standard binomial-tree trick).
+  const auto real = [p, root](std::uint64_t virt) {
+    return static_cast<topo::Rank>((virt + root) % p);
+  };
+
+  switch (primitive) {
+    case Primitive::kBroadcastBinomial:
+    case Primitive::kReduceBinomial: {
+      // Round t: every virtual rank < 2^t forwards to rank + 2^t.
+      for (std::uint64_t step = 1; step < p; step <<= 1) {
+        for (std::uint64_t i = 0; i < step && i + step < p; ++i) {
+          if (primitive == Primitive::kBroadcastBinomial) {
+            msgs.push_back({real(i), real(i + step)});
+          } else {
+            msgs.push_back({real(i + step), real(i)});
+          }
+        }
+      }
+      break;
+    }
+    case Primitive::kScatter:
+      for (topo::Rank i = 0; i < p; ++i) {
+        if (i != root) msgs.push_back({root, i});
+      }
+      break;
+    case Primitive::kGather:
+      for (topo::Rank i = 0; i < p; ++i) {
+        if (i != root) msgs.push_back({i, root});
+      }
+      break;
+    case Primitive::kAllToAll:
+      for (topo::Rank i = 0; i < p; ++i) {
+        for (topo::Rank j = 0; j < p; ++j) {
+          if (i != j) msgs.push_back({i, j});
+        }
+      }
+      break;
+    case Primitive::kRingAllreduce:
+      // Reduce-scatter + allgather: each of the 2(p-1) steps sends one
+      // message from every rank to its ring successor.
+      if (p > 1) {
+        for (topo::Rank step = 0; step < 2 * (p - 1); ++step) {
+          for (topo::Rank i = 0; i < p; ++i) {
+            msgs.push_back({i, static_cast<topo::Rank>((i + 1) % p)});
+          }
+        }
+      }
+      break;
+    case Primitive::kParallelPrefix:
+      // Hillis–Steele inclusive scan: round t sends i -> i + 2^t.
+      for (std::uint64_t step = 1; step < p; step <<= 1) {
+        for (std::uint64_t i = 0; i + step < p; ++i) {
+          msgs.push_back({static_cast<topo::Rank>(i),
+                          static_cast<topo::Rank>(i + step)});
+        }
+      }
+      break;
+    case Primitive::kHaloExchange1D:
+      for (topo::Rank i = 0; i + 1 < p; ++i) {
+        msgs.push_back({i, static_cast<topo::Rank>(i + 1)});
+        msgs.push_back({static_cast<topo::Rank>(i + 1), i});
+      }
+      break;
+    case Primitive::kAllreduceRecDouble:
+      // Power-of-two ranks participate fully; stragglers (non-power-of-two
+      // p) first fold into their lower partner and unfold at the end, the
+      // standard MPI implementation trick.
+      {
+        std::uint64_t pow2 = 1;
+        while (pow2 * 2 <= p) pow2 *= 2;
+        for (std::uint64_t i = pow2; i < p; ++i) {
+          msgs.push_back({static_cast<topo::Rank>(i),
+                          static_cast<topo::Rank>(i - pow2)});
+        }
+        for (std::uint64_t step = 1; step < pow2; step <<= 1) {
+          for (std::uint64_t i = 0; i < pow2; ++i) {
+            msgs.push_back({static_cast<topo::Rank>(i),
+                            static_cast<topo::Rank>(i ^ step)});
+          }
+        }
+        for (std::uint64_t i = pow2; i < p; ++i) {
+          msgs.push_back({static_cast<topo::Rank>(i - pow2),
+                          static_cast<topo::Rank>(i)});
+        }
+      }
+      break;
+    case Primitive::kAllGatherRing:
+      if (p > 1) {
+        for (topo::Rank step = 0; step < p - 1; ++step) {
+          for (topo::Rank i = 0; i < p; ++i) {
+            msgs.push_back({i, static_cast<topo::Rank>((i + 1) % p)});
+          }
+        }
+      }
+      break;
+    case Primitive::kHaloExchange2D: {
+      // Interpret ranks as a side x side grid in rank order (side =
+      // floor(sqrt(p))); trailing ranks beyond the square sit out.
+      topo::Rank side = 1;
+      while ((side + 1) * (side + 1) <= p) ++side;
+      auto rank_at = [side](topo::Rank gx, topo::Rank gy) {
+        return static_cast<topo::Rank>(gy * side + gx);
+      };
+      for (topo::Rank gy = 0; gy < side; ++gy) {
+        for (topo::Rank gx = 0; gx < side; ++gx) {
+          if (gx + 1 < side) {
+            msgs.push_back({rank_at(gx, gy), rank_at(gx + 1, gy)});
+            msgs.push_back({rank_at(gx + 1, gy), rank_at(gx, gy)});
+          }
+          if (gy + 1 < side) {
+            msgs.push_back({rank_at(gx, gy), rank_at(gx, gy + 1)});
+            msgs.push_back({rank_at(gx, gy + 1), rank_at(gx, gy)});
+          }
+        }
+      }
+      break;
+    }
+  }
+  return msgs;
+}
+
+core::CommTotals pattern_totals(const topo::Topology& net,
+                                const std::vector<Message>& messages) {
+  core::CommTotals totals;
+  for (const Message& m : messages) {
+    totals.hops += net.distance(m.from, m.to);
+    ++totals.count;
+  }
+  return totals;
+}
+
+double primitive_acd(const topo::Topology& net, Primitive primitive,
+                     topo::Rank root) {
+  return pattern_totals(net, pattern(primitive, net.size(), root)).acd();
+}
+
+}  // namespace sfc::comm

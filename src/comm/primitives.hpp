@@ -1,0 +1,68 @@
+// primitives.hpp — ACD for generic parallel communication primitives
+// (paper Section VII).
+//
+// The ACD metric is not FMM-specific: any application whose communication
+// demands can be abstracted as a set of (source, destination) pairs can be
+// evaluated in advance against candidate topologies and processor-order
+// SFCs. This module provides pattern generators for the common primitives
+// the paper names — point-to-point sets, log-tree broadcast, all-to-all,
+// parallel prefix — plus gather/scatter, ring allreduce and halo exchange,
+// and a tiny evaluator that reduces a pattern against a Topology.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::comm {
+
+enum class Primitive {
+  kBroadcastBinomial,   // root fans out along a binomial (log) tree
+  kReduceBinomial,      // mirror of broadcast
+  kScatter,             // root sends one message to every other rank
+  kGather,              // every other rank sends one message to the root
+  kAllToAll,            // every ordered pair communicates once
+  kRingAllreduce,       // 2(p-1) neighbor steps around the rank ring
+  kParallelPrefix,      // Hillis–Steele scan: rank i -> i + 2^t per round
+  kHaloExchange1D,      // rank i <-> i±1 (the NFI archetype in 1-D)
+  kAllreduceRecDouble,  // recursive doubling: round t pairs i <-> i ^ 2^t
+  kAllGatherRing,       // p-1 ring steps, every rank forwards each step
+  kHaloExchange2D,      // ranks as a sqrt(p) grid: i <-> i±1, i±sqrt(p)
+};
+
+inline constexpr Primitive kAllPrimitives[] = {
+    Primitive::kBroadcastBinomial, Primitive::kReduceBinomial,
+    Primitive::kScatter,           Primitive::kGather,
+    Primitive::kAllToAll,          Primitive::kRingAllreduce,
+    Primitive::kParallelPrefix,    Primitive::kHaloExchange1D,
+    Primitive::kAllreduceRecDouble, Primitive::kAllGatherRing,
+    Primitive::kHaloExchange2D};
+
+std::string_view primitive_name(Primitive p) noexcept;
+std::optional<Primitive> parse_primitive(std::string_view name) noexcept;
+
+/// One directed communication.
+struct Message {
+  topo::Rank from;
+  topo::Rank to;
+  friend constexpr bool operator==(const Message&, const Message&) = default;
+};
+
+/// Generate the message set of a primitive over ranks [0, p).
+/// `root` applies to the rooted primitives (broadcast/reduce/scatter/gather).
+std::vector<Message> pattern(Primitive primitive, topo::Rank p,
+                             topo::Rank root = 0);
+
+/// Sum/count of hop distances of a pattern on a topology.
+core::CommTotals pattern_totals(const topo::Topology& net,
+                                const std::vector<Message>& messages);
+
+/// Convenience: ACD of a primitive on a topology.
+double primitive_acd(const topo::Topology& net, Primitive primitive,
+                     topo::Rank root = 0);
+
+}  // namespace sfc::comm

@@ -1,0 +1,81 @@
+#include "core/acd.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sfc::core {
+namespace {
+
+/// Sort particles by their position on the given curve.
+template <int D>
+std::vector<Point<D>> sorted_by_curve(std::vector<Point<D>> particles,
+                                      unsigned level, const Curve<D>& curve) {
+  std::vector<std::uint64_t> keys = indices_of(curve, particles, level);
+  std::vector<std::uint32_t> order(particles.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&keys](std::uint32_t a, std::uint32_t b) {
+              return keys[a] < keys[b];
+            });
+  std::vector<Point<D>> sorted;
+  sorted.reserve(particles.size());
+  for (const std::uint32_t i : order) sorted.push_back(particles[i]);
+  return sorted;
+}
+
+}  // namespace
+
+template <int D>
+AcdInstance<D>::AcdInstance(std::vector<Point<D>> particles, unsigned level,
+                            const Curve<D>& particle_curve)
+    : level_(level),
+      particles_(sorted_by_curve<D>(std::move(particles), level,
+                                    particle_curve)),
+      grid_(particles_, level),
+      tree_(particles_, level) {}
+
+template <int D>
+CommTotals AcdInstance<D>::nfi(const fmm::Partition& part,
+                               const topo::Topology& net, unsigned radius,
+                               fmm::NeighborNorm norm,
+                               util::ThreadPool* pool) const {
+  return fmm::nfi_totals<D>(particles_, grid_, part, net, radius, norm, pool);
+}
+
+template <int D>
+fmm::FfiTotals AcdInstance<D>::ffi(const fmm::Partition& part,
+                                   const topo::Topology& net,
+                                   util::ThreadPool* pool) const {
+  return fmm::ffi_totals<D>(tree_, part, net, pool);
+}
+
+template <int D>
+AcdResult compute_acd(const Scenario<D>& scenario, util::ThreadPool* pool) {
+  dist::SampleConfig sample;
+  sample.count = scenario.particles;
+  sample.level = scenario.level;
+  sample.seed = scenario.seed;
+  auto particles = dist::sample_particles<D>(scenario.distribution, sample);
+
+  const auto particle_curve = make_curve<D>(scenario.particle_curve);
+  const auto processor_curve = make_curve<D>(scenario.processor_curve);
+  const auto net = topo::make_topology<D>(scenario.topology, scenario.procs,
+                                          processor_curve.get());
+
+  AcdInstance<D> instance(std::move(particles), scenario.level,
+                          *particle_curve);
+  const fmm::Partition part(instance.particles().size(), scenario.procs);
+
+  AcdResult result;
+  result.nfi = instance.nfi(part, *net, scenario.radius,
+                            fmm::NeighborNorm::kChebyshev, pool);
+  result.ffi = instance.ffi(part, *net, pool);
+  return result;
+}
+
+template class AcdInstance<2>;
+template class AcdInstance<3>;
+template AcdResult compute_acd<2>(const Scenario<2>&, util::ThreadPool*);
+template AcdResult compute_acd<3>(const Scenario<3>&, util::ThreadPool*);
+
+}  // namespace sfc::core

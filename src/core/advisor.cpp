@@ -1,0 +1,72 @@
+#include "core/advisor.hpp"
+
+namespace sfc::core {
+
+Recommendation recommend(dist::DistKind distribution,
+                         topo::TopologyKind topology, Workload workload) {
+  Recommendation rec;
+  rec.particle_curve = CurveKind::kHilbert;
+  rec.processor_curve = CurveKind::kHilbert;
+
+  const bool sfc_ranked = topology == topo::TopologyKind::kMesh ||
+                          topology == topo::TopologyKind::kTorus;
+
+  if (sfc_ranked) {
+    rec.rationale =
+        "Processor ranking: the Hilbert curve wins on mesh and torus for "
+        "every particle ordering and every distribution (Tables I-II). ";
+  } else {
+    rec.rationale =
+        "This topology has a natural processor labeling; the paper applies "
+        "SFC ranking only to mesh and torus, so the processor-order choice "
+        "is moot and Hilbert is reported for uniformity. ";
+  }
+
+  // Particle ordering. Near-field: Hilbert is unanimous across
+  // distributions (Table I). Far-field: with a non-uniform distribution
+  // and a Z/Gray processor ranking the Z-curve edges out Hilbert
+  // (Table II b/c), but with Hilbert ranking — which is what we just
+  // recommended — Hilbert stays best or tied, so Hilbert remains the
+  // particle-order pick; Z is flagged as an equal-cost alternative.
+  switch (workload) {
+    case Workload::kNearFieldDominant:
+      rec.particle_curve = CurveKind::kHilbert;
+      rec.rationale +=
+          "Particle ordering: for near-field traffic the Hilbert order is "
+          "unanimously best in every row of Table I.";
+      break;
+    case Workload::kFarFieldDominant:
+      if (distribution != dist::DistKind::kUniform && !sfc_ranked) {
+        rec.particle_curve = CurveKind::kMorton;
+        rec.rationale +=
+            "Particle ordering: for far-field traffic under non-uniform "
+            "distributions the Z-curve is comparable to or slightly better "
+            "than Hilbert (Table II, Normal/Exponential).";
+      } else {
+        rec.particle_curve = CurveKind::kHilbert;
+        rec.rationale +=
+            "Particle ordering: with Hilbert processor ranking, Hilbert "
+            "particle ordering is the most communication-effective choice; "
+            "the Z-curve is a comparably good alternative (Section VI-A).";
+      }
+      break;
+    case Workload::kBalanced:
+      rec.particle_curve = CurveKind::kHilbert;
+      rec.rationale +=
+          "Particle ordering: {Hilbert ~ Z} < Gray << Row-major is the "
+          "paper's overall efficacy ordering; Hilbert is the safe default.";
+      break;
+  }
+
+  if (distribution == dist::DistKind::kNormal) {
+    rec.rationale +=
+        " Note: centrally clustered (normal) inputs roughly double near-"
+        "field ACD versus uniform for the recursive curves, because the "
+        "cluster straddles the largest discontinuities of every recursive "
+        "SFC — but the relative ordering of the curves is unchanged, so "
+        "there is no incentive to reorder between FMM iterations.";
+  }
+  return rec;
+}
+
+}  // namespace sfc::core

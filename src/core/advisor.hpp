@@ -1,0 +1,35 @@
+// advisor.hpp — the paper's recommendations (Sections VI, VIII) as code.
+//
+// Given what a practitioner knows about the workload — the input
+// distribution, the network topology, and whether communication is
+// dominated by near-field or far-field traffic — the advisor returns the
+// particle-order and processor-order SFCs the paper's data favors, with the
+// supporting observation spelled out. This is the "design guide for
+// algorithm developers" the paper's introduction promises.
+#pragma once
+
+#include <string>
+
+#include "distribution/distribution.hpp"
+#include "sfc/curve.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::core {
+
+enum class Workload {
+  kNearFieldDominant,  // dense local interactions (large n, large radius)
+  kFarFieldDominant,   // hierarchy-heavy (deep trees, sparse domains)
+  kBalanced,
+};
+
+struct Recommendation {
+  CurveKind particle_curve;
+  CurveKind processor_curve;
+  std::string rationale;  // the observation(s) backing the choice
+};
+
+/// Recommend SFCs for the given setting.
+Recommendation recommend(dist::DistKind distribution,
+                         topo::TopologyKind topology, Workload workload);
+
+}  // namespace sfc::core

@@ -1,0 +1,132 @@
+#include "core/anns.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sfc/point.hpp"
+#include "util/rng.hpp"
+
+namespace sfc::core {
+namespace {
+
+struct StretchAccum {
+  double sum = 0.0;
+  double max = 0.0;
+  std::uint64_t pairs = 0;
+
+  StretchAccum& operator+=(const StretchAccum& o) noexcept {
+    sum += o.sum;
+    max = std::max(max, o.max);
+    pairs += o.pairs;
+    return *this;
+  }
+};
+
+}  // namespace
+
+StretchStats neighbor_stretch(const Curve<2>& curve, unsigned level,
+                              unsigned radius, util::ThreadPool* pool) {
+  if (radius == 0) throw std::invalid_argument("radius must be >= 1");
+  if (level > 12) {
+    throw std::invalid_argument("neighbor_stretch supports level <= 12");
+  }
+  const std::uint32_t side = 1u << level;
+  const std::uint64_t n = grid_size<2>(level);
+
+  // Precompute the curve index of every grid point, addressed row-major.
+  std::vector<std::uint64_t> index(n);
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      index[static_cast<std::uint64_t>(y) * side + x] =
+          curve.index(make_point(x, y), level);
+    }
+  }
+
+  const std::int64_t r = radius;
+  const std::int64_t s = side;
+
+  // Count each unordered pair once, from its lexicographically smaller
+  // endpoint: offsets with dy > 0, or dy == 0 and dx > 0.
+  auto row_range = [&](std::size_t y_lo, std::size_t y_hi) {
+    StretchAccum acc;
+    for (std::int64_t y = static_cast<std::int64_t>(y_lo);
+         y < static_cast<std::int64_t>(y_hi); ++y) {
+      for (std::int64_t x = 0; x < s; ++x) {
+        const std::uint64_t ix = index[static_cast<std::uint64_t>(y * s + x)];
+        for (std::int64_t dy = 0; dy <= r; ++dy) {
+          const std::int64_t ny = y + dy;
+          if (ny >= s) break;
+          const std::int64_t dx_lo = dy == 0 ? 1 : -(r - dy);
+          const std::int64_t dx_hi = r - dy;
+          for (std::int64_t dx = dx_lo; dx <= dx_hi; ++dx) {
+            const std::int64_t nx = x + dx;
+            if (nx < 0 || nx >= s) continue;
+            const std::uint64_t iy =
+                index[static_cast<std::uint64_t>(ny * s + nx)];
+            const std::uint64_t linear = ix > iy ? ix - iy : iy - ix;
+            const std::int64_t spatial = dy + (dx < 0 ? -dx : dx);
+            const double stretch = static_cast<double>(linear) /
+                                   static_cast<double>(spatial);
+            acc.sum += stretch;
+            acc.max = std::max(acc.max, stretch);
+            ++acc.pairs;
+          }
+        }
+      }
+    }
+    return acc;
+  };
+
+  StretchAccum acc;
+  if (pool != nullptr && pool->size() > 1 && side >= 64) {
+    acc = util::parallel_reduce_chunks(*pool, 0, side, 8, StretchAccum{},
+                                       row_range);
+  } else {
+    acc = row_range(0, side);
+  }
+
+  StretchStats stats;
+  stats.pairs = acc.pairs;
+  stats.maximum = acc.max;
+  stats.average = acc.pairs == 0 ? 0.0 : acc.sum / static_cast<double>(acc.pairs);
+  return stats;
+}
+
+}  // namespace sfc::core
+
+namespace sfc::core {
+
+StretchStats all_pairs_stretch(const Curve<2>& curve, unsigned level,
+                               std::uint64_t sample_pairs,
+                               std::uint64_t seed) {
+  if (level > max_level<2>()) {
+    throw std::invalid_argument("level too large");
+  }
+  const std::uint64_t side = 1ull << level;
+  util::Xoshiro256pp rng(util::substream_seed(seed, 17));
+
+  StretchStats stats;
+  double sum = 0.0;
+  for (std::uint64_t s = 0; s < sample_pairs; ++s) {
+    Point2 a{}, b{};
+    do {
+      a = make_point(static_cast<std::uint32_t>(util::bounded_u64(rng, side)),
+                     static_cast<std::uint32_t>(util::bounded_u64(rng, side)));
+      b = make_point(static_cast<std::uint32_t>(util::bounded_u64(rng, side)),
+                     static_cast<std::uint32_t>(util::bounded_u64(rng, side)));
+    } while (a == b);
+    const std::uint64_t ia = curve.index(a, level);
+    const std::uint64_t ib = curve.index(b, level);
+    const double stretch =
+        static_cast<double>(ia > ib ? ia - ib : ib - ia) /
+        static_cast<double>(manhattan(a, b));
+    sum += stretch;
+    stats.maximum = std::max(stats.maximum, stretch);
+    ++stats.pairs;
+  }
+  stats.average = stats.pairs == 0 ? 0.0 : sum / static_cast<double>(stats.pairs);
+  return stats;
+}
+
+}  // namespace sfc::core

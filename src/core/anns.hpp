@@ -1,0 +1,49 @@
+// anns.hpp — Average Nearest Neighbor Stretch (Xu & Tirthapura, IPDPS'12)
+// and the paper's generalization to larger Manhattan radii (Section V).
+//
+// For a curve at level k, the stretch of a point pair (x, y) is the
+// distance between their positions in the linear ordering divided by their
+// Manhattan distance in space. ANNS averages the stretch over all pairs at
+// Manhattan distance exactly 1; the generalized metric averages over all
+// pairs within Manhattan distance r (the paper reports r = 6 in Fig. 5b).
+// Every grid point participates — this metric is exact, not sampled — and
+// is application- and topology-independent.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/curve.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::core {
+
+struct StretchStats {
+  double average = 0.0;      ///< mean stretch over all counted pairs
+  double maximum = 0.0;      ///< max stretch (MNNS when radius == 1)
+  std::uint64_t pairs = 0;   ///< number of unordered pairs counted
+};
+
+/// Exact stretch statistics over the full 2^level x 2^level grid.
+/// `radius` >= 1 is the Manhattan radius; radius 1 reproduces ANNS/MNNS.
+/// Levels up to 12 are supported (the index table is 8 * 4^level bytes).
+StretchStats neighbor_stretch(const Curve<2>& curve, unsigned level,
+                              unsigned radius,
+                              util::ThreadPool* pool = nullptr);
+
+/// Closed-form ANNS of the row-major order on an N x N grid, N = 2^level:
+/// horizontal neighbor pairs stretch 1, vertical pairs stretch N, in equal
+/// numbers, so ANNS = (N + 1) / 2. Used as a test oracle.
+constexpr double rowmajor_anns_closed_form(unsigned level) noexcept {
+  const double n = static_cast<double>(1u << level);
+  return (n + 1.0) / 2.0;
+}
+
+/// The remaining Xu–Tirthapura metric: the *all-pairs* stretch, i.e. the
+/// average of |index(x) - index(y)| / manhattan(x, y) over uniformly
+/// random distinct point pairs of the grid (exact evaluation is O(n^2) in
+/// the grid size, so this is Monte-Carlo with a deterministic seed).
+StretchStats all_pairs_stretch(const Curve<2>& curve, unsigned level,
+                               std::uint64_t sample_pairs,
+                               std::uint64_t seed = 1);
+
+}  // namespace sfc::core

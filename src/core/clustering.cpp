@@ -1,0 +1,102 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sfc/point.hpp"
+
+namespace sfc::core {
+namespace {
+
+/// Collect the curve indices of every cell in the query, sort, and count
+/// breaks. A break between consecutive sorted indices means a new run.
+std::uint64_t count_runs(const Curve<2>& curve, unsigned level,
+                         const QueryRect& q,
+                         std::vector<std::uint64_t>& scratch) {
+  scratch.clear();
+  for (std::uint32_t dy = 0; dy < q.h; ++dy) {
+    for (std::uint32_t dx = 0; dx < q.w; ++dx) {
+      scratch.push_back(curve.index(make_point(q.x0 + dx, q.y0 + dy), level));
+    }
+  }
+  std::sort(scratch.begin(), scratch.end());
+  std::uint64_t runs = scratch.empty() ? 0 : 1;
+  for (std::size_t i = 1; i < scratch.size(); ++i) {
+    if (scratch[i] != scratch[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::uint64_t cluster_count(const Curve<2>& curve, unsigned level,
+                            const QueryRect& query) {
+  const std::uint64_t side = 1ull << level;
+  if (query.w == 0 || query.h == 0) {
+    throw std::invalid_argument("query must be non-empty");
+  }
+  if (query.x0 + query.w > side || query.y0 + query.h > side) {
+    throw std::invalid_argument("query exceeds the grid");
+  }
+  std::vector<std::uint64_t> scratch;
+  scratch.reserve(static_cast<std::size_t>(query.w) * query.h);
+  return count_runs(curve, level, query, scratch);
+}
+
+ClusteringStats average_clusters(const Curve<2>& curve, unsigned level,
+                                 std::uint32_t w, std::uint32_t h,
+                                 util::ThreadPool* pool) {
+  const std::uint32_t side = 1u << level;
+  if (w == 0 || h == 0 || w > side || h > side) {
+    throw std::invalid_argument("window does not fit the grid");
+  }
+  const std::uint32_t nx = side - w + 1;
+  const std::uint32_t ny = side - h + 1;
+
+  struct Accum {
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t queries = 0;
+    Accum& operator+=(const Accum& o) noexcept {
+      sum += o.sum;
+      max = std::max(max, o.max);
+      queries += o.queries;
+      return *this;
+    }
+  };
+
+  auto row_range = [&](std::size_t y_lo, std::size_t y_hi) {
+    Accum acc;
+    std::vector<std::uint64_t> scratch;
+    scratch.reserve(static_cast<std::size_t>(w) * h);
+    for (std::size_t y = y_lo; y < y_hi; ++y) {
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        QueryRect q{x, static_cast<std::uint32_t>(y), w, h};
+        const std::uint64_t runs = count_runs(curve, level, q, scratch);
+        acc.sum += runs;
+        acc.max = std::max(acc.max, runs);
+        ++acc.queries;
+      }
+    }
+    return acc;
+  };
+
+  Accum acc;
+  if (pool != nullptr && pool->size() > 1 && ny >= 32) {
+    acc = util::parallel_reduce_chunks(*pool, 0, ny, 4, Accum{}, row_range);
+  } else {
+    acc = row_range(0, ny);
+  }
+
+  ClusteringStats stats;
+  stats.queries = acc.queries;
+  stats.maximum = acc.max;
+  stats.average =
+      acc.queries == 0 ? 0.0
+                       : static_cast<double>(acc.sum) /
+                             static_cast<double>(acc.queries);
+  return stats;
+}
+
+}  // namespace sfc::core

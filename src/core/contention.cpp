@@ -1,0 +1,135 @@
+#include "core/contention.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fmm/enumerate.hpp"
+
+namespace sfc::core {
+
+LinkLoadMap::LinkLoadMap(unsigned level, bool wrap)
+    : level_(level), side_(1u << level), wrap_(wrap) {
+  if (2 * level > 26) {
+    throw std::invalid_argument("link map too large");
+  }
+  load_.assign(static_cast<std::size_t>(side_) * side_ * 4, 0);
+}
+
+void LinkLoadMap::traverse(std::uint32_t x, std::uint32_t y, unsigned dir) {
+  ++load_[(static_cast<std::size_t>(y) * side_ + x) * 4 + dir];
+}
+
+void LinkLoadMap::route(const Point2& from, const Point2& to) {
+  ++messages_;
+  std::uint32_t x = from[0];
+  std::uint32_t y = from[1];
+
+  // X leg. On the torus pick the shorter wrap, ties toward +x.
+  while (x != to[0]) {
+    const std::uint32_t fwd = (to[0] + side_ - x) % side_;  // steps going +x
+    bool step_pos;
+    if (!wrap_) {
+      step_pos = to[0] > x;
+    } else {
+      step_pos = fwd <= side_ - fwd;
+    }
+    if (step_pos) {
+      traverse(x, y, 0);
+      x = wrap_ ? (x + 1) % side_ : x + 1;
+    } else {
+      traverse(x, y, 1);
+      x = wrap_ ? (x + side_ - 1) % side_ : x - 1;
+    }
+  }
+  // Y leg.
+  while (y != to[1]) {
+    const std::uint32_t fwd = (to[1] + side_ - y) % side_;
+    bool step_pos;
+    if (!wrap_) {
+      step_pos = to[1] > y;
+    } else {
+      step_pos = fwd <= side_ - fwd;
+    }
+    if (step_pos) {
+      traverse(x, y, 2);
+      y = wrap_ ? (y + 1) % side_ : y + 1;
+    } else {
+      traverse(x, y, 3);
+      y = wrap_ ? (y + side_ - 1) % side_ : y - 1;
+    }
+  }
+}
+
+CongestionStats LinkLoadMap::stats() const {
+  CongestionStats s;
+  s.messages = messages_;
+  // Directed links that physically exist: 4 per node on the torus; the
+  // mesh loses the boundary-crossing ones.
+  if (wrap_ && side_ > 1) {
+    s.total_links = static_cast<std::uint64_t>(side_) * side_ * 4;
+  } else {
+    s.total_links =
+        2ull * 2ull * side_ * (side_ - 1);  // 2 dirs x 2 signs per edge
+  }
+  for (const std::uint64_t l : load_) {
+    if (l == 0) continue;
+    s.hops += l;
+    ++s.links_used;
+    s.max_link_load = std::max(s.max_link_load, l);
+  }
+  return s;
+}
+
+void LinkLoadMap::reset() {
+  messages_ = 0;
+  std::fill(load_.begin(), load_.end(), 0);
+}
+
+std::uint64_t LinkLoadMap::link_load(std::uint32_t x, std::uint32_t y,
+                                     unsigned dir) const {
+  return load_[(static_cast<std::size_t>(y) * side_ + x) * 4 + dir];
+}
+
+namespace {
+
+LinkLoadMap route_messages(const AcdInstance<2>& instance,
+                           const fmm::Partition& part,
+                           const topo::GridTopologyBase<2>& net, bool wrap,
+                           unsigned radius, const fmm::NeighborNorm* norm) {
+  LinkLoadMap map(net.level(), wrap);
+  auto send = [&](std::size_t i, std::size_t j) {
+    map.route(net.coordinate(part.proc_of(j)),
+              net.coordinate(part.proc_of(i)));
+  };
+  if (norm != nullptr) {
+    fmm::nfi_visit<2>(instance.particles(), instance.grid(), radius, *norm,
+                      send);
+  } else {
+    fmm::ffi_visit<2>(instance.tree(),
+                      [&](std::uint32_t from, std::uint32_t to,
+                          fmm::FfiComponent) {
+                        map.route(net.coordinate(part.proc_of(from)),
+                                  net.coordinate(part.proc_of(to)));
+                      });
+  }
+  return map;
+}
+
+}  // namespace
+
+CongestionStats nfi_congestion(const AcdInstance<2>& instance,
+                               const fmm::Partition& part,
+                               const topo::GridTopologyBase<2>& net,
+                               bool wrap, unsigned radius,
+                               fmm::NeighborNorm norm) {
+  return route_messages(instance, part, net, wrap, radius, &norm).stats();
+}
+
+CongestionStats ffi_congestion(const AcdInstance<2>& instance,
+                               const fmm::Partition& part,
+                               const topo::GridTopologyBase<2>& net,
+                               bool wrap) {
+  return route_messages(instance, part, net, wrap, 0, nullptr).stats();
+}
+
+}  // namespace sfc::core

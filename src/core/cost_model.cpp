@@ -1,0 +1,25 @@
+#include "core/cost_model.hpp"
+
+namespace sfc::core {
+
+double communication_cost_us(const CommTotals& totals,
+                             std::uint32_t message_bytes,
+                             const CostParams& params) {
+  const double messages = static_cast<double>(totals.count);
+  const double hops = static_cast<double>(totals.hops);
+  return messages * params.alpha_us + hops * params.per_hop_us +
+         messages * static_cast<double>(message_bytes) /
+             params.bandwidth_bytes_per_us;
+}
+
+CostEstimate fmm_cost_estimate(const CommTotals& nfi,
+                               const fmm::FfiTotals& ffi,
+                               const CostParams& params) {
+  CostEstimate est;
+  est.nfi_us = communication_cost_us(nfi, params.particle_bytes, params);
+  est.ffi_us =
+      communication_cost_us(ffi.total(), params.expansion_bytes(), params);
+  return est;
+}
+
+}  // namespace sfc::core

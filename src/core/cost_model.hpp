@@ -1,0 +1,53 @@
+// cost_model.hpp — from hop counts to estimated communication time.
+//
+// ACD is a pure distance metric; to "arrive at an estimate for the
+// expected communication delay" (paper abstract) it must be combined with
+// a machine model. This module implements the standard alpha-beta(-hop)
+// model:
+//
+//   T(message) = alpha + hops * per_hop + bytes / bandwidth
+//
+// summed over a communication set, with message sizes derived from the FMM
+// payloads: a near-field message carries one particle record, a far-field
+// message carries a truncated multipole/local expansion. The result is an
+// *aggregate serial* cost — no overlap or contention — which is precisely
+// the fidelity level the ACD metric operates at; use core/contention.hpp
+// when link serialization matters.
+#pragma once
+
+#include <cstdint>
+
+#include "core/acd.hpp"
+
+namespace sfc::core {
+
+struct CostParams {
+  double alpha_us = 1.0;        ///< per-message launch latency (microseconds)
+  double per_hop_us = 0.05;     ///< additional latency per network hop
+  double bandwidth_bytes_per_us = 10000.0;  ///< ~10 GB/s default
+  std::uint32_t particle_bytes = 32;   ///< payload of one NFI message
+  std::uint32_t expansion_terms = 12;  ///< multipole order p (FFI payload)
+
+  /// Bytes of one far-field message: p+1 complex<double> coefficients.
+  std::uint32_t expansion_bytes() const noexcept {
+    return (expansion_terms + 1) * 16;
+  }
+};
+
+struct CostEstimate {
+  double nfi_us = 0.0;
+  double ffi_us = 0.0;
+  double total_us() const noexcept { return nfi_us + ffi_us; }
+};
+
+/// Cost of a generic communication set with fixed message size.
+double communication_cost_us(const CommTotals& totals,
+                             std::uint32_t message_bytes,
+                             const CostParams& params);
+
+/// Cost of a full FMM iteration's communication (NFI + FFI).
+CostEstimate fmm_cost_estimate(const CommTotals& nfi,
+                               const fmm::FfiTotals& ffi,
+                               const CostParams& params);
+
+}  // namespace sfc::core

@@ -1,0 +1,35 @@
+// report.hpp — turn study results into tables and plot-ready files.
+//
+// The bench harnesses and the tests share these builders so the output
+// layout is covered by the test suite, and `write_file` lets any harness
+// dump CSV series for external plotting.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+#include "util/table.hpp"
+
+namespace sfc::core {
+
+/// Tables I/II layout: processor order down, particle order across.
+util::Table combination_table(const CombinationStudyResult& result,
+                              std::size_t dist_index, bool far_field);
+
+/// Figure 6 layout: one row per topology, one column per curve.
+util::Table topology_table(const TopologyStudyResult& result,
+                           bool far_field);
+
+/// Figure 7 layout: one row per processor count, one column per curve.
+util::Table scaling_table(const ScalingStudyResult& result, bool far_field);
+
+/// Figure 5 layout: one row per resolution, one column per curve.
+/// `maxima` selects the max-stretch (MNNS) view instead of the average.
+util::Table anns_table(const AnnsStudyResult& result, bool maxima = false);
+
+/// Write a table to a file in the given style. Throws std::runtime_error
+/// if the file cannot be opened.
+void write_file(const std::string& path, const util::Table& table,
+                util::TableStyle style = util::TableStyle::kCsv);
+
+}  // namespace sfc::core

@@ -1,0 +1,184 @@
+#include "core/study.hpp"
+
+#include <memory>
+#include <sstream>
+
+namespace sfc::core {
+namespace {
+
+void report(const ProgressFn& progress, const std::string& msg) {
+  if (progress) progress(msg);
+}
+
+std::vector<Point2> sample_trial(dist::DistKind kind, std::size_t particles,
+                                 unsigned level, std::uint64_t seed,
+                                 unsigned trial) {
+  dist::SampleConfig cfg;
+  cfg.count = particles;
+  cfg.level = level;
+  cfg.seed = util::substream_seed(seed, trial);
+  return dist::sample_particles<2>(kind, cfg);
+}
+
+}  // namespace
+
+CombinationStudyResult run_combination_study(
+    const CombinationStudyConfig& config, util::ThreadPool* pool,
+    const ProgressFn& progress) {
+  const std::size_t nd = config.distributions.size();
+  const std::size_t nc = config.curves.size();
+
+  CombinationStudyResult result;
+  result.config = config;
+  result.cells.assign(
+      nd, std::vector<std::vector<AcdCell>>(nc, std::vector<AcdCell>(nc)));
+  result.stats.assign(nd, std::vector<std::vector<AcdCellStats>>(
+                              nc, std::vector<AcdCellStats>(nc)));
+
+  // Topologies depend only on the processor-order curve; build them once.
+  std::vector<std::unique_ptr<topo::Topology>> nets;
+  nets.reserve(nc);
+  for (const CurveKind pk : config.curves) {
+    const auto ranking = make_curve<2>(pk);
+    nets.push_back(
+        topo::make_topology<2>(config.topology, config.procs, ranking.get()));
+  }
+
+  const double trials = config.trials;
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (unsigned t = 0; t < config.trials; ++t) {
+      auto particles = sample_trial(config.distributions[d], config.particles,
+                                    config.level, config.seed, t);
+      const fmm::Partition part(particles.size(), config.procs);
+      for (std::size_t pc = 0; pc < nc; ++pc) {
+        const auto particle_curve = make_curve<2>(config.curves[pc]);
+        const AcdInstance<2> instance(particles, config.level,
+                                      *particle_curve);
+        for (std::size_t rc = 0; rc < nc; ++rc) {
+          if (config.near_field) {
+            const auto nfi =
+                instance.nfi(part, *nets[rc], config.radius,
+                             fmm::NeighborNorm::kChebyshev, pool);
+            result.cells[d][rc][pc].nfi_acd += nfi.acd() / trials;
+            result.stats[d][rc][pc].nfi.add(nfi.acd());
+          }
+          if (config.far_field) {
+            const auto ffi = instance.ffi(part, *nets[rc], pool);
+            result.cells[d][rc][pc].ffi_acd += ffi.total().acd() / trials;
+            result.stats[d][rc][pc].ffi.add(ffi.total().acd());
+          }
+          std::ostringstream msg;
+          msg << dist_name(config.distributions[d]) << " trial " << t + 1
+              << "/" << config.trials << ": particle "
+              << curve_name(config.curves[pc]) << " x processor "
+              << curve_name(config.curves[rc]) << " done";
+          report(progress, msg.str());
+        }
+      }
+    }
+  }
+  return result;
+}
+
+TopologyStudyResult run_topology_study(const TopologyStudyConfig& config,
+                                       util::ThreadPool* pool,
+                                       const ProgressFn& progress) {
+  const std::size_t nt = config.topologies.size();
+  const std::size_t nc = config.curves.size();
+
+  TopologyStudyResult result;
+  result.config = config;
+  result.cells.assign(nt, std::vector<AcdCell>(nc));
+
+  const double trials = config.trials;
+  for (unsigned t = 0; t < config.trials; ++t) {
+    // The paper uses a fixed input set per trial across all 24 sub-cases.
+    auto particles = sample_trial(config.distribution, config.particles,
+                                  config.level, config.seed, t);
+    const fmm::Partition part(particles.size(), config.procs);
+    for (std::size_t c = 0; c < nc; ++c) {
+      const auto curve = make_curve<2>(config.curves[c]);
+      const AcdInstance<2> instance(particles, config.level, *curve);
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        // Mesh/torus take the same SFC as processor order; the others have
+        // a natural labeling and ignore the ranking argument.
+        const auto net = topo::make_topology<2>(config.topologies[ti],
+                                                config.procs, curve.get());
+        const auto nfi = instance.nfi(part, *net, config.radius,
+                                      fmm::NeighborNorm::kChebyshev, pool);
+        const auto ffi = instance.ffi(part, *net, pool);
+        result.cells[ti][c].nfi_acd += nfi.acd() / trials;
+        result.cells[ti][c].ffi_acd += ffi.total().acd() / trials;
+        std::ostringstream msg;
+        msg << "trial " << t + 1 << "/" << config.trials << ": "
+            << topology_name(config.topologies[ti]) << " x "
+            << curve_name(config.curves[c]) << " done";
+        report(progress, msg.str());
+      }
+    }
+  }
+  return result;
+}
+
+ScalingStudyResult run_scaling_study(const ScalingStudyConfig& config,
+                                     util::ThreadPool* pool,
+                                     const ProgressFn& progress) {
+  const std::size_t nc = config.curves.size();
+  const std::size_t np = config.proc_counts.size();
+
+  ScalingStudyResult result;
+  result.config = config;
+  result.cells.assign(nc, std::vector<AcdCell>(np));
+
+  const double trials = config.trials;
+  for (unsigned t = 0; t < config.trials; ++t) {
+    auto particles = sample_trial(config.distribution, config.particles,
+                                  config.level, config.seed, t);
+    for (std::size_t c = 0; c < nc; ++c) {
+      const auto curve = make_curve<2>(config.curves[c]);
+      const AcdInstance<2> instance(particles, config.level, *curve);
+      for (std::size_t pi = 0; pi < np; ++pi) {
+        const topo::Rank procs = config.proc_counts[pi];
+        const fmm::Partition part(instance.particles().size(), procs);
+        const auto net =
+            topo::make_topology<2>(config.topology, procs, curve.get());
+        const auto nfi = instance.nfi(part, *net, config.radius,
+                                      fmm::NeighborNorm::kChebyshev, pool);
+        const auto ffi = instance.ffi(part, *net, pool);
+        result.cells[c][pi].nfi_acd += nfi.acd() / trials;
+        result.cells[c][pi].ffi_acd += ffi.total().acd() / trials;
+        std::ostringstream msg;
+        msg << "trial " << t + 1 << "/" << config.trials << ": "
+            << curve_name(config.curves[c]) << " @ p=" << procs << " done";
+        report(progress, msg.str());
+      }
+    }
+  }
+  return result;
+}
+
+AnnsStudyResult run_anns_study(const AnnsStudyConfig& config,
+                               util::ThreadPool* pool,
+                               const ProgressFn& progress) {
+  const std::size_t nc = config.curves.size();
+  const std::size_t nl = config.levels.size();
+
+  AnnsStudyResult result;
+  result.config = config;
+  result.stats.assign(nc, std::vector<StretchStats>(nl));
+
+  for (std::size_t c = 0; c < nc; ++c) {
+    const auto curve = make_curve<2>(config.curves[c]);
+    for (std::size_t l = 0; l < nl; ++l) {
+      result.stats[c][l] =
+          neighbor_stretch(*curve, config.levels[l], config.radius, pool);
+      std::ostringstream msg;
+      msg << curve_name(config.curves[c]) << " @ level " << config.levels[l]
+          << " done";
+      report(progress, msg.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace sfc::core

@@ -1,0 +1,134 @@
+// study.hpp — the paper's experimental designs as reusable runners.
+//
+// Each runner reproduces one table/figure family:
+//   * run_combination_study — Tables I & II: all {particle-order,
+//     processor-order} SFC pairs, per input distribution, on one topology;
+//   * run_topology_study    — Figure 6: topology comparison with the same
+//     SFC in both roles;
+//   * run_scaling_study     — Figure 7: ACD as a function of the processor
+//     count, per SFC;
+//   * run_anns_study        — Figure 5: neighbor stretch vs resolution.
+// The bench binaries only choose parameters and format output; running the
+// studies at toy scale from the unit tests validates the claimed shapes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/acd.hpp"
+#include "core/anns.hpp"
+#include "util/stats.hpp"
+
+namespace sfc::core {
+
+/// Optional progress sink (long paper-scale runs report per-cell progress).
+using ProgressFn = std::function<void(const std::string&)>;
+
+struct AcdCell {
+  double nfi_acd = 0.0;
+  double ffi_acd = 0.0;
+};
+
+// ---------------------------------------------------------------- Tables I/II
+struct CombinationStudyConfig {
+  std::size_t particles = 250000;
+  unsigned level = 10;       // 1024 x 1024 spatial resolution
+  topo::Rank procs = 65536;  // 256 x 256 torus
+  topo::TopologyKind topology = topo::TopologyKind::kTorus;
+  unsigned radius = 1;
+  std::uint64_t seed = 1;
+  unsigned trials = 1;
+  bool near_field = true;  ///< evaluate the NFI model (Table I)
+  bool far_field = true;   ///< evaluate the FFI model (Table II)
+  std::vector<dist::DistKind> distributions{dist::kAllDistributions,
+                                            dist::kAllDistributions + 3};
+  std::vector<CurveKind> curves{kPaperCurves, kPaperCurves + 4};
+};
+
+/// Per-cell across-trial statistics (populated for every trial count;
+/// with trials == 1 the CI is zero).
+struct AcdCellStats {
+  util::RunningStats nfi;
+  util::RunningStats ffi;
+};
+
+struct CombinationStudyResult {
+  CombinationStudyConfig config;
+  /// cells[d][proc_curve][particle_curve], indices into config vectors.
+  /// Values are across-trial means.
+  std::vector<std::vector<std::vector<AcdCell>>> cells;
+  /// Matching across-trial statistics (same indexing).
+  std::vector<std::vector<std::vector<AcdCellStats>>> stats;
+};
+
+CombinationStudyResult run_combination_study(
+    const CombinationStudyConfig& config, util::ThreadPool* pool = nullptr,
+    const ProgressFn& progress = {});
+
+// ---------------------------------------------------------------- Figure 6
+struct TopologyStudyConfig {
+  std::size_t particles = 1000000;
+  unsigned level = 12;  // 4096 x 4096
+  topo::Rank procs = 65536;
+  unsigned radius = 4;
+  dist::DistKind distribution = dist::DistKind::kUniform;
+  std::uint64_t seed = 1;
+  unsigned trials = 1;
+  std::vector<topo::TopologyKind> topologies{topo::kAllTopologies,
+                                             topo::kAllTopologies + 6};
+  std::vector<CurveKind> curves{kPaperCurves, kPaperCurves + 4};
+};
+
+struct TopologyStudyResult {
+  TopologyStudyConfig config;
+  /// cells[topology][curve].
+  std::vector<std::vector<AcdCell>> cells;
+};
+
+TopologyStudyResult run_topology_study(const TopologyStudyConfig& config,
+                                       util::ThreadPool* pool = nullptr,
+                                       const ProgressFn& progress = {});
+
+// ---------------------------------------------------------------- Figure 7
+struct ScalingStudyConfig {
+  std::size_t particles = 1000000;
+  unsigned level = 12;
+  std::vector<topo::Rank> proc_counts{64,   256,   1024,
+                                      4096, 16384, 65536};
+  topo::TopologyKind topology = topo::TopologyKind::kTorus;
+  unsigned radius = 1;
+  dist::DistKind distribution = dist::DistKind::kUniform;
+  std::uint64_t seed = 1;
+  unsigned trials = 1;
+  std::vector<CurveKind> curves{kPaperCurves, kPaperCurves + 4};
+};
+
+struct ScalingStudyResult {
+  ScalingStudyConfig config;
+  /// cells[curve][proc_count_index].
+  std::vector<std::vector<AcdCell>> cells;
+};
+
+ScalingStudyResult run_scaling_study(const ScalingStudyConfig& config,
+                                     util::ThreadPool* pool = nullptr,
+                                     const ProgressFn& progress = {});
+
+// ---------------------------------------------------------------- Figure 5
+struct AnnsStudyConfig {
+  std::vector<unsigned> levels{1, 2, 3, 4, 5, 6, 7, 8, 9};  // 2x2 .. 512x512
+  unsigned radius = 1;
+  std::vector<CurveKind> curves{kPaperCurves, kPaperCurves + 4};
+};
+
+struct AnnsStudyResult {
+  AnnsStudyConfig config;
+  /// stats[curve][level_index].
+  std::vector<std::vector<StretchStats>> stats;
+};
+
+AnnsStudyResult run_anns_study(const AnnsStudyConfig& config,
+                               util::ThreadPool* pool = nullptr,
+                               const ProgressFn& progress = {});
+
+}  // namespace sfc::core

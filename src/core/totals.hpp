@@ -1,0 +1,40 @@
+// totals.hpp — the accumulator behind the ACD metric.
+//
+// ACD (paper Definition 1) is the average shortest-path hop count over
+// every pairwise communication an application instance performs, so every
+// model in this library reduces to one of these: a (sum of hops, number of
+// communications) pair. Integer sums commute, which makes parallel
+// accumulation bit-deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace sfc::core {
+
+struct CommTotals {
+  std::uint64_t hops = 0;   ///< sum of hop distances over all communications
+  std::uint64_t count = 0;  ///< number of communications (zero-hop included)
+
+  constexpr CommTotals& operator+=(const CommTotals& o) noexcept {
+    hops += o.hops;
+    count += o.count;
+    return *this;
+  }
+
+  friend constexpr CommTotals operator+(CommTotals a,
+                                        const CommTotals& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Average Communicated Distance; 0 when no communication occurred.
+  constexpr double acd() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(hops) / static_cast<double>(count);
+  }
+
+  friend constexpr bool operator==(const CommTotals&,
+                                   const CommTotals&) = default;
+};
+
+}  // namespace sfc::core

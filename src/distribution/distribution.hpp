@@ -1,0 +1,89 @@
+// distribution.hpp — random particle placement (paper Section II-C).
+//
+// Particles live on the 2^k x 2^k (x 2^k) grid of finest-resolution cells,
+// at most one particle per cell (the paper's FMM analysis assumption), so
+// sampling is draw-and-reject: draw a cell from the distribution, reject it
+// if occupied or off-grid, repeat. Three distributions are modeled:
+//   * uniform      — every cell equally likely (Fig. 2a),
+//   * normal       — symmetric bivariate normal about the grid center,
+//                    modeling centrally clustered inputs (Fig. 2b),
+//   * exponential  — independent exponential per axis, clustering the mass
+//                    into one corner quadrant (Fig. 2c).
+// The paper does not state the normal's sigma or the exponential's rate; we
+// default to sigma = 0.2 * side and mean = 0.25 * side, which visually
+// match Fig. 2 and keep rejection cheap (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "sfc/point.hpp"
+#include "util/rng.hpp"
+
+namespace sfc::dist {
+
+enum class DistKind {
+  kUniform,
+  kNormal,
+  kExponential,
+  // Extensions beyond the paper's three, for realistic n-body inputs:
+  kClusters,  // mixture of Gaussian blobs at seeded random centers
+  kPlummer,   // Plummer sphere (the classic stellar-cluster model),
+              // projected onto the grid's dimensionality
+};
+
+/// The paper's three input distributions (Section II-C).
+inline constexpr DistKind kAllDistributions[] = {
+    DistKind::kUniform, DistKind::kNormal, DistKind::kExponential};
+
+/// Every implemented distribution, extensions included.
+inline constexpr DistKind kExtendedDistributions[] = {
+    DistKind::kUniform, DistKind::kNormal, DistKind::kExponential,
+    DistKind::kClusters, DistKind::kPlummer};
+
+std::string_view dist_name(DistKind kind) noexcept;
+std::optional<DistKind> parse_dist(std::string_view name) noexcept;
+
+struct SampleConfig {
+  std::size_t count = 0;       ///< number of particles (distinct cells)
+  unsigned level = 0;          ///< grid side is 2^level per dimension
+  std::uint64_t seed = 1;      ///< master RNG seed (fully deterministic)
+  double normal_sigma_frac = 0.20;  ///< sigma as a fraction of the side
+  double exp_mean_frac = 0.35;      ///< exponential mean as a fraction
+  unsigned cluster_count = 8;          ///< blobs in the kClusters mixture
+  double cluster_sigma_frac = 0.04;    ///< per-blob sigma fraction
+  double plummer_radius_frac = 0.15;   ///< Plummer scale radius fraction
+};
+
+/// Draw `cfg.count` particles in distinct cells. Throws std::runtime_error
+/// if the grid cannot hold them or rejection fails to converge (which the
+/// default parameters cannot trigger at the paper's densities).
+template <int D>
+std::vector<Point<D>> sample_particles(DistKind kind, const SampleConfig& cfg);
+
+/// One timestep of particle drift: every particle attempts one move to a
+/// uniformly random Chebyshev-adjacent cell; moves off the grid or into an
+/// occupied cell are rejected (the particle stays put), preserving the
+/// one-particle-per-cell invariant. Deterministic in (seed, step).
+/// Models the slow configuration change between n-body iterations that
+/// the paper's Section VI-A discusses ("dynamically changing particle
+/// distribution profile").
+template <int D>
+void drift_particles(std::vector<Point<D>>& particles, unsigned level,
+                     std::uint64_t seed, std::uint64_t step);
+
+extern template void drift_particles<2>(std::vector<Point<2>>&, unsigned,
+                                        std::uint64_t, std::uint64_t);
+extern template void drift_particles<3>(std::vector<Point<3>>&, unsigned,
+                                        std::uint64_t, std::uint64_t);
+
+extern template std::vector<Point<2>> sample_particles<2>(DistKind,
+                                                          const SampleConfig&);
+extern template std::vector<Point<3>> sample_particles<3>(DistKind,
+                                                          const SampleConfig&);
+
+}  // namespace sfc::dist

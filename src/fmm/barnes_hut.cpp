@@ -1,0 +1,205 @@
+#include "fmm/barnes_hut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fmm/cells.hpp"
+#include "sfc/morton.hpp"
+
+namespace sfc::fmm {
+
+BarnesHut2D::BarnesHut2D(std::vector<Charge> charges, const BhConfig& config)
+    : config_(config), charges_(std::move(charges)) {
+  if (config_.theta < 0.0 || config_.theta >= 2.0) {
+    throw std::invalid_argument("theta must be in [0, 2)");
+  }
+  if (config_.leaf_capacity == 0) {
+    throw std::invalid_argument("leaf_capacity must be >= 1");
+  }
+  for (const Charge& c : charges_) {
+    if (c.x < 0.0 || c.x >= 1.0 || c.y < 0.0 || c.y >= 1.0) {
+      throw std::invalid_argument("charges must lie in the unit square");
+    }
+  }
+  order_.resize(charges_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  nodes_.reserve(charges_.size() * 2 + 1);
+  if (!charges_.empty()) {
+    build(0.5, 0.5, 0.5, 0, static_cast<std::uint32_t>(charges_.size()), 0);
+  }
+
+  potentials_.assign(charges_.size(), 0.0);
+  if (!charges_.empty()) {
+    for (std::uint32_t ii = 0; ii < order_.size(); ++ii) {
+      const Charge& c = charges_[order_[ii]];
+      potentials_[order_[ii]] = evaluate(nodes_[0], c.x, c.y, order_[ii]);
+    }
+  }
+}
+
+std::int32_t BarnesHut2D::build(double cx, double cy, double half,
+                                std::uint32_t begin, std::uint32_t end,
+                                unsigned level) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  ++stats_.nodes;
+  {
+    Node& n = nodes_.back();
+    n.cx = cx;
+    n.cy = cy;
+    n.half = half;
+    n.begin = begin;
+    n.end = end;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Charge& c = charges_[order_[i]];
+      n.q += c.q;
+      const double w = std::abs(c.q);
+      n.abs_q += w;
+      n.mx += w * c.x;
+      n.my += w * c.y;
+    }
+    if (n.abs_q > 0.0) {
+      n.mx /= n.abs_q;
+      n.my /= n.abs_q;
+    } else {
+      n.mx = cx;
+      n.my = cy;
+    }
+  }
+
+  if (end - begin <= config_.leaf_capacity || level >= config_.max_level) {
+    return id;  // leaf
+  }
+
+  // Partition the range into the four quadrants (stable two-pass split).
+  auto quadrant_of = [cx, cy](const Charge& c) {
+    return (c.x >= cx ? 1u : 0u) | (c.y >= cy ? 2u : 0u);
+  };
+  std::uint32_t counts[4] = {0, 0, 0, 0};
+  for (std::uint32_t i = begin; i < end; ++i) {
+    ++counts[quadrant_of(charges_[order_[i]])];
+  }
+  std::uint32_t offsets[5] = {begin, 0, 0, 0, 0};
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    offsets[quadrant + 1] =
+        offsets[quadrant] + counts[static_cast<std::size_t>(quadrant)];
+  }
+  {
+    std::vector<std::uint32_t> scratch(order_.begin() + begin,
+                                       order_.begin() + end);
+    std::uint32_t cursor[4] = {offsets[0], offsets[1], offsets[2],
+                               offsets[3]};
+    for (const std::uint32_t idx : scratch) {
+      order_[cursor[quadrant_of(charges_[idx])]++] = idx;
+    }
+  }
+
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  n.leaf = false;
+  const double q = half / 2.0;
+  const double child_cx[4] = {cx - q, cx + q, cx - q, cx + q};
+  const double child_cy[4] = {cy - q, cy - q, cy + q, cy + q};
+  for (unsigned quadrant = 0; quadrant < 4; ++quadrant) {
+    if (counts[quadrant] == 0) continue;
+    const std::int32_t child =
+        build(child_cx[quadrant], child_cy[quadrant], q, offsets[quadrant],
+              offsets[quadrant + 1], level + 1);
+    nodes_[static_cast<std::size_t>(id)].child[quadrant] = child;
+  }
+  return id;
+}
+
+double BarnesHut2D::evaluate(const Node& node, double x, double y,
+                             std::uint32_t self) const {
+  const double dx = x - node.mx;
+  const double dy = y - node.my;
+  const double dist2 = dx * dx + dy * dy;
+
+  // Opening criterion on the full side length.
+  const double side = 2.0 * node.half;
+  if (!node.leaf &&
+      side * side < config_.theta * config_.theta * dist2) {
+    ++stats_.cell_evals;
+    return node.q * 0.5 * std::log(dist2);
+  }
+  if (node.leaf) {
+    double phi = 0.0;
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      const std::uint32_t j = order_[i];
+      if (j == self) continue;
+      const Charge& c = charges_[j];
+      const double ddx = x - c.x;
+      const double ddy = y - c.y;
+      phi += c.q * 0.5 * std::log(ddx * ddx + ddy * ddy);
+      ++stats_.point_evals;
+    }
+    return phi;
+  }
+  double phi = 0.0;
+  for (const std::int32_t child : node.child) {
+    if (child >= 0) {
+      phi += evaluate(nodes_[static_cast<std::size_t>(child)], x, y, self);
+    }
+  }
+  return phi;
+}
+
+core::CommTotals bh_comm_totals(const std::vector<Point2>& particles,
+                                const CellTree<2>& tree,
+                                const Partition& part,
+                                const topo::Topology& net, double theta) {
+  if (theta < 0.0 || theta >= 2.0) {
+    throw std::invalid_argument("theta must be in [0, 2)");
+  }
+  core::CommTotals totals;
+  const unsigned finest = tree.finest_level();
+
+  // Depth-first traversal per particle over the occupied-cell tree.
+  // Geometry in finest-cell units: a level-l cell has side 2^(finest-l).
+  std::vector<std::pair<unsigned, std::uint64_t>> stack;  // (level, key)
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const double px = particles[i][0] + 0.5;
+    const double py = particles[i][1] + 0.5;
+    const topo::Rank proc = part.proc_of(i);
+    stack.clear();
+    stack.emplace_back(0u, 0ull);
+    while (!stack.empty()) {
+      const auto [level, key] = stack.back();
+      stack.pop_back();
+      const auto idx = tree.find(level, key);
+      if (idx < 0) continue;  // unoccupied subtree
+      const auto& cell = tree.cells(level)[static_cast<std::size_t>(idx)];
+
+      const double side = static_cast<double>(1u << (finest - level));
+      const Point2 cc = morton_point<2>(key);
+      const double cx = (cc[0] + 0.5) * side;
+      const double cy = (cc[1] + 0.5) * side;
+      const double dx = px - cx;
+      const double dy = py - cy;
+      const double dist2 = dx * dx + dy * dy;
+
+      if (level == finest) {
+        // Direct interaction with the occupant (skip the particle's own
+        // cell: one particle per cell means occupant == particle).
+        if (cell.min_particle != i) {
+          totals.hops += net.distance(part.proc_of(cell.min_particle), proc);
+          ++totals.count;
+        }
+        continue;
+      }
+      if (side * side < theta * theta * dist2) {
+        // Accepted: fetch the cell's summary from its owner.
+        totals.hops += net.distance(part.proc_of(cell.min_particle), proc);
+        ++totals.count;
+        continue;
+      }
+      for (std::uint64_t child = 0; child < 4; ++child) {
+        stack.emplace_back(level + 1, (key << 2) | child);
+      }
+    }
+  }
+  return totals;
+}
+
+}  // namespace sfc::fmm

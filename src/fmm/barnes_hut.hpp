@@ -1,0 +1,85 @@
+// barnes_hut.hpp — the Barnes–Hut tree code, the FMM's classical baseline.
+//
+// Two roles here:
+//  1. a working solver (monopole approximation with the theta opening
+//     criterion, adaptive quadtree) validated against direct summation —
+//     the algorithm the paper's n-body motivation usually starts from; and
+//  2. a second *communication model* for the ACD metric: unlike the FMM's
+//     symmetric interaction lists, a Barnes–Hut traversal makes every
+//     particle's processor fetch each tree cell it accepts, so the
+//     communication volume and structure differ — a concrete Section VII
+//     demonstration that ACD can rank SFCs for other algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/laplace_fmm.hpp"  // Charge
+#include "fmm/partition.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::fmm {
+
+struct BhConfig {
+  double theta = 0.5;        ///< opening criterion: accept if side/dist < theta
+  unsigned max_level = 10;   ///< deepest subdivision
+  unsigned leaf_capacity = 4;  ///< split cells holding more charges
+};
+
+/// Barnes–Hut potentials (phi(z) = sum q ln|z - z_i|, self excluded) for
+/// charges in the unit square. theta = 0 degenerates to exact direct
+/// summation (every cell is opened down to the leaves).
+class BarnesHut2D {
+ public:
+  BarnesHut2D(std::vector<Charge> charges, const BhConfig& config);
+
+  const std::vector<double>& potentials() const noexcept {
+    return potentials_;
+  }
+
+  struct Stats {
+    std::uint64_t nodes = 0;        ///< tree nodes built
+    std::uint64_t cell_evals = 0;   ///< accepted (far) cell interactions
+    std::uint64_t point_evals = 0;  ///< direct particle-particle evals
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Node {
+    double cx = 0.0, cy = 0.0;      ///< geometric center
+    double half = 0.0;              ///< half side length
+    double mx = 0.0, my = 0.0;      ///< charge-weighted centroid
+    double q = 0.0;                 ///< total charge
+    double abs_q = 0.0;             ///< sum |q| (centroid weighting)
+    std::int32_t child[4] = {-1, -1, -1, -1};
+    std::uint32_t begin = 0, end = 0;  ///< charge range (leaves)
+    bool leaf = true;
+  };
+
+  std::int32_t build(double cx, double cy, double half, std::uint32_t begin,
+                     std::uint32_t end, unsigned level);
+  double evaluate(const Node& node, double x, double y,
+                  std::uint32_t self) const;
+
+  BhConfig config_;
+  std::vector<Charge> charges_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Node> nodes_;
+  std::vector<double> potentials_;
+  mutable Stats stats_;
+};
+
+/// The Barnes–Hut *communication model* on the ACD pipeline's occupied
+/// cell tree: every particle traverses the tree; an accepted cell costs
+/// one communication from the cell owner's processor to the particle's
+/// processor; opened finest-level cells cost one direct communication per
+/// occupant. Zero-hop communications are counted, the particle's own cell
+/// is skipped (self-interaction).
+core::CommTotals bh_comm_totals(const std::vector<Point2>& particles,
+                                const CellTree<2>& tree,
+                                const Partition& part,
+                                const topo::Topology& net, double theta);
+
+}  // namespace sfc::fmm

@@ -1,0 +1,109 @@
+// cells.hpp — quadtree/octree cell geometry for the FMM model.
+//
+// The spatial domain is a 2^k x 2^k (x 2^k) grid of finest-resolution
+// cells. A cell at level L (0 = root, k = finest) has coordinates in
+// [0, 2^L)^D; its children at level L+1 double each coordinate. Cells are
+// keyed by their Morton code, which makes the parent key a simple shift —
+// the property the far-field pass uses to coarsen occupied-cell lists
+// without re-sorting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/morton.hpp"
+#include "sfc/point.hpp"
+
+namespace sfc::fmm {
+
+/// Cell containing a finest-level point, viewed at a coarser level.
+template <int D>
+constexpr Point<D> cell_at_level(const Point<D>& finest, unsigned finest_level,
+                                 unsigned level) noexcept {
+  Point<D> c{};
+  const unsigned shift = finest_level - level;
+  for (int i = 0; i < D; ++i) c[i] = finest[i] >> shift;
+  return c;
+}
+
+template <int D>
+constexpr Point<D> parent_cell(const Point<D>& cell) noexcept {
+  Point<D> p{};
+  for (int i = 0; i < D; ++i) p[i] = cell[i] >> 1;
+  return p;
+}
+
+/// True iff the two same-level cells share an edge or corner (Chebyshev
+/// distance exactly 1). A cell is not adjacent to itself.
+template <int D>
+constexpr bool are_adjacent(const Point<D>& a, const Point<D>& b) noexcept {
+  return chebyshev(a, b) == 1;
+}
+
+/// All same-level cells at Chebyshev distance 1 that lie on the level grid
+/// (up to 3^D - 1 of them; fewer at the boundary).
+template <int D>
+void neighbors(const Point<D>& cell, unsigned level,
+               std::vector<Point<D>>& out) {
+  out.clear();
+  const std::int64_t side = 1ll << level;
+  Point<D> q{};
+  // Odometer over the {-1,0,1}^D offsets.
+  int off[4];  // D <= 4 (static_assert in Point)
+  for (int i = 0; i < D; ++i) off[i] = -1;
+  for (;;) {
+    bool zero = true;
+    bool in = true;
+    for (int i = 0; i < D; ++i) {
+      if (off[i] != 0) zero = false;
+      const std::int64_t v = static_cast<std::int64_t>(cell[i]) + off[i];
+      if (v < 0 || v >= side) {
+        in = false;
+        break;
+      }
+      q[i] = static_cast<std::uint32_t>(v);
+    }
+    if (!zero && in) out.push_back(q);
+    int d = 0;
+    while (d < D && off[d] == 1) off[d++] = -1;
+    if (d == D) break;
+    ++off[d];
+  }
+}
+
+/// FMM interaction list of `cell` at `level` (paper Section III, Fig. 4):
+/// the same-level children of the parent's neighbors that are not adjacent
+/// to (and distinct from) `cell`. Empty at levels 0 and 1, where the
+/// parent has no neighbors. At most 27 cells in 2-D, 189 in 3-D.
+template <int D>
+void interaction_list(const Point<D>& cell, unsigned level,
+                      std::vector<Point<D>>& out) {
+  out.clear();
+  if (level < 2) return;
+  const Point<D> par = parent_cell(cell);
+  std::vector<Point<D>> par_neighbors;
+  neighbors(par, level - 1, par_neighbors);
+  for (const auto& pn : par_neighbors) {
+    // Enumerate pn's 2^D children.
+    for (std::uint32_t mask = 0; mask < (1u << D); ++mask) {
+      Point<D> child{};
+      for (int i = 0; i < D; ++i) {
+        child[i] = (pn[i] << 1) | ((mask >> i) & 1u);
+      }
+      if (chebyshev(child, cell) > 1) out.push_back(child);
+    }
+  }
+}
+
+/// Morton key of a cell (level-agnostic; level only bounds coordinates).
+template <int D>
+constexpr std::uint64_t cell_key(const Point<D>& cell) noexcept {
+  return morton_index(cell);
+}
+
+template <int D>
+constexpr std::uint64_t parent_key(std::uint64_t key) noexcept {
+  return key >> D;
+}
+
+}  // namespace sfc::fmm

@@ -1,0 +1,88 @@
+#include "fmm/compressed.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fmm/cells.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+CompressedCellTree<D>::CompressedCellTree(const CellTree<D>& tree) {
+  const unsigned finest = tree.finest_level();
+
+  // Count occupied children per cell: children of key k at level l occupy
+  // the key range [k << D, (k + 1) << D) at level l + 1; both lists are
+  // sorted, so one merge-style sweep per level suffices.
+  std::vector<std::vector<std::uint32_t>> child_count(finest + 1);
+  for (unsigned l = 0; l < finest; ++l) {
+    child_count[l].assign(tree.cells(l).size(), 0);
+    const auto& coarse = tree.cells(l);
+    const auto& fine = tree.cells(l + 1);
+    std::size_t ci = 0;
+    for (const auto& cell : fine) {
+      const std::uint64_t pk = parent_key<D>(cell.key);
+      while (coarse[ci].key != pk) ++ci;  // parents of sorted children are sorted
+      ++child_count[l][ci];
+    }
+  }
+
+  // Representatives: root, finest-level cells, internal cells with >= 2
+  // occupied children. Nodes are emitted level by level, so a parent
+  // always precedes its descendants.
+  std::vector<std::unordered_map<std::uint64_t, std::int32_t>> index_of(
+      finest + 1);
+  auto is_rep = [&](unsigned level, std::size_t i) {
+    if (level == 0 || level == finest) return true;
+    return child_count[level][i] >= 2;
+  };
+
+  for (unsigned l = 0; l <= finest; ++l) {
+    const auto& cells = tree.cells(l);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!is_rep(l, i)) continue;
+      // Nearest representative proper ancestor: walk parent keys upward
+      // until one is indexed (the root always is, once emitted).
+      std::int32_t parent = -1;
+      if (l > 0) {
+        std::uint64_t key = cells[i].key;
+        for (unsigned al = l; al-- > 0;) {
+          key = parent_key<D>(key);
+          const auto it = index_of[al].find(key);
+          if (it != index_of[al].end()) {
+            parent = it->second;
+            break;
+          }
+        }
+      }
+      index_of[l].emplace(cells[i].key,
+                          static_cast<std::int32_t>(nodes_.size()));
+      nodes_.push_back(Node{l, cells[i].key, cells[i].min_particle, parent});
+    }
+  }
+}
+
+template <int D>
+core::CommTotals compressed_accumulation_totals(
+    const CompressedCellTree<D>& tree, const Partition& part,
+    const topo::Topology& net) {
+  core::CommTotals totals;
+  for (const auto& node : tree.nodes()) {
+    if (node.parent < 0) continue;
+    const auto& parent =
+        tree.nodes()[static_cast<std::size_t>(node.parent)];
+    totals.hops += net.distance(part.proc_of(node.min_particle),
+                                part.proc_of(parent.min_particle));
+    ++totals.count;
+  }
+  return totals;
+}
+
+template class CompressedCellTree<2>;
+template class CompressedCellTree<3>;
+template core::CommTotals compressed_accumulation_totals<2>(
+    const CompressedCellTree<2>&, const Partition&, const topo::Topology&);
+template core::CommTotals compressed_accumulation_totals<3>(
+    const CompressedCellTree<3>&, const Partition&, const topo::Topology&);
+
+}  // namespace sfc::fmm

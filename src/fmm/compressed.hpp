@@ -1,0 +1,70 @@
+// compressed.hpp — the compressed quadtree/octree (paper Section III,
+// after Hariharan & Aluru and Sundar et al.).
+//
+// The paper describes the spatial domain as a *compressed* quadtree: every
+// chain of internal cells with a single occupied child is collapsed to one
+// link. Representatives are the root, the occupied finest-level cells, and
+// every internal cell with two or more occupied children; each node's
+// parent pointer jumps to its nearest representative ancestor.
+//
+// For the communication model the collapse is exactly the removal of the
+// zero-hop accumulation traffic: along a singleton chain every cell has
+// the same lowest-particle owner, so the uncompressed model's chain links
+// contribute count but never hops. Hence the invariant (unit-tested):
+// compressed accumulation hops == uncompressed interpolation hops, with a
+// strictly smaller message count for any input with empty regions — i.e.
+// the *representation* changes ACD's denominator, a subtlety worth
+// surfacing when comparing against other implementations of the metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/partition.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+class CompressedCellTree {
+ public:
+  struct Node {
+    unsigned level;              ///< refinement level of the cell
+    std::uint64_t key;           ///< Morton key at that level
+    std::uint32_t min_particle;  ///< owner (lowest sorted particle inside)
+    std::int32_t parent;         ///< index into nodes(), -1 for the root
+  };
+
+  explicit CompressedCellTree(const CellTree<D>& tree);
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Compression ratio: uncompressed occupied cells / compressed nodes.
+  double compression(const CellTree<D>& tree) const noexcept {
+    return nodes_.empty() ? 1.0
+                          : static_cast<double>(tree.total_cells()) /
+                                static_cast<double>(nodes_.size());
+  }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Upward-accumulation communications on the compressed tree: one message
+/// per non-root node to its parent representative.
+template <int D>
+core::CommTotals compressed_accumulation_totals(
+    const CompressedCellTree<D>& tree, const Partition& part,
+    const topo::Topology& net);
+
+extern template class CompressedCellTree<2>;
+extern template class CompressedCellTree<3>;
+extern template core::CommTotals compressed_accumulation_totals<2>(
+    const CompressedCellTree<2>&, const Partition&, const topo::Topology&);
+extern template core::CommTotals compressed_accumulation_totals<3>(
+    const CompressedCellTree<3>&, const Partition&, const topo::Topology&);
+
+}  // namespace sfc::fmm

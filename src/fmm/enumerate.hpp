@@ -1,0 +1,99 @@
+// enumerate.hpp — visitor-style enumeration of the FMM communication sets.
+//
+// nfi_totals/ffi_totals reduce the communication sets to (hops, count)
+// pairs on their hot paths; extensions that need the individual messages —
+// link-contention analysis, hop histograms, trace export — use these
+// visitors instead. The tests pin the visitors to the reducers: both must
+// enumerate exactly the same communications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmm/cells.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/nfi.hpp"
+#include "fmm/occupancy.hpp"
+
+namespace sfc::fmm {
+
+/// Invoke fn(i, j) for every ordered near-field pair: particle i receives
+/// from particle j (both indices into the sorted particle vector).
+template <int D, typename Fn>
+void nfi_visit(const std::vector<Point<D>>& particles,
+               const OccupancyGrid<D>& grid, unsigned radius,
+               NeighborNorm norm, Fn&& fn) {
+  const std::int64_t side = 1ll << grid.level();
+  const std::int64_t r = radius;
+  Point<D> q{};
+  std::int64_t off[4] = {};  // D <= 4
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const Point<D>& x = particles[i];
+    for (int d = 0; d < D; ++d) off[d] = -r;
+    for (;;) {
+      bool zero = true;
+      bool in = true;
+      std::int64_t l1 = 0;
+      for (int d = 0; d < D; ++d) {
+        if (off[d] != 0) zero = false;
+        l1 += off[d] < 0 ? -off[d] : off[d];
+        const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+        if (v < 0 || v >= side) {
+          in = false;
+          break;
+        }
+        q[d] = static_cast<std::uint32_t>(v);
+      }
+      const bool within = norm == NeighborNorm::kChebyshev || l1 <= r;
+      if (!zero && in && within) {
+        const std::int32_t j = grid.particle_at(q);
+        if (j != OccupancyGrid<D>::kEmpty) {
+          fn(i, static_cast<std::size_t>(j));
+        }
+      }
+      int d = 0;
+      while (d < D && off[d] == r) off[d++] = -r;
+      if (d == D) break;
+      ++off[d];
+    }
+  }
+}
+
+enum class FfiComponent {
+  kInterpolation,  // child owner -> parent owner
+  kAnterpolation,  // parent owner -> child owner
+  kInteraction,    // interaction-list source owner -> cell owner
+};
+
+/// Invoke fn(from_particle, to_particle, component) for every far-field
+/// communication, in the same order ffi_totals counts them.
+template <int D, typename Fn>
+void ffi_visit(const CellTree<D>& tree, Fn&& fn) {
+  for (unsigned l = 1; l <= tree.finest_level(); ++l) {
+    const auto& cells = tree.cells(l);
+    for (const auto& cell : cells) {
+      const auto idx = tree.find(l - 1, parent_key<D>(cell.key));
+      const auto& parent = tree.cells(l - 1)[static_cast<std::size_t>(idx)];
+      fn(cell.min_particle, parent.min_particle,
+         FfiComponent::kInterpolation);
+      fn(parent.min_particle, cell.min_particle,
+         FfiComponent::kAnterpolation);
+    }
+  }
+  std::vector<Point<D>> il;
+  for (unsigned l = 2; l <= tree.finest_level(); ++l) {
+    const auto& cells = tree.cells(l);
+    for (const auto& cell : cells) {
+      const Point<D> c = morton_point<D>(cell.key);
+      interaction_list(c, l, il);
+      for (const Point<D>& d : il) {
+        const auto idx = tree.find(l, cell_key(d));
+        if (idx < 0) continue;
+        const auto& dc = tree.cells(l)[static_cast<std::size_t>(idx)];
+        fn(dc.min_particle, cell.min_particle, FfiComponent::kInteraction);
+      }
+    }
+  }
+}
+
+}  // namespace sfc::fmm

@@ -1,0 +1,172 @@
+#include "fmm/ffi.hpp"
+
+#include <algorithm>
+
+#include "fmm/cells.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+CellTree<D>::CellTree(const std::vector<Point<D>>& particles, unsigned level)
+    : finest_(level), levels_(level + 1) {
+  // Finest level: one entry per occupied cell, keyed by Morton code.
+  auto& finest = levels_[level];
+  finest.reserve(particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    finest.push_back(
+        Cell{cell_key(particles[i]), static_cast<std::uint32_t>(i)});
+  }
+  std::sort(finest.begin(), finest.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+  // Particles occupy distinct cells, but be robust: merge duplicates by
+  // minimum particle index (the list is key-sorted, not index-sorted).
+  auto dedup = [](std::vector<Cell>& cells) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+      if (w > 0 && cells[w - 1].key == cells[r].key) {
+        cells[w - 1].min_particle =
+            std::min(cells[w - 1].min_particle, cells[r].min_particle);
+      } else {
+        cells[w++] = cells[r];
+      }
+    }
+    cells.resize(w);
+  };
+  dedup(finest);
+
+  // Coarsen: the parent key is key >> D, and shifting preserves the sorted
+  // order, so each coarser level is one grouping pass.
+  for (unsigned l = level; l > 0; --l) {
+    const auto& fine = levels_[l];
+    auto& coarse = levels_[l - 1];
+    coarse.reserve(fine.size() / 2 + 1);
+    for (const Cell& c : fine) {
+      const std::uint64_t pk = parent_key<D>(c.key);
+      if (!coarse.empty() && coarse.back().key == pk) {
+        coarse.back().min_particle =
+            std::min(coarse.back().min_particle, c.min_particle);
+      } else {
+        coarse.push_back(Cell{pk, c.min_particle});
+      }
+    }
+  }
+
+  // Dense lookup tables (find() fast path) for the levels that fit the
+  // budget: one int32 per possible cell, up to 2^24 cells per level.
+  dense_.resize(levels_.size());
+  for (unsigned l = 0; l <= level; ++l) {
+    const unsigned bits = static_cast<unsigned>(D) * l;
+    if (bits > 24) break;
+    dense_[l].assign(1ull << bits, -1);
+    const auto& cells = levels_[l];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      dense_[l][cells[i].key] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+template <int D>
+std::int64_t CellTree<D>::find_sparse(unsigned level,
+                                      std::uint64_t key) const noexcept {
+  const auto& cells = levels_[level];
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), key,
+      [](const Cell& c, std::uint64_t k) { return c.key < k; });
+  if (it == cells.end() || it->key != key) return -1;
+  return it - cells.begin();
+}
+
+template <int D>
+std::size_t CellTree<D>::total_cells() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : levels_) n += l.size();
+  return n;
+}
+
+namespace {
+
+/// Interpolation hops for cells [lo, hi) of level `l` (l >= 1): each cell
+/// owner sends to its parent's owner.
+template <int D>
+core::CommTotals interp_range(const CellTree<D>& tree, const Partition& part,
+                              const topo::Topology& net, unsigned l,
+                              std::size_t lo, std::size_t hi) {
+  core::CommTotals totals;
+  const auto& cells = tree.cells(l);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto idx = tree.find(l - 1, parent_key<D>(cells[i].key));
+    // The parent of an occupied cell is always occupied.
+    const auto& parent = tree.cells(l - 1)[static_cast<std::size_t>(idx)];
+    totals.hops += net.distance(part.proc_of(cells[i].min_particle),
+                                part.proc_of(parent.min_particle));
+    ++totals.count;
+  }
+  return totals;
+}
+
+/// Interaction-list hops for cells [lo, hi) of level `l` (l >= 2).
+template <int D>
+core::CommTotals il_range(const CellTree<D>& tree, const Partition& part,
+                          const topo::Topology& net, unsigned l,
+                          std::size_t lo, std::size_t hi) {
+  core::CommTotals totals;
+  const auto& cells = tree.cells(l);
+  std::vector<Point<D>> il;
+  il.reserve(64);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Point<D> c = morton_point<D>(cells[i].key);
+    const topo::Rank owner = part.proc_of(cells[i].min_particle);
+    interaction_list(c, l, il);
+    for (const Point<D>& d : il) {
+      const auto idx = tree.find(l, cell_key(d));
+      if (idx < 0) continue;  // unoccupied cells do not communicate
+      const auto& dc = tree.cells(l)[static_cast<std::size_t>(idx)];
+      totals.hops += net.distance(part.proc_of(dc.min_particle), owner);
+      ++totals.count;
+    }
+  }
+  return totals;
+}
+
+template <int D, typename RangeFn>
+core::CommTotals reduce_level(util::ThreadPool* pool, std::size_t n,
+                              RangeFn fn) {
+  if (pool == nullptr || pool->size() <= 1 || n < 4096) {
+    return fn(std::size_t{0}, n);
+  }
+  return util::parallel_reduce_chunks(*pool, 0, n, 512, core::CommTotals{},
+                                      fn);
+}
+
+}  // namespace
+
+template <int D>
+FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
+                     const topo::Topology& net, util::ThreadPool* pool) {
+  FfiTotals totals;
+  for (unsigned l = 1; l <= tree.finest_level(); ++l) {
+    totals.interpolation += reduce_level<D>(
+        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
+          return interp_range<D>(tree, part, net, l, lo, hi);
+        });
+  }
+  // Anterpolation mirrors interpolation (parent -> child, same distances).
+  totals.anterpolation = totals.interpolation;
+
+  for (unsigned l = 2; l <= tree.finest_level(); ++l) {
+    totals.interaction += reduce_level<D>(
+        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
+          return il_range<D>(tree, part, net, l, lo, hi);
+        });
+  }
+  return totals;
+}
+
+template class CellTree<2>;
+template class CellTree<3>;
+template FfiTotals ffi_totals<2>(const CellTree<2>&, const Partition&,
+                                 const topo::Topology&, util::ThreadPool*);
+template FfiTotals ffi_totals<3>(const CellTree<3>&, const Partition&,
+                                 const topo::Topology&, util::ThreadPool*);
+
+}  // namespace sfc::fmm

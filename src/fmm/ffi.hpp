@@ -1,0 +1,100 @@
+// ffi.hpp — the far-field interaction (FFI) communication model.
+//
+// Paper Sections III–IV. The domain quadtree (octree in 3-D) is restricted
+// to its *occupied* cells: a cell at any resolution participates iff it
+// contains at least one particle. Each occupied cell is represented on the
+// network by an owner processor — by the paper's convention, the processor
+// holding the cell's lowest particle in the particle-order SFC's linear
+// ordering. Three communication families are counted:
+//
+//   * interpolation  — upward accumulation: every occupied non-root cell
+//     sends to its parent (child owner -> parent owner);
+//   * anterpolation  — downward accumulation: the mirror of interpolation
+//     (parent owner -> child owner), identical distances;
+//   * interaction lists — every occupied cell c receives from each occupied
+//     cell d in its FMM interaction list (owner(d) -> owner(c)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "fmm/partition.hpp"
+#include "sfc/point.hpp"
+#include "topology/topology.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::fmm {
+
+/// The occupied-cell hierarchy. Cells at each level are kept sorted by
+/// Morton key, so a parent's key is the child's key shifted right by D and
+/// coarsening is a single linear grouping pass.
+template <int D>
+class CellTree {
+ public:
+  struct Cell {
+    std::uint64_t key;           ///< Morton key of the cell at its level
+    std::uint32_t min_particle;  ///< smallest sorted-particle index inside
+  };
+
+  /// `particles` must be sorted by the particle-order SFC (the min_particle
+  /// fields implement the paper's lowest-particle ownership convention).
+  CellTree(const std::vector<Point<D>>& particles, unsigned level);
+
+  unsigned finest_level() const noexcept { return finest_; }
+
+  /// Occupied cells at `level` (0 = root), sorted by key.
+  const std::vector<Cell>& cells(unsigned level) const noexcept {
+    return levels_[level];
+  }
+
+  /// Index of `key` in cells(level), or -1 if that cell is unoccupied.
+  /// O(1) via a dense per-level table up to 2^24 cells per level, binary
+  /// search beyond (the interaction-list pass makes ~27 of these lookups
+  /// per occupied cell, so this is the FFI model's hottest operation).
+  std::int64_t find(unsigned level, std::uint64_t key) const noexcept {
+    if (level < dense_.size() && !dense_[level].empty()) {
+      return dense_[level][key];
+    }
+    return find_sparse(level, key);
+  }
+
+  /// Total occupied cells over all levels (root included).
+  std::size_t total_cells() const noexcept;
+
+ private:
+  std::int64_t find_sparse(unsigned level, std::uint64_t key) const noexcept;
+
+  unsigned finest_;
+  std::vector<std::vector<Cell>> levels_;  // index = level
+  // dense_[l][morton key] = index into levels_[l], or -1. Only built for
+  // levels whose full grid fits the memory budget.
+  std::vector<std::vector<std::int32_t>> dense_;
+};
+
+struct FfiTotals {
+  core::CommTotals interpolation;
+  core::CommTotals anterpolation;
+  core::CommTotals interaction;
+
+  core::CommTotals total() const noexcept {
+    return interpolation + anterpolation + interaction;
+  }
+};
+
+/// Evaluate the FFI model on a prepared cell tree.
+template <int D>
+FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
+                     const topo::Topology& net,
+                     util::ThreadPool* pool = nullptr);
+
+extern template class CellTree<2>;
+extern template class CellTree<3>;
+extern template FfiTotals ffi_totals<2>(const CellTree<2>&, const Partition&,
+                                        const topo::Topology&,
+                                        util::ThreadPool*);
+extern template FfiTotals ffi_totals<3>(const CellTree<3>&, const Partition&,
+                                        const topo::Topology&,
+                                        util::ThreadPool*);
+
+}  // namespace sfc::fmm

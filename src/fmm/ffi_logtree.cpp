@@ -1,0 +1,56 @@
+#include "fmm/ffi_logtree.hpp"
+
+#include <algorithm>
+
+#include "fmm/cells.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+std::vector<std::vector<topo::Rank>> quadrant_processor_lists(
+    const std::vector<Point<D>>& particles, unsigned level,
+    const Partition& part) {
+  std::vector<std::vector<topo::Rank>> lists(1u << D);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const Point<D> quadrant = cell_at_level(particles[i], level, 1);
+    lists[cell_key(quadrant)].push_back(part.proc_of(i));
+  }
+  for (auto& list : lists) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return lists;
+}
+
+template <int D>
+core::CommTotals logtree_accumulation_totals(
+    const std::vector<Point<D>>& particles, unsigned level,
+    const Partition& part, const topo::Topology& net) {
+  core::CommTotals totals;
+  const auto lists = quadrant_processor_lists<D>(particles, level, part);
+  constexpr std::size_t kArity = 1u << D;
+  for (const auto& procs : lists) {
+    for (std::size_t i = 1; i < procs.size(); ++i) {
+      const std::uint64_t d =
+          net.distance(procs[i], procs[(i - 1) / kArity]);
+      // One upward (interpolation) and one downward (anterpolation)
+      // message per tree edge.
+      totals.hops += 2 * d;
+      totals.count += 2;
+    }
+  }
+  return totals;
+}
+
+template core::CommTotals logtree_accumulation_totals<2>(
+    const std::vector<Point<2>>&, unsigned, const Partition&,
+    const topo::Topology&);
+template core::CommTotals logtree_accumulation_totals<3>(
+    const std::vector<Point<3>>&, unsigned, const Partition&,
+    const topo::Topology&);
+template std::vector<std::vector<topo::Rank>> quadrant_processor_lists<2>(
+    const std::vector<Point<2>>&, unsigned, const Partition&);
+template std::vector<std::vector<topo::Rank>> quadrant_processor_lists<3>(
+    const std::vector<Point<3>>&, unsigned, const Partition&);
+
+}  // namespace sfc::fmm

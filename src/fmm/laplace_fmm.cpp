@@ -1,0 +1,343 @@
+#include "fmm/laplace_fmm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "fmm/cells.hpp"
+#include "sfc/morton.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+using C = std::complex<double>;
+
+/// Center of cell `cell` (Morton-decoded coordinates) at `level`.
+C cell_center(const Point2& cell, unsigned level) {
+  const double inv = 1.0 / static_cast<double>(1u << level);
+  return {(cell[0] + 0.5) * inv, (cell[1] + 0.5) * inv};
+}
+
+}  // namespace
+
+std::vector<double> direct_potentials(const std::vector<Charge>& charges) {
+  const std::size_t n = charges.size();
+  std::vector<double> phi(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = charges[i].x - charges[j].x;
+      const double dy = charges[i].y - charges[j].y;
+      const double log_r = 0.5 * std::log(dx * dx + dy * dy);
+      phi[i] += charges[j].q * log_r;
+      phi[j] += charges[i].q * log_r;
+    }
+  }
+  return phi;
+}
+
+std::vector<Vec2> direct_fields(const std::vector<Charge>& charges) {
+  const std::size_t n = charges.size();
+  std::vector<Vec2> field(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = charges[i].x - charges[j].x;
+      const double dy = charges[i].y - charges[j].y;
+      const double inv_r2 = 1.0 / (dx * dx + dy * dy);
+      field[i].x += charges[j].q * dx * inv_r2;
+      field[i].y += charges[j].q * dy * inv_r2;
+      field[j].x -= charges[i].q * dx * inv_r2;
+      field[j].y -= charges[i].q * dy * inv_r2;
+    }
+  }
+  return field;
+}
+
+LaplaceFmm2D::LaplaceFmm2D(std::vector<Charge> charges,
+                           const FmmSolverConfig& config)
+    : config_(config),
+      terms_(config.terms),
+      leaf_level_(config.tree_level),
+      charges_(std::move(charges)) {
+  if (leaf_level_ < 2 || leaf_level_ > 10) {
+    throw std::invalid_argument("tree_level must be in [2, 10]");
+  }
+  if (terms_ < 1 || terms_ > 30) {
+    throw std::invalid_argument("terms must be in [1, 30]");
+  }
+  for (const Charge& c : charges_) {
+    if (c.x < 0.0 || c.x >= 1.0 || c.y < 0.0 || c.y >= 1.0) {
+      throw std::invalid_argument("charges must lie in the unit square");
+    }
+  }
+
+  // Pascal's triangle up to 2p+1 (needed by the M2L binomials).
+  const unsigned rows = 2 * terms_ + 2;
+  binom_.assign(static_cast<std::size_t>(rows) * rows, 0.0);
+  for (unsigned n = 0; n < rows; ++n) {
+    binom_[n * rows + 0] = 1.0;
+    for (unsigned k = 1; k <= n; ++k) {
+      binom_[n * rows + k] = binom_[(n - 1) * rows + k - 1] +
+                             (k <= n - 1 ? binom_[(n - 1) * rows + k] : 0.0);
+    }
+  }
+
+  multipole_.resize(leaf_level_ + 1);
+  local_.resize(leaf_level_ + 1);
+  for (unsigned l = 0; l <= leaf_level_; ++l) {
+    const std::size_t cells = 1ull << (2 * l);
+    multipole_[l].assign(cells * (terms_ + 1), C{});
+    local_[l].assign(cells * (terms_ + 1), C{});
+  }
+
+  build_tree(charges_);
+  upward_pass();
+  translate_pass();
+  downward_pass();
+  near_field_pass();
+}
+
+void LaplaceFmm2D::build_tree(const std::vector<Charge>& charges) {
+  const std::uint32_t side = 1u << leaf_level_;
+  const std::size_t leaves = 1ull << (2 * leaf_level_);
+  std::vector<std::uint64_t> leaf_of(charges.size());
+  leaf_offset_.assign(leaves + 1, 0);
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    auto cx = static_cast<std::uint32_t>(charges[i].x * side);
+    auto cy = static_cast<std::uint32_t>(charges[i].y * side);
+    if (cx >= side) cx = side - 1;  // guard against FP rounding at 1.0-eps
+    if (cy >= side) cy = side - 1;
+    leaf_of[i] = morton_index(make_point(cx, cy));
+    ++leaf_offset_[leaf_of[i] + 1];
+  }
+  for (std::size_t l = 0; l < leaves; ++l) {
+    leaf_offset_[l + 1] += leaf_offset_[l];
+  }
+  order_.resize(charges.size());
+  std::vector<std::uint32_t> cursor(leaf_offset_.begin(),
+                                    leaf_offset_.end() - 1);
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    order_[cursor[leaf_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void LaplaceFmm2D::upward_pass() {
+  const unsigned p = terms_;
+  // P2M: multipole of each occupied leaf about its center.
+  auto& leaf_m = multipole_[leaf_level_];
+  const std::size_t leaves = 1ull << (2 * leaf_level_);
+  for (std::size_t cell = 0; cell < leaves; ++cell) {
+    const std::uint32_t begin = leaf_offset_[cell];
+    const std::uint32_t end = leaf_offset_[cell + 1];
+    if (begin == end) continue;
+    const C zc = cell_center(morton_point<2>(cell), leaf_level_);
+    C* a = &leaf_m[cell * (p + 1)];
+    for (std::uint32_t ii = begin; ii < end; ++ii) {
+      const Charge& ch = charges_[order_[ii]];
+      const C u = C{ch.x, ch.y} - zc;
+      a[0] += ch.q;
+      C upow = u;
+      for (unsigned k = 1; k <= p; ++k) {
+        a[k] -= ch.q * upow / static_cast<double>(k);
+        upow *= u;
+      }
+    }
+    ++counts_.p2m;
+  }
+
+  // M2M: children -> parents, finest to coarsest.
+  for (unsigned l = leaf_level_; l > 0; --l) {
+    const auto& child_m = multipole_[l];
+    auto& parent_m = multipole_[l - 1];
+    const std::size_t cells = 1ull << (2 * l);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const C* a = &child_m[cell * (p + 1)];
+      bool empty = true;
+      for (unsigned k = 0; k <= p && empty; ++k) empty = a[k] == C{};
+      if (empty) continue;
+      const std::size_t parent = cell >> 2;
+      const C d = cell_center(morton_point<2>(cell), l) -
+                  cell_center(morton_point<2>(parent), l - 1);
+      C* b = &parent_m[parent * (p + 1)];
+      b[0] += a[0];
+      C dl = d;  // d^l
+      for (unsigned ll = 1; ll <= p; ++ll) {
+        C sum = -a[0] * dl / static_cast<double>(ll);
+        C dpow = dl;  // d^(ll-k) walked downward
+        for (unsigned k = 1; k <= ll; ++k) {
+          dpow /= d;  // now d^(ll-k)
+          sum += a[k] * dpow * binom(ll - 1, k - 1);
+        }
+        b[ll] += sum;
+        dl *= d;
+      }
+      ++counts_.m2m;
+    }
+  }
+}
+
+void LaplaceFmm2D::translate_pass() {
+  const unsigned p = terms_;
+  std::vector<Point2> il;
+  for (unsigned l = 2; l <= leaf_level_; ++l) {
+    const auto& m = multipole_[l];
+    auto& loc = local_[l];
+    const std::size_t cells = 1ull << (2 * l);
+    for (std::size_t target = 0; target < cells; ++target) {
+      const Point2 tc = morton_point<2>(target);
+      const C zl = cell_center(tc, l);
+      C* b = &loc[target * (p + 1)];
+      interaction_list(tc, l, il);
+      for (const Point2& sc : il) {
+        const std::size_t source = cell_key(sc);
+        const C* a = &m[source * (p + 1)];
+        bool empty = true;
+        for (unsigned k = 0; k <= p && empty; ++k) empty = a[k] == C{};
+        if (empty) continue;
+
+        const C d = cell_center(sc, l) - zl;
+        // b_0 += a_0 log(-d) + sum_k a_k (-1)^k / d^k
+        C acc = a[0] * std::log(-d);
+        C inv_dk = 1.0 / d;  // 1/d^k, walked upward
+        double sign = -1.0;
+        for (unsigned k = 1; k <= p; ++k) {
+          acc += a[k] * sign * inv_dk;
+          inv_dk /= d;
+          sign = -sign;
+        }
+        b[0] += acc;
+        // b_l += -a_0/(l d^l) + d^-l sum_k a_k (-1)^k C(l+k-1,k-1) / d^k
+        C inv_dl = 1.0 / d;  // 1/d^l
+        for (unsigned ll = 1; ll <= p; ++ll) {
+          C sum = -a[0] / static_cast<double>(ll);
+          C inv = 1.0 / d;
+          double s = -1.0;
+          for (unsigned k = 1; k <= p; ++k) {
+            sum += a[k] * s * binom(ll + k - 1, k - 1) * inv;
+            inv /= d;
+            s = -s;
+          }
+          b[ll] += sum * inv_dl;
+          inv_dl /= d;
+        }
+        ++counts_.m2l;
+      }
+    }
+  }
+}
+
+void LaplaceFmm2D::downward_pass() {
+  const unsigned p = terms_;
+  for (unsigned l = 2; l < leaf_level_; ++l) {
+    const auto& parent_loc = local_[l];
+    auto& child_loc = local_[l + 1];
+    const std::size_t cells = 1ull << (2 * l);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const C* b = &parent_loc[cell * (p + 1)];
+      bool empty = true;
+      for (unsigned k = 0; k <= p && empty; ++k) empty = b[k] == C{};
+      if (empty) continue;
+      const C zp = cell_center(morton_point<2>(cell), l);
+      for (std::size_t j = 0; j < 4; ++j) {
+        const std::size_t child = (cell << 2) | j;
+        const C d = cell_center(morton_point<2>(child), l + 1) - zp;
+        C* out = &child_loc[child * (p + 1)];
+        // Shift the polynomial: out_l += sum_{k>=l} b_k C(k,l) d^(k-l).
+        for (unsigned ll = 0; ll <= p; ++ll) {
+          C sum{};
+          C dpow = 1.0;
+          for (unsigned k = ll; k <= p; ++k) {
+            sum += b[k] * binom(k, ll) * dpow;
+            dpow *= d;
+          }
+          out[ll] += sum;
+        }
+        ++counts_.l2l;
+      }
+    }
+  }
+}
+
+void LaplaceFmm2D::near_field_pass() {
+  const unsigned p = terms_;
+  potentials_.assign(charges_.size(), 0.0);
+  fields_.assign(charges_.size(), Vec2{});
+  const std::size_t leaves = 1ull << (2 * leaf_level_);
+  const auto& leaf_loc = local_[leaf_level_];
+  std::vector<Point2> nbrs;
+
+  for (std::size_t cell = 0; cell < leaves; ++cell) {
+    const std::uint32_t begin = leaf_offset_[cell];
+    const std::uint32_t end = leaf_offset_[cell + 1];
+    if (begin == end) continue;
+    const Point2 cc = morton_point<2>(cell);
+    const C zl = cell_center(cc, leaf_level_);
+    const C* b = &leaf_loc[cell * (p + 1)];
+
+    // L2P: evaluate the local expansion and its complex derivative at
+    // every charge (Horner). For analytic W, grad phi = (Re W', -Im W').
+    for (std::uint32_t ii = begin; ii < end; ++ii) {
+      const Charge& ch = charges_[order_[ii]];
+      const C u = C{ch.x, ch.y} - zl;
+      C val = b[p];
+      C dval{};
+      for (unsigned k = p; k > 0; --k) {
+        dval = dval * u + val;
+        val = val * u + b[k - 1];
+      }
+      potentials_[order_[ii]] += val.real();
+      fields_[order_[ii]].x += dval.real();
+      fields_[order_[ii]].y -= dval.imag();
+      ++counts_.l2p;
+    }
+
+    // P2P within the cell (each unordered pair once).
+    for (std::uint32_t ii = begin; ii < end; ++ii) {
+      for (std::uint32_t jj = ii + 1; jj < end; ++jj) {
+        const Charge& a = charges_[order_[ii]];
+        const Charge& c = charges_[order_[jj]];
+        const double dx = a.x - c.x;
+        const double dy = a.y - c.y;
+        const double r2 = dx * dx + dy * dy;
+        const double log_r = 0.5 * std::log(r2);
+        const double inv_r2 = 1.0 / r2;
+        potentials_[order_[ii]] += c.q * log_r;
+        potentials_[order_[jj]] += a.q * log_r;
+        fields_[order_[ii]].x += c.q * dx * inv_r2;
+        fields_[order_[ii]].y += c.q * dy * inv_r2;
+        fields_[order_[jj]].x -= a.q * dx * inv_r2;
+        fields_[order_[jj]].y -= a.q * dy * inv_r2;
+        ++counts_.p2p_pairs;
+      }
+    }
+
+    // P2P with each neighbor cell; visit each unordered cell pair once by
+    // only taking neighbors with a larger Morton key.
+    neighbors(cc, leaf_level_, nbrs);
+    for (const Point2& nb : nbrs) {
+      const std::size_t ncell = cell_key(nb);
+      if (ncell <= cell) continue;
+      const std::uint32_t nb_begin = leaf_offset_[ncell];
+      const std::uint32_t nb_end = leaf_offset_[ncell + 1];
+      for (std::uint32_t ii = begin; ii < end; ++ii) {
+        const Charge& a = charges_[order_[ii]];
+        for (std::uint32_t jj = nb_begin; jj < nb_end; ++jj) {
+          const Charge& c = charges_[order_[jj]];
+          const double dx = a.x - c.x;
+          const double dy = a.y - c.y;
+          const double r2 = dx * dx + dy * dy;
+          const double log_r = 0.5 * std::log(r2);
+          const double inv_r2 = 1.0 / r2;
+          potentials_[order_[ii]] += c.q * log_r;
+          potentials_[order_[jj]] += a.q * log_r;
+          fields_[order_[ii]].x += c.q * dx * inv_r2;
+          fields_[order_[ii]].y += c.q * dy * inv_r2;
+          fields_[order_[jj]].x -= a.q * dx * inv_r2;
+          fields_[order_[jj]].y -= a.q * dy * inv_r2;
+          ++counts_.p2p_pairs;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sfc::fmm

@@ -1,0 +1,127 @@
+#include "fmm/nbody.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfc::fmm {
+
+NbodyIntegrator::NbodyIntegrator(std::vector<Charge> bodies,
+                                 std::vector<Vec2> velocities,
+                                 const NbodyConfig& config)
+    : config_(config),
+      bodies_(std::move(bodies)),
+      velocities_(std::move(velocities)) {
+  if (config_.dt <= 0.0) {
+    throw std::invalid_argument("dt must be positive");
+  }
+  for (const Charge& b : bodies_) {
+    if (b.q <= 0.0) {
+      throw std::invalid_argument("n-body masses must be positive");
+    }
+  }
+  velocities_.resize(bodies_.size(), Vec2{});
+  accel_ = accelerations();
+}
+
+std::vector<Vec2> NbodyIntegrator::accelerations() const {
+  std::vector<Vec2> field;
+  if (config_.use_fmm && bodies_.size() > 16) {
+    const LaplaceFmm2D solver(bodies_, config_.fmm);
+    field = solver.fields();
+  } else {
+    field = direct_fields(bodies_);
+  }
+  // Attractive convention: a_i = -E_i (mass cancels: F = -m E, a = F / m).
+  for (auto& f : field) {
+    f.x = -f.x;
+    f.y = -f.y;
+  }
+  return field;
+}
+
+void NbodyIntegrator::apply_walls() {
+  if (!config_.reflect_walls) return;
+  constexpr double kLo = 1e-12;
+  constexpr double kHi = 1.0 - 1e-12;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    auto reflect = [&](double& x, double& v) {
+      if (x < kLo) {
+        x = 2.0 * kLo - x;
+        v = -v;
+        ++bounces_;
+      } else if (x > kHi) {
+        x = 2.0 * kHi - x;
+        v = -v;
+        ++bounces_;
+      }
+    };
+    reflect(bodies_[i].x, velocities_[i].x);
+    reflect(bodies_[i].y, velocities_[i].y);
+  }
+}
+
+void NbodyIntegrator::step(unsigned n) {
+  const double dt = config_.dt;
+  for (unsigned s = 0; s < n; ++s) {
+    // Kick-drift-kick; accel_ holds a(x_t) from the previous step.
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      velocities_[i].x += 0.5 * dt * accel_[i].x;
+      velocities_[i].y += 0.5 * dt * accel_[i].y;
+      bodies_[i].x += dt * velocities_[i].x;
+      bodies_[i].y += dt * velocities_[i].y;
+    }
+    apply_walls();
+    accel_ = accelerations();
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      velocities_[i].x += 0.5 * dt * accel_[i].x;
+      velocities_[i].y += 0.5 * dt * accel_[i].y;
+    }
+    ++steps_;
+  }
+}
+
+void NbodyIntegrator::reverse() {
+  for (auto& v : velocities_) {
+    v.x = -v.x;
+    v.y = -v.y;
+  }
+}
+
+double NbodyIntegrator::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    e += 0.5 * bodies_[i].q *
+         (velocities_[i].x * velocities_[i].x +
+          velocities_[i].y * velocities_[i].y);
+  }
+  return e;
+}
+
+double NbodyIntegrator::potential_energy() const {
+  std::vector<double> phi;
+  if (config_.use_fmm && bodies_.size() > 16) {
+    const LaplaceFmm2D solver(bodies_, config_.fmm);
+    phi = solver.potentials();
+  } else {
+    phi = direct_potentials(bodies_);
+  }
+  // Attractive convention (a = -E): pair energy +m_i m_j ln r counted
+  // once, so U = +1/2 sum m_i phi_i (ln r grows with separation, so
+  // minimizing U pulls bodies together).
+  double u = 0.0;
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    u += 0.5 * bodies_[i].q * phi[i];
+  }
+  return u;
+}
+
+Vec2 NbodyIntegrator::momentum() const {
+  Vec2 p{};
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    p.x += bodies_[i].q * velocities_[i].x;
+    p.y += bodies_[i].q * velocities_[i].y;
+  }
+  return p;
+}
+
+}  // namespace sfc::fmm

@@ -1,0 +1,86 @@
+#include "fmm/nfi.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+/// Accumulate the near-field communications of particles [lo, hi).
+template <int D>
+core::CommTotals nfi_range(const std::vector<Point<D>>& particles,
+                           const OccupancyGrid<D>& grid, const Partition& part,
+                           const topo::Topology& net, unsigned radius,
+                           NeighborNorm norm, std::size_t lo, std::size_t hi) {
+  core::CommTotals totals;
+  const std::int64_t side = 1ll << grid.level();
+  const std::int64_t r = radius;
+
+  Point<D> q{};
+  std::int64_t off[4] = {};  // D <= 4 (static_assert in Point)
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Point<D>& x = particles[i];
+    const topo::Rank px = part.proc_of(i);
+    // Odometer over the (2r+1)^D window around x.
+    for (int d = 0; d < D; ++d) off[d] = -r;
+    for (;;) {
+      bool zero = true;
+      bool in = true;
+      std::int64_t l1 = 0;
+      for (int d = 0; d < D; ++d) {
+        if (off[d] != 0) zero = false;
+        l1 += off[d] < 0 ? -off[d] : off[d];
+        const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+        if (v < 0 || v >= side) {
+          in = false;
+          break;
+        }
+        q[d] = static_cast<std::uint32_t>(v);
+      }
+      const bool within =
+          norm == NeighborNorm::kChebyshev || l1 <= r;  // window is the L∞ ball
+      if (!zero && in && within) {
+        const std::int32_t j = grid.particle_at(q);
+        if (j != OccupancyGrid<D>::kEmpty) {
+          totals.hops +=
+              net.distance(px, part.proc_of(static_cast<std::size_t>(j)));
+          ++totals.count;
+        }
+      }
+      int d = 0;
+      while (d < D && off[d] == r) off[d++] = -r;
+      if (d == D) break;
+      ++off[d];
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
+template <int D>
+core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
+                            const OccupancyGrid<D>& grid,
+                            const Partition& part, const topo::Topology& net,
+                            unsigned radius, NeighborNorm norm,
+                            util::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return nfi_range<D>(particles, grid, part, net, radius, norm, 0,
+                        particles.size());
+  }
+  return util::parallel_reduce_chunks(
+      *pool, 0, particles.size(), 1024, core::CommTotals{},
+      [&](std::size_t lo, std::size_t hi) {
+        return nfi_range<D>(particles, grid, part, net, radius, norm, lo, hi);
+      });
+}
+
+template core::CommTotals nfi_totals<2>(const std::vector<Point<2>>&,
+                                        const OccupancyGrid<2>&,
+                                        const Partition&,
+                                        const topo::Topology&, unsigned,
+                                        NeighborNorm, util::ThreadPool*);
+template core::CommTotals nfi_totals<3>(const std::vector<Point<3>>&,
+                                        const OccupancyGrid<3>&,
+                                        const Partition&,
+                                        const topo::Topology&, unsigned,
+                                        NeighborNorm, util::ThreadPool*);
+
+}  // namespace sfc::fmm

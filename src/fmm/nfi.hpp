@@ -1,0 +1,51 @@
+// nfi.hpp — the near-field interaction (NFI) communication model.
+//
+// Paper Section IV: for each particle x, every particle y within radius r
+// induces one communication from the processor holding x to the processor
+// holding y; its cost is the network hop distance (zero when co-located,
+// still counted). The default neighborhood is the Chebyshev ball —
+// "neighbors which share an edge/corner", at most 8 for r=1 in 2-D — with
+// the Manhattan ball selectable for ANNS-style studies.
+#pragma once
+
+#include <vector>
+
+#include "core/totals.hpp"
+#include "fmm/occupancy.hpp"
+#include "fmm/partition.hpp"
+#include "sfc/point.hpp"
+#include "topology/topology.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::fmm {
+
+enum class NeighborNorm {
+  kChebyshev,  // edge/corner neighbors (FMM near field)
+  kManhattan,  // L1 ball (Xu–Tirthapura nearest-neighbor convention)
+};
+
+/// Sum/count of hop distances over all ordered near-field pairs.
+/// `particles` must be the SFC-sorted list that `grid` and `part` were
+/// built from. Runs on `pool` when provided (deterministic either way).
+template <int D>
+core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
+                            const OccupancyGrid<D>& grid,
+                            const Partition& part, const topo::Topology& net,
+                            unsigned radius,
+                            NeighborNorm norm = NeighborNorm::kChebyshev,
+                            util::ThreadPool* pool = nullptr);
+
+extern template core::CommTotals nfi_totals<2>(const std::vector<Point<2>>&,
+                                               const OccupancyGrid<2>&,
+                                               const Partition&,
+                                               const topo::Topology&, unsigned,
+                                               NeighborNorm,
+                                               util::ThreadPool*);
+extern template core::CommTotals nfi_totals<3>(const std::vector<Point<3>>&,
+                                               const OccupancyGrid<3>&,
+                                               const Partition&,
+                                               const topo::Topology&, unsigned,
+                                               NeighborNorm,
+                                               util::ThreadPool*);
+
+}  // namespace sfc::fmm

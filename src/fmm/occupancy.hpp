@@ -1,0 +1,60 @@
+// occupancy.hpp — finest-level cell -> particle lookup.
+//
+// The near-field pass probes every cell in a Chebyshev window around each
+// particle, so the lookup is the hottest operation in the NFI model. For
+// grids up to 2^26 cells we store a dense array (4 bytes/cell); beyond
+// that we fall back to a hash map keyed by the packed cell.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sfc/point.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+class OccupancyGrid {
+ public:
+  static constexpr std::int32_t kEmpty = -1;
+  static constexpr unsigned kDenseBits = 26;  // dense storage up to 256 MiB/4
+
+  /// `particles` must occupy distinct cells (the samplers guarantee it);
+  /// the stored value is the particle's position in the given vector, so
+  /// build this from the SFC-sorted particle list.
+  OccupancyGrid(const std::vector<Point<D>>& particles, unsigned level)
+      : level_(level) {
+    const std::uint64_t cells = grid_size<D>(level);
+    dense_ = static_cast<unsigned>(D) * level <= kDenseBits;
+    if (dense_) {
+      grid_.assign(cells, kEmpty);
+      for (std::size_t i = 0; i < particles.size(); ++i) {
+        grid_[pack(particles[i], level_)] = static_cast<std::int32_t>(i);
+      }
+    } else {
+      map_.reserve(particles.size() * 2);
+      for (std::size_t i = 0; i < particles.size(); ++i) {
+        map_.emplace(pack(particles[i], level_), static_cast<std::int32_t>(i));
+      }
+    }
+  }
+
+  unsigned level() const noexcept { return level_; }
+
+  /// Sorted-particle index occupying `cell`, or kEmpty.
+  std::int32_t particle_at(const Point<D>& cell) const noexcept {
+    const std::uint64_t key = pack(cell, level_);
+    if (dense_) return grid_[key];
+    const auto it = map_.find(key);
+    return it == map_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  unsigned level_;
+  bool dense_;
+  std::vector<std::int32_t> grid_;
+  std::unordered_map<std::uint64_t, std::int32_t> map_;
+};
+
+}  // namespace sfc::fmm

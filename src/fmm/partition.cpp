@@ -1,0 +1,49 @@
+#include "fmm/partition.hpp"
+
+#include <numeric>
+
+namespace sfc::fmm {
+
+Partition Partition::weighted(const std::vector<double>& weights,
+                              topo::Rank processors) {
+  assert(processors > 0);
+  Partition part(weights.size(), processors);
+  part.begins_.assign(processors + 1u, weights.size());
+  part.begins_[0] = 0;
+
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double ideal = total / static_cast<double>(processors);
+
+  // Greedy sweep: close chunk r as soon as the running weight reaches
+  // (r+1) * ideal, but never let a later chunk start past the end (ranks
+  // beyond the cut simply receive empty ranges).
+  double running = 0.0;
+  topo::Rank next_cut = 1;
+  for (std::size_t i = 0; i < weights.size() && next_cut < processors; ++i) {
+    running += weights[i];
+    while (next_cut < processors &&
+           running >= ideal * static_cast<double>(next_cut)) {
+      part.begins_[next_cut++] = i + 1;
+    }
+  }
+  // Any unassigned cuts collapse to the end (empty chunks).
+  return part;
+}
+
+double Partition::imbalance(const std::vector<double>& weights) const {
+  assert(weights.size() == n_);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  const double ideal = total / static_cast<double>(p_);
+  double heaviest = 0.0;
+  for (topo::Rank r = 0; r < p_; ++r) {
+    double w = 0.0;
+    for (std::size_t i = chunk_begin(r); i < chunk_begin(r + 1); ++i) {
+      w += weights[i];
+    }
+    heaviest = std::max(heaviest, w);
+  }
+  return heaviest / ideal;
+}
+
+}  // namespace sfc::fmm

@@ -1,0 +1,89 @@
+// partition.hpp — chunked distribution of SFC-ordered particles.
+//
+// Paper Section IV, steps 2 and 4: the linearly ordered particles are cut
+// into p consecutive chunks of n/p each, and chunk i goes to processor i.
+// When p does not divide n the first (n mod p) chunks take one extra
+// particle, so chunk sizes differ by at most one; when p > n the first n
+// processors get one particle each and the rest stay empty.
+//
+// Partition::weighted implements the SFC load-balancing variant of Aluru &
+// Sevilgen (paper reference [4]): chunks are still consecutive in the
+// curve order, but the cut points equalize per-particle *work* instead of
+// particle counts — the standard way SFC partitioning is deployed when
+// computational load varies across the domain.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace sfc::fmm {
+
+class Partition {
+ public:
+  /// Equal-count chunking (the paper's step 2).
+  Partition(std::size_t particles, topo::Rank processors)
+      : n_(particles), p_(processors) {
+    assert(processors > 0);
+    quot_ = n_ / p_;
+    rem_ = n_ % p_;
+  }
+
+  /// Weight-balanced chunking: greedy cuts at the points where the running
+  /// weight passes each multiple of total/p. weights[i] belongs to sorted
+  /// particle i and must be non-negative.
+  static Partition weighted(const std::vector<double>& weights,
+                            topo::Rank processors);
+
+  std::size_t particles() const noexcept { return n_; }
+  topo::Rank processors() const noexcept { return p_; }
+  bool is_weighted() const noexcept { return !begins_.empty(); }
+
+  /// Processor owning the particle at sorted position `i`.
+  topo::Rank proc_of(std::size_t i) const noexcept {
+    assert(i < n_);
+    if (!begins_.empty()) {
+      // First chunk whose begin exceeds i, minus one.
+      const auto it =
+          std::upper_bound(begins_.begin(), begins_.end(), i);
+      return static_cast<topo::Rank>(it - begins_.begin() - 1);
+    }
+    const std::size_t big = rem_ * (quot_ + 1);  // particles in oversized chunks
+    if (quot_ == 0 || i < big) {
+      return static_cast<topo::Rank>(i / (quot_ + 1));
+    }
+    return static_cast<topo::Rank>(rem_ + (i - big) / quot_);
+  }
+
+  /// Sorted position of processor r's first particle (== end of r-1's
+  /// range). r may equal processors() to get n as the final sentinel.
+  std::size_t chunk_begin(topo::Rank r) const noexcept {
+    assert(r <= p_);
+    if (!begins_.empty()) return begins_[r];
+    const std::size_t rr = r;
+    if (rr <= rem_) return rr * (quot_ + 1);
+    return rem_ * (quot_ + 1) + (rr - rem_) * quot_;
+  }
+
+  std::size_t chunk_size(topo::Rank r) const noexcept {
+    return chunk_begin(r + 1) - chunk_begin(r);
+  }
+
+  /// Load imbalance of this partition under the given weights: the
+  /// heaviest chunk's weight divided by the ideal (total/p). 1.0 is
+  /// perfect balance; equal-count chunking of skewed weights exceeds it.
+  double imbalance(const std::vector<double>& weights) const;
+
+ private:
+  std::size_t n_;
+  topo::Rank p_;
+  std::size_t quot_ = 0;
+  std::size_t rem_ = 0;
+  std::vector<std::size_t> begins_;  // weighted mode: p+1 cut positions
+};
+
+}  // namespace sfc::fmm

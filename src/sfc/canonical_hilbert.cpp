@@ -1,0 +1,79 @@
+#include "sfc/canonical_hilbert.hpp"
+
+namespace sfc {
+
+// Quadrant layout per refinement step (see recursive_ref.cpp):
+//   rank 0: lower-left,  transposed        (x,y) <- (y,x)
+//   rank 1: upper-left,  identity
+//   rank 2: upper-right, identity
+//   rank 3: lower-right, anti-transposed   (x,y) <- (s-1-y, s-1-x)
+
+std::uint64_t canonical_hilbert_index(Point2 p, unsigned level) noexcept {
+  std::uint64_t idx = 0;
+  std::uint32_t x = p[0];
+  std::uint32_t y = p[1];
+  for (unsigned k = level; k > 0; --k) {
+    const std::uint32_t s = 1u << (k - 1);
+    const bool qx = x >= s;
+    const bool qy = y >= s;
+    const std::uint32_t lx = x & (s - 1);
+    const std::uint32_t ly = y & (s - 1);
+    std::uint32_t rank;
+    if (!qx && !qy) {
+      rank = 0;
+      x = ly;
+      y = lx;
+    } else if (!qx) {
+      rank = 1;
+      x = lx;
+      y = ly;
+    } else if (qy) {
+      rank = 2;
+      x = lx;
+      y = ly;
+    } else {
+      rank = 3;
+      x = s - 1 - ly;
+      y = s - 1 - lx;
+    }
+    idx = (idx << 2) | rank;
+  }
+  return idx;
+}
+
+Point2 canonical_hilbert_point(std::uint64_t idx, unsigned level) noexcept {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  // Unwind from the innermost refinement outward: digit k-1 (counting from
+  // the least significant base-4 digit) places the point within its
+  // level-k quadrant.
+  for (unsigned k = 1; k <= level; ++k) {
+    const std::uint32_t s = 1u << (k - 1);
+    const auto rank = static_cast<std::uint32_t>((idx >> (2 * (k - 1))) & 3u);
+    switch (rank) {
+      case 0: {  // transpose back into the lower-left quadrant
+        const std::uint32_t t = x;
+        x = y;
+        y = t;
+        break;
+      }
+      case 1:  // upper-left
+        y += s;
+        break;
+      case 2:  // upper-right
+        x += s;
+        y += s;
+        break;
+      default: {  // anti-transpose into the lower-right quadrant
+        const std::uint32_t nx = 2 * s - 1 - y;
+        const std::uint32_t ny = s - 1 - x;
+        x = nx;
+        y = ny;
+        break;
+      }
+    }
+  }
+  return make_point(x, y);
+}
+
+}  // namespace sfc

@@ -1,0 +1,24 @@
+// canonical_hilbert.hpp — the 2-D Hilbert curve in a pinned orientation.
+//
+// Skilling's algorithm (sfc/hilbert.hpp) produces a valid Hilbert curve up
+// to a symmetry of the square; for constructions that need to know exactly
+// where the curve enters and exits — the Moore curve glues four copies by
+// their endpoints — we provide an O(level) per-point implementation of the
+// *canonical* orientation: H_k enters at (0,0) and exits at (2^k - 1, 0).
+// It is the closed form of the recursive reference (sfc/recursive_ref.hpp)
+// and is verified against it in the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/point.hpp"
+
+namespace sfc {
+
+/// Index of `p` on the canonical level-k Hilbert curve. O(level).
+std::uint64_t canonical_hilbert_index(Point2 p, unsigned level) noexcept;
+
+/// Inverse of canonical_hilbert_index. O(level).
+Point2 canonical_hilbert_point(std::uint64_t idx, unsigned level) noexcept;
+
+}  // namespace sfc

@@ -1,0 +1,93 @@
+// curve.hpp — the space-filling-curve interface.
+//
+// A discrete space-filling curve at refinement level k is a bijection
+// between the (2^k)^D lattice points and the index range [0, (2^k)^D).
+// The paper deploys these bijections in two roles:
+//   * particle-order: linearize the input points before chunked
+//     distribution onto processors, and
+//   * processor-order: assign ranks to the processors of a mesh/torus.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfc/point.hpp"
+
+namespace sfc {
+
+/// The curve families studied in the paper (first four) plus extensions.
+enum class CurveKind {
+  kHilbert,      // recursive, rotated quadrants (paper Fig. 1a)
+  kMorton,       // Z-curve, bit interleaving (paper Fig. 1b)
+  kGray,         // Z codes ordered by the binary-reflected Gray code (Fig. 1c)
+  kRowMajor,     // scan rows bottom-to-top
+  kColumnMajor,  // extension: scan columns (the paper's literal description)
+  kSnake,        // extension: boustrophedon scan (continuous row-major)
+  kMoore,        // extension: closed-loop Hilbert (2-D only)
+};
+
+/// The four curves the paper studies, in the order its tables list them.
+inline constexpr CurveKind kPaperCurves[] = {
+    CurveKind::kHilbert, CurveKind::kMorton, CurveKind::kGray,
+    CurveKind::kRowMajor};
+
+/// Every implemented curve (2-D).
+inline constexpr CurveKind kAllCurves[] = {
+    CurveKind::kHilbert,     CurveKind::kMorton, CurveKind::kGray,
+    CurveKind::kRowMajor,    CurveKind::kColumnMajor,
+    CurveKind::kSnake,       CurveKind::kMoore};
+
+/// Curves available in three dimensions (the Moore construction is 2-D).
+inline constexpr CurveKind kCurves3D[] = {
+    CurveKind::kHilbert,     CurveKind::kMorton, CurveKind::kGray,
+    CurveKind::kRowMajor,    CurveKind::kColumnMajor,
+    CurveKind::kSnake};
+
+std::string_view curve_name(CurveKind kind) noexcept;
+
+/// Parse a case-insensitive curve name ("hilbert", "z", "morton", "gray",
+/// "row", "rowmajor", "column", "snake"); nullopt if unrecognized.
+std::optional<CurveKind> parse_curve(std::string_view name) noexcept;
+
+/// Abstract D-dimensional space-filling curve.
+template <int D>
+class Curve {
+ public:
+  virtual ~Curve() = default;
+
+  /// Linear position of `p` on the level-k curve; p must lie on the grid.
+  virtual std::uint64_t index(const Point<D>& p, unsigned level) const = 0;
+
+  /// Inverse mapping: the point at linear position `idx`.
+  virtual Point<D> point(std::uint64_t idx, unsigned level) const = 0;
+
+  virtual CurveKind kind() const noexcept = 0;
+  std::string_view name() const noexcept { return curve_name(kind()); }
+};
+
+using Curve2 = Curve<2>;
+using Curve3 = Curve<3>;
+
+/// Factory for the concrete curves.
+template <int D>
+std::unique_ptr<Curve<D>> make_curve(CurveKind kind);
+
+extern template std::unique_ptr<Curve<2>> make_curve<2>(CurveKind);
+extern template std::unique_ptr<Curve<3>> make_curve<3>(CurveKind);
+
+/// Convenience: curve indices for a batch of points.
+template <int D>
+std::vector<std::uint64_t> indices_of(const Curve<D>& curve,
+                                      const std::vector<Point<D>>& points,
+                                      unsigned level) {
+  std::vector<std::uint64_t> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(curve.index(p, level));
+  return out;
+}
+
+}  // namespace sfc

@@ -1,0 +1,41 @@
+// gray.hpp — the Gray order, paper Fig. 1(c).
+//
+// "The Gray order takes the Z-curve representations of each point and
+// orders them by the Gray code": the point visited at position i is the
+// one whose Morton code equals gray(i) = i ^ (i >> 1), so consecutive
+// points differ in exactly one Morton bit. Hence
+//   index(p) = gray^{-1}(morton(p)),   point(i) = morton^{-1}(gray(i)).
+//
+// Unlike Hilbert, a single Morton-bit flip can be a long geometric jump, so
+// the curve is not continuous — but it is "recursive" in the paper's sense:
+// G_{k+1} visits quadrants LL, LR, UR, UL, with the quadrants at odd
+// positions traversed in reverse.
+#pragma once
+
+#include <cassert>
+
+#include "sfc/curve.hpp"
+#include "sfc/morton.hpp"
+#include "util/bits.hpp"
+
+namespace sfc {
+
+template <int D>
+class GrayCurve final : public Curve<D> {
+ public:
+  std::uint64_t index(const Point<D>& p, unsigned level) const override {
+    assert(level <= max_level<D>() && in_grid(p, level));
+    (void)level;
+    return util::gray_decode(morton_index(p));
+  }
+
+  Point<D> point(std::uint64_t idx, unsigned level) const override {
+    assert(level <= max_level<D>() && idx < grid_size<D>(level));
+    (void)level;
+    return morton_point<D>(util::gray_encode(idx));
+  }
+
+  CurveKind kind() const noexcept override { return CurveKind::kGray; }
+};
+
+}  // namespace sfc

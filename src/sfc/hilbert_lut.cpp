@@ -1,0 +1,131 @@
+#include "sfc/hilbert_lut.hpp"
+
+namespace sfc {
+namespace {
+
+// A square symmetry t(x, y) = F(S(x, y)): optional coordinate swap S
+// followed by per-axis complements F. Encoded in 3 bits:
+// state = swap << 2 | flip_x << 1 | flip_y.
+constexpr unsigned kStates = 8;
+
+/// Apply a symmetry to single-bit coordinates.
+constexpr void apply(unsigned state, unsigned& x, unsigned& y) {
+  if (state & 4u) {
+    const unsigned t = x;
+    x = y;
+    y = t;
+  }
+  x ^= (state >> 1) & 1u;
+  y ^= state & 1u;
+}
+
+/// Composition c = a after b (c(p) = a(b(p))).
+constexpr unsigned compose(unsigned a, unsigned b) {
+  const unsigned sa = (a >> 2) & 1u;
+  const unsigned sb = (b >> 2) & 1u;
+  unsigned fbx = (b >> 1) & 1u;
+  unsigned fby = b & 1u;
+  if (sa) {
+    const unsigned t = fbx;
+    fbx = fby;
+    fby = t;
+  }
+  const unsigned fx = (((a >> 1) & 1u) ^ fbx);
+  const unsigned fy = ((a & 1u) ^ fby);
+  return ((sa ^ sb) << 2) | (fx << 1) | fy;
+}
+
+/// Inverse symmetry: t = F.S => t^-1 = S.F, re-normalized to F'.S form.
+constexpr unsigned inverse(unsigned state) {
+  const unsigned s = (state >> 2) & 1u;
+  unsigned fx = (state >> 1) & 1u;
+  unsigned fy = state & 1u;
+  if (s) {
+    const unsigned t = fx;
+    fx = fy;
+    fy = t;
+  }
+  return (s << 2) | (fx << 1) | fy;
+}
+
+// The canonical refinement step (see canonical_hilbert.cpp): in the
+// canonical frame, quadrant (cx, cy) has
+//   digit: (0,0)->0  (0,1)->1  (1,1)->2  (1,0)->3
+//   child transform: 0 -> transpose, 1/2 -> identity, 3 -> anti-transpose.
+constexpr unsigned kDigitOf[4] = {0, 1, 3, 2};  // index = (cx<<1)|cy
+constexpr unsigned kQuadrantOfDigit[4][2] = {
+    {0, 0}, {0, 1}, {1, 1}, {1, 0}};  // digit -> (cx, cy)
+constexpr unsigned kChildTransform[4] = {
+    0b100,  // transpose: swap, no flips
+    0b000,  // identity
+    0b000,  // identity
+    0b111,  // anti-transpose: swap + both flips
+};
+
+struct StepTables {
+  // forward[state][(ax<<1)|ay] = digit<<3 | next_state
+  unsigned char forward[kStates][4];
+  // backward[state][digit] = ax<<4 | ay<<3 | next_state
+  unsigned char backward[kStates][4];
+};
+
+constexpr StepTables build_tables() {
+  StepTables t{};
+  for (unsigned state = 0; state < kStates; ++state) {
+    for (unsigned ax = 0; ax < 2; ++ax) {
+      for (unsigned ay = 0; ay < 2; ++ay) {
+        unsigned cx = ax;
+        unsigned cy = ay;
+        apply(state, cx, cy);
+        const unsigned digit = kDigitOf[(cx << 1) | cy];
+        const unsigned next = compose(kChildTransform[digit], state);
+        t.forward[state][(ax << 1) | ay] =
+            static_cast<unsigned char>((digit << 3) | next);
+      }
+    }
+    const unsigned inv = inverse(state);
+    for (unsigned digit = 0; digit < 4; ++digit) {
+      unsigned ax = kQuadrantOfDigit[digit][0];
+      unsigned ay = kQuadrantOfDigit[digit][1];
+      apply(inv, ax, ay);
+      const unsigned next = compose(kChildTransform[digit], state);
+      t.backward[state][digit] =
+          static_cast<unsigned char>((ax << 4) | (ay << 3) | next);
+    }
+  }
+  return t;
+}
+
+constexpr StepTables kTables = build_tables();
+
+}  // namespace
+
+std::uint64_t hilbert_lut_index(Point2 p, unsigned level) noexcept {
+  std::uint64_t idx = 0;
+  unsigned state = 0;
+  for (unsigned k = level; k > 0; --k) {
+    const unsigned ax = (p[0] >> (k - 1)) & 1u;
+    const unsigned ay = (p[1] >> (k - 1)) & 1u;
+    const unsigned entry = kTables.forward[state][(ax << 1) | ay];
+    idx = (idx << 2) | (entry >> 3);
+    state = entry & 7u;
+  }
+  return idx;
+}
+
+Point2 hilbert_lut_point(std::uint64_t idx, unsigned level) noexcept {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  unsigned state = 0;
+  for (unsigned k = level; k > 0; --k) {
+    const auto digit =
+        static_cast<unsigned>((idx >> (2 * (k - 1))) & 3u);
+    const unsigned entry = kTables.backward[state][digit];
+    x = (x << 1) | ((entry >> 4) & 1u);
+    y = (y << 1) | ((entry >> 3) & 1u);
+    state = entry & 7u;
+  }
+  return make_point(x, y);
+}
+
+}  // namespace sfc

@@ -1,0 +1,60 @@
+// moore.hpp — the Moore curve: the closed-loop variant of the Hilbert
+// curve (an extension beyond the paper's four curves).
+//
+// M_k glues four canonical H_{k-1} copies so that the exit of each copy
+// touches the entry of the next AND the exit of the last touches the entry
+// of the first — the traversal is a Hamiltonian *cycle* of the grid. That
+// makes it a natural processor ranking for tori: consecutive ranks are
+// physically adjacent including the wrap from rank p-1 back to rank 0,
+// which rank-ring primitives (ring allreduce, halo exchange) exploit.
+//
+// Construction (left half ascends, right half descends):
+//   rank 0: lower-left,  sub-curve rotated +90°   T1(x,y) = (s-1-y, x)
+//   rank 1: upper-left,  rotated +90°
+//   rank 2: upper-right, rotated -90°             T2(x,y) = (y, s-1-x)
+//   rank 3: lower-right, rotated -90°
+#pragma once
+
+#include <cassert>
+
+#include "sfc/canonical_hilbert.hpp"
+#include "sfc/curve.hpp"
+
+namespace sfc {
+
+class MooreCurve final : public Curve<2> {
+ public:
+  std::uint64_t index(const Point<2>& p, unsigned level) const override {
+    assert(level <= max_level<2>() && in_grid(p, level));
+    if (level == 0) return 0;
+    const std::uint32_t s = 1u << (level - 1);
+    const std::uint64_t quad_cells = 1ull << (2 * (level - 1));
+    const bool qx = p[0] >= s;
+    const bool qy = p[1] >= s;
+    const std::uint32_t lx = p[0] & (s - 1);
+    const std::uint32_t ly = p[1] & (s - 1);
+    // Quadrant visit order: LL, UL, UR, LR.
+    const std::uint32_t rank = qx ? (qy ? 2u : 3u) : (qy ? 1u : 0u);
+    const Point2 local = rank < 2 ? make_point(ly, s - 1 - lx)    // T1^{-1}
+                                  : make_point(s - 1 - ly, lx);   // T2^{-1}
+    return rank * quad_cells + canonical_hilbert_index(local, level - 1);
+  }
+
+  Point<2> point(std::uint64_t idx, unsigned level) const override {
+    assert(level <= max_level<2>() && idx < grid_size<2>(level));
+    if (level == 0) return make_point(0, 0);
+    const std::uint32_t s = 1u << (level - 1);
+    const std::uint64_t quad_cells = 1ull << (2 * (level - 1));
+    const auto rank = static_cast<std::uint32_t>(idx / quad_cells);
+    const Point2 hp = canonical_hilbert_point(idx % quad_cells, level - 1);
+    const Point2 local = rank < 2 ? make_point(s - 1 - hp[1], hp[0])  // T1
+                                  : make_point(hp[1], s - 1 - hp[0]); // T2
+    const std::uint32_t ox = rank == 2 || rank == 3 ? s : 0;
+    const std::uint32_t oy = rank == 1 || rank == 2 ? s : 0;
+    return make_point(local[0] + ox, local[1] + oy);
+  }
+
+  CurveKind kind() const noexcept override { return CurveKind::kMoore; }
+};
+
+}  // namespace sfc

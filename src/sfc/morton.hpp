@@ -1,0 +1,79 @@
+// morton.hpp — the Z-curve (Morton order), paper Fig. 1(b).
+//
+// The index of a point is obtained by interleaving the bits of its
+// coordinates (y bit, x bit, y bit, x bit, ... from the most significant
+// end). Equivalently, Z_{k+1} consists of four unrotated copies of Z_k
+// visited in the order LL, LR, UL, UR.
+#pragma once
+
+#include <cassert>
+
+#include "sfc/curve.hpp"
+#include "util/bits.hpp"
+
+namespace sfc {
+
+/// Morton index of a point, independent of level (levels only bound the
+/// coordinate range; the bit interleave is level-agnostic).
+template <int D>
+constexpr std::uint64_t morton_index(const Point<D>& p) noexcept {
+  if constexpr (D == 1) {
+    return p[0];
+  } else if constexpr (D == 2) {
+    return util::morton2_encode(p[0], p[1]);
+  } else if constexpr (D == 3) {
+    return util::morton3_encode(p[0], p[1], p[2]);
+  } else {
+    std::uint64_t idx = 0;
+    for (int b = static_cast<int>(max_level<D>()) - 1; b >= 0; --b) {
+      for (int i = D - 1; i >= 0; --i) {
+        idx = (idx << 1) | ((p[i] >> b) & 1u);
+      }
+    }
+    return idx;
+  }
+}
+
+/// Inverse of morton_index.
+template <int D>
+constexpr Point<D> morton_point(std::uint64_t idx) noexcept {
+  Point<D> p{};
+  if constexpr (D == 1) {
+    p[0] = static_cast<std::uint32_t>(idx);
+  } else if constexpr (D == 2) {
+    p[0] = util::morton2_decode_x(idx);
+    p[1] = util::morton2_decode_y(idx);
+  } else if constexpr (D == 3) {
+    p[0] = util::morton3_decode_x(idx);
+    p[1] = util::morton3_decode_y(idx);
+    p[2] = util::morton3_decode_z(idx);
+  } else {
+    for (unsigned b = 0; idx != 0; ++b) {
+      for (int i = 0; i < D; ++i) {
+        p[i] |= static_cast<std::uint32_t>((idx & 1u) << b);
+        idx >>= 1;
+      }
+    }
+  }
+  return p;
+}
+
+template <int D>
+class MortonCurve final : public Curve<D> {
+ public:
+  std::uint64_t index(const Point<D>& p, unsigned level) const override {
+    assert(level <= max_level<D>() && in_grid(p, level));
+    (void)level;
+    return morton_index(p);
+  }
+
+  Point<D> point(std::uint64_t idx, unsigned level) const override {
+    assert(level <= max_level<D>() && idx < grid_size<D>(level));
+    (void)level;
+    return morton_point<D>(idx);
+  }
+
+  CurveKind kind() const noexcept override { return CurveKind::kMorton; }
+};
+
+}  // namespace sfc

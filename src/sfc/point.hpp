@@ -1,0 +1,125 @@
+// point.hpp — D-dimensional lattice points on a 2^k × ... × 2^k grid.
+//
+// The paper's experiments live in 2-D; the geometry layer is templated on
+// the dimension so the 3-D extension (paper's future-work item ii) shares
+// the same code paths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace sfc {
+
+/// A point with non-negative integer coordinates. Coordinate i is c[i];
+/// for D=2 we use c[0]=x (horizontal), c[1]=y (vertical).
+/// Maximum refinement level representable in a 64-bit index for dimension D.
+template <int D>
+constexpr unsigned max_level() noexcept {
+  return D == 1 ? 63u : D == 2 ? 31u : D == 3 ? 21u : 15u;
+}
+
+template <int D>
+struct Point {
+  static_assert(D >= 1 && D <= 4, "supported dimensions: 1..4");
+  std::array<std::uint32_t, static_cast<std::size_t>(D)> c{};
+
+  constexpr std::uint32_t& operator[](int i) noexcept {
+    return c[static_cast<std::size_t>(i)];
+  }
+  constexpr std::uint32_t operator[](int i) const noexcept {
+    return c[static_cast<std::size_t>(i)];
+  }
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+constexpr Point2 make_point(std::uint32_t x, std::uint32_t y) noexcept {
+  return Point2{{x, y}};
+}
+
+constexpr Point3 make_point(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) noexcept {
+  return Point3{{x, y, z}};
+}
+
+/// L1 (Manhattan) distance. Used by the ANNS metric, whose "nearest
+/// neighbors" are points at Manhattan distance exactly 1.
+template <int D>
+constexpr std::uint64_t manhattan(const Point<D>& a, const Point<D>& b) noexcept {
+  std::uint64_t d = 0;
+  for (int i = 0; i < D; ++i) {
+    d += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  }
+  return d;
+}
+
+/// L-infinity (Chebyshev) distance. The FMM near-field neighborhood of
+/// radius r contains every cell sharing an edge or corner within r rings,
+/// i.e. all cells at Chebyshev distance <= r.
+template <int D>
+constexpr std::uint64_t chebyshev(const Point<D>& a, const Point<D>& b) noexcept {
+  std::uint64_t d = 0;
+  for (int i = 0; i < D; ++i) {
+    const std::uint64_t di = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (di > d) d = di;
+  }
+  return d;
+}
+
+/// Row-major packing of a point on the level-k grid (side 2^k) into a
+/// single integer key: key = (((c[D-1])*side + c[D-2])*side + ...)*...
+/// Used as the canonical cell key by the occupancy structures.
+template <int D>
+constexpr std::uint64_t pack(const Point<D>& p, unsigned level) noexcept {
+  std::uint64_t key = 0;
+  for (int i = D - 1; i >= 0; --i) {
+    key = (key << level) | p[i];
+  }
+  return key;
+}
+
+/// Inverse of pack().
+template <int D>
+constexpr Point<D> unpack(std::uint64_t key, unsigned level) noexcept {
+  Point<D> p{};
+  const std::uint64_t mask = (1ull << level) - 1u;
+  for (int i = 0; i < D; ++i) {
+    p[i] = static_cast<std::uint32_t>(key & mask);
+    key >>= level;
+  }
+  return p;
+}
+
+/// True iff every coordinate fits on the level-k grid.
+template <int D>
+constexpr bool in_grid(const Point<D>& p, unsigned level) noexcept {
+  for (int i = 0; i < D; ++i) {
+    if (p[i] >= (1ull << level)) return false;
+  }
+  return true;
+}
+
+/// Total number of lattice points at this level: (2^level)^D.
+template <int D>
+constexpr std::uint64_t grid_size(unsigned level) noexcept {
+  return 1ull << (static_cast<unsigned>(D) * level);
+}
+
+/// Debug/printing helper: "(x, y[, z])".
+template <int D>
+std::string to_string(const Point<D>& p) {
+  std::string s = "(";
+  for (int i = 0; i < D; ++i) {
+    if (i) s += ", ";
+    s += std::to_string(p[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace sfc

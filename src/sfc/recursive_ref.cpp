@@ -1,0 +1,94 @@
+#include "sfc/recursive_ref.hpp"
+
+#include <cassert>
+
+namespace sfc::ref {
+namespace {
+
+// Append `sub` to `out`, transforming each point by `f` and offsetting into
+// the quadrant at (ox, oy). `reversed` walks `sub` back to front.
+template <typename Transform>
+void append_quadrant(std::vector<Point2>& out, const std::vector<Point2>& sub,
+                     std::uint32_t ox, std::uint32_t oy, bool reversed,
+                     Transform f) {
+  const std::size_t n = sub.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2 local = f(sub[reversed ? n - 1 - i : i]);
+    out.push_back(make_point(local[0] + ox, local[1] + oy));
+  }
+}
+
+Point2 identity(Point2 p) { return p; }
+
+}  // namespace
+
+std::uint64_t hilbert2_index(Point2 p, unsigned level) {
+  assert(in_grid(p, level));
+  if (level == 0) return 0;
+  const std::uint32_t s = 1u << (level - 1);
+  const bool qx = p[0] >= s;
+  const bool qy = p[1] >= s;
+  const std::uint32_t lx = p[0] & (s - 1);
+  const std::uint32_t ly = p[1] & (s - 1);
+  const std::uint64_t quad_cells = 1ull << (2 * (level - 1));
+
+  if (!qx && !qy) {  // lower-left: transposed copy
+    return 0 * quad_cells + hilbert2_index(make_point(ly, lx), level - 1);
+  }
+  if (!qx && qy) {  // upper-left: identity
+    return 1 * quad_cells + hilbert2_index(make_point(lx, ly), level - 1);
+  }
+  if (qx && qy) {  // upper-right: identity
+    return 2 * quad_cells + hilbert2_index(make_point(lx, ly), level - 1);
+  }
+  // lower-right: anti-transposed copy
+  return 3 * quad_cells +
+         hilbert2_index(make_point(s - 1 - ly, s - 1 - lx), level - 1);
+}
+
+std::vector<Point2> hilbert2_order(unsigned level) {
+  if (level == 0) return {make_point(0, 0)};
+  const std::vector<Point2> sub = hilbert2_order(level - 1);
+  const std::uint32_t s = 1u << (level - 1);
+  std::vector<Point2> out;
+  out.reserve(sub.size() * 4);
+  append_quadrant(out, sub, 0, 0, false,
+                  [](Point2 p) { return make_point(p[1], p[0]); });
+  append_quadrant(out, sub, 0, s, false, identity);
+  append_quadrant(out, sub, s, s, false, identity);
+  append_quadrant(out, sub, s, 0, false, [s](Point2 p) {
+    return make_point(s - 1 - p[1], s - 1 - p[0]);
+  });
+  return out;
+}
+
+std::vector<Point2> morton2_order(unsigned level) {
+  if (level == 0) return {make_point(0, 0)};
+  const std::vector<Point2> sub = morton2_order(level - 1);
+  const std::uint32_t s = 1u << (level - 1);
+  std::vector<Point2> out;
+  out.reserve(sub.size() * 4);
+  append_quadrant(out, sub, 0, 0, false, identity);
+  append_quadrant(out, sub, s, 0, false, identity);
+  append_quadrant(out, sub, 0, s, false, identity);
+  append_quadrant(out, sub, s, s, false, identity);
+  return out;
+}
+
+std::vector<Point2> gray2_order(unsigned level) {
+  if (level == 0) return {make_point(0, 0)};
+  const std::vector<Point2> sub = gray2_order(level - 1);
+  const std::uint32_t s = 1u << (level - 1);
+  std::vector<Point2> out;
+  out.reserve(sub.size() * 4);
+  // Quadrant visit order LL, LR, UR, UL ("the lower two copies are not
+  // rotated and the upper two are rotated 180 degrees" — in index terms,
+  // every odd-position quadrant is walked in reverse).
+  append_quadrant(out, sub, 0, 0, false, identity);
+  append_quadrant(out, sub, s, 0, true, identity);
+  append_quadrant(out, sub, s, s, false, identity);
+  append_quadrant(out, sub, 0, s, true, identity);
+  return out;
+}
+
+}  // namespace sfc::ref

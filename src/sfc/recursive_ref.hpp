@@ -1,0 +1,31 @@
+// recursive_ref.hpp — independent recursive constructions of the 2-D
+// curves, written directly from the paper's Section II descriptions.
+//
+// These are deliberately naive (they materialize the full visiting order of
+// the 4^k grid points) and exist only as oracles for the property tests:
+// the fast bit-twiddling implementations must agree with them exactly
+// (Morton, Gray) or up to a fixed symmetry of the square (Hilbert — the
+// defining recursion fixes the curve only up to rotation/reflection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/point.hpp"
+
+namespace sfc::ref {
+
+/// Per-point recursive Hilbert index. Quadrant order LL, UL, UR, LR with
+/// the LL copy transposed and the LR copy anti-transposed, which yields the
+/// classic orientation that starts in the lower-left corner heading right.
+std::uint64_t hilbert2_index(Point2 p, unsigned level);
+
+/// Full visiting orders, built by recursive concatenation:
+///   Morton: LL, LR, UL, UR (no rotation).
+///   Gray:   LL, LR, UR, UL with odd-position quadrants reversed.
+///   Hilbert: as above.
+std::vector<Point2> hilbert2_order(unsigned level);
+std::vector<Point2> morton2_order(unsigned level);
+std::vector<Point2> gray2_order(unsigned level);
+
+}  // namespace sfc::ref

@@ -1,0 +1,85 @@
+// registry.cpp — names, parsing, and the curve factory.
+#include <algorithm>
+#include <cctype>
+
+#include <stdexcept>
+
+#include "sfc/curve.hpp"
+#include "sfc/gray.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/moore.hpp"
+#include "sfc/morton.hpp"
+#include "sfc/rowmajor.hpp"
+
+namespace sfc {
+
+std::string_view curve_name(CurveKind kind) noexcept {
+  switch (kind) {
+    case CurveKind::kHilbert:
+      return "Hilbert";
+    case CurveKind::kMorton:
+      return "Z-Curve";
+    case CurveKind::kGray:
+      return "Gray";
+    case CurveKind::kRowMajor:
+      return "Row-Major";
+    case CurveKind::kColumnMajor:
+      return "Column-Major";
+    case CurveKind::kSnake:
+      return "Snake";
+    case CurveKind::kMoore:
+      return "Moore";
+  }
+  return "?";
+}
+
+std::optional<CurveKind> parse_curve(std::string_view name) noexcept {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  lower.erase(std::remove_if(lower.begin(), lower.end(),
+                             [](char c) { return c == '-' || c == '_' || c == ' '; }),
+              lower.end());
+  if (lower == "hilbert" || lower == "h") return CurveKind::kHilbert;
+  if (lower == "z" || lower == "zcurve" || lower == "morton")
+    return CurveKind::kMorton;
+  if (lower == "gray" || lower == "graycode" || lower == "g")
+    return CurveKind::kGray;
+  if (lower == "row" || lower == "rowmajor" || lower == "r")
+    return CurveKind::kRowMajor;
+  if (lower == "column" || lower == "columnmajor" || lower == "col")
+    return CurveKind::kColumnMajor;
+  if (lower == "snake" || lower == "boustrophedon") return CurveKind::kSnake;
+  if (lower == "moore" || lower == "loop") return CurveKind::kMoore;
+  return std::nullopt;
+}
+
+template <int D>
+std::unique_ptr<Curve<D>> make_curve(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kHilbert:
+      return std::make_unique<HilbertCurve<D>>();
+    case CurveKind::kMorton:
+      return std::make_unique<MortonCurve<D>>();
+    case CurveKind::kGray:
+      return std::make_unique<GrayCurve<D>>();
+    case CurveKind::kRowMajor:
+      return std::make_unique<RowMajorCurve<D>>();
+    case CurveKind::kColumnMajor:
+      return std::make_unique<ColumnMajorCurve<D>>();
+    case CurveKind::kSnake:
+      return std::make_unique<SnakeCurve<D>>();
+    case CurveKind::kMoore:
+      if constexpr (D == 2) {
+        return std::make_unique<MooreCurve>();
+      } else {
+        throw std::invalid_argument("the Moore curve is 2-D only");
+      }
+  }
+  return nullptr;
+}
+
+template std::unique_ptr<Curve<2>> make_curve<2>(CurveKind);
+template std::unique_ptr<Curve<3>> make_curve<3>(CurveKind);
+
+}  // namespace sfc

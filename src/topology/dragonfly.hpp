@@ -1,0 +1,71 @@
+// dragonfly.hpp — the Dragonfly interconnect (Kim, Dally, Scott &
+// Abts, ISCA 2008), the modern counterpart to the paper's six topologies.
+//
+// A balanced single-rail Dragonfly with `a` routers per group, one global
+// port per router, and g = a + 1 groups (p = a * (a + 1) processors, one
+// per router). Routers within a group form a complete graph; router i of
+// group s owns the global link to group (s + i + 1) mod g, which lands on
+// router (s - d - 1) mod g of group d — a bijective pairing, so every
+// group pair has exactly one global link. Minimal-path hop distance is
+// then at most 3 (local, global, local), computable in closed form and
+// validated against the BFS oracle in the tests.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+
+namespace sfc::topo {
+
+class DragonflyTopology final : public Topology {
+ public:
+  /// `routers_per_group` = a >= 1; the balanced group count a + 1 is
+  /// implied. One processor per router.
+  explicit DragonflyTopology(Rank routers_per_group)
+      : a_(routers_per_group), g_(routers_per_group + 1) {
+    if (routers_per_group < 1) {
+      throw std::invalid_argument("dragonfly needs >= 1 router per group");
+    }
+  }
+
+  Rank size() const noexcept override { return a_ * g_; }
+
+  std::uint64_t distance(Rank x, Rank y) const noexcept override {
+    assert(x < size() && y < size());
+    if (x == y) return 0;
+    const Rank sx = x / a_, ix = x % a_;
+    const Rank sy = y / a_, iy = y % a_;
+    if (sx == sy) return 1;  // same group: complete graph
+    // Gateways of the unique global link between the two groups.
+    const Rank gate_src = (sy + g_ - sx - 1) % g_;  // router index in sx
+    const Rank gate_dst = (sx + g_ - sy - 1) % g_;  // router index in sy
+    return 1u + (ix == gate_src ? 0u : 1u) + (iy == gate_dst ? 0u : 1u);
+  }
+
+  std::uint64_t diameter() const noexcept override {
+    // local + global + local; degenerate sizes have smaller diameters.
+    return a_ == 1 ? 1 : 3;
+  }
+
+  TopologyKind kind() const noexcept override {
+    // No dedicated enum entry (the kind enum mirrors the paper's set);
+    // report the closest generic label for display purposes.
+    return TopologyKind::kHypercube;
+  }
+
+  Rank routers_per_group() const noexcept { return a_; }
+  Rank groups() const noexcept { return g_; }
+
+  /// Router index within group `s` holding the global link toward group
+  /// `d` (s != d). Exposed for the oracle test's edge construction.
+  Rank gateway(Rank s, Rank d) const noexcept {
+    return (d + g_ - s - 1) % g_;
+  }
+
+ private:
+  Rank a_;
+  Rank g_;
+};
+
+}  // namespace sfc::topo

@@ -1,0 +1,158 @@
+#include "topology/graph.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sfc::topo {
+
+GraphTopology::GraphTopology(
+    std::uint32_t vertices,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+    std::vector<std::uint32_t> rank_to_vertex)
+    : adjacency_(vertices), rank_to_vertex_(std::move(rank_to_vertex)) {
+  for (const auto& [u, v] : edges) {
+    if (u >= vertices || v >= vertices) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+  }
+  if (rank_to_vertex_.empty()) {
+    rank_to_vertex_.resize(vertices);
+    std::iota(rank_to_vertex_.begin(), rank_to_vertex_.end(), 0u);
+  }
+  for (const auto v : rank_to_vertex_) {
+    if (v >= vertices) {
+      throw std::invalid_argument("rank mapped to nonexistent vertex");
+    }
+  }
+}
+
+std::vector<std::uint32_t> GraphTopology::bfs(std::uint32_t src) const {
+  std::vector<std::uint32_t> dist(adjacency_.size(), kUnreachable);
+  std::queue<std::uint32_t> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t v : adjacency_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t GraphTopology::distance(Rank a, Rank b) const noexcept {
+  assert(a < rank_to_vertex_.size() && b < rank_to_vertex_.size());
+  if (apsp_.empty()) {
+    apsp_.reserve(rank_to_vertex_.size());
+    for (const std::uint32_t v : rank_to_vertex_) {
+      apsp_.push_back(bfs(v));
+    }
+  }
+  return apsp_[a][rank_to_vertex_[b]];
+}
+
+std::uint64_t GraphTopology::diameter() const noexcept {
+  std::uint64_t best = 0;
+  for (Rank a = 0; a < size(); ++a) {
+    for (Rank b = a + 1; b < size(); ++b) {
+      best = std::max(best, distance(a, b));
+    }
+  }
+  return best;
+}
+
+GraphTopology build_path_graph(std::uint32_t p) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < p; ++i) edges.emplace_back(i, i + 1);
+  return GraphTopology(p, std::move(edges));
+}
+
+GraphTopology build_ring_graph(std::uint32_t p) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < p; ++i) edges.emplace_back(i, i + 1);
+  if (p > 2) edges.emplace_back(p - 1, 0u);
+  return GraphTopology(p, std::move(edges));
+}
+
+GraphTopology build_mesh_graph(
+    std::uint32_t side,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& rank_coords,
+    bool wrap) {
+  const std::uint32_t n = side * side;
+  auto vertex = [side](std::uint32_t x, std::uint32_t y) {
+    return y * side + x;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (x + 1 < side) edges.emplace_back(vertex(x, y), vertex(x + 1, y));
+      if (y + 1 < side) edges.emplace_back(vertex(x, y), vertex(x, y + 1));
+    }
+  }
+  if (wrap && side > 2) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      edges.emplace_back(vertex(side - 1, y), vertex(0, y));
+    }
+    for (std::uint32_t x = 0; x < side; ++x) {
+      edges.emplace_back(vertex(x, side - 1), vertex(x, 0));
+    }
+  }
+  std::vector<std::uint32_t> rank_to_vertex;
+  rank_to_vertex.reserve(rank_coords.size());
+  for (const auto& [x, y] : rank_coords) {
+    rank_to_vertex.push_back(vertex(x, y));
+  }
+  return GraphTopology(n, std::move(edges), std::move(rank_to_vertex));
+}
+
+GraphTopology build_hypercube_graph(std::uint32_t p) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    for (std::uint32_t bit = 1; bit < p; bit <<= 1) {
+      const std::uint32_t j = i ^ bit;
+      if (j > i) edges.emplace_back(i, j);
+    }
+  }
+  return GraphTopology(p, std::move(edges));
+}
+
+GraphTopology build_tree_graph(std::uint32_t leaves, std::uint32_t arity) {
+  // Vertices: level-order positions of a complete arity-ary tree. The root
+  // is vertex 0; children of vertex v are arity*v + 1 ... arity*v + arity.
+  std::uint64_t total = 0;
+  std::uint64_t level_count = 1;
+  std::uint32_t depth = 0;
+  while (level_count < leaves) {
+    total += level_count;
+    level_count *= arity;
+    ++depth;
+  }
+  if (level_count != leaves) {
+    throw std::invalid_argument("leaf count must be a power of the arity");
+  }
+  const std::uint64_t internal = total;
+  const std::uint64_t vertices = internal + leaves;
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint64_t v = 1; v < vertices; ++v) {
+    edges.emplace_back(static_cast<std::uint32_t>(v),
+                       static_cast<std::uint32_t>((v - 1) / arity));
+  }
+  std::vector<std::uint32_t> rank_to_vertex(leaves);
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    rank_to_vertex[i] = static_cast<std::uint32_t>(internal + i);
+  }
+  (void)depth;
+  return GraphTopology(static_cast<std::uint32_t>(vertices), std::move(edges),
+                       std::move(rank_to_vertex));
+}
+
+}  // namespace sfc::topo

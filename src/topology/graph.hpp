@@ -1,0 +1,74 @@
+// graph.hpp — an explicit-graph topology with BFS shortest paths.
+//
+// Production topologies use O(1) closed-form distances; this class is the
+// independent oracle: build the interconnect as an adjacency list, run BFS,
+// and compare. It also lets users evaluate ACD on arbitrary custom
+// networks (irregular machines, partially populated racks, ...).
+//
+// For topologies with internal switch nodes (the quadtree), the graph has
+// more vertices than processors; `rank_to_vertex` maps processor ranks to
+// their vertex ids and distance() composes the mapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace sfc::topo {
+
+class GraphTopology final : public Topology {
+ public:
+  /// `vertices`: total vertex count (>= ranks). `rank_to_vertex` maps each
+  /// processor rank to a vertex; pass an empty vector for the identity
+  /// mapping (every vertex is a processor).
+  GraphTopology(std::uint32_t vertices,
+                std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+                std::vector<std::uint32_t> rank_to_vertex = {});
+
+  Rank size() const noexcept override {
+    return static_cast<Rank>(rank_to_vertex_.size());
+  }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override;
+
+  std::uint64_t diameter() const noexcept override;
+
+  TopologyKind kind() const noexcept override {
+    // Arbitrary graphs have no dedicated kind; report the closest generic
+    // one. The kind is only used for labeling.
+    return TopologyKind::kMesh;
+  }
+
+  std::uint32_t vertex_count() const noexcept {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+
+ private:
+  /// Distances from `src` to every vertex (kUnreachable if disconnected).
+  std::vector<std::uint32_t> bfs(std::uint32_t src) const;
+
+  static constexpr std::uint32_t kUnreachable = ~0u;
+
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::uint32_t> rank_to_vertex_;
+  // Cached all-pairs distances between processor vertices, computed lazily
+  // on first query (the oracle only runs on small instances).
+  mutable std::vector<std::vector<std::uint32_t>> apsp_;
+};
+
+/// Builders mirroring the production topologies. Each returns a graph whose
+/// rank r occupies the same physical position as rank r of the closed-form
+/// topology, so distances must match exactly.
+GraphTopology build_path_graph(std::uint32_t p);
+GraphTopology build_ring_graph(std::uint32_t p);
+/// 2-D grid of side `side`; `rank_coords[r]` is rank r's (x, y) position.
+GraphTopology build_mesh_graph(std::uint32_t side,
+                               const std::vector<std::pair<std::uint32_t, std::uint32_t>>& rank_coords,
+                               bool wrap);
+GraphTopology build_hypercube_graph(std::uint32_t p);
+/// Complete tree with `leaves` leaves (power of the arity). Processors are
+/// the leaves in left-to-right order.
+GraphTopology build_tree_graph(std::uint32_t leaves, std::uint32_t arity);
+
+}  // namespace sfc::topo

@@ -1,0 +1,100 @@
+// grid.hpp — mesh and torus topologies with SFC processor ranking.
+//
+// These are the two topologies where the paper applies a processor-order
+// SFC (Section IV, step 3): the physical layout is a side^D grid of
+// processors, and the SFC decides which grid position gets which rank.
+// Rank -> coordinate is precomputed once, so a distance query is a pair of
+// table lookups plus D coordinate deltas (wrapped for the torus).
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sfc/curve.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::topo {
+
+/// Shared base: holds the rank -> grid-coordinate embedding.
+template <int D>
+class GridTopologyBase : public Topology {
+ public:
+  /// `level`: grid side is 2^level per dimension, so size() = 2^(D*level).
+  /// `ranking`: the processor-order SFC (its level-`level` traversal is the
+  /// rank assignment).
+  GridTopologyBase(unsigned level, const Curve<D>& ranking) : level_(level) {
+    if (level > max_level<D>() || static_cast<unsigned>(D) * level > 31) {
+      throw std::invalid_argument("grid topology too large");
+    }
+    const std::uint64_t n = grid_size<D>(level);
+    coords_.reserve(n);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      coords_.push_back(ranking.point(r, level));
+    }
+  }
+
+  Rank size() const noexcept override {
+    return static_cast<Rank>(coords_.size());
+  }
+
+  unsigned level() const noexcept { return level_; }
+  std::uint32_t side() const noexcept { return 1u << level_; }
+
+  /// Grid coordinate of a rank (the embedding).
+  const Point<D>& coordinate(Rank r) const noexcept {
+    assert(r < coords_.size());
+    return coords_[r];
+  }
+
+ protected:
+  unsigned level_;
+  std::vector<Point<D>> coords_;
+};
+
+template <int D>
+class MeshTopology final : public GridTopologyBase<D> {
+ public:
+  using GridTopologyBase<D>::GridTopologyBase;
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    return manhattan(this->coords_[a], this->coords_[b]);
+  }
+
+  std::uint64_t diameter() const noexcept override {
+    return static_cast<std::uint64_t>(D) * (this->side() - 1);
+  }
+
+  TopologyKind kind() const noexcept override { return TopologyKind::kMesh; }
+};
+
+template <int D>
+class TorusTopology final : public GridTopologyBase<D> {
+ public:
+  using GridTopologyBase<D>::GridTopologyBase;
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    const Point<D>& pa = this->coords_[a];
+    const Point<D>& pb = this->coords_[b];
+    const std::uint32_t s = this->side();
+    std::uint64_t d = 0;
+    for (int i = 0; i < D; ++i) {
+      const std::uint32_t di = pa[i] > pb[i] ? pa[i] - pb[i] : pb[i] - pa[i];
+      d += di < s - di ? di : s - di;
+    }
+    return d;
+  }
+
+  std::uint64_t diameter() const noexcept override {
+    return static_cast<std::uint64_t>(D) * (this->side() / 2);
+  }
+
+  TopologyKind kind() const noexcept override { return TopologyKind::kTorus; }
+};
+
+using Mesh2D = MeshTopology<2>;
+using Torus2D = TorusTopology<2>;
+using Mesh3D = MeshTopology<3>;
+using Torus3D = TorusTopology<3>;
+
+}  // namespace sfc::topo

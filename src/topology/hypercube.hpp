@@ -1,0 +1,44 @@
+// hypercube.hpp — the classical hypercube: p = 2^d processors, processor a
+// linked to b iff their labels differ in one bit; hop distance is the
+// Hamming distance of the labels.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+#include "util/bits.hpp"
+
+namespace sfc::topo {
+
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(Rank size) : size_(size) {
+    if (!util::is_pow2(size)) {
+      throw std::invalid_argument("hypercube size must be a power of two");
+    }
+    dims_ = util::ilog2(size);
+  }
+
+  Rank size() const noexcept override { return size_; }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    assert(a < size_ && b < size_);
+    return static_cast<std::uint64_t>(std::popcount(a ^ b));
+  }
+
+  std::uint64_t diameter() const noexcept override { return dims_; }
+
+  TopologyKind kind() const noexcept override {
+    return TopologyKind::kHypercube;
+  }
+
+  unsigned dimensions() const noexcept { return dims_; }
+
+ private:
+  Rank size_;
+  unsigned dims_;
+};
+
+}  // namespace sfc::topo

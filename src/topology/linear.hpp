@@ -1,0 +1,54 @@
+// linear.hpp — the 1-D topologies: bus (linear array) and ring.
+//
+// The paper treats the "bus" as a chain where "each processor may only
+// communicate with two direct neighbors" — i.e. a path graph, not a shared
+// medium — so distance is |a - b|; the ring adds the wraparound link.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "topology/topology.hpp"
+
+namespace sfc::topo {
+
+class BusTopology final : public Topology {
+ public:
+  explicit BusTopology(Rank size) : size_(size) { assert(size > 0); }
+
+  Rank size() const noexcept override { return size_; }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    assert(a < size_ && b < size_);
+    return a > b ? a - b : b - a;
+  }
+
+  std::uint64_t diameter() const noexcept override { return size_ - 1; }
+
+  TopologyKind kind() const noexcept override { return TopologyKind::kBus; }
+
+ private:
+  Rank size_;
+};
+
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(Rank size) : size_(size) { assert(size > 0); }
+
+  Rank size() const noexcept override { return size_; }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    assert(a < size_ && b < size_);
+    const std::uint64_t d = a > b ? a - b : b - a;
+    return std::min<std::uint64_t>(d, size_ - d);
+  }
+
+  std::uint64_t diameter() const noexcept override { return size_ / 2; }
+
+  TopologyKind kind() const noexcept override { return TopologyKind::kRing; }
+
+ private:
+  Rank size_;
+};
+
+}  // namespace sfc::topo

@@ -1,0 +1,139 @@
+#include "topology/netsim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace sfc::topo {
+namespace {
+
+// Directed link ids: (node index) * 4 + direction, 0:+x 1:-x 2:+y 3:-y.
+struct Packet {
+  std::uint16_t x, y;    // current node
+  std::uint16_t dx, dy;  // destination
+};
+
+class Fabric {
+  // Declared first: queues_ sizes itself from these in the initializer.
+  std::uint32_t side_;
+  bool wrap_;
+
+ public:
+  Fabric(unsigned level, bool wrap)
+      : side_(1u << level),
+        wrap_(wrap),
+        queues_(static_cast<std::size_t>(side_) * side_ * 4) {
+    if (level > 8) {
+      throw std::invalid_argument("netsim supports up to 256x256 grids");
+    }
+  }
+
+  std::uint32_t side() const noexcept { return side_; }
+
+  /// Next direction for a packet at (x, y) heading to (dx, dy): X leg
+  /// first, shorter way around on the torus (ties toward +).
+  unsigned direction(const Packet& p) const noexcept {
+    if (p.x != p.dx) {
+      if (!wrap_) return p.dx > p.x ? 0u : 1u;
+      const std::uint32_t fwd = (p.dx + side_ - p.x) % side_;
+      return fwd <= side_ - fwd ? 0u : 1u;
+    }
+    if (!wrap_) return p.dy > p.y ? 2u : 3u;
+    const std::uint32_t fwd = (p.dy + side_ - p.y) % side_;
+    return fwd <= side_ - fwd ? 2u : 3u;
+  }
+
+  std::size_t link_id(std::uint32_t x, std::uint32_t y,
+                      unsigned dir) const noexcept {
+    return (static_cast<std::size_t>(y) * side_ + x) * 4 + dir;
+  }
+
+  /// Node reached by traversing `dir` from (x, y).
+  void step(std::uint32_t& x, std::uint32_t& y, unsigned dir) const noexcept {
+    switch (dir) {
+      case 0:
+        x = wrap_ ? (x + 1) % side_ : x + 1;
+        break;
+      case 1:
+        x = wrap_ ? (x + side_ - 1) % side_ : x - 1;
+        break;
+      case 2:
+        y = wrap_ ? (y + 1) % side_ : y + 1;
+        break;
+      default:
+        y = wrap_ ? (y + side_ - 1) % side_ : y - 1;
+        break;
+    }
+  }
+
+  std::vector<std::deque<Packet>> queues_;
+};
+
+}  // namespace
+
+SimResult simulate_store_and_forward(const std::vector<SimMessage>& messages,
+                                     unsigned level, bool wrap) {
+  Fabric fabric(level, wrap);
+  SimResult result;
+  result.messages = messages.size();
+
+  // Inject: each packet starts queued on its first link; zero-hop
+  // messages deliver immediately.
+  std::uint64_t in_flight = 0;
+  double latency_sum = 0.0;
+  for (const SimMessage& m : messages) {
+    if (m.from == m.to) continue;  // latency 0
+    Packet p{static_cast<std::uint16_t>(m.from[0]),
+             static_cast<std::uint16_t>(m.from[1]),
+             static_cast<std::uint16_t>(m.to[0]),
+             static_cast<std::uint16_t>(m.to[1])};
+    const unsigned dir = fabric.direction(p);
+    fabric.queues_[fabric.link_id(p.x, p.y, dir)].push_back(p);
+    ++in_flight;
+  }
+
+  // Two-phase cycles: pick at most one head packet per link, then apply
+  // all moves, so a packet traverses one link per cycle.
+  std::vector<std::pair<std::size_t, Packet>> moves;
+  std::uint64_t cycle = 0;
+  while (in_flight > 0) {
+    ++cycle;
+    moves.clear();
+    for (std::size_t link = 0; link < fabric.queues_.size(); ++link) {
+      if (fabric.queues_[link].empty()) continue;
+      moves.emplace_back(link, fabric.queues_[link].front());
+      fabric.queues_[link].pop_front();
+    }
+    for (auto& [link, p] : moves) {
+      ++result.total_hops;
+      std::uint32_t x = p.x;
+      std::uint32_t y = p.y;
+      const auto dir = static_cast<unsigned>(link % 4);
+      fabric.step(x, y, dir);
+      p.x = static_cast<std::uint16_t>(x);
+      p.y = static_cast<std::uint16_t>(y);
+      if (p.x == p.dx && p.y == p.dy) {
+        latency_sum += static_cast<double>(cycle);
+        result.max_latency = std::max(result.max_latency, cycle);
+        --in_flight;
+      } else {
+        const unsigned next_dir = fabric.direction(p);
+        fabric.queues_[fabric.link_id(p.x, p.y, next_dir)].push_back(p);
+      }
+    }
+  }
+  result.makespan = cycle;
+  result.mean_latency =
+      result.messages == 0
+          ? 0.0
+          : latency_sum / static_cast<double>(result.messages);
+  const double mean_hops =
+      result.messages == 0
+          ? 0.0
+          : static_cast<double>(result.total_hops) /
+                static_cast<double>(result.messages);
+  result.slowdown = mean_hops == 0.0 ? 1.0 : result.mean_latency / mean_hops;
+  return result;
+}
+
+}  // namespace sfc::topo

@@ -1,0 +1,44 @@
+// netsim.hpp — a cycle-driven store-and-forward network simulation for
+// 2-D meshes and tori.
+//
+// The paper's ACD metric and the static link-load extension
+// (core/contention.hpp) both ignore *time*: simultaneous messages on one
+// link serialize in reality. This simulator answers the temporal question
+// directly: inject a communication set at cycle 0, move one packet per
+// directed link per cycle under dimension-order routing, and report the
+// makespan and latency distribution. Static max-link-load is a lower bound
+// on the makespan (unit-tested), and ACD is a lower bound on the mean
+// latency; the simulation shows how close a given SFC placement comes to
+// those bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/point.hpp"
+
+namespace sfc::topo {
+
+struct SimMessage {
+  Point2 from;
+  Point2 to;
+};
+
+struct SimResult {
+  std::uint64_t messages = 0;       ///< injected messages (zero-hop included)
+  std::uint64_t makespan = 0;       ///< cycles until the last delivery
+  double mean_latency = 0.0;        ///< average delivery cycle
+  std::uint64_t max_latency = 0;    ///< slowest message
+  std::uint64_t total_hops = 0;     ///< link traversals performed
+  double slowdown = 0.0;            ///< mean latency / mean hop distance
+};
+
+/// Simulate the message set on a (2^level)^2 mesh (wrap=false) or torus
+/// (wrap=true) with X-then-Y dimension-order routing, one packet per
+/// directed link per cycle, unbounded FIFO queues. Zero-hop messages
+/// deliver at cycle 0. Deterministic: ties break in message-injection
+/// order.
+SimResult simulate_store_and_forward(const std::vector<SimMessage>& messages,
+                                     unsigned level, bool wrap);
+
+}  // namespace sfc::topo

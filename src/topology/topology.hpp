@@ -1,0 +1,57 @@
+// topology.hpp — processor network topologies and their hop-distance
+// functions.
+//
+// The ACD metric (paper Definition 1) measures every pairwise communication
+// by the shortest-path hop count between the two processors on the network
+// interconnect, with no contention modeling. All production topologies
+// therefore expose an O(1) closed-form distance; a generic explicit-graph
+// topology with BFS shortest paths (graph.hpp) acts as the oracle that
+// validates each closed form in the tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sfc::topo {
+
+/// Processor rank. Ranks are dense in [0, size()).
+using Rank = std::uint32_t;
+
+/// The six topologies evaluated in the paper (Section II-B).
+enum class TopologyKind {
+  kBus,        // linear array: two direct neighbors, no wraparound
+  kRing,       // linear array with wraparound
+  kMesh,       // 2-D (or D-D) grid
+  kTorus,      // grid with wraparound links
+  kQuadtree,   // complete 4-ary tree; processors are leaves
+  kHypercube,  // log2(p)-dimensional hypercube
+};
+
+inline constexpr TopologyKind kAllTopologies[] = {
+    TopologyKind::kBus,      TopologyKind::kRing,
+    TopologyKind::kMesh,     TopologyKind::kTorus,
+    TopologyKind::kQuadtree, TopologyKind::kHypercube};
+
+std::string_view topology_name(TopologyKind kind) noexcept;
+std::optional<TopologyKind> parse_topology(std::string_view name) noexcept;
+
+/// Abstract interconnect: `distance` is the number of hops on a shortest
+/// path between two processor ranks.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual Rank size() const noexcept = 0;
+  virtual std::uint64_t distance(Rank a, Rank b) const noexcept = 0;
+  virtual TopologyKind kind() const noexcept = 0;
+
+  /// Largest distance between any two ranks.
+  virtual std::uint64_t diameter() const noexcept = 0;
+
+  std::string_view name() const noexcept { return topology_name(kind()); }
+};
+
+}  // namespace sfc::topo

@@ -1,0 +1,73 @@
+// tree.hpp — the quadtree topology: processors are the leaves of a complete
+// arity-ary tree (arity 4 in the paper), and "each communication must
+// travel up and down the tree" through internal switch nodes.
+//
+// With leaves labeled 0..p-1 in tree order, the leaf label written in base
+// `arity` spells the root-to-leaf path, so the hop distance between two
+// leaves is 2 * (depth - common-prefix-length): up to the lowest common
+// ancestor and back down.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+
+#include "topology/topology.hpp"
+#include "util/bits.hpp"
+
+namespace sfc::topo {
+
+class TreeTopology final : public Topology {
+ public:
+  /// `size` must be arity^depth for some integer depth >= 0.
+  explicit TreeTopology(Rank size, unsigned arity = 4)
+      : size_(size), arity_(arity) {
+    if (arity < 2 || !util::is_pow2(arity)) {
+      throw std::invalid_argument("tree arity must be a power of two >= 2");
+    }
+    digit_bits_ = util::ilog2(arity);
+    depth_ = 0;
+    Rank n = 1;
+    while (n < size) {
+      n *= arity;
+      ++depth_;
+    }
+    if (n != size) {
+      throw std::invalid_argument("tree size must be a power of the arity");
+    }
+  }
+
+  Rank size() const noexcept override { return size_; }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    assert(a < size_ && b < size_);
+    if (a == b) return 0;
+    // Levels below the LCA: number of leading base-arity digits where the
+    // two labels first differ, counted from the root end.
+    unsigned diverge = depth_;
+    for (unsigned level = depth_; level > 0; --level) {
+      const unsigned shift = (level - 1) * digit_bits_;
+      if (((a >> shift) & (arity_ - 1)) != ((b >> shift) & (arity_ - 1))) {
+        diverge = level;
+        break;
+      }
+    }
+    return 2ull * diverge;
+  }
+
+  std::uint64_t diameter() const noexcept override { return 2ull * depth_; }
+
+  TopologyKind kind() const noexcept override {
+    return TopologyKind::kQuadtree;
+  }
+
+  unsigned depth() const noexcept { return depth_; }
+  unsigned arity() const noexcept { return arity_; }
+
+ private:
+  Rank size_;
+  unsigned arity_;
+  unsigned digit_bits_;
+  unsigned depth_;
+};
+
+}  // namespace sfc::topo

@@ -1,0 +1,138 @@
+// bits.hpp — low-level bit manipulation primitives shared by the SFC and
+// topology modules.
+//
+// Everything in this header is constexpr and branch-light; these routines
+// sit on the hot path of every curve encode/decode, so they are implemented
+// with the classic parallel-prefix "magic mask" sequences rather than loops.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace sfc::util {
+
+/// True iff `v` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Floor of log2(v); ilog2(0) is defined as 0 for convenience.
+constexpr unsigned ilog2(std::uint64_t v) noexcept {
+  return v == 0 ? 0u : 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// Ceil of log2(v); clog2(0) and clog2(1) are 0.
+constexpr unsigned clog2(std::uint64_t v) noexcept {
+  return v <= 1 ? 0u : ilog2(v - 1) + 1u;
+}
+
+/// Spread the low 32 bits of `v` so bit i lands at position 2i.
+/// (0b...dcba -> 0b...0d0c0b0a)  Used by the 2-D Morton encoding.
+constexpr std::uint64_t part1_by1(std::uint32_t v) noexcept {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+/// Inverse of part1_by1: gather every other bit (positions 0,2,4,...).
+constexpr std::uint32_t compact1_by1(std::uint64_t x) noexcept {
+  x &= 0x5555555555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<std::uint32_t>(x);
+}
+
+/// Spread the low 21 bits of `v` so bit i lands at position 3i.
+/// Used by the 3-D Morton encoding (21 bits * 3 dims = 63 bits).
+constexpr std::uint64_t part1_by2(std::uint32_t v) noexcept {
+  std::uint64_t x = v & 0x1FFFFFull;  // 21 bits
+  x = (x | (x << 32)) & 0x001F00000000FFFFull;
+  x = (x | (x << 16)) & 0x001F0000FF0000FFull;
+  x = (x | (x << 8)) & 0x100F00F00F00F00Full;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x << 2)) & 0x1249249249249249ull;
+  return x;
+}
+
+/// Inverse of part1_by2: gather every third bit (positions 0,3,6,...).
+constexpr std::uint32_t compact1_by2(std::uint64_t x) noexcept {
+  x &= 0x1249249249249249ull;
+  x = (x | (x >> 2)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x >> 4)) & 0x100F00F00F00F00Full;
+  x = (x | (x >> 8)) & 0x001F0000FF0000FFull;
+  x = (x | (x >> 16)) & 0x001F00000000FFFFull;
+  x = (x | (x >> 32)) & 0x00000000001FFFFFull;
+  return static_cast<std::uint32_t>(x);
+}
+
+/// 2-D Morton (Z-order) code: interleave x (even bits) and y (odd bits).
+constexpr std::uint64_t morton2_encode(std::uint32_t x, std::uint32_t y) noexcept {
+  return part1_by1(x) | (part1_by1(y) << 1);
+}
+
+constexpr std::uint32_t morton2_decode_x(std::uint64_t code) noexcept {
+  return compact1_by1(code);
+}
+
+constexpr std::uint32_t morton2_decode_y(std::uint64_t code) noexcept {
+  return compact1_by1(code >> 1);
+}
+
+/// 3-D Morton code over 21-bit coordinates.
+constexpr std::uint64_t morton3_encode(std::uint32_t x, std::uint32_t y,
+                                       std::uint32_t z) noexcept {
+  return part1_by2(x) | (part1_by2(y) << 1) | (part1_by2(z) << 2);
+}
+
+constexpr std::uint32_t morton3_decode_x(std::uint64_t code) noexcept {
+  return compact1_by2(code);
+}
+
+constexpr std::uint32_t morton3_decode_y(std::uint64_t code) noexcept {
+  return compact1_by2(code >> 1);
+}
+
+constexpr std::uint32_t morton3_decode_z(std::uint64_t code) noexcept {
+  return compact1_by2(code >> 2);
+}
+
+/// Binary-reflected Gray code of `v`.
+constexpr std::uint64_t gray_encode(std::uint64_t v) noexcept {
+  return v ^ (v >> 1);
+}
+
+/// Inverse of gray_encode (prefix-XOR fold).
+constexpr std::uint64_t gray_decode(std::uint64_t g) noexcept {
+  g ^= g >> 32;
+  g ^= g >> 16;
+  g ^= g >> 8;
+  g ^= g >> 4;
+  g ^= g >> 2;
+  g ^= g >> 1;
+  return g;
+}
+
+/// Reverse the low `bits` bits of `v` (remaining bits are discarded).
+constexpr std::uint64_t reverse_bits(std::uint64_t v, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+/// Extract the `digit`-th base-(2^w) digit of `v`, counting from digit 0 at
+/// the least significant end.
+constexpr std::uint64_t base_digit(std::uint64_t v, unsigned digit,
+                                   unsigned w) noexcept {
+  return (v >> (digit * w)) & ((1ull << w) - 1u);
+}
+
+}  // namespace sfc::util

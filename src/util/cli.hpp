@@ -1,0 +1,52 @@
+// cli.hpp — a minimal command-line option parser for the bench/example
+// binaries. Supports `--name value`, `--name=value`, and boolean flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfc::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declare a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Declare a valued option with a default.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv. Returns false (and fills error()) on unknown or malformed
+  /// arguments. `--help` sets help_requested() and returns true.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t i64(const std::string& name) const;
+  double f64(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace sfc::util

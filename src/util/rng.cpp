@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sfc::util {
+
+std::uint64_t bounded_u64(Xoshiro256pp& rng, std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply a 64-bit random by the bound and keep the high
+  // word; reject the small biased region of the low word.
+  std::uint64_t x = rng.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = rng.next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double NormalSampler::operator()(Xoshiro256pp& rng) noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller: u1 must be strictly positive for the log.
+  double u1 = uniform01(rng);
+  while (u1 <= 0.0) u1 = uniform01(rng);
+  const double u2 = uniform01(rng);
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double ang = 2.0 * std::numbers::pi * u2;
+  spare_ = mag * std::sin(ang);
+  has_spare_ = true;
+  return mag * std::cos(ang);
+}
+
+double exponential(Xoshiro256pp& rng, double mean) noexcept {
+  double u = uniform01(rng);
+  while (u <= 0.0) u = uniform01(rng);
+  return -mean * std::log(u);
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,125 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// Experiments in this library must be bit-reproducible across platforms and
+// standard-library implementations, so we carry our own generator
+// (xoshiro256++, seeded through SplitMix64) and our own variate transforms
+// (Lemire bounded integers, 53-bit uniforms, Box–Muller normals, inverse-CDF
+// exponentials) instead of relying on <random>'s unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sfc::util {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator used solely for seeding
+/// and for deriving independent substreams from a single master seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ (Blackman & Vigna, 2019): the workhorse generator.
+/// Period 2^256 - 1; passes BigCrush; extremely fast.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed), per the authors'
+  /// recommendation. A zero state is impossible this way.
+  explicit Xoshiro256pp(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Equivalent to 2^128 calls to next(); used to derive non-overlapping
+  /// substreams when running independent trials.
+  void jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {
+        0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+        0x39ABDC4529B1661Cull};
+    std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+    for (std::uint64_t j : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (j & (1ull << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= s_[static_cast<std::size_t>(i)];
+        }
+        next();
+      }
+    }
+    s_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Unbiased bounded integer in [0, bound) via Lemire's multiply-shift
+/// rejection method. bound must be nonzero.
+std::uint64_t bounded_u64(Xoshiro256pp& rng, std::uint64_t bound) noexcept;
+
+/// Uniform double in [0, 1) with full 53-bit mantissa resolution.
+inline double uniform01(Xoshiro256pp& rng) noexcept {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+inline double uniform_range(Xoshiro256pp& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+/// Standard normal deviates via the Box–Muller transform. Generates pairs
+/// and caches the spare, so consecutive calls cost one transform each two.
+class NormalSampler {
+ public:
+  double operator()(Xoshiro256pp& rng) noexcept;
+
+ private:
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Exponential deviate with the given mean (inverse-CDF method).
+double exponential(Xoshiro256pp& rng, double mean) noexcept;
+
+/// Derive a fresh, statistically independent seed for substream `index`
+/// from `master`. Distinct (master, index) pairs give distinct streams.
+inline std::uint64_t substream_seed(std::uint64_t master,
+                                    std::uint64_t index) noexcept {
+  SplitMix64 sm(master ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,14 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace sfc::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,69 @@
+// stats.hpp — streaming statistics used to aggregate experiment trials.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace sfc::util {
+
+/// Welford's online algorithm for numerically stable mean/variance, plus
+/// min/max tracking. Suitable for combining many independent trial results.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one (parallel-combine formula).
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (zero when fewer than two samples).
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const noexcept;
+
+  /// Half-width of an approximate 95% confidence interval on the mean
+  /// (normal approximation, 1.96 * stderr). Zero with fewer than 2 samples.
+  double ci95_halfwidth() const noexcept;
+
+  double min() const noexcept {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const noexcept {
+    return count_ == 0 ? 0.0 : max_;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sfc::util

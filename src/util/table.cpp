@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace sfc::util {
+
+std::string format_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+void Table::add_row(std::string label, std::vector<double> cells) {
+  numeric_rows_.push_back({std::move(label), std::move(cells)});
+}
+
+void Table::add_text_row(std::vector<std::string> cells) {
+  text_rows_.push_back(std::move(cells));
+}
+
+std::vector<std::vector<std::string>> Table::render_cells() const {
+  std::vector<std::vector<std::string>> out;
+  const std::size_t rows = numeric_rows_.size();
+
+  // Locate per-row and per-column minima among numeric rows.
+  std::vector<std::size_t> row_min(rows, std::size_t(-1));
+  std::vector<std::size_t> col_min;  // row index of min per column
+  std::size_t cols = 0;
+  for (const auto& r : numeric_rows_) cols = std::max(cols, r.cells.size());
+  col_min.assign(cols, std::size_t(-1));
+  if (mark_minima_) {
+    std::vector<double> col_best(cols, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < rows; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < numeric_rows_[i].cells.size(); ++j) {
+        const double v = numeric_rows_[i].cells[j];
+        if (v < best) {
+          best = v;
+          row_min[i] = j;
+        }
+        if (v < col_best[j]) {
+          col_best[j] = v;
+          col_min[j] = i;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row;
+    row.push_back(numeric_rows_[i].label);
+    for (std::size_t j = 0; j < numeric_rows_[i].cells.size(); ++j) {
+      std::string cell = format_fixed(numeric_rows_[i].cells[j], precision_);
+      if (mark_minima_ && row_min[i] == j) cell += '*';
+      if (mark_minima_ && j < col_min.size() && col_min[j] == i) cell += '^';
+      row.push_back(std::move(cell));
+    }
+    out.push_back(std::move(row));
+  }
+  for (const auto& t : text_rows_) out.push_back(t);
+  return out;
+}
+
+void Table::print(std::ostream& os, TableStyle style) const {
+  const auto body = render_cells();
+
+  if (style == TableStyle::kCsv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& r : body) emit(r);
+    return;
+  }
+
+  // Compute column widths across header and body.
+  std::size_t cols = header_.size();
+  for (const auto& r : body) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : body) widen(r);
+
+  const bool md = style == TableStyle::kMarkdown;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    if (md) os << "| ";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[i])) << c;
+      if (i + 1 < cols) os << (md ? " | " : "  ");
+    }
+    if (md) os << " |";
+    os << '\n';
+  };
+
+  if (!title_.empty() && !md) os << "== " << title_ << " ==\n";
+  if (!title_.empty() && md) os << "**" << title_ << "**\n\n";
+  if (!header_.empty()) {
+    emit(header_);
+    if (md) {
+      os << '|';
+      for (std::size_t i = 0; i < cols; ++i) {
+        os << std::string(width[i] + 2, '-') << '|';
+      }
+      os << '\n';
+    } else {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  for (const auto& r : body) emit(r);
+}
+
+std::string Table::to_string(TableStyle style) const {
+  std::ostringstream os;
+  print(os, style);
+  return os.str();
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,66 @@
+// table.hpp — formatted table output for benchmark harnesses.
+//
+// Every experiment binary prints the same rows the paper reports, so the
+// table writer supports the three styles we need: fixed-width ASCII for the
+// terminal, GitHub Markdown for EXPERIMENTS.md, and CSV for plotting. The
+// paper highlights the per-row minimum in boldface and the per-column
+// minimum in italics; we mark those with '*' and '^' suffixes respectively.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfc::util {
+
+enum class TableStyle { kAscii, kMarkdown, kCsv };
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Column headers; the first column is treated as the row label.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Add a data row: a label plus numeric cells.
+  void add_row(std::string label, std::vector<double> cells);
+
+  /// Add a pre-formatted textual row (bypasses numeric formatting).
+  void add_text_row(std::vector<std::string> cells);
+
+  /// Number of fractional digits for numeric cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// When enabled, the smallest value in each row gets a '*' suffix and the
+  /// smallest value in each column gets a '^' suffix (paper's bold/italics).
+  void mark_minima(bool enable) { mark_minima_ = enable; }
+
+  void print(std::ostream& os, TableStyle style = TableStyle::kAscii) const;
+
+  /// Render to a string (convenience for tests).
+  std::string to_string(TableStyle style = TableStyle::kAscii) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return numeric_rows_.size() + text_rows_.size(); }
+
+ private:
+  struct NumericRow {
+    std::string label;
+    std::vector<double> cells;
+  };
+
+  std::vector<std::vector<std::string>> render_cells() const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<NumericRow> numeric_rows_;
+  std::vector<std::vector<std::string>> text_rows_;  // appended after numeric
+  int precision_ = 3;
+  bool mark_minima_ = false;
+};
+
+/// Format a double with fixed precision (helper shared with examples).
+std::string format_fixed(double v, int digits);
+
+}  // namespace sfc::util

@@ -1,0 +1,94 @@
+#include "util/thread_pool.hpp"
+
+namespace sfc::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  const std::size_t workers = pool.size();
+  std::size_t chunks = workers == 0 ? 1 : workers * 4;
+  std::size_t chunk_size = (n + chunks - 1) / chunks;
+  if (chunk_size < grain) chunk_size = grain;
+  chunks = (n + chunk_size - 1) / chunk_size;
+
+  if (chunks <= 1 || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = lo + chunk_size < end ? lo + chunk_size : end;
+    pool.submit([&, lo, hi] {
+      body(lo, hi);
+      std::lock_guard<std::mutex> lk(m);
+      if (++done == chunks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done == chunks; });
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,101 @@
+// thread_pool.hpp — a small fixed-size worker pool with blocking fan-out
+// helpers. The ACD engine's inner loops (one network-distance lookup per
+// communication) are embarrassingly parallel over particles/cells, so the
+// only primitives we need are parallel_for over an index range and a
+// deterministic parallel_reduce (integer sums commute, so the reduction is
+// bit-reproducible regardless of scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sfc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Split [begin, end) into roughly `pool.size() * 4` chunks (but at least
+/// `grain` indices each) and run `body(chunk_begin, chunk_end)` on the pool.
+/// Blocks until all chunks are done. Falls back to a direct call when the
+/// range is small or the pool has a single worker.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Deterministic sum-reduction over [begin, end): `body` returns the partial
+/// value for a chunk; partials are accumulated with operator+= in chunk
+/// order. T must be an additive monoid (we use integer/size pairs).
+template <typename T, typename ChunkFn>
+T parallel_reduce_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain, T init, ChunkFn body) {
+  const std::size_t n = end - begin;
+  if (n == 0) return init;
+  const std::size_t workers = pool.size();
+  std::size_t chunks = workers == 0 ? 1 : workers * 4;
+  std::size_t chunk_size = (n + chunks - 1) / chunks;
+  if (chunk_size < grain) chunk_size = grain;
+  chunks = (n + chunk_size - 1) / chunk_size;
+
+  if (chunks <= 1 || workers <= 1) {
+    T acc = init;
+    acc += body(begin, end);
+    return acc;
+  }
+
+  std::vector<T> partials(chunks, init);
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = lo + chunk_size < end ? lo + chunk_size : end;
+    pool.submit([&, c, lo, hi] {
+      partials[c] = body(lo, hi);
+      std::lock_guard<std::mutex> lk(m);
+      if (++done == chunks) cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done == chunks; });
+  }
+  T acc = init;
+  for (auto& p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,16 @@
+// version.hpp — library identity, for tools and bug reports.
+#pragma once
+
+namespace sfc {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// The paper this library reproduces.
+inline constexpr const char* kPaperCitation =
+    "D. DeFord and A. Kalyanaraman, \"Empirical Analysis of Space-Filling "
+    "Curves for Scientific Computing Applications\", ICPP 2013";
+
+}  // namespace sfc

@@ -1,0 +1,183 @@
+// Communication-primitive tests: pattern sizes, hand-computed ACD values,
+// and topology-awareness of the Section VII generalization.
+#include "comm/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "topology/linear.hpp"
+
+namespace sfc::comm {
+namespace {
+
+TEST(Patterns, BroadcastHasPMinusOneMessages) {
+  for (const topo::Rank p : {1u, 2u, 5u, 8u, 16u, 33u}) {
+    EXPECT_EQ(pattern(Primitive::kBroadcastBinomial, p).size(), p - 1u)
+        << "p=" << p;
+  }
+}
+
+TEST(Patterns, BroadcastReachesEveryRankExactlyOnce) {
+  const auto msgs = pattern(Primitive::kBroadcastBinomial, 16, 3);
+  std::vector<int> received(16, 0);
+  received[3] = 1;  // root holds the data initially
+  for (const auto& m : msgs) {
+    EXPECT_EQ(received[m.from], 1) << "sender must already have the data";
+    ++received[m.to];
+  }
+  for (int r : received) EXPECT_EQ(r, 1);
+}
+
+TEST(Patterns, ReduceIsBroadcastReversed) {
+  const auto bcast = pattern(Primitive::kBroadcastBinomial, 16);
+  const auto reduce = pattern(Primitive::kReduceBinomial, 16);
+  ASSERT_EQ(bcast.size(), reduce.size());
+  for (std::size_t i = 0; i < bcast.size(); ++i) {
+    EXPECT_EQ(bcast[i].from, reduce[i].to);
+    EXPECT_EQ(bcast[i].to, reduce[i].from);
+  }
+}
+
+TEST(Patterns, ScatterGatherSizes) {
+  EXPECT_EQ(pattern(Primitive::kScatter, 10).size(), 9u);
+  EXPECT_EQ(pattern(Primitive::kGather, 10).size(), 9u);
+}
+
+TEST(Patterns, AllToAllSize) {
+  EXPECT_EQ(pattern(Primitive::kAllToAll, 8).size(), 8u * 7u);
+}
+
+TEST(Patterns, RingAllreduceSize) {
+  // 2(p-1) steps x p messages per step.
+  EXPECT_EQ(pattern(Primitive::kRingAllreduce, 6).size(), 2u * 5u * 6u);
+  EXPECT_TRUE(pattern(Primitive::kRingAllreduce, 1).empty());
+}
+
+TEST(Patterns, ParallelPrefixSize) {
+  // Hillis–Steele on p=8: rounds send 7 + 6 + 4 messages.
+  EXPECT_EQ(pattern(Primitive::kParallelPrefix, 8).size(), 17u);
+}
+
+TEST(Patterns, HaloSize) {
+  EXPECT_EQ(pattern(Primitive::kHaloExchange1D, 5).size(), 8u);
+}
+
+TEST(PatternTotals, AllToAllOnBusHandComputed) {
+  // Bus of 3: ordered pairs (0,1)x2, (1,2)x2 cost 1; (0,2)x2 cost 2.
+  const topo::BusTopology bus(3);
+  const auto totals = pattern_totals(bus, pattern(Primitive::kAllToAll, 3));
+  EXPECT_EQ(totals.count, 6u);
+  EXPECT_EQ(totals.hops, 8u);
+  EXPECT_DOUBLE_EQ(totals.acd(), 8.0 / 6.0);
+}
+
+TEST(PatternTotals, RingAllreduceIsAllSingleHopsOnRing) {
+  // Every ring-allreduce message goes to the ring successor: ACD must be
+  // exactly 1 when the topology *is* the ring.
+  const topo::RingTopology ring(8);
+  EXPECT_DOUBLE_EQ(primitive_acd(ring, Primitive::kRingAllreduce), 1.0);
+}
+
+TEST(PatternTotals, RingAllreduceSuffersOnBus) {
+  // On the bus the wrap message (p-1 -> 0) costs p-1 hops each step.
+  const topo::BusTopology bus(8);
+  const double acd = primitive_acd(bus, Primitive::kRingAllreduce);
+  EXPECT_GT(acd, 1.0);
+  // Per step: 7 messages of 1 hop + the wrap message (7 -> 0) of 7 hops.
+  EXPECT_DOUBLE_EQ(acd, (7.0 + 7.0) / 8.0);
+}
+
+TEST(PatternTotals, BroadcastOnHypercubeIsAllOneHop) {
+  // Binomial broadcast maps perfectly onto the hypercube from root 0:
+  // every transfer flips exactly one address bit.
+  const auto cube = topo::make_topology<2>(topo::TopologyKind::kHypercube, 32,
+                                           nullptr);
+  EXPECT_DOUBLE_EQ(primitive_acd(*cube, Primitive::kBroadcastBinomial, 0),
+                   1.0);
+}
+
+TEST(PatternTotals, SfcRankingChangesPrimitiveAcd) {
+  // Section VII: the processor-order SFC matters for generic primitives
+  // too. Compare halo-exchange ACD on a torus ranked by Hilbert vs
+  // row-major: Hilbert ranking keeps ring neighbors physically adjacent.
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  const auto row = make_curve<2>(CurveKind::kRowMajor);
+  const auto torus_h = topo::make_topology<2>(topo::TopologyKind::kTorus, 64,
+                                              hilbert.get());
+  const auto torus_r =
+      topo::make_topology<2>(topo::TopologyKind::kTorus, 64, row.get());
+  const double h = primitive_acd(*torus_h, Primitive::kHaloExchange1D);
+  const double r = primitive_acd(*torus_r, Primitive::kHaloExchange1D);
+  EXPECT_DOUBLE_EQ(h, 1.0);  // Hilbert neighbors are grid neighbors
+  EXPECT_GT(r, 1.0);         // row-major pays at each row wrap
+}
+
+TEST(PatternTotals, EmptyPatternIsZero) {
+  const topo::BusTopology bus(4);
+  const auto totals = pattern_totals(bus, {});
+  EXPECT_EQ(totals.count, 0u);
+  EXPECT_DOUBLE_EQ(totals.acd(), 0.0);
+}
+
+TEST(Patterns, RecursiveDoublingSizePowerOfTwo) {
+  // log2(p) rounds x p messages each.
+  EXPECT_EQ(pattern(Primitive::kAllreduceRecDouble, 8).size(), 3u * 8u);
+  EXPECT_EQ(pattern(Primitive::kAllreduceRecDouble, 16).size(), 4u * 16u);
+}
+
+TEST(Patterns, RecursiveDoublingHandlesNonPowerOfTwo) {
+  // p=10: 2 fold-ins + log2(8)*8 + 2 unfolds.
+  EXPECT_EQ(pattern(Primitive::kAllreduceRecDouble, 10).size(),
+            2u + 3u * 8u + 2u);
+}
+
+TEST(Patterns, RecursiveDoublingIsOneHopOnHypercube) {
+  // Every round pairs ranks differing in exactly one bit.
+  const auto cube = topo::make_topology<2>(topo::TopologyKind::kHypercube,
+                                           16, nullptr);
+  EXPECT_DOUBLE_EQ(primitive_acd(*cube, Primitive::kAllreduceRecDouble),
+                   1.0);
+}
+
+TEST(Patterns, AllGatherRingSizeAndRingAcd) {
+  EXPECT_EQ(pattern(Primitive::kAllGatherRing, 6).size(), 5u * 6u);
+  const topo::RingTopology ring(6);
+  EXPECT_DOUBLE_EQ(primitive_acd(ring, Primitive::kAllGatherRing), 1.0);
+}
+
+TEST(Patterns, Halo2DSizeOnPerfectSquare) {
+  // 4x4 rank grid: 2 * (2 * 4 * 3) directed messages.
+  EXPECT_EQ(pattern(Primitive::kHaloExchange2D, 16).size(), 48u);
+}
+
+TEST(Patterns, Halo2DMatchesMeshWhenRankedRowMajor) {
+  // With row-major processor ranking the rank grid IS the physical grid,
+  // so every 2-D halo message is one hop on the mesh.
+  const auto row = make_curve<2>(CurveKind::kRowMajor);
+  const auto mesh =
+      topo::make_topology<2>(topo::TopologyKind::kMesh, 64, row.get());
+  EXPECT_DOUBLE_EQ(primitive_acd(*mesh, Primitive::kHaloExchange2D), 1.0);
+}
+
+TEST(Patterns, Halo2DSuffersUnderHilbertRanking) {
+  // The flip side of SFC ranking: a primitive whose natural structure is
+  // the row-major grid pays when ranks follow the Hilbert traversal.
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  const auto mesh =
+      topo::make_topology<2>(topo::TopologyKind::kMesh, 64, hilbert.get());
+  EXPECT_GT(primitive_acd(*mesh, Primitive::kHaloExchange2D), 1.0);
+}
+
+TEST(Registry, NamesParseBack) {
+  EXPECT_EQ(parse_primitive("broadcast"), Primitive::kBroadcastBinomial);
+  EXPECT_EQ(parse_primitive("alltoall"), Primitive::kAllToAll);
+  EXPECT_EQ(parse_primitive("scan"), Primitive::kParallelPrefix);
+  EXPECT_FALSE(parse_primitive("gossip").has_value());
+  for (const Primitive p : kAllPrimitives) {
+    EXPECT_FALSE(primitive_name(p).empty());
+  }
+}
+
+}  // namespace
+}  // namespace sfc::comm

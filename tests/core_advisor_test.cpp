@@ -1,0 +1,58 @@
+// Advisor tests: the encoded recommendations must match the paper's
+// conclusions.
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfc::core {
+namespace {
+
+TEST(Advisor, NearFieldAlwaysHilbert) {
+  for (const dist::DistKind d : dist::kAllDistributions) {
+    for (const topo::TopologyKind t : topo::kAllTopologies) {
+      const auto rec = recommend(d, t, Workload::kNearFieldDominant);
+      EXPECT_EQ(rec.particle_curve, CurveKind::kHilbert);
+      EXPECT_EQ(rec.processor_curve, CurveKind::kHilbert);
+      EXPECT_FALSE(rec.rationale.empty());
+    }
+  }
+}
+
+TEST(Advisor, FarFieldNonUniformUnrankedTopologyPrefersZ) {
+  const auto rec = recommend(dist::DistKind::kNormal,
+                             topo::TopologyKind::kHypercube,
+                             Workload::kFarFieldDominant);
+  EXPECT_EQ(rec.particle_curve, CurveKind::kMorton);
+}
+
+TEST(Advisor, FarFieldOnTorusKeepsHilbert) {
+  const auto rec =
+      recommend(dist::DistKind::kExponential, topo::TopologyKind::kTorus,
+                Workload::kFarFieldDominant);
+  EXPECT_EQ(rec.particle_curve, CurveKind::kHilbert);
+  EXPECT_EQ(rec.processor_curve, CurveKind::kHilbert);
+}
+
+TEST(Advisor, BalancedDefaultsToHilbert) {
+  const auto rec = recommend(dist::DistKind::kUniform,
+                             topo::TopologyKind::kMesh, Workload::kBalanced);
+  EXPECT_EQ(rec.particle_curve, CurveKind::kHilbert);
+}
+
+TEST(Advisor, NormalDistributionNotesReorderingIsPointless) {
+  const auto rec =
+      recommend(dist::DistKind::kNormal, topo::TopologyKind::kTorus,
+                Workload::kNearFieldDominant);
+  EXPECT_NE(rec.rationale.find("no incentive"), std::string::npos);
+}
+
+TEST(Advisor, RationaleMentionsRankingScopeOffMeshTorus) {
+  const auto rec = recommend(dist::DistKind::kUniform,
+                             topo::TopologyKind::kQuadtree,
+                             Workload::kBalanced);
+  EXPECT_NE(rec.rationale.find("natural processor labeling"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfc::core

@@ -1,0 +1,211 @@
+// ANNS metric tests: closed forms, brute-force oracle, Xu–Tirthapura
+// properties, and the paper's Figure 5 ordering.
+#include "core/anns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sfc::core {
+namespace {
+
+/// Brute-force stretch over all pairs within Manhattan radius r.
+StretchStats brute_force(const Curve<2>& curve, unsigned level,
+                         unsigned radius) {
+  const std::int64_t side = 1ll << level;
+  double sum = 0, max = 0;
+  std::uint64_t pairs = 0;
+  for (std::int64_t y1 = 0; y1 < side; ++y1) {
+    for (std::int64_t x1 = 0; x1 < side; ++x1) {
+      for (std::int64_t y2 = 0; y2 < side; ++y2) {
+        for (std::int64_t x2 = 0; x2 < side; ++x2) {
+          const std::int64_t d =
+              std::abs(x1 - x2) + std::abs(y1 - y2);
+          if (d < 1 || d > static_cast<std::int64_t>(radius)) continue;
+          // Count unordered pairs once.
+          if (y2 < y1 || (y2 == y1 && x2 <= x1)) continue;
+          const auto ia = curve.index(
+              make_point(static_cast<std::uint32_t>(x1),
+                         static_cast<std::uint32_t>(y1)),
+              level);
+          const auto ib = curve.index(
+              make_point(static_cast<std::uint32_t>(x2),
+                         static_cast<std::uint32_t>(y2)),
+              level);
+          const double stretch =
+              static_cast<double>(ia > ib ? ia - ib : ib - ia) /
+              static_cast<double>(d);
+          sum += stretch;
+          max = std::max(max, stretch);
+          ++pairs;
+        }
+      }
+    }
+  }
+  return {pairs == 0 ? 0.0 : sum / static_cast<double>(pairs), max, pairs};
+}
+
+TEST(Anns, MatchesBruteForceRadius1) {
+  for (const CurveKind kind : kPaperCurves) {
+    const auto curve = make_curve<2>(kind);
+    for (unsigned level : {1u, 2u, 3u, 4u}) {
+      const auto fast = neighbor_stretch(*curve, level, 1);
+      const auto slow = brute_force(*curve, level, 1);
+      ASSERT_EQ(fast.pairs, slow.pairs) << curve->name();
+      ASSERT_NEAR(fast.average, slow.average, 1e-9) << curve->name();
+      ASSERT_NEAR(fast.maximum, slow.maximum, 1e-9) << curve->name();
+    }
+  }
+}
+
+TEST(Anns, MatchesBruteForceLargerRadius) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  for (unsigned radius : {2u, 3u, 6u}) {
+    const auto fast = neighbor_stretch(*curve, 4, radius);
+    const auto slow = brute_force(*curve, 4, radius);
+    ASSERT_EQ(fast.pairs, slow.pairs) << "radius " << radius;
+    ASSERT_NEAR(fast.average, slow.average, 1e-9);
+  }
+}
+
+TEST(Anns, RowMajorClosedForm) {
+  const auto curve = make_curve<2>(CurveKind::kRowMajor);
+  for (unsigned level = 1; level <= 8; ++level) {
+    const auto stats = neighbor_stretch(*curve, level, 1);
+    EXPECT_NEAR(stats.average, rowmajor_anns_closed_form(level), 1e-9)
+        << "level " << level;
+  }
+}
+
+TEST(Anns, PairCountFormula) {
+  // Radius-1 unordered neighbor pairs on an N x N grid: 2 * N * (N - 1).
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  for (unsigned level : {1u, 2u, 5u, 7u}) {
+    const std::uint64_t n = 1ull << level;
+    const auto stats = neighbor_stretch(*curve, level, 1);
+    EXPECT_EQ(stats.pairs, 2 * n * (n - 1));
+  }
+}
+
+TEST(Anns, PaperFigure5Ordering) {
+  // Fig. 5: Z and row-major beat Gray and Hilbert under ANNS — the paper's
+  // surprising result — and the gap widens with resolution.
+  std::vector<double> prev(4, 0.0);
+  for (unsigned level = 4; level <= 8; ++level) {
+    const double h =
+        neighbor_stretch(*make_curve<2>(CurveKind::kHilbert), level, 1)
+            .average;
+    const double z =
+        neighbor_stretch(*make_curve<2>(CurveKind::kMorton), level, 1)
+            .average;
+    const double g =
+        neighbor_stretch(*make_curve<2>(CurveKind::kGray), level, 1).average;
+    const double r =
+        neighbor_stretch(*make_curve<2>(CurveKind::kRowMajor), level, 1)
+            .average;
+    EXPECT_LT(std::max(z, r), std::min(g, h)) << "level " << level;
+    // Monotone growth with resolution for every curve.
+    EXPECT_GT(h, prev[0]);
+    EXPECT_GT(z, prev[1]);
+    EXPECT_GT(g, prev[2]);
+    EXPECT_GT(r, prev[3]);
+    prev = {h, z, g, r};
+  }
+}
+
+TEST(Anns, OrderingStableUnderLargerRadius) {
+  // Section V: "irregardless the radius used, the relative ordering of the
+  // curves was the same".
+  for (unsigned radius : {2u, 4u, 6u}) {
+    const double h =
+        neighbor_stretch(*make_curve<2>(CurveKind::kHilbert), 6, radius)
+            .average;
+    const double z =
+        neighbor_stretch(*make_curve<2>(CurveKind::kMorton), 6, radius)
+            .average;
+    const double g =
+        neighbor_stretch(*make_curve<2>(CurveKind::kGray), 6, radius).average;
+    const double r =
+        neighbor_stretch(*make_curve<2>(CurveKind::kRowMajor), 6, radius)
+            .average;
+    EXPECT_LT(std::max(z, r), std::min(g, h)) << "radius " << radius;
+  }
+}
+
+TEST(Anns, SnakeMatchesRowMajorAsymptotics) {
+  // The snake scan is the continuous row-major: identical horizontal
+  // neighbor behaviour, vertical stretch differs only at row turns.
+  const double snake =
+      neighbor_stretch(*make_curve<2>(CurveKind::kSnake), 6, 1).average;
+  const double row =
+      neighbor_stretch(*make_curve<2>(CurveKind::kRowMajor), 6, 1).average;
+  EXPECT_NEAR(snake, row, row * 0.15);
+}
+
+TEST(Anns, ParallelMatchesSerial) {
+  util::ThreadPool pool(4);
+  const auto curve = make_curve<2>(CurveKind::kGray);
+  const auto serial = neighbor_stretch(*curve, 7, 2, nullptr);
+  const auto parallel = neighbor_stretch(*curve, 7, 2, &pool);
+  EXPECT_EQ(serial.pairs, parallel.pairs);
+  EXPECT_NEAR(serial.average, parallel.average, 1e-9);
+  EXPECT_DOUBLE_EQ(serial.maximum, parallel.maximum);
+}
+
+TEST(Anns, InvalidArgumentsThrow) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  EXPECT_THROW(neighbor_stretch(*curve, 3, 0), std::invalid_argument);
+  EXPECT_THROW(neighbor_stretch(*curve, 13, 1), std::invalid_argument);
+}
+
+TEST(AllPairsStretch, DeterministicForSameSeed) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto a = all_pairs_stretch(*curve, 8, 5000, 3);
+  const auto b = all_pairs_stretch(*curve, 8, 5000, 3);
+  EXPECT_DOUBLE_EQ(a.average, b.average);
+  EXPECT_DOUBLE_EQ(a.maximum, b.maximum);
+  EXPECT_EQ(a.pairs, 5000u);
+}
+
+TEST(AllPairsStretch, StretchIsAtLeastHarmonicallyBounded) {
+  // Any pair's stretch is >= 1/(2N) trivially and the average over random
+  // pairs must be >= 1/2 for a bijection onto a path... use the weakest
+  // safe property: strictly positive and no larger than n/1.
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  const auto s = all_pairs_stretch(*curve, 7, 3000, 4);
+  EXPECT_GT(s.average, 0.0);
+  EXPECT_LE(s.maximum, static_cast<double>(grid_size<2>(7)));
+}
+
+TEST(AllPairsStretch, CurveOrderingIsLessDramaticThanAnns) {
+  // Xu–Tirthapura note the all-pairs stretch discriminates less than the
+  // nearest-neighbor stretch: for random (typically distant) pairs all
+  // bijections look similar. Check the Hilbert/row-major ratio is far
+  // smaller than under ANNS.
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  const auto row = make_curve<2>(CurveKind::kRowMajor);
+  const double ap_h = all_pairs_stretch(*hilbert, 8, 20000, 5).average;
+  const double ap_r = all_pairs_stretch(*row, 8, 20000, 5).average;
+  const double ratio_ap = std::max(ap_h, ap_r) / std::min(ap_h, ap_r);
+  EXPECT_LT(ratio_ap, 2.0);
+}
+
+TEST(Anns, HilbertMnnsIsBoundedBelowByThree) {
+  // A continuous curve has min stretch 1 per step, but some neighbor pair
+  // must stretch: for Hilbert at level >= 2 the max nearest-neighbor
+  // stretch grows with resolution.
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  double prev = 0.0;
+  for (unsigned level = 2; level <= 7; ++level) {
+    const auto stats = neighbor_stretch(*curve, level, 1);
+    EXPECT_GT(stats.maximum, prev);
+    prev = stats.maximum;
+  }
+  EXPECT_GE(prev, 3.0);
+}
+
+}  // namespace
+}  // namespace sfc::core

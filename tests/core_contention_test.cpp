@@ -1,0 +1,139 @@
+// Link-contention extension tests: dimension-order routing, per-link
+// loads, hop consistency with the ACD reducers, and the Hilbert-vs-row
+// congestion contrast.
+#include "core/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distribution/distribution.hpp"
+
+namespace sfc::core {
+namespace {
+
+TEST(LinkLoadMap, SingleMessageRoutesXThenY) {
+  LinkLoadMap map(2, /*wrap=*/false);  // 4x4 mesh
+  map.route(make_point(0, 0), make_point(2, 1));
+  // X leg: (0,0)->(1,0)->(2,0); Y leg: (2,0)->(2,1).
+  EXPECT_EQ(map.link_load(0, 0, 0), 1u);
+  EXPECT_EQ(map.link_load(1, 0, 0), 1u);
+  EXPECT_EQ(map.link_load(2, 0, 2), 1u);
+  const auto s = map.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.hops, 3u);
+  EXPECT_EQ(s.links_used, 3u);
+  EXPECT_EQ(s.max_link_load, 1u);
+}
+
+TEST(LinkLoadMap, NegativeDirections) {
+  LinkLoadMap map(2, false);
+  map.route(make_point(3, 3), make_point(1, 2));
+  EXPECT_EQ(map.link_load(3, 3, 1), 1u);  // -x from (3,3)
+  EXPECT_EQ(map.link_load(2, 3, 1), 1u);
+  EXPECT_EQ(map.link_load(1, 3, 3), 1u);  // -y from (1,3)
+  EXPECT_EQ(map.stats().hops, 3u);
+}
+
+TEST(LinkLoadMap, TorusTakesShorterWrap) {
+  LinkLoadMap map(3, /*wrap=*/true);  // 8x8 torus
+  map.route(make_point(7, 0), make_point(0, 0));
+  // One +x hop across the wrap, not seven -x hops.
+  const auto s = map.stats();
+  EXPECT_EQ(s.hops, 1u);
+  EXPECT_EQ(map.link_load(7, 0, 0), 1u);
+}
+
+TEST(LinkLoadMap, MeshNeverWraps) {
+  LinkLoadMap map(3, false);
+  map.route(make_point(7, 0), make_point(0, 0));
+  EXPECT_EQ(map.stats().hops, 7u);
+}
+
+TEST(LinkLoadMap, ZeroHopMessageCountsButLoadsNothing) {
+  LinkLoadMap map(2, true);
+  map.route(make_point(1, 1), make_point(1, 1));
+  const auto s = map.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.hops, 0u);
+  EXPECT_EQ(s.links_used, 0u);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 0.0);
+}
+
+TEST(LinkLoadMap, TotalLinkCounts) {
+  EXPECT_EQ(LinkLoadMap(2, true).stats().total_links, 4u * 4u * 4u);
+  EXPECT_EQ(LinkLoadMap(2, false).stats().total_links, 2u * 2u * 4u * 3u);
+}
+
+TEST(LinkLoadMap, ResetClearsLoads) {
+  LinkLoadMap map(2, false);
+  map.route(make_point(0, 0), make_point(3, 3));
+  map.reset();
+  const auto s = map.stats();
+  EXPECT_EQ(s.messages, 0u);
+  EXPECT_EQ(s.hops, 0u);
+}
+
+class ContentionPipeline : public ::testing::Test {
+ protected:
+  ContentionPipeline() {
+    dist::SampleConfig cfg;
+    cfg.count = 3000;
+    cfg.level = 7;
+    cfg.seed = 21;
+    particles_ = dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+  }
+  std::vector<Point2> particles_;
+};
+
+TEST_F(ContentionPipeline, TorusHopsMatchAcdTotals) {
+  // DOR routing on the torus takes shortest paths, so total link
+  // traversals must equal the hop sum the ACD reducer computes.
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const AcdInstance<2> instance(particles_, 7, *curve);
+  const fmm::Partition part(instance.particles().size(), 256);
+  const topo::TorusTopology<2> torus(4, *curve);
+
+  const auto congestion = nfi_congestion(instance, part, torus, true, 1);
+  const auto totals = instance.nfi(part, torus, 1);
+  EXPECT_EQ(congestion.hops, totals.hops);
+  EXPECT_EQ(congestion.messages, totals.count);
+
+  const auto ffi_cong = ffi_congestion(instance, part, torus, true);
+  const auto ffi = instance.ffi(part, torus);
+  EXPECT_EQ(ffi_cong.hops, ffi.total().hops);
+  EXPECT_EQ(ffi_cong.messages, ffi.total().count);
+}
+
+TEST_F(ContentionPipeline, MeshHopsMatchAcdTotals) {
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  const AcdInstance<2> instance(particles_, 7, *curve);
+  const fmm::Partition part(instance.particles().size(), 256);
+  const topo::MeshTopology<2> mesh(4, *curve);
+
+  const auto congestion = nfi_congestion(instance, part, mesh, false, 1);
+  const auto totals = instance.nfi(part, mesh, 1);
+  EXPECT_EQ(congestion.hops, totals.hops);
+}
+
+TEST_F(ContentionPipeline, HilbertCoolerThanRowMajorOnWorstLink) {
+  // The extension's headline: the ACD-optimal ordering also keeps the
+  // hottest link cooler than the row-major pairing.
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  const auto row = make_curve<2>(CurveKind::kRowMajor);
+  const fmm::Partition part(particles_.size(), 256);
+
+  const AcdInstance<2> hi(particles_, 7, *hilbert);
+  const topo::TorusTopology<2> torus_h(4, *hilbert);
+  const AcdInstance<2> ri(particles_, 7, *row);
+  const topo::TorusTopology<2> torus_r(4, *row);
+
+  const auto ch = nfi_congestion(hi, part, torus_h, true, 1);
+  const auto cr = nfi_congestion(ri, part, torus_r, true, 1);
+  EXPECT_LT(ch.max_link_load, cr.max_link_load);
+}
+
+TEST(Contention, TooLargeGridThrows) {
+  EXPECT_THROW(LinkLoadMap(14, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfc::core

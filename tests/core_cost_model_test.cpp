@@ -1,0 +1,81 @@
+// Cost-model tests: hand-computed alpha-beta costs and monotonicity in
+// the model parameters.
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfc::core {
+namespace {
+
+TEST(CostModel, HandComputedMessageSet) {
+  CommTotals totals;
+  totals.count = 10;
+  totals.hops = 25;
+  CostParams params;
+  params.alpha_us = 2.0;
+  params.per_hop_us = 0.5;
+  params.bandwidth_bytes_per_us = 100.0;
+  // 10 * 2.0 + 25 * 0.5 + 10 * 50 / 100 = 20 + 12.5 + 5 = 37.5
+  EXPECT_DOUBLE_EQ(communication_cost_us(totals, 50, params), 37.5);
+}
+
+TEST(CostModel, EmptySetCostsNothing) {
+  EXPECT_DOUBLE_EQ(communication_cost_us(CommTotals{}, 64, CostParams{}),
+                   0.0);
+}
+
+TEST(CostModel, ExpansionBytesTrackTerms) {
+  CostParams params;
+  params.expansion_terms = 12;
+  EXPECT_EQ(params.expansion_bytes(), 13u * 16u);
+  params.expansion_terms = 4;
+  EXPECT_EQ(params.expansion_bytes(), 5u * 16u);
+}
+
+TEST(CostModel, FmmEstimateSplitsComponents) {
+  CommTotals nfi;
+  nfi.count = 100;
+  nfi.hops = 200;
+  fmm::FfiTotals ffi;
+  ffi.interpolation = {50, 20};
+  ffi.anterpolation = {50, 20};
+  ffi.interaction = {300, 60};
+  CostParams params;
+
+  const auto est = fmm_cost_estimate(nfi, ffi, params);
+  EXPECT_GT(est.nfi_us, 0.0);
+  EXPECT_GT(est.ffi_us, 0.0);
+  EXPECT_DOUBLE_EQ(est.total_us(), est.nfi_us + est.ffi_us);
+  EXPECT_DOUBLE_EQ(
+      est.nfi_us, communication_cost_us(nfi, params.particle_bytes, params));
+  EXPECT_DOUBLE_EQ(est.ffi_us,
+                   communication_cost_us(ffi.total(),
+                                         params.expansion_bytes(), params));
+}
+
+TEST(CostModel, HigherOrderExpansionsCostMore) {
+  fmm::FfiTotals ffi;
+  ffi.interaction = {1000, 100};
+  CostParams low;
+  low.expansion_terms = 4;
+  CostParams high;
+  high.expansion_terms = 20;
+  const CommTotals nfi{};
+  EXPECT_LT(fmm_cost_estimate(nfi, ffi, low).ffi_us,
+            fmm_cost_estimate(nfi, ffi, high).ffi_us);
+}
+
+TEST(CostModel, PerHopTermScalesWithAcd) {
+  // Two sets with equal counts: the one with more hops costs more — the
+  // mechanism by which a better SFC translates into saved microseconds.
+  CommTotals near, far;
+  near.count = far.count = 1000;
+  near.hops = 1000;
+  far.hops = 10000;
+  CostParams params;
+  EXPECT_LT(communication_cost_us(near, 32, params),
+            communication_cost_us(far, 32, params));
+}
+
+}  // namespace
+}  // namespace sfc::core

@@ -1,0 +1,134 @@
+// Study-runner coverage for the extended registries: every implemented
+// curve and distribution must flow through the runners, and invalid
+// configurations must fail loudly rather than silently.
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+
+namespace sfc::core {
+namespace {
+
+TEST(ExtendedStudy, AllSevenCurvesThroughCombinationStudy) {
+  CombinationStudyConfig cfg;
+  cfg.particles = 800;
+  cfg.level = 6;
+  cfg.procs = 64;
+  cfg.seed = 5;
+  cfg.distributions = {dist::DistKind::kUniform};
+  cfg.curves.assign(std::begin(kAllCurves), std::end(kAllCurves));
+  const auto result = run_combination_study(cfg);
+  ASSERT_EQ(result.cells[0].size(), 7u);
+  ASSERT_EQ(result.cells[0][0].size(), 7u);
+  for (const auto& row : result.cells[0]) {
+    for (const auto& cell : row) {
+      EXPECT_GT(cell.nfi_acd + cell.ffi_acd, 0.0);
+    }
+  }
+}
+
+TEST(ExtendedStudy, MooreTracksHilbertClosely) {
+  CombinationStudyConfig cfg;
+  cfg.particles = 2000;
+  cfg.level = 7;
+  cfg.procs = 256;
+  cfg.seed = 6;
+  cfg.distributions = {dist::DistKind::kUniform};
+  cfg.curves = {CurveKind::kHilbert, CurveKind::kMoore,
+                CurveKind::kRowMajor};
+  const auto result = run_combination_study(cfg);
+  const double hh = result.cells[0][0][0].nfi_acd;
+  const double mm = result.cells[0][1][1].nfi_acd;
+  const double rr = result.cells[0][2][2].nfi_acd;
+  EXPECT_LT(std::abs(hh - mm), 0.35 * hh);  // the loop ~ the open curve
+  EXPECT_GT(rr, 2.0 * std::max(hh, mm));
+}
+
+TEST(ExtendedStudy, ExtendedDistributionsThroughCombinationStudy) {
+  CombinationStudyConfig cfg;
+  cfg.particles = 600;
+  cfg.level = 6;
+  cfg.procs = 64;
+  cfg.seed = 7;
+  cfg.distributions.assign(std::begin(dist::kExtendedDistributions),
+                           std::end(dist::kExtendedDistributions));
+  cfg.curves = {CurveKind::kHilbert};
+  const auto result = run_combination_study(cfg);
+  ASSERT_EQ(result.cells.size(), 5u);
+  for (std::size_t d = 0; d < 5; ++d) {
+    EXPECT_GT(result.cells[d][0][0].nfi_acd + result.cells[d][0][0].ffi_acd,
+              0.0)
+        << dist_name(cfg.distributions[d]);
+  }
+}
+
+TEST(ExtendedStudy, InvalidTorusSizeThrows) {
+  ScalingStudyConfig cfg;
+  cfg.particles = 200;
+  cfg.level = 5;
+  cfg.proc_counts = {48};  // not a square power of two
+  cfg.curves = {CurveKind::kHilbert};
+  EXPECT_THROW(run_scaling_study(cfg), std::invalid_argument);
+}
+
+TEST(ExtendedStudy, AnnsStudyWithLargerRadiusAndAllCurves) {
+  AnnsStudyConfig cfg;
+  cfg.levels = {3, 4};
+  cfg.radius = 4;
+  cfg.curves.assign(std::begin(kAllCurves), std::end(kAllCurves));
+  const auto result = run_anns_study(cfg);
+  ASSERT_EQ(result.stats.size(), 7u);
+  for (const auto& per_curve : result.stats) {
+    for (const auto& s : per_curve) {
+      EXPECT_GT(s.average, 0.0);
+      EXPECT_GT(s.pairs, 0u);
+    }
+  }
+}
+
+TEST(ExtendedStudy, NfiOnlyAndFfiOnlyModesSkipTheOther) {
+  CombinationStudyConfig cfg;
+  cfg.particles = 400;
+  cfg.level = 5;
+  cfg.procs = 16;
+  cfg.seed = 8;
+  cfg.distributions = {dist::DistKind::kUniform};
+  cfg.curves = {CurveKind::kMorton};
+  cfg.far_field = false;
+  const auto nfi_only = run_combination_study(cfg);
+  EXPECT_GT(nfi_only.cells[0][0][0].nfi_acd, 0.0);
+  EXPECT_EQ(nfi_only.cells[0][0][0].ffi_acd, 0.0);
+  cfg.far_field = true;
+  cfg.near_field = false;
+  const auto ffi_only = run_combination_study(cfg);
+  EXPECT_EQ(ffi_only.cells[0][0][0].nfi_acd, 0.0);
+  EXPECT_GT(ffi_only.cells[0][0][0].ffi_acd, 0.0);
+}
+
+TEST(ExtendedStudy, WeightedPartitionSameCommunicationsDifferentHops) {
+  // The communication *set* depends only on the particles; the partition
+  // moves the endpoints. A deliberately lopsided weighting must keep the
+  // count and change the hops.
+  dist::SampleConfig sample;
+  sample.count = 1500;
+  sample.level = 7;
+  sample.seed = 9;
+  const auto particles =
+      dist::sample_particles<2>(dist::DistKind::kUniform, sample);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const AcdInstance<2> instance(particles, 7, *curve);
+  const auto net =
+      topo::make_topology<2>(topo::TopologyKind::kTorus, 64, curve.get());
+
+  const fmm::Partition equal(instance.particles().size(), 64);
+  std::vector<double> lopsided(instance.particles().size(), 1.0);
+  for (std::size_t i = 0; i < lopsided.size() / 4; ++i) lopsided[i] = 50.0;
+  const auto weighted = fmm::Partition::weighted(lopsided, 64);
+
+  const auto a = instance.nfi(equal, *net, 1);
+  const auto b = instance.nfi(weighted, *net, 1);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_NE(a.hops, b.hops);
+}
+
+}  // namespace
+}  // namespace sfc::core

@@ -1,0 +1,237 @@
+// Tests of the particle samplers: determinism, distinct-cell guarantee,
+// range safety, and coarse statistical shape per distribution.
+#include "distribution/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace sfc::dist {
+namespace {
+
+SampleConfig config(std::size_t count, unsigned level, std::uint64_t seed) {
+  SampleConfig cfg;
+  cfg.count = count;
+  cfg.level = level;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class SamplerKind : public ::testing::TestWithParam<DistKind> {};
+
+TEST_P(SamplerKind, ProducesRequestedCountInGrid) {
+  const auto particles =
+      sample_particles<2>(GetParam(), config(5000, 8, 42));
+  EXPECT_EQ(particles.size(), 5000u);
+  for (const auto& p : particles) {
+    ASSERT_TRUE(in_grid(p, 8)) << to_string(p);
+  }
+}
+
+TEST_P(SamplerKind, CellsAreDistinct) {
+  const auto particles =
+      sample_particles<2>(GetParam(), config(4000, 7, 43));
+  std::set<std::uint64_t> cells;
+  for (const auto& p : particles) cells.insert(pack(p, 7));
+  EXPECT_EQ(cells.size(), particles.size());
+}
+
+TEST_P(SamplerKind, DeterministicForSameSeed) {
+  const auto a = sample_particles<2>(GetParam(), config(1000, 8, 7));
+  const auto b = sample_particles<2>(GetParam(), config(1000, 8, 7));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SamplerKind, DifferentSeedsDiffer) {
+  const auto a = sample_particles<2>(GetParam(), config(1000, 8, 1));
+  const auto b = sample_particles<2>(GetParam(), config(1000, 8, 2));
+  EXPECT_NE(a, b);
+}
+
+TEST_P(SamplerKind, ThreeDimensionalSampling) {
+  const auto particles =
+      sample_particles<3>(GetParam(), config(2000, 5, 11));
+  EXPECT_EQ(particles.size(), 2000u);
+  std::set<std::uint64_t> cells;
+  for (const auto& p : particles) {
+    ASSERT_TRUE(in_grid(p, 5));
+    cells.insert(pack(p, 5));
+  }
+  EXPECT_EQ(cells.size(), particles.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, SamplerKind,
+                         ::testing::ValuesIn(kExtendedDistributions),
+                         [](const ::testing::TestParamInfo<DistKind>& inf) {
+                           return std::string(dist_name(inf.param));
+                         });
+
+TEST(UniformSampler, QuadrantCountsAreBalanced) {
+  const auto particles =
+      sample_particles<2>(DistKind::kUniform, config(40000, 9, 3));
+  const std::uint32_t half = 1u << 8;
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& p : particles) {
+    ++counts[(p[0] >= half ? 1 : 0) + (p[1] >= half ? 2 : 0)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(NormalSampler, MassConcentratesAtCenter) {
+  const auto particles =
+      sample_particles<2>(DistKind::kNormal, config(20000, 9, 4));
+  const double center = 256.0;
+  int inner = 0;
+  for (const auto& p : particles) {
+    const double dx = p[0] - center;
+    const double dy = p[1] - center;
+    // Within one sigma box (sigma = 0.2 * 512 = 102.4).
+    if (std::abs(dx) < 102.4 && std::abs(dy) < 102.4) ++inner;
+  }
+  // For independent axes: P(|X|<sigma)^2 ~ 0.683^2 ~ 0.466 before
+  // truncation/dedup; dedup pushes it down a little.
+  EXPECT_GT(inner, 20000 * 0.35);
+  EXPECT_LT(inner, 20000 * 0.60);
+}
+
+TEST(ExponentialSampler, MassConcentratesInLowCorner) {
+  const auto particles =
+      sample_particles<2>(DistKind::kExponential, config(20000, 9, 5));
+  const std::uint32_t half = 1u << 8;
+  int corner = 0;
+  for (const auto& p : particles) {
+    if (p[0] < half && p[1] < half) ++corner;
+  }
+  // P(X < side/2) = 1 - e^{-0.5/0.35} ~ 0.76 per axis -> ~0.58 in the
+  // corner quadrant (before truncation/dedup spreading).
+  EXPECT_GT(corner, 20000 * 0.5);
+  // And far more than the uniform expectation of one quarter.
+  EXPECT_GT(corner, 20000 / 4 * 17 / 10);
+}
+
+TEST(ClusterSampler, MassSitsNearTheBlobs) {
+  // With 8 tight blobs, the sampled set is far more concentrated than a
+  // uniform draw: measure occupancy of 16x16 coarse tiles — the clustered
+  // draw must leave most tiles (nearly) empty.
+  SampleConfig cfg = config(10000, 9, 12);
+  const auto clustered = sample_particles<2>(DistKind::kClusters, cfg);
+  const auto uniform = sample_particles<2>(DistKind::kUniform, cfg);
+  auto occupied_tiles = [](const std::vector<Point2>& pts) {
+    std::set<std::uint32_t> tiles;
+    for (const auto& p : pts) {
+      tiles.insert((p[1] >> 5 << 4) | (p[0] >> 5));
+    }
+    return tiles.size();
+  };
+  EXPECT_LT(occupied_tiles(clustered), occupied_tiles(uniform) / 2);
+}
+
+TEST(ClusterSampler, CenterCountIsConfigurable) {
+  SampleConfig cfg = config(2000, 9, 13);
+  cfg.cluster_count = 1;
+  cfg.cluster_sigma_frac = 0.02;
+  const auto particles = sample_particles<2>(DistKind::kClusters, cfg);
+  // One tight blob: the bounding box is a small fraction of the grid.
+  std::uint32_t min_x = ~0u, max_x = 0, min_y = ~0u, max_y = 0;
+  for (const auto& p : particles) {
+    min_x = std::min(min_x, p[0]);
+    max_x = std::max(max_x, p[0]);
+    min_y = std::min(min_y, p[1]);
+    max_y = std::max(max_y, p[1]);
+  }
+  EXPECT_LT(max_x - min_x, 200u);
+  EXPECT_LT(max_y - min_y, 200u);
+}
+
+TEST(PlummerSampler, HalfMassRadiusMatchesTheory) {
+  // The projected (2-D) Plummer profile has half-mass radius exactly a
+  // (Plummer 1911): half of the particles fall within the scale radius.
+  SampleConfig cfg = config(20000, 10, 14);
+  const auto particles = sample_particles<2>(DistKind::kPlummer, cfg);
+  const double a = cfg.plummer_radius_frac * 1024.0;
+  const double cx = 512.0, cy = 512.0;
+  int inside = 0;
+  for (const auto& p : particles) {
+    const double dx = p[0] - cx;
+    const double dy = p[1] - cy;
+    if (dx * dx + dy * dy < a * a) ++inside;
+  }
+  // Truncation at the grid boundary and cell dedup shift it slightly.
+  EXPECT_NEAR(inside, 10000, 1200);
+}
+
+TEST(Sampler, CountLargerThanGridThrows) {
+  EXPECT_THROW(sample_particles<2>(DistKind::kUniform, config(17, 2, 1)),
+               std::runtime_error);
+}
+
+TEST(Sampler, FullGridIsFeasibleForUniform) {
+  const auto particles =
+      sample_particles<2>(DistKind::kUniform, config(256, 4, 6));
+  EXPECT_EQ(particles.size(), 256u);
+}
+
+TEST(Drift, PreservesCountAndDistinctness) {
+  auto particles = sample_particles<2>(DistKind::kUniform, config(3000, 7, 71));
+  const std::size_t n = particles.size();
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    drift_particles<2>(particles, 7, 71, step);
+    ASSERT_EQ(particles.size(), n);
+    std::set<std::uint64_t> cells;
+    for (const auto& p : particles) {
+      ASSERT_TRUE(in_grid(p, 7));
+      cells.insert(pack(p, 7));
+    }
+    ASSERT_EQ(cells.size(), n) << "step " << step;
+  }
+}
+
+TEST(Drift, MovesAtMostOneCellPerStep) {
+  auto particles = sample_particles<2>(DistKind::kNormal, config(800, 7, 72));
+  const auto before = particles;
+  drift_particles<2>(particles, 7, 72, 0);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    ASSERT_LE(chebyshev(before[i], particles[i]), 1u);
+    if (!(before[i] == particles[i])) ++moved;
+  }
+  // Most particles should actually move on a sparse grid.
+  EXPECT_GT(moved, particles.size() / 2);
+}
+
+TEST(Drift, DeterministicPerStep) {
+  auto a = sample_particles<2>(DistKind::kUniform, config(500, 7, 73));
+  auto b = a;
+  drift_particles<2>(a, 7, 73, 4);
+  drift_particles<2>(b, 7, 73, 4);
+  EXPECT_EQ(a, b);
+  drift_particles<2>(b, 7, 73, 5);
+  EXPECT_NE(a, b);
+}
+
+TEST(Drift, ThreeDimensional) {
+  auto particles = sample_particles<3>(DistKind::kUniform, config(400, 4, 74));
+  const auto before = particles;
+  drift_particles<3>(particles, 4, 74, 0);
+  std::set<std::uint64_t> cells;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    ASSERT_LE(chebyshev(before[i], particles[i]), 1u);
+    cells.insert(pack(particles[i], 4));
+  }
+  EXPECT_EQ(cells.size(), particles.size());
+}
+
+TEST(Sampler, NamesRoundTripThroughParser) {
+  for (const DistKind kind : kAllDistributions) {
+    const auto parsed = parse_dist(dist_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_dist("cauchy").has_value());
+}
+
+}  // namespace
+}  // namespace sfc::dist

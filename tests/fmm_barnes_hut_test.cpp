@@ -1,0 +1,199 @@
+// Barnes–Hut tests: solver accuracy vs direct summation, theta behaviour,
+// and the communication-model variant on the ACD pipeline.
+#include "fmm/barnes_hut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "distribution/distribution.hpp"
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "topology/linear.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+/// `positive` draws gravity-style masses in (0, 1]; the monopole-only
+/// approximation is designed for that setting (the |q|-weighted centroid
+/// cancels the dipole term only for same-sign charges).
+std::vector<Charge> random_charges(std::size_t n, std::uint64_t seed,
+                                   bool positive = false) {
+  util::Xoshiro256pp rng(seed);
+  std::vector<Charge> charges;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = positive ? util::uniform01(rng) + 1e-3
+                              : util::uniform01(rng) * 2.0 - 1.0;
+    charges.push_back({util::uniform01(rng), util::uniform01(rng), q});
+  }
+  return charges;
+}
+
+double max_abs_error(const std::vector<double>& got,
+                     const std::vector<double>& want) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]));
+  }
+  return err;
+}
+
+TEST(BarnesHut, ThetaZeroIsExact) {
+  const auto charges = random_charges(300, 41);
+  BhConfig cfg;
+  cfg.theta = 0.0;
+  const BarnesHut2D bh(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  EXPECT_LT(max_abs_error(bh.potentials(), direct), 1e-10);
+  EXPECT_EQ(bh.stats().cell_evals, 0u);  // every cell opened
+}
+
+TEST(BarnesHut, ErrorShrinksWithTheta) {
+  const auto charges = random_charges(500, 42, /*positive=*/true);
+  const auto direct = direct_potentials(charges);
+  double prev = 1e100;
+  for (const double theta : {1.0, 0.6, 0.3, 0.1}) {
+    BhConfig cfg;
+    cfg.theta = theta;
+    const BarnesHut2D bh(charges, cfg);
+    const double err = max_abs_error(bh.potentials(), direct);
+    EXPECT_LE(err, prev + 1e-12) << "theta " << theta;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-2);
+}
+
+TEST(BarnesHut, ReasonableAccuracyAtStandardTheta) {
+  const auto charges = random_charges(800, 43, /*positive=*/true);
+  BhConfig cfg;
+  cfg.theta = 0.4;
+  const BarnesHut2D bh(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  double scale = 0.0;
+  for (const double v : direct) scale = std::max(scale, std::abs(v));
+  EXPECT_LT(max_abs_error(bh.potentials(), direct) / scale, 0.02);
+}
+
+TEST(BarnesHut, CheaperThanDirectAtScale) {
+  const auto charges = random_charges(3000, 44);
+  BhConfig cfg;
+  cfg.theta = 0.7;
+  const BarnesHut2D bh(charges, cfg);
+  const auto& s = bh.stats();
+  // Total interactions far below the n^2 of direct summation.
+  EXPECT_LT(s.cell_evals + s.point_evals,
+            charges.size() * charges.size() / 4);
+  EXPECT_GT(s.cell_evals, 0u);
+}
+
+TEST(BarnesHut, TwoChargesExact) {
+  std::vector<Charge> charges = {{0.2, 0.2, 1.0}, {0.7, 0.6, 3.0}};
+  BhConfig cfg;
+  cfg.theta = 0.5;
+  const BarnesHut2D bh(charges, cfg);
+  const double r = std::hypot(0.5, 0.4);
+  EXPECT_NEAR(bh.potentials()[0], 3.0 * std::log(r), 1e-12);
+  EXPECT_NEAR(bh.potentials()[1], 1.0 * std::log(r), 1e-12);
+}
+
+TEST(BarnesHut, InvalidConfigThrows) {
+  const auto charges = random_charges(10, 45);
+  BhConfig cfg;
+  cfg.theta = 2.5;
+  EXPECT_THROW(BarnesHut2D(charges, cfg), std::invalid_argument);
+  cfg.theta = 0.5;
+  cfg.leaf_capacity = 0;
+  EXPECT_THROW(BarnesHut2D(charges, cfg), std::invalid_argument);
+}
+
+TEST(BarnesHut, EmptyInput) {
+  const BarnesHut2D bh({}, BhConfig{});
+  EXPECT_TRUE(bh.potentials().empty());
+}
+
+// ------------------------------------------------------- communication model
+
+class BhCommModel : public ::testing::Test {
+ protected:
+  BhCommModel() {
+    dist::SampleConfig cfg;
+    cfg.count = 1500;
+    cfg.level = 7;
+    cfg.seed = 9;
+    particles_ = dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+    std::sort(particles_.begin(), particles_.end(),
+              [](const Point2& a, const Point2& b) {
+                return util::morton2_encode(a[0], a[1]) <
+                       util::morton2_encode(b[0], b[1]);
+              });
+  }
+  std::vector<Point2> particles_;
+};
+
+TEST_F(BhCommModel, ThetaZeroDegeneratesToAllPairs) {
+  // Every cell is opened, so each particle talks to every other particle:
+  // exactly n(n-1) ordered communications.
+  const CellTree<2> tree(particles_, 7);
+  const Partition part(particles_.size(), 8);
+  const topo::BusTopology bus(8);
+  const auto totals = bh_comm_totals(particles_, tree, part, bus, 0.0);
+  EXPECT_EQ(totals.count, particles_.size() * (particles_.size() - 1));
+}
+
+TEST_F(BhCommModel, LargerThetaMeansFewerCommunications) {
+  const CellTree<2> tree(particles_, 7);
+  const Partition part(particles_.size(), 8);
+  const topo::BusTopology bus(8);
+  std::uint64_t prev = ~0ull;
+  for (const double theta : {0.2, 0.5, 1.0}) {
+    const auto totals = bh_comm_totals(particles_, tree, part, bus, theta);
+    EXPECT_LT(totals.count, prev) << "theta " << theta;
+    prev = totals.count;
+  }
+  // Far fewer than all-pairs at theta = 1.
+  EXPECT_LT(prev, particles_.size() * (particles_.size() - 1) / 10);
+}
+
+TEST_F(BhCommModel, SingleProcessorAllZeroHops) {
+  const CellTree<2> tree(particles_, 7);
+  const Partition part(particles_.size(), 1);
+  const topo::BusTopology bus(1);
+  const auto totals = bh_comm_totals(particles_, tree, part, bus, 0.5);
+  EXPECT_GT(totals.count, 0u);
+  EXPECT_EQ(totals.hops, 0u);
+}
+
+TEST_F(BhCommModel, HilbertOrderBeatsRowMajorUnderBhModelToo) {
+  // The paper's recommendation transfers to the Barnes–Hut communication
+  // structure: Hilbert particle order + Hilbert torus ranking yields lower
+  // ACD than row-major + row-major.
+  auto run = [&](CurveKind kind) {
+    const auto curve = make_curve<2>(kind);
+    auto sorted = particles_;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const Point2& a, const Point2& b) {
+                return curve->index(a, 7) < curve->index(b, 7);
+              });
+    const CellTree<2> tree(sorted, 7);
+    const Partition part(sorted.size(), 256);
+    const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus, 256,
+                                            curve.get());
+    return bh_comm_totals(sorted, tree, part, *net, 0.5).acd();
+  };
+  EXPECT_LT(run(CurveKind::kHilbert), run(CurveKind::kRowMajor));
+}
+
+TEST(BhCommModelValidation, BadThetaThrows) {
+  const std::vector<Point2> particles = {make_point(0, 0)};
+  const CellTree<2> tree(particles, 2);
+  const Partition part(1, 1);
+  const topo::BusTopology bus(1);
+  EXPECT_THROW(bh_comm_totals(particles, tree, part, bus, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,108 @@
+// Cell geometry tests: parent/child relations, neighbor stencils, Morton
+// key coarsening.
+#include "fmm/cells.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sfc::fmm {
+namespace {
+
+TEST(Cells, CellAtLevelShifts) {
+  const Point2 p = make_point(13, 6);  // on a level-4 (16x16) grid
+  EXPECT_EQ(cell_at_level(p, 4, 4), p);
+  EXPECT_EQ(cell_at_level(p, 4, 3), make_point(6, 3));
+  EXPECT_EQ(cell_at_level(p, 4, 2), make_point(3, 1));
+  EXPECT_EQ(cell_at_level(p, 4, 1), make_point(1, 0));
+  EXPECT_EQ(cell_at_level(p, 4, 0), make_point(0, 0));
+}
+
+TEST(Cells, ParentHalvesCoordinates) {
+  EXPECT_EQ(parent_cell(make_point(5, 2)), make_point(2, 1));
+  EXPECT_EQ(parent_cell(make_point(0, 0)), make_point(0, 0));
+  EXPECT_EQ(parent_cell(make_point(7, 7)), make_point(3, 3));
+}
+
+TEST(Cells, AdjacencyIsChebyshevOne) {
+  const Point2 c = make_point(4, 4);
+  EXPECT_FALSE(are_adjacent(c, c));
+  EXPECT_TRUE(are_adjacent(c, make_point(5, 5)));
+  EXPECT_TRUE(are_adjacent(c, make_point(3, 4)));
+  EXPECT_FALSE(are_adjacent(c, make_point(6, 4)));
+  EXPECT_FALSE(are_adjacent(c, make_point(6, 6)));
+}
+
+TEST(Cells, InteriorCellHasEightNeighbors) {
+  std::vector<Point2> out;
+  neighbors(make_point(3, 3), 3, out);
+  EXPECT_EQ(out.size(), 8u);
+  for (const auto& n : out) {
+    EXPECT_TRUE(are_adjacent(make_point(3, 3), n));
+  }
+  // All distinct.
+  std::set<std::uint64_t> keys;
+  for (const auto& n : out) keys.insert(pack(n, 3));
+  EXPECT_EQ(keys.size(), 8u);
+}
+
+TEST(Cells, CornerCellHasThreeNeighbors) {
+  std::vector<Point2> out;
+  neighbors(make_point(0, 0), 3, out);
+  EXPECT_EQ(out.size(), 3u);
+  neighbors(make_point(7, 7), 3, out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Cells, EdgeCellHasFiveNeighbors) {
+  std::vector<Point2> out;
+  neighbors(make_point(0, 4), 3, out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(Cells, LevelZeroRootHasNoNeighbors) {
+  std::vector<Point2> out;
+  neighbors(make_point(0, 0), 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Cells, ThreeDInteriorCellHas26Neighbors) {
+  std::vector<Point3> out;
+  neighbors(make_point(2, 2, 2), 3, out);
+  EXPECT_EQ(out.size(), 26u);
+}
+
+TEST(Cells, ThreeDCornerCellHas7Neighbors) {
+  std::vector<Point3> out;
+  neighbors(make_point(0, 0, 0), 2, out);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(Cells, MortonKeyCoarseningMatchesGeometry) {
+  for (std::uint32_t y = 0; y < 16; ++y) {
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      const Point2 cell = make_point(x, y);
+      const std::uint64_t key = cell_key(cell);
+      ASSERT_EQ(parent_key<2>(key), cell_key(parent_cell(cell)));
+      ASSERT_EQ(morton_point<2>(key), cell);
+    }
+  }
+}
+
+TEST(Cells, KeyCoarseningPreservesSortedOrder) {
+  // The FFI coarsening pass relies on key >> D preserving sorted order.
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t y = 0; y < 8; ++y) {
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      keys.push_back(cell_key(make_point(x, y)));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LE(parent_key<2>(keys[i - 1]), parent_key<2>(keys[i]));
+  }
+}
+
+}  // namespace
+}  // namespace sfc::fmm

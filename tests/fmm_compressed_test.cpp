@@ -1,0 +1,149 @@
+// Compressed-quadtree tests: structure invariants, the classical 2n-1
+// node bound, and the hop-preservation equivalence with the uncompressed
+// interpolation model.
+#include "fmm/compressed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "distribution/distribution.hpp"
+#include "fmm/cells.hpp"
+#include "topology/linear.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+std::vector<Point2> sorted_particles(std::vector<Point2> pts,
+                                     unsigned level) {
+  std::sort(pts.begin(), pts.end(), [level](const Point2& a, const Point2& b) {
+    return pack(a, level) < pack(b, level);
+  });
+  return pts;
+}
+
+TEST(CompressedTree, SingleParticleCollapsesToRootPlusLeaf) {
+  const std::vector<Point2> particles = {make_point(5, 2)};
+  const CellTree<2> tree(particles, 6);
+  const CompressedCellTree<2> compressed(tree);
+  ASSERT_EQ(compressed.node_count(), 2u);
+  EXPECT_EQ(compressed.nodes()[0].level, 0u);
+  EXPECT_EQ(compressed.nodes()[0].parent, -1);
+  EXPECT_EQ(compressed.nodes()[1].level, 6u);
+  EXPECT_EQ(compressed.nodes()[1].parent, 0);
+  // The uncompressed chain has 7 cells.
+  EXPECT_EQ(tree.total_cells(), 7u);
+  EXPECT_GT(compressed.compression(tree), 3.0);
+}
+
+TEST(CompressedTree, TwoCloseParticlesSplitAtTheirLca) {
+  // Particles in adjacent finest cells sharing a level-5 parent: the split
+  // happens at that parent, so nodes = root? No — the root has one
+  // occupied child chain down to the LCA (which has 2 children), then two
+  // leaves: {root, LCA, leaf, leaf} minus root-if-chain... representatives
+  // are root, LCA, two leaves: 4 nodes.
+  const std::vector<Point2> particles =
+      sorted_particles({make_point(0, 0), make_point(1, 0)}, 6);
+  const CellTree<2> tree(particles, 6);
+  const CompressedCellTree<2> compressed(tree);
+  EXPECT_EQ(compressed.node_count(), 4u);
+}
+
+TEST(CompressedTree, NodeBoundTwoNMinusOnePlusRoot) {
+  // Internal representatives have >= 2 children, so there are at most n-1
+  // of them; with n leaves and the root, node_count <= 2n.
+  dist::SampleConfig cfg;
+  cfg.count = 700;
+  cfg.level = 9;
+  cfg.seed = 51;
+  for (const auto kind :
+       {dist::DistKind::kUniform, dist::DistKind::kClusters}) {
+    const auto particles =
+        sorted_particles(dist::sample_particles<2>(kind, cfg), 9);
+    const CellTree<2> tree(particles, 9);
+    const CompressedCellTree<2> compressed(tree);
+    EXPECT_LE(compressed.node_count(), 2 * particles.size());
+    EXPECT_LT(compressed.node_count(), tree.total_cells());
+  }
+}
+
+TEST(CompressedTree, ParentPointersAreProperAncestors) {
+  dist::SampleConfig cfg;
+  cfg.count = 400;
+  cfg.level = 7;
+  cfg.seed = 52;
+  const auto particles = sorted_particles(
+      dist::sample_particles<2>(dist::DistKind::kExponential, cfg), 7);
+  const CellTree<2> tree(particles, 7);
+  const CompressedCellTree<2> compressed(tree);
+  for (const auto& node : compressed.nodes()) {
+    if (node.parent < 0) {
+      EXPECT_EQ(node.level, 0u);
+      continue;
+    }
+    const auto& parent =
+        compressed.nodes()[static_cast<std::size_t>(node.parent)];
+    ASSERT_LT(parent.level, node.level);
+    // The parent's key must be the node's ancestor key at that level.
+    EXPECT_EQ(node.key >> (2 * (node.level - parent.level)), parent.key);
+    // Ownership propagates: the parent owns a particle no later in the
+    // order than the child's.
+    EXPECT_LE(parent.min_particle, node.min_particle);
+  }
+}
+
+TEST(CompressedTree, LeavesArePreserved) {
+  dist::SampleConfig cfg;
+  cfg.count = 300;
+  cfg.level = 7;
+  cfg.seed = 53;
+  const auto particles = sorted_particles(
+      dist::sample_particles<2>(dist::DistKind::kNormal, cfg), 7);
+  const CellTree<2> tree(particles, 7);
+  const CompressedCellTree<2> compressed(tree);
+  std::set<std::uint64_t> leaf_keys;
+  for (const auto& node : compressed.nodes()) {
+    if (node.level == 7) leaf_keys.insert(node.key);
+  }
+  EXPECT_EQ(leaf_keys.size(), particles.size());
+}
+
+TEST(CompressedTree, AccumulationHopsMatchUncompressedInterpolation) {
+  // The headline invariant: collapsing singleton chains removes only
+  // zero-hop messages.
+  dist::SampleConfig cfg;
+  cfg.count = 1200;
+  cfg.level = 8;
+  cfg.seed = 54;
+  for (const auto kind :
+       {dist::DistKind::kUniform, dist::DistKind::kClusters,
+        dist::DistKind::kPlummer}) {
+    const auto particles =
+        sorted_particles(dist::sample_particles<2>(kind, cfg), 8);
+    const CellTree<2> tree(particles, 8);
+    const CompressedCellTree<2> compressed(tree);
+    const Partition part(particles.size(), 64);
+    const topo::RingTopology ring(64);
+
+    const auto uncompressed = ffi_totals<2>(tree, part, ring).interpolation;
+    const auto collapsed =
+        compressed_accumulation_totals<2>(compressed, part, ring);
+    EXPECT_EQ(collapsed.hops, uncompressed.hops) << dist_name(kind);
+    EXPECT_LT(collapsed.count, uncompressed.count) << dist_name(kind);
+    EXPECT_GE(collapsed.acd(), uncompressed.acd()) << dist_name(kind);
+  }
+}
+
+TEST(CompressedTree, ThreeDimensionalVariant) {
+  const std::vector<Point3> particles = {make_point(0, 0, 0),
+                                         make_point(7, 7, 7)};
+  const CellTree<3> tree(particles, 3);
+  const CompressedCellTree<3> compressed(tree);
+  // Root (2 children at level 1) + 2 leaves... the split is at the root
+  // itself, so: root, two leaf chains collapsed to the two leaves.
+  EXPECT_EQ(compressed.node_count(), 3u);
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,153 @@
+// Log-tree FFI variant tests: quadrant processor lists, hand-computed
+// tree communications, and structural properties.
+#include "fmm/ffi_logtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "distribution/distribution.hpp"
+#include "fmm/ffi.hpp"
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "topology/linear.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+TEST(QuadrantLists, AssignsParticlesToTheRightQuadrant) {
+  // Level 2, quadrants are the 2x2 blocks keyed by Morton digit:
+  // 0 = LL, 1 = LR, 2 = UL, 3 = UR.
+  const std::vector<Point2> particles = {
+      make_point(0, 0),  // LL
+      make_point(3, 0),  // LR
+      make_point(0, 3),  // UL
+      make_point(3, 3),  // UR
+  };
+  const Partition part(4, 4);  // one particle per processor
+  const auto lists = quadrant_processor_lists<2>(particles, 2, part);
+  ASSERT_EQ(lists.size(), 4u);
+  EXPECT_EQ(lists[0], std::vector<topo::Rank>{0});
+  EXPECT_EQ(lists[1], std::vector<topo::Rank>{1});
+  EXPECT_EQ(lists[2], std::vector<topo::Rank>{2});
+  EXPECT_EQ(lists[3], std::vector<topo::Rank>{3});
+}
+
+TEST(QuadrantLists, DeduplicatesAndSortsProcessors) {
+  // Six particles in one quadrant over two processors.
+  const std::vector<Point2> particles = {
+      make_point(0, 0), make_point(1, 0), make_point(0, 1),
+      make_point(1, 1), make_point(2, 0), make_point(2, 1)};
+  const Partition part(6, 2);  // procs {0,0,0} and {1,1,1}
+  const auto lists = quadrant_processor_lists<2>(particles, 3, part);
+  EXPECT_EQ(lists[0], (std::vector<topo::Rank>{0, 1}));
+  EXPECT_TRUE(lists[1].empty());
+  EXPECT_TRUE(lists[2].empty());
+  EXPECT_TRUE(lists[3].empty());
+}
+
+TEST(LogTree, SingleProcessorQuadrantNeedsNoCommunication) {
+  const std::vector<Point2> particles = {make_point(0, 0), make_point(1, 1)};
+  const Partition part(2, 1);
+  const topo::BusTopology bus(1);
+  const auto totals =
+      logtree_accumulation_totals<2>(particles, 3, part, bus);
+  EXPECT_EQ(totals.count, 0u);
+}
+
+TEST(LogTree, HandComputedTwoProcessorQuadrant) {
+  // One quadrant with processors {0, 1}: one tree edge, two messages of
+  // bus distance 1.
+  const std::vector<Point2> particles = {make_point(0, 0), make_point(1, 0)};
+  const Partition part(2, 2);
+  const topo::BusTopology bus(2);
+  const auto totals =
+      logtree_accumulation_totals<2>(particles, 3, part, bus);
+  EXPECT_EQ(totals.count, 2u);
+  EXPECT_EQ(totals.hops, 2u);
+}
+
+TEST(LogTree, HeapParentIsLowestRankedProcessor) {
+  // Six processors in one quadrant: edges (i -> (i-1)/4): 1..4 -> 0,
+  // 5 -> 1. Bus hops: (1+2+3+4) + (5-1) = 14 per direction.
+  std::vector<Point2> particles;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    particles.push_back(make_point(i % 4, i / 4));  // all in quadrant LL
+  }
+  const Partition part(6, 6);
+  const topo::BusTopology bus(6);
+  const auto totals =
+      logtree_accumulation_totals<2>(particles, 4, part, bus);
+  EXPECT_EQ(totals.count, 2u * 5u);
+  EXPECT_EQ(totals.hops, 2u * 14u);
+}
+
+TEST(LogTree, EdgeCountIsProcessorsMinusOnePerQuadrant) {
+  dist::SampleConfig cfg;
+  cfg.count = 4000;
+  cfg.level = 8;
+  cfg.seed = 91;
+  auto particles = dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  std::sort(particles.begin(), particles.end(),
+            [&](const Point2& a, const Point2& b) {
+              return curve->index(a, 8) < curve->index(b, 8);
+            });
+  const Partition part(particles.size(), 64);
+  const topo::RingTopology ring(64);
+  const auto lists = quadrant_processor_lists<2>(particles, 8, part);
+  std::uint64_t expected = 0;
+  for (const auto& l : lists) {
+    if (!l.empty()) expected += 2 * (l.size() - 1);
+  }
+  const auto totals =
+      logtree_accumulation_totals<2>(particles, 8, part, ring);
+  EXPECT_EQ(totals.count, expected);
+}
+
+TEST(LogTree, AgreesWithCellTreeModelOnCurveOrdering) {
+  // The modeling ambiguity the paper leaves open must not change the
+  // conclusion: both accumulation models rank Hilbert over row-major.
+  dist::SampleConfig cfg;
+  cfg.count = 5000;
+  cfg.level = 8;
+  cfg.seed = 92;
+  const auto raw = dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+
+  auto both_models = [&](CurveKind kind) {
+    const auto curve = make_curve<2>(kind);
+    auto sorted = raw;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const Point2& a, const Point2& b) {
+                return curve->index(a, 8) < curve->index(b, 8);
+              });
+    const Partition part(sorted.size(), 256);
+    const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus, 256,
+                                            curve.get());
+    const CellTree<2> tree(sorted, 8);
+    const auto cell_model = ffi_totals<2>(tree, part, *net);
+    const auto log_model =
+        logtree_accumulation_totals<2>(sorted, 8, part, *net);
+    return std::make_pair(
+        (cell_model.interpolation + cell_model.anterpolation).acd(),
+        log_model.acd());
+  };
+  const auto hilbert = both_models(CurveKind::kHilbert);
+  const auto row = both_models(CurveKind::kRowMajor);
+  EXPECT_LT(hilbert.first, row.first);
+  EXPECT_LT(hilbert.second, row.second);
+}
+
+TEST(LogTree, ThreeDimensionalOctants) {
+  const std::vector<Point3> particles = {make_point(0, 0, 0),
+                                         make_point(7, 7, 7)};
+  const Partition part(2, 2);
+  const topo::BusTopology bus(2);
+  // Two octants, one processor each: no accumulation messages.
+  const auto totals =
+      logtree_accumulation_totals<3>(particles, 3, part, bus);
+  EXPECT_EQ(totals.count, 0u);
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,152 @@
+// Interaction-list tests, including an exact reproduction of the two
+// examples in the paper's Figure 4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "fmm/cells.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+std::set<std::uint64_t> il_keys(const Point2& cell, unsigned level) {
+  std::vector<Point2> out;
+  interaction_list(cell, level, out);
+  std::set<std::uint64_t> keys;
+  for (const auto& c : out) keys.insert(pack(c, level));
+  return keys;
+}
+
+/// Figure 4(a) labels the 4x4 grid row-major from the top-left corner; our
+/// coordinates put y=0 at the bottom, so label L sits at
+/// (x, y) = (L % 4, 3 - L / 4).
+Point2 fig4_cell(unsigned label) {
+  return make_point(label % 4, 3 - label / 4);
+}
+
+std::set<std::uint64_t> fig4_keys(std::initializer_list<unsigned> labels) {
+  std::set<std::uint64_t> keys;
+  for (const unsigned l : labels) keys.insert(pack(fig4_cell(l), 2));
+  return keys;
+}
+
+TEST(InteractionListFig4, Node0MatchesPaper) {
+  // "the interaction list of node 0 is {2,3,6,7,8-16}, or every node that
+  // is not in its quadrant" (the paper's 16 is a typo for 15).
+  EXPECT_EQ(il_keys(fig4_cell(0), 2),
+            fig4_keys({2, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(InteractionListFig4, Node6MatchesPaper) {
+  // "the interaction list of node 6 is {0, 4, 8, 12, 13, 14, 15}".
+  EXPECT_EQ(il_keys(fig4_cell(6), 2), fig4_keys({0, 4, 8, 12, 13, 14, 15}));
+}
+
+TEST(InteractionListFig4, CornerNodesSeeWholeComplementOfQuadrant) {
+  // Every corner cell of the 4x4 grid has all its adjacent cells inside its
+  // own quadrant, so its IL is the full 12-cell complement.
+  for (const unsigned corner : {0u, 3u, 12u, 15u}) {
+    EXPECT_EQ(il_keys(fig4_cell(corner), 2).size(), 12u) << corner;
+  }
+}
+
+TEST(InteractionList, EmptyAtLevelsZeroAndOne) {
+  std::vector<Point2> out;
+  interaction_list(make_point(0, 0), 0, out);
+  EXPECT_TRUE(out.empty());
+  interaction_list(make_point(1, 0), 1, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(InteractionList, NeverContainsSelfOrAdjacentCells) {
+  for (unsigned level : {2u, 3u, 4u}) {
+    const std::uint32_t side = 1u << level;
+    std::vector<Point2> out;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const Point2 c = make_point(x, y);
+        interaction_list(c, level, out);
+        for (const auto& d : out) {
+          ASSERT_GT(chebyshev(c, d), 1u)
+              << "level " << level << " cell " << to_string(c);
+          ASSERT_TRUE(in_grid(d, level));
+        }
+      }
+    }
+  }
+}
+
+TEST(InteractionList, AtMost27CellsIn2D) {
+  for (unsigned level : {2u, 3u, 4u, 5u}) {
+    const std::uint32_t side = 1u << level;
+    std::vector<Point2> out;
+    std::size_t max_size = 0;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        interaction_list(make_point(x, y), level, out);
+        max_size = std::max(max_size, out.size());
+      }
+    }
+    EXPECT_LE(max_size, 27u) << "level " << level;
+    if (level >= 3) {
+      EXPECT_EQ(max_size, 27u) << "level " << level;
+    }
+  }
+}
+
+TEST(InteractionList, IsSymmetric) {
+  // d in IL(c) <=> c in IL(d): both conditions — same level, children of
+  // parent's neighbors, non-adjacent — are symmetric.
+  constexpr unsigned kLevel = 4;
+  const std::uint32_t side = 1u << kLevel;
+  std::vector<Point2> out;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const Point2 c = make_point(x, y);
+      interaction_list(c, kLevel, out);
+      const std::vector<Point2> ilc = out;
+      for (const auto& d : ilc) {
+        interaction_list(d, kLevel, out);
+        ASSERT_NE(std::find(out.begin(), out.end(), c), out.end())
+            << to_string(c) << " in IL(" << to_string(d) << ")";
+      }
+    }
+  }
+}
+
+TEST(InteractionList, MembersAreChildrenOfParentsNeighbors) {
+  constexpr unsigned kLevel = 3;
+  const std::uint32_t side = 1u << kLevel;
+  std::vector<Point2> out, pn;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const Point2 c = make_point(x, y);
+      interaction_list(c, kLevel, out);
+      neighbors(parent_cell(c), kLevel - 1, pn);
+      for (const auto& d : out) {
+        ASSERT_NE(std::find(pn.begin(), pn.end(), parent_cell(d)), pn.end());
+      }
+    }
+  }
+}
+
+TEST(InteractionList, ThreeDBoundedBy189) {
+  std::vector<Point3> out;
+  std::size_t max_size = 0;
+  const std::uint32_t side = 8;
+  for (std::uint32_t z = 0; z < side; ++z) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        interaction_list(make_point(x, y, z), 3, out);
+        max_size = std::max(max_size, out.size());
+      }
+    }
+  }
+  EXPECT_LE(max_size, 189u);
+  EXPECT_EQ(max_size, 189u);  // attained by interior cells at level 3
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,216 @@
+// Laplace FMM solver tests: correctness against direct summation,
+// convergence in the expansion order, and the structural guarantees that
+// tie the solver to the communication model.
+#include "fmm/laplace_fmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+std::vector<Charge> random_charges(std::size_t n, std::uint64_t seed,
+                                   bool neutral = false) {
+  util::Xoshiro256pp rng(seed);
+  std::vector<Charge> charges;
+  charges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Charge c;
+    c.x = util::uniform01(rng);
+    c.y = util::uniform01(rng);
+    c.q = util::uniform01(rng) * 2.0 - 1.0;
+    if (neutral && (i & 1)) c.q = -charges[i - 1].q;
+    charges.push_back(c);
+  }
+  return charges;
+}
+
+double max_rel_error(const std::vector<double>& got,
+                     const std::vector<double>& want) {
+  double scale = 0.0;
+  for (const double w : want) scale = std::max(scale, std::abs(w));
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]) / scale);
+  }
+  return err;
+}
+
+TEST(LaplaceFmm, MatchesDirectSummation) {
+  const auto charges = random_charges(600, 31);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 3;
+  cfg.terms = 16;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  EXPECT_LT(max_rel_error(fmm.potentials(), direct), 1e-8);
+}
+
+TEST(LaplaceFmm, MatchesDirectOnDeeperTree) {
+  const auto charges = random_charges(1500, 32);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 4;
+  cfg.terms = 16;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  EXPECT_LT(max_rel_error(fmm.potentials(), direct), 1e-8);
+}
+
+TEST(LaplaceFmm, ErrorDecreasesWithExpansionOrder) {
+  const auto charges = random_charges(400, 33);
+  const auto direct = direct_potentials(charges);
+  double prev = 1.0;
+  for (const unsigned p : {2u, 6u, 10u, 14u}) {
+    FmmSolverConfig cfg;
+    cfg.tree_level = 3;
+    cfg.terms = p;
+    const LaplaceFmm2D fmm(charges, cfg);
+    const double err = max_rel_error(fmm.potentials(), direct);
+    EXPECT_LT(err, prev) << "p=" << p;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(LaplaceFmm, NeutralSystemsConvergeToo) {
+  const auto charges = random_charges(500, 34, /*neutral=*/true);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 3;
+  cfg.terms = 14;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  double abs_err = 0.0;
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    abs_err = std::max(abs_err,
+                       std::abs(fmm.potentials()[i] - direct[i]));
+  }
+  // Truncation at p=14 with the worst-case interaction-list separation
+  // gives ~ 0.5^14 per unit charge; stay an order of magnitude above it.
+  EXPECT_LT(abs_err, 5e-6);
+}
+
+TEST(LaplaceFmm, ClusteredChargesStayAccurate) {
+  // All charges in one corner cell exercise the empty-cell skips.
+  util::Xoshiro256pp rng(35);
+  std::vector<Charge> charges;
+  for (int i = 0; i < 200; ++i) {
+    charges.push_back(
+        {0.05 * util::uniform01(rng), 0.05 * util::uniform01(rng),
+         util::uniform01(rng) - 0.5});
+  }
+  FmmSolverConfig cfg;
+  cfg.tree_level = 4;
+  cfg.terms = 14;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto direct = direct_potentials(charges);
+  EXPECT_LT(max_rel_error(fmm.potentials(), direct), 1e-8);
+}
+
+TEST(LaplaceFmm, TwoChargeSanity) {
+  // phi at each of two charges is the other's contribution exactly.
+  std::vector<Charge> charges = {{0.1, 0.1, 2.0}, {0.9, 0.8, -1.0}};
+  FmmSolverConfig cfg;
+  cfg.tree_level = 2;
+  cfg.terms = 10;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const double r = std::hypot(0.8, 0.7);
+  EXPECT_NEAR(fmm.potentials()[0], -1.0 * std::log(r), 1e-9);
+  EXPECT_NEAR(fmm.potentials()[1], 2.0 * std::log(r), 1e-9);
+}
+
+TEST(LaplaceFmm, FieldsMatchDirectSummation) {
+  const auto charges = random_charges(700, 38);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 3;
+  cfg.terms = 16;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto direct = direct_fields(charges);
+  double scale = 0.0;
+  for (const auto& f : direct) {
+    scale = std::max(scale, std::hypot(f.x, f.y));
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    err = std::max(err, std::hypot(fmm.fields()[i].x - direct[i].x,
+                                   fmm.fields()[i].y - direct[i].y));
+  }
+  EXPECT_LT(err / scale, 1e-7);
+}
+
+TEST(LaplaceFmm, TwoChargeFieldSanity) {
+  // E at charge 0 from charge 1: q1 * (z0 - z1) / |z0 - z1|^2.
+  // The pair interacts through the far-field expansions (their cells are
+  // in each other's interaction lists), so accuracy is truncation-bound:
+  // use a high order and a matching tolerance.
+  std::vector<Charge> charges = {{0.25, 0.25, 1.0}, {0.75, 0.5, -2.0}};
+  FmmSolverConfig cfg;
+  cfg.tree_level = 2;
+  cfg.terms = 28;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const double dx = 0.25 - 0.75, dy = 0.25 - 0.5;
+  const double inv_r2 = 1.0 / (dx * dx + dy * dy);
+  EXPECT_NEAR(fmm.fields()[0].x, -2.0 * dx * inv_r2, 1e-6);
+  EXPECT_NEAR(fmm.fields()[0].y, -2.0 * dy * inv_r2, 1e-6);
+  EXPECT_NEAR(fmm.fields()[1].x, 1.0 * -dx * inv_r2, 1e-6);
+  EXPECT_NEAR(fmm.fields()[1].y, 1.0 * -dy * inv_r2, 1e-6);
+}
+
+TEST(LaplaceFmm, NewtonThirdLawOnDirectFields) {
+  // Momentum conservation: sum of q_i * E_i vanishes for direct fields
+  // (pairwise forces cancel).
+  const auto charges = random_charges(200, 39);
+  const auto fields = direct_fields(charges);
+  double fx = 0.0, fy = 0.0;
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    fx += charges[i].q * fields[i].x;
+    fy += charges[i].q * fields[i].y;
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-9);
+  EXPECT_NEAR(fy, 0.0, 1e-9);
+}
+
+TEST(LaplaceFmm, PassCountsAreConsistent) {
+  const auto charges = random_charges(800, 36);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 4;
+  cfg.terms = 8;
+  const LaplaceFmm2D fmm(charges, cfg);
+  const auto& counts = fmm.pass_counts();
+  // One L2P per charge; at least one P2M per occupied leaf; M2L bounded by
+  // 27 per cell over all levels.
+  EXPECT_EQ(counts.l2p, charges.size());
+  EXPECT_GT(counts.p2m, 0u);
+  EXPECT_GT(counts.m2l, 0u);
+  EXPECT_GT(counts.m2m, 0u);
+  const std::uint64_t cells_bound = (256 + 64 + 16) * 27;
+  EXPECT_LE(counts.m2l, cells_bound);
+  // Every unordered near pair once: far fewer than n^2/2.
+  EXPECT_LT(counts.p2p_pairs, charges.size() * charges.size() / 2);
+}
+
+TEST(LaplaceFmm, InvalidConfigThrows) {
+  const auto charges = random_charges(10, 37);
+  FmmSolverConfig cfg;
+  cfg.tree_level = 1;
+  EXPECT_THROW(LaplaceFmm2D(charges, cfg), std::invalid_argument);
+  cfg.tree_level = 3;
+  cfg.terms = 0;
+  EXPECT_THROW(LaplaceFmm2D(charges, cfg), std::invalid_argument);
+}
+
+TEST(LaplaceFmm, OutOfDomainChargeThrows) {
+  std::vector<Charge> charges = {{1.5, 0.5, 1.0}};
+  FmmSolverConfig cfg;
+  EXPECT_THROW(LaplaceFmm2D(charges, cfg), std::invalid_argument);
+}
+
+TEST(LaplaceFmm, EmptyInputIsFine) {
+  const LaplaceFmm2D fmm({}, FmmSolverConfig{});
+  EXPECT_TRUE(fmm.potentials().empty());
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,158 @@
+// N-body integrator tests: the physics invariants a symplectic,
+// time-reversible integrator must satisfy — energy drift bounded,
+// momentum conserved, forward-then-backward returns to the start — plus
+// FMM/direct force-path agreement.
+#include "fmm/nbody.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sfc::fmm {
+namespace {
+
+/// A loose central cluster with small random velocities: stays away from
+/// walls and close encounters over short horizons.
+NbodyIntegrator make_cluster(std::size_t n, std::uint64_t seed,
+                             const NbodyConfig& cfg) {
+  util::Xoshiro256pp rng(seed);
+  std::vector<Charge> bodies;
+  std::vector<Vec2> velocities;
+  for (std::size_t i = 0; i < n; ++i) {
+    bodies.push_back({0.35 + 0.3 * util::uniform01(rng),
+                      0.35 + 0.3 * util::uniform01(rng),
+                      0.5 + util::uniform01(rng)});
+    velocities.push_back({0.1 * (util::uniform01(rng) - 0.5),
+                          0.1 * (util::uniform01(rng) - 0.5)});
+  }
+  return NbodyIntegrator(std::move(bodies), std::move(velocities), cfg);
+}
+
+TEST(Nbody, EnergyDriftSmallAndSecondOrderInDt) {
+  // Same physical horizon at two timesteps: leapfrog's energy error is
+  // O(dt^2), so quartering dt must cut the drift by well over 2x, and the
+  // finer run must conserve energy tightly (the log kernel's close
+  // encounters make the absolute constant input-dependent, hence the
+  // convergence-based assertion).
+  auto drift_at = [](double dt, unsigned steps) {
+    NbodyConfig cfg;
+    cfg.dt = dt;
+    cfg.use_fmm = false;
+    auto sim = make_cluster(40, 11, cfg);
+    const double e0 = sim.total_energy();
+    sim.step(steps);
+    EXPECT_EQ(sim.wall_bounces(), 0u);
+    return std::abs(sim.total_energy() - e0) / std::abs(e0);
+  };
+  const double coarse = drift_at(1e-4, 100);
+  const double fine = drift_at(2.5e-5, 400);
+  EXPECT_LT(fine, coarse / 2.0);
+  EXPECT_LT(fine, 2e-3);
+}
+
+TEST(Nbody, MomentumConservedWithoutWalls) {
+  NbodyConfig cfg;
+  cfg.dt = 1e-4;
+  cfg.use_fmm = false;
+  auto sim = make_cluster(30, 12, cfg);
+  const Vec2 p0 = sim.momentum();
+  sim.step(100);
+  ASSERT_EQ(sim.wall_bounces(), 0u);
+  const Vec2 p1 = sim.momentum();
+  // Internal forces cancel pairwise (Newton's third law, exact in FP up
+  // to summation order).
+  EXPECT_NEAR(p1.x, p0.x, 1e-9);
+  EXPECT_NEAR(p1.y, p0.y, 1e-9);
+}
+
+TEST(Nbody, LeapfrogIsTimeReversible) {
+  NbodyConfig cfg;
+  cfg.dt = 1e-4;
+  cfg.use_fmm = false;
+  auto sim = make_cluster(25, 13, cfg);
+  const auto start = sim.bodies();
+  sim.step(50);
+  ASSERT_EQ(sim.wall_bounces(), 0u);
+  sim.reverse();
+  sim.step(50);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_NEAR(sim.bodies()[i].x, start[i].x, 1e-9) << "body " << i;
+    EXPECT_NEAR(sim.bodies()[i].y, start[i].y, 1e-9) << "body " << i;
+  }
+}
+
+TEST(Nbody, FmmAndDirectTrajectoriesAgree) {
+  NbodyConfig direct_cfg;
+  direct_cfg.dt = 1e-4;
+  direct_cfg.use_fmm = false;
+  NbodyConfig fmm_cfg = direct_cfg;
+  fmm_cfg.use_fmm = true;
+  fmm_cfg.fmm.tree_level = 3;
+  fmm_cfg.fmm.terms = 18;
+
+  auto a = make_cluster(120, 14, direct_cfg);
+  auto b = make_cluster(120, 14, fmm_cfg);
+  a.step(20);
+  b.step(20);
+  for (std::size_t i = 0; i < a.bodies().size(); ++i) {
+    ASSERT_NEAR(a.bodies()[i].x, b.bodies()[i].x, 1e-7) << "body " << i;
+    ASSERT_NEAR(a.bodies()[i].y, b.bodies()[i].y, 1e-7) << "body " << i;
+  }
+}
+
+TEST(Nbody, WallsReflectAndKeepBodiesInside) {
+  NbodyConfig cfg;
+  cfg.dt = 1e-2;
+  cfg.use_fmm = false;
+  std::vector<Charge> bodies = {{0.98, 0.5, 1.0}, {0.02, 0.5, 1.0}};
+  std::vector<Vec2> velocities = {{5.0, 0.0}, {-5.0, 0.0}};
+  NbodyIntegrator sim(std::move(bodies), std::move(velocities), cfg);
+  sim.step(20);
+  EXPECT_GT(sim.wall_bounces(), 0u);
+  for (const auto& b : sim.bodies()) {
+    EXPECT_GE(b.x, 0.0);
+    EXPECT_LT(b.x, 1.0);
+    EXPECT_GE(b.y, 0.0);
+    EXPECT_LT(b.y, 1.0);
+  }
+}
+
+TEST(Nbody, TwoBodyAttraction) {
+  // Two masses at rest accelerate toward each other.
+  NbodyConfig cfg;
+  cfg.dt = 1e-3;
+  cfg.use_fmm = false;
+  std::vector<Charge> bodies = {{0.3, 0.5, 1.0}, {0.7, 0.5, 1.0}};
+  NbodyIntegrator sim(std::move(bodies), {}, cfg);
+  const double gap0 = sim.bodies()[1].x - sim.bodies()[0].x;
+  sim.step(50);
+  const double gap1 = sim.bodies()[1].x - sim.bodies()[0].x;
+  EXPECT_LT(gap1, gap0);
+  // Symmetric: the midpoint stays put.
+  EXPECT_NEAR(sim.bodies()[0].x + sim.bodies()[1].x, 1.0, 1e-9);
+}
+
+TEST(Nbody, InvalidInputsThrow) {
+  NbodyConfig cfg;
+  cfg.dt = 0.0;
+  EXPECT_THROW(NbodyIntegrator({{0.5, 0.5, 1.0}}, {}, cfg),
+               std::invalid_argument);
+  cfg.dt = 1e-3;
+  EXPECT_THROW(NbodyIntegrator({{0.5, 0.5, -1.0}}, {}, cfg),
+               std::invalid_argument);
+}
+
+TEST(Nbody, StepCountsAccumulate) {
+  NbodyConfig cfg;
+  cfg.dt = 1e-4;
+  cfg.use_fmm = false;
+  auto sim = make_cluster(10, 15, cfg);
+  sim.step(3);
+  sim.step(2);
+  EXPECT_EQ(sim.steps_taken(), 5u);
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,68 @@
+// Occupancy grid tests, covering both the dense-array and hash-map
+// storage policies.
+#include "fmm/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc::fmm {
+namespace {
+
+TEST(Occupancy, FindsEveryParticle) {
+  std::vector<Point2> particles = {make_point(0, 0), make_point(5, 3),
+                                   make_point(7, 7), make_point(1, 6)};
+  const OccupancyGrid<2> grid(particles, 3);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(grid.particle_at(particles[i]), static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Occupancy, EmptyCellsReportEmpty) {
+  std::vector<Point2> particles = {make_point(2, 2)};
+  const OccupancyGrid<2> grid(particles, 3);
+  EXPECT_EQ(grid.particle_at(make_point(0, 0)), OccupancyGrid<2>::kEmpty);
+  EXPECT_EQ(grid.particle_at(make_point(7, 7)), OccupancyGrid<2>::kEmpty);
+  EXPECT_EQ(grid.particle_at(make_point(2, 3)), OccupancyGrid<2>::kEmpty);
+}
+
+TEST(Occupancy, NoParticlesAtAll) {
+  const std::vector<Point2> particles;
+  const OccupancyGrid<2> grid(particles, 4);
+  EXPECT_EQ(grid.particle_at(make_point(3, 3)), OccupancyGrid<2>::kEmpty);
+}
+
+TEST(Occupancy, SparseStorageBeyondDenseThreshold) {
+  // level 14 in 2-D = 2^28 cells > 2^26: exercises the hash-map path.
+  std::vector<Point2> particles = {make_point(0, 0), make_point(16383, 16383),
+                                   make_point(12345, 999)};
+  const OccupancyGrid<2> grid(particles, 14);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(grid.particle_at(particles[i]), static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(grid.particle_at(make_point(1, 1)), OccupancyGrid<2>::kEmpty);
+}
+
+TEST(Occupancy, DenseAndSparseAgree) {
+  // Build the same particle set at a level served densely (8) and compare
+  // with a sparse grid at a level that forces hashing (14 in 3-D).
+  std::vector<Point3> particles;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    particles.push_back(make_point(i, (i * 7) % 256, (i * 13) % 256));
+  }
+  const OccupancyGrid<3> dense(particles, 8);   // 2^24 cells: dense
+  const OccupancyGrid<3> sparse(particles, 10);  // 2^30 cells: sparse
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(dense.particle_at(particles[i]), static_cast<std::int32_t>(i));
+    EXPECT_EQ(sparse.particle_at(particles[i]), static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Occupancy, LevelAccessor) {
+  const std::vector<Point2> particles = {make_point(1, 1)};
+  const OccupancyGrid<2> grid(particles, 5);
+  EXPECT_EQ(grid.level(), 5u);
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,148 @@
+// Partition tests: chunk sizes, boundaries, and O(1) owner lookup.
+#include "fmm/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfc::fmm {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  const Partition part(100, 4);
+  EXPECT_EQ(part.chunk_size(0), 25u);
+  EXPECT_EQ(part.chunk_size(3), 25u);
+  EXPECT_EQ(part.proc_of(0), 0u);
+  EXPECT_EQ(part.proc_of(24), 0u);
+  EXPECT_EQ(part.proc_of(25), 1u);
+  EXPECT_EQ(part.proc_of(99), 3u);
+}
+
+TEST(Partition, UnevenSplitFirstChunksLarger) {
+  const Partition part(10, 3);  // 4, 3, 3
+  EXPECT_EQ(part.chunk_size(0), 4u);
+  EXPECT_EQ(part.chunk_size(1), 3u);
+  EXPECT_EQ(part.chunk_size(2), 3u);
+  EXPECT_EQ(part.proc_of(3), 0u);
+  EXPECT_EQ(part.proc_of(4), 1u);
+  EXPECT_EQ(part.proc_of(6), 1u);
+  EXPECT_EQ(part.proc_of(7), 2u);
+}
+
+TEST(Partition, MoreProcessorsThanParticles) {
+  const Partition part(3, 8);
+  EXPECT_EQ(part.proc_of(0), 0u);
+  EXPECT_EQ(part.proc_of(1), 1u);
+  EXPECT_EQ(part.proc_of(2), 2u);
+  EXPECT_EQ(part.chunk_size(3), 0u);
+  EXPECT_EQ(part.chunk_size(7), 0u);
+}
+
+TEST(Partition, SingleProcessorOwnsEverything) {
+  const Partition part(1000, 1);
+  for (std::size_t i = 0; i < 1000; i += 17) {
+    EXPECT_EQ(part.proc_of(i), 0u);
+  }
+}
+
+TEST(Partition, ChunkBeginIsConsistentWithProcOf) {
+  const Partition part(1237, 16);
+  for (topo::Rank r = 0; r < 16; ++r) {
+    const std::size_t begin = part.chunk_begin(r);
+    const std::size_t end = part.chunk_begin(r + 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      ASSERT_EQ(part.proc_of(i), r) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(part.chunk_begin(16), 1237u);
+}
+
+TEST(Partition, ChunkSizesDifferByAtMostOne) {
+  for (const std::size_t n : {1000u, 1023u, 65536u, 7u}) {
+    for (const topo::Rank p : {3u, 16u, 64u, 255u}) {
+      const Partition part(n, p);
+      std::size_t lo = n, hi = 0, total = 0;
+      for (topo::Rank r = 0; r < p; ++r) {
+        const std::size_t s = part.chunk_size(r);
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+        total += s;
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_LE(hi - lo, 1u) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(WeightedPartition, UniformWeightsMatchEqualCountCuts) {
+  const std::vector<double> weights(100, 1.0);
+  const auto part = Partition::weighted(weights, 4);
+  EXPECT_TRUE(part.is_weighted());
+  for (topo::Rank r = 0; r < 4; ++r) {
+    EXPECT_EQ(part.chunk_size(r), 25u) << "rank " << r;
+  }
+  EXPECT_NEAR(part.imbalance(weights), 1.0, 1e-12);
+}
+
+TEST(WeightedPartition, SkewedWeightsBalanceLoadNotCounts) {
+  // First 10 particles carry weight 10 each, the other 90 weight 1:
+  // total 190, ideal 95 per chunk of 2. The cut lands mid-heavy-range.
+  std::vector<double> weights(100, 1.0);
+  for (int i = 0; i < 10; ++i) weights[static_cast<std::size_t>(i)] = 10.0;
+  const auto part = Partition::weighted(weights, 2);
+  EXPECT_LT(part.chunk_size(0), 50u);  // the heavy chunk holds fewer items
+  EXPECT_LT(part.imbalance(weights), 1.2);
+  // Equal-count chunking is badly imbalanced on the same weights.
+  const Partition naive(100, 2);
+  EXPECT_GT(naive.imbalance(weights), 1.4);
+}
+
+TEST(WeightedPartition, ProcOfConsistentWithChunkBegins) {
+  std::vector<double> weights;
+  for (int i = 0; i < 333; ++i) {
+    weights.push_back(1.0 + (i % 7) * 0.5);
+  }
+  const auto part = Partition::weighted(weights, 16);
+  for (topo::Rank r = 0; r < 16; ++r) {
+    for (std::size_t i = part.chunk_begin(r); i < part.chunk_begin(r + 1);
+         ++i) {
+      ASSERT_EQ(part.proc_of(i), r) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(part.chunk_begin(16), 333u);
+}
+
+TEST(WeightedPartition, MoreProcessorsThanWeightLeavesEmptyChunks) {
+  const std::vector<double> weights = {5.0, 5.0};
+  const auto part = Partition::weighted(weights, 8);
+  std::size_t total = 0;
+  for (topo::Rank r = 0; r < 8; ++r) total += part.chunk_size(r);
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(WeightedPartition, ChunksAreContiguousAndMonotone) {
+  std::vector<double> weights;
+  for (int i = 0; i < 500; ++i) {
+    weights.push_back(i < 250 ? 0.1 : 3.0);
+  }
+  const auto part = Partition::weighted(weights, 10);
+  topo::Rank prev = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const topo::Rank r = part.proc_of(i);
+    ASSERT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Partition, OwnersAreMonotone) {
+  const Partition part(997, 31);
+  topo::Rank prev = 0;
+  for (std::size_t i = 0; i < 997; ++i) {
+    const topo::Rank r = part.proc_of(i);
+    ASSERT_GE(r, prev);
+    ASSERT_LT(r, 31u);
+    prev = r;
+  }
+  EXPECT_EQ(prev, 30u);  // every processor ends up used (n > p)
+}
+
+}  // namespace
+}  // namespace sfc::fmm

@@ -1,0 +1,67 @@
+// Full-factorial pipeline sweep: every {particle curve, topology,
+// distribution} combination at toy scale must run cleanly and satisfy the
+// structural invariants — the breadth net under all the targeted tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/acd.hpp"
+
+namespace sfc::core {
+namespace {
+
+using SweepParam = std::tuple<CurveKind, topo::TopologyKind, dist::DistKind>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, RunsAndSatisfiesInvariants) {
+  const auto [curve, topology, distribution] = GetParam();
+  Scenario2 s;
+  s.particles = 500;
+  s.level = 6;
+  s.procs = 64;
+  s.particle_curve = curve;
+  s.processor_curve = curve;
+  s.topology = topology;
+  s.distribution = distribution;
+  s.radius = 1;
+  s.seed = 99;
+
+  const auto r = compute_acd<2>(s);
+
+  // Structure: both models produce communications; averages are finite,
+  // non-negative, and bounded by the network diameter.
+  const auto net = topo::make_topology<2>(topology, s.procs,
+                                          make_curve<2>(curve).get());
+  EXPECT_GT(r.nfi.count, 0u);
+  EXPECT_GT(r.ffi.total().count, 0u);
+  EXPECT_GE(r.nfi_acd(), 0.0);
+  EXPECT_LE(r.nfi_acd(), static_cast<double>(net->diameter()));
+  EXPECT_LE(r.ffi_acd(), static_cast<double>(net->diameter()));
+  // Anterpolation mirrors interpolation exactly.
+  EXPECT_EQ(r.ffi.interpolation, r.ffi.anterpolation);
+  // Determinism.
+  const auto again = compute_acd<2>(s);
+  EXPECT_EQ(again.nfi, r.nfi);
+  EXPECT_EQ(again.ffi.total(), r.ffi.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, PipelineSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllCurves),
+                       ::testing::ValuesIn(topo::kAllTopologies),
+                       ::testing::ValuesIn(dist::kAllDistributions)),
+    [](const ::testing::TestParamInfo<SweepParam>& inf) {
+      std::string name(curve_name(std::get<0>(inf.param)));
+      name += "_";
+      name += topo::topology_name(std::get<1>(inf.param));
+      name += "_";
+      name += dist_name(std::get<2>(inf.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sfc::core

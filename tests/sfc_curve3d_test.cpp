@@ -1,0 +1,118 @@
+// 3-D curve tests (the paper's future-work extension): bijectivity for all
+// curves, Hilbert/snake continuity, Morton bit structure.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sfc/curve.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "sfc/rowmajor.hpp"
+
+namespace sfc {
+namespace {
+
+using Param3D = std::tuple<CurveKind, unsigned>;
+
+class Curve3DBijectivity : public ::testing::TestWithParam<Param3D> {};
+
+TEST_P(Curve3DBijectivity, IndexIsBijectiveWithInverse) {
+  const auto [kind, level] = GetParam();
+  const auto curve = make_curve<3>(kind);
+  const std::uint64_t n = grid_size<3>(level);
+  const std::uint32_t side = 1u << level;
+
+  std::vector<bool> seen(n, false);
+  for (std::uint32_t z = 0; z < side; ++z) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const Point3 p = make_point(x, y, z);
+        const std::uint64_t idx = curve->index(p, level);
+        ASSERT_LT(idx, n) << curve->name();
+        ASSERT_FALSE(seen[idx]) << curve->name() << " collision at " << idx;
+        seen[idx] = true;
+        ASSERT_EQ(curve->point(idx, level), p) << curve->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurves3D, Curve3DBijectivity,
+    ::testing::Combine(::testing::ValuesIn(kCurves3D),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<Param3D>& inf) {
+      std::string name(curve_name(std::get<0>(inf.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_L" + std::to_string(std::get<1>(inf.param));
+    });
+
+TEST(Hilbert3D, ConsecutiveIndicesAreLatticeNeighbors) {
+  const HilbertCurve<3> curve;
+  for (unsigned level : {1u, 2u, 3u, 4u}) {
+    const std::uint64_t n = grid_size<3>(level);
+    Point3 prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < n; ++i) {
+      const Point3 cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u)
+          << "level " << level << " index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Snake3D, ConsecutiveIndicesAreLatticeNeighbors) {
+  const SnakeCurve<3> curve;
+  for (unsigned level : {1u, 2u, 3u, 4u}) {
+    const std::uint64_t n = grid_size<3>(level);
+    Point3 prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < n; ++i) {
+      const Point3 cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u)
+          << "level " << level << " index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Morton3D, OctantIsTopThreeIndexBits) {
+  const MortonCurve<3> curve;
+  constexpr unsigned kLevel = 3;
+  const std::uint32_t side = 1u << kLevel;
+  const std::uint64_t eighth = grid_size<3>(kLevel) / 8;
+  for (std::uint32_t z = 0; z < side; ++z) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const std::uint64_t idx = curve.index(make_point(x, y, z), kLevel);
+        const std::uint64_t expected = (z >= side / 2 ? 4u : 0u) +
+                                       (y >= side / 2 ? 2u : 0u) +
+                                       (x >= side / 2 ? 1u : 0u);
+        ASSERT_EQ(idx / eighth, expected);
+      }
+    }
+  }
+}
+
+TEST(Curve3D, RoundTripSampledAtLevel12) {
+  std::uint64_t state = 0xABCDEFu;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  constexpr unsigned kLevel = 12;
+  const std::uint32_t side = 1u << kLevel;
+  for (const CurveKind kind : kCurves3D) {
+    const auto curve = make_curve<3>(kind);
+    for (int i = 0; i < 1000; ++i) {
+      const Point3 p = make_point(next() % side, next() % side, next() % side);
+      ASSERT_EQ(curve->point(curve->index(p, kLevel), kLevel), p)
+          << curve->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,95 @@
+// 4-D curve tests: the geometry layer is dimension-generic up to D = 4;
+// exercise the generic (non-fast-path) code in Morton/Gray and Skilling's
+// Hilbert at the highest supported dimension.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sfc/gray.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "sfc/rowmajor.hpp"
+
+namespace sfc {
+namespace {
+
+template <typename CurveT>
+void expect_bijective_4d(const CurveT& curve, unsigned level) {
+  const std::uint64_t n = grid_size<4>(level);
+  const std::uint32_t side = 1u << level;
+  std::vector<bool> seen(n, false);
+  Point<4> p{};
+  for (std::uint32_t w = 0; w < side; ++w) {
+    for (std::uint32_t z = 0; z < side; ++z) {
+      for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+          p[0] = x;
+          p[1] = y;
+          p[2] = z;
+          p[3] = w;
+          const std::uint64_t idx = curve.index(p, level);
+          ASSERT_LT(idx, n);
+          ASSERT_FALSE(seen[idx]) << "collision at " << idx;
+          seen[idx] = true;
+          ASSERT_EQ(curve.point(idx, level), p);
+        }
+      }
+    }
+  }
+}
+
+TEST(Curve4D, HilbertBijective) {
+  expect_bijective_4d(HilbertCurve<4>{}, 1);
+  expect_bijective_4d(HilbertCurve<4>{}, 2);
+  expect_bijective_4d(HilbertCurve<4>{}, 3);
+}
+
+TEST(Curve4D, HilbertContinuous) {
+  const HilbertCurve<4> curve;
+  for (unsigned level : {1u, 2u, 3u}) {
+    Point<4> prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < grid_size<4>(level); ++i) {
+      const Point<4> cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u)
+          << "level " << level << " index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Curve4D, MortonBijective) {
+  expect_bijective_4d(MortonCurve<4>{}, 1);
+  expect_bijective_4d(MortonCurve<4>{}, 2);
+  expect_bijective_4d(MortonCurve<4>{}, 3);
+}
+
+TEST(Curve4D, GrayBijectiveAndSingleBitSteps) {
+  expect_bijective_4d(GrayCurve<4>{}, 1);
+  expect_bijective_4d(GrayCurve<4>{}, 2);
+  const GrayCurve<4> curve;
+  for (std::uint64_t i = 0; i + 1 < grid_size<4>(2); ++i) {
+    const auto a = morton_index(curve.point(i, 2));
+    const auto b = morton_index(curve.point(i + 1, 2));
+    ASSERT_EQ(std::popcount(a ^ b), 1) << "at " << i;
+  }
+}
+
+TEST(Curve4D, RowMajorAndSnakeBijective) {
+  expect_bijective_4d(RowMajorCurve<4>{}, 2);
+  expect_bijective_4d(SnakeCurve<4>{}, 2);
+}
+
+TEST(Curve4D, SnakeContinuous) {
+  const SnakeCurve<4> curve;
+  for (unsigned level : {1u, 2u, 3u}) {
+    Point<4> prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < grid_size<4>(level); ++i) {
+      const Point<4> cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u);
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfc

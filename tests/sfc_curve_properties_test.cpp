@@ -1,0 +1,144 @@
+// Property tests that every curve implementation must satisfy: a level-k
+// curve is a bijection between the grid and [0, 4^k), with point() the
+// exact inverse of index().
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sfc/curve.hpp"
+
+namespace sfc {
+namespace {
+
+using PropertyParam = std::tuple<CurveKind, unsigned>;
+
+class CurveBijectivity : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(CurveBijectivity, IndexIsBijectiveAndInverseMatches) {
+  const auto [kind, level] = GetParam();
+  const auto curve = make_curve<2>(kind);
+  const std::uint64_t n = grid_size<2>(level);
+  const std::uint32_t side = 1u << level;
+
+  std::vector<bool> seen(n, false);
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const Point2 p = make_point(x, y);
+      const std::uint64_t idx = curve->index(p, level);
+      ASSERT_LT(idx, n) << curve->name() << " point " << to_string(p);
+      ASSERT_FALSE(seen[idx])
+          << curve->name() << " maps two points to index " << idx;
+      seen[idx] = true;
+      ASSERT_EQ(curve->point(idx, level), p)
+          << curve->name() << " inverse broken at " << to_string(p);
+    }
+  }
+}
+
+TEST_P(CurveBijectivity, PointThenIndexRoundTrips) {
+  const auto [kind, level] = GetParam();
+  const auto curve = make_curve<2>(kind);
+  const std::uint64_t n = grid_size<2>(level);
+  for (std::uint64_t idx = 0; idx < n; ++idx) {
+    const Point2 p = curve->point(idx, level);
+    ASSERT_TRUE(in_grid(p, level)) << curve->name() << " idx " << idx;
+    ASSERT_EQ(curve->index(p, level), idx) << curve->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurvesSmallLevels, CurveBijectivity,
+    ::testing::Combine(::testing::ValuesIn(kAllCurves),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u)),
+    [](const ::testing::TestParamInfo<PropertyParam>& inf) {
+      std::string name(curve_name(std::get<0>(inf.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_L" + std::to_string(std::get<1>(inf.param));
+    });
+
+class CurveLargeLevel : public ::testing::TestWithParam<CurveKind> {};
+
+// At large levels exhaustive checks are infeasible; verify the round trip
+// on a pseudo-random sample plus the corners.
+TEST_P(CurveLargeLevel, RoundTripSampledAtLevel16) {
+  const auto curve = make_curve<2>(GetParam());
+  constexpr unsigned kLevel = 16;
+  const std::uint32_t side = 1u << kLevel;
+
+  std::uint64_t state = 0x12345678u;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  std::vector<Point2> samples = {
+      make_point(0, 0), make_point(side - 1, 0), make_point(0, side - 1),
+      make_point(side - 1, side - 1), make_point(side / 2, side / 2)};
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(make_point(next() % side, next() % side));
+  }
+  for (const Point2& p : samples) {
+    const std::uint64_t idx = curve->index(p, kLevel);
+    ASSERT_LT(idx, grid_size<2>(kLevel));
+    ASSERT_EQ(curve->point(idx, kLevel), p) << curve->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveLargeLevel,
+                         ::testing::ValuesIn(kAllCurves),
+                         [](const ::testing::TestParamInfo<CurveKind>& inf) {
+                           std::string name(curve_name(inf.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CurveRegistry, NamesRoundTripThroughParser) {
+  for (const CurveKind kind : kAllCurves) {
+    const auto parsed = parse_curve(curve_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << curve_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(CurveRegistry, ParserAliases) {
+  EXPECT_EQ(parse_curve("hilbert"), CurveKind::kHilbert);
+  EXPECT_EQ(parse_curve("Z"), CurveKind::kMorton);
+  EXPECT_EQ(parse_curve("morton"), CurveKind::kMorton);
+  EXPECT_EQ(parse_curve("gray"), CurveKind::kGray);
+  EXPECT_EQ(parse_curve("row"), CurveKind::kRowMajor);
+  EXPECT_EQ(parse_curve("rowmajor"), CurveKind::kRowMajor);
+  EXPECT_EQ(parse_curve("snake"), CurveKind::kSnake);
+  EXPECT_FALSE(parse_curve("peano").has_value());
+}
+
+TEST(CurveRegistry, FactoryReportsKind) {
+  for (const CurveKind kind : kAllCurves) {
+    EXPECT_EQ(make_curve<2>(kind)->kind(), kind);
+  }
+  for (const CurveKind kind : kCurves3D) {
+    EXPECT_EQ(make_curve<3>(kind)->kind(), kind);
+  }
+}
+
+TEST(CurveRegistry, MooreIsTwoDimensionalOnly) {
+  EXPECT_EQ(make_curve<2>(CurveKind::kMoore)->kind(), CurveKind::kMoore);
+  EXPECT_THROW(make_curve<3>(CurveKind::kMoore), std::invalid_argument);
+}
+
+TEST(CurveBatch, IndicesOfMatchesPointwise) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  std::vector<Point2> pts = {make_point(0, 0), make_point(3, 1),
+                             make_point(7, 7), make_point(2, 6)};
+  const auto idx = indices_of(*curve, pts, 3);
+  ASSERT_EQ(idx.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(idx[i], curve->index(pts[i], 3));
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,78 @@
+// LUT Hilbert tests: bit-exact equivalence with the canonical recursion,
+// and the usual curve invariants through the Curve<2> wrapper.
+#include "sfc/hilbert_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfc/canonical_hilbert.hpp"
+
+namespace sfc {
+namespace {
+
+TEST(HilbertLut, MatchesCanonicalRecursionExhaustively) {
+  for (unsigned level : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
+    const std::uint32_t side = 1u << level;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const Point2 p = make_point(x, y);
+        ASSERT_EQ(hilbert_lut_index(p, level),
+                  canonical_hilbert_index(p, level))
+            << "level " << level << " " << to_string(p);
+      }
+    }
+    for (std::uint64_t i = 0; i < grid_size<2>(level); ++i) {
+      ASSERT_EQ(hilbert_lut_point(i, level), canonical_hilbert_point(i, level))
+          << "level " << level << " index " << i;
+    }
+  }
+}
+
+TEST(HilbertLut, MatchesCanonicalSampledAtLargeLevel) {
+  constexpr unsigned kLevel = 20;
+  std::uint64_t state = 4242;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 40) & ((1u << kLevel) - 1);
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const Point2 p = make_point(next(), next());
+    const std::uint64_t lut = hilbert_lut_index(p, kLevel);
+    ASSERT_EQ(lut, canonical_hilbert_index(p, kLevel));
+    ASSERT_EQ(hilbert_lut_point(lut, kLevel), p);
+  }
+}
+
+TEST(HilbertLut, CurveWrapperIsContinuous) {
+  const HilbertLutCurve curve;
+  for (unsigned level : {1u, 3u, 5u}) {
+    Point2 prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < grid_size<2>(level); ++i) {
+      const Point2 cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u);
+      prev = cur;
+    }
+  }
+}
+
+TEST(HilbertLut, CurveWrapperRoundTrips) {
+  const HilbertLutCurve curve;
+  constexpr unsigned kLevel = 8;
+  const std::uint32_t side = 1u << kLevel;
+  for (std::uint32_t y = 0; y < side; y += 3) {
+    for (std::uint32_t x = 0; x < side; x += 3) {
+      const Point2 p = make_point(x, y);
+      ASSERT_EQ(curve.point(curve.index(p, kLevel), kLevel), p);
+    }
+  }
+}
+
+TEST(HilbertLut, PinnedEndpoints) {
+  for (unsigned level = 1; level <= 12; ++level) {
+    EXPECT_EQ(hilbert_lut_point(0, level), make_point(0, 0));
+    EXPECT_EQ(hilbert_lut_point(grid_size<2>(level) - 1, level),
+              make_point((1u << level) - 1, 0));
+  }
+}
+
+}  // namespace
+}  // namespace sfc

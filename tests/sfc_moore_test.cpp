@@ -1,0 +1,125 @@
+// Canonical-Hilbert and Moore-curve tests: pinned orientation, closure of
+// the loop, and the torus-ranking property that motivates the extension.
+#include "sfc/moore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sfc/canonical_hilbert.hpp"
+#include "sfc/recursive_ref.hpp"
+#include "topology/grid.hpp"
+
+namespace sfc {
+namespace {
+
+TEST(CanonicalHilbert, MatchesRecursiveReferenceExactly) {
+  for (unsigned level : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto order = ref::hilbert2_order(level);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ASSERT_EQ(canonical_hilbert_index(order[i], level), i)
+          << "level " << level << " position " << i;
+      ASSERT_EQ(canonical_hilbert_point(i, level), order[i])
+          << "level " << level << " position " << i;
+    }
+  }
+}
+
+TEST(CanonicalHilbert, PinnedEndpoints) {
+  for (unsigned level = 1; level <= 10; ++level) {
+    EXPECT_EQ(canonical_hilbert_point(0, level), make_point(0, 0));
+    EXPECT_EQ(canonical_hilbert_point(grid_size<2>(level) - 1, level),
+              make_point((1u << level) - 1, 0));
+  }
+}
+
+TEST(CanonicalHilbert, RoundTripAtLargeLevel) {
+  constexpr unsigned kLevel = 14;
+  std::uint64_t state = 777;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 40) & ((1u << kLevel) - 1);
+  };
+  for (int i = 0; i < 3000; ++i) {
+    const Point2 p = make_point(next(), next());
+    ASSERT_EQ(canonical_hilbert_point(canonical_hilbert_index(p, kLevel),
+                                      kLevel),
+              p);
+  }
+}
+
+class MooreLevel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MooreLevel, ConsecutiveIndicesAreLatticeNeighbors) {
+  const unsigned level = GetParam();
+  const MooreCurve curve;
+  const std::uint64_t n = grid_size<2>(level);
+  Point2 prev = curve.point(0, level);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const Point2 cur = curve.point(i, level);
+    ASSERT_EQ(manhattan(prev, cur), 1u) << "between " << i - 1 << " and " << i;
+    prev = cur;
+  }
+}
+
+TEST_P(MooreLevel, TraversalIsAClosedLoop) {
+  // The defining Moore property: the last point is adjacent to the first.
+  const unsigned level = GetParam();
+  const MooreCurve curve;
+  const Point2 first = curve.point(0, level);
+  const Point2 last = curve.point(grid_size<2>(level) - 1, level);
+  EXPECT_EQ(manhattan(first, last), 1u) << "level " << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MooreLevel,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Moore, QuadrantsAreContiguousQuarters) {
+  const MooreCurve curve;
+  constexpr unsigned kLevel = 4;
+  const std::uint32_t s = 1u << (kLevel - 1);
+  const std::uint64_t quarter = grid_size<2>(kLevel) / 4;
+  for (std::uint32_t y = 0; y < 2 * s; ++y) {
+    for (std::uint32_t x = 0; x < 2 * s; ++x) {
+      const std::uint64_t idx = curve.index(make_point(x, y), kLevel);
+      // LL, UL, UR, LR in that order.
+      const std::uint64_t expected =
+          x < s ? (y < s ? 0u : 1u) : (y < s ? 3u : 2u);
+      ASSERT_EQ(idx / quarter, expected) << to_string(make_point(x, y));
+    }
+  }
+}
+
+TEST(Moore, TorusRankingIsAdjacentIncludingWrap) {
+  // The motivation for the extension: on a torus, every pair of cyclically
+  // consecutive Moore ranks is one hop apart — including p-1 -> 0, which
+  // the open Hilbert curve cannot provide.
+  const MooreCurve moore;
+  const topo::TorusTopology<2> torus(4, moore);
+  const topo::Rank p = torus.size();
+  for (topo::Rank r = 0; r < p; ++r) {
+    ASSERT_EQ(torus.distance(r, (r + 1) % p), 1u) << "rank " << r;
+  }
+}
+
+TEST(Moore, MeshRankingIsAdjacentIncludingWrapUnlikeHilbert) {
+  // Contrast on the mesh (no wraparound links): a Hilbert curve's two
+  // endpoints sit on opposite corners of one grid edge, so the rank-ring
+  // wrap pair is side-1 hops apart — the Moore loop keeps it at 1.
+  const MooreCurve moore;
+  const topo::MeshTopology<2> mesh_m(4, moore);
+  const topo::Rank p = mesh_m.size();
+  EXPECT_EQ(mesh_m.distance(p - 1, 0), 1u);
+
+  const auto hilbert = make_curve<2>(CurveKind::kHilbert);
+  const topo::MeshTopology<2> mesh_h(4, *hilbert);
+  EXPECT_EQ(mesh_h.distance(p - 1, 0), (1u << 4) - 1);
+}
+
+TEST(Moore, RegistryIntegration) {
+  EXPECT_EQ(parse_curve("moore"), CurveKind::kMoore);
+  EXPECT_EQ(curve_name(CurveKind::kMoore), "Moore");
+  const auto curve = make_curve<2>(CurveKind::kMoore);
+  EXPECT_EQ(curve->kind(), CurveKind::kMoore);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,140 @@
+// Morton (Z-curve) and Gray-order tests against the recursive references
+// and the defining bit properties.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "sfc/gray.hpp"
+#include "sfc/morton.hpp"
+#include "sfc/recursive_ref.hpp"
+#include "util/bits.hpp"
+
+namespace sfc {
+namespace {
+
+class ZGrayLevel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZGrayLevel, MortonMatchesRecursiveOrder) {
+  const unsigned level = GetParam();
+  const MortonCurve<2> curve;
+  const auto order = ref::morton2_order(level);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(curve.index(order[i], level), i)
+        << "point " << to_string(order[i]);
+    ASSERT_EQ(curve.point(i, level), order[i]);
+  }
+}
+
+TEST_P(ZGrayLevel, GrayMatchesRecursiveOrder) {
+  const unsigned level = GetParam();
+  const GrayCurve<2> curve;
+  const auto order = ref::gray2_order(level);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(curve.index(order[i], level), i)
+        << "point " << to_string(order[i]);
+    ASSERT_EQ(curve.point(i, level), order[i]);
+  }
+}
+
+TEST_P(ZGrayLevel, GrayConsecutivePointsDifferInOneMortonBit) {
+  // The defining property: successive points in the Gray order have Morton
+  // codes that differ in exactly one bit.
+  const unsigned level = GetParam();
+  const GrayCurve<2> curve;
+  const std::uint64_t n = grid_size<2>(level);
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    const std::uint64_t ma = morton_index(curve.point(i, level));
+    const std::uint64_t mb = morton_index(curve.point(i + 1, level));
+    ASSERT_EQ(std::popcount(ma ^ mb), 1) << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ZGrayLevel,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(MortonKnownValues, Level1Order) {
+  // LL, LR, UL, UR.
+  const MortonCurve<2> curve;
+  EXPECT_EQ(curve.point(0, 1), make_point(0, 0));
+  EXPECT_EQ(curve.point(1, 1), make_point(1, 0));
+  EXPECT_EQ(curve.point(2, 1), make_point(0, 1));
+  EXPECT_EQ(curve.point(3, 1), make_point(1, 1));
+}
+
+TEST(GrayKnownValues, Level1Order) {
+  // LL, LR, UR, UL — the "U on its side".
+  const GrayCurve<2> curve;
+  EXPECT_EQ(curve.point(0, 1), make_point(0, 0));
+  EXPECT_EQ(curve.point(1, 1), make_point(1, 0));
+  EXPECT_EQ(curve.point(2, 1), make_point(1, 1));
+  EXPECT_EQ(curve.point(3, 1), make_point(0, 1));
+}
+
+TEST(GrayKnownValues, Level2SpotChecks) {
+  // Derived by hand from index = gray_decode(morton):
+  // point (0,2): morton 8, gray_decode(8) = 15.
+  const GrayCurve<2> curve;
+  EXPECT_EQ(curve.index(make_point(0, 2), 2), 15u);
+  // point (3,3): morton 15, gray_decode(15) = 10.
+  EXPECT_EQ(curve.index(make_point(3, 3), 2), 10u);
+}
+
+TEST(MortonStructure, QuadrantIsTopTwoIndexBits) {
+  // The Z-curve's top two index bits select the quadrant (y then x).
+  const MortonCurve<2> curve;
+  constexpr unsigned kLevel = 4;
+  const std::uint32_t side = 1u << kLevel;
+  const std::uint64_t quarter = grid_size<2>(kLevel) / 4;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const std::uint64_t idx = curve.index(make_point(x, y), kLevel);
+      const std::uint64_t block = idx / quarter;
+      const std::uint64_t expected =
+          (y >= side / 2 ? 2u : 0u) + (x >= side / 2 ? 1u : 0u);
+      ASSERT_EQ(block, expected);
+    }
+  }
+}
+
+TEST(MortonStructure, SelfSimilarAcrossLevels) {
+  // Z_{k+1} restricted to a quadrant is Z_k offset by the quadrant rank.
+  const MortonCurve<2> curve;
+  constexpr unsigned kLevel = 5;
+  const std::uint32_t sub = 1u << (kLevel - 1);
+  const std::uint64_t quarter = grid_size<2>(kLevel) / 4;
+  for (std::uint32_t y = 0; y < sub; ++y) {
+    for (std::uint32_t x = 0; x < sub; ++x) {
+      const std::uint64_t inner = curve.index(make_point(x, y), kLevel - 1);
+      // Upper-right quadrant has rank 3.
+      ASSERT_EQ(curve.index(make_point(x + sub, y + sub), kLevel),
+                3 * quarter + inner);
+    }
+  }
+}
+
+TEST(GrayVsMorton, SameUnorderedPositionsPerQuadrantBlock) {
+  // Gray is a reordering of Morton *blocks*: within a level-1 block of the
+  // index range, both curves visit the same set of points at level >= 1.
+  const MortonCurve<2> morton;
+  const GrayCurve<2> gray;
+  constexpr unsigned kLevel = 3;
+  const std::uint64_t n = grid_size<2>(kLevel);
+  // Quadrant of Morton block b is b; quadrant of Gray block b is gray(b).
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    const std::uint64_t quarter = n / 4;
+    std::vector<std::uint64_t> mset, gset;
+    for (std::uint64_t i = 0; i < quarter; ++i) {
+      mset.push_back(
+          pack(morton.point(util::gray_encode(block) * quarter + i, kLevel),
+               kLevel));
+      gset.push_back(pack(gray.point(block * quarter + i, kLevel), kLevel));
+    }
+    std::sort(mset.begin(), mset.end());
+    std::sort(gset.begin(), gset.end());
+    ASSERT_EQ(mset, gset) << "block " << block;
+  }
+}
+
+}  // namespace
+}  // namespace sfc

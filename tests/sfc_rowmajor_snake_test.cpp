@@ -1,0 +1,109 @@
+// Scan-order curve tests: row-major / column-major formulas and the snake
+// scan's continuity.
+#include <gtest/gtest.h>
+
+#include "sfc/rowmajor.hpp"
+
+namespace sfc {
+namespace {
+
+TEST(RowMajor, FormulaMatches) {
+  const RowMajorCurve<2> curve;
+  for (unsigned level : {1u, 2u, 3u, 5u}) {
+    const std::uint32_t side = 1u << level;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        ASSERT_EQ(curve.index(make_point(x, y), level),
+                  static_cast<std::uint64_t>(y) * side + x);
+      }
+    }
+  }
+}
+
+TEST(ColumnMajor, FormulaMatches) {
+  const ColumnMajorCurve<2> curve;
+  for (unsigned level : {1u, 2u, 3u, 5u}) {
+    const std::uint32_t side = 1u << level;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        ASSERT_EQ(curve.index(make_point(x, y), level),
+                  static_cast<std::uint64_t>(x) * side + y);
+      }
+    }
+  }
+}
+
+TEST(ColumnMajor, IsTransposeOfRowMajor) {
+  const RowMajorCurve<2> row;
+  const ColumnMajorCurve<2> col;
+  constexpr unsigned kLevel = 4;
+  const std::uint32_t side = 1u << kLevel;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      ASSERT_EQ(col.index(make_point(x, y), kLevel),
+                row.index(make_point(y, x), kLevel));
+    }
+  }
+}
+
+TEST(Snake, IsContinuousEverywhere) {
+  const SnakeCurve<2> curve;
+  for (unsigned level : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const std::uint64_t n = grid_size<2>(level);
+    Point2 prev = curve.point(0, level);
+    for (std::uint64_t i = 1; i < n; ++i) {
+      const Point2 cur = curve.point(i, level);
+      ASSERT_EQ(manhattan(prev, cur), 1u)
+          << "level " << level << " index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Snake, KnownOrderAtLevel1) {
+  // Row 0 left-to-right, row 1 right-to-left.
+  const SnakeCurve<2> curve;
+  EXPECT_EQ(curve.point(0, 1), make_point(0, 0));
+  EXPECT_EQ(curve.point(1, 1), make_point(1, 0));
+  EXPECT_EQ(curve.point(2, 1), make_point(1, 1));
+  EXPECT_EQ(curve.point(3, 1), make_point(0, 1));
+}
+
+TEST(Snake, KnownOrderAtLevel2) {
+  const SnakeCurve<2> curve;
+  // Row 0: (0..3, 0); row 1 reversed: (3..0, 1).
+  EXPECT_EQ(curve.index(make_point(3, 0), 2), 3u);
+  EXPECT_EQ(curve.index(make_point(3, 1), 2), 4u);
+  EXPECT_EQ(curve.index(make_point(0, 1), 2), 7u);
+  EXPECT_EQ(curve.index(make_point(0, 2), 2), 8u);
+}
+
+TEST(Snake, AgreesWithRowMajorOnEvenRows) {
+  const SnakeCurve<2> snake;
+  const RowMajorCurve<2> row;
+  constexpr unsigned kLevel = 4;
+  const std::uint32_t side = 1u << kLevel;
+  for (std::uint32_t y = 0; y < side; y += 2) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      ASSERT_EQ(snake.index(make_point(x, y), kLevel),
+                row.index(make_point(x, y), kLevel));
+    }
+  }
+}
+
+TEST(ScanOrders, RowMajorVerticalNeighborsStretchBySide) {
+  // The property behind the (N+1)/2 ANNS closed form.
+  const RowMajorCurve<2> curve;
+  constexpr unsigned kLevel = 5;
+  const std::uint32_t side = 1u << kLevel;
+  for (std::uint32_t y = 0; y + 1 < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const auto a = curve.index(make_point(x, y), kLevel);
+      const auto b = curve.index(make_point(x, y + 1), kLevel);
+      ASSERT_EQ(b - a, side);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfc

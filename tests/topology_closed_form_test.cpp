@@ -1,0 +1,204 @@
+// Closed-form hop distances validated exhaustively against the BFS oracle
+// on explicit interconnect graphs, plus metric-space sanity properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sfc/curve.hpp"
+#include "topology/factory.hpp"
+#include "topology/graph.hpp"
+#include "topology/grid.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/linear.hpp"
+#include "topology/tree.hpp"
+
+namespace sfc::topo {
+namespace {
+
+void expect_matches_oracle(const Topology& topo, const GraphTopology& oracle) {
+  ASSERT_EQ(topo.size(), oracle.size());
+  for (Rank a = 0; a < topo.size(); ++a) {
+    for (Rank b = 0; b < topo.size(); ++b) {
+      ASSERT_EQ(topo.distance(a, b), oracle.distance(a, b))
+          << topo.name() << " p=" << topo.size() << " (" << a << "," << b
+          << ")";
+    }
+  }
+}
+
+void expect_metric_properties(const Topology& topo) {
+  const Rank p = topo.size();
+  std::uint64_t max_seen = 0;
+  for (Rank a = 0; a < p; ++a) {
+    ASSERT_EQ(topo.distance(a, a), 0u) << topo.name();
+    for (Rank b = 0; b < p; ++b) {
+      const auto d = topo.distance(a, b);
+      ASSERT_EQ(d, topo.distance(b, a)) << topo.name() << " symmetry";
+      if (a != b) {
+        ASSERT_GE(d, 1u) << topo.name() << " separation";
+      }
+      max_seen = std::max(max_seen, d);
+    }
+  }
+  EXPECT_EQ(max_seen, topo.diameter()) << topo.name() << " diameter";
+  // Triangle inequality on a coarse sample.
+  for (Rank a = 0; a < p; a += 3) {
+    for (Rank b = 0; b < p; b += 5) {
+      for (Rank c = 0; c < p; c += 7) {
+        ASSERT_LE(topo.distance(a, c),
+                  topo.distance(a, b) + topo.distance(b, c))
+            << topo.name();
+      }
+    }
+  }
+}
+
+class BusRingSize : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(BusRingSize, BusMatchesPathGraph) {
+  const Rank p = GetParam();
+  const BusTopology bus(p);
+  expect_matches_oracle(bus, build_path_graph(p));
+  expect_metric_properties(bus);
+}
+
+TEST_P(BusRingSize, RingMatchesRingGraph) {
+  const Rank p = GetParam();
+  const RingTopology ring(p);
+  expect_matches_oracle(ring, build_ring_graph(p));
+  expect_metric_properties(ring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BusRingSize,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 33u));
+
+class HypercubeSize : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(HypercubeSize, MatchesGraphOracle) {
+  const Rank p = GetParam();
+  const HypercubeTopology cube(p);
+  expect_matches_oracle(cube, build_hypercube_graph(p));
+  expect_metric_properties(cube);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HypercubeSize,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u, 128u));
+
+TEST(Hypercube, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(HypercubeTopology(6), std::invalid_argument);
+}
+
+class QuadtreeSize : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(QuadtreeSize, MatchesGraphOracle) {
+  const Rank p = GetParam();
+  const TreeTopology tree(p, 4);
+  expect_matches_oracle(tree, build_tree_graph(p, 4));
+  expect_metric_properties(tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuadtreeSize,
+                         ::testing::Values(1u, 4u, 16u, 64u, 256u));
+
+TEST(Quadtree, BinaryTreeVariantMatchesOracle) {
+  const TreeTopology tree(32, 2);
+  expect_matches_oracle(tree, build_tree_graph(32, 2));
+}
+
+TEST(Quadtree, OctreeVariantMatchesOracle) {
+  const TreeTopology tree(64, 8);
+  expect_matches_oracle(tree, build_tree_graph(64, 8));
+}
+
+TEST(Quadtree, RejectsNonPowerSizes) {
+  EXPECT_THROW(TreeTopology(8, 4), std::invalid_argument);
+  EXPECT_THROW(TreeTopology(12, 4), std::invalid_argument);
+}
+
+TEST(Quadtree, SiblingsAreTwoHopsApart) {
+  const TreeTopology tree(64, 4);
+  EXPECT_EQ(tree.distance(0, 1), 2u);
+  EXPECT_EQ(tree.distance(0, 3), 2u);
+  // Cousins under different level-1 subtrees: up to the root and down.
+  EXPECT_EQ(tree.distance(0, 63), 2u * tree.depth());
+}
+
+TEST(MeshTorus, MatchesGraphOracleForEveryRankingCurve) {
+  // side 8 (level 3), 64 processors, every paper curve as ranking.
+  for (const CurveKind kind : kPaperCurves) {
+    const auto ranking = make_curve<2>(kind);
+    const MeshTopology<2> mesh(3, *ranking);
+    const TorusTopology<2> torus(3, *ranking);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> coords;
+    for (Rank r = 0; r < 64; ++r) {
+      const Point2 p = ranking->point(r, 3);
+      coords.emplace_back(p[0], p[1]);
+    }
+    expect_matches_oracle(mesh, build_mesh_graph(8, coords, false));
+    expect_matches_oracle(torus, build_mesh_graph(8, coords, true));
+    expect_metric_properties(mesh);
+    expect_metric_properties(torus);
+  }
+}
+
+TEST(MeshTorus, TorusNeverExceedsMesh) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  const MeshTopology<2> mesh(4, *ranking);
+  const TorusTopology<2> torus(4, *ranking);
+  for (Rank a = 0; a < mesh.size(); a += 3) {
+    for (Rank b = 0; b < mesh.size(); b += 5) {
+      ASSERT_LE(torus.distance(a, b), mesh.distance(a, b));
+    }
+  }
+}
+
+TEST(Factory, BuildsEveryKind) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  for (const TopologyKind kind : kAllTopologies) {
+    const auto topo = make_topology<2>(kind, 64, ranking.get());
+    ASSERT_NE(topo, nullptr);
+    EXPECT_EQ(topo->kind(), kind);
+    EXPECT_EQ(topo->size(), 64u);
+  }
+}
+
+TEST(Factory, MeshRequiresRankingCurve) {
+  EXPECT_THROW(make_topology<2>(TopologyKind::kMesh, 64, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Factory, MeshRequiresSquarePowerOfTwo) {
+  const auto ranking = make_curve<2>(CurveKind::kHilbert);
+  EXPECT_THROW(make_topology<2>(TopologyKind::kMesh, 32, ranking.get()),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology<2>(TopologyKind::kTorus, 48, ranking.get()),
+               std::invalid_argument);
+}
+
+TEST(Factory, ZeroProcessorsRejected) {
+  EXPECT_THROW(make_topology<2>(TopologyKind::kBus, 0, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Factory, NamesRoundTripThroughParser) {
+  for (const TopologyKind kind : kAllTopologies) {
+    const auto parsed = parse_topology(topology_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(Factory, ThreeDimensionalMeshTorus) {
+  const auto ranking = make_curve<3>(CurveKind::kHilbert);
+  const auto mesh = make_topology<3>(TopologyKind::kMesh, 512, ranking.get());
+  const auto torus =
+      make_topology<3>(TopologyKind::kTorus, 512, ranking.get());
+  EXPECT_EQ(mesh->size(), 512u);
+  EXPECT_EQ(mesh->diameter(), 3u * 7u);
+  EXPECT_EQ(torus->diameter(), 3u * 4u);
+  expect_metric_properties(*mesh);
+}
+
+}  // namespace
+}  // namespace sfc::topo

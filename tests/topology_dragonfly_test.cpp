@@ -1,0 +1,103 @@
+// Dragonfly tests: closed-form distances against the BFS oracle, the
+// global-link pairing bijection, and diameter properties.
+#include "topology/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/graph.hpp"
+
+namespace sfc::topo {
+namespace {
+
+GraphTopology dragonfly_graph(const DragonflyTopology& df) {
+  const Rank a = df.routers_per_group();
+  const Rank g = df.groups();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  // Intra-group complete graphs.
+  for (Rank s = 0; s < g; ++s) {
+    for (Rank i = 0; i < a; ++i) {
+      for (Rank j = i + 1; j < a; ++j) {
+        edges.emplace_back(s * a + i, s * a + j);
+      }
+    }
+  }
+  // One global link per ordered group pair (emit each once, s < d).
+  for (Rank s = 0; s < g; ++s) {
+    for (Rank d = s + 1; d < g; ++d) {
+      edges.emplace_back(s * a + df.gateway(s, d), d * a + df.gateway(d, s));
+    }
+  }
+  return GraphTopology(df.size(), std::move(edges));
+}
+
+class DragonflySize : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(DragonflySize, MatchesGraphOracle) {
+  const DragonflyTopology df(GetParam());
+  const auto oracle = dragonfly_graph(df);
+  ASSERT_EQ(df.size(), oracle.size());
+  for (Rank x = 0; x < df.size(); ++x) {
+    for (Rank y = 0; y < df.size(); ++y) {
+      ASSERT_EQ(df.distance(x, y), oracle.distance(x, y))
+          << "a=" << GetParam() << " (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST_P(DragonflySize, GatewayPairingIsBijective) {
+  const DragonflyTopology df(GetParam());
+  const Rank g = df.groups();
+  for (Rank s = 0; s < g; ++s) {
+    std::set<Rank> used;
+    for (Rank d = 0; d < g; ++d) {
+      if (d == s) continue;
+      const Rank i = df.gateway(s, d);
+      ASSERT_LT(i, df.routers_per_group());
+      ASSERT_TRUE(used.insert(i).second)
+          << "router reused for two global links";
+      // The reverse gateway must point back.
+      ASSERT_EQ(df.gateway(d, s), (s + g - d - 1) % g);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DragonflySize,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Dragonfly, DistancesAreBounded) {
+  const DragonflyTopology df(8);  // 72 processors
+  std::uint64_t max_d = 0;
+  for (Rank x = 0; x < df.size(); ++x) {
+    for (Rank y = 0; y < df.size(); ++y) {
+      max_d = std::max(max_d, df.distance(x, y));
+    }
+  }
+  EXPECT_EQ(max_d, 3u);
+  EXPECT_EQ(df.diameter(), 3u);
+}
+
+TEST(Dragonfly, SizeFormula) {
+  EXPECT_EQ(DragonflyTopology(4).size(), 20u);
+  EXPECT_EQ(DragonflyTopology(8).size(), 72u);
+  EXPECT_THROW(DragonflyTopology(0), std::invalid_argument);
+}
+
+TEST(Dragonfly, BeatsRingAtEqualSize) {
+  // The point of high-radix topologies: diameter 3 vs p/2.
+  const DragonflyTopology df(8);
+  const Rank p = df.size();
+  double df_sum = 0, ring_sum = 0;
+  for (Rank x = 0; x < p; ++x) {
+    for (Rank y = 0; y < p; ++y) {
+      df_sum += static_cast<double>(df.distance(x, y));
+      const Rank d = x > y ? x - y : y - x;
+      ring_sum += static_cast<double>(std::min<Rank>(d, p - d));
+    }
+  }
+  EXPECT_LT(df_sum, ring_sum / 3.0);
+}
+
+}  // namespace
+}  // namespace sfc::topo

@@ -1,0 +1,93 @@
+// Tests of the SFC processor-ranking embedding on mesh/torus: the rank ->
+// coordinate table must be the curve's traversal, and Hilbert ranking must
+// place consecutive ranks on physically adjacent processors.
+#include <gtest/gtest.h>
+
+#include "sfc/curve.hpp"
+#include "topology/grid.hpp"
+
+namespace sfc::topo {
+namespace {
+
+TEST(Embedding, CoordinateTableIsCurveTraversal) {
+  for (const CurveKind kind : kPaperCurves) {
+    const auto curve = make_curve<2>(kind);
+    const TorusTopology<2> torus(4, *curve);
+    for (Rank r = 0; r < torus.size(); ++r) {
+      ASSERT_EQ(torus.coordinate(r), curve->point(r, 4)) << curve->name();
+    }
+  }
+}
+
+TEST(Embedding, HilbertConsecutiveRanksAreAdjacentProcessors) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const MeshTopology<2> mesh(5, *curve);
+  for (Rank r = 0; r + 1 < mesh.size(); ++r) {
+    ASSERT_EQ(mesh.distance(r, r + 1), 1u) << "rank " << r;
+  }
+}
+
+TEST(Embedding, RowMajorConsecutiveRanksWrapRows) {
+  const auto curve = make_curve<2>(CurveKind::kRowMajor);
+  const MeshTopology<2> mesh(3, *curve);
+  const std::uint32_t side = 8;
+  for (Rank r = 0; r + 1 < mesh.size(); ++r) {
+    const auto d = mesh.distance(r, r + 1);
+    if ((r + 1) % side == 0) {
+      // End of a row: the next rank sits at the start of the next row.
+      ASSERT_EQ(d, side - 1 + 1) << "rank " << r;
+    } else {
+      ASSERT_EQ(d, 1u) << "rank " << r;
+    }
+  }
+}
+
+TEST(Embedding, AverageNeighborRankDistanceOrdering) {
+  // The locality of the ranking itself: average |rank distance| between
+  // physically adjacent processors. Hilbert must beat row-major.
+  auto avg_rank_gap = [](CurveKind kind) {
+    const auto curve = make_curve<2>(kind);
+    constexpr unsigned kLevel = 5;
+    const std::uint32_t side = 1u << kLevel;
+    double sum = 0;
+    std::uint64_t pairs = 0;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const auto r = curve->index(make_point(x, y), kLevel);
+        if (x + 1 < side) {
+          const auto r2 = curve->index(make_point(x + 1, y), kLevel);
+          sum += static_cast<double>(r2 > r ? r2 - r : r - r2);
+          ++pairs;
+        }
+        if (y + 1 < side) {
+          const auto r2 = curve->index(make_point(x, y + 1), kLevel);
+          sum += static_cast<double>(r2 > r ? r2 - r : r - r2);
+          ++pairs;
+        }
+      }
+    }
+    return sum / static_cast<double>(pairs);
+  };
+  // This is ANNS viewed from the processor side; Z/row beat Hilbert/Gray
+  // under it (the paper's surprising Fig. 5 result), so only sanity-check
+  // that all values are finite and positive and row-major has the known
+  // (N+1)/2 value.
+  EXPECT_NEAR(avg_rank_gap(CurveKind::kRowMajor), (32.0 + 1.0) / 2.0, 1e-9);
+  EXPECT_GT(avg_rank_gap(CurveKind::kHilbert), 1.0);
+}
+
+TEST(Embedding, GridTooLargeThrows) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  EXPECT_THROW(MeshTopology<2>(16, *curve), std::invalid_argument);
+}
+
+TEST(Embedding, SideAndLevelAccessors) {
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  const TorusTopology<2> torus(3, *curve);
+  EXPECT_EQ(torus.level(), 3u);
+  EXPECT_EQ(torus.side(), 8u);
+  EXPECT_EQ(torus.size(), 64u);
+}
+
+}  // namespace
+}  // namespace sfc::topo

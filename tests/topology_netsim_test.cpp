@@ -1,0 +1,134 @@
+// Network-simulation tests: hand-computed latencies, contention
+// serialization, and consistency bounds against the static analyses.
+#include "topology/netsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contention.hpp"
+#include "distribution/distribution.hpp"
+#include "fmm/enumerate.hpp"
+
+namespace sfc::topo {
+namespace {
+
+TEST(NetSim, SingleMessageLatencyEqualsHopCount) {
+  const std::vector<SimMessage> msgs = {
+      {make_point(0, 0), make_point(3, 2)}};
+  const auto r = simulate_store_and_forward(msgs, 3, false);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.makespan, 5u);  // 3 X hops + 2 Y hops
+  EXPECT_EQ(r.max_latency, 5u);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 5.0);
+  EXPECT_EQ(r.total_hops, 5u);
+  EXPECT_DOUBLE_EQ(r.slowdown, 1.0);  // no contention
+}
+
+TEST(NetSim, ZeroHopMessagesDeliverInstantly) {
+  const std::vector<SimMessage> msgs = {
+      {make_point(1, 1), make_point(1, 1)},
+      {make_point(1, 1), make_point(1, 1)}};
+  const auto r = simulate_store_and_forward(msgs, 2, true);
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 0.0);
+  EXPECT_EQ(r.total_hops, 0u);
+}
+
+TEST(NetSim, SharedLinkSerializes) {
+  // Two messages both needing link (0,0)->(1,0): the second waits a cycle.
+  const std::vector<SimMessage> msgs = {
+      {make_point(0, 0), make_point(1, 0)},
+      {make_point(0, 0), make_point(2, 0)}};
+  const auto r = simulate_store_and_forward(msgs, 2, false);
+  // Cycle 1: msg0 delivered; cycle 2: msg1 crosses first link; cycle 3:
+  // msg1 crosses second link.
+  EXPECT_EQ(r.makespan, 3u);
+  EXPECT_EQ(r.max_latency, 3u);
+}
+
+TEST(NetSim, DisjointMessagesRunInParallel) {
+  const std::vector<SimMessage> msgs = {
+      {make_point(0, 0), make_point(1, 0)},
+      {make_point(0, 1), make_point(1, 1)},
+      {make_point(0, 2), make_point(1, 2)}};
+  const auto r = simulate_store_and_forward(msgs, 2, false);
+  EXPECT_EQ(r.makespan, 1u);
+}
+
+TEST(NetSim, TorusWrapShortensPaths) {
+  const std::vector<SimMessage> msgs = {
+      {make_point(7, 0), make_point(0, 0)}};
+  EXPECT_EQ(simulate_store_and_forward(msgs, 3, true).makespan, 1u);
+  EXPECT_EQ(simulate_store_and_forward(msgs, 3, false).makespan, 7u);
+}
+
+TEST(NetSim, MakespanAtLeastStaticMaxLinkLoad) {
+  // The static link-load analysis lower-bounds the simulated makespan
+  // (the hottest link moves one packet per cycle).
+  dist::SampleConfig cfg;
+  cfg.count = 1500;
+  cfg.level = 7;
+  cfg.seed = 61;
+  const auto particles =
+      dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  const core::AcdInstance<2> instance(particles, 7, *curve);
+  const fmm::Partition part(instance.particles().size(), 256);
+  const TorusTopology<2> torus(4, *curve);
+
+  std::vector<SimMessage> msgs;
+  fmm::nfi_visit<2>(instance.particles(), instance.grid(), 1,
+                    fmm::NeighborNorm::kChebyshev,
+                    [&](std::size_t i, std::size_t j) {
+                      msgs.push_back({torus.coordinate(part.proc_of(j)),
+                                      torus.coordinate(part.proc_of(i))});
+                    });
+  const auto sim = simulate_store_and_forward(msgs, 4, true);
+  const auto static_load =
+      core::nfi_congestion(instance, part, torus, true, 1);
+  EXPECT_GE(sim.makespan, static_load.max_link_load);
+  // Total link traversals agree with the static analysis (same routing).
+  EXPECT_EQ(sim.total_hops, static_load.hops);
+  // Mean latency can never beat the mean hop distance.
+  EXPECT_GE(sim.mean_latency,
+            static_cast<double>(static_load.hops) /
+                static_cast<double>(static_load.messages) -
+                1e-9);
+}
+
+TEST(NetSim, HilbertPlacementFinishesBeforeRowMajor) {
+  dist::SampleConfig cfg;
+  cfg.count = 2000;
+  cfg.level = 7;
+  cfg.seed = 62;
+  const auto particles =
+      dist::sample_particles<2>(dist::DistKind::kUniform, cfg);
+  auto makespan = [&](CurveKind kind) {
+    const auto curve = make_curve<2>(kind);
+    const core::AcdInstance<2> instance(particles, 7, *curve);
+    const fmm::Partition part(instance.particles().size(), 256);
+    const TorusTopology<2> torus(4, *curve);
+    std::vector<SimMessage> msgs;
+    fmm::nfi_visit<2>(instance.particles(), instance.grid(), 1,
+                      fmm::NeighborNorm::kChebyshev,
+                      [&](std::size_t i, std::size_t j) {
+                        msgs.push_back({torus.coordinate(part.proc_of(j)),
+                                        torus.coordinate(part.proc_of(i))});
+                      });
+    return simulate_store_and_forward(msgs, 4, true).makespan;
+  };
+  EXPECT_LT(makespan(CurveKind::kHilbert), makespan(CurveKind::kRowMajor));
+}
+
+TEST(NetSim, TooLargeGridThrows) {
+  EXPECT_THROW(simulate_store_and_forward({}, 9, true),
+               std::invalid_argument);
+}
+
+TEST(NetSim, EmptyMessageSet) {
+  const auto r = simulate_store_and_forward({}, 3, true);
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+}  // namespace
+}  // namespace sfc::topo

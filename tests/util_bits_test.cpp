@@ -1,0 +1,158 @@
+// Unit tests for the bit-manipulation primitives.
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace sfc::util {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bits, Ilog2KnownValues) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(~0ull), 63u);
+}
+
+TEST(Bits, Clog2KnownValues) {
+  EXPECT_EQ(clog2(0), 0u);
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(4), 2u);
+  EXPECT_EQ(clog2(5), 3u);
+  EXPECT_EQ(clog2(1ull << 40), 40u);
+}
+
+TEST(Bits, Part1By1SpreadsBits) {
+  EXPECT_EQ(part1_by1(0u), 0ull);
+  EXPECT_EQ(part1_by1(1u), 1ull);
+  EXPECT_EQ(part1_by1(0b11u), 0b101ull);
+  EXPECT_EQ(part1_by1(0b101u), 0b10001ull);
+  EXPECT_EQ(part1_by1(0xFFFFFFFFu), 0x5555555555555555ull);
+}
+
+TEST(Bits, Compact1By1InvertsPart1By1) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next());
+    EXPECT_EQ(compact1_by1(part1_by1(v)), v);
+  }
+}
+
+TEST(Bits, Part1By2SpreadsBits) {
+  EXPECT_EQ(part1_by2(0u), 0ull);
+  EXPECT_EQ(part1_by2(1u), 1ull);
+  EXPECT_EQ(part1_by2(0b11u), 0b1001ull);
+  EXPECT_EQ(part1_by2(0x1FFFFFu), 0x1249249249249249ull);
+}
+
+TEST(Bits, Compact1By2InvertsPart1By2) {
+  Xoshiro256pp rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next()) & 0x1FFFFFu;
+    EXPECT_EQ(compact1_by2(part1_by2(v)), v);
+  }
+}
+
+TEST(Bits, Morton2KnownValues) {
+  // (x, y) -> interleave with x on even bits.
+  EXPECT_EQ(morton2_encode(0, 0), 0ull);
+  EXPECT_EQ(morton2_encode(1, 0), 1ull);
+  EXPECT_EQ(morton2_encode(0, 1), 2ull);
+  EXPECT_EQ(morton2_encode(1, 1), 3ull);
+  EXPECT_EQ(morton2_encode(2, 0), 4ull);
+  EXPECT_EQ(morton2_encode(7, 7), 63ull);
+  EXPECT_EQ(morton2_encode(0, 2), 8ull);
+}
+
+TEST(Bits, Morton2RoundTrip) {
+  Xoshiro256pp rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    const auto y = static_cast<std::uint32_t>(rng.next());
+    const auto code = morton2_encode(x, y);
+    EXPECT_EQ(morton2_decode_x(code), x);
+    EXPECT_EQ(morton2_decode_y(code), y);
+  }
+}
+
+TEST(Bits, Morton3KnownValues) {
+  EXPECT_EQ(morton3_encode(0, 0, 0), 0ull);
+  EXPECT_EQ(morton3_encode(1, 0, 0), 1ull);
+  EXPECT_EQ(morton3_encode(0, 1, 0), 2ull);
+  EXPECT_EQ(morton3_encode(0, 0, 1), 4ull);
+  EXPECT_EQ(morton3_encode(1, 1, 1), 7ull);
+  EXPECT_EQ(morton3_encode(2, 0, 0), 8ull);
+}
+
+TEST(Bits, Morton3RoundTrip) {
+  Xoshiro256pp rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next()) & 0x1FFFFFu;
+    const auto y = static_cast<std::uint32_t>(rng.next()) & 0x1FFFFFu;
+    const auto z = static_cast<std::uint32_t>(rng.next()) & 0x1FFFFFu;
+    const auto code = morton3_encode(x, y, z);
+    EXPECT_EQ(morton3_decode_x(code), x);
+    EXPECT_EQ(morton3_decode_y(code), y);
+    EXPECT_EQ(morton3_decode_z(code), z);
+  }
+}
+
+TEST(Bits, GraySuccessiveCodesDifferInOneBit) {
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const std::uint64_t a = gray_encode(i);
+    const std::uint64_t b = gray_encode(i + 1);
+    EXPECT_EQ(std::popcount(a ^ b), 1) << "at i=" << i;
+  }
+}
+
+TEST(Bits, GrayDecodeInvertsEncode) {
+  Xoshiro256pp rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next();
+    EXPECT_EQ(gray_decode(gray_encode(v)), v);
+  }
+  for (std::uint64_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(gray_encode(gray_decode(v)), v);
+  }
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1ull);
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100ull);
+  EXPECT_EQ(reverse_bits(0b1101, 4), 0b1011ull);
+  // Round trip.
+  Xoshiro256pp rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.next() & 0xFFFFull;
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 16), 16), v);
+  }
+}
+
+TEST(Bits, BaseDigit) {
+  // 0b 11 01 00 10 in base 4.
+  const std::uint64_t v = 0b11010010;
+  EXPECT_EQ(base_digit(v, 0, 2), 0b10ull);
+  EXPECT_EQ(base_digit(v, 1, 2), 0b00ull);
+  EXPECT_EQ(base_digit(v, 2, 2), 0b01ull);
+  EXPECT_EQ(base_digit(v, 3, 2), 0b11ull);
+}
+
+}  // namespace
+}  // namespace sfc::util

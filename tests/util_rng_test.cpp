@@ -1,0 +1,127 @@
+// Unit tests for the deterministic RNG stack.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sfc::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values from the public-domain reference implementation
+  // (Vigna), seed = 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454Full);
+}
+
+TEST(Xoshiro256pp, IsDeterministic) {
+  Xoshiro256pp a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256pp, DifferentSeedsDiffer) {
+  Xoshiro256pp a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, JumpMovesStream) {
+  Xoshiro256pp a(5), b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(BoundedU64, StaysInRange) {
+  Xoshiro256pp rng(77);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(bounded_u64(rng, bound), bound);
+    }
+  }
+}
+
+TEST(BoundedU64, BoundOneAlwaysZero) {
+  Xoshiro256pp rng(78);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bounded_u64(rng, 1), 0ull);
+}
+
+TEST(BoundedU64, RoughlyUniform) {
+  Xoshiro256pp rng(79);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[bounded_u64(rng, kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(Uniform01, RangeAndMean) {
+  Xoshiro256pp rng(80);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = uniform01(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(NormalSampler, MomentsMatchStandardNormal) {
+  Xoshiro256pp rng(81);
+  NormalSampler normal;
+  constexpr int kDraws = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = normal(rng);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Exponential, MomentsMatch) {
+  Xoshiro256pp rng(82);
+  constexpr double kMean = 3.5;
+  constexpr int kDraws = 200000;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double e = exponential(rng, kMean);
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kDraws, kMean, 0.05);
+}
+
+TEST(SubstreamSeed, DistinctPerIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(substream_seed(99, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SubstreamSeed, DependsOnMaster) {
+  EXPECT_NE(substream_seed(1, 0), substream_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace sfc::util

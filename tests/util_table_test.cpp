@@ -1,0 +1,78 @@
+// Unit tests for the table formatter.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sfc::util {
+namespace {
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+  EXPECT_EQ(format_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(format_fixed(-0.5, 2), "-0.50");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("demo");
+  t.set_header({"curve", "a", "b"});
+  t.set_precision(1);
+  t.add_row("Hilbert", {1.0, 2.5});
+  t.add_row("Z", {3.25, 4.0});
+  const std::string csv = t.to_string(TableStyle::kCsv);
+  EXPECT_EQ(csv, "curve,a,b\nHilbert,1.0,2.5\nZ,3.2,4.0\n");
+}
+
+TEST(Table, AsciiContainsHeaderAndCells) {
+  Table t("title");
+  t.set_header({"x", "y"});
+  t.add_row("r1", {7.0});
+  const std::string s = t.to_string(TableStyle::kAscii);
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("7.000"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row("r", {1.0});
+  const std::string s = t.to_string(TableStyle::kMarkdown);
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, MarksRowAndColumnMinima) {
+  // Mirrors the paper's boldface (row min, '*') and italics (col min, '^').
+  Table t;
+  t.set_header({"", "c1", "c2"});
+  t.mark_minima(true);
+  t.set_precision(0);
+  t.add_row("r1", {1.0, 5.0});  // 1 is row min AND col-1 min
+  t.add_row("r2", {2.0, 3.0});  // 2 is row min; 3 is col-2 min
+  const std::string csv = t.to_string(TableStyle::kCsv);
+  EXPECT_NE(csv.find("1*^"), std::string::npos);
+  EXPECT_NE(csv.find("2*"), std::string::npos);
+  EXPECT_NE(csv.find("3^"), std::string::npos);
+  EXPECT_EQ(csv.find("5*"), std::string::npos);
+  EXPECT_EQ(csv.find("5^"), std::string::npos);
+}
+
+TEST(Table, TextRowsAppendVerbatim) {
+  Table t;
+  t.add_text_row({"alpha", "beta"});
+  const std::string csv = t.to_string(TableStyle::kCsv);
+  EXPECT_EQ(csv, "alpha,beta\n");
+}
+
+TEST(Table, RowsCount) {
+  Table t;
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row("x", {1.0});
+  t.add_text_row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sfc::util

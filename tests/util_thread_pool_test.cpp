@@ -1,0 +1,93 @@
+// Unit tests for the thread pool and parallel reduction helpers.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sfc::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for_chunks(pool, 0, kN, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_chunks(pool, 5, 5, 1,
+                      [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  const std::uint64_t expected = kN * (kN - 1) / 2;
+  const auto result = parallel_reduce_chunks(
+      pool, 0, kN, 64, std::uint64_t{0}, [](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      });
+  EXPECT_EQ(result, expected);
+}
+
+TEST(ParallelReduce, RespectsInit) {
+  ThreadPool pool(2);
+  const auto result = parallel_reduce_chunks(
+      pool, 0, 10, 1, std::uint64_t{1000},
+      [](std::size_t lo, std::size_t hi) {
+        return static_cast<std::uint64_t>(hi - lo);
+      });
+  EXPECT_EQ(result, 1010u);
+}
+
+TEST(ParallelReduce, SingleWorkerFallback) {
+  ThreadPool pool(1);
+  const auto result = parallel_reduce_chunks(
+      pool, 0, 1000, 1, std::uint64_t{0}, [](std::size_t lo, std::size_t hi) {
+        return static_cast<std::uint64_t>(hi - lo);
+      });
+  EXPECT_EQ(result, 1000u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sfc::util
