@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/acd.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/nfi.hpp"
 
 namespace {
 
@@ -59,6 +61,97 @@ void BM_NfiPass(benchmark::State& state, unsigned radius) {
                           static_cast<std::int64_t>(kParticles));
 }
 
+// Acceptance benchmarks for the rank-pair aggregation fast path: the
+// 2^10-level uniform scenario with p = 256, timing the aggregated
+// nfi_totals/ffi_totals against their *_direct references. Items are
+// communication events, so benchmark output is directly ns/pair.
+constexpr unsigned kAggLevel = 10;  // 1024 x 1024
+constexpr std::size_t kAggParticles = 100000;
+constexpr topo::Rank kAggProcs = 256;
+
+const core::AcdInstance<2>& agg_instance() {
+  static const core::AcdInstance<2> instance = [] {
+    dist::SampleConfig cfg;
+    cfg.count = kAggParticles;
+    cfg.level = kAggLevel;
+    cfg.seed = 1;
+    const auto curve = make_curve<2>(CurveKind::kHilbert);
+    return core::AcdInstance<2>(
+        dist::sample_particles<2>(dist::DistKind::kUniform, cfg), kAggLevel,
+        *curve);
+  }();
+  return instance;
+}
+
+void BM_NfiAggregated(benchmark::State& state, unsigned radius) {
+  const auto& instance = agg_instance();
+  const fmm::Partition part(instance.particles().size(), kAggProcs);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kAggProcs, curve.get());
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    const auto totals = fmm::nfi_totals<2>(instance.particles(),
+                                           instance.grid(), part, *net,
+                                           radius);
+    pairs = totals.count;
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs));
+}
+
+void BM_NfiDirect(benchmark::State& state, unsigned radius) {
+  const auto& instance = agg_instance();
+  const fmm::Partition part(instance.particles().size(), kAggProcs);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kAggProcs, curve.get());
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    const auto totals = fmm::nfi_totals_direct<2>(instance.particles(),
+                                                  instance.grid(), part,
+                                                  *net, radius);
+    pairs = totals.count;
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs));
+}
+
+void BM_FfiAggregated(benchmark::State& state) {
+  const auto& instance = agg_instance();
+  const fmm::Partition part(instance.particles().size(), kAggProcs);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kAggProcs, curve.get());
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    const auto totals = fmm::ffi_totals<2>(instance.tree(), part, *net);
+    pairs = totals.total().count;
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs));
+}
+
+void BM_FfiDirect(benchmark::State& state) {
+  const auto& instance = agg_instance();
+  const fmm::Partition part(instance.particles().size(), kAggProcs);
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net = topo::make_topology<2>(topo::TopologyKind::kTorus,
+                                          kAggProcs, curve.get());
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    const auto totals = fmm::ffi_totals_direct<2>(instance.tree(), part,
+                                                  *net);
+    pairs = totals.total().count;
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs));
+}
+
 void BM_FfiPass(benchmark::State& state) {
   const auto particles = particles_for(dist::DistKind::kUniform);
   const auto curve = make_curve<2>(CurveKind::kHilbert);
@@ -88,5 +181,12 @@ BENCHMARK_CAPTURE(BM_NfiPass, r1, 1u);
 BENCHMARK_CAPTURE(BM_NfiPass, r4, 4u);
 
 BENCHMARK(BM_FfiPass);
+
+BENCHMARK_CAPTURE(BM_NfiAggregated, r1, 1u);
+BENCHMARK_CAPTURE(BM_NfiAggregated, r4, 4u);
+BENCHMARK_CAPTURE(BM_NfiDirect, r1, 1u);
+BENCHMARK_CAPTURE(BM_NfiDirect, r4, 4u);
+BENCHMARK(BM_FfiAggregated);
+BENCHMARK(BM_FfiDirect);
 
 BENCHMARK_MAIN();

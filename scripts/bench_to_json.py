@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Emit BENCH_acd.json: machine-readable perf numbers for the ACD hot paths.
+
+Runs the micro_model google-benchmark binary (aggregated vs direct NFI/FFI
+passes, ns per communication pair) and optionally a reduced-scale table1_nfi
+end-to-end timing, then writes one JSON file so the perf trajectory can be
+compared across commits.
+
+Usage:
+  scripts/bench_to_json.py [--build-dir build-release] [--out BENCH_acd.json]
+                           [--min-time 0.5] [--with-table1] [--smoke]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_micro_model(binary, min_time, repetitions, smoke):
+    """Run the aggregated/direct micro benchmarks; return google-benchmark
+    entries keyed by benchmark name. With repetitions > 1 the medians are
+    used, which suppresses scheduler/frequency jitter on shared machines."""
+    cmd = [
+        binary,
+        "--benchmark_filter=Aggregated|Direct",
+        "--benchmark_format=json",
+    ]
+    if smoke:
+        # A single iteration per benchmark: enough to catch perf-path
+        # compile/runtime regressions in CI without paying for statistics.
+        cmd.append("--benchmark_min_time=0")
+    else:
+        cmd.append(f"--benchmark_min_time={min_time}")
+        if repetitions > 1:
+            cmd.append(f"--benchmark_repetitions={repetitions}")
+            cmd.append("--benchmark_report_aggregates_only=true")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+    entries = {}
+    for b in data["benchmarks"]:
+        name = b["name"]
+        if name.endswith("_median"):
+            entries[name[: -len("_median")]] = b
+        elif b.get("run_type") != "aggregate":
+            entries.setdefault(name, b)
+    return entries
+
+
+def ns_per_pair(entry):
+    """Items are communication pairs, so items_per_second is pairs/s."""
+    ips = entry.get("items_per_second")
+    return 1e9 / ips if ips else None
+
+
+def run_table1(binary):
+    """Reduced-scale end-to-end Table I sweep (wall-clock seconds)."""
+    args = [
+        binary,
+        "--particles=20000",
+        "--level=8",
+        "--procs=256",
+        "--trials=1",
+    ]
+    start = time.monotonic()
+    subprocess.run(args, check=True, capture_output=True, text=True)
+    return time.monotonic() - start
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-release",
+                        help="CMake build directory holding bench binaries")
+    parser.add_argument("--out", default="BENCH_acd.json")
+    parser.add_argument("--min-time", type=float, default=0.5,
+                        help="google-benchmark min time per benchmark (s)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="benchmark repetitions (medians are reported)")
+    parser.add_argument("--with-table1", action="store_true",
+                        help="also time a reduced-scale table1_nfi run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal iterations; timings are indicative only")
+    opts = parser.parse_args()
+
+    micro = os.path.join(opts.build_dir, "bench", "micro_model")
+    if not os.path.exists(micro):
+        sys.exit(f"error: {micro} not found — build the bench targets first")
+
+    entries = run_micro_model(micro, opts.min_time, opts.repetitions,
+                              opts.smoke)
+
+    nfi = {}
+    for radius in ("r1", "r4"):
+        agg = entries.get(f"BM_NfiAggregated/{radius}")
+        direct = entries.get(f"BM_NfiDirect/{radius}")
+        if not agg or not direct:
+            continue
+        a, d = ns_per_pair(agg), ns_per_pair(direct)
+        nfi[radius] = {
+            "aggregated_ns_per_pair": a,
+            "direct_ns_per_pair": d,
+            "speedup": d / a if a and d else None,
+        }
+    ffi = {}
+    agg, direct = entries.get("BM_FfiAggregated"), entries.get("BM_FfiDirect")
+    if agg and direct:
+        a, d = ns_per_pair(agg), ns_per_pair(direct)
+        ffi = {
+            "aggregated_ns_per_pair": a,
+            "direct_ns_per_pair": d,
+            "speedup": d / a if a and d else None,
+        }
+
+    result = {
+        "benchmark": "acd_rank_pair_aggregation",
+        "scenario": {
+            "level": 10,
+            "particles": 100000,
+            "procs": 256,
+            "distribution": "uniform",
+            "topology": "torus",
+        },
+        "smoke": opts.smoke,
+        "nfi": nfi,
+        "ffi": ffi,
+    }
+    if opts.with_table1:
+        table1 = os.path.join(opts.build_dir, "bench", "table1_nfi")
+        if os.path.exists(table1):
+            result["table1_nfi_reduced"] = {
+                "particles": 20000,
+                "level": 8,
+                "procs": 256,
+                "seconds": run_table1(table1),
+            }
+
+    with open(opts.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {opts.out}")
+    for radius, r in nfi.items():
+        speed = r["speedup"]
+        print(f"  nfi/{radius}: {r['aggregated_ns_per_pair']:.2f} ns/pair "
+              f"aggregated vs {r['direct_ns_per_pair']:.2f} direct "
+              f"({speed:.2f}x)" if speed else f"  nfi/{radius}: incomplete")
+    if ffi and ffi.get("speedup"):
+        print(f"  ffi: {ffi['aggregated_ns_per_pair']:.2f} ns/pair aggregated "
+              f"vs {ffi['direct_ns_per_pair']:.2f} direct "
+              f"({ffi['speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,10 +13,13 @@ std::vector<Point<D>> sorted_by_curve(std::vector<Point<D>> particles,
   std::vector<std::uint64_t> keys = indices_of(curve, particles, level);
   std::vector<std::uint32_t> order(particles.size());
   std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&keys](std::uint32_t a, std::uint32_t b) {
-              return keys[a] < keys[b];
-            });
+  // stable_sort: equal-key particles keep their sampling order, so the
+  // sorted sequence (and every golden number downstream) is identical
+  // across standard-library implementations.
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](std::uint32_t a, std::uint32_t b) {
+                     return keys[a] < keys[b];
+                   });
   std::vector<Point<D>> sorted;
   sorted.reserve(particles.size());
   for (const std::uint32_t i : order) sorted.push_back(particles[i]);

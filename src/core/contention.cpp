@@ -15,12 +15,14 @@ LinkLoadMap::LinkLoadMap(unsigned level, bool wrap)
   load_.assign(static_cast<std::size_t>(side_) * side_ * 4, 0);
 }
 
-void LinkLoadMap::traverse(std::uint32_t x, std::uint32_t y, unsigned dir) {
-  ++load_[(static_cast<std::size_t>(y) * side_ + x) * 4 + dir];
-}
-
-void LinkLoadMap::route(const Point2& from, const Point2& to) {
-  ++messages_;
+void LinkLoadMap::route(const Point2& from, const Point2& to,
+                        std::uint64_t count) {
+  if (count == 0) return;
+  messages_ += count;
+  auto traverse = [this, count](std::uint32_t x, std::uint32_t y,
+                                unsigned dir) {
+    load_[(static_cast<std::size_t>(y) * side_ + x) * 4 + dir] += count;
+  };
   std::uint32_t x = from[0];
   std::uint32_t y = from[1];
 
@@ -97,21 +99,18 @@ LinkLoadMap route_messages(const AcdInstance<2>& instance,
                            const topo::GridTopologyBase<2>& net, bool wrap,
                            unsigned radius, const fmm::NeighborNorm* norm) {
   LinkLoadMap map(net.level(), wrap);
-  auto send = [&](std::size_t i, std::size_t j) {
-    map.route(net.coordinate(part.proc_of(j)),
-              net.coordinate(part.proc_of(i)));
-  };
-  if (norm != nullptr) {
-    fmm::nfi_visit<2>(instance.particles(), instance.grid(), radius, *norm,
-                      send);
-  } else {
-    fmm::ffi_visit<2>(instance.tree(),
-                      [&](std::uint32_t from, std::uint32_t to,
-                          fmm::FfiComponent) {
-                        map.route(net.coordinate(part.proc_of(from)),
-                                  net.coordinate(part.proc_of(to)));
-                      });
-  }
+  // Aggregate the communication set into per-rank-pair counts, then walk
+  // each distinct pair's path once with its multiplicity: O(pairs · hops)
+  // link updates instead of O(events · hops). Loads are additive, so the
+  // stats are identical to routing every event.
+  const core::RankPairAccumulator pairs =
+      norm != nullptr
+          ? fmm::nfi_pair_counts<2>(instance.particles(), instance.grid(),
+                                    part, radius, *norm)
+          : fmm::ffi_pair_counts<2>(instance.tree(), part);
+  pairs.for_each([&](topo::Rank from, topo::Rank to, std::uint64_t count) {
+    map.route(net.coordinate(from), net.coordinate(to), count);
+  });
   return map;
 }
 

@@ -50,8 +50,12 @@ class LinkLoadMap {
   /// `level`: the grid is 2^level x 2^level processors. `wrap`: torus.
   LinkLoadMap(unsigned level, bool wrap);
 
-  /// Route one message between processor grid coordinates.
-  void route(const Point2& from, const Point2& to);
+  /// Route `count` identical messages between processor grid coordinates
+  /// in one link walk (loads are additive, so this is exactly `count`
+  /// unit routes). The congestion models aggregate their communication
+  /// sets into per-rank-pair counts first (fmm::nfi_pair_counts /
+  /// ffi_pair_counts) and call this once per distinct pair.
+  void route(const Point2& from, const Point2& to, std::uint64_t count = 1);
 
   CongestionStats stats() const;
   void reset();
@@ -62,8 +66,6 @@ class LinkLoadMap {
                           unsigned dir) const;
 
  private:
-  void traverse(std::uint32_t x, std::uint32_t y, unsigned dir);
-
   unsigned level_;
   std::uint32_t side_;
   bool wrap_;

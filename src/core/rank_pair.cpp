@@ -1,0 +1,98 @@
+#include "core/rank_pair.hpp"
+
+#include <algorithm>
+
+namespace sfc::core {
+
+RankPairAccumulator::RankPairAccumulator(topo::Rank procs,
+                                         std::size_t dense_budget)
+    : p_(procs),
+      is_dense_(static_cast<std::size_t>(procs) * procs <= dense_budget) {
+  if (is_dense_) {
+    dense_.assign(static_cast<std::size_t>(p_) * p_, 0u);
+  }
+}
+
+void RankPairAccumulator::add_sparse(topo::Rank src, topo::Rank dst,
+                                     std::uint64_t count) {
+  staging_.emplace_back(static_cast<std::uint64_t>(src) * p_ + dst, count);
+  if (staging_.size() >= kStagingCap) compact();
+}
+
+void RankPairAccumulator::compact() const {
+  if (staging_.empty()) return;
+  std::sort(staging_.begin(), staging_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  merged.reserve(sorted_.size() + staging_.size());
+  std::size_t i = 0, j = 0;
+  auto push = [&merged](std::uint64_t key, std::uint64_t count) {
+    if (!merged.empty() && merged.back().first == key) {
+      merged.back().second += count;
+    } else {
+      merged.emplace_back(key, count);
+    }
+  };
+  while (i < sorted_.size() && j < staging_.size()) {
+    if (sorted_[i].first <= staging_[j].first) {
+      push(sorted_[i].first, sorted_[i].second);
+      ++i;
+    } else {
+      push(staging_[j].first, staging_[j].second);
+      ++j;
+    }
+  }
+  for (; i < sorted_.size(); ++i) push(sorted_[i].first, sorted_[i].second);
+  for (; j < staging_.size(); ++j) push(staging_[j].first, staging_[j].second);
+  sorted_.swap(merged);
+  staging_.clear();
+}
+
+RankPairAccumulator& RankPairAccumulator::operator+=(
+    const RankPairAccumulator& o) {
+  o.for_each([this](topo::Rank a, topo::Rank b, std::uint64_t count) {
+    add(a, b, count);
+  });
+  return *this;
+}
+
+CommTotals RankPairAccumulator::fold(const topo::DistanceTable& table) const {
+  CommTotals totals;
+  if (is_dense_) {
+    std::size_t k = 0;
+    for (topo::Rank a = 0; a < p_; ++a) {
+      const std::uint32_t* row = table.row(a);
+      for (topo::Rank b = 0; b < p_; ++b, ++k) {
+        const std::uint64_t c = dense_[k];
+        if (c == 0) continue;
+        totals.hops += c * row[b];
+        totals.count += c;
+      }
+    }
+    return totals;
+  }
+  compact();
+  for (const auto& [key, count] : sorted_) {
+    totals.hops += count * table(static_cast<std::uint32_t>(key / p_),
+                                 static_cast<std::uint32_t>(key % p_));
+    totals.count += count;
+  }
+  return totals;
+}
+
+CommTotals RankPairAccumulator::fold(const topo::Topology& net) const {
+  CommTotals totals;
+  for_each([&totals, &net](topo::Rank a, topo::Rank b, std::uint64_t count) {
+    totals.hops += count * net.distance(a, b);
+    totals.count += count;
+  });
+  return totals;
+}
+
+std::uint64_t RankPairAccumulator::events() const {
+  std::uint64_t n = 0;
+  for_each([&n](topo::Rank, topo::Rank, std::uint64_t count) { n += count; });
+  return n;
+}
+
+}  // namespace sfc::core

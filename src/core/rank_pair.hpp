@@ -1,0 +1,111 @@
+// rank_pair.hpp — (source rank, destination rank) → count aggregation.
+//
+// The ACD engines enumerate O(n · window) communication events but only
+// p² distinct rank pairs exist, so the hot loops record events into one
+// of these histograms and the totals are recovered by a single
+// p²-bounded multiply-accumulate against the topology's hop table
+// (topo::DistanceTable). Integer multiplication is exact repeated
+// addition, so the folded totals are bit-identical to summing the
+// per-event distances in any order.
+//
+// Storage adapts to p: a dense p² count array while p² fits the budget
+// (p <= 2048 by default), and a sorted-sparse (key → count) list with a
+// bounded unsorted staging buffer beyond — sweeps at paper scale
+// (p = 65536) never allocate p² memory.
+//
+// Beyond the fast path, the histogram itself is the observability
+// artifact for contention modeling: for_each() exposes the exact
+// per-rank-pair traffic matrix of a communication set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "topology/distance_table.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::core {
+
+class RankPairAccumulator {
+ public:
+  /// Dense-mode budget: p² count entries at 8 bytes each (32 MiB).
+  static constexpr std::size_t kDenseEntryBudget = std::size_t{1} << 22;
+
+  /// `dense_budget` is a test hook: pass 0 to force the sparse fallback.
+  explicit RankPairAccumulator(topo::Rank procs,
+                               std::size_t dense_budget = kDenseEntryBudget);
+
+  topo::Rank procs() const noexcept { return p_; }
+  bool dense() const noexcept { return is_dense_; }
+
+  /// Record `count` communications from rank `src` to rank `dst`.
+  void add(topo::Rank src, topo::Rank dst, std::uint64_t count = 1) {
+    if (count == 0) return;
+    if (is_dense_) {
+      dense_[static_cast<std::size_t>(src) * p_ + dst] += count;
+    } else {
+      add_sparse(src, dst, count);
+    }
+  }
+
+  /// Dense-mode count row for a fixed source rank (nullptr in sparse
+  /// mode) — lets kernels hoist the row base out of their inner loops.
+  std::uint64_t* row(topo::Rank src) noexcept {
+    return is_dense_ ? dense_.data() + static_cast<std::size_t>(src) * p_
+                     : nullptr;
+  }
+
+  /// Merge another histogram (same processor count) into this one.
+  RankPairAccumulator& operator+=(const RankPairAccumulator& o);
+
+  /// Fold against a prebuilt hop table: Σ count(a,b) · table(a,b).
+  CommTotals fold(const topo::DistanceTable& table) const;
+
+  /// Fold with one distance() call per *distinct* pair — the path for
+  /// topologies too large for a table (still O(pairs), not O(events)).
+  CommTotals fold(const topo::Topology& net) const;
+
+  /// Total recorded communications (sum of all counts).
+  std::uint64_t events() const;
+
+  /// Invoke fn(src, dst, count) for every pair with a nonzero count.
+  /// Dense mode iterates in row-major order; sparse mode in key order
+  /// (the same order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (is_dense_) {
+      std::size_t k = 0;
+      for (topo::Rank a = 0; a < p_; ++a) {
+        for (topo::Rank b = 0; b < p_; ++b, ++k) {
+          if (dense_[k] != 0) fn(a, b, dense_[k]);
+        }
+      }
+      return;
+    }
+    compact();
+    for (const auto& [key, count] : sorted_) {
+      fn(static_cast<topo::Rank>(key / p_), static_cast<topo::Rank>(key % p_),
+         count);
+    }
+  }
+
+ private:
+  /// Staging buffer cap before a sort-and-merge compaction (16 MiB).
+  static constexpr std::size_t kStagingCap = std::size_t{1} << 20;
+
+  void add_sparse(topo::Rank src, topo::Rank dst, std::uint64_t count);
+  /// Merge the staging buffer into the sorted aggregate. Const because
+  /// the pair *multiset* is unchanged — only its representation.
+  void compact() const;
+
+  topo::Rank p_;
+  bool is_dense_;
+  std::vector<std::uint64_t> dense_;  // p² counts (dense mode only)
+  mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> staging_;
+  mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_;
+};
+
+}  // namespace sfc::core

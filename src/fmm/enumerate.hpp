@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/rank_pair.hpp"
 #include "fmm/cells.hpp"
 #include "fmm/ffi.hpp"
 #include "fmm/nfi.hpp"
@@ -94,6 +95,37 @@ void ffi_visit(const CellTree<D>& tree, Fn&& fn) {
       }
     }
   }
+}
+
+/// Per-rank-pair traffic histogram of the NFI communication set, keyed
+/// (sender rank, receiver rank). The observability companion to
+/// nfi_totals: contention models route each distinct pair once with its
+/// multiplicity instead of once per event.
+template <int D>
+core::RankPairAccumulator nfi_pair_counts(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const Partition& part, unsigned radius,
+    NeighborNorm norm = NeighborNorm::kChebyshev) {
+  core::RankPairAccumulator acc(part.processors());
+  const std::vector<topo::Rank> owners = part.owner_table();
+  nfi_visit<D>(particles, grid, radius, norm,
+               [&](std::size_t i, std::size_t j) {
+                 // Particle i receives from particle j.
+                 acc.add(owners[j], owners[i]);
+               });
+  return acc;
+}
+
+/// Per-rank-pair traffic histogram of the FFI communication set (all
+/// three families), keyed (sender rank, receiver rank).
+template <int D>
+core::RankPairAccumulator ffi_pair_counts(const CellTree<D>& tree,
+                                          const Partition& part) {
+  core::RankPairAccumulator acc(part.processors());
+  const std::vector<topo::Rank> owners = part.owner_table();
+  ffi_visit<D>(tree, [&](std::uint32_t from, std::uint32_t to,
+                         FfiComponent) { acc.add(owners[from], owners[to]); });
+  return acc;
 }
 
 }  // namespace sfc::fmm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/rank_pair.hpp"
 #include "fmm/cells.hpp"
 
 namespace sfc::fmm {
@@ -86,7 +87,8 @@ std::size_t CellTree<D>::total_cells() const noexcept {
 namespace {
 
 /// Interpolation hops for cells [lo, hi) of level `l` (l >= 1): each cell
-/// owner sends to its parent's owner.
+/// owner sends to its parent's owner. Reference path — one virtual
+/// distance() per edge.
 template <int D>
 core::CommTotals interp_range(const CellTree<D>& tree, const Partition& part,
                               const topo::Topology& net, unsigned l,
@@ -105,6 +107,7 @@ core::CommTotals interp_range(const CellTree<D>& tree, const Partition& part,
 }
 
 /// Interaction-list hops for cells [lo, hi) of level `l` (l >= 2).
+/// Reference path.
 template <int D>
 core::CommTotals il_range(const CellTree<D>& tree, const Partition& part,
                           const topo::Topology& net, unsigned l,
@@ -128,14 +131,68 @@ core::CommTotals il_range(const CellTree<D>& tree, const Partition& part,
   return totals;
 }
 
+/// Shared lookup state of the aggregated path, built once per evaluation.
+struct FoldContext {
+  const std::vector<topo::Rank>& owners;
+  const topo::DistanceTable* table;  // nullptr beyond the entry budget
+  const topo::Topology& net;
+  topo::Rank procs;
+
+  core::CommTotals fold(const core::RankPairAccumulator& acc) const {
+    return table != nullptr ? acc.fold(*table) : acc.fold(net);
+  }
+};
+
+/// Aggregated interpolation: histogram the (child owner, parent owner)
+/// rank pairs and fold once.
+template <int D>
+core::CommTotals interp_range_aggregated(const CellTree<D>& tree,
+                                         const FoldContext& ctx, unsigned l,
+                                         std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(ctx.procs);
+  const auto& cells = tree.cells(l);
+  const topo::Rank* own = ctx.owners.data();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto idx = tree.find(l - 1, parent_key<D>(cells[i].key));
+    const auto& parent = tree.cells(l - 1)[static_cast<std::size_t>(idx)];
+    acc.add(own[cells[i].min_particle], own[parent.min_particle]);
+  }
+  return ctx.fold(acc);
+}
+
+/// Aggregated interaction lists: histogram the (source owner, cell owner)
+/// rank pairs and fold once.
+template <int D>
+core::CommTotals il_range_aggregated(const CellTree<D>& tree,
+                                     const FoldContext& ctx, unsigned l,
+                                     std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(ctx.procs);
+  const auto& cells = tree.cells(l);
+  const topo::Rank* own = ctx.owners.data();
+  std::vector<Point<D>> il;
+  il.reserve(64);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Point<D> c = morton_point<D>(cells[i].key);
+    const topo::Rank owner = own[cells[i].min_particle];
+    interaction_list(c, l, il);
+    for (const Point<D>& d : il) {
+      const auto idx = tree.find(l, cell_key(d));
+      if (idx < 0) continue;  // unoccupied cells do not communicate
+      const auto& dc = tree.cells(l)[static_cast<std::size_t>(idx)];
+      acc.add(own[dc.min_particle], owner);
+    }
+  }
+  return ctx.fold(acc);
+}
+
 template <int D, typename RangeFn>
 core::CommTotals reduce_level(util::ThreadPool* pool, std::size_t n,
                               RangeFn fn) {
   if (pool == nullptr || pool->size() <= 1 || n < 4096) {
     return fn(std::size_t{0}, n);
   }
-  return util::parallel_reduce_chunks(*pool, 0, n, 512, core::CommTotals{},
-                                      fn);
+  return util::parallel_reduce_chunks(*pool, 0, n, util::kAutoGrain,
+                                      core::CommTotals{}, fn);
 }
 
 }  // namespace
@@ -143,6 +200,34 @@ core::CommTotals reduce_level(util::ThreadPool* pool, std::size_t n,
 template <int D>
 FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
                      const topo::Topology& net, util::ThreadPool* pool) {
+  const topo::DistanceTable* table =
+      topo::distance_table_fits(part.processors()) ? &net.table() : nullptr;
+  const std::vector<topo::Rank> owners = part.owner_table();
+  const FoldContext ctx{owners, table, net, part.processors()};
+
+  FfiTotals totals;
+  for (unsigned l = 1; l <= tree.finest_level(); ++l) {
+    totals.interpolation += reduce_level<D>(
+        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
+          return interp_range_aggregated<D>(tree, ctx, l, lo, hi);
+        });
+  }
+  // Anterpolation mirrors interpolation (parent -> child, same distances).
+  totals.anterpolation = totals.interpolation;
+
+  for (unsigned l = 2; l <= tree.finest_level(); ++l) {
+    totals.interaction += reduce_level<D>(
+        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
+          return il_range_aggregated<D>(tree, ctx, l, lo, hi);
+        });
+  }
+  return totals;
+}
+
+template <int D>
+FfiTotals ffi_totals_direct(const CellTree<D>& tree, const Partition& part,
+                            const topo::Topology& net,
+                            util::ThreadPool* pool) {
   FfiTotals totals;
   for (unsigned l = 1; l <= tree.finest_level(); ++l) {
     totals.interpolation += reduce_level<D>(
@@ -150,7 +235,6 @@ FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
           return interp_range<D>(tree, part, net, l, lo, hi);
         });
   }
-  // Anterpolation mirrors interpolation (parent -> child, same distances).
   totals.anterpolation = totals.interpolation;
 
   for (unsigned l = 2; l <= tree.finest_level(); ++l) {
@@ -168,5 +252,11 @@ template FfiTotals ffi_totals<2>(const CellTree<2>&, const Partition&,
                                  const topo::Topology&, util::ThreadPool*);
 template FfiTotals ffi_totals<3>(const CellTree<3>&, const Partition&,
                                  const topo::Topology&, util::ThreadPool*);
+template FfiTotals ffi_totals_direct<2>(const CellTree<2>&, const Partition&,
+                                        const topo::Topology&,
+                                        util::ThreadPool*);
+template FfiTotals ffi_totals_direct<3>(const CellTree<3>&, const Partition&,
+                                        const topo::Topology&,
+                                        util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -82,11 +82,21 @@ struct FfiTotals {
   }
 };
 
-/// Evaluate the FFI model on a prepared cell tree.
+/// Evaluate the FFI model on a prepared cell tree. Hot path: each range
+/// histograms its (src rank, dst rank) pairs (core/rank_pair.hpp) and
+/// folds once against the topology's hop table — no per-edge distance
+/// dispatch. Bit-identical to ffi_totals_direct.
 template <int D>
 FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
                      const topo::Topology& net,
                      util::ThreadPool* pool = nullptr);
+
+/// Reference implementation with one virtual distance() call per
+/// communication; the equivalence tests pin ffi_totals to this path.
+template <int D>
+FfiTotals ffi_totals_direct(const CellTree<D>& tree, const Partition& part,
+                            const topo::Topology& net,
+                            util::ThreadPool* pool = nullptr);
 
 extern template class CellTree<2>;
 extern template class CellTree<3>;
@@ -96,5 +106,13 @@ extern template FfiTotals ffi_totals<2>(const CellTree<2>&, const Partition&,
 extern template FfiTotals ffi_totals<3>(const CellTree<3>&, const Partition&,
                                         const topo::Topology&,
                                         util::ThreadPool*);
+extern template FfiTotals ffi_totals_direct<2>(const CellTree<2>&,
+                                               const Partition&,
+                                               const topo::Topology&,
+                                               util::ThreadPool*);
+extern template FfiTotals ffi_totals_direct<3>(const CellTree<3>&,
+                                               const Partition&,
+                                               const topo::Topology&,
+                                               util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -29,10 +29,17 @@ core::CommTotals logtree_accumulation_totals(
   core::CommTotals totals;
   const auto lists = quadrant_processor_lists<D>(particles, level, part);
   constexpr std::size_t kArity = 1u << D;
+  // Flat-table distance lookups when p² fits the budget; per-pair virtual
+  // dispatch beyond it.
+  const topo::DistanceTable* table =
+      topo::distance_table_fits(net.size()) ? &net.table() : nullptr;
   for (const auto& procs : lists) {
     for (std::size_t i = 1; i < procs.size(); ++i) {
+      const topo::Rank child = procs[i];
+      const topo::Rank parent = procs[(i - 1) / kArity];
       const std::uint64_t d =
-          net.distance(procs[i], procs[(i - 1) / kArity]);
+          table != nullptr ? (*table)(child, parent)
+                           : net.distance(child, parent);
       // One upward (interpolation) and one downward (anterpolation)
       // message per tree edge.
       totals.hops += 2 * d;

@@ -1,14 +1,23 @@
 #include "fmm/nfi.hpp"
 
+#include <algorithm>
+
+#include "core/rank_pair.hpp"
+
 namespace sfc::fmm {
 namespace {
 
-/// Accumulate the near-field communications of particles [lo, hi).
+/// Reference path: accumulate the near-field communications of particles
+/// [lo, hi) with one virtual distance() dispatch per event. Kept as the
+/// oracle the aggregated path must bit-match (and for topologies/grids
+/// the fast kernel does not cover).
 template <int D>
-core::CommTotals nfi_range(const std::vector<Point<D>>& particles,
-                           const OccupancyGrid<D>& grid, const Partition& part,
-                           const topo::Topology& net, unsigned radius,
-                           NeighborNorm norm, std::size_t lo, std::size_t hi) {
+core::CommTotals nfi_range_direct(const std::vector<Point<D>>& particles,
+                                  const OccupancyGrid<D>& grid,
+                                  const Partition& part,
+                                  const topo::Topology& net, unsigned radius,
+                                  NeighborNorm norm, std::size_t lo,
+                                  std::size_t hi) {
   core::CommTotals totals;
   const std::int64_t side = 1ll << grid.level();
   const std::int64_t r = radius;
@@ -53,6 +62,203 @@ core::CommTotals nfi_range(const std::vector<Point<D>>& particles,
   return totals;
 }
 
+/// Invoke fn(j) for every occupied cell j inside the radius-r window of x
+/// (the particle's own cell excluded). When the grid is dense, the window
+/// is walked as rows: pack() keeps coordinate 0 in the low bits, so each
+/// row's x-extent is one linear scan of the cell array with no per-cell
+/// packing or odometer branches. Map-backed grids fall back to the
+/// generic odometer. Enumeration order differs from the reference path;
+/// the aggregated totals are order-independent (integer sums commute).
+template <int D, typename Fn>
+inline void visit_neighbors(const OccupancyGrid<D>& grid,
+                            const std::int32_t* cells, const Point<D>& x,
+                            std::int64_t r, NeighborNorm norm, Fn&& fn) {
+  const unsigned level = grid.level();
+  const std::int64_t side = 1ll << level;
+  if (cells != nullptr) {
+    std::int64_t off[4] = {};  // offsets of dimensions 1..D-1
+    for (int d = 1; d < D; ++d) off[d] = -r;
+    for (;;) {
+      bool in = true;
+      bool zero_outer = true;
+      std::int64_t l1_outer = 0;
+      std::uint64_t base = 0;
+      for (int d = D - 1; d >= 1; --d) {
+        const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+        if (v < 0 || v >= side) {
+          in = false;
+          break;
+        }
+        if (off[d] != 0) zero_outer = false;
+        l1_outer += off[d] < 0 ? -off[d] : off[d];
+        base = (base << level) | static_cast<std::uint64_t>(v);
+      }
+      if (in) {
+        // Largest |x-offset| still inside the norm ball for this row.
+        const std::int64_t budget =
+            norm == NeighborNorm::kChebyshev ? r : r - l1_outer;
+        if (budget >= 0) {
+          const std::int64_t x0 = static_cast<std::int64_t>(x[0]);
+          const std::int64_t xlo = x0 - budget > 0 ? x0 - budget : 0;
+          const std::int64_t xhi =
+              x0 + budget < side - 1 ? x0 + budget : side - 1;
+          const std::int32_t* row = cells + (base << level);
+          for (std::int64_t xx = xlo; xx <= xhi; ++xx) {
+            if (zero_outer && xx == x0) continue;  // the particle itself
+            const std::int32_t j = row[xx];
+            if (j != OccupancyGrid<D>::kEmpty) {
+              fn(static_cast<std::size_t>(j));
+            }
+          }
+        }
+      }
+      int d = 1;
+      while (d < D && off[d] == r) off[d++] = -r;
+      if (d == D) break;
+      ++off[d];
+    }
+    return;
+  }
+  // Map-backed grid: generic per-cell odometer.
+  Point<D> q{};
+  std::int64_t off[4] = {};
+  for (int d = 0; d < D; ++d) off[d] = -r;
+  for (;;) {
+    bool zero = true;
+    bool in = true;
+    std::int64_t l1 = 0;
+    for (int d = 0; d < D; ++d) {
+      if (off[d] != 0) zero = false;
+      l1 += off[d] < 0 ? -off[d] : off[d];
+      const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+      if (v < 0 || v >= side) {
+        in = false;
+        break;
+      }
+      q[d] = static_cast<std::uint32_t>(v);
+    }
+    const bool within = norm == NeighborNorm::kChebyshev || l1 <= r;
+    if (!zero && in && within) {
+      const std::int32_t j = grid.particle_at(q);
+      if (j != OccupancyGrid<D>::kEmpty) fn(static_cast<std::size_t>(j));
+    }
+    int d = 0;
+    while (d < D && off[d] == r) off[d++] = -r;
+    if (d == D) break;
+    ++off[d];
+  }
+}
+
+/// 2-D dense-grid kernel exploiting pair symmetry: every unordered
+/// particle pair within the ball produces the two directed events
+/// (own[i], own[j]) and (own[j], own[i]), so scanning only the
+/// lexicographically-positive half of each window (rows above, plus the
+/// right half of the center row) and recording both events per occupied
+/// neighbor halves the probed cells. Each unordered pair is seen by
+/// exactly one of its endpoints regardless of chunk boundaries, so the
+/// chunked reduction still enumerates the exact event multiset of the
+/// reference path — and integer sums commute, so totals are bit-equal.
+template <typename Push>
+inline void halfwindow_dense2(const std::int32_t* cells, unsigned level,
+                              const Point<2>& x, std::int64_t r,
+                              NeighborNorm norm, Push&& push) {
+  const std::int64_t side = std::int64_t{1} << level;
+  const std::int64_t x0 = x[0];
+  const std::int64_t y0 = x[1];
+  // Center row: dx in [1, r] (identical under both norms).
+  {
+    const std::int64_t xhi = x0 + r < side - 1 ? x0 + r : side - 1;
+    const std::int32_t* row = cells + (static_cast<std::uint64_t>(y0) << level);
+    for (std::int64_t xx = x0 + 1; xx <= xhi; ++xx) {
+      const std::int32_t j = row[xx];
+      if (j != OccupancyGrid<2>::kEmpty) push(j);
+    }
+  }
+  // Rows above: dy in [1, r], x-extent clamped to the norm ball.
+  const std::int64_t yhi = y0 + r < side - 1 ? y0 + r : side - 1;
+  for (std::int64_t yy = y0 + 1; yy <= yhi; ++yy) {
+    const std::int64_t budget =
+        norm == NeighborNorm::kChebyshev ? r : r - (yy - y0);
+    const std::int64_t xlo = x0 - budget > 0 ? x0 - budget : 0;
+    const std::int64_t xhi = x0 + budget < side - 1 ? x0 + budget : side - 1;
+    const std::int32_t* row = cells + (static_cast<std::uint64_t>(yy) << level);
+    for (std::int64_t xx = xlo; xx <= xhi; ++xx) {
+      const std::int32_t j = row[xx];
+      if (j != OccupancyGrid<2>::kEmpty) push(j);
+    }
+  }
+}
+
+/// Aggregated path for particles [lo, hi): populate a (src, dst) → count
+/// histogram, then fold it once against the hop table (or, beyond the
+/// table budget, with one distance() call per distinct pair). The
+/// partition assigns contiguous chunks, so the walk proceeds rank run by
+/// rank run — the source rank and its histogram row are loop invariants
+/// hoisted out of the per-particle window scans.
+template <int D>
+core::CommTotals nfi_range_aggregated(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const Partition& part, const std::vector<topo::Rank>& owners,
+    const topo::DistanceTable* table, const topo::Topology& net,
+    unsigned radius, NeighborNorm norm, std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(part.processors());
+  const std::int32_t* cells = grid.dense_cells();
+  const std::int64_t r = radius;
+  const topo::Rank* own = owners.data();
+
+  std::size_t i = lo;
+  topo::Rank src = owners[lo];
+  while (i < hi) {
+    const std::size_t run_end = std::min(hi, part.chunk_begin(src + 1));
+    if (run_end <= i) {
+      ++src;
+      continue;
+    }
+    std::uint64_t* row = acc.row(src);
+    if constexpr (D == 2) {
+      if (cells != nullptr) {
+        // Hop distance is symmetric (the interconnects are undirected;
+        // the metric-property tests assert it), so the directed events
+        // (src, dst) and (dst, src) fold to the same 2·d(src, dst) as a
+        // single count-2 entry on src's row — which keeps every update
+        // on the hoisted row instead of scattering across the histogram.
+        const unsigned level = grid.level();
+        if (row != nullptr) {
+          for (; i < run_end; ++i) {
+            halfwindow_dense2(cells, level, particles[i], r, norm,
+                              [&](std::int32_t j) {
+                                row[own[static_cast<std::size_t>(j)]] += 2;
+                              });
+          }
+        } else {
+          for (; i < run_end; ++i) {
+            halfwindow_dense2(cells, level, particles[i], r, norm,
+                              [&](std::int32_t j) {
+                                acc.add(src,
+                                        own[static_cast<std::size_t>(j)], 2);
+                              });
+          }
+        }
+        ++src;
+        continue;
+      }
+    }
+    if (row != nullptr) {
+      for (; i < run_end; ++i) {
+        visit_neighbors<D>(grid, cells, particles[i], r, norm,
+                           [&](std::size_t j) { ++row[own[j]]; });
+      }
+    } else {
+      for (; i < run_end; ++i) {
+        visit_neighbors<D>(grid, cells, particles[i], r, norm,
+                           [&](std::size_t j) { acc.add(src, own[j]); });
+      }
+    }
+    ++src;
+  }
+  return table != nullptr ? acc.fold(*table) : acc.fold(net);
+}
+
 }  // namespace
 
 template <int D>
@@ -61,14 +267,39 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
                             const Partition& part, const topo::Topology& net,
                             unsigned radius, NeighborNorm norm,
                             util::ThreadPool* pool) {
+  if (particles.empty()) return {};
+  // Build the shared lookup state once, outside the parallel region: the
+  // hop table (when p² fits the budget) and the rank-of-particle array.
+  const topo::DistanceTable* table =
+      topo::distance_table_fits(part.processors()) ? &net.table() : nullptr;
+  const std::vector<topo::Rank> owners = part.owner_table();
+  auto chunk = [&](std::size_t lo, std::size_t hi) {
+    return nfi_range_aggregated<D>(particles, grid, part, owners, table, net,
+                                   radius, norm, lo, hi);
+  };
   if (pool == nullptr || pool->size() <= 1) {
-    return nfi_range<D>(particles, grid, part, net, radius, norm, 0,
-                        particles.size());
+    return chunk(0, particles.size());
+  }
+  return util::parallel_reduce_chunks(*pool, 0, particles.size(),
+                                      util::kAutoGrain, core::CommTotals{},
+                                      chunk);
+}
+
+template <int D>
+core::CommTotals nfi_totals_direct(const std::vector<Point<D>>& particles,
+                                   const OccupancyGrid<D>& grid,
+                                   const Partition& part,
+                                   const topo::Topology& net, unsigned radius,
+                                   NeighborNorm norm, util::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return nfi_range_direct<D>(particles, grid, part, net, radius, norm, 0,
+                               particles.size());
   }
   return util::parallel_reduce_chunks(
-      *pool, 0, particles.size(), 1024, core::CommTotals{},
+      *pool, 0, particles.size(), util::kAutoGrain, core::CommTotals{},
       [&](std::size_t lo, std::size_t hi) {
-        return nfi_range<D>(particles, grid, part, net, radius, norm, lo, hi);
+        return nfi_range_direct<D>(particles, grid, part, net, radius, norm,
+                                   lo, hi);
       });
 }
 
@@ -82,5 +313,17 @@ template core::CommTotals nfi_totals<3>(const std::vector<Point<3>>&,
                                         const Partition&,
                                         const topo::Topology&, unsigned,
                                         NeighborNorm, util::ThreadPool*);
+template core::CommTotals nfi_totals_direct<2>(const std::vector<Point<2>>&,
+                                               const OccupancyGrid<2>&,
+                                               const Partition&,
+                                               const topo::Topology&, unsigned,
+                                               NeighborNorm,
+                                               util::ThreadPool*);
+template core::CommTotals nfi_totals_direct<3>(const std::vector<Point<3>>&,
+                                               const OccupancyGrid<3>&,
+                                               const Partition&,
+                                               const topo::Topology&, unsigned,
+                                               NeighborNorm,
+                                               util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -27,6 +27,11 @@ enum class NeighborNorm {
 /// Sum/count of hop distances over all ordered near-field pairs.
 /// `particles` must be the SFC-sorted list that `grid` and `part` were
 /// built from. Runs on `pool` when provided (deterministic either way).
+///
+/// Hot path: events are aggregated into a (src rank, dst rank) → count
+/// histogram (core/rank_pair.hpp) and folded once against the topology's
+/// hop table, so the per-event work is a grid probe plus a count
+/// increment — no distance lookup. Bit-identical to nfi_totals_direct.
 template <int D>
 core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
                             const OccupancyGrid<D>& grid,
@@ -34,6 +39,16 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
                             unsigned radius,
                             NeighborNorm norm = NeighborNorm::kChebyshev,
                             util::ThreadPool* pool = nullptr);
+
+/// Reference implementation: one virtual distance() dispatch per event.
+/// O(events) distance lookups instead of O(p²); the equivalence tests
+/// pin nfi_totals to this path bit-for-bit.
+template <int D>
+core::CommTotals nfi_totals_direct(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const Partition& part, const topo::Topology& net, unsigned radius,
+    NeighborNorm norm = NeighborNorm::kChebyshev,
+    util::ThreadPool* pool = nullptr);
 
 extern template core::CommTotals nfi_totals<2>(const std::vector<Point<2>>&,
                                                const OccupancyGrid<2>&,
@@ -47,5 +62,11 @@ extern template core::CommTotals nfi_totals<3>(const std::vector<Point<3>>&,
                                                const topo::Topology&, unsigned,
                                                NeighborNorm,
                                                util::ThreadPool*);
+extern template core::CommTotals nfi_totals_direct<2>(
+    const std::vector<Point<2>>&, const OccupancyGrid<2>&, const Partition&,
+    const topo::Topology&, unsigned, NeighborNorm, util::ThreadPool*);
+extern template core::CommTotals nfi_totals_direct<3>(
+    const std::vector<Point<3>>&, const OccupancyGrid<3>&, const Partition&,
+    const topo::Topology&, unsigned, NeighborNorm, util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -50,6 +50,14 @@ class OccupancyGrid {
     return it == map_.end() ? kEmpty : it->second;
   }
 
+  /// Raw dense cell array indexed by pack(cell, level), or nullptr when
+  /// the grid is map-backed. pack() keeps coordinate 0 in the low bits,
+  /// so a window's x-extent is contiguous memory — the aggregated NFI
+  /// kernel scans it linearly instead of re-packing per cell.
+  const std::int32_t* dense_cells() const noexcept {
+    return dense_ ? grid_.data() : nullptr;
+  }
+
  private:
   unsigned level_;
   bool dense_;

@@ -1,0 +1,66 @@
+// distance_table.hpp — flat all-pairs hop matrix for a topology.
+//
+// The ACD hot paths perform one hop-distance lookup per communication
+// event; with p processors there are only p² distinct rank pairs, so a
+// flat p×p table of 32-bit hop counts turns every lookup into a single
+// indexed load with no virtual dispatch. Topologies build the table
+// lazily (Topology::table()); closed-form topologies fill it in one pass
+// and the BFS-backed graph topology copies its all-pairs cache.
+//
+// Memory: p² × 4 bytes. `distance_table_fits(p)` gates construction so
+// paper-scale runs (p = 65536 → 16 GiB) never allocate one; callers fall
+// back to per-pair distance() beyond the budget.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sfc::topo {
+
+/// Entry budget for a distance table: 2^24 entries (64 MiB), i.e. tables
+/// are built for p <= 4096 and refused beyond.
+inline constexpr std::size_t kDistanceTableEntryBudget = std::size_t{1}
+                                                         << 24;
+
+/// True iff a p×p table stays within the entry budget.
+constexpr bool distance_table_fits(std::uint32_t procs) noexcept {
+  return static_cast<std::size_t>(procs) * procs <= kDistanceTableEntryBudget;
+}
+
+/// Row-major p×p matrix of hop counts: (*this)(a, b) is the shortest-path
+/// hop distance from rank a to rank b.
+class DistanceTable {
+ public:
+  explicit DistanceTable(std::uint32_t procs)
+      : p_(procs), hops_(static_cast<std::size_t>(procs) * procs, 0u) {}
+
+  std::uint32_t procs() const noexcept { return p_; }
+
+  std::uint32_t operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+    assert(a < p_ && b < p_);
+    return hops_[static_cast<std::size_t>(a) * p_ + b];
+  }
+
+  std::uint32_t& at(std::uint32_t a, std::uint32_t b) noexcept {
+    assert(a < p_ && b < p_);
+    return hops_[static_cast<std::size_t>(a) * p_ + b];
+  }
+
+  /// Row pointer for a fixed source rank — hoist out of inner loops.
+  const std::uint32_t* row(std::uint32_t a) const noexcept {
+    assert(a < p_);
+    return hops_.data() + static_cast<std::size_t>(a) * p_;
+  }
+  std::uint32_t* row(std::uint32_t a) noexcept {
+    assert(a < p_);
+    return hops_.data() + static_cast<std::size_t>(a) * p_;
+  }
+
+ private:
+  std::uint32_t p_;
+  std::vector<std::uint32_t> hops_;
+};
+
+}  // namespace sfc::topo

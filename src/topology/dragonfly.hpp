@@ -63,6 +63,29 @@ class DragonflyTopology final : public Topology {
     return (d + g_ - s - 1) % g_;
   }
 
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    const Rank p = size();
+    for (Rank x = 0; x < p; ++x) {
+      const Rank sx = x / a_, ix = x % a_;
+      std::uint32_t* row = t.row(x);
+      for (Rank y = 0; y < p; ++y) {
+        if (x == y) {
+          row[y] = 0;
+          continue;
+        }
+        const Rank sy = y / a_, iy = y % a_;
+        if (sx == sy) {
+          row[y] = 1;
+          continue;
+        }
+        const Rank gate_src = (sy + g_ - sx - 1) % g_;
+        const Rank gate_dst = (sx + g_ - sy - 1) % g_;
+        row[y] = 1u + (ix == gate_src ? 0u : 1u) + (iy == gate_dst ? 0u : 1u);
+      }
+    }
+  }
+
  private:
   Rank a_;
   Rank g_;

@@ -48,15 +48,32 @@ std::vector<std::uint32_t> GraphTopology::bfs(std::uint32_t src) const {
   return dist;
 }
 
-std::uint64_t GraphTopology::distance(Rank a, Rank b) const noexcept {
-  assert(a < rank_to_vertex_.size() && b < rank_to_vertex_.size());
+const std::vector<std::vector<std::uint32_t>>& GraphTopology::ensure_apsp()
+    const {
   if (apsp_.empty()) {
     apsp_.reserve(rank_to_vertex_.size());
     for (const std::uint32_t v : rank_to_vertex_) {
       apsp_.push_back(bfs(v));
     }
   }
-  return apsp_[a][rank_to_vertex_[b]];
+  return apsp_;
+}
+
+std::uint64_t GraphTopology::distance(Rank a, Rank b) const noexcept {
+  assert(a < rank_to_vertex_.size() && b < rank_to_vertex_.size());
+  return ensure_apsp()[a][rank_to_vertex_[b]];
+}
+
+void GraphTopology::fill_table(DistanceTable& t) const {
+  const auto& apsp = ensure_apsp();
+  const Rank p = size();
+  for (Rank a = 0; a < p; ++a) {
+    const auto& from_a = apsp[a];
+    std::uint32_t* row = t.row(a);
+    for (Rank b = 0; b < p; ++b) {
+      row[b] = from_a[rank_to_vertex_[b]];
+    }
+  }
 }
 
 std::uint64_t GraphTopology::diameter() const noexcept {

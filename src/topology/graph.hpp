@@ -44,9 +44,17 @@ class GraphTopology final : public Topology {
     return static_cast<std::uint32_t>(adjacency_.size());
   }
 
+ protected:
+  /// Reuses the lazy all-pairs BFS cache: one row copy per rank instead of
+  /// p² virtual distance() calls.
+  void fill_table(DistanceTable& t) const override;
+
  private:
   /// Distances from `src` to every vertex (kUnreachable if disconnected).
   std::vector<std::uint32_t> bfs(std::uint32_t src) const;
+
+  /// Builds the all-pairs cache on first use.
+  const std::vector<std::vector<std::uint32_t>>& ensure_apsp() const;
 
   static constexpr std::uint32_t kUnreachable = ~0u;
 

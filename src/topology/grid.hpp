@@ -66,6 +66,18 @@ class MeshTopology final : public GridTopologyBase<D> {
   }
 
   TopologyKind kind() const noexcept override { return TopologyKind::kMesh; }
+
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    const Rank p = this->size();
+    for (Rank a = 0; a < p; ++a) {
+      const Point<D>& pa = this->coords_[a];
+      std::uint32_t* row = t.row(a);
+      for (Rank b = 0; b < p; ++b) {
+        row[b] = static_cast<std::uint32_t>(manhattan(pa, this->coords_[b]));
+      }
+    }
+  }
 };
 
 template <int D>
@@ -90,6 +102,26 @@ class TorusTopology final : public GridTopologyBase<D> {
   }
 
   TopologyKind kind() const noexcept override { return TopologyKind::kTorus; }
+
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    const Rank p = this->size();
+    const std::uint32_t s = this->side();
+    for (Rank a = 0; a < p; ++a) {
+      const Point<D>& pa = this->coords_[a];
+      std::uint32_t* row = t.row(a);
+      for (Rank b = 0; b < p; ++b) {
+        const Point<D>& pb = this->coords_[b];
+        std::uint32_t d = 0;
+        for (int i = 0; i < D; ++i) {
+          const std::uint32_t di =
+              pa[i] > pb[i] ? pa[i] - pb[i] : pb[i] - pa[i];
+          d += di < s - di ? di : s - di;
+        }
+        row[b] = d;
+      }
+    }
+  }
 };
 
 using Mesh2D = MeshTopology<2>;

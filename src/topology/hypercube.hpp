@@ -36,6 +36,16 @@ class HypercubeTopology final : public Topology {
 
   unsigned dimensions() const noexcept { return dims_; }
 
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    for (Rank a = 0; a < size_; ++a) {
+      std::uint32_t* row = t.row(a);
+      for (Rank b = 0; b < size_; ++b) {
+        row[b] = static_cast<std::uint32_t>(std::popcount(a ^ b));
+      }
+    }
+  }
+
  private:
   Rank size_;
   unsigned dims_;

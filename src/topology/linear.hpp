@@ -27,6 +27,14 @@ class BusTopology final : public Topology {
 
   TopologyKind kind() const noexcept override { return TopologyKind::kBus; }
 
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    for (Rank a = 0; a < size_; ++a) {
+      std::uint32_t* row = t.row(a);
+      for (Rank b = 0; b < size_; ++b) row[b] = a > b ? a - b : b - a;
+    }
+  }
+
  private:
   Rank size_;
 };
@@ -46,6 +54,17 @@ class RingTopology final : public Topology {
   std::uint64_t diameter() const noexcept override { return size_ / 2; }
 
   TopologyKind kind() const noexcept override { return TopologyKind::kRing; }
+
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    for (Rank a = 0; a < size_; ++a) {
+      std::uint32_t* row = t.row(a);
+      for (Rank b = 0; b < size_; ++b) {
+        const Rank d = a > b ? a - b : b - a;
+        row[b] = std::min(d, size_ - d);
+      }
+    }
+  }
 
  private:
   Rank size_;

@@ -1,0 +1,27 @@
+#include "topology/topology.hpp"
+
+#include <cassert>
+
+namespace sfc::topo {
+
+const DistanceTable& Topology::table() const {
+  std::call_once(table_once_, [this] {
+    assert(distance_table_fits(size()));
+    auto t = std::make_unique<DistanceTable>(size());
+    fill_table(*t);
+    table_ = std::move(t);
+  });
+  return *table_;
+}
+
+void Topology::fill_table(DistanceTable& t) const {
+  const Rank p = size();
+  for (Rank a = 0; a < p; ++a) {
+    std::uint32_t* row = t.row(a);
+    for (Rank b = 0; b < p; ++b) {
+      row[b] = static_cast<std::uint32_t>(distance(a, b));
+    }
+  }
+}
+
+}  // namespace sfc::topo

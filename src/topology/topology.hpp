@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "topology/distance_table.hpp"
 
 namespace sfc::topo {
 
@@ -45,6 +48,9 @@ class Topology {
   virtual ~Topology() = default;
 
   virtual Rank size() const noexcept = 0;
+  /// Shortest-path hop count between ranks. Must be a metric — in
+  /// particular symmetric (the interconnects are undirected graphs); the
+  /// aggregated ACD kernels rely on d(a,b) == d(b,a).
   virtual std::uint64_t distance(Rank a, Rank b) const noexcept = 0;
   virtual TopologyKind kind() const noexcept = 0;
 
@@ -52,6 +58,23 @@ class Topology {
   virtual std::uint64_t diameter() const noexcept = 0;
 
   std::string_view name() const noexcept { return topology_name(kind()); }
+
+  /// Flat p×p hop matrix, built on first call and cached (thread-safe).
+  /// The aggregation engines fold per-rank-pair counts against this table
+  /// instead of dispatching distance() per communication event. Callers
+  /// must check distance_table_fits(size()) first — construction beyond
+  /// the entry budget is a programming error (asserted).
+  const DistanceTable& table() const;
+
+ protected:
+  /// Table-fill hook. The default loops distance() over all pairs; the
+  /// concrete topologies override it with a non-virtual one-pass fill
+  /// (closed form, or the BFS cache for explicit graphs).
+  virtual void fill_table(DistanceTable& t) const;
+
+ private:
+  mutable std::once_flag table_once_;
+  mutable std::unique_ptr<DistanceTable> table_;
 };
 
 }  // namespace sfc::topo

@@ -63,6 +63,29 @@ class TreeTopology final : public Topology {
   unsigned depth() const noexcept { return depth_; }
   unsigned arity() const noexcept { return arity_; }
 
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    // One pass per pair with the closed form inlined: d(a, b) is twice the
+    // divergence level, i.e. depth minus the length of the common
+    // base-arity prefix of the two labels.
+    for (Rank a = 0; a < size_; ++a) {
+      std::uint32_t* row = t.row(a);
+      row[a] = 0;
+      for (Rank b = 0; b < size_; ++b) {
+        if (a == b) continue;
+        unsigned diverge = depth_;
+        for (unsigned level = depth_; level > 0; --level) {
+          const unsigned shift = (level - 1) * digit_bits_;
+          if (((a >> shift) & (arity_ - 1)) != ((b >> shift) & (arity_ - 1))) {
+            diverge = level;
+            break;
+          }
+        }
+        row[b] = 2u * diverge;
+      }
+    }
+  }
+
  private:
   Rank size_;
   unsigned arity_;

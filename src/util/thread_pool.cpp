@@ -65,6 +65,7 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t n = end > begin ? end - begin : 0;
   if (n == 0) return;
   const std::size_t workers = pool.size();
+  grain = resolve_grain(grain, n, workers);
   std::size_t chunks = workers == 0 ? 1 : workers * 4;
   std::size_t chunk_size = (n + chunks - 1) / chunks;
   if (chunk_size < grain) chunk_size = grain;

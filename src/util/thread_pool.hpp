@@ -48,10 +48,26 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Grain sentinel: derive the minimum chunk size from the range length
+/// and worker count instead of hardcoding one at the call site.
+inline constexpr std::size_t kAutoGrain = 0;
+
+/// Auto-grain policy: aim for ~8 chunks per worker (load balance against
+/// skewed per-index cost) but never below a floor that keeps the
+/// submit/notify overhead amortized.
+inline std::size_t resolve_grain(std::size_t grain, std::size_t n,
+                                 std::size_t workers) noexcept {
+  if (grain != kAutoGrain) return grain;
+  constexpr std::size_t kGrainFloor = 256;
+  const std::size_t target = n / (workers * 8 + 1);
+  return target > kGrainFloor ? target : kGrainFloor;
+}
+
 /// Split [begin, end) into roughly `pool.size() * 4` chunks (but at least
-/// `grain` indices each) and run `body(chunk_begin, chunk_end)` on the pool.
-/// Blocks until all chunks are done. Falls back to a direct call when the
-/// range is small or the pool has a single worker.
+/// `grain` indices each; kAutoGrain picks a size) and run
+/// `body(chunk_begin, chunk_end)` on the pool. Blocks until all chunks
+/// are done. Falls back to a direct call when the range is small or the
+/// pool has a single worker.
 void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          std::size_t grain,
                          const std::function<void(std::size_t, std::size_t)>& body);
@@ -65,6 +81,7 @@ T parallel_reduce_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   if (n == 0) return init;
   const std::size_t workers = pool.size();
+  grain = resolve_grain(grain, n, workers);
   std::size_t chunks = workers == 0 ? 1 : workers * 4;
   std::size_t chunk_size = (n + chunks - 1) / chunks;
   if (chunk_size < grain) chunk_size = grain;
