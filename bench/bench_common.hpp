@@ -49,7 +49,25 @@ inline util::TableStyle table_style(const util::ArgParser& args) {
                           : util::TableStyle::kAscii;
 }
 
-/// Print one distribution's 4x4 {processor x particle} matrix, paper layout.
+/// The paper's reported 4x4 matrix as a side-by-side comparison table.
+/// Only valid for the canonical 4-curve grid; callers must check
+/// curves.size() == 4 before indexing paper_ref with their curve list.
+inline util::Table paper_reference_table(const std::vector<CurveKind>& curves,
+                                         const double paper_ref[4][4]) {
+  util::Table ref("paper reported (for shape comparison)");
+  std::vector<std::string> header = {"Processor Order v"};
+  for (const CurveKind c : curves) header.emplace_back(curve_name(c));
+  ref.set_header(header);
+  ref.mark_minima(true);
+  for (std::size_t rc = 0; rc < 4; ++rc) {
+    ref.add_row(std::string(curve_name(curves[rc])),
+                {paper_ref[rc][0], paper_ref[rc][1], paper_ref[rc][2],
+                 paper_ref[rc][3]});
+  }
+  return ref;
+}
+
+/// Print one distribution's {processor x particle} matrix, paper layout.
 inline void print_combination_matrix(const core::CombinationStudyResult& r,
                                      std::size_t dist_index, bool far_field,
                                      const std::string& title,
@@ -73,16 +91,12 @@ inline void print_combination_matrix(const core::CombinationStudyResult& r,
   }
   table.print(std::cout, style);
 
-  if (paper_ref != nullptr && style != util::TableStyle::kCsv) {
-    util::Table ref("paper reported (for shape comparison)");
-    ref.set_header(header);
-    ref.mark_minima(true);
-    for (std::size_t rc = 0; rc < 4; ++rc) {
-      ref.add_row(std::string(curve_name(r.config.curves[rc])),
-                  {paper_ref[rc][0], paper_ref[rc][1], paper_ref[rc][2],
-                   paper_ref[rc][3]});
-    }
-    ref.print(std::cout, style);
+  // The paper overlay is a fixed 4x4 matrix indexed by the canonical
+  // curve order — skip it when the study ran a different curve set.
+  if (paper_ref != nullptr && style != util::TableStyle::kCsv &&
+      r.config.curves.size() == 4) {
+    paper_reference_table(r.config.curves, paper_ref)
+        .print(std::cout, style);
   }
   std::cout << "\n";
 }

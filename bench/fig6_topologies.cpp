@@ -7,70 +7,75 @@
 // finishes in well under a minute on one core; the qualitative ordering is
 // identical. The paper omits bus/ring (and row-major NFI) from its plot
 // because the values dwarf the rest — we print everything.
-#include <iostream>
-
-#include "bench_common.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace sfc;
 
-  util::ArgParser args("fig6_topologies",
-                       "Figure 6: ACD per topology per SFC");
-  bench::add_common_options(args);
-  args.add_option("particles", "number of particles (0 = preset)", "0");
-  args.add_option("level", "log2 resolution side (0 = preset)", "0");
-  args.add_option("procs", "processor count (0 = preset)", "0");
-  args.add_option("radius", "near-field Chebyshev radius (0 = preset)", "0");
-  args.add_option("out-csv", "basename for plot-ready CSV export", "");
-  if (!bench::parse_or_usage(args, argc, argv)) return 0;
-
-  core::TopologyStudyConfig cfg;
-  if (args.flag("full")) {
-    cfg.particles = 1000000;
-    cfg.level = 12;  // 4096 x 4096
-    cfg.procs = 65536;
-    cfg.radius = 4;
-  } else {
-    cfg.particles = 150000;
-    cfg.level = 10;  // 1024 x 1024
-    cfg.procs = 4096;
-    cfg.radius = 2;
-  }
-  if (args.i64("particles") > 0)
-    cfg.particles = static_cast<std::size_t>(args.i64("particles"));
-  if (args.i64("level") > 0)
-    cfg.level = static_cast<unsigned>(args.i64("level"));
-  if (args.i64("procs") > 0)
-    cfg.procs = static_cast<topo::Rank>(args.i64("procs"));
-  if (args.i64("radius") > 0)
-    cfg.radius = static_cast<unsigned>(args.i64("radius"));
-  cfg.seed = static_cast<std::uint64_t>(args.i64("seed"));
-  cfg.trials = static_cast<unsigned>(args.i64("trials"));
-
-  std::cout << "== Figure 6 reproduction: " << cfg.particles
-            << " uniform particles, " << (1u << cfg.level)
-            << "^2 resolution, p=" << cfg.procs << ", r=" << cfg.radius
-            << " ==\n\n";
-
-  const auto result =
-      core::run_topology_study(cfg, nullptr, bench::progress_fn(args));
-  const auto style = bench::table_style(args);
-
-  for (const bool far_field : {false, true}) {
-    auto table = core::topology_table(result, far_field);
-    table.print(std::cout, style);
-    std::cout << "\n";
-    const std::string out = args.str("out-csv");
-    if (!out.empty()) {
-      core::write_file(out + (far_field ? ".ffi.csv" : ".nfi.csv"), table);
+  bench::HarnessSpec spec;
+  spec.name = "fig6_topologies";
+  spec.description = "Figure 6: ACD per topology per SFC";
+  spec.add_options = [](util::ArgParser& args) {
+    args.add_option("particles", "number of particles (0 = preset)", "0");
+    args.add_option("level", "log2 resolution side (0 = preset)", "0");
+    args.add_option("procs", "processor count (0 = preset)", "0");
+    args.add_option("radius", "near-field Chebyshev radius (0 = preset)", "0");
+    args.add_option("out-csv", "basename for plot-ready CSV export", "");
+  };
+  spec.run = [](bench::Harness& h) {
+    core::Study study;
+    study.name = "fig6_topologies";
+    topo::Rank procs = 0;
+    if (h.full()) {
+      study.particles = 1000000;
+      study.level = 12;  // 4096 x 4096
+      procs = 65536;
+      study.radius = 4;
+    } else {
+      study.particles = 150000;
+      study.level = 10;  // 1024 x 1024
+      procs = 4096;
+      study.radius = 2;
     }
-  }
+    if (h.args().i64("particles") > 0)
+      study.particles = static_cast<std::size_t>(h.args().i64("particles"));
+    if (h.args().i64("level") > 0)
+      study.level = static_cast<unsigned>(h.args().i64("level"));
+    if (h.args().i64("procs") > 0)
+      procs = static_cast<topo::Rank>(h.args().i64("procs"));
+    if (h.args().i64("radius") > 0)
+      study.radius = static_cast<unsigned>(h.args().i64("radius"));
+    study.seed = h.seed();
+    study.trials = h.trials();
+    study.proc_counts = {procs};
+    // Curves stay paired (processor_curves empty); the topology axis is
+    // the sweep.
+    study.topologies.assign(topo::kAllTopologies, topo::kAllTopologies + 6);
 
-  std::cout
-      << "expected shape (paper Fig. 6): for NFI hypercube < torus ~ mesh "
-         "< quadtree << ring < bus;\nfor FFI the quadtree edges out the "
-         "hypercube; mesh ~ torus for the recursive SFCs but torus << mesh "
-         "for row-major;\nHilbert is the best curve on every topology.\n";
-  return 0;
+    h.prose() << "== Figure 6 reproduction: " << study.particles
+              << " uniform particles, " << (1u << study.level)
+              << "^2 resolution, p=" << procs << ", r=" << study.radius
+              << " ==\n\n";
+
+    const auto result = core::run_study(study, h.sweep_options(&study));
+
+    for (const bool far_field : {false, true}) {
+      auto table = core::topology_table(result, far_field);
+      h.emit(table);
+      const std::string out = h.args().str("out-csv");
+      if (!out.empty()) {
+        core::write_file(out + (far_field ? ".ffi.csv" : ".nfi.csv"), table);
+      }
+    }
+
+    h.prose()
+        << "expected shape (paper Fig. 6): for NFI hypercube < torus ~ mesh "
+           "< quadtree << ring < bus;\nfor FFI the quadtree edges out the "
+           "hypercube; mesh ~ torus for the recursive SFCs but torus << mesh "
+           "for row-major;\nHilbert is the best curve on every topology.\n";
+    h.attach_json("study", core::study_json(result));
+    return 0;
+  };
+  return bench::run_harness(argc, argv, spec);
 }

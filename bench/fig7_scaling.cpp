@@ -4,68 +4,71 @@
 //
 // Paper parameters (--full): 1,000,000 particles; we sweep p over powers
 // of four up to 65,536. The default is a reduced setting.
-#include <iostream>
-
-#include "bench_common.hpp"
 #include "core/report.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace sfc;
 
-  util::ArgParser args("fig7_scaling",
-                       "Figure 7: ACD vs processor count per SFC");
-  bench::add_common_options(args);
-  args.add_option("particles", "number of particles (0 = preset)", "0");
-  args.add_option("level", "log2 resolution side (0 = preset)", "0");
-  args.add_option("max-procs", "largest processor count (0 = preset)", "0");
-  args.add_option("radius", "near-field Chebyshev radius", "1");
-  args.add_option("out-csv", "basename for plot-ready CSV export", "");
-  if (!bench::parse_or_usage(args, argc, argv)) return 0;
-
-  core::ScalingStudyConfig cfg;
-  topo::Rank max_procs = 0;
-  if (args.flag("full")) {
-    cfg.particles = 1000000;
-    cfg.level = 12;
-    max_procs = 65536;
-  } else {
-    cfg.particles = 150000;
-    cfg.level = 10;
-    max_procs = 16384;
-  }
-  if (args.i64("particles") > 0)
-    cfg.particles = static_cast<std::size_t>(args.i64("particles"));
-  if (args.i64("level") > 0)
-    cfg.level = static_cast<unsigned>(args.i64("level"));
-  if (args.i64("max-procs") > 0)
-    max_procs = static_cast<topo::Rank>(args.i64("max-procs"));
-  cfg.radius = static_cast<unsigned>(args.i64("radius"));
-  cfg.seed = static_cast<std::uint64_t>(args.i64("seed"));
-  cfg.trials = static_cast<unsigned>(args.i64("trials"));
-  cfg.proc_counts.clear();
-  for (topo::Rank p = 16; p <= max_procs; p *= 4) cfg.proc_counts.push_back(p);
-
-  std::cout << "== Figure 7 reproduction: " << cfg.particles
-            << " uniform particles, " << (1u << cfg.level)
-            << "^2 resolution, torus, r=" << cfg.radius << " ==\n\n";
-
-  const auto result =
-      core::run_scaling_study(cfg, nullptr, bench::progress_fn(args));
-  const auto style = bench::table_style(args);
-
-  for (const bool far_field : {false, true}) {
-    auto table = core::scaling_table(result, far_field);
-    table.print(std::cout, style);
-    std::cout << "\n";
-    const std::string out = args.str("out-csv");
-    if (!out.empty()) {
-      core::write_file(out + (far_field ? ".ffi.csv" : ".nfi.csv"), table);
+  bench::HarnessSpec spec;
+  spec.name = "fig7_scaling";
+  spec.description = "Figure 7: ACD vs processor count per SFC";
+  spec.add_options = [](util::ArgParser& args) {
+    args.add_option("particles", "number of particles (0 = preset)", "0");
+    args.add_option("level", "log2 resolution side (0 = preset)", "0");
+    args.add_option("max-procs", "largest processor count (0 = preset)", "0");
+    args.add_option("radius", "near-field Chebyshev radius", "1");
+    args.add_option("out-csv", "basename for plot-ready CSV export", "");
+  };
+  spec.run = [](bench::Harness& h) {
+    core::Study study;
+    study.name = "fig7_scaling";
+    topo::Rank max_procs = 0;
+    if (h.full()) {
+      study.particles = 1000000;
+      study.level = 12;
+      max_procs = 65536;
+    } else {
+      study.particles = 150000;
+      study.level = 10;
+      max_procs = 16384;
     }
-  }
+    if (h.args().i64("particles") > 0)
+      study.particles = static_cast<std::size_t>(h.args().i64("particles"));
+    if (h.args().i64("level") > 0)
+      study.level = static_cast<unsigned>(h.args().i64("level"));
+    if (h.args().i64("max-procs") > 0)
+      max_procs = static_cast<topo::Rank>(h.args().i64("max-procs"));
+    study.radius = static_cast<unsigned>(h.args().i64("radius"));
+    study.seed = h.seed();
+    study.trials = h.trials();
+    // Curves stay paired (processor_curves empty); the processor-count
+    // axis is the sweep, on the default torus.
+    study.proc_counts.clear();
+    for (topo::Rank p = 16; p <= max_procs; p *= 4)
+      study.proc_counts.push_back(p);
 
-  std::cout << "expected shape (paper Fig. 7): ACD grows with p for every "
-               "curve; Hilbert is best throughout,\nGray and Z are roughly "
-               "equivalent, and row-major is far worse (it is clipped from "
-               "the paper's plots).\n";
-  return 0;
+    h.prose() << "== Figure 7 reproduction: " << study.particles
+              << " uniform particles, " << (1u << study.level)
+              << "^2 resolution, torus, r=" << study.radius << " ==\n\n";
+
+    const auto result = core::run_study(study, h.sweep_options(&study));
+
+    for (const bool far_field : {false, true}) {
+      auto table = core::scaling_table(result, far_field);
+      h.emit(table);
+      const std::string out = h.args().str("out-csv");
+      if (!out.empty()) {
+        core::write_file(out + (far_field ? ".ffi.csv" : ".nfi.csv"), table);
+      }
+    }
+
+    h.prose() << "expected shape (paper Fig. 7): ACD grows with p for every "
+                 "curve; Hilbert is best throughout,\nGray and Z are roughly "
+                 "equivalent, and row-major is far worse (it is clipped from "
+                 "the paper's plots).\n";
+    h.attach_json("study", core::study_json(result));
+    return 0;
+  };
+  return bench::run_harness(argc, argv, spec);
 }

@@ -1,0 +1,211 @@
+// harness.hpp — the single entry point for experiment binaries.
+//
+// Every bench registers the same flags (--full, --csv, --json, --out,
+// --progress, --seed, --trials, --threads, --no-reuse) exactly once, via
+// run_harness(); the per-bench code only adds its own options and fills a
+// run callback. The Harness context wires those flags into the sweep
+// engine (SweepOptions), selects the table style, and collects every
+// emitted table plus any attached JSON fragments into one structured
+// document for --json (stdout) and --out FILE — the format
+// scripts/bench_to_json.py consumes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "core/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::bench {
+
+namespace detail {
+/// Discard sink for prose when stdout must stay a parseable document.
+class NullBuffer : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+};
+}  // namespace detail
+
+/// Per-bench context handed to HarnessSpec::run. Accessors expose the
+/// parsed common flags; emit()/attach_json() feed the output document.
+class Harness {
+ public:
+  explicit Harness(util::ArgParser& args) : args_(args), null_(&null_buffer_) {
+    const long long threads = args.i64("threads");
+    if (threads != 1) {
+      pool_ = std::make_unique<util::ThreadPool>(
+          threads <= 0 ? 0u : static_cast<unsigned>(threads));
+    }
+  }
+
+  util::ArgParser& args() noexcept { return args_; }
+  const util::ArgParser& args() const noexcept { return args_; }
+
+  bool full() const { return args_.flag("full"); }
+  bool json() const { return args_.flag("json"); }
+  bool reuse() const { return !args_.flag("no-reuse"); }
+  std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(args_.i64("seed"));
+  }
+  unsigned trials() const { return static_cast<unsigned>(args_.i64("trials")); }
+
+  util::TableStyle style() const {
+    if (json()) return util::TableStyle::kJson;
+    return args_.flag("csv") ? util::TableStyle::kCsv
+                             : util::TableStyle::kAscii;
+  }
+
+  /// Worker pool from --threads (1 = none/serial, 0 = all cores).
+  util::ThreadPool* pool() noexcept { return pool_.get(); }
+
+  /// Engine options wired from the common flags. Pass the study to get a
+  /// per-cell stderr progress line under --progress.
+  core::SweepOptions sweep_options(const core::Study* study = nullptr) const {
+    core::SweepOptions options;
+    options.pool = pool_.get();
+    options.reuse = reuse();
+    if (args_.flag("progress") && study != nullptr) {
+      const core::Study s = *study;  // copy: outlives the caller's study
+      options.progress = [s](const core::StudyCellRef& ref) {
+        std::cerr << "  .. " << dist_name(s.distributions[ref.distribution])
+                  << " trial " << ref.trial + 1 << "/" << s.trials << ": "
+                  << curve_name(s.particle_curves[ref.particle_curve]);
+        if (!s.paired_curves()) {
+          std::cerr << " x "
+                    << curve_name(s.processor_curves[ref.processor_curve]);
+        }
+        std::cerr << " @ " << topology_name(s.topologies[ref.topology])
+                  << " p=" << s.proc_counts[ref.proc_count] << " done\n";
+      };
+    }
+    return options;
+  }
+
+  /// Legacy string progress sink for the non-sweep studies (fig5).
+  core::ProgressFn text_progress() const {
+    if (!args_.flag("progress")) return {};
+    return [](const std::string& msg) { std::cerr << "  .. " << msg << "\n"; };
+  }
+
+  /// Stream for human prose (headers, legends): stdout normally, a
+  /// discard sink under --json so stdout stays one parseable document.
+  std::ostream& prose() { return json() ? null_ : std::cout; }
+
+  /// Print a table in the selected style (suppressed under --json) and
+  /// record it for the output document.
+  void emit(const util::Table& table) {
+    if (!json()) {
+      table.print(std::cout, style());
+      std::cout << "\n";
+    }
+    tables_.push_back(table);
+  }
+
+  /// Attach a pre-serialized JSON member to the output document, e.g.
+  /// attach_json("study", core::study_json(result)).
+  void attach_json(std::string key, std::string json_value) {
+    attachments_.emplace_back(std::move(key), std::move(json_value));
+  }
+
+  /// The combined JSON document (run_harness adds name + elapsed time).
+  std::string document(const std::string& name,
+                       double elapsed_seconds) const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"bench\":\"" << util::json_escape(name) << '"'
+       << ",\"elapsed_seconds\":" << elapsed_seconds
+       << ",\"reuse\":" << (reuse() ? "true" : "false")
+       << ",\"threads\":" << (pool_ ? pool_->size() : 1u) << ",\"tables\":[";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (i) os << ',';
+      tables_[i].print(os, util::TableStyle::kJson);
+    }
+    os << ']';
+    for (const auto& [key, value] : attachments_) {
+      os << ",\"" << util::json_escape(key) << "\":" << value;
+    }
+    os << '}';
+    return os.str();
+  }
+
+ private:
+  util::ArgParser& args_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  detail::NullBuffer null_buffer_;
+  std::ostream null_;
+  std::vector<util::Table> tables_;
+  std::vector<std::pair<std::string, std::string>> attachments_;
+};
+
+/// One experiment binary: a name/description for --help, optional extra
+/// options, and the run body.
+struct HarnessSpec {
+  std::string name;
+  std::string description;
+  std::function<void(util::ArgParser&)> add_options;  ///< optional extras
+  std::function<int(Harness&)> run;
+};
+
+/// The shared main(): registers the common flags once, parses, times the
+/// run body, and writes the JSON document to stdout (--json) and/or a
+/// file (--out).
+inline int run_harness(int argc, const char* const* argv,
+                       const HarnessSpec& spec) {
+  util::ArgParser args(spec.name, spec.description);
+  args.add_flag("full", "run at the paper's exact scale (slow on laptops)");
+  args.add_flag("csv", "emit CSV instead of ASCII tables");
+  args.add_flag("json", "emit one JSON document on stdout");
+  args.add_flag("progress", "report per-cell progress on stderr");
+  args.add_flag("no-reuse",
+                "disable sweep-engine artifact reuse (per-cell baseline)");
+  args.add_option("seed", "master RNG seed", "1");
+  args.add_option("trials", "independent trials to average", "1");
+  args.add_option("threads", "worker threads (1 = serial, 0 = all cores)",
+                  "1");
+  args.add_option("out", "write the JSON document to this file", "");
+  if (spec.add_options) spec.add_options(args);
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  Harness harness(args);
+  const auto start = std::chrono::steady_clock::now();
+  const int status = spec.run(harness);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::string doc = harness.document(spec.name, elapsed);
+  if (harness.json()) std::cout << doc << "\n";
+  const std::string out = args.str("out");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      std::cerr << "error: cannot open " << out << " for writing\n";
+      return 1;
+    }
+    os << doc << "\n";
+  }
+  return status;
+}
+
+}  // namespace sfc::bench

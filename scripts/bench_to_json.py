@@ -2,13 +2,17 @@
 """Emit BENCH_acd.json: machine-readable perf numbers for the ACD hot paths.
 
 Runs the micro_model google-benchmark binary (aggregated vs direct NFI/FFI
-passes, ns per communication pair) and optionally a reduced-scale table1_nfi
-end-to-end timing, then writes one JSON file so the perf trajectory can be
+passes, ns per communication pair), optionally a reduced-scale table1_nfi
+end-to-end timing, and the sweep-engine comparison (table1_nfi and
+fig6_topologies with artifact reuse vs --no-reuse, verifying the ACD cells
+are bit-identical and recording the wall-clock speedup plus the engine's
+cache counters), then writes one JSON file so the perf trajectory can be
 compared across commits.
 
 Usage:
   scripts/bench_to_json.py [--build-dir build-release] [--out BENCH_acd.json]
                            [--min-time 0.5] [--with-table1] [--smoke]
+                           [--skip-sweep] [--threads N]
 """
 
 import argparse
@@ -69,6 +73,46 @@ def run_table1(binary):
     return time.monotonic() - start
 
 
+def run_sweep_harness(binary, extra):
+    """Run one sweep-engine bench with --json; return the parsed document."""
+    out = subprocess.run([binary, "--json"] + extra, check=True,
+                         capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def sweep_comparison(build_dir, name, extra, threads):
+    """Time `name` with artifact reuse vs --no-reuse on the same grid.
+
+    The two paths must produce bit-identical ACD cells (the engine folds
+    exact integer histograms, so reuse never changes the arithmetic) —
+    any difference is a correctness bug and aborts. A run whose cache
+    records zero hits means the engine stopped sharing artifacts across
+    cells, which defeats its purpose — that also aborts, and doubles as
+    the CI assertion on the hit counters.
+    """
+    binary = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(binary):
+        return None
+    extra = list(extra) + [f"--threads={threads}"]
+    reused = run_sweep_harness(binary, extra)
+    direct = run_sweep_harness(binary, extra + ["--no-reuse"])
+    if reused["study"]["cells"] != direct["study"]["cells"]:
+        sys.exit(f"error: {name}: reuse and --no-reuse ACD cells differ")
+    cache = reused["study"]["sweep"]
+    if cache["hits"] == 0:
+        sys.exit(f"error: {name}: sweep engine recorded zero cache hits")
+    reuse_s = reused["elapsed_seconds"]
+    direct_s = direct["elapsed_seconds"]
+    return {
+        "args": extra,
+        "cells": len(reused["study"]["cells"]),
+        "reuse_seconds": reuse_s,
+        "direct_seconds": direct_s,
+        "speedup": direct_s / reuse_s if reuse_s > 0 else None,
+        "cache": cache,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build-release",
@@ -82,6 +126,11 @@ def main():
                         help="also time a reduced-scale table1_nfi run")
     parser.add_argument("--smoke", action="store_true",
                         help="minimal iterations; timings are indicative only")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the sweep-engine reuse/no-reuse comparison")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="worker threads for the sweep benches "
+                             "(1 = serial, 0 = all cores)")
     opts = parser.parse_args()
 
     micro = os.path.join(opts.build_dir, "bench", "micro_model")
@@ -136,6 +185,31 @@ def main():
                 "seconds": run_table1(table1),
             }
 
+    if not opts.skip_sweep:
+        # The engine's reuse leverage is scale-independent (it comes from
+        # the grid combinatorics, not n), so smoke mode shrinks n/p to fit
+        # a CI budget while still asserting bit-identity and nonzero hits.
+        if opts.smoke:
+            grids = {
+                "table1_nfi": ["--particles=20000", "--level=8",
+                               "--procs=1024"],
+                "fig6_topologies": ["--particles=20000", "--level=8",
+                                    "--procs=1024"],
+            }
+        else:
+            grids = {
+                "table1_nfi": [],  # paper defaults: 250k particles, p=65536
+                "fig6_topologies": [],  # reduced preset: 150k, p=4096
+            }
+        sweeps = {}
+        for name, extra in grids.items():
+            comparison = sweep_comparison(opts.build_dir, name, extra,
+                                          opts.threads)
+            if comparison:
+                sweeps[name] = comparison
+        if sweeps:
+            result["sweep_engine"] = sweeps
+
     with open(opts.out, "w") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
@@ -149,6 +223,11 @@ def main():
         print(f"  ffi: {ffi['aggregated_ns_per_pair']:.2f} ns/pair aggregated "
               f"vs {ffi['direct_ns_per_pair']:.2f} direct "
               f"({ffi['speedup']:.2f}x)")
+    for name, s in result.get("sweep_engine", {}).items():
+        print(f"  sweep/{name}: {s['reuse_seconds']:.2f}s reuse vs "
+              f"{s['direct_seconds']:.2f}s direct ({s['speedup']:.2f}x), "
+              f"{s['cache']['hits']} cache hits / "
+              f"{s['cache']['misses']} misses")
 
 
 if __name__ == "__main__":

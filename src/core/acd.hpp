@@ -62,12 +62,27 @@ class AcdInstance {
   AcdInstance(std::vector<Point<D>> particles, unsigned level,
               const Curve<D>& particle_curve);
 
+  /// Adopt an already curve-sorted particle sequence (the exact order the
+  /// sorting constructor would produce). The sweep engine builds the
+  /// sorted sequence by scattering through a cached rank table, which
+  /// skips the per-curve key computation and comparison sort.
+  static AcdInstance from_sorted(std::vector<Point<D>> sorted,
+                                 unsigned level) {
+    return AcdInstance(FromSortedTag{}, std::move(sorted), level);
+  }
+
   unsigned level() const noexcept { return level_; }
   const std::vector<Point<D>>& particles() const noexcept {
     return particles_;
   }
   const fmm::OccupancyGrid<D>& grid() const noexcept { return grid_; }
   const fmm::CellTree<D>& tree() const noexcept { return tree_; }
+
+  /// Bytes held by the preprocessed state (sweep-cache accounting).
+  std::size_t memory_bytes() const noexcept {
+    return particles_.capacity() * sizeof(Point<D>) + grid_.memory_bytes() +
+           tree_.memory_bytes();
+  }
 
   /// Near-field totals for a processor count/topology choice.
   CommTotals nfi(const fmm::Partition& part, const topo::Topology& net,
@@ -80,6 +95,13 @@ class AcdInstance {
                      util::ThreadPool* pool = nullptr) const;
 
  private:
+  struct FromSortedTag {};
+  AcdInstance(FromSortedTag, std::vector<Point<D>> sorted, unsigned level)
+      : level_(level),
+        particles_(std::move(sorted)),
+        grid_(particles_, level),
+        tree_(particles_, level) {}
+
   unsigned level_;
   std::vector<Point<D>> particles_;
   fmm::OccupancyGrid<D> grid_;

@@ -1,6 +1,7 @@
 #include "core/rank_pair.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace sfc::core {
 
@@ -87,6 +88,11 @@ CommTotals RankPairAccumulator::fold(const topo::Topology& net) const {
     totals.count += count;
   });
   return totals;
+}
+
+CommTotals RankPairAccumulator::fold_auto(const topo::Topology& net) const {
+  assert(net.size() == p_);
+  return topo::distance_table_fits(p_) ? fold(net.table()) : fold(net);
 }
 
 std::uint64_t RankPairAccumulator::events() const {

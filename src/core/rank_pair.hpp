@@ -68,6 +68,27 @@ class RankPairAccumulator {
   /// topologies too large for a table (still O(pairs), not O(events)).
   CommTotals fold(const topo::Topology& net) const;
 
+  /// Fold against `net`, using its cached hop table when the processor
+  /// count fits the table budget and per-pair distance() beyond it. The
+  /// one entry point the sweep engine's fold stage needs.
+  CommTotals fold_auto(const topo::Topology& net) const;
+
+  /// Force the sparse-mode staging buffer into the sorted aggregate now.
+  /// compact() runs lazily on first fold/for_each and mutates the
+  /// (mutable) representation, so a histogram shared across concurrent
+  /// fold tasks must be sealed first — afterwards every const operation
+  /// is a pure read. No-op in dense mode or when already compact.
+  void seal() const {
+    if (!is_dense_) compact();
+  }
+
+  /// Bytes held by this histogram's backing storage (cache accounting).
+  std::size_t memory_bytes() const noexcept {
+    return dense_.capacity() * sizeof(std::uint64_t) +
+           (staging_.capacity() + sorted_.capacity()) *
+               sizeof(std::pair<std::uint64_t, std::uint64_t>);
+  }
+
   /// Total recorded communications (sum of all counts).
   std::uint64_t events() const;
 

@@ -1,6 +1,5 @@
 #include "core/study.hpp"
 
-#include <memory>
 #include <sstream>
 
 namespace sfc::core {
@@ -10,14 +9,32 @@ void report(const ProgressFn& progress, const std::string& msg) {
   if (progress) progress(msg);
 }
 
-std::vector<Point2> sample_trial(dist::DistKind kind, std::size_t particles,
-                                 unsigned level, std::uint64_t seed,
-                                 unsigned trial) {
-  dist::SampleConfig cfg;
-  cfg.count = particles;
-  cfg.level = level;
-  cfg.seed = util::substream_seed(seed, trial);
-  return dist::sample_particles<2>(kind, cfg);
+/// Adapt a legacy string-message progress sink to the engine's
+/// structured per-cell callback, reproducing the historical phrasing.
+CellProgressFn legacy_progress(const Study& study, const ProgressFn& progress,
+                               const char* style) {
+  if (!progress) return {};
+  const std::string fmt = style;
+  return [&study, progress, fmt](const StudyCellRef& ref) {
+    std::ostringstream msg;
+    if (fmt == "combination") {
+      msg << dist_name(study.distributions[ref.distribution]) << " trial "
+          << ref.trial + 1 << "/" << study.trials << ": particle "
+          << curve_name(study.particle_curves[ref.particle_curve])
+          << " x processor "
+          << curve_name(study.processor_curves[ref.processor_curve])
+          << " done";
+    } else if (fmt == "topology") {
+      msg << "trial " << ref.trial + 1 << "/" << study.trials << ": "
+          << topology_name(study.topologies[ref.topology]) << " x "
+          << curve_name(study.particle_curves[ref.particle_curve]) << " done";
+    } else {  // scaling
+      msg << "trial " << ref.trial + 1 << "/" << study.trials << ": "
+          << curve_name(study.particle_curves[ref.particle_curve])
+          << " @ p=" << study.proc_counts[ref.proc_count] << " done";
+    }
+    progress(msg.str());
+  };
 }
 
 }  // namespace
@@ -25,55 +42,39 @@ std::vector<Point2> sample_trial(dist::DistKind kind, std::size_t particles,
 CombinationStudyResult run_combination_study(
     const CombinationStudyConfig& config, util::ThreadPool* pool,
     const ProgressFn& progress) {
+  Study study;
+  study.name = "combination";
+  study.particles = config.particles;
+  study.level = config.level;
+  study.radius = config.radius;
+  study.seed = config.seed;
+  study.trials = config.trials;
+  study.near_field = config.near_field;
+  study.far_field = config.far_field;
+  study.distributions = config.distributions;
+  study.particle_curves = config.curves;
+  study.processor_curves = config.curves;
+  study.topologies = {config.topology};
+  study.proc_counts = {config.procs};
+
+  SweepOptions options;
+  options.pool = pool;
+  options.progress = legacy_progress(study, progress, "combination");
+  const StudyResult run = run_study(study, options);
+
   const std::size_t nd = config.distributions.size();
   const std::size_t nc = config.curves.size();
-
   CombinationStudyResult result;
   result.config = config;
   result.cells.assign(
       nd, std::vector<std::vector<AcdCell>>(nc, std::vector<AcdCell>(nc)));
   result.stats.assign(nd, std::vector<std::vector<AcdCellStats>>(
                               nc, std::vector<AcdCellStats>(nc)));
-
-  // Topologies depend only on the processor-order curve; build them once.
-  std::vector<std::unique_ptr<topo::Topology>> nets;
-  nets.reserve(nc);
-  for (const CurveKind pk : config.curves) {
-    const auto ranking = make_curve<2>(pk);
-    nets.push_back(
-        topo::make_topology<2>(config.topology, config.procs, ranking.get()));
-  }
-
-  const double trials = config.trials;
   for (std::size_t d = 0; d < nd; ++d) {
-    for (unsigned t = 0; t < config.trials; ++t) {
-      auto particles = sample_trial(config.distributions[d], config.particles,
-                                    config.level, config.seed, t);
-      const fmm::Partition part(particles.size(), config.procs);
-      for (std::size_t pc = 0; pc < nc; ++pc) {
-        const auto particle_curve = make_curve<2>(config.curves[pc]);
-        const AcdInstance<2> instance(particles, config.level,
-                                      *particle_curve);
-        for (std::size_t rc = 0; rc < nc; ++rc) {
-          if (config.near_field) {
-            const auto nfi =
-                instance.nfi(part, *nets[rc], config.radius,
-                             fmm::NeighborNorm::kChebyshev, pool);
-            result.cells[d][rc][pc].nfi_acd += nfi.acd() / trials;
-            result.stats[d][rc][pc].nfi.add(nfi.acd());
-          }
-          if (config.far_field) {
-            const auto ffi = instance.ffi(part, *nets[rc], pool);
-            result.cells[d][rc][pc].ffi_acd += ffi.total().acd() / trials;
-            result.stats[d][rc][pc].ffi.add(ffi.total().acd());
-          }
-          std::ostringstream msg;
-          msg << dist_name(config.distributions[d]) << " trial " << t + 1
-              << "/" << config.trials << ": particle "
-              << curve_name(config.curves[pc]) << " x processor "
-              << curve_name(config.curves[rc]) << " done";
-          report(progress, msg.str());
-        }
+    for (std::size_t pc = 0; pc < nc; ++pc) {
+      for (std::size_t rc = 0; rc < nc; ++rc) {
+        result.cells[d][rc][pc] = run.cell(d, pc, 0, rc, 0);
+        result.stats[d][rc][pc] = run.cell_stats(d, pc, 0, rc, 0);
       }
     }
   }
@@ -83,38 +84,32 @@ CombinationStudyResult run_combination_study(
 TopologyStudyResult run_topology_study(const TopologyStudyConfig& config,
                                        util::ThreadPool* pool,
                                        const ProgressFn& progress) {
+  Study study;
+  study.name = "topology";
+  study.particles = config.particles;
+  study.level = config.level;
+  study.radius = config.radius;
+  study.seed = config.seed;
+  study.trials = config.trials;
+  study.distributions = {config.distribution};
+  study.particle_curves = config.curves;
+  study.processor_curves = {};  // paired: the same SFC in both roles
+  study.topologies = config.topologies;
+  study.proc_counts = {config.procs};
+
+  SweepOptions options;
+  options.pool = pool;
+  options.progress = legacy_progress(study, progress, "topology");
+  const StudyResult run = run_study(study, options);
+
   const std::size_t nt = config.topologies.size();
   const std::size_t nc = config.curves.size();
-
   TopologyStudyResult result;
   result.config = config;
   result.cells.assign(nt, std::vector<AcdCell>(nc));
-
-  const double trials = config.trials;
-  for (unsigned t = 0; t < config.trials; ++t) {
-    // The paper uses a fixed input set per trial across all 24 sub-cases.
-    auto particles = sample_trial(config.distribution, config.particles,
-                                  config.level, config.seed, t);
-    const fmm::Partition part(particles.size(), config.procs);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
     for (std::size_t c = 0; c < nc; ++c) {
-      const auto curve = make_curve<2>(config.curves[c]);
-      const AcdInstance<2> instance(particles, config.level, *curve);
-      for (std::size_t ti = 0; ti < nt; ++ti) {
-        // Mesh/torus take the same SFC as processor order; the others have
-        // a natural labeling and ignore the ranking argument.
-        const auto net = topo::make_topology<2>(config.topologies[ti],
-                                                config.procs, curve.get());
-        const auto nfi = instance.nfi(part, *net, config.radius,
-                                      fmm::NeighborNorm::kChebyshev, pool);
-        const auto ffi = instance.ffi(part, *net, pool);
-        result.cells[ti][c].nfi_acd += nfi.acd() / trials;
-        result.cells[ti][c].ffi_acd += ffi.total().acd() / trials;
-        std::ostringstream msg;
-        msg << "trial " << t + 1 << "/" << config.trials << ": "
-            << topology_name(config.topologies[ti]) << " x "
-            << curve_name(config.curves[c]) << " done";
-        report(progress, msg.str());
-      }
+      result.cells[ti][c] = run.cell(0, c, 0, 0, ti);
     }
   }
   return result;
@@ -123,35 +118,32 @@ TopologyStudyResult run_topology_study(const TopologyStudyConfig& config,
 ScalingStudyResult run_scaling_study(const ScalingStudyConfig& config,
                                      util::ThreadPool* pool,
                                      const ProgressFn& progress) {
+  Study study;
+  study.name = "scaling";
+  study.particles = config.particles;
+  study.level = config.level;
+  study.radius = config.radius;
+  study.seed = config.seed;
+  study.trials = config.trials;
+  study.distributions = {config.distribution};
+  study.particle_curves = config.curves;
+  study.processor_curves = {};  // paired
+  study.topologies = {config.topology};
+  study.proc_counts = config.proc_counts;
+
+  SweepOptions options;
+  options.pool = pool;
+  options.progress = legacy_progress(study, progress, "scaling");
+  const StudyResult run = run_study(study, options);
+
   const std::size_t nc = config.curves.size();
   const std::size_t np = config.proc_counts.size();
-
   ScalingStudyResult result;
   result.config = config;
   result.cells.assign(nc, std::vector<AcdCell>(np));
-
-  const double trials = config.trials;
-  for (unsigned t = 0; t < config.trials; ++t) {
-    auto particles = sample_trial(config.distribution, config.particles,
-                                  config.level, config.seed, t);
-    for (std::size_t c = 0; c < nc; ++c) {
-      const auto curve = make_curve<2>(config.curves[c]);
-      const AcdInstance<2> instance(particles, config.level, *curve);
-      for (std::size_t pi = 0; pi < np; ++pi) {
-        const topo::Rank procs = config.proc_counts[pi];
-        const fmm::Partition part(instance.particles().size(), procs);
-        const auto net =
-            topo::make_topology<2>(config.topology, procs, curve.get());
-        const auto nfi = instance.nfi(part, *net, config.radius,
-                                      fmm::NeighborNorm::kChebyshev, pool);
-        const auto ffi = instance.ffi(part, *net, pool);
-        result.cells[c][pi].nfi_acd += nfi.acd() / trials;
-        result.cells[c][pi].ffi_acd += ffi.total().acd() / trials;
-        std::ostringstream msg;
-        msg << "trial " << t + 1 << "/" << config.trials << ": "
-            << curve_name(config.curves[c]) << " @ p=" << procs << " done";
-        report(progress, msg.str());
-      }
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      result.cells[c][pi] = run.cell(0, c, pi, 0, 0);
     }
   }
   return result;

@@ -1,15 +1,20 @@
-// study.hpp — the paper's experimental designs as reusable runners.
+// study.hpp — the paper's experimental designs as named sweep presets.
 //
-// Each runner reproduces one table/figure family:
+// The declarative core::Study grammar plus run_study (core/sweep.hpp) is
+// the primary API: each table/figure family is one Study value. The
+// run_*_study functions below are retained as deprecated compatibility
+// wrappers — they translate their legacy config structs into a Study,
+// execute it on the sweep engine, and reshape the results, so existing
+// tests and examples compile unchanged and produce bit-identical values:
 //   * run_combination_study — Tables I & II: all {particle-order,
 //     processor-order} SFC pairs, per input distribution, on one topology;
 //   * run_topology_study    — Figure 6: topology comparison with the same
 //     SFC in both roles;
 //   * run_scaling_study     — Figure 7: ACD as a function of the processor
 //     count, per SFC;
-//   * run_anns_study        — Figure 5: neighbor stretch vs resolution.
-// The bench binaries only choose parameters and format output; running the
-// studies at toy scale from the unit tests validates the claimed shapes.
+//   * run_anns_study        — Figure 5: neighbor stretch vs resolution
+//     (not an ACD sweep; unchanged).
+// New code should build a Study and call run_study directly.
 #pragma once
 
 #include <functional>
@@ -18,17 +23,13 @@
 
 #include "core/acd.hpp"
 #include "core/anns.hpp"
+#include "core/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace sfc::core {
 
 /// Optional progress sink (long paper-scale runs report per-cell progress).
 using ProgressFn = std::function<void(const std::string&)>;
-
-struct AcdCell {
-  double nfi_acd = 0.0;
-  double ffi_acd = 0.0;
-};
 
 // ---------------------------------------------------------------- Tables I/II
 struct CombinationStudyConfig {
@@ -46,13 +47,6 @@ struct CombinationStudyConfig {
   std::vector<CurveKind> curves{kPaperCurves, kPaperCurves + 4};
 };
 
-/// Per-cell across-trial statistics (populated for every trial count;
-/// with trials == 1 the CI is zero).
-struct AcdCellStats {
-  util::RunningStats nfi;
-  util::RunningStats ffi;
-};
-
 struct CombinationStudyResult {
   CombinationStudyConfig config;
   /// cells[d][proc_curve][particle_curve], indices into config vectors.
@@ -62,6 +56,8 @@ struct CombinationStudyResult {
   std::vector<std::vector<std::vector<AcdCellStats>>> stats;
 };
 
+/// Deprecated compatibility wrapper: translates the config into a Study
+/// (both curve roles swept) and runs it on the sweep engine.
 CombinationStudyResult run_combination_study(
     const CombinationStudyConfig& config, util::ThreadPool* pool = nullptr,
     const ProgressFn& progress = {});
@@ -86,6 +82,8 @@ struct TopologyStudyResult {
   std::vector<std::vector<AcdCell>> cells;
 };
 
+/// Deprecated compatibility wrapper: translates the config into a Study
+/// (paired curves, topology axis swept) and runs it on the sweep engine.
 TopologyStudyResult run_topology_study(const TopologyStudyConfig& config,
                                        util::ThreadPool* pool = nullptr,
                                        const ProgressFn& progress = {});
@@ -110,6 +108,8 @@ struct ScalingStudyResult {
   std::vector<std::vector<AcdCell>> cells;
 };
 
+/// Deprecated compatibility wrapper: translates the config into a Study
+/// (paired curves, processor-count axis swept) and runs it on the engine.
 ScalingStudyResult run_scaling_study(const ScalingStudyConfig& config,
                                      util::ThreadPool* pool = nullptr,
                                      const ProgressFn& progress = {});

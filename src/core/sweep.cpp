@@ -1,0 +1,498 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sfc::core {
+
+std::string_view sweep_stage_name(SweepStage stage) noexcept {
+  switch (stage) {
+    case SweepStage::kSample:
+      return "sample";
+    case SweepStage::kCanonical:
+      return "canonical";
+    case SweepStage::kOrdering:
+      return "ordering";
+    case SweepStage::kInstance:
+      return "instance";
+    case SweepStage::kNfiHistogram:
+      return "nfi_histogram";
+    case SweepStage::kFfiHistogram:
+      return "ffi_histogram";
+    case SweepStage::kTopology:
+      return "topology";
+    case SweepStage::kFold:
+      return "fold";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const void> ArtifactCache::lookup(SweepStage stage,
+                                                 std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.stage(stage).misses;
+    return nullptr;
+  }
+  ++stats_.stage(stage).hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void ArtifactCache::insert(SweepStage stage, std::uint64_t key,
+                           std::shared_ptr<const void> value,
+                           std::size_t bytes) {
+  (void)stage;
+  lru_.push_front(key);
+  map_[key] = Entry{std::move(value), bytes, lru_.begin()};
+  stats_.bytes += bytes;
+  if (stats_.bytes > stats_.peak_bytes) stats_.peak_bytes = stats_.bytes;
+  // Walk the cold end of the LRU until within budget. The entry just
+  // inserted sits at the hot end and is never the victim; an over-budget
+  // artifact simply leaves the cache holding only itself.
+  while (stats_.bytes > budget_ && lru_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    const auto vit = map_.find(victim);
+    stats_.bytes -= vit->second.bytes;
+    map_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+namespace {
+
+/// Chain a field list into one 64-bit content key.
+std::uint64_t key_of(std::initializer_list<std::uint64_t> fields) {
+  std::uint64_t h = 0x5fc4a51b9ce2ad17ull;
+  for (const std::uint64_t v : fields) h = sweep_key(h, v);
+  return h;
+}
+
+/// Sentinel ranking field for topologies with a natural labeling (the
+/// paper applies SFC ranking only to mesh/torus) — their artifacts are
+/// shared across processor-order curves.
+constexpr std::uint64_t kNoRanking = ~std::uint64_t{0};
+
+bool topology_uses_ranking(topo::TopologyKind kind) noexcept {
+  return kind == topo::TopologyKind::kMesh ||
+         kind == topo::TopologyKind::kTorus;
+}
+
+using Sample2 = std::vector<Point2>;
+
+/// Cell-sorted copy of a sample plus its occupancy grid: the
+/// curve-independent spatial state shared by every NFI histogram and
+/// instance build of one (distribution, trial).
+struct CanonicalSample2 {
+  std::vector<Point2> particles;
+  fmm::OccupancyGrid<2> grid;
+  CanonicalSample2(std::vector<Point2> pts, unsigned level)
+      : particles(std::move(pts)), grid(particles, level) {}
+  std::size_t memory_bytes() const noexcept {
+    return particles.capacity() * sizeof(Point2) + grid.memory_bytes();
+  }
+};
+
+/// Particles of `raw` sorted by row-major packed cell id. The samplers
+/// place every particle in a distinct cell, so the order is unique — a
+/// linear dense scatter by cell id when the grid fits, a comparison sort
+/// beyond.
+std::vector<Point2> canonical_order(const Sample2& raw, unsigned level) {
+  std::vector<Point2> out;
+  out.reserve(raw.size());
+  if (2u * level <= fmm::OccupancyGrid<2>::kDenseBits) {
+    std::vector<std::int32_t> slot(
+        static_cast<std::size_t>(grid_size<2>(level)), -1);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      slot[pack(raw[i], level)] = static_cast<std::int32_t>(i);
+    }
+    for (const std::int32_t i : slot) {
+      if (i >= 0) out.push_back(raw[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+  out = raw;
+  std::sort(out.begin(), out.end(),
+            [level](const Point2& a, const Point2& b) {
+              return pack(a, level) < pack(b, level);
+            });
+  return out;
+}
+
+/// Rank table of one curve over a canonical sample: rank[i] is the
+/// position canonical particle i occupies in the curve-sorted order.
+struct Ordering2 {
+  std::vector<std::uint32_t> rank;
+  std::size_t memory_bytes() const noexcept {
+    return rank.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+/// Curve indices are a bijection between cells and [0, 4^level), and the
+/// particles occupy distinct cells, so the argsort degenerates to a
+/// dense scatter + scan — linear in cells, no comparisons — and the
+/// resulting permutation equals the stable_sort the sorting AcdInstance
+/// constructor performs (distinct keys make it unique).
+Ordering2 make_ordering(const std::vector<Point2>& canonical, unsigned level,
+                        const Curve<2>& curve) {
+  const std::vector<std::uint64_t> keys = indices_of(curve, canonical, level);
+  Ordering2 out;
+  out.rank.resize(canonical.size());
+  if (2u * level <= fmm::OccupancyGrid<2>::kDenseBits) {
+    std::vector<std::int32_t> slot(
+        static_cast<std::size_t>(grid_size<2>(level)), -1);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      slot[keys[i]] = static_cast<std::int32_t>(i);
+    }
+    std::uint32_t next = 0;
+    for (const std::int32_t i : slot) {
+      if (i >= 0) out.rank[static_cast<std::size_t>(i)] = next++;
+    }
+    return out;
+  }
+  std::vector<std::uint32_t> order(canonical.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](std::uint32_t a, std::uint32_t b) {
+                     return keys[a] < keys[b];
+                   });
+  for (std::uint32_t k = 0; k < order.size(); ++k) {
+    out.rank[order[k]] = k;
+  }
+  return out;
+}
+
+/// One cell's fold inputs, pinned by the coordinator before the fold is
+/// scheduled: worker tasks never touch the cache.
+struct CellJob {
+  std::size_t index = 0;
+  StudyCellRef ref;
+  std::shared_ptr<const RankPairAccumulator> nfi;
+  std::shared_ptr<const fmm::FfiHistograms> ffi;
+  std::shared_ptr<const topo::Topology> net;
+};
+
+/// The artifact-reusing engine path.
+StudyResult run_reuse(const Study& s, const SweepOptions& o) {
+  StudyResult result;
+  result.study = s;
+  result.cells.assign(s.cell_count(), AcdCell{});
+  result.stats.assign(s.cell_count(), AcdCellStats{});
+
+  ArtifactCache cache(o.cache_bytes);
+  util::ThreadPool* pool = o.pool;
+  const bool parallel = pool != nullptr && pool->size() > 1;
+  const double trials = s.trials;
+  const std::size_t nrc = s.processor_order_count();
+
+  std::vector<CellJob> jobs;
+  for (std::size_t d = 0; d < s.distributions.size(); ++d) {
+    for (unsigned t = 0; t < s.trials; ++t) {
+      const std::uint64_t sample_key =
+          key_of({static_cast<std::uint64_t>(s.distributions[d]), s.particles,
+                  s.level, s.seed, t});
+
+      // Canonical spatial state for this (distribution, trial): the
+      // cell-sorted sample and its occupancy grid, which every curve of
+      // the row shares.
+      const auto canonical = cache.get<CanonicalSample2>(
+          SweepStage::kCanonical, sample_key, [&] {
+            const auto sample =
+                cache.get<Sample2>(SweepStage::kSample, sample_key, [&] {
+                  dist::SampleConfig cfg;
+                  cfg.count = s.particles;
+                  cfg.level = s.level;
+                  cfg.seed = util::substream_seed(s.seed, t);
+                  auto pts = std::make_shared<const Sample2>(
+                      dist::sample_particles<2>(s.distributions[d], cfg));
+                  const std::size_t bytes = pts->capacity() * sizeof(Point2);
+                  return std::pair{pts, bytes};
+                });
+            auto canon = std::make_shared<const CanonicalSample2>(
+                canonical_order(*sample, s.level), s.level);
+            return std::pair{canon, canon->memory_bytes()};
+          });
+
+      // Ordering (and, for FFI studies, instance) prefetch: the cache
+      // lookups run on the coordinator in pc order (the counter sequence
+      // is identical to building inline), while the misses — the most
+      // expensive serial artifacts of the whole sweep — build
+      // concurrently on the pool. Construction is deterministic, so
+      // scheduling never changes the artifacts.
+      const std::size_t npc = s.particle_curves.size();
+      std::vector<std::shared_ptr<const Ordering2>> orderings(npc);
+      {
+        struct OrderingBuild {
+          std::size_t pc = 0;
+          std::uint64_t key = 0;
+          std::shared_ptr<const Ordering2> built;
+        };
+        std::vector<OrderingBuild> builds;
+        for (std::size_t pc = 0; pc < npc; ++pc) {
+          const std::uint64_t order_key = sweep_key(
+              sample_key, static_cast<std::uint64_t>(s.particle_curves[pc]));
+          orderings[pc] =
+              cache.find<Ordering2>(SweepStage::kOrdering, order_key);
+          if (orderings[pc] == nullptr) {
+            builds.push_back(OrderingBuild{pc, order_key, nullptr});
+          }
+        }
+        for (OrderingBuild& b : builds) {
+          const CurveKind pkind = s.particle_curves[b.pc];
+          auto construct = [&b, &canonical, pkind, level = s.level] {
+            const auto curve = make_curve<2>(pkind);
+            b.built = std::make_shared<const Ordering2>(
+                make_ordering(canonical->particles, level, *curve));
+          };
+          if (parallel) {
+            pool->submit(construct);
+          } else {
+            construct();
+          }
+        }
+        if (parallel) pool->wait_idle();
+        for (OrderingBuild& b : builds) {
+          cache.put<Ordering2>(SweepStage::kOrdering, b.key, b.built,
+                               b.built->memory_bytes());
+          orderings[b.pc] = std::move(b.built);
+        }
+      }
+
+      // The FFI tree walk is the one consumer that needs the particles
+      // physically in curve order; scatter them through the rank table
+      // instead of re-sorting (the sequence is identical). Near-field-
+      // only studies never build an instance at all.
+      std::vector<std::shared_ptr<const AcdInstance<2>>> instances(
+          s.far_field ? npc : 0);
+      if (s.far_field) {
+        struct InstanceBuild {
+          std::size_t pc = 0;
+          std::uint64_t key = 0;
+          std::shared_ptr<const AcdInstance<2>> built;
+        };
+        std::vector<InstanceBuild> builds;
+        for (std::size_t pc = 0; pc < npc; ++pc) {
+          const std::uint64_t instance_key = sweep_key(
+              sample_key, static_cast<std::uint64_t>(s.particle_curves[pc]));
+          instances[pc] =
+              cache.find<AcdInstance<2>>(SweepStage::kInstance, instance_key);
+          if (instances[pc] == nullptr) {
+            builds.push_back(InstanceBuild{pc, instance_key, nullptr});
+          }
+        }
+        for (InstanceBuild& b : builds) {
+          const std::shared_ptr<const Ordering2>& ordering = orderings[b.pc];
+          auto construct = [&b, &canonical, &ordering, level = s.level] {
+            std::vector<Point2> sorted(canonical->particles.size());
+            for (std::size_t i = 0; i < sorted.size(); ++i) {
+              sorted[ordering->rank[i]] = canonical->particles[i];
+            }
+            b.built = std::make_shared<const AcdInstance<2>>(
+                AcdInstance<2>::from_sorted(std::move(sorted), level));
+          };
+          if (parallel) {
+            pool->submit(construct);
+          } else {
+            construct();
+          }
+        }
+        if (parallel) pool->wait_idle();
+        for (InstanceBuild& b : builds) {
+          cache.put<AcdInstance<2>>(SweepStage::kInstance, b.key, b.built,
+                                    b.built->memory_bytes());
+          instances[b.pc] = std::move(b.built);
+        }
+      }
+
+      for (std::size_t pc = 0; pc < npc; ++pc) {
+        const CurveKind pkind = s.particle_curves[pc];
+        const std::uint64_t instance_key =
+            sweep_key(sample_key, static_cast<std::uint64_t>(pkind));
+        const std::shared_ptr<const Ordering2>& ordering = orderings[pc];
+
+        for (std::size_t pi = 0; pi < s.proc_counts.size(); ++pi) {
+          const topo::Rank procs = s.proc_counts[pi];
+          const fmm::Partition part(canonical->particles.size(), procs);
+
+          // Prefetch/build this group's fold inputs on the coordinator
+          // (cache traffic stays deterministic; make_topology's argument
+          // validation throws here, never inside a pool task).
+          jobs.clear();
+          for (std::size_t rc = 0; rc < nrc; ++rc) {
+            const std::size_t rc_index = s.paired_curves() ? pc : rc;
+            const CurveKind rkind =
+                s.paired_curves() ? pkind : s.processor_curves[rc];
+            for (std::size_t ti = 0; ti < s.topologies.size(); ++ti) {
+              const topo::TopologyKind tkind = s.topologies[ti];
+              const std::uint64_t topo_key =
+                  key_of({static_cast<std::uint64_t>(tkind), procs,
+                          topology_uses_ranking(tkind)
+                              ? static_cast<std::uint64_t>(rkind)
+                              : kNoRanking});
+              CellJob job;
+              job.index = result.index(d, pc, pi, rc, ti);
+              job.ref = StudyCellRef{d, t, pc, pi, rc_index, ti};
+              job.net = cache.get<topo::Topology>(
+                  SweepStage::kTopology, topo_key, [&] {
+                    const auto ranking = make_curve<2>(rkind);
+                    std::shared_ptr<const topo::Topology> net =
+                        topo::make_topology<2>(tkind, procs, ranking.get());
+                    // Payload estimate: per-rank coordinates plus the hop
+                    // table the folds will materialize when it fits.
+                    std::size_t bytes =
+                        static_cast<std::size_t>(procs) * 2 * sizeof(topo::Rank);
+                    if (topo::distance_table_fits(procs)) {
+                      bytes += static_cast<std::size_t>(procs) * procs *
+                               sizeof(std::uint32_t);
+                    }
+                    return std::pair{net, bytes};
+                  });
+              if (s.near_field) {
+                const std::uint64_t nfi_key =
+                    key_of({instance_key, procs, s.radius,
+                            static_cast<std::uint64_t>(s.norm)});
+                job.nfi = cache.get<RankPairAccumulator>(
+                    SweepStage::kNfiHistogram, nfi_key, [&] {
+                      // Owner of canonical particle i: the partition
+                      // chunk its curve rank falls in.
+                      const std::vector<topo::Rank> by_rank =
+                          part.owner_table();
+                      std::vector<topo::Rank> owners(
+                          canonical->particles.size());
+                      for (std::size_t i = 0; i < owners.size(); ++i) {
+                        owners[i] = by_rank[ordering->rank[i]];
+                      }
+                      auto hist = std::make_shared<const RankPairAccumulator>(
+                          fmm::nfi_histogram_owners<2>(
+                              canonical->particles, canonical->grid, owners,
+                              procs, s.radius, s.norm, pool));
+                      hist->seal();
+                      return std::pair{hist, hist->memory_bytes()};
+                    });
+              }
+              if (s.far_field) {
+                const std::uint64_t ffi_key = key_of({instance_key, procs});
+                job.ffi = cache.get<fmm::FfiHistograms>(
+                    SweepStage::kFfiHistogram, ffi_key, [&] {
+                      auto hist = std::make_shared<const fmm::FfiHistograms>(
+                          fmm::ffi_histograms<2>(instances[pc]->tree(), part,
+                                                 pool));
+                      hist->interpolation.seal();
+                      hist->interaction.seal();
+                      return std::pair{hist, hist->memory_bytes()};
+                    });
+              }
+              jobs.push_back(std::move(job));
+            }
+          }
+
+          // Fold every cell of the group. Distinct cells write distinct
+          // slots; the wait_idle barrier below orders the trials of each
+          // cell, so the float accumulation order matches the direct
+          // path exactly.
+          for (const CellJob& job : jobs) {
+            if (job.nfi != nullptr) cache.count_fold();
+            if (job.ffi != nullptr) cache.count_fold();
+            auto fold_cell = [&result, job, trials] {
+              if (job.nfi != nullptr) {
+                const double acd = job.nfi->fold_auto(*job.net).acd();
+                result.cells[job.index].nfi_acd += acd / trials;
+                result.stats[job.index].nfi.add(acd);
+              }
+              if (job.ffi != nullptr) {
+                const double acd =
+                    fmm::ffi_fold(*job.ffi, *job.net).total().acd();
+                result.cells[job.index].ffi_acd += acd / trials;
+                result.stats[job.index].ffi.add(acd);
+              }
+            };
+            if (parallel) {
+              pool->submit(fold_cell);
+            } else {
+              fold_cell();
+            }
+          }
+          if (parallel) pool->wait_idle();
+          if (o.progress) {
+            for (const CellJob& job : jobs) o.progress(job.ref);
+          }
+        }
+      }
+    }
+  }
+  result.sweep = cache.stats();
+  return result;
+}
+
+/// The from-scratch path: the legacy per-cell pipeline in the same grid
+/// order — the equivalence oracle and the speedup baseline.
+StudyResult run_direct(const Study& s, const SweepOptions& o) {
+  StudyResult result;
+  result.study = s;
+  result.cells.assign(s.cell_count(), AcdCell{});
+  result.stats.assign(s.cell_count(), AcdCellStats{});
+
+  util::ThreadPool* pool = o.pool;
+  const double trials = s.trials;
+  const std::size_t nrc = s.processor_order_count();
+
+  for (std::size_t d = 0; d < s.distributions.size(); ++d) {
+    for (unsigned t = 0; t < s.trials; ++t) {
+      dist::SampleConfig cfg;
+      cfg.count = s.particles;
+      cfg.level = s.level;
+      cfg.seed = util::substream_seed(s.seed, t);
+      const auto particles =
+          dist::sample_particles<2>(s.distributions[d], cfg);
+      for (std::size_t pc = 0; pc < s.particle_curves.size(); ++pc) {
+        const auto curve = make_curve<2>(s.particle_curves[pc]);
+        const AcdInstance<2> instance(particles, s.level, *curve);
+        for (std::size_t pi = 0; pi < s.proc_counts.size(); ++pi) {
+          const topo::Rank procs = s.proc_counts[pi];
+          const fmm::Partition part(instance.particles().size(), procs);
+          for (std::size_t rc = 0; rc < nrc; ++rc) {
+            const std::size_t rc_index = s.paired_curves() ? pc : rc;
+            const CurveKind rkind = s.paired_curves()
+                                        ? s.particle_curves[pc]
+                                        : s.processor_curves[rc];
+            const auto ranking = make_curve<2>(rkind);
+            for (std::size_t ti = 0; ti < s.topologies.size(); ++ti) {
+              const auto net = topo::make_topology<2>(s.topologies[ti],
+                                                      procs, ranking.get());
+              const std::size_t index = result.index(d, pc, pi, rc, ti);
+              if (s.near_field) {
+                const double acd =
+                    instance.nfi(part, *net, s.radius, s.norm, pool).acd();
+                result.cells[index].nfi_acd += acd / trials;
+                result.stats[index].nfi.add(acd);
+              }
+              if (s.far_field) {
+                const double acd =
+                    instance.ffi(part, *net, pool).total().acd();
+                result.cells[index].ffi_acd += acd / trials;
+                result.stats[index].ffi.add(acd);
+              }
+              if (o.progress) {
+                o.progress(StudyCellRef{d, t, pc, pi, rc_index, ti});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StudyResult run_study(const Study& study, const SweepOptions& options) {
+  return options.reuse ? run_reuse(study, options)
+                       : run_direct(study, options);
+}
+
+}  // namespace sfc::core

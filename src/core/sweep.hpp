@@ -1,0 +1,292 @@
+// sweep.hpp — the grid-sweep engine behind every ACD study.
+//
+// The paper's evaluation is a grid sweep: Tables I/II enumerate
+// {distribution x particle-order x processor-order}, Figure 6
+// {topology x curve}, Figure 7 {p x curve}. Every cell runs the same
+// pipeline — sample, order, partition, histogram, fold — and most of the
+// pipeline is *shared* between cells: the rank-pair histograms produced
+// by the NFI/FFI models depend only on (sample, particle order, p,
+// radius), not on the topology or processor order, which only enter the
+// final p²-bounded fold. The engine decomposes a declarative Study into
+// content-hash-keyed stage artifacts, memoizes them in a byte-budgeted
+// LRU, and schedules the independent folds of each cell group on the
+// ThreadPool — so Table I's four processor-order rows and Figure 6's six
+// topologies fold the *same* histograms instead of re-running the
+// O(n·window) enumeration. The spatial side of a sample is factored out
+// once per (distribution, trial) as a cell-sorted *canonical* copy with
+// its occupancy grid; each curve then contributes only a rank table (a
+// linear-time bucket argsort of its cell indices), the NFI events are
+// enumerated over the canonical copy with explicit owners, and the
+// curve-sorted AcdInstance (needed by the FFI tree walk alone) is built
+// by scattering through the rank table instead of re-sorting. Folds sum
+// exact integers, so engine results are bit-identical to evaluating
+// every cell from scratch (SweepOptions::reuse = false, which is also
+// the speedup baseline).
+//
+// docs/architecture.md describes the stage DAG, key derivations, and
+// invalidation rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/acd.hpp"
+#include "util/stats.hpp"
+
+namespace sfc::core {
+
+// ------------------------------------------------------------- stage plumbing
+
+/// The pipeline stages whose outputs the engine caches (kFold executes
+/// per cell and is counted but not stored — fold keys never repeat
+/// within a study grid).
+enum class SweepStage : unsigned {
+  kSample = 0,       ///< (distribution, n, level, seed, trial) -> particles
+  kCanonical,        ///< (sample) -> cell-sorted copy + occupancy grid
+  kOrdering,         ///< (sample, particle order) -> curve-rank table
+  kInstance,         ///< (sample, particle order) -> AcdInstance (FFI only)
+  kNfiHistogram,     ///< (sample, order, p, radius, norm) -> rank-pair hist
+  kFfiHistogram,     ///< (instance, p) -> FFI histograms
+  kTopology,         ///< (kind, p [, processor order]) -> Topology
+  kFold,             ///< (histogram, topology) -> CommTotals
+};
+
+inline constexpr unsigned kSweepStageCount = 8;
+
+std::string_view sweep_stage_name(SweepStage stage) noexcept;
+
+struct StageCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Cache accounting for one engine run. Counters are deterministic: all
+/// cache traffic happens on the coordinating thread in grid order.
+struct SweepStats {
+  StageCounters stages[kSweepStageCount];
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;       ///< resident artifact bytes after the run
+  std::size_t peak_bytes = 0;  ///< high-water mark during the run
+
+  const StageCounters& stage(SweepStage s) const noexcept {
+    return stages[static_cast<unsigned>(s)];
+  }
+  StageCounters& stage(SweepStage s) noexcept {
+    return stages[static_cast<unsigned>(s)];
+  }
+  std::uint64_t total_hits() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : stages) n += c.hits;
+    return n;
+  }
+  std::uint64_t total_misses() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : stages) n += c.misses;
+    return n;
+  }
+};
+
+/// 64-bit content-hash keys: splitmix64-mixed field combination. Not
+/// cryptographic — collisions across the handful of artifacts in one
+/// sweep are vanishingly unlikely and would only trade a result for an
+/// identically-typed one of the same stage.
+constexpr std::uint64_t sweep_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t sweep_key(std::uint64_t h, std::uint64_t v) noexcept {
+  return sweep_mix(h ^ sweep_mix(v));
+}
+
+/// LRU artifact store with byte-budget eviction and per-stage hit/miss
+/// counters. Single-threaded by design: the engine performs all cache
+/// traffic on the coordinating thread (worker tasks only receive
+/// already-pinned shared_ptrs), which keeps the counters deterministic.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// Artifact under (stage, key), building it via `make` on a miss.
+  /// `make` returns {artifact, payload bytes}. The returned pointer stays
+  /// valid across later evictions (shared ownership).
+  template <typename T, typename MakeFn>
+  std::shared_ptr<const T> get(SweepStage stage, std::uint64_t key,
+                               MakeFn&& make) {
+    if (auto found = find<T>(stage, key)) return found;
+    std::pair<std::shared_ptr<const T>, std::size_t> made = make();
+    put<T>(stage, key, made.first, made.second);
+    return made.first;
+  }
+
+  /// Lookup half of get(): counts the hit or miss, returns nullptr on a
+  /// miss. Lets the engine batch miss-builds onto the ThreadPool while
+  /// the counter sequence stays exactly the serial grid order.
+  template <typename T>
+  std::shared_ptr<const T> find(SweepStage stage, std::uint64_t key) {
+    key = sweep_key(static_cast<std::uint64_t>(stage), key);
+    return std::static_pointer_cast<const T>(lookup(stage, key));
+  }
+
+  /// Store half of get(): no counter traffic (the find() that missed
+  /// already counted).
+  template <typename T>
+  void put(SweepStage stage, std::uint64_t key,
+           std::shared_ptr<const T> value, std::size_t bytes) {
+    key = sweep_key(static_cast<std::uint64_t>(stage), key);
+    insert(stage, key, std::move(value), bytes);
+  }
+
+  /// Count a per-cell fold execution (computed, never stored).
+  void count_fold() noexcept { ++stats_.stage(SweepStage::kFold).misses; }
+
+  std::size_t budget() const noexcept { return budget_; }
+  const SweepStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  std::shared_ptr<const void> lookup(SweepStage stage, std::uint64_t key);
+  void insert(SweepStage stage, std::uint64_t key,
+              std::shared_ptr<const void> value, std::size_t bytes);
+
+  std::size_t budget_;
+  SweepStats stats_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+};
+
+// ------------------------------------------------------------- study grammar
+
+struct AcdCell {
+  double nfi_acd = 0.0;
+  double ffi_acd = 0.0;
+};
+
+/// Per-cell across-trial statistics (populated for every trial count;
+/// with trials == 1 the CI is zero).
+struct AcdCellStats {
+  util::RunningStats nfi;
+  util::RunningStats ffi;
+};
+
+/// Declarative description of one ACD sweep: scalar pipeline parameters
+/// plus the grid axes. Every combination of {distribution x
+/// particle_curve x proc_count x processor_order x topology} is one
+/// cell; trials average into each cell. This one struct subsumes the
+/// former CombinationStudyConfig (both curve roles swept),
+/// TopologyStudyConfig (topologies swept, curves paired), and
+/// ScalingStudyConfig (proc_counts swept, curves paired).
+struct Study {
+  std::string name = "study";
+  std::size_t particles = 250000;
+  unsigned level = 10;  ///< spatial resolution: 2^level per dimension
+  unsigned radius = 1;  ///< near-field neighborhood radius
+  fmm::NeighborNorm norm = fmm::NeighborNorm::kChebyshev;
+  std::uint64_t seed = 1;
+  unsigned trials = 1;
+  bool near_field = true;  ///< evaluate the NFI model
+  bool far_field = true;   ///< evaluate the FFI model
+
+  std::vector<dist::DistKind> distributions{dist::DistKind::kUniform};
+  std::vector<CurveKind> particle_curves{kPaperCurves, kPaperCurves + 4};
+  /// Processor-order axis. Empty means *paired* mode: each cell ranks the
+  /// processors with its own particle curve (Figures 6/7); non-empty
+  /// sweeps the full cross product (Tables I/II).
+  std::vector<CurveKind> processor_curves{};
+  std::vector<topo::TopologyKind> topologies{topo::TopologyKind::kTorus};
+  std::vector<topo::Rank> proc_counts{65536};
+
+  bool paired_curves() const noexcept { return processor_curves.empty(); }
+  std::size_t processor_order_count() const noexcept {
+    return paired_curves() ? 1 : processor_curves.size();
+  }
+  std::size_t cell_count() const noexcept {
+    return distributions.size() * particle_curves.size() *
+           proc_counts.size() * processor_order_count() * topologies.size();
+  }
+};
+
+/// Grid coordinates of one cell (indices into the Study's axis vectors).
+/// In paired mode processor_curve mirrors particle_curve.
+struct StudyCellRef {
+  std::size_t distribution = 0;
+  unsigned trial = 0;
+  std::size_t particle_curve = 0;
+  std::size_t proc_count = 0;
+  std::size_t processor_curve = 0;
+  std::size_t topology = 0;
+};
+
+/// Per-cell progress sink (long paper-scale runs report each cell).
+using CellProgressFn = std::function<void(const StudyCellRef&)>;
+
+/// Default artifact budget: 1 GiB comfortably holds a paper-scale
+/// sweep's working set (the biggest artifacts are one AcdInstance per
+/// particle curve at ~50 MiB for n = 10^6).
+inline constexpr std::size_t kDefaultSweepCacheBytes = std::size_t{1} << 30;
+
+struct SweepOptions {
+  util::ThreadPool* pool = nullptr;  ///< parallelism (histograms + folds)
+  std::size_t cache_bytes = kDefaultSweepCacheBytes;
+  /// false = evaluate every cell from scratch (no artifact reuse): the
+  /// legacy per-cell pipeline, kept as the equivalence oracle and the
+  /// speedup baseline. Results are bit-identical either way.
+  bool reuse = true;
+  CellProgressFn progress;
+};
+
+struct StudyResult {
+  Study study;
+  /// Across-trial means, row-major over
+  /// [distribution][particle_curve][proc_count][processor_order][topology].
+  std::vector<AcdCell> cells;
+  /// Matching across-trial statistics (same indexing).
+  std::vector<AcdCellStats> stats;
+  /// Cache accounting (all-zero when SweepOptions::reuse was false).
+  SweepStats sweep;
+
+  std::size_t index(std::size_t d, std::size_t pc, std::size_t pi,
+                    std::size_t rc, std::size_t ti) const noexcept {
+    return (((d * study.particle_curves.size() + pc) *
+                 study.proc_counts.size() +
+             pi) *
+                study.processor_order_count() +
+            rc) *
+               study.topologies.size() +
+           ti;
+  }
+  const AcdCell& cell(std::size_t d, std::size_t pc, std::size_t pi,
+                      std::size_t rc, std::size_t ti) const noexcept {
+    return cells[index(d, pc, pi, rc, ti)];
+  }
+  const AcdCellStats& cell_stats(std::size_t d, std::size_t pc,
+                                 std::size_t pi, std::size_t rc,
+                                 std::size_t ti) const noexcept {
+    return stats[index(d, pc, pi, rc, ti)];
+  }
+};
+
+/// Execute a study. Cells are visited in row-major grid order with
+/// trials outermost per distribution; artifact reuse and fold
+/// parallelism never change the arithmetic (integer histogram sums
+/// commute), only the wall clock. Invalid grid parameters (e.g. a torus
+/// size that is not a power of 4) surface as std::invalid_argument from
+/// the coordinating thread.
+StudyResult run_study(const Study& study, const SweepOptions& options = {});
+
+}  // namespace sfc::core

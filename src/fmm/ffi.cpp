@@ -1,8 +1,8 @@
 #include "fmm/ffi.hpp"
 
 #include <algorithm>
+#include <mutex>
 
-#include "core/rank_pair.hpp"
 #include "fmm/cells.hpp"
 
 namespace sfc::fmm {
@@ -143,32 +143,27 @@ struct FoldContext {
   }
 };
 
-/// Aggregated interpolation: histogram the (child owner, parent owner)
-/// rank pairs and fold once.
+/// Histogram the (child owner, parent owner) interpolation pairs of
+/// cells [lo, hi) at level `l` into `acc`.
 template <int D>
-core::CommTotals interp_range_aggregated(const CellTree<D>& tree,
-                                         const FoldContext& ctx, unsigned l,
-                                         std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(ctx.procs);
+void interp_range_into(const CellTree<D>& tree, const topo::Rank* own,
+                       core::RankPairAccumulator& acc, unsigned l,
+                       std::size_t lo, std::size_t hi) {
   const auto& cells = tree.cells(l);
-  const topo::Rank* own = ctx.owners.data();
   for (std::size_t i = lo; i < hi; ++i) {
     const auto idx = tree.find(l - 1, parent_key<D>(cells[i].key));
     const auto& parent = tree.cells(l - 1)[static_cast<std::size_t>(idx)];
     acc.add(own[cells[i].min_particle], own[parent.min_particle]);
   }
-  return ctx.fold(acc);
 }
 
-/// Aggregated interaction lists: histogram the (source owner, cell owner)
-/// rank pairs and fold once.
+/// Histogram the (source owner, cell owner) interaction-list pairs of
+/// cells [lo, hi) at level `l` into `acc`.
 template <int D>
-core::CommTotals il_range_aggregated(const CellTree<D>& tree,
-                                     const FoldContext& ctx, unsigned l,
-                                     std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(ctx.procs);
+void il_range_into(const CellTree<D>& tree, const topo::Rank* own,
+                   core::RankPairAccumulator& acc, unsigned l, std::size_t lo,
+                   std::size_t hi) {
   const auto& cells = tree.cells(l);
-  const topo::Rank* own = ctx.owners.data();
   std::vector<Point<D>> il;
   il.reserve(64);
   for (std::size_t i = lo; i < hi; ++i) {
@@ -182,7 +177,55 @@ core::CommTotals il_range_aggregated(const CellTree<D>& tree,
       acc.add(own[dc.min_particle], owner);
     }
   }
+}
+
+/// Aggregated interpolation: histogram the (child owner, parent owner)
+/// rank pairs and fold once.
+template <int D>
+core::CommTotals interp_range_aggregated(const CellTree<D>& tree,
+                                         const FoldContext& ctx, unsigned l,
+                                         std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(ctx.procs);
+  interp_range_into<D>(tree, ctx.owners.data(), acc, l, lo, hi);
   return ctx.fold(acc);
+}
+
+/// Aggregated interaction lists: histogram the (source owner, cell owner)
+/// rank pairs and fold once.
+template <int D>
+core::CommTotals il_range_aggregated(const CellTree<D>& tree,
+                                     const FoldContext& ctx, unsigned l,
+                                     std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(ctx.procs);
+  il_range_into<D>(tree, ctx.owners.data(), acc, l, lo, hi);
+  return ctx.fold(acc);
+}
+
+/// Accumulate one communication family's histogram over all levels
+/// [first_level, finest]: sequential fill below the parallel cutoff,
+/// per-chunk local histograms merged under a mutex above it. Counts are
+/// integers and addition commutes, so the merged multiset is independent
+/// of chunking and scheduling order.
+template <int D, typename IntoFn>
+void histogram_levels(util::ThreadPool* pool, const CellTree<D>& tree,
+                      unsigned first_level, topo::Rank procs,
+                      core::RankPairAccumulator& acc, IntoFn into) {
+  std::mutex merge_mutex;
+  for (unsigned l = first_level; l <= tree.finest_level(); ++l) {
+    const std::size_t n = tree.cells(l).size();
+    if (pool == nullptr || pool->size() <= 1 || n < 4096) {
+      into(acc, l, std::size_t{0}, n);
+      continue;
+    }
+    util::parallel_for_chunks(*pool, 0, n, util::kAutoGrain,
+                              [&, l](std::size_t lo, std::size_t hi) {
+                                core::RankPairAccumulator local(procs);
+                                into(local, l, lo, hi);
+                                const std::lock_guard<std::mutex> lock(
+                                    merge_mutex);
+                                acc += local;
+                              });
+  }
 }
 
 template <int D, typename RangeFn>
@@ -225,6 +268,33 @@ FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
 }
 
 template <int D>
+FfiHistograms ffi_histograms(const CellTree<D>& tree, const Partition& part,
+                             util::ThreadPool* pool) {
+  const std::vector<topo::Rank> owners = part.owner_table();
+  const topo::Rank* own = owners.data();
+  FfiHistograms h(part.processors());
+  histogram_levels<D>(pool, tree, 1, part.processors(), h.interpolation,
+                      [&](core::RankPairAccumulator& acc, unsigned l,
+                          std::size_t lo, std::size_t hi) {
+                        interp_range_into<D>(tree, own, acc, l, lo, hi);
+                      });
+  histogram_levels<D>(pool, tree, 2, part.processors(), h.interaction,
+                      [&](core::RankPairAccumulator& acc, unsigned l,
+                          std::size_t lo, std::size_t hi) {
+                        il_range_into<D>(tree, own, acc, l, lo, hi);
+                      });
+  return h;
+}
+
+FfiTotals ffi_fold(const FfiHistograms& hist, const topo::Topology& net) {
+  FfiTotals totals;
+  totals.interpolation = hist.interpolation.fold_auto(net);
+  totals.anterpolation = totals.interpolation;
+  totals.interaction = hist.interaction.fold_auto(net);
+  return totals;
+}
+
+template <int D>
 FfiTotals ffi_totals_direct(const CellTree<D>& tree, const Partition& part,
                             const topo::Topology& net,
                             util::ThreadPool* pool) {
@@ -258,5 +328,9 @@ template FfiTotals ffi_totals_direct<2>(const CellTree<2>&, const Partition&,
 template FfiTotals ffi_totals_direct<3>(const CellTree<3>&, const Partition&,
                                         const topo::Topology&,
                                         util::ThreadPool*);
+template FfiHistograms ffi_histograms<2>(const CellTree<2>&, const Partition&,
+                                         util::ThreadPool*);
+template FfiHistograms ffi_histograms<3>(const CellTree<3>&, const Partition&,
+                                         util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/rank_pair.hpp"
 #include "core/totals.hpp"
 #include "fmm/partition.hpp"
 #include "sfc/point.hpp"
@@ -62,6 +63,15 @@ class CellTree {
   /// Total occupied cells over all levels (root included).
   std::size_t total_cells() const noexcept;
 
+  /// Bytes held by the level lists and dense lookup tables
+  /// (sweep-cache accounting).
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const auto& l : levels_) bytes += l.capacity() * sizeof(Cell);
+    for (const auto& d : dense_) bytes += d.capacity() * sizeof(std::int32_t);
+    return bytes;
+  }
+
  private:
   std::int64_t find_sparse(unsigned level, std::uint64_t key) const noexcept;
 
@@ -98,6 +108,36 @@ FfiTotals ffi_totals_direct(const CellTree<D>& tree, const Partition& part,
                             const topo::Topology& net,
                             util::ThreadPool* pool = nullptr);
 
+/// Topology-independent stage of ffi_totals: the rank-pair histograms of
+/// the two distinct FFI communication families. Anterpolation is the
+/// exact mirror of interpolation (same pair counts, symmetric hop
+/// distances), so it carries no histogram of its own — ffi_fold copies
+/// the folded interpolation totals.
+struct FfiHistograms {
+  core::RankPairAccumulator interpolation;
+  core::RankPairAccumulator interaction;
+
+  explicit FfiHistograms(topo::Rank procs)
+      : interpolation(procs), interaction(procs) {}
+
+  std::size_t memory_bytes() const noexcept {
+    return interpolation.memory_bytes() + interaction.memory_bytes();
+  }
+};
+
+/// Build the FFI histograms for a prepared cell tree. The sweep engine
+/// caches one of these per (sample, particle order, p) and folds it
+/// against every topology / processor order that shares those inputs —
+/// ffi_fold(histograms, net) is bit-identical to ffi_totals over the
+/// same inputs. Deterministic with or without `pool`.
+template <int D>
+FfiHistograms ffi_histograms(const CellTree<D>& tree, const Partition& part,
+                             util::ThreadPool* pool = nullptr);
+
+/// Fold prebuilt FFI histograms against a topology (cached hop table when
+/// p fits the table budget, per-pair distance() beyond it).
+FfiTotals ffi_fold(const FfiHistograms& hist, const topo::Topology& net);
+
 extern template class CellTree<2>;
 extern template class CellTree<3>;
 extern template FfiTotals ffi_totals<2>(const CellTree<2>&, const Partition&,
@@ -114,5 +154,11 @@ extern template FfiTotals ffi_totals_direct<3>(const CellTree<3>&,
                                                const Partition&,
                                                const topo::Topology&,
                                                util::ThreadPool*);
+extern template FfiHistograms ffi_histograms<2>(const CellTree<2>&,
+                                                const Partition&,
+                                                util::ThreadPool*);
+extern template FfiHistograms ffi_histograms<3>(const CellTree<3>&,
+                                                const Partition&,
+                                                util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -1,6 +1,7 @@
 #include "fmm/nfi.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "core/rank_pair.hpp"
 
@@ -189,19 +190,17 @@ inline void halfwindow_dense2(const std::int32_t* cells, unsigned level,
   }
 }
 
-/// Aggregated path for particles [lo, hi): populate a (src, dst) → count
-/// histogram, then fold it once against the hop table (or, beyond the
-/// table budget, with one distance() call per distinct pair). The
-/// partition assigns contiguous chunks, so the walk proceeds rank run by
-/// rank run — the source rank and its histogram row are loop invariants
-/// hoisted out of the per-particle window scans.
+/// Histogram the near-field events of particles [lo, hi) into `acc` as
+/// (src rank, dst rank) → count entries. The partition assigns contiguous
+/// chunks, so the walk proceeds rank run by rank run — the source rank
+/// and its histogram row are loop invariants hoisted out of the
+/// per-particle window scans.
 template <int D>
-core::CommTotals nfi_range_aggregated(
-    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
-    const Partition& part, const std::vector<topo::Rank>& owners,
-    const topo::DistanceTable* table, const topo::Topology& net,
-    unsigned radius, NeighborNorm norm, std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(part.processors());
+void nfi_range_into(const std::vector<Point<D>>& particles,
+                    const OccupancyGrid<D>& grid, const Partition& part,
+                    const std::vector<topo::Rank>& owners,
+                    core::RankPairAccumulator& acc, unsigned radius,
+                    NeighborNorm norm, std::size_t lo, std::size_t hi) {
   const std::int32_t* cells = grid.dense_cells();
   const std::int64_t r = radius;
   const topo::Rank* own = owners.data();
@@ -256,6 +255,64 @@ core::CommTotals nfi_range_aggregated(
     }
     ++src;
   }
+}
+
+/// nfi_range_into for particles in arbitrary array order: the source rank
+/// comes from the owner table per particle instead of the contiguous
+/// partition runs, so there is no run to hoist — but the emitted event
+/// multiset is identical for the identical particle/owner assignment
+/// (every event is (owner of x, owner of y) over the same spatial pairs,
+/// and the half-window orientation is spatial, not positional).
+template <int D>
+void nfi_range_into_owners(const std::vector<Point<D>>& particles,
+                           const OccupancyGrid<D>& grid,
+                           const std::vector<topo::Rank>& owners,
+                           core::RankPairAccumulator& acc, unsigned radius,
+                           NeighborNorm norm, std::size_t lo, std::size_t hi) {
+  const std::int32_t* cells = grid.dense_cells();
+  const std::int64_t r = radius;
+  const topo::Rank* own = owners.data();
+
+  if constexpr (D == 2) {
+    if (cells != nullptr) {
+      const unsigned level = grid.level();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const topo::Rank src = own[i];
+        std::uint64_t* row = acc.row(src);
+        if (row != nullptr) {
+          halfwindow_dense2(cells, level, particles[i], r, norm,
+                            [&](std::int32_t j) {
+                              row[own[static_cast<std::size_t>(j)]] += 2;
+                            });
+        } else {
+          halfwindow_dense2(cells, level, particles[i], r, norm,
+                            [&](std::int32_t j) {
+                              acc.add(src, own[static_cast<std::size_t>(j)],
+                                      2);
+                            });
+        }
+      }
+      return;
+    }
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const topo::Rank src = own[i];
+    visit_neighbors<D>(grid, cells, particles[i], r, norm,
+                       [&](std::size_t j) { acc.add(src, own[j]); });
+  }
+}
+
+/// Aggregated path for particles [lo, hi): populate a (src, dst) → count
+/// histogram, then fold it once against the hop table (or, beyond the
+/// table budget, with one distance() call per distinct pair).
+template <int D>
+core::CommTotals nfi_range_aggregated(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const Partition& part, const std::vector<topo::Rank>& owners,
+    const topo::DistanceTable* table, const topo::Topology& net,
+    unsigned radius, NeighborNorm norm, std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(part.processors());
+  nfi_range_into<D>(particles, grid, part, owners, acc, radius, norm, lo, hi);
   return table != nullptr ? acc.fold(*table) : acc.fold(net);
 }
 
@@ -283,6 +340,61 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
   return util::parallel_reduce_chunks(*pool, 0, particles.size(),
                                       util::kAutoGrain, core::CommTotals{},
                                       chunk);
+}
+
+template <int D>
+core::RankPairAccumulator nfi_histogram(const std::vector<Point<D>>& particles,
+                                        const OccupancyGrid<D>& grid,
+                                        const Partition& part, unsigned radius,
+                                        NeighborNorm norm,
+                                        util::ThreadPool* pool) {
+  core::RankPairAccumulator acc(part.processors());
+  if (particles.empty()) return acc;
+  const std::vector<topo::Rank> owners = part.owner_table();
+  if (pool == nullptr || pool->size() <= 1) {
+    nfi_range_into<D>(particles, grid, part, owners, acc, radius, norm, 0,
+                      particles.size());
+    return acc;
+  }
+  // Per-chunk local histograms merged under a mutex: counts are integers
+  // and addition commutes, so the merged multiset — and every fold of it —
+  // is identical regardless of scheduling order.
+  std::mutex merge_mutex;
+  util::parallel_for_chunks(
+      *pool, 0, particles.size(), util::kAutoGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        core::RankPairAccumulator local(part.processors());
+        nfi_range_into<D>(particles, grid, part, owners, local, radius, norm,
+                          lo, hi);
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        acc += local;
+      });
+  return acc;
+}
+
+template <int D>
+core::RankPairAccumulator nfi_histogram_owners(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const std::vector<topo::Rank>& owners, topo::Rank procs, unsigned radius,
+    NeighborNorm norm, util::ThreadPool* pool) {
+  core::RankPairAccumulator acc(procs);
+  if (particles.empty()) return acc;
+  if (pool == nullptr || pool->size() <= 1) {
+    nfi_range_into_owners<D>(particles, grid, owners, acc, radius, norm, 0,
+                             particles.size());
+    return acc;
+  }
+  std::mutex merge_mutex;
+  util::parallel_for_chunks(
+      *pool, 0, particles.size(), util::kAutoGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        core::RankPairAccumulator local(procs);
+        nfi_range_into_owners<D>(particles, grid, owners, local, radius, norm,
+                                 lo, hi);
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        acc += local;
+      });
+  return acc;
 }
 
 template <int D>
@@ -325,5 +437,19 @@ template core::CommTotals nfi_totals_direct<3>(const std::vector<Point<3>>&,
                                                const topo::Topology&, unsigned,
                                                NeighborNorm,
                                                util::ThreadPool*);
+template core::RankPairAccumulator nfi_histogram<2>(
+    const std::vector<Point<2>>&, const OccupancyGrid<2>&, const Partition&,
+    unsigned, NeighborNorm, util::ThreadPool*);
+template core::RankPairAccumulator nfi_histogram<3>(
+    const std::vector<Point<3>>&, const OccupancyGrid<3>&, const Partition&,
+    unsigned, NeighborNorm, util::ThreadPool*);
+template core::RankPairAccumulator nfi_histogram_owners<2>(
+    const std::vector<Point<2>>&, const OccupancyGrid<2>&,
+    const std::vector<topo::Rank>&, topo::Rank, unsigned, NeighborNorm,
+    util::ThreadPool*);
+template core::RankPairAccumulator nfi_histogram_owners<3>(
+    const std::vector<Point<3>>&, const OccupancyGrid<3>&,
+    const std::vector<topo::Rank>&, topo::Rank, unsigned, NeighborNorm,
+    util::ThreadPool*);
 
 }  // namespace sfc::fmm

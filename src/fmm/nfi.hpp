@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/rank_pair.hpp"
 #include "core/totals.hpp"
 #include "fmm/occupancy.hpp"
 #include "fmm/partition.hpp"
@@ -40,6 +41,34 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
                             NeighborNorm norm = NeighborNorm::kChebyshev,
                             util::ThreadPool* pool = nullptr);
 
+/// Topology-independent stage of nfi_totals: the (src rank, dst rank) →
+/// count histogram of the near-field events. The sweep engine caches one
+/// of these per (sample, particle order, p, radius, norm) and folds it
+/// against every topology / processor order that shares those inputs —
+/// acc.fold_auto(net) is bit-identical to nfi_totals over the same
+/// inputs. Deterministic with or without `pool`.
+template <int D>
+core::RankPairAccumulator nfi_histogram(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const Partition& part, unsigned radius,
+    NeighborNorm norm = NeighborNorm::kChebyshev,
+    util::ThreadPool* pool = nullptr);
+
+/// nfi_histogram over particles in *arbitrary* array order: `owners[i]`
+/// names the rank holding particles[i] explicitly instead of deriving it
+/// from a contiguous Partition of the array. Produces the identical
+/// histogram for the identical particle/owner assignment — the event
+/// multiset is a function of the particle positions and owners only, not
+/// of the array order — which lets the sweep engine enumerate one
+/// cell-sorted canonical copy of each sample and re-own it per particle
+/// curve instead of materializing a sorted copy per curve.
+template <int D>
+core::RankPairAccumulator nfi_histogram_owners(
+    const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
+    const std::vector<topo::Rank>& owners, topo::Rank procs, unsigned radius,
+    NeighborNorm norm = NeighborNorm::kChebyshev,
+    util::ThreadPool* pool = nullptr);
+
 /// Reference implementation: one virtual distance() dispatch per event.
 /// O(events) distance lookups instead of O(p²); the equivalence tests
 /// pin nfi_totals to this path bit-for-bit.
@@ -68,5 +97,19 @@ extern template core::CommTotals nfi_totals_direct<2>(
 extern template core::CommTotals nfi_totals_direct<3>(
     const std::vector<Point<3>>&, const OccupancyGrid<3>&, const Partition&,
     const topo::Topology&, unsigned, NeighborNorm, util::ThreadPool*);
+extern template core::RankPairAccumulator nfi_histogram<2>(
+    const std::vector<Point<2>>&, const OccupancyGrid<2>&, const Partition&,
+    unsigned, NeighborNorm, util::ThreadPool*);
+extern template core::RankPairAccumulator nfi_histogram<3>(
+    const std::vector<Point<3>>&, const OccupancyGrid<3>&, const Partition&,
+    unsigned, NeighborNorm, util::ThreadPool*);
+extern template core::RankPairAccumulator nfi_histogram_owners<2>(
+    const std::vector<Point<2>>&, const OccupancyGrid<2>&,
+    const std::vector<topo::Rank>&, topo::Rank, unsigned, NeighborNorm,
+    util::ThreadPool*);
+extern template core::RankPairAccumulator nfi_histogram_owners<3>(
+    const std::vector<Point<3>>&, const OccupancyGrid<3>&,
+    const std::vector<topo::Rank>&, topo::Rank, unsigned, NeighborNorm,
+    util::ThreadPool*);
 
 }  // namespace sfc::fmm

@@ -50,6 +50,15 @@ class OccupancyGrid {
     return it == map_.end() ? kEmpty : it->second;
   }
 
+  /// Bytes held by the lookup structure (sweep-cache accounting). The
+  /// map-backed estimate charges each entry its node payload; bucket
+  /// overhead is ignored.
+  std::size_t memory_bytes() const noexcept {
+    return grid_.capacity() * sizeof(std::int32_t) +
+           map_.size() * (sizeof(std::uint64_t) + sizeof(std::int32_t) +
+                          2 * sizeof(void*));
+  }
+
   /// Raw dense cell array indexed by pack(cell, level), or nullptr when
   /// the grid is map-backed. pack() keeps coordinate 0 in the low bits,
   /// so a window's x-extent is contiguous memory — the aggregated NFI

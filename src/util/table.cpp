@@ -14,6 +14,40 @@ std::string format_fixed(double v, int digits) {
   return os.str();
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setfill('0') << std::setw(4)
+             << static_cast<int>(c);
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 void Table::add_row(std::string label, std::vector<double> cells) {
   numeric_rows_.push_back({std::move(label), std::move(cells)});
 }
@@ -66,6 +100,38 @@ std::vector<std::vector<std::string>> Table::render_cells() const {
 }
 
 void Table::print(std::ostream& os, TableStyle style) const {
+  if (style == TableStyle::kJson) {
+    // Structured output: numeric cells stay full-precision numbers (no
+    // rounding, no minima markers); labels and text rows are strings.
+    os << "{\"title\":\"" << json_escape(title_) << "\",\"columns\":[";
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      if (i) os << ',';
+      os << '"' << json_escape(header_[i]) << '"';
+    }
+    os << "],\"rows\":[";
+    bool first = true;
+    os << std::setprecision(17);
+    for (const auto& r : numeric_rows_) {
+      if (!first) os << ',';
+      first = false;
+      os << "[\"" << json_escape(r.label) << '"';
+      for (const double v : r.cells) os << ',' << v;
+      os << ']';
+    }
+    for (const auto& t : text_rows_) {
+      if (!first) os << ',';
+      first = false;
+      os << '[';
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i) os << ',';
+        os << '"' << json_escape(t[i]) << '"';
+      }
+      os << ']';
+    }
+    os << "]}";
+    return;
+  }
+
   const auto body = render_cells();
 
   if (style == TableStyle::kCsv) {

@@ -1,10 +1,12 @@
 // table.hpp — formatted table output for benchmark harnesses.
 //
 // Every experiment binary prints the same rows the paper reports, so the
-// table writer supports the three styles we need: fixed-width ASCII for the
-// terminal, GitHub Markdown for EXPERIMENTS.md, and CSV for plotting. The
+// table writer supports the styles we need: fixed-width ASCII for the
+// terminal, GitHub Markdown for EXPERIMENTS.md, CSV for plotting, and a
+// JSON object for structured consumers (scripts/bench_to_json.py). The
 // paper highlights the per-row minimum in boldface and the per-column
-// minimum in italics; we mark those with '*' and '^' suffixes respectively.
+// minimum in italics; the text styles mark those with '*' and '^'
+// suffixes respectively (JSON keeps raw full-precision numbers).
 #pragma once
 
 #include <cstddef>
@@ -14,7 +16,10 @@
 
 namespace sfc::util {
 
-enum class TableStyle { kAscii, kMarkdown, kCsv };
+enum class TableStyle { kAscii, kMarkdown, kCsv, kJson };
+
+/// Escape a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
 
 class Table {
  public:

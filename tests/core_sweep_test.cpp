@@ -1,0 +1,368 @@
+// Sweep-engine tests at toy scale: the artifact-reusing path must be
+// bit-identical to evaluating every cell from scratch, the cache
+// counters must match the grid combinatorics exactly (traffic is
+// deterministic — all of it happens on the coordinating thread in grid
+// order), and eviction under a tiny byte budget must change only the
+// accounting, never the results.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sfc::core {
+namespace {
+
+// --------------------------------------------------------------- fixtures
+
+/// Table I in miniature: full {particle x processor} curve cross product,
+/// two distributions, one torus, both interaction models.
+Study toy_combination_study() {
+  Study s;
+  s.name = "toy_combination";
+  s.particles = 900;
+  s.level = 5;  // 32 x 32
+  s.radius = 1;
+  s.seed = 11;
+  s.trials = 1;
+  s.distributions = {dist::DistKind::kUniform, dist::DistKind::kNormal};
+  s.particle_curves = {CurveKind::kHilbert, CurveKind::kMorton,
+                       CurveKind::kRowMajor};
+  s.processor_curves = s.particle_curves;
+  s.topologies = {topo::TopologyKind::kTorus};
+  s.proc_counts = {64};
+  return s;
+}
+
+/// Figure 6 in miniature: paired curves, a topology axis that mixes
+/// ranked (mesh, torus) and naturally-labeled (quadtree, hypercube)
+/// networks.
+Study toy_topology_study() {
+  Study s;
+  s.name = "toy_topology";
+  s.particles = 900;
+  s.level = 5;
+  s.radius = 1;
+  s.seed = 11;
+  s.trials = 1;
+  s.distributions = {dist::DistKind::kUniform};
+  s.particle_curves = {CurveKind::kHilbert, CurveKind::kMorton,
+                       CurveKind::kRowMajor};
+  s.processor_curves.clear();  // paired mode
+  s.topologies = {topo::TopologyKind::kMesh, topo::TopologyKind::kTorus,
+                  topo::TopologyKind::kQuadtree,
+                  topo::TopologyKind::kHypercube};
+  s.proc_counts = {64};
+  return s;
+}
+
+void expect_bit_identical(const StudyResult& a, const StudyResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    // Bit-level equality, not tolerance: folds sum exact integers and the
+    // float accumulation order is the same on both paths.
+    EXPECT_EQ(std::memcmp(&a.cells[i], &b.cells[i], sizeof(AcdCell)), 0)
+        << "cell " << i << ": (" << a.cells[i].nfi_acd << ", "
+        << a.cells[i].ffi_acd << ") vs (" << b.cells[i].nfi_acd << ", "
+        << b.cells[i].ffi_acd << ")";
+  }
+}
+
+// --------------------------------------------------------- cache plumbing
+
+TEST(ArtifactCache, CountsHitsAndMisses) {
+  ArtifactCache cache(1 << 20);
+  int builds = 0;
+  auto make = [&builds] {
+    ++builds;
+    return std::pair{std::make_shared<const int>(42), sizeof(int)};
+  };
+  const auto a = cache.get<int>(SweepStage::kSample, 7, make);
+  const auto b = cache.get<int>(SweepStage::kSample, 7, make);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().stage(SweepStage::kSample).misses, 1u);
+  EXPECT_EQ(cache.stats().stage(SweepStage::kSample).hits, 1u);
+}
+
+TEST(ArtifactCache, SameKeyDifferentStageIsDistinct) {
+  ArtifactCache cache(1 << 20);
+  auto make1 = [] {
+    return std::pair{std::make_shared<const int>(1), sizeof(int)};
+  };
+  auto make2 = [] {
+    return std::pair{std::make_shared<const int>(2), sizeof(int)};
+  };
+  const auto a = cache.get<int>(SweepStage::kSample, 7, make1);
+  const auto b = cache.get<int>(SweepStage::kInstance, 7, make2);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(cache.stats().total_misses(), 2u);
+  EXPECT_EQ(cache.stats().total_hits(), 0u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedWithinBudget) {
+  // Budget fits two 100-byte artifacts; inserting a third evicts the
+  // coldest. Touching key 1 between inserts protects it.
+  ArtifactCache cache(200);
+  auto make = [](int v) {
+    return [v] {
+      return std::pair{std::make_shared<const int>(v), std::size_t{100}};
+    };
+  };
+  cache.get<int>(SweepStage::kSample, 1, make(1));
+  cache.get<int>(SweepStage::kSample, 2, make(2));
+  cache.get<int>(SweepStage::kSample, 1, make(1));  // 1 becomes MRU
+  cache.get<int>(SweepStage::kSample, 3, make(3));  // evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().bytes, 200u);
+  cache.get<int>(SweepStage::kSample, 1, make(1));
+  EXPECT_EQ(cache.stats().stage(SweepStage::kSample).hits, 2u);
+  cache.get<int>(SweepStage::kSample, 2, make(2));  // was evicted: a miss
+  EXPECT_EQ(cache.stats().stage(SweepStage::kSample).misses, 4u);
+}
+
+TEST(ArtifactCache, OversizedArtifactStaysResidentAlone) {
+  ArtifactCache cache(10);
+  auto big = [] {
+    return std::pair{std::make_shared<const int>(9), std::size_t{1000}};
+  };
+  const auto kept = cache.get<int>(SweepStage::kSample, 1, big);
+  EXPECT_EQ(*kept, 9);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().bytes, 1000u);
+  // The next insert evicts it (it is then the cold entry).
+  cache.get<int>(SweepStage::kSample, 2, big);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ArtifactCache, PinnedPointerSurvivesEviction) {
+  ArtifactCache cache(100);
+  auto make = [](int v) {
+    return [v] {
+      return std::pair{std::make_shared<const int>(v), std::size_t{100}};
+    };
+  };
+  const auto pinned = cache.get<int>(SweepStage::kSample, 1, make(5));
+  cache.get<int>(SweepStage::kSample, 2, make(6));  // evicts key 1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(*pinned, 5);  // shared ownership keeps the artifact alive
+}
+
+// ------------------------------------------------------------ equivalence
+
+TEST(SweepEngine, CombinationGridMatchesDirectBitForBit) {
+  const Study s = toy_combination_study();
+  const SweepOptions reuse{nullptr, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions direct{nullptr, kDefaultSweepCacheBytes, false, {}};
+  expect_bit_identical(run_study(s, reuse), run_study(s, direct));
+}
+
+TEST(SweepEngine, TopologyGridMatchesDirectBitForBit) {
+  const Study s = toy_topology_study();
+  const SweepOptions reuse{nullptr, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions direct{nullptr, kDefaultSweepCacheBytes, false, {}};
+  expect_bit_identical(run_study(s, reuse), run_study(s, direct));
+}
+
+TEST(SweepEngine, MultiTrialMatchesDirectBitForBit) {
+  Study s = toy_combination_study();
+  s.trials = 3;
+  s.distributions = {dist::DistKind::kExponential};
+  const SweepOptions reuse{nullptr, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions direct{nullptr, kDefaultSweepCacheBytes, false, {}};
+  const auto a = run_study(s, reuse);
+  const auto b = run_study(s, direct);
+  expect_bit_identical(a, b);
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stats[i].nfi.ci95_halfwidth(),
+                     b.stats[i].nfi.ci95_halfwidth());
+    EXPECT_DOUBLE_EQ(a.stats[i].ffi.ci95_halfwidth(),
+                     b.stats[i].ffi.ci95_halfwidth());
+  }
+}
+
+TEST(SweepEngine, SparseHistogramsMatchDirectBitForBit) {
+  // p = 4096 pushes the rank-pair accumulators past the dense p² budget
+  // into the sorted-sparse representation — the paper-scale (p = 65536)
+  // regime — so the canonical-order enumeration must also reproduce the
+  // staged/compacted path bit-for-bit, including ranks with no
+  // particles (p greatly exceeds n here).
+  Study s = toy_combination_study();
+  s.distributions = {dist::DistKind::kUniform};
+  s.proc_counts = {4096};
+  const SweepOptions reuse{nullptr, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions direct{nullptr, kDefaultSweepCacheBytes, false, {}};
+  expect_bit_identical(run_study(s, reuse), run_study(s, direct));
+}
+
+TEST(SweepEngine, ThreadedFoldsMatchSerialBitForBit) {
+  const Study s = toy_topology_study();
+  util::ThreadPool pool(4);
+  const SweepOptions threaded{&pool, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions serial{nullptr, kDefaultSweepCacheBytes, true, {}};
+  expect_bit_identical(run_study(s, threaded), run_study(s, serial));
+}
+
+TEST(SweepEngine, ScalingAxisMatchesDirectBitForBit) {
+  Study s = toy_topology_study();
+  s.name = "toy_scaling";
+  s.topologies = {topo::TopologyKind::kTorus};
+  s.proc_counts = {16, 64, 256};
+  const SweepOptions reuse{nullptr, kDefaultSweepCacheBytes, true, {}};
+  const SweepOptions direct{nullptr, kDefaultSweepCacheBytes, false, {}};
+  expect_bit_identical(run_study(s, reuse), run_study(s, direct));
+}
+
+// ------------------------------------------------------- cache accounting
+
+TEST(SweepEngine, CombinationGridCacheCounts) {
+  // 2 distributions x 3 particle curves x 3 processor curves x 1 torus:
+  //   sample:    1 build per distribution, consumed once by canonical
+  //   canonical: cell-sorted copy + grid, 1 per distribution
+  //   ordering:  rank table per (distribution, curve), held per row —
+  //              reuse happens through the held pointer, not the cache
+  //   instance:  every (distribution, curve) pair is distinct (FFI tree)
+  //   histograms: built once per (distribution, particle curve), reused
+  //              across the 3 processor orders
+  //   topology:  the torus is ranked, so one build per processor curve,
+  //              shared across distributions and particle curves
+  //   fold:      one per cell per enabled model, never cached
+  const Study s = toy_combination_study();
+  const auto run = run_study(s, SweepOptions{});
+  const SweepStats& st = run.sweep;
+  EXPECT_EQ(st.stage(SweepStage::kSample).misses, 2u);
+  EXPECT_EQ(st.stage(SweepStage::kSample).hits, 0u);
+  EXPECT_EQ(st.stage(SweepStage::kCanonical).misses, 2u);
+  EXPECT_EQ(st.stage(SweepStage::kCanonical).hits, 0u);
+  EXPECT_EQ(st.stage(SweepStage::kOrdering).misses, 6u);
+  EXPECT_EQ(st.stage(SweepStage::kOrdering).hits, 0u);
+  EXPECT_EQ(st.stage(SweepStage::kInstance).misses, 6u);
+  EXPECT_EQ(st.stage(SweepStage::kInstance).hits, 0u);
+  EXPECT_EQ(st.stage(SweepStage::kNfiHistogram).misses, 6u);
+  EXPECT_EQ(st.stage(SweepStage::kNfiHistogram).hits, 12u);
+  EXPECT_EQ(st.stage(SweepStage::kFfiHistogram).misses, 6u);
+  EXPECT_EQ(st.stage(SweepStage::kFfiHistogram).hits, 12u);
+  EXPECT_EQ(st.stage(SweepStage::kTopology).misses, 3u);
+  EXPECT_EQ(st.stage(SweepStage::kTopology).hits, 15u);
+  EXPECT_EQ(st.stage(SweepStage::kFold).misses, 36u);
+  EXPECT_EQ(st.stage(SweepStage::kFold).hits, 0u);
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_GT(st.peak_bytes, 0u);
+  EXPECT_LE(st.bytes, st.peak_bytes);
+}
+
+TEST(SweepEngine, TopologyGridCacheCounts) {
+  // 3 paired curves x 4 topologies: histograms are topology-independent
+  // (1 build + 3 hits per curve); mesh and torus embed an SFC ranking so
+  // they rebuild per curve, while quadtree and hypercube are shared.
+  const Study s = toy_topology_study();
+  const auto run = run_study(s, SweepOptions{});
+  const SweepStats& st = run.sweep;
+  EXPECT_EQ(st.stage(SweepStage::kSample).misses, 1u);
+  EXPECT_EQ(st.stage(SweepStage::kSample).hits, 0u);
+  EXPECT_EQ(st.stage(SweepStage::kCanonical).misses, 1u);
+  EXPECT_EQ(st.stage(SweepStage::kOrdering).misses, 3u);
+  EXPECT_EQ(st.stage(SweepStage::kInstance).misses, 3u);
+  EXPECT_EQ(st.stage(SweepStage::kNfiHistogram).misses, 3u);
+  EXPECT_EQ(st.stage(SweepStage::kNfiHistogram).hits, 9u);
+  EXPECT_EQ(st.stage(SweepStage::kFfiHistogram).misses, 3u);
+  EXPECT_EQ(st.stage(SweepStage::kFfiHistogram).hits, 9u);
+  EXPECT_EQ(st.stage(SweepStage::kTopology).misses, 8u);
+  EXPECT_EQ(st.stage(SweepStage::kTopology).hits, 4u);
+  EXPECT_EQ(st.stage(SweepStage::kFold).misses, 24u);
+}
+
+TEST(SweepEngine, DirectPathReportsNoCacheTraffic) {
+  const Study s = toy_topology_study();
+  SweepOptions direct;
+  direct.reuse = false;
+  const auto run = run_study(s, direct);
+  EXPECT_EQ(run.sweep.total_hits(), 0u);
+  EXPECT_EQ(run.sweep.total_misses(), 0u);
+  EXPECT_EQ(run.sweep.peak_bytes, 0u);
+}
+
+TEST(SweepEngine, TinyBudgetEvictsButNeverChangesResults) {
+  const Study s = toy_combination_study();
+  SweepOptions starved;
+  starved.cache_bytes = 1024;  // far below any single artifact
+  const auto a = run_study(s, starved);
+  EXPECT_GT(a.sweep.evictions, 0u);
+  const auto b = run_study(s, SweepOptions{});
+  EXPECT_EQ(b.sweep.evictions, 0u);
+  expect_bit_identical(a, b);
+  // Starvation costs extra builds, never correctness: with everything
+  // evicted, hit counts can only drop.
+  EXPECT_LE(a.sweep.total_hits(), b.sweep.total_hits());
+  EXPECT_GE(a.sweep.total_misses(), b.sweep.total_misses());
+}
+
+// ---------------------------------------------------------- result shape
+
+TEST(SweepEngine, ProgressVisitsEveryCellInGridOrder) {
+  Study s = toy_topology_study();
+  s.trials = 2;
+  std::vector<StudyCellRef> seen;
+  SweepOptions options;
+  options.progress = [&seen](const StudyCellRef& ref) {
+    seen.push_back(ref);
+  };
+  const auto run = run_study(s, options);
+  ASSERT_EQ(seen.size(), s.cell_count() * s.trials);
+  // Paired mode reports the particle curve as the processor curve.
+  for (const StudyCellRef& ref : seen) {
+    EXPECT_EQ(ref.processor_curve, ref.particle_curve);
+  }
+  // Grid order: topology is the innermost axis, trials outermost per
+  // distribution — identical to the direct path's visit order.
+  std::vector<StudyCellRef> direct_seen;
+  options.reuse = false;
+  options.progress = [&direct_seen](const StudyCellRef& ref) {
+    direct_seen.push_back(ref);
+  };
+  run_study(s, options);
+  ASSERT_EQ(direct_seen.size(), seen.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].distribution, direct_seen[i].distribution);
+    EXPECT_EQ(seen[i].trial, direct_seen[i].trial);
+    EXPECT_EQ(seen[i].particle_curve, direct_seen[i].particle_curve);
+    EXPECT_EQ(seen[i].proc_count, direct_seen[i].proc_count);
+    EXPECT_EQ(seen[i].topology, direct_seen[i].topology);
+  }
+}
+
+TEST(SweepEngine, NearFieldOnlySkipsFfiStages) {
+  Study s = toy_combination_study();
+  s.far_field = false;
+  const auto run = run_study(s, SweepOptions{});
+  EXPECT_EQ(run.sweep.stage(SweepStage::kFfiHistogram).misses, 0u);
+  EXPECT_EQ(run.sweep.stage(SweepStage::kFfiHistogram).hits, 0u);
+  // Only the FFI tree walk needs a curve-sorted instance, so a
+  // near-field-only study never builds one.
+  EXPECT_EQ(run.sweep.stage(SweepStage::kInstance).misses, 0u);
+  EXPECT_EQ(run.sweep.stage(SweepStage::kInstance).hits, 0u);
+  EXPECT_EQ(run.sweep.stage(SweepStage::kFold).misses, 18u);
+  for (const AcdCell& cell : run.cells) {
+    EXPECT_EQ(cell.ffi_acd, 0.0);
+    EXPECT_GT(cell.nfi_acd, 0.0);
+  }
+}
+
+TEST(SweepEngine, InvalidTorusSizeThrows) {
+  Study s = toy_topology_study();
+  s.topologies = {topo::TopologyKind::kTorus};
+  s.proc_counts = {60};  // not a power of 4
+  EXPECT_THROW(run_study(s, SweepOptions{}), std::invalid_argument);
+  SweepOptions direct;
+  direct.reuse = false;
+  EXPECT_THROW(run_study(s, direct), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfc::core
