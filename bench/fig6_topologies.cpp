@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
            "< quadtree << ring < bus;\nfor FFI the quadtree edges out the "
            "hypercube; mesh ~ torus for the recursive SFCs but torus << mesh "
            "for row-major;\nHilbert is the best curve on every topology.\n";
-    h.attach_json("study", core::study_json(result));
+    h.attach_study(result);
     return 0;
   };
   return bench::run_harness(argc, argv, spec);

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                  "curve; Hilbert is best throughout,\nGray and Z are roughly "
                  "equivalent, and row-major is far worse (it is clipped from "
                  "the paper's plots).\n";
-    h.attach_json("study", core::study_json(result));
+    h.attach_study(result);
     return 0;
   };
   return bench::run_harness(argc, argv, spec);

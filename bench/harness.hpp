@@ -1,19 +1,26 @@
 // harness.hpp — the single entry point for experiment binaries.
 //
 // Every bench registers the same flags (--full, --csv, --json, --out,
-// --progress, --seed, --trials, --threads, --no-reuse) exactly once, via
-// run_harness(); the per-bench code only adds its own options and fills a
-// run callback. The Harness context wires those flags into the sweep
-// engine (SweepOptions), selects the table style, and collects every
-// emitted table plus any attached JSON fragments into one structured
-// document for --json (stdout) and --out FILE — the format
-// scripts/bench_to_json.py consumes.
+// --progress, --seed, --trials, --threads, --no-reuse, --trace,
+// --metrics) exactly once, via run_harness(); the per-bench code only
+// adds its own options and fills a run callback. The Harness context
+// wires those flags into the sweep engine (SweepOptions), selects the
+// table style, and collects every emitted table plus any attached JSON
+// fragments into one structured document for --json (stdout) and --out
+// FILE — the format scripts/bench_to_json.py consumes. Every document
+// carries the build provenance from util/version.hpp.
+//
+// Observability: --trace FILE enables the obs span tracer for the run
+// and writes a Chrome/Perfetto trace to FILE afterwards; --metrics
+// enables the obs metrics registry and embeds its JSON snapshot in the
+// output document under "metrics".
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -25,9 +32,12 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "core/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/version.hpp"
 
 namespace sfc::bench {
 
@@ -44,6 +54,11 @@ class NullBuffer : public std::streambuf {
 class Harness {
  public:
   explicit Harness(util::ArgParser& args) : args_(args), null_(&null_buffer_) {
+    obs::Tracer::instance().set_thread_name("main");
+    if (!args.str("trace").empty()) {
+      obs::Tracer::instance().set_enabled(true);
+    }
+    if (args.flag("metrics")) obs::Registry::instance().set_enabled(true);
     const long long threads = args.i64("threads");
     if (threads != 1) {
       pool_ = std::make_unique<util::ThreadPool>(
@@ -57,6 +72,8 @@ class Harness {
   bool full() const { return args_.flag("full"); }
   bool json() const { return args_.flag("json"); }
   bool reuse() const { return !args_.flag("no-reuse"); }
+  bool metrics() const { return args_.flag("metrics"); }
+  std::string trace_path() const { return args_.str("trace"); }
   std::uint64_t seed() const {
     return static_cast<std::uint64_t>(args_.i64("seed"));
   }
@@ -79,19 +96,47 @@ class Harness {
     options.reuse = reuse();
     if (args_.flag("progress") && study != nullptr) {
       const core::Study s = *study;  // copy: outlives the caller's study
-      options.progress = [s](const core::StudyCellRef& ref) {
-        std::cerr << "  .. " << dist_name(s.distributions[ref.distribution])
-                  << " trial " << ref.trial + 1 << "/" << s.trials << ": "
-                  << curve_name(s.particle_curves[ref.particle_curve]);
+      options.progress = [s](const core::StudyCellRef& ref,
+                             double elapsed_ms) {
+        std::ostringstream line;
+        line << "  .. " << dist_name(s.distributions[ref.distribution])
+             << " trial " << ref.trial + 1 << "/" << s.trials << ": "
+             << curve_name(s.particle_curves[ref.particle_curve]);
         if (!s.paired_curves()) {
-          std::cerr << " x "
-                    << curve_name(s.processor_curves[ref.processor_curve]);
+          line << " x "
+               << curve_name(s.processor_curves[ref.processor_curve]);
         }
-        std::cerr << " @ " << topology_name(s.topologies[ref.topology])
-                  << " p=" << s.proc_counts[ref.proc_count] << " done\n";
+        line << " @ " << topology_name(s.topologies[ref.topology])
+             << " p=" << s.proc_counts[ref.proc_count] << " done in "
+             << std::fixed << std::setprecision(2) << elapsed_ms << " ms\n";
+        std::cerr << line.str();
       };
     }
     return options;
+  }
+
+  /// Record a finished sweep in the output document (the "study" JSON
+  /// member) and, under --progress, summarize the engine's cache
+  /// accounting on stderr: evictions, resident/peak bytes, and per-stage
+  /// hit ratios.
+  void attach_study(const core::StudyResult& result) {
+    attach_json("study", core::study_json(result));
+    if (!args_.flag("progress")) return;
+    const core::SweepStats& sweep = result.sweep;
+    std::ostringstream line;
+    line << "  .. cache: " << sweep.total_hits() << " hits / "
+         << sweep.total_misses() << " misses, " << sweep.evictions
+         << " evictions, " << sweep.bytes << " resident bytes ("
+         << sweep.peak_bytes << " peak)\n  .. stage hit ratios:";
+    for (unsigned i = 0; i < core::kSweepStageCount; ++i) {
+      const auto stage = static_cast<core::SweepStage>(i);
+      const core::StageCounters& c = sweep.stage(stage);
+      if (c.hits + c.misses == 0) continue;
+      line << ' ' << core::sweep_stage_name(stage) << '='
+           << std::fixed << std::setprecision(2) << c.hit_ratio();
+    }
+    line << '\n';
+    std::cerr << line.str();
   }
 
   /// Legacy string progress sink for the non-sweep studies (fig5).
@@ -128,7 +173,8 @@ class Harness {
     os << "{\"bench\":\"" << util::json_escape(name) << '"'
        << ",\"elapsed_seconds\":" << elapsed_seconds
        << ",\"reuse\":" << (reuse() ? "true" : "false")
-       << ",\"threads\":" << (pool_ ? pool_->size() : 1u) << ",\"tables\":[";
+       << ",\"threads\":" << (pool_ ? pool_->size() : 1u)
+       << ",\"build\":" << build_info_json() << ",\"tables\":[";
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       if (i) os << ',';
       tables_[i].print(os, util::TableStyle::kJson);
@@ -171,6 +217,11 @@ inline int run_harness(int argc, const char* const* argv,
   args.add_flag("progress", "report per-cell progress on stderr");
   args.add_flag("no-reuse",
                 "disable sweep-engine artifact reuse (per-cell baseline)");
+  args.add_flag("metrics",
+                "embed an obs metrics snapshot in the JSON document");
+  args.add_option("trace",
+                  "write a Chrome/Perfetto trace of the run to this file",
+                  "");
   args.add_option("seed", "master RNG seed", "1");
   args.add_option("trials", "independent trials to average", "1");
   args.add_option("threads", "worker threads (1 = serial, 0 = all cores)",
@@ -193,6 +244,23 @@ inline int run_harness(int argc, const char* const* argv,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // The run body (and its pool tasks — the Harness pool idles before the
+  // body returns) has finished: snapshot metrics into the document and
+  // flush the trace.
+  if (harness.metrics()) {
+    harness.attach_json("metrics", obs::Registry::instance().json());
+  }
+  const std::string trace_path = harness.trace_path();
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (!obs::Tracer::instance().write_chrome_trace(trace_path)) {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cerr << "trace: " << obs::Tracer::instance().event_count()
+              << " events -> " << trace_path << "\n";
+  }
 
   const std::string doc = harness.document(spec.name, elapsed);
   if (harness.json()) std::cout << doc << "\n";

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     }
     h.prose() << "legend: '*' marks the row minimum (paper boldface), '^' the "
                  "column minimum (paper italics).\n";
-    h.attach_json("study", core::study_json(result));
+    h.attach_study(result);
     return 0;
   };
   return bench::run_harness(argc, argv, spec);

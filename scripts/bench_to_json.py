@@ -6,8 +6,11 @@ passes, ns per communication pair), optionally a reduced-scale table1_nfi
 end-to-end timing, and the sweep-engine comparison (table1_nfi and
 fig6_topologies with artifact reuse vs --no-reuse, verifying the ACD cells
 are bit-identical and recording the wall-clock speedup plus the engine's
-cache counters), then writes one JSON file so the perf trajectory can be
-compared across commits.
+cache counters and --metrics snapshot), then writes one JSON file so the
+perf trajectory can be compared across commits. When micro_obs is built,
+the obs-layer primitives are timed too, and --with-table1 additionally
+bounds the disabled-tracing overhead on table1_nfi (exits nonzero at
+>= 1%).
 
 Usage:
   scripts/bench_to_json.py [--build-dir build-release] [--out BENCH_acd.json]
@@ -73,6 +76,55 @@ def run_table1(binary):
     return time.monotonic() - start
 
 
+def run_micro_obs(binary, min_time, smoke):
+    """ns/op for the obs primitives (disabled span, enabled span, clock,
+    counter, gauge, histogram), keyed by short name."""
+    cmd = [binary, "--benchmark_filter=Obs", "--benchmark_format=json"]
+    cmd.append("--benchmark_min_time=0" if smoke
+               else f"--benchmark_min_time={min_time}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+    results = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"].removeprefix("BM_Obs")
+        results[name] = b["real_time"]  # ns (benchmark default unit)
+    return results
+
+
+def traced_table1_overhead(binary, span_disabled_ns):
+    """Measure the disabled-tracing overhead bound on table1_nfi.
+
+    Runs a reduced table1_nfi sweep with --trace and --metrics, counts the
+    spans it actually records, and bounds the cost those same span sites
+    pay when tracing is compiled in but disabled: spans x disabled-span
+    ns/op over the run's wall clock. The harness promises <1% — exceed it
+    and this script exits nonzero (the CI assertion).
+    """
+    args = ["--particles=20000", "--level=8", "--procs=256", "--trials=1"]
+    trace_path = "obs_overhead_trace.json"
+    doc = run_sweep_harness(
+        binary, args + [f"--trace={trace_path}", "--metrics"])
+    with open(trace_path) as f:
+        trace = json.load(f)
+    os.remove(trace_path)
+    events = [e for e in trace["traceEvents"] if e["ph"] in ("B", "E")]
+    spans = len(events) // 2
+    seconds = doc["elapsed_seconds"]
+    overhead_pct = (spans * span_disabled_ns) / (seconds * 1e9) * 100.0
+    if overhead_pct >= 1.0:
+        sys.exit(f"error: disabled-tracing overhead bound {overhead_pct:.3f}%"
+                 " >= 1% on table1_nfi")
+    return {
+        "args": args,
+        "spans": spans,
+        "elapsed_seconds": seconds,
+        "span_disabled_ns": span_disabled_ns,
+        "disabled_overhead_pct": overhead_pct,
+    }
+
+
 def run_sweep_harness(binary, extra):
     """Run one sweep-engine bench with --json; return the parsed document."""
     out = subprocess.run([binary, "--json"] + extra, check=True,
@@ -94,13 +146,20 @@ def sweep_comparison(build_dir, name, extra, threads):
     if not os.path.exists(binary):
         return None
     extra = list(extra) + [f"--threads={threads}"]
-    reused = run_sweep_harness(binary, extra)
+    # --metrics embeds the obs registry snapshot (cache gauges, pool
+    # queue-wait histograms) in the document; round-trip it into the
+    # BENCH entry so the perf numbers carry their runtime behavior.
+    reused = run_sweep_harness(binary, extra + ["--metrics"])
     direct = run_sweep_harness(binary, extra + ["--no-reuse"])
     if reused["study"]["cells"] != direct["study"]["cells"]:
         sys.exit(f"error: {name}: reuse and --no-reuse ACD cells differ")
     cache = reused["study"]["sweep"]
     if cache["hits"] == 0:
         sys.exit(f"error: {name}: sweep engine recorded zero cache hits")
+    metrics = reused.get("metrics")
+    if not metrics or "sweep.cache.peak_bytes" not in metrics.get("gauges",
+                                                                  {}):
+        sys.exit(f"error: {name}: --metrics snapshot missing sweep gauges")
     reuse_s = reused["elapsed_seconds"]
     direct_s = direct["elapsed_seconds"]
     return {
@@ -110,6 +169,8 @@ def sweep_comparison(build_dir, name, extra, threads):
         "direct_seconds": direct_s,
         "speedup": direct_s / reuse_s if reuse_s > 0 else None,
         "cache": cache,
+        "build": reused.get("build"),
+        "metrics": metrics,
     }
 
 
@@ -175,6 +236,13 @@ def main():
         "nfi": nfi,
         "ffi": ffi,
     }
+
+    micro_obs = os.path.join(opts.build_dir, "bench", "micro_obs")
+    obs = {}
+    if os.path.exists(micro_obs):
+        obs["ns_per_op"] = run_micro_obs(micro_obs, opts.min_time,
+                                         opts.smoke)
+
     if opts.with_table1:
         table1 = os.path.join(opts.build_dir, "bench", "table1_nfi")
         if os.path.exists(table1):
@@ -184,6 +252,11 @@ def main():
                 "procs": 256,
                 "seconds": run_table1(table1),
             }
+            span_ns = obs.get("ns_per_op", {}).get("SpanDisabled")
+            if span_ns is not None:
+                obs["table1_nfi"] = traced_table1_overhead(table1, span_ns)
+    if obs:
+        result["observability"] = obs
 
     if not opts.skip_sweep:
         # The engine's reuse leverage is scale-independent (it comes from
@@ -228,6 +301,13 @@ def main():
               f"{s['direct_seconds']:.2f}s direct ({s['speedup']:.2f}x), "
               f"{s['cache']['hits']} cache hits / "
               f"{s['cache']['misses']} misses")
+    obs_out = result.get("observability", {})
+    for name, ns in sorted(obs_out.get("ns_per_op", {}).items()):
+        print(f"  obs/{name}: {ns:.2f} ns/op")
+    if "table1_nfi" in obs_out:
+        o = obs_out["table1_nfi"]
+        print(f"  obs/table1_nfi: {o['spans']} spans, disabled-tracing "
+              f"overhead bound {o['disabled_overhead_pct']:.5f}% (< 1%)")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ CellProgressFn legacy_progress(const Study& study, const ProgressFn& progress,
                                const char* style) {
   if (!progress) return {};
   const std::string fmt = style;
-  return [&study, progress, fmt](const StudyCellRef& ref) {
+  return [&study, progress, fmt](const StudyCellRef& ref, double) {
     std::ostringstream msg;
     if (fmt == "combination") {
       msg << dist_name(study.distributions[ref.distribution]) << " trial "

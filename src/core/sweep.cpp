@@ -4,6 +4,8 @@
 #include <initializer_list>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sfc::core {
@@ -70,6 +72,40 @@ std::uint64_t key_of(std::initializer_list<std::uint64_t> fields) {
   std::uint64_t h = 0x5fc4a51b9ce2ad17ull;
   for (const std::uint64_t v : fields) h = sweep_key(h, v);
   return h;
+}
+
+/// Publish the run's cache accounting into the metrics registry: resident
+/// and peak bytes, evictions, and one hit-ratio gauge per pipeline stage.
+/// Gauges are set (not accumulated), so the snapshot always describes the
+/// most recent run in this process.
+void publish_sweep_metrics(const SweepStats& stats) {
+  if (!obs::metrics_enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+  reg.gauge("sweep.cache.bytes").set(static_cast<double>(stats.bytes));
+  reg.gauge("sweep.cache.peak_bytes")
+      .set(static_cast<double>(stats.peak_bytes));
+  reg.gauge("sweep.cache.evictions")
+      .set(static_cast<double>(stats.evictions));
+  for (unsigned i = 0; i < kSweepStageCount; ++i) {
+    const auto stage = static_cast<SweepStage>(i);
+    const StageCounters& c = stats.stage(stage);
+    if (c.hits + c.misses == 0) continue;  // stage never ran in this study
+    reg.gauge("sweep.stage." + std::string(sweep_stage_name(stage)) +
+              ".hit_ratio")
+        .set(c.hit_ratio());
+  }
+}
+
+/// Span names per cached stage (string literals: obs::Span requires
+/// static lifetime). Indexed like SweepStats::stages.
+constexpr const char* kStageSpanNames[kSweepStageCount] = {
+    "sweep/sample",        "sweep/canonical",     "sweep/ordering",
+    "sweep/instance",      "sweep/nfi_histogram", "sweep/ffi_histogram",
+    "sweep/topology",      "sweep/fold",
+};
+
+constexpr const char* stage_span_name(SweepStage stage) noexcept {
+  return kStageSpanNames[static_cast<unsigned>(stage)];
 }
 
 /// Sentinel ranking field for topologies with a natural labeling (the
@@ -201,8 +237,11 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
       // the row shares.
       const auto canonical = cache.get<CanonicalSample2>(
           SweepStage::kCanonical, sample_key, [&] {
+            const obs::Span span(stage_span_name(SweepStage::kCanonical));
             const auto sample =
                 cache.get<Sample2>(SweepStage::kSample, sample_key, [&] {
+                  const obs::Span sample_span(
+                      stage_span_name(SweepStage::kSample));
                   dist::SampleConfig cfg;
                   cfg.count = s.particles;
                   cfg.level = s.level;
@@ -244,6 +283,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
         for (OrderingBuild& b : builds) {
           const CurveKind pkind = s.particle_curves[b.pc];
           auto construct = [&b, &canonical, pkind, level = s.level] {
+            const obs::Span span(stage_span_name(SweepStage::kOrdering));
             const auto curve = make_curve<2>(pkind);
             b.built = std::make_shared<const Ordering2>(
                 make_ordering(canonical->particles, level, *curve));
@@ -287,6 +327,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
         for (InstanceBuild& b : builds) {
           const std::shared_ptr<const Ordering2>& ordering = orderings[b.pc];
           auto construct = [&b, &canonical, &ordering, level = s.level] {
+            const obs::Span span(stage_span_name(SweepStage::kInstance));
             std::vector<Point2> sorted(canonical->particles.size());
             for (std::size_t i = 0; i < sorted.size(); ++i) {
               sorted[ordering->rank[i]] = canonical->particles[i];
@@ -338,6 +379,8 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
               job.ref = StudyCellRef{d, t, pc, pi, rc_index, ti};
               job.net = cache.get<topo::Topology>(
                   SweepStage::kTopology, topo_key, [&] {
+                    const obs::Span span(
+                        stage_span_name(SweepStage::kTopology));
                     const auto ranking = make_curve<2>(rkind);
                     std::shared_ptr<const topo::Topology> net =
                         topo::make_topology<2>(tkind, procs, ranking.get());
@@ -357,6 +400,8 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                             static_cast<std::uint64_t>(s.norm)});
                 job.nfi = cache.get<RankPairAccumulator>(
                     SweepStage::kNfiHistogram, nfi_key, [&] {
+                      const obs::Span span(
+                          stage_span_name(SweepStage::kNfiHistogram));
                       // Owner of canonical particle i: the partition
                       // chunk its curve rank falls in.
                       const std::vector<topo::Rank> by_rank =
@@ -378,6 +423,8 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                 const std::uint64_t ffi_key = key_of({instance_key, procs});
                 job.ffi = cache.get<fmm::FfiHistograms>(
                     SweepStage::kFfiHistogram, ffi_key, [&] {
+                      const obs::Span span(
+                          stage_span_name(SweepStage::kFfiHistogram));
                       auto hist = std::make_shared<const fmm::FfiHistograms>(
                           fmm::ffi_histograms<2>(instances[pc]->tree(), part,
                                                  pool));
@@ -393,11 +440,16 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
           // Fold every cell of the group. Distinct cells write distinct
           // slots; the wait_idle barrier below orders the trials of each
           // cell, so the float accumulation order matches the direct
-          // path exactly.
-          for (const CellJob& job : jobs) {
+          // path exactly. Each fold's wall time is measured on the obs
+          // span clock and handed to the progress sink after the barrier.
+          std::vector<double> fold_ms(jobs.size(), 0.0);
+          for (std::size_t k = 0; k < jobs.size(); ++k) {
+            const CellJob& job = jobs[k];
             if (job.nfi != nullptr) cache.count_fold();
             if (job.ffi != nullptr) cache.count_fold();
-            auto fold_cell = [&result, job, trials] {
+            auto fold_cell = [&result, job, trials, ms = &fold_ms[k]] {
+              const std::uint64_t t0 = obs::now_ns();
+              const obs::Span span(stage_span_name(SweepStage::kFold));
               if (job.nfi != nullptr) {
                 const double acd = job.nfi->fold_auto(*job.net).acd();
                 result.cells[job.index].nfi_acd += acd / trials;
@@ -409,6 +461,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                 result.cells[job.index].ffi_acd += acd / trials;
                 result.stats[job.index].ffi.add(acd);
               }
+              *ms = static_cast<double>(obs::now_ns() - t0) / 1e6;
             };
             if (parallel) {
               pool->submit(fold_cell);
@@ -418,13 +471,16 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
           }
           if (parallel) pool->wait_idle();
           if (o.progress) {
-            for (const CellJob& job : jobs) o.progress(job.ref);
+            for (std::size_t k = 0; k < jobs.size(); ++k) {
+              o.progress(jobs[k].ref, fold_ms[k]);
+            }
           }
         }
       }
     }
   }
   result.sweep = cache.stats();
+  publish_sweep_metrics(result.sweep);
   return result;
 }
 
@@ -461,6 +517,7 @@ StudyResult run_direct(const Study& s, const SweepOptions& o) {
                                         : s.processor_curves[rc];
             const auto ranking = make_curve<2>(rkind);
             for (std::size_t ti = 0; ti < s.topologies.size(); ++ti) {
+              const std::uint64_t t0 = obs::now_ns();
               const auto net = topo::make_topology<2>(s.topologies[ti],
                                                       procs, ranking.get());
               const std::size_t index = result.index(d, pc, pi, rc, ti);
@@ -477,7 +534,8 @@ StudyResult run_direct(const Study& s, const SweepOptions& o) {
                 result.stats[index].ffi.add(acd);
               }
               if (o.progress) {
-                o.progress(StudyCellRef{d, t, pc, pi, rc_index, ti});
+                o.progress(StudyCellRef{d, t, pc, pi, rc_index, ti},
+                           static_cast<double>(obs::now_ns() - t0) / 1e6);
               }
             }
           }

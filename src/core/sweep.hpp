@@ -66,6 +66,15 @@ std::string_view sweep_stage_name(SweepStage stage) noexcept;
 struct StageCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+
+  /// Fraction of lookups served from the cache (0 when the stage never
+  /// ran). Published as the sweep.stage.<name>.hit_ratio metrics gauge.
+  double hit_ratio() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
 };
 
 /// Cache accounting for one engine run. Counters are deterministic: all
@@ -233,7 +242,11 @@ struct StudyCellRef {
 };
 
 /// Per-cell progress sink (long paper-scale runs report each cell).
-using CellProgressFn = std::function<void(const StudyCellRef&)>;
+/// `elapsed_ms` is the wall time of that cell's fold work, measured on
+/// the obs span clock (obs::now_ns) so progress lines and exported
+/// traces can never disagree about a cell's duration.
+using CellProgressFn =
+    std::function<void(const StudyCellRef&, double elapsed_ms)>;
 
 /// Default artifact budget: 1 GiB comfortably holds a paper-scale
 /// sweep's working set (the biggest artifacts are one AcdInstance per

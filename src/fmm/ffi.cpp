@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "fmm/cells.hpp"
+#include "obs/trace.hpp"
 
 namespace sfc::fmm {
 
@@ -273,16 +274,22 @@ FfiHistograms ffi_histograms(const CellTree<D>& tree, const Partition& part,
   const std::vector<topo::Rank> owners = part.owner_table();
   const topo::Rank* own = owners.data();
   FfiHistograms h(part.processors());
-  histogram_levels<D>(pool, tree, 1, part.processors(), h.interpolation,
-                      [&](core::RankPairAccumulator& acc, unsigned l,
-                          std::size_t lo, std::size_t hi) {
-                        interp_range_into<D>(tree, own, acc, l, lo, hi);
-                      });
-  histogram_levels<D>(pool, tree, 2, part.processors(), h.interaction,
-                      [&](core::RankPairAccumulator& acc, unsigned l,
-                          std::size_t lo, std::size_t hi) {
-                        il_range_into<D>(tree, own, acc, l, lo, hi);
-                      });
+  {
+    const obs::Span span("ffi/interpolation");
+    histogram_levels<D>(pool, tree, 1, part.processors(), h.interpolation,
+                        [&](core::RankPairAccumulator& acc, unsigned l,
+                            std::size_t lo, std::size_t hi) {
+                          interp_range_into<D>(tree, own, acc, l, lo, hi);
+                        });
+  }
+  {
+    const obs::Span span("ffi/interaction");
+    histogram_levels<D>(pool, tree, 2, part.processors(), h.interaction,
+                        [&](core::RankPairAccumulator& acc, unsigned l,
+                            std::size_t lo, std::size_t hi) {
+                          il_range_into<D>(tree, own, acc, l, lo, hi);
+                        });
+  }
   return h;
 }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/rank_pair.hpp"
+#include "obs/trace.hpp"
 
 namespace sfc::fmm {
 namespace {
@@ -377,6 +378,7 @@ core::RankPairAccumulator nfi_histogram_owners(
     const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
     const std::vector<topo::Rank>& owners, topo::Rank procs, unsigned radius,
     NeighborNorm norm, util::ThreadPool* pool) {
+  const obs::Span span("nfi/enumerate");
   core::RankPairAccumulator acc(procs);
   if (particles.empty()) return acc;
   if (pool == nullptr || pool->size() <= 1) {

@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/table.hpp"  // util::json_escape
+
+namespace sfc::obs {
+namespace {
+
+/// Heap-allocated and never destroyed: instruments may be updated by
+/// worker threads during static destruction (e.g. the global ThreadPool).
+struct RegistryState {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState;
+  return *s;
+}
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>>& map,
+          const std::string& name) {
+  const std::lock_guard<std::mutex> lock(state().mutex);
+  std::unique_ptr<T>& slot = map[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return *slot;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return lookup(state().counters, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return lookup(state().gauges, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return lookup(state().histograms, name);
+}
+
+std::string Registry::json() const {
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os.precision(17);
+
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : s.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : s.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(name) << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) os << ',';
+    first = false;
+    const std::uint64_t count = h->count();
+    os << '"' << util::json_escape(name) << "\":{\"count\":" << count
+       << ",\"sum\":" << h->sum();
+    if (count > 0) {
+      os << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+         << ",\"mean\":"
+         << static_cast<double>(h->sum()) / static_cast<double>(count);
+    }
+    os << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (unsigned b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << "{\"le\":" << Histogram::bucket_le(b) << ",\"count\":" << n
+         << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset() {
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+}  // namespace sfc::obs

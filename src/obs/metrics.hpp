@@ -1,0 +1,162 @@
+// metrics.hpp — a process-wide registry of named counters, gauges, and
+// fixed-bucket histograms.
+//
+// Handles are registered once (a mutex-guarded map lookup) and then
+// updated with relaxed atomics — a counter bump is one fetch_add, a
+// histogram record is two fetch_adds plus a bucket increment — so hot
+// paths (the ThreadPool's per-task accounting, the sweep engine's cache
+// gauges) can keep their handles and update them from any thread without
+// serialization. Registry::json() emits one deterministic snapshot
+// (names sorted) that the bench harness embeds in its output document
+// under --metrics and scripts/bench_to_json.py round-trips.
+//
+// The g_metrics_enabled flag gates *instrumentation that must pay for a
+// clock read* (the ThreadPool samples timestamps only when it is set);
+// the atomic update primitives themselves are cheap enough to leave
+// unconditional.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace sfc::obs {
+
+/// Runtime flag for instrumentation whose cost is dominated by clock
+/// sampling rather than the atomic update itself.
+inline std::atomic<bool> g_metrics_enabled{false};
+
+inline bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-write-wins scalar (doubles cover ratios and byte counts alike).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over unsigned values (nanoseconds by convention)
+/// with fixed power-of-two bucket boundaries: bucket b counts values
+/// whose bit width is b, i.e. v in [2^(b-1), 2^b - 1]. 44 buckets cover
+/// every latency up to ~2.4 hours exactly; larger values land in the
+/// last bucket. Updates are relaxed atomics; totals are exact (count and
+/// sum never lose an update), bucket boundaries are what is fixed.
+class Histogram {
+ public:
+  static constexpr unsigned kBucketCount = 44;
+
+  static constexpr unsigned bucket_of(std::uint64_t v) noexcept {
+    const unsigned width = static_cast<unsigned>(std::bit_width(v));
+    return width < kBucketCount ? width : kBucketCount - 1;
+  }
+  /// Inclusive upper bound of bucket b.
+  static constexpr std::uint64_t bucket_le(unsigned b) noexcept {
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(unsigned b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide named-instrument registry. Lookups by name are
+/// mutex-guarded and intended for registration time; the returned
+/// references stay valid for the process lifetime, so hot paths resolve
+/// once and update through the handle.
+class Registry {
+ public:
+  static Registry& instance();
+
+  void set_enabled(bool on) noexcept {
+    g_metrics_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{count,sum,min,max,mean,buckets:[{le,count}...]}}}. Names are
+  /// sorted; histogram bucket arrays list only non-empty buckets.
+  std::string json() const;
+
+  /// Zero every registered instrument (registrations survive). Intended
+  /// for tests and for harness runs that reuse the process.
+  void reset();
+
+ private:
+  Registry() = default;
+};
+
+}  // namespace sfc::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "util/table.hpp"  // util::json_escape
+
+namespace sfc::obs {
+namespace {
+
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  bool begin = false;
+};
+
+/// One thread's event log: appended only by the owning thread, read by
+/// the exporter under the tracer mutex after the writer has quiesced.
+/// Storage is chunked so appends never move existing events; the only
+/// lock on the write path guards the (rare) allocation of a new chunk.
+class ThreadLog {
+ public:
+  static constexpr std::size_t kChunkEvents = 4096;
+
+  explicit ThreadLog(std::uint32_t tid)
+      : tid_(tid), name_("thread-" + std::to_string(tid)) {}
+
+  void append(const Event& e) {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n == chunks_.size() * kChunkEvents) {
+      const std::lock_guard<std::mutex> lock(chunk_mutex_);
+      chunks_.emplace_back();
+    }
+    chunks_[n / kChunkEvents].events[n % kChunkEvents] = e;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid() const noexcept { return tid_; }
+  const std::string& name() const noexcept { return name_; }
+  void set_name(const std::string& name) { name_ = name; }
+
+  std::size_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+  const Event& event(std::size_t i) const noexcept {
+    return chunks_[i / kChunkEvents].events[i % kChunkEvents];
+  }
+  void reset() noexcept { count_.store(0, std::memory_order_release); }
+
+ private:
+  struct Chunk {
+    Event events[kChunkEvents];
+  };
+
+  std::uint32_t tid_;
+  std::string name_;
+  std::deque<Chunk> chunks_;  ///< deque: chunk addresses never move
+  std::atomic<std::size_t> count_{0};
+  std::mutex chunk_mutex_;
+};
+
+/// Heap-allocated and never destroyed: worker threads (e.g. the global
+/// ThreadPool's) may still record during static destruction.
+struct TracerState {
+  mutable std::mutex mutex;        ///< registry, names, interning
+  std::deque<ThreadLog> logs;      ///< stable addresses
+  std::deque<std::string> interned;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState;
+  return *s;
+}
+
+thread_local ThreadLog* t_log = nullptr;
+
+ThreadLog& local_log() {
+  if (t_log == nullptr) {
+    TracerState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.logs.emplace_back(static_cast<std::uint32_t>(s.logs.size() + 1));
+    t_log = &s.logs.back();
+  }
+  return *t_log;
+}
+
+void print_event(std::ostream& os, const Event& e, std::uint32_t tid,
+                 bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  // Microsecond timestamps with nanosecond resolution kept in the
+  // fraction (the trace-event format's ts unit is microseconds).
+  const std::uint64_t us = e.ts_ns / 1000;
+  const std::uint64_t frac = e.ts_ns % 1000;
+  os << "{\"ph\":\"" << (e.begin ? 'B' : 'E') << "\",\"name\":\""
+     << util::json_escape(e.name) << "\",\"cat\":\"sfc\",\"pid\":1,\"tid\":"
+     << tid << ",\"ts\":" << us << '.';
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10) << '}';
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(state().mutex);
+  log.set_name(name);
+}
+
+const char* Tracer::intern(const std::string& name) {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const std::string& existing : s.interned) {
+    if (existing == name) return existing.c_str();
+  }
+  s.interned.push_back(name);
+  return s.interned.back().c_str();
+}
+
+void Tracer::record_begin(const char* name) {
+  local_log().append(Event{name, now_ns(), true});
+}
+
+void Tracer::record_end(const char* name) {
+  local_log().append(Event{name, now_ns(), false});
+}
+
+std::size_t Tracer::event_count() const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const ThreadLog& log : s.logs) n += log.size();
+  return n;
+}
+
+void Tracer::export_chrome_trace(std::ostream& os) const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const ThreadLog& log : s.logs) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+       << log.tid() << ",\"args\":{\"name\":\""
+       << util::json_escape(log.name()) << "\"}}";
+    const std::size_t n = log.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      print_event(os, log.event(i), log.tid(), first);
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_chrome_trace(os);
+  return os.good();
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (ThreadLog& log : s.logs) log.reset();
+}
+
+}  // namespace sfc::obs

@@ -1,0 +1,128 @@
+// trace.hpp — a low-overhead span tracer for the ACD pipeline.
+//
+// obs::Span is an RAII scope: its constructor records a begin ("B") event
+// and its destructor the matching end ("E") event, stamped with a
+// steady-clock timestamp and the recording thread's id. Events land in
+// per-thread buffers — a chunked log appended only by its owning thread
+// (lock-free on the hot path; a mutex is taken only when a 4096-event
+// chunk fills) — so instrumenting the ThreadPool and the sweep engine's
+// worker tasks never serializes them. Tracer::write_chrome_trace emits
+// the Chrome trace-event JSON format, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Cost discipline: a disabled tracer costs one relaxed atomic load and a
+// branch per span (micro-benched in bench/micro_obs.cpp; see
+// docs/observability.md for the numbers), and the SFC_OBS_DISABLE
+// compile-time switch (CMake option SFCACD_OBS_DISABLE) turns Span into
+// an empty struct so instrumented call sites compile to nothing.
+//
+// Export assumes quiescence: call write_chrome_trace when no thread is
+// inside a span (the harness exports after the run body and its pool
+// have finished). Span names must have static storage duration — pass
+// string literals, or Tracer::intern() a dynamic name once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sfc::obs {
+
+#if defined(SFC_OBS_DISABLE)
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+/// Nanoseconds on the monotonic span clock (steady_clock, relative to a
+/// process-wide epoch captured on first use). Every timestamp the obs
+/// layer or its clients report — span events, per-cell elapsed times,
+/// queue-wait histograms — comes from this one clock, so they can never
+/// disagree.
+std::uint64_t now_ns() noexcept;
+
+/// Runtime enable flag, checked (relaxed) at every span entry.
+inline std::atomic<bool> g_tracing_enabled{false};
+
+inline bool tracing_enabled() noexcept {
+  return kTracingCompiledIn &&
+         g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void set_enabled(bool on) noexcept {
+    g_tracing_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Name the calling thread in the exported trace (also registers its
+  /// buffer). Safe to call whether or not tracing is enabled.
+  void set_thread_name(const std::string& name);
+
+  /// Copy a dynamic string into tracer-owned storage and return a
+  /// pointer that satisfies Span's static-lifetime requirement.
+  const char* intern(const std::string& name);
+
+  /// Append a begin/end event to the calling thread's buffer. Span calls
+  /// these; call them directly only to bracket a scope that RAII cannot
+  /// express.
+  void record_begin(const char* name);
+  void record_end(const char* name);
+
+  /// Total recorded events across all threads (B + E both count).
+  std::size_t event_count() const;
+
+  /// Emit the Chrome trace-event JSON document. Requires quiescence (no
+  /// thread currently inside a span).
+  void export_chrome_trace(std::ostream& os) const;
+
+  /// export_chrome_trace to a file; false if the file cannot be opened.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Drop all recorded events (thread registrations and names survive).
+  /// Requires quiescence; intended for tests.
+  void clear();
+
+ private:
+  Tracer() = default;
+};
+
+#if !defined(SFC_OBS_DISABLE)
+
+/// RAII trace span. When tracing is disabled the constructor is one
+/// relaxed load and a branch; when enabled, one timestamp plus an append
+/// to the thread-local buffer at entry and at exit.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      Tracer::instance().record_begin(name);
+    }
+  }
+  ~Span() {
+    // An enabled-at-entry span closes even if tracing was disabled
+    // mid-scope, so exported B/E events always balance.
+    if (name_ != nullptr) Tracer::instance().record_end(name_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+#else  // SFC_OBS_DISABLE: spans compile to nothing.
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+};
+
+#endif
+
+}  // namespace sfc::obs

@@ -1,6 +1,32 @@
 #include "util/thread_pool.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sfc::util {
+namespace {
+
+/// Obs instrumentation is active when either subsystem is runtime-enabled
+/// (tracing wants task spans, metrics wants the latency histograms).
+bool obs_active() noexcept {
+  return obs::tracing_enabled() || obs::metrics_enabled();
+}
+
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("pool.queue_wait_ns");
+  return h;
+}
+
+obs::Histogram& run_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("pool.run_ns");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -9,7 +35,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,9 +49,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const std::uint64_t enqueue_ns = obs_active() ? obs::now_ns() : 0;
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), enqueue_ns});
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -41,9 +68,16 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  obs::Tracer::instance().set_thread_name("pool-worker-" +
+                                          std::to_string(index));
+  // Per-worker instruments, resolved on first observed task so an
+  // unobserved run never touches the registry.
+  obs::Counter* busy_ns = nullptr;
+  obs::Counter* tasks_run = nullptr;
+
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lk(mutex_);
       cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
@@ -51,7 +85,28 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      const std::uint64_t start = obs::now_ns();
+      {
+        const obs::Span span("pool/task");
+        task.fn();
+      }
+      const std::uint64_t run_ns = obs::now_ns() - start;
+      if (obs::metrics_enabled()) {
+        queue_wait_histogram().record(start - task.enqueue_ns);
+        run_histogram().record(run_ns);
+        if (busy_ns == nullptr) {
+          const std::string worker =
+              "pool.worker." + std::to_string(index);
+          busy_ns = &obs::Registry::instance().counter(worker + ".busy_ns");
+          tasks_run = &obs::Registry::instance().counter(worker + ".tasks");
+        }
+        busy_ns->add(run_ns);
+        tasks_run->add(1);
+      }
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lk(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

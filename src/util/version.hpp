@@ -1,5 +1,8 @@
-// version.hpp — library identity, for tools and bug reports.
+// version.hpp — library identity and build provenance, for tools, bug
+// reports, and attributing recorded benchmark numbers to an exact build.
 #pragma once
+
+#include <string>
 
 namespace sfc {
 
@@ -12,5 +15,36 @@ inline constexpr const char* kVersionString = "1.0.0";
 inline constexpr const char* kPaperCitation =
     "D. DeFord and A. Kalyanaraman, \"Empirical Analysis of Space-Filling "
     "Curves for Scientific Computing Applications\", ICPP 2013";
+
+// Build provenance. The CMake build defines SFCACD_GIT_SHA (configure-time
+// `git rev-parse --short HEAD`) and SFCACD_BUILD_TYPE ($<CONFIG>); a build
+// outside CMake falls back to "unknown".
+#ifndef SFCACD_GIT_SHA
+#define SFCACD_GIT_SHA "unknown"
+#endif
+#ifndef SFCACD_BUILD_TYPE
+#define SFCACD_BUILD_TYPE "unknown"
+#endif
+
+inline constexpr const char* kGitSha = SFCACD_GIT_SHA;
+inline constexpr const char* kBuildType = SFCACD_BUILD_TYPE;
+
+inline constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang " __clang_version__;
+#elif defined(__GNUC__)
+    "gcc " __VERSION__;
+#else
+    "unknown";
+#endif
+
+/// One JSON object identifying the build, embedded by the bench harness
+/// in every output document so BENCH_acd.json entries are attributable.
+/// All values are compile-time literals that never need escaping.
+inline std::string build_info_json() {
+  return std::string("{\"version\":\"") + kVersionString +
+         "\",\"git_sha\":\"" + kGitSha + "\",\"build_type\":\"" + kBuildType +
+         "\",\"compiler\":\"" + kCompiler + "\"}";
+}
 
 }  // namespace sfc

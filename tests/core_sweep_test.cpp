@@ -310,7 +310,8 @@ TEST(SweepEngine, ProgressVisitsEveryCellInGridOrder) {
   s.trials = 2;
   std::vector<StudyCellRef> seen;
   SweepOptions options;
-  options.progress = [&seen](const StudyCellRef& ref) {
+  options.progress = [&seen](const StudyCellRef& ref, double elapsed_ms) {
+    EXPECT_GE(elapsed_ms, 0.0);
     seen.push_back(ref);
   };
   const auto run = run_study(s, options);
@@ -323,7 +324,7 @@ TEST(SweepEngine, ProgressVisitsEveryCellInGridOrder) {
   // distribution — identical to the direct path's visit order.
   std::vector<StudyCellRef> direct_seen;
   options.reuse = false;
-  options.progress = [&direct_seen](const StudyCellRef& ref) {
+  options.progress = [&direct_seen](const StudyCellRef& ref, double) {
     direct_seen.push_back(ref);
   };
   run_study(s, options);

@@ -1,0 +1,129 @@
+// Concurrency and snapshot tests for the obs metrics registry: N threads
+// hammering the same counter/histogram must produce exact totals, and the
+// JSON snapshot must reflect them.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sfc::obs {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(MetricsRegistryTest, ConcurrentCounterAddsAreExact) {
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 20'000;
+  Counter& counter = Registry::instance().counter("test.concurrent.counter");
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kOpsPerThread);
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentHistogramRecordsAreExact) {
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 20'000;
+  Histogram& hist = Registry::instance().histogram("test.concurrent.hist");
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      // Each thread records a distinct constant so sum/min/max are exact.
+      const std::uint64_t v = (t + 1) * 100;
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) hist.record(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(hist.count(), kThreads * kOpsPerThread);
+  std::uint64_t expected_sum = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    expected_sum += (t + 1) * 100 * kOpsPerThread;
+  }
+  EXPECT_EQ(hist.sum(), expected_sum);
+  EXPECT_EQ(hist.min(), 100u);
+  EXPECT_EQ(hist.max(), kThreads * 100u);
+
+  // Bucket counts must partition the total count exactly.
+  std::uint64_t bucket_total = 0;
+  for (unsigned b = 0; b < Histogram::kBucketCount; ++b) {
+    bucket_total += hist.bucket(b);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST_F(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = Registry::instance().counter("test.same");
+  Counter& b = Registry::instance().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = Registry::instance().histogram("test.same.hist");
+  Histogram& h2 = Registry::instance().histogram("test.same.hist");
+  EXPECT_EQ(&h1, &h2);
+  Gauge& g1 = Registry::instance().gauge("test.same.gauge");
+  Gauge& g2 = Registry::instance().gauge("test.same.gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST_F(MetricsRegistryTest, JsonSnapshotContainsTotals) {
+  Registry::instance().counter("test.json.counter").add(42);
+  Registry::instance().gauge("test.json.gauge").set(2.5);
+  Histogram& hist = Registry::instance().histogram("test.json.hist");
+  hist.record(7);
+  hist.record(9);
+
+  const std::string json = Registry::instance().json();
+  EXPECT_NE(json.find("\"test.json.counter\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":16"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos) << json;
+}
+
+TEST_F(MetricsRegistryTest, ResetClearsValuesButKeepsInstruments) {
+  Counter& counter = Registry::instance().counter("test.reset.counter");
+  counter.add(5);
+  Histogram& hist = Registry::instance().histogram("test.reset.hist");
+  hist.record(11);
+  Registry::instance().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(hist.count(), 0u);
+  // Same name still resolves to the same (now zeroed) instrument.
+  EXPECT_EQ(&Registry::instance().counter("test.reset.counter"), &counter);
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketBoundsAreInclusivePowersOfTwo) {
+  Histogram& hist = Registry::instance().histogram("test.bounds");
+  hist.record(0);  // bucket_of(0) = bit_width(0) = 0 -> le 0
+  hist.record(1);  // bit_width(1) = 1 -> le 1
+  hist.record(2);  // bit_width(2) = 2 -> le 3
+  hist.record(3);  // -> le 3
+  hist.record(4);  // -> le 7
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(2), 2u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+  // A huge value lands in the saturated last bucket.
+  hist.record(~std::uint64_t{0});
+  EXPECT_EQ(hist.bucket(Histogram::kBucketCount - 1), 1u);
+}
+
+}  // namespace
+}  // namespace sfc::obs

@@ -1,0 +1,147 @@
+// Golden test for the span tracer's Chrome trace-event export: spans
+// recorded on two threads must serialize to well-formed trace events with
+// per-thread monotonic timestamps and balanced, name-matched B/E pairs.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sfc::obs {
+namespace {
+
+struct ParsedEvent {
+  char phase = 0;  // 'B' or 'E'
+  std::string name;
+  unsigned tid = 0;
+  double ts_us = 0.0;
+};
+
+/// Extract the B/E events from an exported trace. The exporter emits a
+/// fixed key order, so one expression matches every span event (metadata
+/// "M" events are intentionally not matched).
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  static const std::regex event_re(
+      "\\{\"ph\":\"([BE])\",\"name\":\"([^\"]*)\",\"cat\":\"sfc\","
+      "\"pid\":1,\"tid\":([0-9]+),\"ts\":([0-9]+\\.[0-9]+)\\}");
+  std::vector<ParsedEvent> events;
+  for (auto it = std::sregex_iterator(json.begin(), json.end(), event_re);
+       it != std::sregex_iterator(); ++it) {
+    ParsedEvent e;
+    e.phase = (*it)[1].str()[0];
+    e.name = (*it)[2].str();
+    e.tid = static_cast<unsigned>(std::stoul((*it)[3].str()));
+    e.ts_us = std::stod((*it)[4].str());
+    events.push_back(e);
+  }
+  return events;
+}
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kTracingCompiledIn) {
+      GTEST_SKIP() << "built with SFC_OBS_DISABLE: spans compile to no-ops";
+    }
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceExportTest, TwoThreadExportIsBalancedAndMonotonic) {
+  constexpr int kSpansPerThread = 50;
+  auto record = [] {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      const Span outer("test/outer");
+      const Span inner("test/inner");
+    }
+  };
+  std::thread a(record);
+  std::thread b(record);
+  a.join();
+  b.join();
+
+  std::ostringstream os;
+  Tracer::instance().export_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Structural sanity: one JSON object with a traceEvents array.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+
+  const std::vector<ParsedEvent> events = parse_events(json);
+  // 2 threads x kSpansPerThread x 2 spans x (B + E).
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(2 * kSpansPerThread * 2 * 2));
+
+  // Per thread: timestamps monotonic in emission order, and B/E events
+  // balance like a well-formed bracket sequence with matching names.
+  std::map<unsigned, double> last_ts;
+  std::map<unsigned, std::vector<std::string>> stack;
+  for (const ParsedEvent& e : events) {
+    EXPECT_TRUE(e.phase == 'B' || e.phase == 'E');
+    auto [it, inserted] = last_ts.try_emplace(e.tid, e.ts_us);
+    if (!inserted) {
+      EXPECT_GE(e.ts_us, it->second) << "tid " << e.tid;
+      it->second = e.ts_us;
+    }
+    auto& open = stack[e.tid];
+    if (e.phase == 'B') {
+      open.push_back(e.name);
+    } else {
+      ASSERT_FALSE(open.empty()) << "E without B on tid " << e.tid;
+      EXPECT_EQ(open.back(), e.name);
+      open.pop_back();
+    }
+  }
+  EXPECT_EQ(stack.size(), 2u) << "expected spans from exactly 2 threads";
+  for (const auto& [tid, open] : stack) {
+    EXPECT_TRUE(open.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST_F(TraceExportTest, ThreadNamesAppearAsMetadata) {
+  Tracer::instance().set_thread_name("golden-main");
+  { const Span span("test/named"); }
+  std::ostringstream os;
+  Tracer::instance().export_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"golden-main\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, DisabledTracerRecordsNothing) {
+  Tracer::instance().set_enabled(false);
+  const std::size_t before = Tracer::instance().event_count();
+  {
+    const Span span("test/ignored");
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), before);
+}
+
+TEST_F(TraceExportTest, SpanOpenAcrossDisableStillCloses) {
+  const std::size_t before = Tracer::instance().event_count();
+  {
+    const Span span("test/straddle");
+    Tracer::instance().set_enabled(false);
+  }
+  // B at entry, E at exit despite the disable — exports stay balanced.
+  EXPECT_EQ(Tracer::instance().event_count(), before + 2);
+}
+
+TEST(TraceClockTest, NowNsIsMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace sfc::obs
