@@ -1,0 +1,70 @@
+// domain.cpp — the topology-case generator (the one domain generator
+// with enough branching to deserve a .cpp).
+#include "testing/domain.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+/// Valid processor counts for `kind`, ascending, capped at max_procs.
+/// Mesh/torus need (2^m)^2, quadtree powers of 4, hypercube powers of 2;
+/// bus/ring accept anything (a small dense ladder keeps shrinks short).
+std::vector<topo::Rank> proc_ladder(topo::TopologyKind kind,
+                                    topo::Rank max_procs) {
+  std::vector<topo::Rank> out;
+  switch (kind) {
+    case topo::TopologyKind::kBus:
+    case topo::TopologyKind::kRing:
+      for (topo::Rank p = 1; p <= max_procs; ++p) out.push_back(p);
+      break;
+    case topo::TopologyKind::kMesh:
+    case topo::TopologyKind::kTorus:
+    case topo::TopologyKind::kQuadtree:
+      for (topo::Rank p = 1; p <= max_procs; p *= 4) out.push_back(p);
+      break;
+    case topo::TopologyKind::kHypercube:
+      for (topo::Rank p = 1; p <= max_procs; p *= 2) out.push_back(p);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Gen<TopoCase> topology_case(topo::Rank max_procs) {
+  const std::vector<topo::TopologyKind> kinds(std::begin(topo::kAllTopologies),
+                                              std::end(topo::kAllTopologies));
+  const std::vector<CurveKind> curves(std::begin(kAllCurves),
+                                      std::end(kAllCurves));
+  return Gen<TopoCase>{
+      [kinds, curves, max_procs](Rand& r) {
+        TopoCase t;
+        t.kind = kinds[r.below(kinds.size())];
+        const std::vector<topo::Rank> ladder = proc_ladder(t.kind, max_procs);
+        t.procs = ladder[r.below(ladder.size())];
+        t.ranking = curves[r.below(curves.size())];
+        return t;
+      },
+      [max_procs](const TopoCase& t, std::vector<TopoCase>& out) {
+        // Smaller processor count on the same kind's validity ladder.
+        for (const topo::Rank p : proc_ladder(t.kind, max_procs)) {
+          if (p >= t.procs) break;
+          TopoCase c = t;
+          c.procs = p;
+          out.push_back(c);
+        }
+        // Simpler kind at the same size (a bus accepts any p).
+        if (t.kind != topo::TopologyKind::kBus) {
+          TopoCase c = t;
+          c.kind = topo::TopologyKind::kBus;
+          out.push_back(c);
+        }
+        // Canonical ranking curve.
+        if (t.ranking != CurveKind::kHilbert) {
+          TopoCase c = t;
+          c.ranking = CurveKind::kHilbert;
+          out.push_back(c);
+        }
+      }};
+}
+
+}  // namespace sfc::pbt

@@ -1,0 +1,219 @@
+// gen.hpp — typed generators with explicit shrinkers.
+//
+// A Gen<T> couples a sampling function (Rand& -> T) with a shrinker that
+// proposes strictly "smaller" candidate values for a failing input. The
+// property runner greedily walks the shrink tree: it replaces the current
+// counterexample with the first candidate that still fails and repeats
+// until no candidate fails, which converges because every shrinker is
+// required to propose only values that are smaller under some
+// well-founded measure (integers move toward the range minimum, vectors
+// lose elements before shrinking them in place).
+//
+// The combinators here are domain-agnostic; src/testing/domain.hpp builds
+// the repo-specific generators (points, grids, curve levels, rank
+// counts) on top of them.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "testing/random.hpp"
+
+namespace sfc::pbt {
+
+template <typename T>
+struct Gen {
+  using Value = T;
+
+  /// Draw one value.
+  std::function<T(Rand&)> sample;
+
+  /// Append strictly-smaller candidates for `v` to `out` (best candidates
+  /// first — the runner tries them in order). An empty shrinker is legal:
+  /// the value is then reported as-is.
+  std::function<void(const T&, std::vector<T>&)> shrink =
+      [](const T&, std::vector<T>&) {};
+
+  std::vector<T> shrinks(const T& v) const {
+    std::vector<T> out;
+    shrink(v, out);
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ primitives
+
+template <typename T>
+Gen<T> constant(T v) {
+  return Gen<T>{[v](Rand&) { return v; }};
+}
+
+/// Append the classic integer shrink ladder toward `lo`: the minimum
+/// itself, then candidates approaching `v` by halving the remaining
+/// distance (midpoint, 3/4 point, ..., v-1). Aggressive candidates come
+/// first, and because the gaps halve, a greedy walk converges to any
+/// failure threshold in O(log²) evaluations instead of unit decrements.
+template <typename T>
+void shrink_integral_toward(T lo, const T& v, std::vector<T>& out) {
+  if (v == lo) return;
+  out.push_back(lo);
+  for (T d = static_cast<T>(static_cast<T>(v - lo) / 2); d > 0;
+       d = static_cast<T>(d / 2)) {
+    out.push_back(static_cast<T>(v - d));
+  }
+}
+
+/// Uniform integer in [lo, hi] (inclusive), shrinking toward lo.
+template <typename T>
+Gen<T> integral_in(T lo, T hi) {
+  return Gen<T>{
+      [lo, hi](Rand& r) {
+        return static_cast<T>(r.between(static_cast<std::uint64_t>(lo),
+                                        static_cast<std::uint64_t>(hi)));
+      },
+      [lo](const T& v, std::vector<T>& out) {
+        shrink_integral_toward<T>(lo, v, out);
+      }};
+}
+
+inline Gen<std::uint64_t> u64_in(std::uint64_t lo, std::uint64_t hi) {
+  return integral_in<std::uint64_t>(lo, hi);
+}
+inline Gen<std::uint32_t> u32_in(std::uint32_t lo, std::uint32_t hi) {
+  return integral_in<std::uint32_t>(lo, hi);
+}
+inline Gen<unsigned> unsigned_in(unsigned lo, unsigned hi) {
+  return integral_in<unsigned>(lo, hi);
+}
+inline Gen<std::size_t> size_in(std::size_t lo, std::size_t hi) {
+  return integral_in<std::size_t>(lo, hi);
+}
+
+inline Gen<bool> boolean() {
+  return Gen<bool>{[](Rand& r) { return r.coin(); },
+                   [](const bool& v, std::vector<bool>& out) {
+                     if (v) out.push_back(false);
+                   }};
+}
+
+/// Uniform pick from a fixed list, shrinking toward earlier entries.
+template <typename T>
+Gen<T> element_of(std::vector<T> options) {
+  return Gen<T>{
+      [options](Rand& r) { return options[r.below(options.size())]; },
+      [options](const T& v, std::vector<T>& out) {
+        for (const T& o : options) {
+          if (o == v) break;
+          out.push_back(o);
+        }
+      }};
+}
+
+// ----------------------------------------------------------- combinators
+
+/// Transform generated values. The mapped generator shrinks by shrinking
+/// a *preimage* is impossible in general, so `map` takes an optional
+/// shrinker for the image type; omit it for values that need no shrinking
+/// beyond what composite generators above them provide.
+template <typename T, typename F,
+          typename U = std::invoke_result_t<F, const T&>>
+Gen<U> map(Gen<T> g, F f,
+           std::function<void(const U&, std::vector<U>&)> shrinker =
+               [](const U&, std::vector<U>&) {}) {
+  return Gen<U>{[g, f](Rand& r) { return f(g.sample(r)); },
+                std::move(shrinker)};
+}
+
+/// Pair generator: shrinks one component at a time (first component
+/// first, so put the "size-like" axis there for fastest descent).
+template <typename A, typename B>
+Gen<std::pair<A, B>> pair_of(Gen<A> ga, Gen<B> gb) {
+  return Gen<std::pair<A, B>>{
+      [ga, gb](Rand& r) {
+        auto a = ga.sample(r);  // fixed evaluation order
+        auto b = gb.sample(r);
+        return std::pair<A, B>{std::move(a), std::move(b)};
+      },
+      [ga, gb](const std::pair<A, B>& v, std::vector<std::pair<A, B>>& out) {
+        for (const A& a : ga.shrinks(v.first)) out.push_back({a, v.second});
+        for (const B& b : gb.shrinks(v.second)) out.push_back({v.first, b});
+      }};
+}
+
+/// Fixed-length vector of independent draws; shrinks by dropping halves,
+/// then single elements, then shrinking elements in place.
+template <typename T>
+void shrink_vector(const Gen<T>& elem, std::size_t min_len,
+                   const std::vector<T>& v, std::vector<std::vector<T>>& out) {
+  const std::size_t n = v.size();
+  // Drop chunks: the whole tail half, then quarters, ... then singles.
+  for (std::size_t chunk = n / 2; chunk >= 1; chunk /= 2) {
+    if (n < chunk || n - chunk < min_len) continue;
+    for (std::size_t start = 0; start + chunk <= n; start += chunk) {
+      std::vector<T> smaller;
+      smaller.reserve(n - chunk);
+      smaller.insert(smaller.end(), v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(start));
+      smaller.insert(smaller.end(),
+                     v.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                     v.end());
+      out.push_back(std::move(smaller));
+    }
+    if (chunk == 1) break;
+  }
+  // Shrink elements in place (first shrink candidate only, per position,
+  // to keep the branching factor bounded).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<T> cands = elem.shrinks(v[i]);
+    if (cands.empty()) continue;
+    std::vector<T> smaller = v;
+    smaller[i] = cands.front();
+    out.push_back(std::move(smaller));
+  }
+}
+
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> elem, std::size_t min_len,
+                              std::size_t max_len) {
+  return Gen<std::vector<T>>{
+      [elem, min_len, max_len](Rand& r) {
+        const std::size_t n = r.between(min_len, max_len);
+        std::vector<T> v;
+        v.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) v.push_back(elem.sample(r));
+        return v;
+      },
+      [elem, min_len](const std::vector<T>& v,
+                      std::vector<std::vector<T>>& out) {
+        shrink_vector(elem, min_len, v, out);
+      }};
+}
+
+/// Rejection wrapper: resample until `pred` holds (the caller must ensure
+/// acceptance is likely; after 1000 rejections the last draw is returned
+/// unfiltered so a bad predicate fails loudly in the property instead of
+/// hanging the generator). Shrink candidates are filtered by `pred`.
+template <typename T, typename Pred>
+Gen<T> such_that(Gen<T> g, Pred pred) {
+  return Gen<T>{
+      [g, pred](Rand& r) {
+        T v = g.sample(r);
+        for (int attempt = 0; attempt < 1000 && !pred(v); ++attempt) {
+          v = g.sample(r);
+        }
+        return v;
+      },
+      [g, pred](const T& v, std::vector<T>& out) {
+        std::vector<T> raw = g.shrinks(v);
+        for (T& c : raw) {
+          if (pred(c)) out.push_back(std::move(c));
+        }
+      }};
+}
+
+}  // namespace sfc::pbt

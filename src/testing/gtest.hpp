@@ -1,0 +1,29 @@
+// gtest.hpp — glue between the PBT runner and GoogleTest.
+//
+// The core (property.hpp) has no gtest dependency — it returns a
+// CheckOutcome — so the library target stays test-framework-free. Test
+// files include this header and use the macros, which surface the
+// runner's shrunk counterexample and replay line as the gtest failure
+// message at the call site.
+//
+//   TEST(CurveDiff, HilbertLutMatchesCanonical) {
+//     SFCACD_PBT_CHECK(gen, [](const Case& c) { ... return ok; });
+//   }
+//
+// SFCACD_PBT_CHECK_CFG takes an explicit pbt::CheckConfig (iteration
+// scaling for expensive properties, pinned seeds in self-tests).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "testing/property.hpp"
+
+#define SFCACD_PBT_CHECK_CFG(gen, cfg, prop)                        \
+  do {                                                              \
+    const ::sfc::pbt::CheckOutcome sfcacd_pbt_outcome =             \
+        ::sfc::pbt::check((gen), (prop), (cfg));                    \
+    EXPECT_TRUE(sfcacd_pbt_outcome.ok) << sfcacd_pbt_outcome.message; \
+  } while (0)
+
+#define SFCACD_PBT_CHECK(gen, prop) \
+  SFCACD_PBT_CHECK_CFG(gen, ::sfc::pbt::CheckConfig{}, prop)

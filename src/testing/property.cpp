@@ -1,0 +1,44 @@
+// property.cpp — environment plumbing for the PBT runner.
+#include "testing/property.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace sfc::pbt {
+namespace {
+
+/// Parse a non-negative integer with optional 0x prefix; nullopt on any
+/// garbage (a typo'd seed must not silently become the default).
+std::optional<std::uint64_t> parse_u64(const char* s) noexcept {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::string str(s);
+    const std::uint64_t v = std::stoull(str, &pos, 0);  // base 0: 0x ok
+    if (pos != str.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::size_t env_iterations() noexcept {
+  const auto v = parse_u64(std::getenv("SFCACD_PBT_ITERS"));
+  if (v && *v > 0) return static_cast<std::size_t>(*v);
+  return kDefaultIterations;
+}
+
+std::optional<std::uint64_t> env_seed() noexcept {
+  return parse_u64(std::getenv("SFCACD_PBT_SEED"));
+}
+
+CheckConfig CheckConfig::resolved() const {
+  CheckConfig c = *this;
+  if (c.iterations == 0) c.iterations = env_iterations();
+  if (c.seed == 0) c.seed = env_seed().value_or(kDefaultSeed);
+  return c;
+}
+
+}  // namespace sfc::pbt

@@ -1,0 +1,184 @@
+// property.hpp — the property-check runner: iterate, detect, shrink,
+// report, replay.
+//
+// A property is a callable over a generated value that returns either
+// bool (true = holds) or std::optional<std::string> (nullopt = holds,
+// string = failure detail). check() draws `iterations` values — each
+// iteration seeded independently via util::substream_seed(master, i) —
+// and on the first failure greedily shrinks the counterexample through
+// the generator's shrinker before reporting.
+//
+// Replay workflow: every failure report carries the master seed and the
+// failing iteration. Setting SFCACD_PBT_SEED re-runs a suite with that
+// master seed (the failing case reappears at the same iteration);
+// SFCACD_PBT_ITERS scales the iteration budget (CI runs 100, nightly
+// runs thousands). docs/testing.md walks through the workflow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "testing/gen.hpp"
+#include "testing/random.hpp"
+#include "util/rng.hpp"
+
+namespace sfc::pbt {
+
+/// Iteration/seed budget for one check() call.
+struct CheckConfig {
+  /// Randomized cases to run. 0 = use the environment default
+  /// (SFCACD_PBT_ITERS, or kDefaultIterations when unset).
+  std::size_t iterations = 0;
+  /// Master seed. 0 = use SFCACD_PBT_SEED, or kDefaultSeed when unset.
+  std::uint64_t seed = 0;
+  /// Shrink-step budget: total candidate evaluations during shrinking.
+  std::size_t max_shrink_steps = 4096;
+
+  /// The resolved configuration (environment applied). Reads the
+  /// environment once per call — cheap next to any property body.
+  CheckConfig resolved() const;
+
+  /// Scale the (resolved) iteration count for expensive properties, with
+  /// a floor of 1. A property using scaled(0.1) still obeys the global
+  /// budget knob — nightly runs scale everything up together.
+  CheckConfig scaled(double factor) const {
+    CheckConfig c = resolved();
+    const double n = static_cast<double>(c.iterations) * factor;
+    c.iterations = n < 1.0 ? 1 : static_cast<std::size_t>(n);
+    return c;
+  }
+};
+
+inline constexpr std::size_t kDefaultIterations = 1000;
+inline constexpr std::uint64_t kDefaultSeed = 0x5fc2'acd0'0000'0001ull;
+
+/// Environment accessors (exposed for the self-tests).
+std::size_t env_iterations() noexcept;
+std::optional<std::uint64_t> env_seed() noexcept;
+
+/// Outcome of one check() call. `ok` mirrors into gtest via the
+/// SFCACD_PBT_CHECK macro; `message` carries the shrunk counterexample
+/// and the replay instructions.
+struct CheckOutcome {
+  bool ok = true;
+  std::string message;
+  std::size_t iterations_run = 0;
+  std::size_t shrink_steps = 0;        ///< candidate evaluations spent
+  std::size_t shrink_improvements = 0; ///< accepted (smaller) failures
+  std::uint64_t master_seed = 0;
+  std::uint64_t failing_iteration = 0;
+  std::uint64_t failing_case_seed = 0;
+  std::string counterexample;          ///< printed shrunk failing value
+};
+
+namespace detail {
+
+/// Print a value for a failure report: operator<< when available,
+/// a byte-size placeholder otherwise (domain.hpp streams its types).
+template <typename T, typename = void>
+struct Printer {
+  static std::string print(const T&) {
+    return "<unprintable value of " + std::to_string(sizeof(T)) + " bytes>";
+  }
+};
+
+template <typename T>
+struct Printer<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                       << std::declval<const T&>())>> {
+  static std::string print(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+};
+
+template <typename T>
+std::string print_value(const T& v) {
+  return Printer<T>::print(v);
+}
+
+/// Normalize the two supported property signatures to
+/// optional<string> (nullopt = pass).
+template <typename Prop, typename T>
+std::optional<std::string> run_property(Prop&& prop, const T& value) {
+  using R = std::invoke_result_t<Prop&, const T&>;
+  if constexpr (std::is_same_v<R, bool>) {
+    if (prop(value)) return std::nullopt;
+    return std::string("property returned false");
+  } else {
+    return prop(value);
+  }
+}
+
+}  // namespace detail
+
+/// Run `prop` over `cfg.iterations` values drawn from `gen`; on failure,
+/// shrink greedily and return a report. Never throws on property
+/// failure; exceptions thrown by the property body itself are treated as
+/// failures of that case (and participate in shrinking).
+template <typename T, typename Prop>
+CheckOutcome check(const Gen<T>& gen, Prop&& prop, CheckConfig cfg = {}) {
+  cfg = cfg.resolved();
+  CheckOutcome out;
+  out.master_seed = cfg.seed;
+
+  auto evaluate = [&](const T& value) -> std::optional<std::string> {
+    try {
+      return detail::run_property(prop, value);
+    } catch (const std::exception& e) {
+      return std::string("property threw: ") + e.what();
+    }
+  };
+
+  for (std::size_t iter = 0; iter < cfg.iterations; ++iter) {
+    const std::uint64_t case_seed = util::substream_seed(cfg.seed, iter);
+    Rand rand(case_seed);
+    T value = gen.sample(rand);
+    ++out.iterations_run;
+    std::optional<std::string> failure = evaluate(value);
+    if (!failure) continue;
+
+    // ---- shrink: greedily accept the first still-failing candidate.
+    T best = std::move(value);
+    std::string best_failure = std::move(*failure);
+    bool improved = true;
+    while (improved && out.shrink_steps < cfg.max_shrink_steps) {
+      improved = false;
+      for (T& candidate : gen.shrinks(best)) {
+        if (out.shrink_steps >= cfg.max_shrink_steps) break;
+        ++out.shrink_steps;
+        if (auto f = evaluate(candidate)) {
+          best = std::move(candidate);
+          best_failure = std::move(*f);
+          ++out.shrink_improvements;
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    out.ok = false;
+    out.failing_iteration = iter;
+    out.failing_case_seed = case_seed;
+    out.counterexample = detail::print_value(best);
+    std::ostringstream msg;
+    msg << "property failed (iteration " << iter << " of " << cfg.iterations
+        << ", case seed 0x" << std::hex << case_seed << std::dec << ")\n"
+        << "  counterexample (after " << out.shrink_improvements
+        << " shrinks, " << out.shrink_steps << " steps): "
+        << out.counterexample << "\n"
+        << "  failure: " << best_failure << "\n"
+        << "  replay: SFCACD_PBT_SEED=0x" << std::hex << cfg.seed << std::dec
+        << " (master seed; the case recurs at iteration " << iter << ")";
+    out.message = msg.str();
+    return out;
+  }
+  return out;
+}
+
+}  // namespace sfc::pbt

@@ -1,0 +1,52 @@
+// random.hpp — the PBT core's randomness source.
+//
+// A thin, deterministic façade over util::Xoshiro256pp with the handful
+// of draw shapes generators need (bounded integers, biased coins,
+// inclusive ranges). Every property-check iteration gets its own Rand
+// seeded by util::substream_seed(master, iteration), so a failing case
+// is replayed from (master seed, iteration index) alone — no state from
+// earlier iterations leaks in.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace sfc::pbt {
+
+class Rand {
+ public:
+  explicit Rand(std::uint64_t seed) noexcept : rng_(seed), seed_(seed) {}
+
+  /// The seed this source was constructed with (for failure reports).
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  std::uint64_t u64() noexcept { return rng_.next(); }
+
+  /// Unbiased draw in [0, bound); bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return util::bounded_u64(rng_, bound);
+  }
+
+  /// Unbiased draw in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  double uniform01() noexcept { return util::uniform01(rng_); }
+
+  /// Biased coin: true with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  bool coin() noexcept { return (rng_.next() & 1u) != 0; }
+
+  /// Access to the underlying generator for domain code that needs it
+  /// (e.g. to feed the library's samplers).
+  util::Xoshiro256pp& engine() noexcept { return rng_; }
+
+ private:
+  util::Xoshiro256pp rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sfc::pbt

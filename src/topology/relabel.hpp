@@ -1,0 +1,76 @@
+// relabel.hpp — view a topology through a rank permutation.
+//
+// RelabeledTopology(net, perm) presents rank r as occupying the physical
+// position perm[r] of the underlying interconnect:
+//   distance'(a, b) = distance(perm[a], perm[b]).
+// This generalizes the mesh/torus "processor-order SFC" idea to every
+// topology: any rank placement on any interconnect is a permutation view.
+//
+// When perm is an automorphism of the interconnect graph the distance
+// function is unchanged as a *function* — d'(a, b) == d(a, b) for all
+// pairs — which is exactly the invariance the metamorphic ACD suites
+// exercise (ring rotations/reflections, hypercube XOR translations,
+// torus shifts must leave every ACD total bit-identical).
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace sfc::topo {
+
+class RelabeledTopology final : public Topology {
+ public:
+  /// `perm` must be a permutation of [0, base.size()). The base topology
+  /// is borrowed and must outlive the view.
+  RelabeledTopology(const Topology& base, std::vector<Rank> perm)
+      : base_(base), perm_(std::move(perm)) {
+    if (perm_.size() != base_.size()) {
+      throw std::invalid_argument("relabel: permutation size != topology");
+    }
+    std::vector<bool> seen(perm_.size(), false);
+    for (const Rank r : perm_) {
+      if (r >= perm_.size() || seen[r]) {
+        throw std::invalid_argument("relabel: not a permutation");
+      }
+      seen[r] = true;
+    }
+  }
+
+  Rank size() const noexcept override { return base_.size(); }
+
+  std::uint64_t distance(Rank a, Rank b) const noexcept override {
+    assert(a < perm_.size() && b < perm_.size());
+    return base_.distance(perm_[a], perm_[b]);
+  }
+
+  std::uint64_t diameter() const noexcept override {
+    return base_.diameter();  // a permutation cannot change the diameter
+  }
+
+  TopologyKind kind() const noexcept override { return base_.kind(); }
+
+  const std::vector<Rank>& permutation() const noexcept { return perm_; }
+
+ protected:
+  void fill_table(DistanceTable& t) const override {
+    // Permute rows/columns of the base's cached table instead of p²
+    // virtual dispatches.
+    const DistanceTable& base_table = base_.table();
+    const Rank p = size();
+    for (Rank a = 0; a < p; ++a) {
+      const std::uint32_t* src = base_table.row(perm_[a]);
+      std::uint32_t* dst = t.row(a);
+      for (Rank b = 0; b < p; ++b) dst[b] = src[perm_[b]];
+    }
+  }
+
+ private:
+  const Topology& base_;
+  std::vector<Rank> perm_;
+};
+
+}  // namespace sfc::topo

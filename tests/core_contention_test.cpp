@@ -135,5 +135,61 @@ TEST(Contention, TooLargeGridThrows) {
   EXPECT_THROW(LinkLoadMap(14, true), std::invalid_argument);
 }
 
+TEST(LinkLoadMap, SingleCellGridHasNoLinks) {
+  // Level 0: one processor cell, no links, every message is local.
+  LinkLoadMap map(0, /*wrap=*/true);
+  EXPECT_EQ(map.stats().total_links, 0u);
+  map.route(make_point(0, 0), make_point(0, 0));
+  const auto s = map.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.hops, 0u);
+  EXPECT_EQ(s.links_used, 0u);
+  EXPECT_EQ(s.max_link_load, 0u);
+}
+
+TEST_F(ContentionPipeline, SingleProcessorHasNoNetworkTraffic) {
+  // p = 1 collapses the whole exchange onto one node: the congestion
+  // model must report every message with zero hops and zero link load.
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const AcdInstance<2> instance(particles_, 7, *curve);
+  const fmm::Partition part(instance.particles().size(), 1);
+  const topo::TorusTopology<2> torus(0, *curve);  // 1x1 torus
+
+  const auto congestion = nfi_congestion(instance, part, torus, true, 1);
+  const auto totals = instance.nfi(part, torus, 1);
+  EXPECT_EQ(congestion.messages, totals.count);
+  EXPECT_GT(congestion.messages, 0u);
+  EXPECT_EQ(congestion.hops, 0u);
+  EXPECT_EQ(congestion.max_link_load, 0u);
+  EXPECT_EQ(totals.hops, 0u);
+
+  const auto ffi_cong = ffi_congestion(instance, part, torus, true);
+  EXPECT_EQ(ffi_cong.hops, 0u);
+  EXPECT_EQ(ffi_cong.max_link_load, 0u);
+  EXPECT_EQ(ffi_cong.messages, instance.ffi(part, torus).total().count);
+}
+
+TEST(Contention, MoreProcessorsThanParticles) {
+  // n = 3 particles on a 16-processor torus: 13 ranks own nothing. The
+  // pipeline must route only between the 3 occupied ranks and still
+  // agree with the ACD reducer's hop totals.
+  const std::vector<Point2> particles = {make_point(0, 0), make_point(3, 3),
+                                         make_point(1, 2)};
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const AcdInstance<2> instance(particles, 2, *curve);
+  const fmm::Partition part(instance.particles().size(), 16);
+  const topo::TorusTopology<2> torus(2, *curve);  // 4x4, p = 16
+
+  const auto congestion = nfi_congestion(instance, part, torus, true, 3);
+  const auto totals = instance.nfi(part, torus, 3);
+  EXPECT_EQ(congestion.hops, totals.hops);
+  EXPECT_EQ(congestion.messages, totals.count);
+
+  const auto ffi_cong = ffi_congestion(instance, part, torus, true);
+  const auto ffi = instance.ffi(part, torus);
+  EXPECT_EQ(ffi_cong.hops, ffi.total().hops);
+  EXPECT_EQ(ffi_cong.messages, ffi.total().count);
+}
+
 }  // namespace
 }  // namespace sfc::core

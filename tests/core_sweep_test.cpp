@@ -355,6 +355,66 @@ TEST(SweepEngine, NearFieldOnlySkipsFfiStages) {
   }
 }
 
+TEST(SweepEngine, ResultsAndOrderingIdenticalAcrossThreadCounts) {
+  // The pool is a pure wall-clock lever: any thread count must reproduce
+  // the serial run exactly — the result cells, the across-trial
+  // statistics, the cache-counter stream, and the order in which cells
+  // are reported to the progress sink.
+  Study s = toy_combination_study();
+  s.trials = 2;
+
+  struct RunCapture {
+    StudyResult result;
+    std::vector<StudyCellRef> progress;
+  };
+  auto run_with = [&s](util::ThreadPool* pool) {
+    RunCapture cap;
+    SweepOptions options;
+    options.pool = pool;
+    options.progress = [&cap](const StudyCellRef& ref, double) {
+      cap.progress.push_back(ref);
+    };
+    cap.result = run_study(s, options);
+    return cap;
+  };
+
+  const RunCapture serial = run_with(nullptr);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    const RunCapture threaded = run_with(&pool);
+    expect_bit_identical(threaded.result, serial.result);
+    for (std::size_t i = 0; i < serial.result.stats.size(); ++i) {
+      EXPECT_EQ(threaded.result.stats[i].nfi.mean(),
+                serial.result.stats[i].nfi.mean())
+          << threads << " threads, stat " << i;
+      EXPECT_EQ(threaded.result.stats[i].ffi.ci95_halfwidth(),
+                serial.result.stats[i].ffi.ci95_halfwidth());
+    }
+    for (unsigned st = 0; st < kSweepStageCount; ++st) {
+      EXPECT_EQ(threaded.result.sweep.stages[st].hits,
+                serial.result.sweep.stages[st].hits)
+          << threads << " threads, stage " << st;
+      EXPECT_EQ(threaded.result.sweep.stages[st].misses,
+                serial.result.sweep.stages[st].misses);
+    }
+    EXPECT_EQ(threaded.result.sweep.evictions, serial.result.sweep.evictions);
+    ASSERT_EQ(threaded.progress.size(), serial.progress.size())
+        << threads << " threads";
+    for (std::size_t i = 0; i < serial.progress.size(); ++i) {
+      EXPECT_EQ(threaded.progress[i].distribution,
+                serial.progress[i].distribution);
+      EXPECT_EQ(threaded.progress[i].trial, serial.progress[i].trial);
+      EXPECT_EQ(threaded.progress[i].particle_curve,
+                serial.progress[i].particle_curve);
+      EXPECT_EQ(threaded.progress[i].proc_count,
+                serial.progress[i].proc_count);
+      EXPECT_EQ(threaded.progress[i].processor_curve,
+                serial.progress[i].processor_curve);
+      EXPECT_EQ(threaded.progress[i].topology, serial.progress[i].topology);
+    }
+  }
+}
+
 TEST(SweepEngine, InvalidTorusSizeThrows) {
   Study s = toy_topology_study();
   s.topologies = {topo::TopologyKind::kTorus};

@@ -125,5 +125,67 @@ TEST_F(MetricsRegistryTest, HistogramBucketBoundsAreInclusivePowersOfTwo) {
   EXPECT_EQ(hist.bucket(Histogram::kBucketCount - 1), 1u);
 }
 
+TEST(HistogramBuckets, EveryPowerOfTwoBoundaryExhaustively) {
+  // For every non-saturated bucket b >= 1, the three values around its
+  // power-of-two boundary must split exactly: 2^(b-1) (the bucket's
+  // lowest value) and 2^b - 1 (its inclusive upper bound) map to b, and
+  // 2^b is the first value of bucket b+1.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_le(0), 0u);
+  for (unsigned b = 1; b < Histogram::kBucketCount - 1; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(Histogram::bucket_of(lo), b) << "low edge of bucket " << b;
+    EXPECT_EQ(Histogram::bucket_of(hi), b) << "high edge of bucket " << b;
+    EXPECT_EQ(Histogram::bucket_le(b), hi);
+    const unsigned next = b + 1 < Histogram::kBucketCount - 1
+                              ? b + 1
+                              : Histogram::kBucketCount - 1;
+    EXPECT_EQ(Histogram::bucket_of(hi + 1), next)
+        << "first value past bucket " << b;
+    // Consistency between the two static maps: every value in bucket b
+    // is <= its inclusive bound, and above the previous bucket's bound.
+    EXPECT_LE(hi, Histogram::bucket_le(b));
+    EXPECT_GT(lo, Histogram::bucket_le(b - 1));
+  }
+}
+
+TEST(HistogramBuckets, SaturationAtTheLastBucket) {
+  constexpr unsigned last = Histogram::kBucketCount - 1;  // 43
+  // The last exactly-resolved value is 2^43 - 1; everything at or above
+  // 2^43 saturates into bucket 43, up to and including UINT64_MAX.
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << last) - 1), last);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << last), last);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 50), last);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), last);
+}
+
+TEST(HistogramBuckets, RecordedBoundariesLandWhereBucketOfSays) {
+  // Dynamic agreement with the static map: record all boundary values
+  // and check the bucket array matches bucket_of exactly.
+  Histogram hist;
+  std::uint64_t expected[Histogram::kBucketCount] = {};
+  hist.record(0);
+  ++expected[Histogram::bucket_of(0)];
+  for (unsigned b = 1; b < 64; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    hist.record(lo);
+    ++expected[Histogram::bucket_of(lo)];
+    const std::uint64_t hi = lo - 1 + lo;  // 2^b - 1
+    hist.record(hi);
+    ++expected[Histogram::bucket_of(hi)];
+  }
+  hist.record(~std::uint64_t{0});
+  ++expected[Histogram::bucket_of(~std::uint64_t{0})];
+  std::uint64_t total = 0;
+  for (unsigned b = 0; b < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(hist.bucket(b), expected[b]) << "bucket " << b;
+    total += hist.bucket(b);
+  }
+  EXPECT_EQ(total, hist.count());
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), ~std::uint64_t{0});
+}
+
 }  // namespace
 }  // namespace sfc::obs

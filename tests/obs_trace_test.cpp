@@ -5,8 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <map>
-#include <regex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,21 +23,46 @@ struct ParsedEvent {
   double ts_us = 0.0;
 };
 
+/// If `json` holds `prefix` at `pos`, advance past it and return the
+/// run of characters up to (not including) `stop`; nullopt otherwise.
+std::optional<std::string> take_field(const std::string& json,
+                                      std::size_t& pos,
+                                      const std::string& prefix, char stop) {
+  if (json.compare(pos, prefix.size(), prefix) != 0) return std::nullopt;
+  pos += prefix.size();
+  const std::size_t end = json.find(stop, pos);
+  if (end == std::string::npos) return std::nullopt;
+  std::string value = json.substr(pos, end - pos);
+  pos = end + 1;
+  return value;
+}
+
 /// Extract the B/E events from an exported trace. The exporter emits a
-/// fixed key order, so one expression matches every span event (metadata
-/// "M" events are intentionally not matched).
+/// fixed key order, so a linear scan over the literal key sequence
+/// matches every span event (metadata "M" events are intentionally not
+/// matched). Hand-rolled: <regex> trips a GCC -Wmaybe-uninitialized
+/// false positive in libstdc++ under the sanitizer builds (GCC PR
+/// 105562) and -Werror is on everywhere.
 std::vector<ParsedEvent> parse_events(const std::string& json) {
-  static const std::regex event_re(
-      "\\{\"ph\":\"([BE])\",\"name\":\"([^\"]*)\",\"cat\":\"sfc\","
-      "\"pid\":1,\"tid\":([0-9]+),\"ts\":([0-9]+\\.[0-9]+)\\}");
   std::vector<ParsedEvent> events;
-  for (auto it = std::sregex_iterator(json.begin(), json.end(), event_re);
-       it != std::sregex_iterator(); ++it) {
+  for (std::size_t at = json.find("{\"ph\":\""); at != std::string::npos;
+       at = json.find("{\"ph\":\"", at + 1)) {
+    std::size_t pos = at;
+    const auto phase = take_field(json, pos, "{\"ph\":\"", '"');
+    if (!phase || (*phase != "B" && *phase != "E")) continue;
+    const auto name = take_field(json, pos, ",\"name\":\"", '"');
+    if (!name) continue;
+    if (json.compare(pos, 13, ",\"cat\":\"sfc\",") != 0) continue;
+    pos += 13;
+    const auto tid = take_field(json, pos, "\"pid\":1,\"tid\":", ',');
+    if (!tid) continue;
+    const auto ts = take_field(json, pos, "\"ts\":", '}');
+    if (!ts || ts->find('.') == std::string::npos) continue;
     ParsedEvent e;
-    e.phase = (*it)[1].str()[0];
-    e.name = (*it)[2].str();
-    e.tid = static_cast<unsigned>(std::stoul((*it)[3].str()));
-    e.ts_us = std::stod((*it)[4].str());
+    e.phase = (*phase)[0];
+    e.name = *name;
+    e.tid = static_cast<unsigned>(std::stoul(*tid));
+    e.ts_us = std::stod(*ts);
     events.push_back(e);
   }
   return events;

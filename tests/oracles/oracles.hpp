@@ -1,0 +1,69 @@
+// oracles.hpp — brute-force reference implementations for the
+// differential suites.
+//
+// Every function here is written straight from the paper's definitions
+// with no shared machinery from the optimized paths: the NFI oracle is
+// the O(n²) pairwise double loop of Definition 1, the FFI oracle
+// rebuilds the occupied-cell hierarchy with std::map and re-derives the
+// interaction list from its geometric definition (children of the
+// parent's neighbors, non-adjacent), and the topology oracle assembles
+// each interconnect as an explicit edge list for BFS. Slow on purpose —
+// the property suites run them on small instances only.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/totals.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/nfi.hpp"
+#include "fmm/partition.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/point.hpp"
+#include "testing/domain.hpp"
+#include "topology/graph.hpp"
+#include "topology/topology.hpp"
+
+namespace sfc::oracle {
+
+/// O(n²) near-field totals straight from the definition: every ordered
+/// pair (i, j), i != j, with ||x_i - x_j|| <= radius under `norm`
+/// contributes one communication of cost d(owner(i), owner(j)).
+/// `sorted` must be the SFC-sorted particle list `part` chunks.
+template <int D>
+core::CommTotals nfi_pairwise(const std::vector<Point<D>>& sorted,
+                              const fmm::Partition& part,
+                              const topo::Topology& net, unsigned radius,
+                              fmm::NeighborNorm norm);
+
+/// Definitional far-field totals: occupied-cell sets per level built with
+/// ordered maps, lowest-sorted-particle ownership, interpolation edges
+/// child->parent, anterpolation the mirror, and interaction lists
+/// re-derived from the geometric definition. `level` is the finest
+/// refinement level of the domain.
+template <int D>
+fmm::FfiTotals ffi_definitional(const std::vector<Point<D>>& sorted,
+                                unsigned level, const fmm::Partition& part,
+                                const topo::Topology& net);
+
+/// Explicit-graph twin of a closed-form topology case: rank r occupies
+/// the same physical position as in `make_topology`, so every BFS hop
+/// distance must equal the closed form exactly.
+topo::GraphTopology oracle_graph(const pbt::TopoCase& spec);
+
+extern template core::CommTotals nfi_pairwise<2>(const std::vector<Point<2>>&,
+                                                 const fmm::Partition&,
+                                                 const topo::Topology&,
+                                                 unsigned, fmm::NeighborNorm);
+extern template core::CommTotals nfi_pairwise<3>(const std::vector<Point<3>>&,
+                                                 const fmm::Partition&,
+                                                 const topo::Topology&,
+                                                 unsigned, fmm::NeighborNorm);
+extern template fmm::FfiTotals ffi_definitional<2>(
+    const std::vector<Point<2>>&, unsigned, const fmm::Partition&,
+    const topo::Topology&);
+extern template fmm::FfiTotals ffi_definitional<3>(
+    const std::vector<Point<3>>&, unsigned, const fmm::Partition&,
+    const topo::Topology&);
+
+}  // namespace sfc::oracle

@@ -1,0 +1,444 @@
+// Differential and metamorphic properties of the ACD engines. The
+// optimized NFI/FFI paths (rank-pair aggregation, flat hop tables,
+// owner-array enumeration, threaded ranges, sparse accumulators) are all
+// pinned to the brute-force oracles in tests/oracles/, and the whole
+// metric must be invariant under rank relabelings that are automorphisms
+// of the interconnect — rotations/reflections of rings, XOR translations
+// of hypercubes, shifts of tori — which exercises every layer at once
+// with an answer known by symmetry instead of by reimplementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/rank_pair.hpp"
+#include "core/totals.hpp"
+#include "fmm/ffi.hpp"
+#include "fmm/nfi.hpp"
+#include "fmm/occupancy.hpp"
+#include "fmm/partition.hpp"
+#include "oracles/oracles.hpp"
+#include "testing/domain.hpp"
+#include "testing/gtest.hpp"
+#include "topology/relabel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+// ----------------------------------------------------------- case shape
+
+/// One complete ACD instance: a particle set on a grid, the particle
+/// order, the interconnect, and the near-field parameters.
+struct AcdCase {
+  unsigned level = 2;
+  std::vector<Point2> pts;
+  CurveKind curve = CurveKind::kHilbert;
+  TopoCase topo;
+  unsigned radius = 1;
+  fmm::NeighborNorm norm = fmm::NeighborNorm::kChebyshev;
+};
+
+std::ostream& operator<<(std::ostream& os, const AcdCase& c) {
+  return os << "{level=" << c.level << ", n=" << c.pts.size() << ", curve="
+            << curve_name(c.curve) << ", topo="
+            << detail::Printer<TopoCase>::print(c.topo) << ", radius="
+            << c.radius << ", norm="
+            << (c.norm == fmm::NeighborNorm::kChebyshev ? "chebyshev"
+                                                        : "manhattan")
+            << ", pts=" << detail::Printer<std::vector<Point2>>::print(c.pts)
+            << "}";
+}
+
+Gen<AcdCase> acd_case(topo::Rank max_procs) {
+  const Gen<TopoCase> tc = topology_case(max_procs);
+  const Gen<CurveKind> ck = any_curve2();
+  return Gen<AcdCase>{
+      [tc, ck](Rand& r) {
+        AcdCase c;
+        c.level = static_cast<unsigned>(r.between(2, 5));
+        const std::uint64_t cells = grid_size<2>(c.level);
+        const std::size_t max_n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(96, cells / 2));
+        c.pts = distinct_points<2>(c.level, 1, max_n).sample(r);
+        c.curve = ck.sample(r);
+        c.topo = tc.sample(r);
+        c.radius = static_cast<unsigned>(r.below(4));
+        c.norm = r.coin() ? fmm::NeighborNorm::kChebyshev
+                          : fmm::NeighborNorm::kManhattan;
+        return c;
+      },
+      [tc, ck](const AcdCase& c, std::vector<AcdCase>& out) {
+        // Particle-set shrinks keep the level fixed: shrinking the level
+        // would re-scale the grid and invalidate the points.
+        std::vector<std::vector<Point2>> pcands;
+        distinct_points<2>(c.level, 1, c.pts.size())
+            .shrink(c.pts, pcands);
+        for (auto& pts : pcands) {
+          AcdCase smaller = c;
+          smaller.pts = std::move(pts);
+          out.push_back(std::move(smaller));
+        }
+        for (const TopoCase& t : tc.shrinks(c.topo)) {
+          AcdCase smaller = c;
+          smaller.topo = t;
+          out.push_back(std::move(smaller));
+        }
+        std::vector<unsigned> rads;
+        shrink_integral_toward<unsigned>(0, c.radius, rads);
+        for (const unsigned rr : rads) {
+          AcdCase smaller = c;
+          smaller.radius = rr;
+          out.push_back(std::move(smaller));
+        }
+        for (const CurveKind k : ck.shrinks(c.curve)) {
+          AcdCase smaller = c;
+          smaller.curve = k;
+          out.push_back(std::move(smaller));
+        }
+      }};
+}
+
+std::vector<Point2> sort_by_curve(std::vector<Point2> pts, CurveKind kind,
+                                  unsigned level) {
+  const auto curve = make_curve<2>(kind);
+  std::sort(pts.begin(), pts.end(), [&](const Point2& a, const Point2& b) {
+    return curve->index(a, level) < curve->index(b, level);
+  });
+  return pts;
+}
+
+util::ThreadPool& shared_pool() {
+  static util::ThreadPool pool(4);
+  return pool;
+}
+
+std::string show(const core::CommTotals& t) {
+  return "{hops=" + std::to_string(t.hops) +
+         ", count=" + std::to_string(t.count) + "}";
+}
+
+std::optional<std::string> expect_eq_totals(const core::CommTotals& got,
+                                            const core::CommTotals& want,
+                                            const char* what) {
+  if (got == want) return std::nullopt;
+  return std::string(what) + ": " + show(got) + " != oracle " + show(want);
+}
+
+// ------------------------------------------------------ NFI differential
+
+TEST(AcdDiff, NfiEnginesMatchPairwiseOracle) {
+  SFCACD_PBT_CHECK(acd_case(32), [](const AcdCase& c)
+                                     -> std::optional<std::string> {
+    const std::vector<Point2> sorted = sort_by_curve(c.pts, c.curve, c.level);
+    const fmm::OccupancyGrid<2> grid(sorted, c.level);
+    const fmm::Partition part(sorted.size(), c.topo.procs);
+    const auto net = c.topo.make();
+    const core::CommTotals want =
+        oracle::nfi_pairwise<2>(sorted, part, *net, c.radius, c.norm);
+
+    if (auto err = expect_eq_totals(
+            fmm::nfi_totals<2>(sorted, grid, part, *net, c.radius, c.norm),
+            want, "nfi_totals")) {
+      return err;
+    }
+    if (auto err = expect_eq_totals(
+            fmm::nfi_totals_direct<2>(sorted, grid, part, *net, c.radius,
+                                      c.norm),
+            want, "nfi_totals_direct")) {
+      return err;
+    }
+    const core::RankPairAccumulator hist =
+        fmm::nfi_histogram<2>(sorted, grid, part, c.radius, c.norm);
+    return expect_eq_totals(hist.fold_auto(*net), want,
+                            "nfi_histogram + fold_auto");
+  });
+}
+
+TEST(AcdDiff, NfiThreadedMatchesSerialAndOracle) {
+  SFCACD_PBT_CHECK_CFG(
+      acd_case(32), CheckConfig{}.scaled(0.5),
+      [](const AcdCase& c) -> std::optional<std::string> {
+        const std::vector<Point2> sorted =
+            sort_by_curve(c.pts, c.curve, c.level);
+        const fmm::OccupancyGrid<2> grid(sorted, c.level);
+        const fmm::Partition part(sorted.size(), c.topo.procs);
+        const auto net = c.topo.make();
+        const core::CommTotals want =
+            oracle::nfi_pairwise<2>(sorted, part, *net, c.radius, c.norm);
+        if (auto err = expect_eq_totals(
+                fmm::nfi_totals<2>(sorted, grid, part, *net, c.radius, c.norm,
+                                   &shared_pool()),
+                want, "threaded nfi_totals")) {
+          return err;
+        }
+        return expect_eq_totals(
+            fmm::nfi_totals_direct<2>(sorted, grid, part, *net, c.radius,
+                                      c.norm, &shared_pool()),
+            want, "threaded nfi_totals_direct");
+      });
+}
+
+using PairCount = std::tuple<topo::Rank, topo::Rank, std::uint64_t>;
+
+TEST(AcdDiff, NfiOwnersPathMatchesPartitionPath) {
+  // The owner-array path must produce the identical histogram for the
+  // identical particle→owner assignment regardless of array order; feed
+  // it the particles reversed with owners permuted to match.
+  SFCACD_PBT_CHECK_CFG(
+      acd_case(32), CheckConfig{}.scaled(0.5),
+      [](const AcdCase& c) -> std::optional<std::string> {
+        const std::vector<Point2> sorted =
+            sort_by_curve(c.pts, c.curve, c.level);
+        const std::size_t n = sorted.size();
+        const fmm::OccupancyGrid<2> grid(sorted, c.level);
+        const fmm::Partition part(n, c.topo.procs);
+        const auto net = c.topo.make();
+
+        std::vector<Point2> reversed(n);
+        std::vector<topo::Rank> owners(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          reversed[i] = sorted[n - 1 - i];
+          owners[i] = part.proc_of(n - 1 - i);
+        }
+        const fmm::OccupancyGrid<2> rgrid(reversed, c.level);
+
+        const core::RankPairAccumulator a =
+            fmm::nfi_histogram<2>(sorted, grid, part, c.radius, c.norm);
+        const core::RankPairAccumulator b = fmm::nfi_histogram_owners<2>(
+            reversed, rgrid, owners, c.topo.procs, c.radius, c.norm);
+
+        if (a.events() != b.events()) return "event totals differ";
+        if (!(a.fold_auto(*net) == b.fold_auto(*net))) {
+          return "folded totals differ";
+        }
+        std::vector<PairCount> sa;
+        std::vector<PairCount> sb;
+        a.for_each([&](topo::Rank s, topo::Rank d, std::uint64_t k) {
+          sa.emplace_back(s, d, k);
+        });
+        b.for_each([&](topo::Rank s, topo::Rank d, std::uint64_t k) {
+          sb.emplace_back(s, d, k);
+        });
+        if (sa != sb) return "per-pair histograms differ";
+        return std::nullopt;
+      });
+}
+
+TEST(AcdDiff, NfiSparseAccumulatorMatchesDense) {
+  SFCACD_PBT_CHECK_CFG(
+      acd_case(32), CheckConfig{}.scaled(0.5),
+      [](const AcdCase& c) -> std::optional<std::string> {
+        const std::vector<Point2> sorted =
+            sort_by_curve(c.pts, c.curve, c.level);
+        const fmm::OccupancyGrid<2> grid(sorted, c.level);
+        const fmm::Partition part(sorted.size(), c.topo.procs);
+        const auto net = c.topo.make();
+
+        const core::RankPairAccumulator dense =
+            fmm::nfi_histogram<2>(sorted, grid, part, c.radius, c.norm);
+        core::RankPairAccumulator sparse(c.topo.procs, /*dense_budget=*/0);
+        if (sparse.dense()) return "dense_budget=0 did not force sparse mode";
+        dense.for_each([&](topo::Rank s, topo::Rank d, std::uint64_t k) {
+          sparse.add(s, d, k);
+        });
+        sparse.seal();
+        if (sparse.events() != dense.events()) return "event totals differ";
+        if (!(sparse.fold_auto(*net) == dense.fold_auto(*net))) {
+          return "sparse fold != dense fold";
+        }
+        return std::nullopt;
+      });
+}
+
+// ------------------------------------------------------ FFI differential
+
+TEST(AcdDiff, FfiEnginesMatchDefinitionalOracle) {
+  SFCACD_PBT_CHECK(acd_case(32), [](const AcdCase& c)
+                                     -> std::optional<std::string> {
+    const std::vector<Point2> sorted = sort_by_curve(c.pts, c.curve, c.level);
+    const fmm::Partition part(sorted.size(), c.topo.procs);
+    const auto net = c.topo.make();
+    const fmm::CellTree<2> tree(sorted, c.level);
+    const fmm::FfiTotals want =
+        oracle::ffi_definitional<2>(sorted, c.level, part, *net);
+
+    const auto check_family =
+        [&want](const char* name,
+                const fmm::FfiTotals& got) -> std::optional<std::string> {
+      if (auto err = expect_eq_totals(got.interpolation, want.interpolation,
+                                      name)) {
+        return "interpolation " + *err;
+      }
+      if (auto err = expect_eq_totals(got.anterpolation, want.anterpolation,
+                                      name)) {
+        return "anterpolation " + *err;
+      }
+      if (auto err =
+              expect_eq_totals(got.interaction, want.interaction, name)) {
+        return "interaction " + *err;
+      }
+      return std::nullopt;
+    };
+    if (auto err = check_family("ffi_totals",
+                                fmm::ffi_totals<2>(tree, part, *net))) {
+      return err;
+    }
+    if (auto err = check_family("ffi_totals_direct",
+                                fmm::ffi_totals_direct<2>(tree, part, *net))) {
+      return err;
+    }
+    return check_family("ffi_histograms + ffi_fold",
+                        fmm::ffi_fold(fmm::ffi_histograms<2>(tree, part),
+                                      *net));
+  });
+}
+
+TEST(AcdDiff, FfiThreadedMatchesSerial) {
+  SFCACD_PBT_CHECK_CFG(
+      acd_case(32), CheckConfig{}.scaled(0.5),
+      [](const AcdCase& c) -> std::optional<std::string> {
+        const std::vector<Point2> sorted =
+            sort_by_curve(c.pts, c.curve, c.level);
+        const fmm::Partition part(sorted.size(), c.topo.procs);
+        const auto net = c.topo.make();
+        const fmm::CellTree<2> tree(sorted, c.level);
+        const fmm::FfiTotals serial = fmm::ffi_totals<2>(tree, part, *net);
+        const fmm::FfiTotals threaded =
+            fmm::ffi_totals<2>(tree, part, *net, &shared_pool());
+        if (!(serial.interpolation == threaded.interpolation &&
+              serial.anterpolation == threaded.anterpolation &&
+              serial.interaction == threaded.interaction)) {
+          return "threaded FFI differs from serial";
+        }
+        return std::nullopt;
+      });
+}
+
+// ------------------------------------------- automorphism invariance
+
+/// Rank permutations that are graph automorphisms of the case's
+/// interconnect; every ACD total must be bit-identical under them.
+std::vector<std::vector<topo::Rank>> automorphisms(const TopoCase& t) {
+  const topo::Rank p = t.procs;
+  std::vector<std::vector<topo::Rank>> perms;
+  auto from_fn = [p](auto&& fn) {
+    std::vector<topo::Rank> perm(p);
+    for (topo::Rank r = 0; r < p; ++r) perm[r] = fn(r);
+    return perm;
+  };
+  switch (t.kind) {
+    case topo::TopologyKind::kBus:
+      perms.push_back(from_fn([p](topo::Rank r) { return p - 1 - r; }));
+      break;
+    case topo::TopologyKind::kRing:
+      perms.push_back(from_fn([p](topo::Rank r) { return (r + 1) % p; }));
+      perms.push_back(
+          from_fn([p](topo::Rank r) { return (r + p / 2) % p; }));
+      perms.push_back(from_fn([p](topo::Rank r) { return (p - r) % p; }));
+      break;
+    case topo::TopologyKind::kHypercube:
+      if (p > 1) {
+        perms.push_back(from_fn([](topo::Rank r) { return r ^ 1u; }));
+        perms.push_back(from_fn([p](topo::Rank r) { return r ^ (p - 1); }));
+      }
+      break;
+    case topo::TopologyKind::kMesh:
+    case topo::TopologyKind::kTorus: {
+      if (p == 1) break;
+      unsigned m = 0;
+      while ((topo::Rank{1} << (2 * m)) < p) ++m;
+      const std::uint32_t side = 1u << m;
+      const auto curve = make_curve<2>(t.ranking);
+      // Point reflection through the grid center (mesh and torus).
+      perms.push_back(from_fn([&](topo::Rank r) {
+        const Point2 c = curve->point(r, m);
+        return static_cast<topo::Rank>(curve->index(
+            make_point(side - 1 - c[0], side - 1 - c[1]), m));
+      }));
+      if (t.kind == topo::TopologyKind::kTorus) {
+        // Wraparound translations (torus only).
+        const std::pair<std::uint32_t, std::uint32_t> shifts[] = {{1, 0},
+                                                                  {1, 1}};
+        for (const auto& [tx, ty] : shifts) {
+          perms.push_back(from_fn([&, tx = tx, ty = ty](topo::Rank r) {
+            const Point2 c = curve->point(r, m);
+            return static_cast<topo::Rank>(curve->index(
+                make_point((c[0] + tx) % side, (c[1] + ty) % side), m));
+          }));
+        }
+      }
+      break;
+    }
+    case topo::TopologyKind::kQuadtree:
+      // Sibling leaves are interchangeable: swap the first two.
+      if (p >= 4) {
+        perms.push_back(from_fn(
+            [](topo::Rank r) { return r < 2 ? topo::Rank{1} - r : r; }));
+      }
+      break;
+  }
+  return perms;
+}
+
+TEST(AcdDiff, AutomorphicRelabelingLeavesAcdInvariant) {
+  SFCACD_PBT_CHECK_CFG(
+      acd_case(64), CheckConfig{}.scaled(0.5),
+      [](const AcdCase& c) -> std::optional<std::string> {
+        const std::vector<Point2> sorted =
+            sort_by_curve(c.pts, c.curve, c.level);
+        const fmm::OccupancyGrid<2> grid(sorted, c.level);
+        const fmm::Partition part(sorted.size(), c.topo.procs);
+        const auto net = c.topo.make();
+        const fmm::CellTree<2> tree(sorted, c.level);
+        const std::vector<topo::Rank> owners = part.owner_table();
+
+        const core::CommTotals nfi_base =
+            fmm::nfi_histogram_owners<2>(sorted, grid, owners, c.topo.procs,
+                                         c.radius, c.norm)
+                .fold_auto(*net);
+        const fmm::FfiTotals ffi_base = fmm::ffi_totals<2>(tree, part, *net);
+
+        for (const std::vector<topo::Rank>& perm : automorphisms(c.topo)) {
+          // Sanity: the permutation really is distance-preserving; a bad
+          // entry here would indict the test, not the engines.
+          for (topo::Rank a = 0; a < c.topo.procs; ++a) {
+            for (topo::Rank b = 0; b < c.topo.procs; ++b) {
+              if (net->distance(perm[a], perm[b]) != net->distance(a, b)) {
+                return "test bug: permutation is not an automorphism";
+              }
+            }
+          }
+          std::vector<topo::Rank> owners2(owners.size());
+          for (std::size_t i = 0; i < owners.size(); ++i) {
+            owners2[i] = perm[owners[i]];
+          }
+          const core::CommTotals nfi_perm =
+              fmm::nfi_histogram_owners<2>(sorted, grid, owners2,
+                                           c.topo.procs, c.radius, c.norm)
+                  .fold_auto(*net);
+          if (!(nfi_perm == nfi_base)) {
+            return "NFI changed under automorphic relabeling: " +
+                   show(nfi_perm) + " != " + show(nfi_base);
+          }
+          const topo::RelabeledTopology view(*net, perm);
+          const fmm::FfiTotals ffi_perm =
+              fmm::ffi_totals<2>(tree, part, view);
+          if (!(ffi_perm.interpolation == ffi_base.interpolation &&
+                ffi_perm.anterpolation == ffi_base.anterpolation &&
+                ffi_perm.interaction == ffi_base.interaction)) {
+            return "FFI changed under automorphic relabeling";
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+}  // namespace sfc::pbt

@@ -1,0 +1,268 @@
+// Differential and metamorphic properties of the curve layer: every
+// implemented curve is a bijection at random levels, the optimized
+// Hilbert implementations (canonical closed form, LUT state machine)
+// agree bit-for-bit with each other and with the naive recursive
+// reference, Morton/Gray match their recursive constructions, and the
+// continuity/adjacency guarantees (Hilbert, Snake unit steps; Moore's
+// closed loop) hold at every consecutive index.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sfc/canonical_hilbert.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/hilbert_lut.hpp"
+#include "sfc/recursive_ref.hpp"
+#include "testing/domain.hpp"
+#include "testing/gtest.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+std::vector<CurveKind> all_curves() {
+  return std::vector<CurveKind>(std::begin(kAllCurves), std::end(kAllCurves));
+}
+
+// ------------------------------------------------------------- case shapes
+
+/// (curve, level, linear index) with the index valid for the level.
+struct CurveIdx {
+  CurveKind kind = CurveKind::kHilbert;
+  unsigned level = 1;
+  std::uint64_t idx = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const CurveIdx& c) {
+  return os << "{" << curve_name(c.kind) << ", level=" << c.level
+            << ", idx=" << c.idx << "}";
+}
+
+Gen<CurveIdx> curve_idx(unsigned max_lvl) {
+  return Gen<CurveIdx>{
+      [max_lvl, opts = all_curves()](Rand& r) {
+        CurveIdx c;
+        c.kind = opts[r.below(opts.size())];
+        c.level = static_cast<unsigned>(r.between(1, max_lvl));
+        c.idx = r.below(grid_size<2>(c.level));
+        return c;
+      },
+      [opts = all_curves()](const CurveIdx& c, std::vector<CurveIdx>& out) {
+        std::vector<std::uint64_t> idxs;
+        shrink_integral_toward<std::uint64_t>(0, c.idx, idxs);
+        for (const std::uint64_t i : idxs) out.push_back({c.kind, c.level, i});
+        std::vector<unsigned> lvls;
+        shrink_integral_toward<unsigned>(1, c.level, lvls);
+        for (const unsigned l : lvls) {
+          if (c.idx < grid_size<2>(l)) out.push_back({c.kind, l, c.idx});
+        }
+        for (const CurveKind k : opts) {
+          if (k == c.kind) break;
+          out.push_back({k, c.level, c.idx});
+        }
+      }};
+}
+
+/// (curve, level, point) with the point on the level grid.
+struct CurvePoint {
+  CurveKind kind = CurveKind::kHilbert;
+  unsigned level = 1;
+  Point2 p{};
+};
+
+std::ostream& operator<<(std::ostream& os, const CurvePoint& c) {
+  return os << "{" << curve_name(c.kind) << ", level=" << c.level << ", p="
+            << to_string(c.p) << "}";
+}
+
+Gen<CurvePoint> curve_point(unsigned max_lvl) {
+  return Gen<CurvePoint>{
+      [max_lvl, opts = all_curves()](Rand& r) {
+        CurvePoint c;
+        c.kind = opts[r.below(opts.size())];
+        c.level = static_cast<unsigned>(r.between(1, max_lvl));
+        const std::uint64_t side = std::uint64_t{1} << c.level;
+        c.p = make_point(static_cast<std::uint32_t>(r.below(side)),
+                         static_cast<std::uint32_t>(r.below(side)));
+        return c;
+      },
+      [opts = all_curves()](const CurvePoint& c, std::vector<CurvePoint>& out) {
+        for (int axis = 0; axis < 2; ++axis) {
+          std::vector<std::uint32_t> cs;
+          shrink_integral_toward<std::uint32_t>(0, c.p[axis], cs);
+          for (const std::uint32_t v : cs) {
+            CurvePoint smaller = c;
+            smaller.p[axis] = v;
+            out.push_back(smaller);
+          }
+        }
+        for (const CurveKind k : opts) {
+          if (k == c.kind) break;
+          out.push_back({k, c.level, c.p});
+        }
+      }};
+}
+
+// ------------------------------------------------------------- bijectivity
+
+TEST(CurveDiff, IndexToPointRoundTrips2D) {
+  SFCACD_PBT_CHECK(curve_idx(10), [](const CurveIdx& c) {
+    const auto curve = make_curve<2>(c.kind);
+    const Point2 p = curve->point(c.idx, c.level);
+    return in_grid(p, c.level) && curve->index(p, c.level) == c.idx;
+  });
+}
+
+TEST(CurveDiff, PointToIndexRoundTrips2D) {
+  SFCACD_PBT_CHECK(curve_point(10), [](const CurvePoint& c) {
+    const auto curve = make_curve<2>(c.kind);
+    const std::uint64_t idx = curve->index(c.p, c.level);
+    return idx < grid_size<2>(c.level) && curve->point(idx, c.level) == c.p;
+  });
+}
+
+TEST(CurveDiff, IndexToPointRoundTrips3D) {
+  const Gen<CurveKind> kinds = any_curve3();
+  SFCACD_PBT_CHECK(
+      (Gen<CurveIdx>{[kinds](Rand& r) {
+                       CurveIdx c;
+                       c.kind = kinds.sample(r);
+                       c.level = static_cast<unsigned>(r.between(1, 6));
+                       c.idx = r.below(grid_size<3>(c.level));
+                       return c;
+                     },
+                     [](const CurveIdx& c, std::vector<CurveIdx>& out) {
+                       std::vector<std::uint64_t> idxs;
+                       shrink_integral_toward<std::uint64_t>(0, c.idx, idxs);
+                       for (const std::uint64_t i : idxs) {
+                         out.push_back({c.kind, c.level, i});
+                       }
+                     }}),
+      [](const CurveIdx& c) {
+        const auto curve = make_curve<3>(c.kind);
+        const Point3 p = curve->point(c.idx, c.level);
+        return in_grid(p, c.level) && curve->index(p, c.level) == c.idx;
+      });
+}
+
+TEST(CurveDiff, LevelZeroIsTheSinglePointForEveryCurve) {
+  for (const CurveKind kind : kAllCurves) {
+    const auto curve = make_curve<2>(kind);
+    EXPECT_EQ(curve->point(0, 0), make_point(0, 0)) << curve_name(kind);
+    EXPECT_EQ(curve->index(make_point(0, 0), 0), 0u) << curve_name(kind);
+  }
+}
+
+// ------------------------------------------- recursive-definition oracles
+
+TEST(CurveDiff, MortonMatchesRecursiveReferenceExhaustively) {
+  const auto curve = make_curve<2>(CurveKind::kMorton);
+  for (unsigned level = 1; level <= 4; ++level) {
+    const std::vector<Point2> order = ref::morton2_order(level);
+    ASSERT_EQ(order.size(), grid_size<2>(level));
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      ASSERT_EQ(curve->point(i, level), order[i])
+          << "level " << level << " idx " << i;
+      ASSERT_EQ(curve->index(order[i], level), i);
+    }
+  }
+}
+
+TEST(CurveDiff, GrayMatchesRecursiveReferenceExhaustively) {
+  const auto curve = make_curve<2>(CurveKind::kGray);
+  for (unsigned level = 1; level <= 4; ++level) {
+    const std::vector<Point2> order = ref::gray2_order(level);
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      ASSERT_EQ(curve->point(i, level), order[i])
+          << "level " << level << " idx " << i;
+      ASSERT_EQ(curve->index(order[i], level), i);
+    }
+  }
+}
+
+TEST(CurveDiff, CanonicalHilbertMatchesRecursiveReferenceExhaustively) {
+  for (unsigned level = 1; level <= 4; ++level) {
+    const std::vector<Point2> order = ref::hilbert2_order(level);
+    for (std::uint64_t i = 0; i < order.size(); ++i) {
+      ASSERT_EQ(canonical_hilbert_point(i, level), order[i])
+          << "level " << level << " idx " << i;
+      ASSERT_EQ(canonical_hilbert_index(order[i], level), i);
+      ASSERT_EQ(ref::hilbert2_index(order[i], level), i);
+    }
+  }
+}
+
+TEST(CurveDiff, HilbertLutMatchesCanonicalOnRandomPoints) {
+  // The LUT state machine must be bit-exact against the closed-form
+  // recursion at every level it supports, not just the small exhaustive
+  // ones — random levels up to 16 cover multi-word state evolution.
+  SFCACD_PBT_CHECK(curve_point(16), [](const CurvePoint& c) {
+    return hilbert_lut_index(c.p, c.level) ==
+           canonical_hilbert_index(c.p, c.level);
+  });
+}
+
+TEST(CurveDiff, HilbertLutMatchesCanonicalOnRandomIndices) {
+  SFCACD_PBT_CHECK(curve_idx(16), [](const CurveIdx& c) {
+    return hilbert_lut_point(c.idx, c.level) ==
+           canonical_hilbert_point(c.idx, c.level);
+  });
+}
+
+// ---------------------------------------------------- adjacency invariants
+
+TEST(CurveDiff, HilbertAndSnakeTakeUnitStepsEverywhere) {
+  const Gen<CurveKind> kinds =
+      element_of(std::vector<CurveKind>{CurveKind::kHilbert, CurveKind::kSnake});
+  SFCACD_PBT_CHECK(
+      (Gen<CurveIdx>{[kinds](Rand& r) {
+                       CurveIdx c;
+                       c.kind = kinds.sample(r);
+                       c.level = static_cast<unsigned>(r.between(1, 8));
+                       c.idx = r.below(grid_size<2>(c.level) - 1);
+                       return c;
+                     },
+                     [](const CurveIdx& c, std::vector<CurveIdx>& out) {
+                       std::vector<std::uint64_t> idxs;
+                       shrink_integral_toward<std::uint64_t>(0, c.idx, idxs);
+                       for (const std::uint64_t i : idxs) {
+                         out.push_back({c.kind, c.level, i});
+                       }
+                     }}),
+      [](const CurveIdx& c) {
+        const auto curve = make_curve<2>(c.kind);
+        return manhattan(curve->point(c.idx, c.level),
+                         curve->point(c.idx + 1, c.level)) == 1;
+      });
+}
+
+TEST(CurveDiff, MooreIsAClosedUnitLoop) {
+  // Moore's defining extension over Hilbert: the step wraps around from
+  // the last index back to the first, so indices are taken modulo the
+  // grid size.
+  SFCACD_PBT_CHECK(
+      (Gen<CurveIdx>{[](Rand& r) {
+                       CurveIdx c;
+                       c.kind = CurveKind::kMoore;
+                       c.level = static_cast<unsigned>(r.between(1, 8));
+                       c.idx = r.below(grid_size<2>(c.level));
+                       return c;
+                     },
+                     [](const CurveIdx& c, std::vector<CurveIdx>& out) {
+                       std::vector<std::uint64_t> idxs;
+                       shrink_integral_toward<std::uint64_t>(0, c.idx, idxs);
+                       for (const std::uint64_t i : idxs) {
+                         out.push_back({c.kind, c.level, i});
+                       }
+                     }}),
+      [](const CurveIdx& c) {
+        const auto curve = make_curve<2>(CurveKind::kMoore);
+        const std::uint64_t n = grid_size<2>(c.level);
+        return manhattan(curve->point(c.idx, c.level),
+                         curve->point((c.idx + 1) % n, c.level)) == 1;
+      });
+}
+
+}  // namespace
+}  // namespace sfc::pbt

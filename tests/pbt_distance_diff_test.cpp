@@ -1,0 +1,241 @@
+// Differential properties of the topology layer: every closed-form
+// distance function is checked pair-for-pair against a BFS oracle on an
+// explicitly constructed edge list, the cached DistanceTable fill paths
+// must agree with the virtual distance(), the metric axioms must hold on
+// random rank triples, and RelabeledTopology must match its defining
+// equation d'(a, b) = d(perm[a], perm[b]) under random permutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "oracles/oracles.hpp"
+#include "testing/domain.hpp"
+#include "testing/gtest.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/graph.hpp"
+#include "topology/relabel.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+// ------------------------------------------------ closed form vs BFS
+
+TEST(DistanceDiff, ClosedFormMatchesBfsOracle) {
+  SFCACD_PBT_CHECK(
+      topology_case(64), [](const TopoCase& c) -> std::optional<std::string> {
+        const auto net = c.make();
+        const topo::GraphTopology g = oracle::oracle_graph(c);
+        if (net->size() != g.size()) return "size mismatch vs oracle graph";
+        const topo::Rank p = net->size();
+        const topo::DistanceTable& nt = net->table();
+        const topo::DistanceTable& gt = g.table();
+        std::uint64_t max_d = 0;
+        for (topo::Rank a = 0; a < p; ++a) {
+          for (topo::Rank b = 0; b < p; ++b) {
+            const std::uint64_t want = g.distance(a, b);
+            if (net->distance(a, b) != want) {
+              return "closed form disagrees with BFS at (" +
+                     std::to_string(a) + "," + std::to_string(b) + "): " +
+                     std::to_string(net->distance(a, b)) + " vs " +
+                     std::to_string(want);
+            }
+            if (nt(a, b) != want) return "table fill disagrees with BFS";
+            if (gt(a, b) != want) return "graph table disagrees with BFS";
+            max_d = std::max(max_d, want);
+          }
+        }
+        if (net->diameter() != max_d) {
+          return "diameter " + std::to_string(net->diameter()) +
+                 " != max pair distance " + std::to_string(max_d);
+        }
+        return std::nullopt;
+      });
+}
+
+// --------------------------------------------------------- metric axioms
+
+/// A topology plus three ranks on it (possibly equal).
+struct TopoTriple {
+  TopoCase t;
+  topo::Rank a = 0, b = 0, c = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const TopoTriple& v) {
+  return os << "{" << detail::Printer<TopoCase>::print(v.t) << ", a=" << v.a
+            << ", b=" << v.b << ", c=" << v.c << "}";
+}
+
+Gen<TopoTriple> topo_triple(topo::Rank max_procs) {
+  const Gen<TopoCase> tc = topology_case(max_procs);
+  return Gen<TopoTriple>{
+      [tc](Rand& r) {
+        TopoTriple v;
+        v.t = tc.sample(r);
+        v.a = static_cast<topo::Rank>(r.below(v.t.procs));
+        v.b = static_cast<topo::Rank>(r.below(v.t.procs));
+        v.c = static_cast<topo::Rank>(r.below(v.t.procs));
+        return v;
+      },
+      [tc](const TopoTriple& v, std::vector<TopoTriple>& out) {
+        for (const TopoCase& smaller : tc.shrinks(v.t)) {
+          if (v.a < smaller.procs && v.b < smaller.procs &&
+              v.c < smaller.procs) {
+            out.push_back({smaller, v.a, v.b, v.c});
+          }
+        }
+        for (int which = 0; which < 3; ++which) {
+          const topo::Rank r =
+              which == 0 ? v.a : (which == 1 ? v.b : v.c);
+          std::vector<topo::Rank> cands;
+          shrink_integral_toward<topo::Rank>(0, r, cands);
+          for (const topo::Rank s : cands) {
+            TopoTriple smaller = v;
+            (which == 0 ? smaller.a : which == 1 ? smaller.b : smaller.c) = s;
+            out.push_back(smaller);
+          }
+        }
+      }};
+}
+
+TEST(DistanceDiff, DistanceIsAMetric) {
+  SFCACD_PBT_CHECK(topo_triple(128), [](const TopoTriple& v)
+                                         -> std::optional<std::string> {
+    const auto net = v.t.make();
+    if (net->distance(v.a, v.a) != 0) return "d(a,a) != 0";
+    if (net->distance(v.a, v.b) != net->distance(v.b, v.a)) {
+      return "d(a,b) != d(b,a)";
+    }
+    if (v.a != v.b && net->distance(v.a, v.b) == 0) {
+      return "distinct ranks at distance 0";
+    }
+    if (net->distance(v.a, v.c) >
+        net->distance(v.a, v.b) + net->distance(v.b, v.c)) {
+      return "triangle inequality violated";
+    }
+    return std::nullopt;
+  });
+}
+
+// --------------------------------------------------------------- dragonfly
+
+topo::GraphTopology dragonfly_graph(const topo::DragonflyTopology& df) {
+  const topo::Rank a = df.routers_per_group();
+  const topo::Rank g = df.groups();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (topo::Rank s = 0; s < g; ++s) {
+    for (topo::Rank i = 0; i < a; ++i) {
+      for (topo::Rank j = i + 1; j < a; ++j) {
+        edges.emplace_back(s * a + i, s * a + j);
+      }
+    }
+  }
+  for (topo::Rank s = 0; s < g; ++s) {
+    for (topo::Rank d = s + 1; d < g; ++d) {
+      edges.emplace_back(s * a + df.gateway(s, d), d * a + df.gateway(d, s));
+    }
+  }
+  return topo::GraphTopology(df.size(), std::move(edges));
+}
+
+TEST(DistanceDiff, DragonflyClosedFormMatchesBfs) {
+  SFCACD_PBT_CHECK(
+      unsigned_in(1, 10), [](const unsigned a) -> std::optional<std::string> {
+        const topo::DragonflyTopology df(a);
+        const topo::GraphTopology g = dragonfly_graph(df);
+        const topo::DistanceTable& dt = df.table();
+        std::uint64_t max_d = 0;
+        for (topo::Rank x = 0; x < df.size(); ++x) {
+          for (topo::Rank y = 0; y < df.size(); ++y) {
+            const std::uint64_t want = g.distance(x, y);
+            if (df.distance(x, y) != want) {
+              return "closed form disagrees with BFS at (" +
+                     std::to_string(x) + "," + std::to_string(y) + ")";
+            }
+            if (dt(x, y) != want) return "table fill disagrees with BFS";
+            max_d = std::max(max_d, want);
+          }
+        }
+        if (df.diameter() != max_d) return "diameter != max pair distance";
+        return std::nullopt;
+      });
+}
+
+// ------------------------------------------------------- relabeled views
+
+/// A topology case plus a seed for a uniformly random rank permutation.
+struct RelabelCase {
+  TopoCase t;
+  std::uint64_t perm_seed = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const RelabelCase& v) {
+  return os << "{" << detail::Printer<TopoCase>::print(v.t)
+            << ", perm_seed=" << v.perm_seed << "}";
+}
+
+std::vector<topo::Rank> make_perm(topo::Rank p, std::uint64_t seed) {
+  std::vector<topo::Rank> perm(p);
+  std::iota(perm.begin(), perm.end(), topo::Rank{0});
+  std::mt19937_64 eng(seed);
+  std::shuffle(perm.begin(), perm.end(), eng);
+  return perm;
+}
+
+TEST(DistanceDiff, RelabeledViewMatchesItsDefinition) {
+  const Gen<TopoCase> tc = topology_case(64);
+  SFCACD_PBT_CHECK(
+      (Gen<RelabelCase>{[tc](Rand& r) {
+                          return RelabelCase{tc.sample(r), r.u64()};
+                        },
+                        [tc](const RelabelCase& v,
+                             std::vector<RelabelCase>& out) {
+                          for (const TopoCase& smaller : tc.shrinks(v.t)) {
+                            out.push_back({smaller, v.perm_seed});
+                          }
+                          if (v.perm_seed != 0) out.push_back({v.t, 0});
+                        }}),
+      [](const RelabelCase& v) -> std::optional<std::string> {
+        const auto base = v.t.make();
+        const std::vector<topo::Rank> perm =
+            make_perm(base->size(), v.perm_seed);
+        const topo::RelabeledTopology view(*base, perm);
+        if (view.size() != base->size()) return "size changed by relabel";
+        if (view.diameter() != base->diameter()) {
+          return "diameter changed by relabel";
+        }
+        const topo::DistanceTable& vt = view.table();
+        for (topo::Rank a = 0; a < view.size(); ++a) {
+          for (topo::Rank b = 0; b < view.size(); ++b) {
+            const std::uint64_t want = base->distance(perm[a], perm[b]);
+            if (view.distance(a, b) != want) {
+              return "view.distance != base.distance(perm[a], perm[b])";
+            }
+            if (vt(a, b) != want) {
+              return "permuted table fill disagrees with definition";
+            }
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(DistanceDiff, RelabelRejectsNonPermutations) {
+  const TopoCase c{topo::TopologyKind::kRing, 4, CurveKind::kHilbert};
+  const auto net = c.make();
+  EXPECT_THROW(topo::RelabeledTopology(*net, {0, 1, 2}),
+               std::invalid_argument);  // wrong size
+  EXPECT_THROW(topo::RelabeledTopology(*net, {0, 1, 2, 2}),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(topo::RelabeledTopology(*net, {0, 1, 2, 4}),
+               std::invalid_argument);  // out of range
+  EXPECT_NO_THROW(topo::RelabeledTopology(*net, {3, 1, 0, 2}));
+}
+
+}  // namespace
+}  // namespace sfc::pbt

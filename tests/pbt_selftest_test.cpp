@@ -1,0 +1,310 @@
+// Self-tests of the property-based testing core: the runner must detect
+// failures, shrink them to canonical minimal counterexamples, replay
+// deterministically from (master seed, iteration), honor the environment
+// budget knobs, and keep the domain generators' invariants through
+// shrinking. The capstone is the injected-bug test: a deliberately
+// corrupted DistanceTable must be caught by the differential property
+// and shrunk to the smallest ring that exposes the off-by-one.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testing/domain.hpp"
+#include "testing/gtest.hpp"
+#include "topology/distance_table.hpp"
+#include "topology/factory.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+// ----------------------------------------------------------- runner basics
+
+TEST(PbtRunner, PassingPropertyRunsEveryIteration) {
+  const CheckConfig cfg{.iterations = 123, .seed = 1};
+  const CheckOutcome out =
+      check(u64_in(0, 100), [](std::uint64_t v) { return v <= 100; }, cfg);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.iterations_run, 123u);
+  EXPECT_TRUE(out.message.empty());
+  EXPECT_EQ(out.master_seed, 1u);
+}
+
+TEST(PbtRunner, IntegerCounterexampleShrinksToThreshold) {
+  // The property fails for v >= 1234; greedy shrinking must land exactly
+  // on the boundary (halving overshoots are rejected, decrements finish).
+  const CheckConfig cfg{.iterations = 200, .seed = 7};
+  const CheckOutcome out =
+      check(u64_in(0, 10000), [](std::uint64_t v) { return v < 1234; }, cfg);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.counterexample, "1234");
+  EXPECT_GT(out.shrink_improvements, 0u);
+  EXPECT_NE(out.message.find("SFCACD_PBT_SEED=0x7"), std::string::npos)
+      << out.message;
+}
+
+TEST(PbtRunner, VectorCounterexampleShrinksToMinimalSizeAndContent) {
+  const CheckConfig cfg{.iterations = 200, .seed = 3};
+  const CheckOutcome out = check(
+      vector_of(u64_in(0, 100), 0, 30),
+      [](const std::vector<std::uint64_t>& v) { return v.size() < 5; }, cfg);
+  ASSERT_FALSE(out.ok);
+  // Minimal failing vector: exactly 5 elements, each shrunk to 0.
+  EXPECT_EQ(out.counterexample, "[5 elems: 0 0 0 0 0]");
+}
+
+TEST(PbtRunner, ElementOfShrinksTowardEarlierOptions) {
+  const CheckConfig cfg{.iterations = 100, .seed = 5};
+  const CheckOutcome out = check(
+      element_of(std::vector<int>{10, 20, 30}),
+      [](int v) { return v < 15; }, cfg);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.counterexample, "20");  // 30 shrinks to the earliest failure
+}
+
+TEST(PbtRunner, ReplayIsDeterministic) {
+  const CheckConfig cfg{.iterations = 500, .seed = 99};
+  const auto prop = [](std::uint64_t v) { return v < 990; };
+  const CheckOutcome a = check(u64_in(0, 1000), prop, cfg);
+  const CheckOutcome b = check(u64_in(0, 1000), prop, cfg);
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.failing_iteration, b.failing_iteration);
+  EXPECT_EQ(a.failing_case_seed, b.failing_case_seed);
+  EXPECT_EQ(a.counterexample, b.counterexample);
+  EXPECT_EQ(a.message, b.message);
+}
+
+TEST(PbtRunner, ExceptionInPropertyIsAFailureAndShrinks) {
+  const CheckConfig cfg{.iterations = 200, .seed = 11};
+  const CheckOutcome out = check(
+      u64_in(0, 1000),
+      [](std::uint64_t v) -> bool {
+        if (v >= 500) throw std::runtime_error("boom");
+        return true;
+      },
+      cfg);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.counterexample, "500");
+  EXPECT_NE(out.message.find("property threw: boom"), std::string::npos)
+      << out.message;
+}
+
+TEST(PbtRunner, OptionalStringPropertyCarriesDetail) {
+  const CheckConfig cfg{.iterations = 50, .seed = 2};
+  const CheckOutcome out = check(
+      u64_in(900, 1000),
+      [](std::uint64_t v) -> std::optional<std::string> {
+        return "got " + std::to_string(v);
+      },
+      cfg);
+  ASSERT_FALSE(out.ok);
+  EXPECT_NE(out.message.find("got 900"), std::string::npos) << out.message;
+}
+
+// --------------------------------------------------------- environment knobs
+
+/// Scoped environment override that restores the previous value.
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVarGuard() {
+    if (old_) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvVarGuard(const EnvVarGuard&) = delete;
+  EnvVarGuard& operator=(const EnvVarGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
+TEST(PbtConfig, EnvIterationsOverrideDefault) {
+  const EnvVarGuard guard("SFCACD_PBT_ITERS", "17");
+  EXPECT_EQ(CheckConfig{}.resolved().iterations, 17u);
+}
+
+TEST(PbtConfig, MalformedEnvIterationsFallBackToDefault) {
+  const EnvVarGuard guard("SFCACD_PBT_ITERS", "bogus");
+  EXPECT_EQ(CheckConfig{}.resolved().iterations, kDefaultIterations);
+}
+
+TEST(PbtConfig, EnvSeedParsesHexAndDecimal) {
+  {
+    const EnvVarGuard guard("SFCACD_PBT_SEED", "0x2a");
+    EXPECT_EQ(CheckConfig{}.resolved().seed, 0x2au);
+  }
+  {
+    const EnvVarGuard guard("SFCACD_PBT_SEED", "42");
+    EXPECT_EQ(CheckConfig{}.resolved().seed, 42u);
+  }
+  {
+    const EnvVarGuard guard("SFCACD_PBT_SEED", nullptr);
+    EXPECT_EQ(CheckConfig{}.resolved().seed, kDefaultSeed);
+  }
+}
+
+TEST(PbtConfig, ExplicitConfigBeatsEnvironment) {
+  const EnvVarGuard iters("SFCACD_PBT_ITERS", "17");
+  const EnvVarGuard seed("SFCACD_PBT_SEED", "0x2a");
+  const CheckConfig cfg{.iterations = 5, .seed = 9};
+  EXPECT_EQ(cfg.resolved().iterations, 5u);
+  EXPECT_EQ(cfg.resolved().seed, 9u);
+}
+
+TEST(PbtConfig, ScaledAppliesFactorWithFloorOfOne) {
+  EXPECT_EQ((CheckConfig{.iterations = 100, .seed = 1}).scaled(0.25).iterations,
+            25u);
+  EXPECT_EQ((CheckConfig{.iterations = 10, .seed = 1}).scaled(0.001).iterations,
+            1u);
+}
+
+// ------------------------------------------------------- domain generators
+
+TEST(PbtDomain, DistinctPointsHoldInvariantUnderSamplingAndShrinking) {
+  const unsigned level = 3;
+  const Gen<std::vector<Point2>> gen = distinct_points<2>(level, 1, 16);
+  Rand rand(2024);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Point2> pts = gen.sample(rand);
+    ASSERT_GE(pts.size(), 1u);
+    ASSERT_LE(pts.size(), 16u);
+    std::set<std::uint64_t> keys;
+    for (const Point2& p : pts) {
+      ASSERT_TRUE(in_grid(p, level)) << to_string(p);
+      ASSERT_TRUE(keys.insert(pack(p, level)).second)
+          << "duplicate cell " << to_string(p);
+    }
+    // Every shrink candidate must preserve the distinct-cell invariant.
+    for (const std::vector<Point2>& cand : gen.shrinks(pts)) {
+      ASSERT_GE(cand.size(), 1u);
+      std::set<std::uint64_t> ck;
+      for (const Point2& p : cand) {
+        ASSERT_TRUE(in_grid(p, level));
+        ASSERT_TRUE(ck.insert(pack(p, level)).second);
+      }
+    }
+  }
+}
+
+TEST(PbtDomain, TopologyCasesAreAlwaysConstructible) {
+  SFCACD_PBT_CHECK(topology_case(64), [](const TopoCase& t) {
+    const auto net = t.make();
+    return net != nullptr && net->size() == t.procs && net->kind() == t.kind;
+  });
+}
+
+TEST(PbtDomain, TopologyCaseShrinksStayValid) {
+  const Gen<TopoCase> gen = topology_case(64);
+  Rand rand(55);
+  for (int i = 0; i < 200; ++i) {
+    const TopoCase t = gen.sample(rand);
+    for (const TopoCase& cand : gen.shrinks(t)) {
+      const auto net = cand.make();  // throws on an invalid (kind, procs)
+      ASSERT_EQ(net->size(), cand.procs);
+    }
+  }
+}
+
+// -------------------------------------------- the injected-bug acceptance test
+
+/// A ring of size p plus one ordered rank pair on it.
+struct RingPair {
+  topo::Rank p = 1;
+  topo::Rank a = 0;
+  topo::Rank b = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const RingPair& c) {
+  return os << "{p=" << c.p << ", a=" << c.a << ", b=" << c.b << "}";
+}
+
+Gen<RingPair> ring_pair(topo::Rank max_p) {
+  return Gen<RingPair>{
+      [max_p](Rand& r) {
+        RingPair c;
+        c.p = static_cast<topo::Rank>(r.between(1, max_p));
+        c.a = static_cast<topo::Rank>(r.below(c.p));
+        c.b = static_cast<topo::Rank>(r.below(c.p));
+        return c;
+      },
+      [](const RingPair& c, std::vector<RingPair>& out) {
+        std::vector<topo::Rank> cands;
+        shrink_integral_toward<topo::Rank>(1, c.p, cands);
+        for (const topo::Rank p : cands) {
+          if (c.a < p && c.b < p) out.push_back({p, c.a, c.b});
+        }
+        cands.clear();
+        shrink_integral_toward<topo::Rank>(0, c.a, cands);
+        for (const topo::Rank a : cands) out.push_back({c.p, a, c.b});
+        cands.clear();
+        shrink_integral_toward<topo::Rank>(0, c.b, cands);
+        for (const topo::Rank b : cands) out.push_back({c.p, c.a, b});
+      }};
+}
+
+/// The differential property every table must satisfy: table(a, b) equals
+/// the topology's closed-form distance. `bug_below_diagonal` injects an
+/// off-by-one into the lower triangle, modeling a transposed/asymmetric
+/// fill — exactly the class of mistake a closed-form one-pass fill can make.
+std::optional<std::string> ring_table_matches(const RingPair& c,
+                                              bool bug_below_diagonal) {
+  const auto curve = make_curve<2>(CurveKind::kHilbert);
+  const auto net =
+      topo::make_topology<2>(topo::TopologyKind::kRing, c.p, curve.get());
+  topo::DistanceTable table(c.p);
+  for (topo::Rank x = 0; x < c.p; ++x) {
+    for (topo::Rank y = 0; y < c.p; ++y) {
+      table.at(x, y) = static_cast<std::uint32_t>(net->distance(x, y)) +
+                       ((bug_below_diagonal && x > y) ? 1u : 0u);
+    }
+  }
+  if (table(c.a, c.b) != net->distance(c.a, c.b)) {
+    return "table(" + std::to_string(c.a) + ", " + std::to_string(c.b) +
+           ") = " + std::to_string(table(c.a, c.b)) + " but distance is " +
+           std::to_string(net->distance(c.a, c.b));
+  }
+  return std::nullopt;
+}
+
+TEST(PbtInjectedBug, CorrectDistanceTablePasses) {
+  const CheckConfig cfg{.iterations = 300, .seed = 0xacd};
+  const CheckOutcome out = check(
+      ring_pair(16),
+      [](const RingPair& c) { return ring_table_matches(c, false); }, cfg);
+  EXPECT_TRUE(out.ok) << out.message;
+}
+
+TEST(PbtInjectedBug, OffByOneIsCaughtAndShrunkToMinimalCounterexample) {
+  // The acceptance criterion for the harness: a deliberately injected
+  // off-by-one in a DistanceTable fill must be detected, and the shrinker
+  // must reduce whatever random (p, a, b) first exposed it to the
+  // smallest instance that can: a 2-ring with the pair (1, 0).
+  const CheckConfig cfg{.iterations = 300, .seed = 0xacd};
+  const CheckOutcome out = check(
+      ring_pair(16),
+      [](const RingPair& c) { return ring_table_matches(c, true); }, cfg);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.counterexample, "{p=2, a=1, b=0}") << out.message;
+  EXPECT_NE(out.message.find("replay: SFCACD_PBT_SEED=0xacd"),
+            std::string::npos)
+      << out.message;
+}
+
+}  // namespace
+}  // namespace sfc::pbt

@@ -1,0 +1,236 @@
+// Metamorphic properties of the sweep engine over randomized study
+// grids: artifact reuse, cache pressure, and fold parallelism are pure
+// wall-clock optimizations, so for any Study the result cells, the
+// across-trial statistics, and (for a fixed configuration) the cache
+// counters must be bit-identical across those execution strategies.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "distribution/distribution.hpp"
+#include "sfc/curve.hpp"
+#include "testing/domain.hpp"
+#include "testing/gtest.hpp"
+#include "topology/topology.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sfc::pbt {
+namespace {
+
+util::ThreadPool& shared_pool() {
+  static util::ThreadPool pool(4);
+  return pool;
+}
+
+std::ostream& operator<<(std::ostream& os, const core::Study& s) {
+  os << "{n=" << s.particles << ", level=" << s.level << ", radius="
+     << s.radius << ", norm="
+     << (s.norm == fmm::NeighborNorm::kChebyshev ? "chebyshev" : "manhattan")
+     << ", seed=" << s.seed << ", trials=" << s.trials << ", dists=[";
+  for (const auto d : s.distributions) os << dist::dist_name(d) << " ";
+  os << "], particle_curves=[";
+  for (const auto c : s.particle_curves) os << curve_name(c) << " ";
+  os << "], processor_curves=[";
+  for (const auto c : s.processor_curves) os << curve_name(c) << " ";
+  os << "], topologies=[";
+  for (const auto t : s.topologies) os << topo::topology_name(t) << " ";
+  os << "], procs=[";
+  for (const auto p : s.proc_counts) os << p << " ";
+  return os << "]}";
+}
+
+}  // namespace
+
+// ADL cannot find the operator<< above from the runner (core::Study's
+// associated namespace is sfc::core), so register a Printer directly.
+namespace detail {
+template <>
+struct Printer<core::Study> {
+  static std::string print(const core::Study& s) {
+    std::ostringstream os;
+    os << s;
+    return os.str();
+  }
+};
+}  // namespace detail
+
+namespace {
+
+/// `count` distinct elements of `options`, keeping the original order.
+template <typename T, std::size_t N>
+std::vector<T> subset_of(Rand& r, const T (&options)[N], std::size_t count) {
+  std::vector<bool> taken(N, false);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t i = r.below(N);
+    while (taken[i]) i = (i + 1) % N;
+    taken[i] = true;
+  }
+  std::vector<T> out;
+  for (std::size_t i = 0; i < N; ++i) {
+    if (taken[i]) out.push_back(options[i]);
+  }
+  return out;
+}
+
+Gen<core::Study> study_gen() {
+  return Gen<core::Study>{
+      [](Rand& r) {
+        core::Study s;
+        s.name = "pbt";
+        s.particles = r.between(32, 120);
+        s.level = static_cast<unsigned>(r.between(5, 6));
+        s.radius = static_cast<unsigned>(r.between(1, 2));
+        s.norm = r.coin() ? fmm::NeighborNorm::kChebyshev
+                          : fmm::NeighborNorm::kManhattan;
+        s.seed = r.u64();
+        s.trials = static_cast<unsigned>(r.between(1, 2));
+        s.distributions =
+            subset_of(r, dist::kAllDistributions, r.between(1, 2));
+        s.particle_curves = subset_of(r, kAllCurves, r.between(1, 2));
+        s.processor_curves =
+            r.coin() ? std::vector<CurveKind>{}  // paired mode
+                     : subset_of(r, kAllCurves, r.between(1, 2));
+        s.topologies = subset_of(r, topo::kAllTopologies, r.between(1, 3));
+        const topo::Rank pc_options[] = {1, 4, 16, 64};
+        s.proc_counts = subset_of(r, pc_options, r.between(1, 2));
+        return s;
+      },
+      [](const core::Study& s, std::vector<core::Study>& out) {
+        auto with = [&s](auto&& mutate) {
+          core::Study smaller = s;
+          mutate(smaller);
+          return smaller;
+        };
+        if (s.distributions.size() > 1) {
+          out.push_back(with(
+              [](core::Study& t) { t.distributions.resize(1); }));
+        }
+        if (s.particle_curves.size() > 1) {
+          out.push_back(with(
+              [](core::Study& t) { t.particle_curves.resize(1); }));
+        }
+        if (!s.processor_curves.empty()) {
+          out.push_back(with(
+              [](core::Study& t) { t.processor_curves.clear(); }));
+        }
+        if (s.topologies.size() > 1) {
+          out.push_back(with([](core::Study& t) { t.topologies.resize(1); }));
+        }
+        if (s.proc_counts.size() > 1) {
+          out.push_back(with([](core::Study& t) { t.proc_counts.resize(1); }));
+        }
+        if (s.trials > 1) {
+          out.push_back(with([](core::Study& t) { t.trials = 1; }));
+        }
+        if (s.particles > 32) {
+          out.push_back(with([&s](core::Study& t) {
+            t.particles = 32 + (s.particles - 32) / 2;
+          }));
+        }
+      }};
+}
+
+// Exact (bit-level) comparison helpers: the engine's contract is
+// bit-identical results, not approximately-equal ones.
+
+std::optional<std::string> expect_same_cells(const core::StudyResult& a,
+                                             const core::StudyResult& b,
+                                             const char* what) {
+  if (a.cells.size() != b.cells.size()) {
+    return std::string(what) + ": cell counts differ";
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i].nfi_acd != b.cells[i].nfi_acd ||
+        a.cells[i].ffi_acd != b.cells[i].ffi_acd) {
+      return std::string(what) + ": cell " + std::to_string(i) + " differs";
+    }
+  }
+  if (a.stats.size() != b.stats.size()) {
+    return std::string(what) + ": stats sizes differ";
+  }
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    const auto& sa = a.stats[i];
+    const auto& sb = b.stats[i];
+    if (sa.nfi.count() != sb.nfi.count() || sa.nfi.mean() != sb.nfi.mean() ||
+        sa.nfi.ci95_halfwidth() != sb.nfi.ci95_halfwidth() ||
+        sa.ffi.count() != sb.ffi.count() || sa.ffi.mean() != sb.ffi.mean() ||
+        sa.ffi.ci95_halfwidth() != sb.ffi.ci95_halfwidth()) {
+      return std::string(what) + ": stats " + std::to_string(i) + " differ";
+    }
+  }
+  return std::nullopt;
+}
+
+bool same_sweep_stats(const core::SweepStats& a, const core::SweepStats& b) {
+  for (unsigned i = 0; i < core::kSweepStageCount; ++i) {
+    if (a.stages[i].hits != b.stages[i].hits ||
+        a.stages[i].misses != b.stages[i].misses) {
+      return false;
+    }
+  }
+  return a.evictions == b.evictions && a.bytes == b.bytes &&
+         a.peak_bytes == b.peak_bytes;
+}
+
+TEST(SweepDiff, ReuseMatchesColdPath) {
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.05),
+      [](const core::Study& s) -> std::optional<std::string> {
+        core::SweepOptions reuse;
+        core::SweepOptions cold;
+        cold.reuse = false;
+        const core::StudyResult a = core::run_study(s, reuse);
+        const core::StudyResult b = core::run_study(s, cold);
+        return expect_same_cells(a, b, "reuse vs cold");
+      });
+}
+
+TEST(SweepDiff, TinyCacheMatchesDefaultAndCountsDeterministically) {
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.05),
+      [](const core::Study& s) -> std::optional<std::string> {
+        core::SweepOptions tiny;
+        tiny.cache_bytes = 2048;  // evicts constantly
+        const core::StudyResult a = core::run_study(s, tiny);
+        const core::StudyResult b = core::run_study(s, core::SweepOptions{});
+        if (auto err = expect_same_cells(a, b, "tiny cache vs default")) {
+          return err;
+        }
+        // Cache counters are part of the determinism contract: the same
+        // configuration must reproduce the same hit/miss/eviction stream.
+        const core::StudyResult a2 = core::run_study(s, tiny);
+        if (!same_sweep_stats(a.sweep, a2.sweep)) {
+          return "tiny-cache sweep counters differ between identical runs";
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(SweepDiff, ThreadedMatchesSerial) {
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.05),
+      [](const core::Study& s) -> std::optional<std::string> {
+        core::SweepOptions serial;
+        core::SweepOptions threaded;
+        threaded.pool = &shared_pool();
+        const core::StudyResult a = core::run_study(s, serial);
+        const core::StudyResult b = core::run_study(s, threaded);
+        if (auto err = expect_same_cells(a, b, "threaded vs serial")) {
+          return err;
+        }
+        if (!same_sweep_stats(a.sweep, b.sweep)) {
+          return "threaded sweep counters differ from serial";
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+}  // namespace sfc::pbt

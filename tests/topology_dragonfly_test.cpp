@@ -66,6 +66,44 @@ TEST_P(DragonflySize, GatewayPairingIsBijective) {
 INSTANTIATE_TEST_SUITE_P(Sizes, DragonflySize,
                          ::testing::Values(1u, 2u, 3u, 4u, 8u));
 
+TEST(Dragonfly, MinimalSizesAreNonPowerOfTwoAndCorrect) {
+  // p = a(a+1) is never a power of two for a > 1 — the sizes that shake
+  // out divide/modulo assumptions tuned for power-of-two topologies.
+  const DragonflyTopology one(1);  // 2 groups of 1 router: a single link
+  EXPECT_EQ(one.size(), 2u);
+  EXPECT_EQ(one.groups(), 2u);
+  EXPECT_EQ(one.distance(0, 0), 0u);
+  EXPECT_EQ(one.distance(0, 1), 1u);
+  EXPECT_EQ(one.distance(1, 0), 1u);
+  EXPECT_EQ(one.diameter(), 1u);  // a=1 is the only diameter-1 dragonfly
+
+  const DragonflyTopology two(2);
+  EXPECT_EQ(two.size(), 6u);
+  EXPECT_EQ(two.groups(), 3u);
+  EXPECT_EQ(two.diameter(), 3u);
+
+  const DragonflyTopology three(3);
+  EXPECT_EQ(three.size(), 12u);
+  EXPECT_EQ(three.groups(), 4u);
+  EXPECT_EQ(three.diameter(), 3u);
+}
+
+TEST(Dragonfly, TableFillMatchesDistanceAtMinimalSizes) {
+  // The one-pass fill_table override must agree with the closed form on
+  // every pair, including the degenerate a=1 network.
+  for (const Rank a : {1u, 2u, 3u}) {
+    const DragonflyTopology df(a);
+    const DistanceTable& t = df.table();
+    ASSERT_EQ(t.procs(), df.size());
+    for (Rank x = 0; x < df.size(); ++x) {
+      for (Rank y = 0; y < df.size(); ++y) {
+        EXPECT_EQ(t(x, y), df.distance(x, y))
+            << "a=" << a << " (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
 TEST(Dragonfly, DistancesAreBounded) {
   const DragonflyTopology df(8);  // 72 processors
   std::uint64_t max_d = 0;
