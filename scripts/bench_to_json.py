@@ -20,6 +20,7 @@ Usage:
 
 import argparse
 import json
+import math
 import os
 import subprocess
 import sys
@@ -123,6 +124,94 @@ def traced_table1_overhead(binary, span_disabled_ns):
         "span_disabled_ns": span_disabled_ns,
         "disabled_overhead_pct": overhead_pct,
     }
+
+
+def run_micro_curves(binary, min_time, smoke):
+    """Per-curve encode timings (virtual per-point vs batched, ns/point)
+    and the ordering-stage comparison (virtual encode + stable_sort vs
+    batched encode + radix argsort) at the level-10/100k acceptance
+    scenario."""
+    cmd = [binary, "--benchmark_filter=Encode|Order",
+           "--benchmark_format=json"]
+    cmd.append("--benchmark_min_time=0" if smoke
+               else f"--benchmark_min_time={min_time}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+    per_point, batched, order_virtual, order_radix = {}, {}, {}, {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name, _, curve = b["name"].partition("/")
+        ns = ns_per_pair(b)  # items are points here, so this is ns/point
+        if name == "BM_EncodePerPoint":
+            per_point[curve] = ns
+        elif name == "BM_EncodeBatched":
+            batched[curve] = ns
+        elif name == "BM_OrderVirtualStableSort":
+            order_virtual[curve] = ns
+        elif name == "BM_OrderBatchedRadix":
+            order_radix[curve] = ns
+    curves = {}
+    for curve in per_point:
+        p, b = per_point[curve], batched.get(curve)
+        curves[curve] = {
+            "per_point_ns": p,
+            "batched_ns": b,
+            "speedup": p / b if p and b else None,
+        }
+    ordering = {}
+    for curve in order_virtual:
+        v, r = order_virtual[curve], order_radix.get(curve)
+        ordering[curve] = {
+            "virtual_stable_sort_ns_per_point": v,
+            "batched_radix_ns_per_point": r,
+            "speedup": v / r if v and r else None,
+        }
+    return curves, ordering
+
+
+def check_gates(result, previous, smoke):
+    """Regression gates against hard floors and the committed baseline.
+
+    - The FFI aggregated path must beat the direct path by >= 1.5x (1.2x
+      in smoke mode, where single-iteration timings are indicative only).
+    - The ordering stage (batched encode + radix argsort) must beat the
+      virtual-encode + stable_sort baseline by >= 3x (1.5x smoke),
+      measured as the geometric mean over the benchmarked curves: the
+      cheap-encode curves (morton) sit right at 3x with high run-to-run
+      variance because the comparison sort dominates both shapes, while
+      hilbert clears 5x -- a per-curve floor would flap on noise.
+    - The ordering stage must not regress by more than 25% (50% smoke)
+      against the ns/point recorded in the committed BENCH_acd.json.
+    Returns a list of failure strings; empty means all gates passed.
+    """
+    failures = []
+    ffi_floor = 1.2 if smoke else 1.5
+    order_floor = 1.5 if smoke else 3.0
+    regress_cap = 0.50 if smoke else 0.25
+
+    ffi_speedup = result.get("ffi", {}).get("speedup")
+    if ffi_speedup is not None and ffi_speedup < ffi_floor:
+        failures.append(f"ffi aggregated speedup {ffi_speedup:.2f}x "
+                        f"< {ffi_floor}x floor")
+
+    speedups = [o["speedup"] for o in result.get("ordering", {}).values()
+                if o.get("speedup") is not None]
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if geomean < order_floor:
+            failures.append(f"ordering: batched+radix geomean speedup "
+                            f"{geomean:.2f}x < {order_floor}x floor")
+
+    old_ordering = (previous or {}).get("ordering", {})
+    for curve, o in result.get("ordering", {}).items():
+        new_ns = o.get("batched_radix_ns_per_point")
+        old_ns = old_ordering.get(curve, {}).get("batched_radix_ns_per_point")
+        if new_ns and old_ns and new_ns > old_ns * (1.0 + regress_cap):
+            failures.append(
+                f"ordering/{curve}: {new_ns:.2f} ns/point regressed "
+                f"> {regress_cap:.0%} over committed {old_ns:.2f}")
+    return failures
 
 
 def run_sweep_harness(binary, extra):
@@ -237,6 +326,13 @@ def main():
         "ffi": ffi,
     }
 
+    micro_curves = os.path.join(opts.build_dir, "bench", "micro_curves")
+    if os.path.exists(micro_curves):
+        curves, ordering = run_micro_curves(micro_curves, opts.min_time,
+                                            opts.smoke)
+        result["curves"] = curves
+        result["ordering"] = ordering
+
     micro_obs = os.path.join(opts.build_dir, "bench", "micro_obs")
     obs = {}
     if os.path.exists(micro_obs):
@@ -283,6 +379,17 @@ def main():
         if sweeps:
             result["sweep_engine"] = sweeps
 
+    # The committed file (if any) is the regression baseline — read it
+    # before overwriting.
+    previous = None
+    if os.path.exists(opts.out):
+        try:
+            with open(opts.out) as f:
+                previous = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            previous = None
+    failures = check_gates(result, previous, opts.smoke)
+
     with open(opts.out, "w") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
@@ -308,6 +415,21 @@ def main():
         o = obs_out["table1_nfi"]
         print(f"  obs/table1_nfi: {o['spans']} spans, disabled-tracing "
               f"overhead bound {o['disabled_overhead_pct']:.5f}% (< 1%)")
+    for curve, c in sorted(result.get("curves", {}).items()):
+        if c.get("speedup"):
+            print(f"  encode/{curve}: {c['per_point_ns']:.2f} ns/point "
+                  f"virtual vs {c['batched_ns']:.2f} batched "
+                  f"({c['speedup']:.2f}x)")
+    for curve, o in sorted(result.get("ordering", {}).items()):
+        if o.get("speedup"):
+            print(f"  ordering/{curve}: "
+                  f"{o['virtual_stable_sort_ns_per_point']:.2f} ns/point "
+                  f"baseline vs {o['batched_radix_ns_per_point']:.2f} "
+                  f"batched+radix ({o['speedup']:.2f}x)")
+    if failures:
+        for f in failures:
+            print(f"GATE FAILED: {f}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

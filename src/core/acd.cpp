@@ -1,28 +1,28 @@
 #include "core/acd.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include "util/radix_sort.hpp"
 
 namespace sfc::core {
 namespace {
 
-/// Sort particles by their position on the given curve.
+/// Sort particles by their position on the given curve. The keys come
+/// from the batched encode; the argsort is a stable LSD radix sort, so
+/// equal-key particles keep their sampling order — the same tie-break as
+/// the std::stable_sort this replaced, which keeps the sorted sequence
+/// (and every golden number downstream) identical across standard-library
+/// implementations and across the sort swap itself.
 template <int D>
 std::vector<Point<D>> sorted_by_curve(std::vector<Point<D>> particles,
                                       unsigned level, const Curve<D>& curve) {
-  std::vector<std::uint64_t> keys = indices_of(curve, particles, level);
-  std::vector<std::uint32_t> order(particles.size());
-  std::iota(order.begin(), order.end(), 0u);
-  // stable_sort: equal-key particles keep their sampling order, so the
-  // sorted sequence (and every golden number downstream) is identical
-  // across standard-library implementations.
-  std::stable_sort(order.begin(), order.end(),
-                   [&keys](std::uint32_t a, std::uint32_t b) {
-                     return keys[a] < keys[b];
-                   });
+  const std::vector<std::uint64_t> keys = indices_of(curve, particles, level);
+  std::vector<util::KeyIndex> items(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    items[i] = util::KeyIndex{keys[i], static_cast<std::uint32_t>(i)};
+  }
+  util::radix_sort_pairs(items);
   std::vector<Point<D>> sorted;
   sorted.reserve(particles.size());
-  for (const std::uint32_t i : order) sorted.push_back(particles[i]);
+  for (const util::KeyIndex& it : items) sorted.push_back(particles[it.index]);
   return sorted;
 }
 

@@ -92,7 +92,8 @@ CommTotals RankPairAccumulator::fold(const topo::Topology& net) const {
 
 CommTotals RankPairAccumulator::fold_auto(const topo::Topology& net) const {
   assert(net.size() == p_);
-  return topo::distance_table_fits(p_) ? fold(net.table()) : fold(net);
+  const topo::DistanceTable* table = topo::table_if_fits(net);
+  return table != nullptr ? fold(*table) : fold(net);
 }
 
 std::uint64_t RankPairAccumulator::events() const {

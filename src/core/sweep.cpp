@@ -1,11 +1,11 @@
 #include "core/sweep.hpp"
 
-#include <algorithm>
+#include <atomic>
 #include <initializer_list>
-#include <numeric>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/radix_sort.hpp"
 #include "util/rng.hpp"
 
 namespace sfc::core {
@@ -133,14 +133,28 @@ struct CanonicalSample2 {
   }
 };
 
+/// Argsort policy: the dense scatter walks the whole 4^level slot array
+/// (a memset plus a full scan), so it only pays while the grid is within
+/// a small factor of the sample size; past that — and always beyond the
+/// dense-bits cap — a radix argsort over just the occupied keys is the
+/// linear-time path.
+bool dense_argsort_pays(unsigned level, std::size_t n) noexcept {
+  if (2u * level > fmm::OccupancyGrid<2>::kDenseBits) return false;
+  const std::uint64_t cells = grid_size<2>(level);
+  return cells <= (std::uint64_t{1} << 16) || cells <= 4 * std::uint64_t{n};
+}
+
 /// Particles of `raw` sorted by row-major packed cell id. The samplers
 /// place every particle in a distinct cell, so the order is unique — a
-/// linear dense scatter by cell id when the grid fits, a comparison sort
-/// beyond.
-std::vector<Point2> canonical_order(const Sample2& raw, unsigned level) {
+/// linear dense scatter by cell id on compact grids, a (threaded) stable
+/// radix sort of (key, index) pairs beyond. Both produce the same unique
+/// permutation, so the canonical artifact is independent of the path and
+/// of the thread count.
+std::vector<Point2> canonical_order(const Sample2& raw, unsigned level,
+                                    util::ThreadPool* pool) {
   std::vector<Point2> out;
   out.reserve(raw.size());
-  if (2u * level <= fmm::OccupancyGrid<2>::kDenseBits) {
+  if (dense_argsort_pays(level, raw.size())) {
     std::vector<std::int32_t> slot(
         static_cast<std::size_t>(grid_size<2>(level)), -1);
     for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -151,11 +165,16 @@ std::vector<Point2> canonical_order(const Sample2& raw, unsigned level) {
     }
     return out;
   }
-  out = raw;
-  std::sort(out.begin(), out.end(),
-            [level](const Point2& a, const Point2& b) {
-              return pack(a, level) < pack(b, level);
-            });
+  std::vector<util::KeyIndex> items(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    items[i] = util::KeyIndex{pack(raw[i], level),
+                              static_cast<std::uint32_t>(i)};
+  }
+  {
+    const obs::Span span("sweep/canonical/radix");
+    util::radix_sort_pairs(items, pool);
+  }
+  for (const util::KeyIndex& it : items) out.push_back(raw[it.index]);
   return out;
 }
 
@@ -169,16 +188,19 @@ struct Ordering2 {
 };
 
 /// Curve indices are a bijection between cells and [0, 4^level), and the
-/// particles occupy distinct cells, so the argsort degenerates to a
-/// dense scatter + scan — linear in cells, no comparisons — and the
-/// resulting permutation equals the stable_sort the sorting AcdInstance
-/// constructor performs (distinct keys make it unique).
+/// particles occupy distinct cells, so the argsort is unique and equals
+/// the stable_sort the sorting AcdInstance constructor performs. Keys
+/// come from the batched encode (one virtual call for the whole sample);
+/// the argsort is a dense scatter + scan on compact grids and a stable
+/// LSD radix sort of (key, index) pairs beyond. Serial radix on purpose:
+/// ordering builds already fan out across curves on the pool, and a
+/// nested threaded sort would fight them for workers.
 Ordering2 make_ordering(const std::vector<Point2>& canonical, unsigned level,
                         const Curve<2>& curve) {
   const std::vector<std::uint64_t> keys = indices_of(curve, canonical, level);
   Ordering2 out;
   out.rank.resize(canonical.size());
-  if (2u * level <= fmm::OccupancyGrid<2>::kDenseBits) {
+  if (dense_argsort_pays(level, canonical.size())) {
     std::vector<std::int32_t> slot(
         static_cast<std::size_t>(grid_size<2>(level)), -1);
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -190,14 +212,16 @@ Ordering2 make_ordering(const std::vector<Point2>& canonical, unsigned level,
     }
     return out;
   }
-  std::vector<std::uint32_t> order(canonical.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&keys](std::uint32_t a, std::uint32_t b) {
-                     return keys[a] < keys[b];
-                   });
-  for (std::uint32_t k = 0; k < order.size(); ++k) {
-    out.rank[order[k]] = k;
+  std::vector<util::KeyIndex> items(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    items[i] = util::KeyIndex{keys[i], static_cast<std::uint32_t>(i)};
+  }
+  {
+    const obs::Span span("sweep/order/radix");
+    util::radix_sort_pairs(items);
+  }
+  for (std::uint32_t k = 0; k < items.size(); ++k) {
+    out.rank[items[k].index] = k;
   }
   return out;
 }
@@ -224,6 +248,12 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
   const bool parallel = pool != nullptr && pool->size() > 1;
   const double trials = s.trials;
   const std::size_t nrc = s.processor_order_count();
+
+  // Ordering-stage throughput accounting for the
+  // sweep.stage.order.ns_per_particle gauge: every cache-miss ordering
+  // build adds its span-clock wall time and particle count.
+  std::atomic<std::uint64_t> order_build_ns{0};
+  std::atomic<std::uint64_t> order_build_particles{0};
 
   std::vector<CellJob> jobs;
   for (std::size_t d = 0; d < s.distributions.size(); ++d) {
@@ -252,7 +282,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                   return std::pair{pts, bytes};
                 });
             auto canon = std::make_shared<const CanonicalSample2>(
-                canonical_order(*sample, s.level), s.level);
+                canonical_order(*sample, s.level, pool), s.level);
             return std::pair{canon, canon->memory_bytes()};
           });
 
@@ -282,11 +312,17 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
         }
         for (OrderingBuild& b : builds) {
           const CurveKind pkind = s.particle_curves[b.pc];
-          auto construct = [&b, &canonical, pkind, level = s.level] {
+          auto construct = [&b, &canonical, pkind, level = s.level,
+                            &order_build_ns, &order_build_particles] {
             const obs::Span span(stage_span_name(SweepStage::kOrdering));
+            const std::uint64_t t0 = obs::now_ns();
             const auto curve = make_curve<2>(pkind);
             b.built = std::make_shared<const Ordering2>(
                 make_ordering(canonical->particles, level, *curve));
+            order_build_ns.fetch_add(obs::now_ns() - t0,
+                                     std::memory_order_relaxed);
+            order_build_particles.fetch_add(canonical->particles.size(),
+                                            std::memory_order_relaxed);
           };
           if (parallel) {
             pool->submit(construct);
@@ -481,6 +517,12 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
   }
   result.sweep = cache.stats();
   publish_sweep_metrics(result.sweep);
+  if (obs::metrics_enabled() && order_build_particles.load() > 0) {
+    obs::Registry::instance()
+        .gauge("sweep.stage.order.ns_per_particle")
+        .set(static_cast<double>(order_build_ns.load()) /
+             static_cast<double>(order_build_particles.load()));
+  }
   return result;
 }
 

@@ -71,28 +71,59 @@ void neighbors(const Point<D>& cell, unsigned level,
   }
 }
 
-/// FMM interaction list of `cell` at `level` (paper Section III, Fig. 4):
-/// the same-level children of the parent's neighbors that are not adjacent
-/// to (and distinct from) `cell`. Empty at levels 0 and 1, where the
-/// parent has no neighbors. At most 27 cells in 2-D, 189 in 3-D.
+/// Visit the FMM interaction list of `cell` at `level` (paper Section
+/// III, Fig. 4) without materializing it: fn(child) for every same-level
+/// child of the parent's neighbors that is not adjacent to (and distinct
+/// from) `cell`. Empty at levels 0 and 1, where the parent has no
+/// neighbors; at most 27 visits in 2-D, 189 in 3-D. Allocation-free —
+/// the FFI hot loop calls this once per occupied cell, so the candidate
+/// cells go straight from the offset odometer into the key lookup.
+template <int D, typename Fn>
+void for_each_interaction(const Point<D>& cell, unsigned level, Fn&& fn) {
+  if (level < 2) return;
+  const Point<D> par = parent_cell(cell);
+  const std::int64_t side = 1ll << (level - 1);
+  Point<D> pn{};
+  int off[4];  // D <= 4 (static_assert in Point)
+  for (int i = 0; i < D; ++i) off[i] = -1;
+  for (;;) {
+    bool in = true;
+    for (int i = 0; i < D; ++i) {
+      const std::int64_t v = static_cast<std::int64_t>(par[i]) + off[i];
+      if (v < 0 || v >= side) {
+        in = false;
+        break;
+      }
+      pn[i] = static_cast<std::uint32_t>(v);
+    }
+    if (in) {
+      // Enumerate pn's 2^D children (the self-neighbor contributes the
+      // cell's own siblings; the chebyshev filter drops the adjacent
+      // ones, so no explicit zero-offset test is needed).
+      for (std::uint32_t mask = 0; mask < (1u << D); ++mask) {
+        Point<D> child{};
+        for (int i = 0; i < D; ++i) {
+          child[i] = (pn[i] << 1) | ((mask >> i) & 1u);
+        }
+        if (chebyshev(child, cell) > 1) fn(child);
+      }
+    }
+    int d = 0;
+    while (d < D && off[d] == 1) off[d++] = -1;
+    if (d == D) break;
+    ++off[d];
+  }
+}
+
+/// Materialized interaction list (same enumeration order as
+/// for_each_interaction; the reference FFI path and the tests use this
+/// form).
 template <int D>
 void interaction_list(const Point<D>& cell, unsigned level,
                       std::vector<Point<D>>& out) {
   out.clear();
-  if (level < 2) return;
-  const Point<D> par = parent_cell(cell);
-  std::vector<Point<D>> par_neighbors;
-  neighbors(par, level - 1, par_neighbors);
-  for (const auto& pn : par_neighbors) {
-    // Enumerate pn's 2^D children.
-    for (std::uint32_t mask = 0; mask < (1u << D); ++mask) {
-      Point<D> child{};
-      for (int i = 0; i < D; ++i) {
-        child[i] = (pn[i] << 1) | ((mask >> i) & 1u);
-      }
-      if (chebyshev(child, cell) > 1) out.push_back(child);
-    }
-  }
+  for_each_interaction<D>(cell, level,
+                          [&out](const Point<D>& child) { out.push_back(child); });
 }
 
 /// Morton key of a cell (level-agnostic; level only bounds coordinates).

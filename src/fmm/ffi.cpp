@@ -1,10 +1,10 @@
 #include "fmm/ffi.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "fmm/cells.hpp"
 #include "obs/trace.hpp"
+#include "util/radix_sort.hpp"
 
 namespace sfc::fmm {
 
@@ -18,8 +18,7 @@ CellTree<D>::CellTree(const std::vector<Point<D>>& particles, unsigned level)
     finest.push_back(
         Cell{cell_key(particles[i]), static_cast<std::uint32_t>(i)});
   }
-  std::sort(finest.begin(), finest.end(),
-            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+  util::radix_sort_by_key(finest, [](const Cell& c) { return c.key; });
   // Particles occupy distinct cells, but be robust: merge duplicates by
   // minimum particle index (the list is key-sorted, not index-sorted).
   auto dedup = [](std::vector<Cell>& cells) {
@@ -132,100 +131,141 @@ core::CommTotals il_range(const CellTree<D>& tree, const Partition& part,
   return totals;
 }
 
-/// Shared lookup state of the aggregated path, built once per evaluation.
-struct FoldContext {
-  const std::vector<topo::Rank>& owners;
-  const topo::DistanceTable* table;  // nullptr beyond the entry budget
-  const topo::Topology& net;
-  topo::Rank procs;
-
-  core::CommTotals fold(const core::RankPairAccumulator& acc) const {
-    return table != nullptr ? acc.fold(*table) : acc.fold(net);
-  }
-};
-
 /// Histogram the (child owner, parent owner) interpolation pairs of
 /// cells [lo, hi) at level `l` into `acc`.
 template <int D>
 void interp_range_into(const CellTree<D>& tree, const topo::Rank* own,
                        core::RankPairAccumulator& acc, unsigned l,
                        std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return;
   const auto& cells = tree.cells(l);
+  const auto& parents = tree.cells(l - 1);
+  // Cells are key-sorted and parent_key is a shift, so parent keys are
+  // non-decreasing across the range: one lookup seeds a cursor into the
+  // parent level and the rest of the range advances it in lockstep —
+  // no per-cell table lookup. (The parent of an occupied cell is always
+  // occupied, so the cursor always lands on a match.)
+  std::size_t j = static_cast<std::size_t>(
+      tree.find(l - 1, parent_key<D>(cells[lo].key)));
   for (std::size_t i = lo; i < hi; ++i) {
-    const auto idx = tree.find(l - 1, parent_key<D>(cells[i].key));
-    const auto& parent = tree.cells(l - 1)[static_cast<std::size_t>(idx)];
-    acc.add(own[cells[i].min_particle], own[parent.min_particle]);
+    const std::uint64_t pk = parent_key<D>(cells[i].key);
+    while (parents[j].key != pk) ++j;
+    acc.add(own[cells[i].min_particle], own[parents[j].min_particle]);
   }
 }
 
 /// Histogram the (source owner, cell owner) interaction-list pairs of
-/// cells [lo, hi) at level `l` into `acc`.
+/// cells [lo, hi) at level `l` into `acc`. The candidate cells stream
+/// straight from the offset odometer into the key lookup — no
+/// materialized interaction list, no per-cell allocation.
 template <int D>
 void il_range_into(const CellTree<D>& tree, const topo::Rank* own,
                    core::RankPairAccumulator& acc, unsigned l, std::size_t lo,
                    std::size_t hi) {
   const auto& cells = tree.cells(l);
-  std::vector<Point<D>> il;
-  il.reserve(64);
+  // Dense-mode fast path: hoist the count-array base so each event is a
+  // single indexed increment (row(0) is the array base; src varies per
+  // event, so hoisting one row would not help). Sparse mode keeps add().
+  std::uint64_t* const counts = acc.row(0);
+  const std::size_t p = acc.procs();
+  const std::int64_t side = 1ll << (l - 1);
+  // Child-digit decode: Morton digit d's child of pn sits at
+  // 2·pn + kChild[d], and its key is (key(pn) << D) | d — so the inner
+  // loop pays zero per-candidate interleaves.
+  Point<D> child_off[1u << D];
+  for (std::uint32_t d = 0; d < (1u << D); ++d) {
+    child_off[d] = morton_point<D>(d);
+  }
   for (std::size_t i = lo; i < hi; ++i) {
     const Point<D> c = morton_point<D>(cells[i].key);
+    const Point<D> par = parent_cell(c);
     const topo::Rank owner = own[cells[i].min_particle];
-    interaction_list(c, l, il);
-    for (const Point<D>& d : il) {
-      const auto idx = tree.find(l, cell_key(d));
-      if (idx < 0) continue;  // unoccupied cells do not communicate
-      const auto& dc = tree.cells(l)[static_cast<std::size_t>(idx)];
-      acc.add(own[dc.min_particle], owner);
+    // Odometer over the parent's neighbors. Two prunes the reference
+    // path skips, neither of which changes the event multiset: the zero
+    // offset (the cell's own siblings, all Chebyshev-adjacent) and the
+    // children of *unoccupied* parent neighbors — one parent lookup in
+    // place of 2^D guaranteed-miss child lookups.
+    std::int64_t off[4];  // D <= 4 (static_assert in Point)
+    for (int k = 0; k < D; ++k) off[k] = -1;
+    for (;;) {
+      bool in = true;
+      bool zero = true;
+      Point<D> pn{};
+      for (int k = 0; k < D; ++k) {
+        const std::int64_t v = static_cast<std::int64_t>(par[k]) + off[k];
+        if (v < 0 || v >= side) {
+          in = false;
+          break;
+        }
+        if (off[k] != 0) zero = false;
+        pn[k] = static_cast<std::uint32_t>(v);
+      }
+      if (in && !zero) {
+        const std::uint64_t pn_key = cell_key(pn);
+        if (tree.find(l - 1, pn_key) >= 0) {
+          for (std::uint32_t d = 0; d < (1u << D); ++d) {
+            Point<D> child{};
+            for (int k = 0; k < D; ++k) {
+              child[k] = (pn[k] << 1) | child_off[d][k];
+            }
+            if (chebyshev(child, c) <= 1) continue;
+            const auto idx = tree.find(l, (pn_key << D) | d);
+            if (idx < 0) continue;  // unoccupied cells do not communicate
+            const auto& dc = cells[static_cast<std::size_t>(idx)];
+            if (counts != nullptr) {
+              ++counts[own[dc.min_particle] * p + owner];
+            } else {
+              acc.add(own[dc.min_particle], owner);
+            }
+          }
+        }
+      }
+      int k = 0;
+      while (k < D && off[k] == 1) off[k++] = -1;
+      if (k == D) break;
+      ++off[k];
     }
   }
 }
 
-/// Aggregated interpolation: histogram the (child owner, parent owner)
-/// rank pairs and fold once.
-template <int D>
-core::CommTotals interp_range_aggregated(const CellTree<D>& tree,
-                                         const FoldContext& ctx, unsigned l,
-                                         std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(ctx.procs);
-  interp_range_into<D>(tree, ctx.owners.data(), acc, l, lo, hi);
-  return ctx.fold(acc);
-}
-
-/// Aggregated interaction lists: histogram the (source owner, cell owner)
-/// rank pairs and fold once.
-template <int D>
-core::CommTotals il_range_aggregated(const CellTree<D>& tree,
-                                     const FoldContext& ctx, unsigned l,
-                                     std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(ctx.procs);
-  il_range_into<D>(tree, ctx.owners.data(), acc, l, lo, hi);
-  return ctx.fold(acc);
-}
-
 /// Accumulate one communication family's histogram over all levels
-/// [first_level, finest]: sequential fill below the parallel cutoff,
-/// per-chunk local histograms merged under a mutex above it. Counts are
-/// integers and addition commutes, so the merged multiset is independent
-/// of chunking and scheduling order.
+/// [first_level, finest]. Serial path: every level goes straight into
+/// `acc` — one accumulator for the whole family, folded once by the
+/// caller (building and folding a fresh accumulator per chunk per level
+/// is what used to cancel the aggregation savings). Parallel path:
+/// per-worker shards written without synchronization — each chunk
+/// records into the shard of the worker executing it, across all levels
+/// — then merged into `acc` exactly once. Counts are integers and
+/// addition commutes, so the merged multiset is independent of chunking
+/// and scheduling order.
 template <int D, typename IntoFn>
 void histogram_levels(util::ThreadPool* pool, const CellTree<D>& tree,
                       unsigned first_level, topo::Rank procs,
                       core::RankPairAccumulator& acc, IntoFn into) {
-  std::mutex merge_mutex;
-  for (unsigned l = first_level; l <= tree.finest_level(); ++l) {
+  const unsigned finest = tree.finest_level();
+  if (pool == nullptr || pool->size() <= 1) {
+    for (unsigned l = first_level; l <= finest; ++l) {
+      into(acc, l, std::size_t{0}, tree.cells(l).size());
+    }
+    return;
+  }
+  core::RankPairShards shards(procs, pool->size());
+  for (unsigned l = first_level; l <= finest; ++l) {
     const std::size_t n = tree.cells(l).size();
-    if (pool == nullptr || pool->size() <= 1 || n < 4096) {
-      into(acc, l, std::size_t{0}, n);
+    if (n < 4096) {
+      // Below the fan-out cutoff the calling thread fills its own shard
+      // while no chunks are in flight.
+      into(shards.local(), l, std::size_t{0}, n);
       continue;
     }
     util::parallel_for_chunks(*pool, 0, n, util::kAutoGrain,
                               [&, l](std::size_t lo, std::size_t hi) {
-                                core::RankPairAccumulator local(procs);
-                                into(local, l, lo, hi);
-                                const std::lock_guard<std::mutex> lock(
-                                    merge_mutex);
-                                acc += local;
+                                into(shards.local(), l, lo, hi);
                               });
+  }
+  {
+    const obs::Span span("ffi/merge_shards");
+    shards.merge_into(acc);
   }
 }
 
@@ -244,28 +284,11 @@ core::CommTotals reduce_level(util::ThreadPool* pool, std::size_t n,
 template <int D>
 FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
                      const topo::Topology& net, util::ThreadPool* pool) {
-  const topo::DistanceTable* table =
-      topo::distance_table_fits(part.processors()) ? &net.table() : nullptr;
-  const std::vector<topo::Rank> owners = part.owner_table();
-  const FoldContext ctx{owners, table, net, part.processors()};
-
-  FfiTotals totals;
-  for (unsigned l = 1; l <= tree.finest_level(); ++l) {
-    totals.interpolation += reduce_level<D>(
-        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
-          return interp_range_aggregated<D>(tree, ctx, l, lo, hi);
-        });
-  }
-  // Anterpolation mirrors interpolation (parent -> child, same distances).
-  totals.anterpolation = totals.interpolation;
-
-  for (unsigned l = 2; l <= tree.finest_level(); ++l) {
-    totals.interaction += reduce_level<D>(
-        pool, tree.cells(l).size(), [&, l](std::size_t lo, std::size_t hi) {
-          return il_range_aggregated<D>(tree, ctx, l, lo, hi);
-        });
-  }
-  return totals;
+  // One histogram per family accumulated across every level and chunk,
+  // one fold per family: the fold and accumulator-construction costs are
+  // O(pairs) per evaluation instead of O(pairs · levels · chunks) — the
+  // overhead that used to hold the aggregated/direct ratio at ~1.1x.
+  return ffi_fold(ffi_histograms<D>(tree, part, pool), net);
 }
 
 template <int D>

@@ -31,8 +31,7 @@ core::CommTotals logtree_accumulation_totals(
   constexpr std::size_t kArity = 1u << D;
   // Flat-table distance lookups when p² fits the budget; per-pair virtual
   // dispatch beyond it.
-  const topo::DistanceTable* table =
-      topo::distance_table_fits(net.size()) ? &net.table() : nullptr;
+  const topo::DistanceTable* table = topo::table_if_fits(net);
   for (const auto& procs : lists) {
     for (std::size_t i = 1; i < procs.size(); ++i) {
       const topo::Rank child = procs[i];

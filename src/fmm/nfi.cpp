@@ -1,7 +1,6 @@
 #include "fmm/nfi.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "core/rank_pair.hpp"
 #include "obs/trace.hpp"
@@ -328,8 +327,7 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
   if (particles.empty()) return {};
   // Build the shared lookup state once, outside the parallel region: the
   // hop table (when p² fits the budget) and the rank-of-particle array.
-  const topo::DistanceTable* table =
-      topo::distance_table_fits(part.processors()) ? &net.table() : nullptr;
+  const topo::DistanceTable* table = topo::table_if_fits(net);
   const std::vector<topo::Rank> owners = part.owner_table();
   auto chunk = [&](std::size_t lo, std::size_t hi) {
     return nfi_range_aggregated<D>(particles, grid, part, owners, table, net,
@@ -357,19 +355,17 @@ core::RankPairAccumulator nfi_histogram(const std::vector<Point<D>>& particles,
                       particles.size());
     return acc;
   }
-  // Per-chunk local histograms merged under a mutex: counts are integers
-  // and addition commutes, so the merged multiset — and every fold of it —
-  // is identical regardless of scheduling order.
-  std::mutex merge_mutex;
+  // Per-worker shards written without synchronization, merged once:
+  // counts are integers and addition commutes, so the merged multiset —
+  // and every fold of it — is identical regardless of scheduling order.
+  core::RankPairShards shards(part.processors(), pool->size());
   util::parallel_for_chunks(
       *pool, 0, particles.size(), util::kAutoGrain,
       [&](std::size_t lo, std::size_t hi) {
-        core::RankPairAccumulator local(part.processors());
-        nfi_range_into<D>(particles, grid, part, owners, local, radius, norm,
-                          lo, hi);
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        acc += local;
+        nfi_range_into<D>(particles, grid, part, owners, shards.local(),
+                          radius, norm, lo, hi);
       });
+  shards.merge_into(acc);
   return acc;
 }
 
@@ -386,16 +382,14 @@ core::RankPairAccumulator nfi_histogram_owners(
                              particles.size());
     return acc;
   }
-  std::mutex merge_mutex;
+  core::RankPairShards shards(procs, pool->size());
   util::parallel_for_chunks(
       *pool, 0, particles.size(), util::kAutoGrain,
       [&](std::size_t lo, std::size_t hi) {
-        core::RankPairAccumulator local(procs);
-        nfi_range_into_owners<D>(particles, grid, owners, local, radius, norm,
-                                 lo, hi);
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        acc += local;
+        nfi_range_into_owners<D>(particles, grid, owners, shards.local(),
+                                 radius, norm, lo, hi);
       });
+  shards.merge_into(acc);
   return acc;
 }
 

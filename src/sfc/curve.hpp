@@ -8,6 +8,7 @@
 //   * processor-order: assign ranks to the processors of a mesh/torus.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -65,6 +66,19 @@ class Curve {
   /// Inverse mapping: the point at linear position `idx`.
   virtual Point<D> point(std::uint64_t idx, unsigned level) const = 0;
 
+  /// Batch encode: out[i] = index(pts[i], level) for i in [0, n).
+  ///
+  /// The base implementation is the per-point loop; concrete curves
+  /// override it with devirtualized kernels (one virtual call per batch,
+  /// tight branch-free loops inside) that must stay bit-identical to the
+  /// per-point index() — the pbt_batch_diff suite enforces this for every
+  /// curve kind. The ordering stage of the sweep engine feeds all
+  /// particles through this entry point, so it is the encode hot path.
+  virtual void index_batch(const Point<D>* pts, std::uint64_t* out,
+                           std::size_t n, unsigned level) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = index(pts[i], level);
+  }
+
   virtual CurveKind kind() const noexcept = 0;
   std::string_view name() const noexcept { return curve_name(kind()); }
 };
@@ -84,9 +98,8 @@ template <int D>
 std::vector<std::uint64_t> indices_of(const Curve<D>& curve,
                                       const std::vector<Point<D>>& points,
                                       unsigned level) {
-  std::vector<std::uint64_t> out;
-  out.reserve(points.size());
-  for (const auto& p : points) out.push_back(curve.index(p, level));
+  std::vector<std::uint64_t> out(points.size());
+  curve.index_batch(points.data(), out.data(), points.size(), level);
   return out;
 }
 

@@ -35,6 +35,15 @@ class GrayCurve final : public Curve<D> {
     return morton_point<D>(util::gray_encode(idx));
   }
 
+  /// Devirtualized batch encode: interleave + Gray-decode XOR cascade.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = util::gray_decode(morton_index(pts[i]));
+    }
+  }
+
   CurveKind kind() const noexcept override { return CurveKind::kGray; }
 };
 

@@ -17,6 +17,7 @@
 #include <cassert>
 
 #include "sfc/curve.hpp"
+#include "sfc/hilbert_lut.hpp"
 
 namespace sfc::detail {
 
@@ -62,6 +63,24 @@ class HilbertCurve final : public Curve<D> {
     }
     detail::transpose_to_axes(t.c.data(), level, D);
     return t;
+  }
+
+  /// Devirtualized batch encode. In 2-D Skilling's algorithm agrees
+  /// bit-for-bit with the canonical table-driven state machine at every
+  /// level (pbt_batch_diff checks this against the per-point path), so
+  /// the batch kernel threads the rotation state through the flat LUT —
+  /// one table lookup per point per level instead of the transpose
+  /// passes. Other dimensions run Skilling's algorithm in a tight
+  /// non-virtual loop.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    if constexpr (D == 2) {
+      hilbert_lut_index_batch(pts, out, n, level);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = HilbertCurve::index(pts[i], level);
+      }
+    }
   }
 
   CurveKind kind() const noexcept override { return CurveKind::kHilbert; }

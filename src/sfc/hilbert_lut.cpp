@@ -101,8 +101,13 @@ constexpr StepTables kTables = build_tables();
 }  // namespace
 
 std::uint64_t hilbert_lut_index(Point2 p, unsigned level) noexcept {
+  return hilbert_lut_index_from(p, level, 0);
+}
+
+std::uint64_t hilbert_lut_index_from(Point2 p, unsigned level,
+                                     unsigned state0) noexcept {
   std::uint64_t idx = 0;
-  unsigned state = 0;
+  unsigned state = state0;
   for (unsigned k = level; k > 0; --k) {
     const unsigned ax = (p[0] >> (k - 1)) & 1u;
     const unsigned ay = (p[1] >> (k - 1)) & 1u;
@@ -111,6 +116,25 @@ std::uint64_t hilbert_lut_index(Point2 p, unsigned level) noexcept {
     state = entry & 7u;
   }
   return idx;
+}
+
+void hilbert_lut_index_batch(const Point2* pts, std::uint64_t* out,
+                             std::size_t n, unsigned level,
+                             unsigned state0) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t x = pts[i][0];
+    const std::uint32_t y = pts[i][1];
+    std::uint64_t idx = 0;
+    unsigned state = state0;
+    for (unsigned k = level; k > 0; --k) {
+      const unsigned entry =
+          kTables.forward[state]
+                         [(((x >> (k - 1)) & 1u) << 1) | ((y >> (k - 1)) & 1u)];
+      idx = (idx << 2) | (entry >> 3);
+      state = entry & 7u;
+    }
+    out[i] = idx;
+  }
 }
 
 Point2 hilbert_lut_point(std::uint64_t idx, unsigned level) noexcept {

@@ -11,6 +11,7 @@
 // example of the LUT approach production SFC libraries use.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sfc/curve.hpp"
@@ -20,6 +21,24 @@ namespace sfc {
 /// Table-driven canonical Hilbert index (bit-exact match of
 /// canonical_hilbert_index). O(level) with one table lookup per level.
 std::uint64_t hilbert_lut_index(Point2 p, unsigned level) noexcept;
+
+/// hilbert_lut_index started in an arbitrary FSM state: computes the
+/// canonical Hilbert index of t(p), where t is the square symmetry the
+/// state encodes (state = swap<<2 | flip_x<<1 | flip_y; 0 = identity).
+/// Symmetries act independently on each bit plane, so pre-transforming
+/// the point and seeding the state machine are the same computation —
+/// this is how the Moore batch kernel reuses the table for its rotated
+/// quadrants (T1^-1 = state 5, T2^-1 = state 6).
+std::uint64_t hilbert_lut_index_from(Point2 p, unsigned level,
+                                     unsigned state0) noexcept;
+
+/// Batched table-driven encode: out[i] = hilbert_lut_index_from(pts[i],
+/// level, state0). One table lookup per point per level, no per-point
+/// function call — the devirtualized kernel behind the Hilbert-family
+/// index_batch overrides.
+void hilbert_lut_index_batch(const Point2* pts, std::uint64_t* out,
+                             std::size_t n, unsigned level,
+                             unsigned state0 = 0) noexcept;
 
 /// Inverse of hilbert_lut_index (bit-exact match of
 /// canonical_hilbert_point).
@@ -35,6 +54,10 @@ class HilbertLutCurve final : public Curve<2> {
   }
   Point<2> point(std::uint64_t idx, unsigned level) const override {
     return hilbert_lut_point(idx, level);
+  }
+  void index_batch(const Point<2>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    hilbert_lut_index_batch(pts, out, n, level);
   }
   CurveKind kind() const noexcept override { return CurveKind::kHilbert; }
 };

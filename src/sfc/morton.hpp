@@ -73,6 +73,13 @@ class MortonCurve final : public Curve<D> {
     return morton_point<D>(idx);
   }
 
+  /// Devirtualized batch encode: a pure bit-interleave loop.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) out[i] = morton_index(pts[i]);
+  }
+
   CurveKind kind() const noexcept override { return CurveKind::kMorton; }
 };
 

@@ -29,6 +29,12 @@ class RowMajorCurve final : public Curve<D> {
     return unpack<D>(idx, level);
   }
 
+  /// Devirtualized batch encode: a pure shift/or packing loop.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = pack(pts[i], level);
+  }
+
   CurveKind kind() const noexcept override { return CurveKind::kRowMajor; }
 };
 
@@ -53,6 +59,16 @@ class ColumnMajorCurve final : public Curve<D> {
       idx >>= level;
     }
     return p;
+  }
+
+  /// Devirtualized batch encode: the same shift/or pack, reversed axes.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t key = 0;
+      for (int d = 0; d < D; ++d) key = (key << level) | pts[i][d];
+      out[i] = key;
+    }
   }
 
   CurveKind kind() const noexcept override { return CurveKind::kColumnMajor; }
@@ -94,6 +110,24 @@ class SnakeCurve final : public Curve<D> {
       reversed = (digit & 1u) != 0;
     }
     return p;
+  }
+
+  /// Devirtualized batch encode: the reversal state is a mask (all-ones
+  /// when the enclosing digit was odd), so the digit selection is a
+  /// branch-free XOR/AND blend instead of a conditional subtract.
+  void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
+                   unsigned level) const override {
+    const std::uint64_t mask = (std::uint64_t{1} << level) - 1u;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t idx = 0;
+      std::uint64_t rev = 0;  // 0 or `mask`: digit ^ mask == side-1-digit
+      for (int d = D - 1; d >= 0; --d) {
+        const std::uint64_t digit = pts[i][d] ^ rev;
+        idx = (idx << level) | digit;
+        rev = mask & (std::uint64_t{0} - (digit & 1u));
+      }
+      out[i] = idx;
+    }
   }
 
   CurveKind kind() const noexcept override { return CurveKind::kSnake; }

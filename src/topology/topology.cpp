@@ -1,8 +1,21 @@
 #include "topology/topology.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 namespace sfc::topo {
+
+const DistanceTable* table_if_fits(const Topology& net) {
+  if (distance_table_fits(net.size())) return &net.table();
+  static std::once_flag notice_once;
+  std::call_once(notice_once, [&net] {
+    std::fprintf(stderr,
+                 "sfc-acd: note: %u processors exceed the hop-table budget "
+                 "(%zu entries); folding with per-pair distance() instead\n",
+                 net.size(), kDistanceTableEntryBudget);
+  });
+  return nullptr;
+}
 
 const DistanceTable& Topology::table() const {
   std::call_once(table_once_, [this] {

@@ -77,4 +77,11 @@ class Topology {
   mutable std::unique_ptr<DistanceTable> table_;
 };
 
+/// The cached hop table when the processor count fits the table budget,
+/// nullptr beyond it. Centralizes the `distance_table_fits` gate the
+/// aggregation kernels share; the first oversized request prints a
+/// one-time stderr notice so paper-scale runs (p = 65536) report the
+/// per-pair distance() fallback instead of silently switching kernels.
+const DistanceTable* table_if_fits(const Topology& net);
+
 }  // namespace sfc::topo

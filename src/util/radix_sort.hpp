@@ -1,0 +1,188 @@
+// radix_sort.hpp — stable LSD radix sort for 64-bit-keyed records.
+//
+// The sweep engine's ordering stage and the FFI cell tree sort records by
+// SFC keys: 64-bit integers whose distribution is dense in the low
+// 2·level (or D·level) bits and zero above. A comparison sort pays
+// O(n log n) branchy comparisons; least-significant-digit radix sort pays
+// O(n) per 8-bit pass and skips passes whose byte is constant across the
+// input, so a level-10 ordering (20 varying bits) costs three linear
+// scatters. The sort is stable — equal keys keep their input order, the
+// same tie-break contract as std::stable_sort with a key projection —
+// which is what lets it replace the stable sorts the ACD golden numbers
+// were pinned against (see docs/architecture.md, "Ordering stability").
+//
+// The threaded variant partitions the input into fixed per-worker chunks,
+// counts byte occurrences into per-chunk arrays, serializes the (tiny)
+// bucket-major prefix sum, and scatters each chunk into disjoint
+// destination ranges. Chunk boundaries depend only on (n, worker count),
+// so the output permutation is identical to the serial sort's — thread
+// scheduling cannot reorder anything.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sfc::util {
+
+/// The record shape the callers sort: an SFC key plus the index of the
+/// element it was computed from (an argsort, in other words).
+struct KeyIndex {
+  std::uint64_t key = 0;
+  std::uint32_t index = 0;
+};
+
+namespace detail {
+
+/// Below this size the per-pass bookkeeping dominates and the fan-out
+/// latency of a threaded sort exceeds the sort itself.
+inline constexpr std::size_t kThreadedRadixMin = std::size_t{1} << 15;
+
+template <typename T, typename KeyFn>
+void radix_count_scatter_serial(const T* src, T* dst, std::size_t n,
+                                unsigned shift, KeyFn key_of) {
+  std::array<std::size_t, 256> count{};
+  for (std::size_t i = 0; i < n; ++i) {
+    ++count[(key_of(src[i]) >> shift) & 0xffu];
+  }
+  std::size_t sum = 0;
+  for (std::size_t v = 0; v < 256; ++v) {
+    const std::size_t c = count[v];
+    count[v] = sum;
+    sum += c;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[count[(key_of(src[i]) >> shift) & 0xffu]++] = src[i];
+  }
+}
+
+/// Run `body(chunk, lo, hi)` for `chunks` fixed-size slices of [0, n) on
+/// the pool and block until all complete. A bespoke latch instead of
+/// parallel_for_chunks because the counting and scatter phases must agree
+/// on the chunk -> count-row mapping.
+template <typename Body>
+void for_fixed_chunks(ThreadPool& pool, std::size_t n, std::size_t chunks,
+                      std::size_t chunk_size, const Body& body) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = lo + chunk_size < n ? lo + chunk_size : n;
+    pool.submit([&, c, lo, hi] {
+      body(c, lo, hi);
+      std::lock_guard<std::mutex> lk(m);
+      if (++done == chunks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done == chunks; });
+}
+
+template <typename T, typename KeyFn>
+void radix_count_scatter_threaded(ThreadPool& pool, const T* src, T* dst,
+                                  std::size_t n, unsigned shift, KeyFn key_of,
+                                  std::size_t chunks, std::size_t chunk_size,
+                                  std::vector<std::array<std::size_t, 256>>& counts) {
+  for_fixed_chunks(pool, n, chunks, chunk_size,
+                   [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                     auto& count = counts[c];
+                     count.fill(0);
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       ++count[(key_of(src[i]) >> shift) & 0xffu];
+                     }
+                   });
+  // Bucket-major exclusive prefix: all of bucket v's slots precede bucket
+  // v+1's, and within a bucket chunk c's slots precede chunk c+1's. That
+  // ordering (plus in-chunk scan order below) is exactly what makes the
+  // threaded sort stable and bit-identical to the serial one.
+  std::size_t sum = 0;
+  for (std::size_t v = 0; v < 256; ++v) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t k = counts[c][v];
+      counts[c][v] = sum;
+      sum += k;
+    }
+  }
+  for_fixed_chunks(pool, n, chunks, chunk_size,
+                   [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                     auto& offset = counts[c];
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       dst[offset[(key_of(src[i]) >> shift) & 0xffu]++] = src[i];
+                     }
+                   });
+}
+
+}  // namespace detail
+
+/// Stable LSD radix sort of `items` by `key_of(item)` (any projection to
+/// std::uint64_t). Equal keys keep their input order. Passes whose byte
+/// is constant across the whole input are skipped, so the cost is one
+/// linear count + scatter per *varying* key byte. When `pool` has more
+/// than one worker and the input is large enough, counting and
+/// scattering fan out over fixed per-chunk slices; the result is
+/// bit-identical to the serial path regardless of scheduling. Do not
+/// pass a pool from inside one of its own tasks with a single spare
+/// worker — like parallel_for_chunks, the call blocks on pool progress.
+template <typename T, typename KeyFn>
+void radix_sort_by_key(std::vector<T>& items, KeyFn key_of,
+                       ThreadPool* pool = nullptr) {
+  const std::size_t n = items.size();
+  if (n < 2) return;
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~std::uint64_t{0};
+  for (const T& t : items) {
+    const std::uint64_t k = key_of(t);
+    all_or |= k;
+    all_and &= k;
+  }
+  const std::uint64_t varying = all_or ^ all_and;
+  if (varying == 0) return;  // every key equal: already stable-sorted
+
+  std::vector<T> buffer(n);
+  T* src = items.data();
+  T* dst = buffer.data();
+
+  const bool threaded = pool != nullptr && pool->size() > 1 &&
+                        n >= detail::kThreadedRadixMin;
+  std::size_t chunks = 0;
+  std::size_t chunk_size = 0;
+  std::vector<std::array<std::size_t, 256>> counts;
+  if (threaded) {
+    chunks = pool->size();
+    chunk_size = (n + chunks - 1) / chunks;
+    chunks = (n + chunk_size - 1) / chunk_size;
+    counts.resize(chunks);
+  }
+
+  for (unsigned byte = 0; byte < 8; ++byte) {
+    const unsigned shift = byte * 8;
+    if (((varying >> shift) & 0xffu) == 0) continue;
+    if (threaded) {
+      detail::radix_count_scatter_threaded(*pool, src, dst, n, shift, key_of,
+                                           chunks, chunk_size, counts);
+    } else {
+      detail::radix_count_scatter_serial(src, dst, n, shift, key_of);
+    }
+    std::swap(src, dst);
+  }
+  if (src != items.data()) {
+    // Odd number of passes: the sorted run lives in the buffer.
+    items.swap(buffer);
+  }
+}
+
+/// Argsort entry point: sort (key, index) pairs by key, ties by input
+/// order.
+inline void radix_sort_pairs(std::vector<KeyIndex>& items,
+                             ThreadPool* pool = nullptr) {
+  radix_sort_by_key(items, [](const KeyIndex& k) { return k.key; }, pool);
+}
+
+}  // namespace sfc::util

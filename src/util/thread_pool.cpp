@@ -26,7 +26,16 @@ obs::Histogram& run_histogram() {
   return h;
 }
 
+/// Identity of the executing thread within its owning pool. Workers are
+/// created by exactly one pool and never migrate, so a plain
+/// thread_local set once in worker_loop is enough.
+thread_local unsigned t_worker_index = ThreadPool::kNotAWorker;
+
 }  // namespace
+
+unsigned ThreadPool::current_worker_index() noexcept {
+  return t_worker_index;
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -69,6 +78,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop(unsigned index) {
+  t_worker_index = index;
   obs::Tracer::instance().set_thread_name("pool-worker-" +
                                           std::to_string(index));
   // Per-worker instruments, resolved on first observed task so an

@@ -44,6 +44,17 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// Sentinel returned by current_worker_index() off-pool.
+  static constexpr unsigned kNotAWorker = ~0u;
+
+  /// Index of the calling thread within the pool that spawned it
+  /// (0..size()-1), or kNotAWorker when the caller is not a pool worker
+  /// (e.g. the coordinating thread). Fan-out kernels use this to keep
+  /// per-worker shards without synchronization: each chunk writes only
+  /// the shard of the worker executing it, and the coordinator gets a
+  /// slot of its own (see RankPairShards).
+  static unsigned current_worker_index() noexcept;
+
  private:
   /// A queued task plus its submit timestamp (0 when obs is disabled —
   /// the workers then skip all clock sampling).
