@@ -15,6 +15,7 @@
 #include "distribution/distribution.hpp"
 #include "sfc/curve.hpp"
 #include "util/radix_sort.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -60,6 +61,15 @@ void BM_EncodeBatched(benchmark::State& state, CurveKind kind) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(pts.size()));
+}
+
+/// BM_EncodeBatched with the dispatcher pinned to the portable table:
+/// the per-ISA baseline column. The simd_speedup ratios in
+/// BENCH_acd.json divide this row by the dispatched one, so both come
+/// from the same binary and process.
+void BM_EncodeBatchedScalar(benchmark::State& state, CurveKind kind) {
+  const util::simd::ScopedForceScalar scalar;
+  BM_EncodeBatched(state, kind);
 }
 
 /// The ordering stage as it shipped before this change: one virtual
@@ -113,6 +123,13 @@ void BM_OrderBatchedRadix(benchmark::State& state, CurveKind kind) {
                           static_cast<std::int64_t>(pts.size()));
 }
 
+/// BM_OrderBatchedRadix on the portable table: encode and sort pre-scan
+/// both fall back to their scalar loops.
+void BM_OrderBatchedRadixScalar(benchmark::State& state, CurveKind kind) {
+  const util::simd::ScopedForceScalar scalar;
+  BM_OrderBatchedRadix(state, kind);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_EncodePerPoint, hilbert, sfc::CurveKind::kHilbert);
@@ -128,10 +145,36 @@ BENCHMARK_CAPTURE(BM_EncodeBatched, snake, sfc::CurveKind::kSnake);
 BENCHMARK_CAPTURE(BM_EncodePerPoint, moore, sfc::CurveKind::kMoore);
 BENCHMARK_CAPTURE(BM_EncodeBatched, moore, sfc::CurveKind::kMoore);
 
+// Per-ISA baseline columns for the curves with SIMD kernel variants
+// (rowmajor/snake dispatch nothing; their scalar row would equal the
+// dispatched one).
+BENCHMARK_CAPTURE(BM_EncodeBatchedScalar, hilbert, sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_EncodeBatchedScalar, morton, sfc::CurveKind::kMorton);
+BENCHMARK_CAPTURE(BM_EncodeBatchedScalar, gray, sfc::CurveKind::kGray);
+BENCHMARK_CAPTURE(BM_EncodeBatchedScalar, moore, sfc::CurveKind::kMoore);
+
 BENCHMARK_CAPTURE(BM_OrderVirtualStableSort, hilbert,
                   sfc::CurveKind::kHilbert);
 BENCHMARK_CAPTURE(BM_OrderBatchedRadix, hilbert, sfc::CurveKind::kHilbert);
 BENCHMARK_CAPTURE(BM_OrderVirtualStableSort, morton, sfc::CurveKind::kMorton);
 BENCHMARK_CAPTURE(BM_OrderBatchedRadix, morton, sfc::CurveKind::kMorton);
+BENCHMARK_CAPTURE(BM_OrderBatchedRadixScalar, hilbert,
+                  sfc::CurveKind::kHilbert);
+BENCHMARK_CAPTURE(BM_OrderBatchedRadixScalar, morton,
+                  sfc::CurveKind::kMorton);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so every JSON document carries
+// the dispatched ISA in its context block — bench_to_json.py copies it
+// into the build-provenance stamp that gates cross-machine comparisons.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd", sfc::util::simd::isa_name(sfc::util::simd::active_isa()));
+  benchmark::AddCustomContext(
+      "simd_compiled",
+      sfc::util::simd::isa_name(sfc::util::simd::compiled_isa()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "core/acd.hpp"
 #include "fmm/ffi.hpp"
 #include "fmm/nfi.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -101,6 +102,14 @@ void BM_NfiAggregated(benchmark::State& state, unsigned radius) {
                           static_cast<std::int64_t>(pairs));
 }
 
+/// BM_NfiAggregated on the portable table: the half-window scan probes
+/// cells one at a time instead of compacting occupied ids 8 lanes at a
+/// time — the baseline for the nfi simd_speedup column.
+void BM_NfiAggregatedScalar(benchmark::State& state, unsigned radius) {
+  const util::simd::ScopedForceScalar scalar;
+  BM_NfiAggregated(state, radius);
+}
+
 void BM_NfiDirect(benchmark::State& state, unsigned radius) {
   const auto& instance = agg_instance();
   const fmm::Partition part(instance.particles().size(), kAggProcs);
@@ -184,9 +193,23 @@ BENCHMARK(BM_FfiPass);
 
 BENCHMARK_CAPTURE(BM_NfiAggregated, r1, 1u);
 BENCHMARK_CAPTURE(BM_NfiAggregated, r4, 4u);
+BENCHMARK_CAPTURE(BM_NfiAggregatedScalar, r4, 4u);
 BENCHMARK_CAPTURE(BM_NfiDirect, r1, 1u);
 BENCHMARK_CAPTURE(BM_NfiDirect, r4, 4u);
 BENCHMARK(BM_FfiAggregated);
 BENCHMARK(BM_FfiDirect);
 
-BENCHMARK_MAIN();
+// Custom main so the JSON context records the dispatched ISA (see
+// micro_curves.cpp).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd", sfc::util::simd::isa_name(sfc::util::simd::active_isa()));
+  benchmark::AddCustomContext(
+      "simd_compiled",
+      sfc::util::simd::isa_name(sfc::util::simd::compiled_isa()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -54,7 +54,19 @@ def run_micro_model(binary, min_time, repetitions, smoke):
             entries[name[: -len("_median")]] = b
         elif b.get("run_type") != "aggregate":
             entries.setdefault(name, b)
-    return entries
+    return entries, simd_context(data)
+
+
+def simd_context(data):
+    """The dispatched/compiled SIMD tier the bench binary stamped into its
+    JSON context (AddCustomContext in the bench mains). Absent keys mean a
+    binary predating the dispatch layer; report "scalar" so gates and
+    baseline matching treat it as the portable tier."""
+    ctx = data.get("context", {})
+    return {
+        "simd": ctx.get("simd", "scalar"),
+        "simd_compiled": ctx.get("simd_compiled", "scalar"),
+    }
 
 
 def ns_per_pair(entry):
@@ -137,7 +149,8 @@ def run_micro_curves(binary, min_time, smoke):
                else f"--benchmark_min_time={min_time}")
     out = subprocess.run(cmd, check=True, capture_output=True, text=True)
     data = json.loads(out.stdout)
-    per_point, batched, order_virtual, order_radix = {}, {}, {}, {}
+    per_point, batched, batched_scalar = {}, {}, {}
+    order_virtual, order_radix, order_radix_scalar = {}, {}, {}
     for b in data["benchmarks"]:
         if b.get("run_type") == "aggregate":
             continue
@@ -147,10 +160,14 @@ def run_micro_curves(binary, min_time, smoke):
             per_point[curve] = ns
         elif name == "BM_EncodeBatched":
             batched[curve] = ns
+        elif name == "BM_EncodeBatchedScalar":
+            batched_scalar[curve] = ns
         elif name == "BM_OrderVirtualStableSort":
             order_virtual[curve] = ns
         elif name == "BM_OrderBatchedRadix":
             order_radix[curve] = ns
+        elif name == "BM_OrderBatchedRadixScalar":
+            order_radix_scalar[curve] = ns
     curves = {}
     for curve in per_point:
         p, b = per_point[curve], batched.get(curve)
@@ -159,6 +176,10 @@ def run_micro_curves(binary, min_time, smoke):
             "batched_ns": b,
             "speedup": p / b if p and b else None,
         }
+        s = batched_scalar.get(curve)
+        if s is not None:
+            curves[curve]["batched_scalar_ns"] = s
+            curves[curve]["simd_speedup"] = s / b if s and b else None
     ordering = {}
     for curve in order_virtual:
         v, r = order_virtual[curve], order_radix.get(curve)
@@ -167,7 +188,11 @@ def run_micro_curves(binary, min_time, smoke):
             "batched_radix_ns_per_point": r,
             "speedup": v / r if v and r else None,
         }
-    return curves, ordering
+        s = order_radix_scalar.get(curve)
+        if s is not None:
+            ordering[curve]["batched_radix_scalar_ns_per_point"] = s
+            ordering[curve]["simd_speedup"] = s / r if s and r else None
+    return curves, ordering, simd_context(data)
 
 
 def check_gates(result, previous, smoke):
@@ -181,8 +206,19 @@ def check_gates(result, previous, smoke):
       cheap-encode curves (morton) sit right at 3x with high run-to-run
       variance because the comparison sort dominates both shapes, while
       hilbert clears 5x -- a per-curve floor would flap on noise.
-    - The ordering stage must not regress by more than 25% (50% smoke)
-      against the ns/point recorded in the committed BENCH_acd.json.
+    - When the binary dispatched a SIMD tier, the in-binary SIMD-vs-
+      forced-scalar ratios must hold: Morton/Gray batched encode >= 2x
+      (1.4x smoke), NFI r4 aggregation >= 1.3x (1.1x smoke), Hilbert
+      ordering >= 1.1x (full runs only). Morton ordering gets no SIMD floor:
+      the radix scatter dominates that shape, so its ratio is ~1x by
+      construction — it is covered by the baseline comparison instead.
+    - Committed-baseline comparison (ordering ns/point within 25%/50%,
+      NFI r4 aggregated ns/pair within the same caps) runs only when the
+      committed file recorded the same dispatched SIMD tier — comparing
+      an avx2 run against a scalar baseline (or vice versa) would gate on
+      the ISA delta, not a regression. On a tier mismatch the fallback is
+      absolute ceilings, generous enough for any supported machine but
+      low enough to catch a hot path falling off a cliff.
     Returns a list of failure strings; empty means all gates passed.
     """
     failures = []
@@ -203,14 +239,67 @@ def check_gates(result, previous, smoke):
             failures.append(f"ordering: batched+radix geomean speedup "
                             f"{geomean:.2f}x < {order_floor}x floor")
 
-    old_ordering = (previous or {}).get("ordering", {})
-    for curve, o in result.get("ordering", {}).items():
-        new_ns = o.get("batched_radix_ns_per_point")
-        old_ns = old_ordering.get(curve, {}).get("batched_radix_ns_per_point")
+    cur_isa = result.get("build", {}).get("simd", "scalar")
+    if cur_isa != "scalar":
+        encode_floor = 1.4 if smoke else 2.0
+        for curve in ("morton", "gray"):
+            s = result.get("curves", {}).get(curve, {}).get("simd_speedup")
+            if s is not None and s < encode_floor:
+                failures.append(f"encode/{curve}: simd speedup {s:.2f}x "
+                                f"< {encode_floor}x floor on {cur_isa}")
+        if not smoke:
+            # Full runs only: the ordering ratio rides on a single radix
+            # sort whose single-iteration smoke timing wobbles +-10%, right
+            # at this floor.
+            s = (result.get("ordering", {}).get("hilbert", {})
+                 .get("simd_speedup"))
+            if s is not None and s < 1.1:
+                failures.append(f"ordering/hilbert: simd speedup {s:.2f}x "
+                                f"< 1.1x floor on {cur_isa}")
+        nfi_floor = 1.1 if smoke else 1.3
+        s = result.get("nfi", {}).get("r4", {}).get("simd_speedup")
+        if s is not None and s < nfi_floor:
+            failures.append(f"nfi/r4: simd speedup {s:.2f}x "
+                            f"< {nfi_floor}x floor on {cur_isa}")
+
+    prev_isa = (previous or {}).get("build", {}).get("simd", "scalar")
+    if previous is not None and prev_isa == cur_isa:
+        old_ordering = previous.get("ordering", {})
+        for curve, o in result.get("ordering", {}).items():
+            new_ns = o.get("batched_radix_ns_per_point")
+            old_ns = old_ordering.get(curve, {}).get(
+                "batched_radix_ns_per_point")
+            if new_ns and old_ns and new_ns > old_ns * (1.0 + regress_cap):
+                failures.append(
+                    f"ordering/{curve}: {new_ns:.2f} ns/point regressed "
+                    f"> {regress_cap:.0%} over committed {old_ns:.2f}")
+        new_ns = result.get("nfi", {}).get("r4", {}).get(
+            "aggregated_ns_per_pair")
+        old_ns = (previous.get("nfi", {}).get("r4", {})
+                  .get("aggregated_ns_per_pair"))
         if new_ns and old_ns and new_ns > old_ns * (1.0 + regress_cap):
             failures.append(
-                f"ordering/{curve}: {new_ns:.2f} ns/point regressed "
+                f"nfi/r4: {new_ns:.2f} ns/pair regressed "
                 f"> {regress_cap:.0%} over committed {old_ns:.2f}")
+    else:
+        # ISA mismatch (or no committed file): the committed numbers came
+        # off a different dispatch tier, so relative caps would measure
+        # the ISA, not the code. Absolute ceilings only.
+        order_cap = 240.0 if smoke else 120.0
+        for curve, o in result.get("ordering", {}).items():
+            new_ns = o.get("batched_radix_ns_per_point")
+            if new_ns and new_ns > order_cap:
+                failures.append(
+                    f"ordering/{curve}: {new_ns:.2f} ns/point over the "
+                    f"{order_cap:.0f} ns absolute cap (no {cur_isa} "
+                    f"baseline committed)")
+        nfi_cap = 100.0 if smoke else 50.0
+        new_ns = result.get("nfi", {}).get("r4", {}).get(
+            "aggregated_ns_per_pair")
+        if new_ns and new_ns > nfi_cap:
+            failures.append(
+                f"nfi/r4: {new_ns:.2f} ns/pair over the {nfi_cap:.0f} ns "
+                f"absolute cap (no {cur_isa} baseline committed)")
     return failures
 
 
@@ -287,8 +376,8 @@ def main():
     if not os.path.exists(micro):
         sys.exit(f"error: {micro} not found — build the bench targets first")
 
-    entries = run_micro_model(micro, opts.min_time, opts.repetitions,
-                              opts.smoke)
+    entries, build = run_micro_model(micro, opts.min_time, opts.repetitions,
+                                     opts.smoke)
 
     nfi = {}
     for radius in ("r1", "r4"):
@@ -302,6 +391,11 @@ def main():
             "direct_ns_per_pair": d,
             "speedup": d / a if a and d else None,
         }
+        scalar = entries.get(f"BM_NfiAggregatedScalar/{radius}")
+        if scalar:
+            s = ns_per_pair(scalar)
+            nfi[radius]["aggregated_scalar_ns_per_pair"] = s
+            nfi[radius]["simd_speedup"] = s / a if s and a else None
     ffi = {}
     agg, direct = entries.get("BM_FfiAggregated"), entries.get("BM_FfiDirect")
     if agg and direct:
@@ -322,14 +416,19 @@ def main():
             "topology": "torus",
         },
         "smoke": opts.smoke,
+        "build": build,
         "nfi": nfi,
         "ffi": ffi,
     }
 
     micro_curves = os.path.join(opts.build_dir, "bench", "micro_curves")
     if os.path.exists(micro_curves):
-        curves, ordering = run_micro_curves(micro_curves, opts.min_time,
-                                            opts.smoke)
+        curves, ordering, curves_build = run_micro_curves(
+            micro_curves, opts.min_time, opts.smoke)
+        if curves_build != build:
+            sys.exit("error: micro_curves and micro_model dispatched "
+                     f"different SIMD tiers ({curves_build} vs {build}) — "
+                     "mixed-provenance numbers are not comparable")
         result["curves"] = curves
         result["ordering"] = ordering
 
@@ -394,11 +493,16 @@ def main():
         json.dump(result, f, indent=2)
         f.write("\n")
     print(f"wrote {opts.out}")
+    print(f"  simd: {build['simd']} dispatched "
+          f"({build['simd_compiled']} compiled)")
     for radius, r in nfi.items():
         speed = r["speedup"]
+        simd = (f", simd {r['simd_speedup']:.2f}x"
+                if r.get("simd_speedup") else "")
         print(f"  nfi/{radius}: {r['aggregated_ns_per_pair']:.2f} ns/pair "
               f"aggregated vs {r['direct_ns_per_pair']:.2f} direct "
-              f"({speed:.2f}x)" if speed else f"  nfi/{radius}: incomplete")
+              f"({speed:.2f}x{simd})" if speed
+              else f"  nfi/{radius}: incomplete")
     if ffi and ffi.get("speedup"):
         print(f"  ffi: {ffi['aggregated_ns_per_pair']:.2f} ns/pair aggregated "
               f"vs {ffi['direct_ns_per_pair']:.2f} direct "
@@ -417,15 +521,19 @@ def main():
               f"overhead bound {o['disabled_overhead_pct']:.5f}% (< 1%)")
     for curve, c in sorted(result.get("curves", {}).items()):
         if c.get("speedup"):
+            simd = (f", simd {c['simd_speedup']:.2f}x"
+                    if c.get("simd_speedup") else "")
             print(f"  encode/{curve}: {c['per_point_ns']:.2f} ns/point "
                   f"virtual vs {c['batched_ns']:.2f} batched "
-                  f"({c['speedup']:.2f}x)")
+                  f"({c['speedup']:.2f}x{simd})")
     for curve, o in sorted(result.get("ordering", {}).items()):
         if o.get("speedup"):
+            simd = (f", simd {o['simd_speedup']:.2f}x"
+                    if o.get("simd_speedup") else "")
             print(f"  ordering/{curve}: "
                   f"{o['virtual_stable_sort_ns_per_point']:.2f} ns/point "
                   f"baseline vs {o['batched_radix_ns_per_point']:.2f} "
-                  f"batched+radix ({o['speedup']:.2f}x)")
+                  f"batched+radix ({o['speedup']:.2f}x{simd})")
     if failures:
         for f in failures:
             print(f"GATE FAILED: {f}", file=sys.stderr)

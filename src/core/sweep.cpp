@@ -522,6 +522,12 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
         .gauge("sweep.stage.order.ns_per_particle")
         .set(static_cast<double>(order_build_ns.load()) /
              static_cast<double>(order_build_particles.load()));
+    // Which sort path the ordering stage's record counts selected:
+    // mirrors the calibrated (or overridden) threaded-radix cutoff next
+    // to the per-particle cost it gates.
+    obs::Registry::instance()
+        .gauge("sweep.stage.order.radix_threshold")
+        .set(static_cast<double>(util::detail::threaded_radix_min()));
   }
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "core/rank_pair.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
 
 namespace sfc::fmm {
 namespace {
@@ -205,6 +206,21 @@ void nfi_range_into(const std::vector<Point<D>>& particles,
   const std::int64_t r = radius;
   const topo::Rank* own = owners.data();
 
+  // SIMD half-window compaction for the 2-D dense kernel: one scratch
+  // buffer sized to the largest half-window, reused across every
+  // particle of the range. r == 1 windows hold at most 4 cells — too
+  // short to fill vector lanes — so the per-cell scan stays.
+  decltype(util::simd::kernels().nfi_halfwindow2) collect = nullptr;
+  std::vector<std::int32_t> scratch;
+  if constexpr (D == 2) {
+    if (cells != nullptr && r >= 2) {
+      collect = util::simd::kernels().nfi_halfwindow2;
+      if (collect != nullptr) {
+        scratch.resize(static_cast<std::size_t>(2 * r * r + 2 * r + 7));
+      }
+    }
+  }
+
   std::size_t i = lo;
   topo::Rank src = owners[lo];
   while (i < hi) {
@@ -222,20 +238,30 @@ void nfi_range_into(const std::vector<Point<D>>& particles,
         // single count-2 entry on src's row — which keeps every update
         // on the hoisted row instead of scattering across the histogram.
         const unsigned level = grid.level();
+        auto scan = [&](const Point<2>& p, auto&& push) {
+          if (collect != nullptr) {
+            // Same rows, same in-row order, same ids as
+            // halfwindow_dense2 — the event multiset is identical.
+            const std::size_t m =
+                collect(cells, level, p[0], p[1],
+                        static_cast<std::uint32_t>(r),
+                        norm == NeighborNorm::kChebyshev, scratch.data());
+            for (std::size_t k = 0; k < m; ++k) push(scratch[k]);
+          } else {
+            halfwindow_dense2(cells, level, p, r, norm, push);
+          }
+        };
         if (row != nullptr) {
           for (; i < run_end; ++i) {
-            halfwindow_dense2(cells, level, particles[i], r, norm,
-                              [&](std::int32_t j) {
-                                row[own[static_cast<std::size_t>(j)]] += 2;
-                              });
+            scan(particles[i], [&](std::int32_t j) {
+              row[own[static_cast<std::size_t>(j)]] += 2;
+            });
           }
         } else {
           for (; i < run_end; ++i) {
-            halfwindow_dense2(cells, level, particles[i], r, norm,
-                              [&](std::int32_t j) {
-                                acc.add(src,
-                                        own[static_cast<std::size_t>(j)], 2);
-                              });
+            scan(particles[i], [&](std::int32_t j) {
+              acc.add(src, own[static_cast<std::size_t>(j)], 2);
+            });
           }
         }
         ++src;
@@ -276,20 +302,36 @@ void nfi_range_into_owners(const std::vector<Point<D>>& particles,
   if constexpr (D == 2) {
     if (cells != nullptr) {
       const unsigned level = grid.level();
+      // Same SIMD compaction setup as nfi_range_into.
+      decltype(util::simd::kernels().nfi_halfwindow2) collect = nullptr;
+      std::vector<std::int32_t> scratch;
+      if (r >= 2) {
+        collect = util::simd::kernels().nfi_halfwindow2;
+        if (collect != nullptr) {
+          scratch.resize(static_cast<std::size_t>(2 * r * r + 2 * r + 7));
+        }
+      }
+      auto scan = [&](const Point<2>& p, auto&& push) {
+        if (collect != nullptr) {
+          const std::size_t m =
+              collect(cells, level, p[0], p[1], static_cast<std::uint32_t>(r),
+                      norm == NeighborNorm::kChebyshev, scratch.data());
+          for (std::size_t k = 0; k < m; ++k) push(scratch[k]);
+        } else {
+          halfwindow_dense2(cells, level, p, r, norm, push);
+        }
+      };
       for (std::size_t i = lo; i < hi; ++i) {
         const topo::Rank src = own[i];
         std::uint64_t* row = acc.row(src);
         if (row != nullptr) {
-          halfwindow_dense2(cells, level, particles[i], r, norm,
-                            [&](std::int32_t j) {
-                              row[own[static_cast<std::size_t>(j)]] += 2;
-                            });
+          scan(particles[i], [&](std::int32_t j) {
+            row[own[static_cast<std::size_t>(j)]] += 2;
+          });
         } else {
-          halfwindow_dense2(cells, level, particles[i], r, norm,
-                            [&](std::int32_t j) {
-                              acc.add(src, own[static_cast<std::size_t>(j)],
-                                      2);
-                            });
+          scan(particles[i], [&](std::int32_t j) {
+            acc.add(src, own[static_cast<std::size_t>(j)], 2);
+          });
         }
       }
       return;

@@ -17,6 +17,7 @@
 #include "sfc/curve.hpp"
 #include "sfc/morton.hpp"
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 
 namespace sfc {
 
@@ -35,10 +36,19 @@ class GrayCurve final : public Curve<D> {
     return morton_point<D>(util::gray_encode(idx));
   }
 
-  /// Devirtualized batch encode: interleave + Gray-decode XOR cascade.
+  /// Devirtualized batch encode: interleave + Gray-decode XOR cascade,
+  /// dispatched to the BMI2 pdep kernel when available (bit-identical).
   void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
                    unsigned level) const override {
     (void)level;
+    if constexpr (D == 2 || D == 3) {
+      const auto& k = util::simd::kernels();
+      auto* kernel = D == 2 ? k.gray2_batch : k.gray3_batch;
+      if (kernel != nullptr) {
+        kernel(coord_data(pts), out, n);
+        return;
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = util::gray_decode(morton_index(pts[i]));
     }

@@ -1,5 +1,7 @@
 #include "sfc/hilbert_lut.hpp"
 
+#include "util/simd.hpp"
+
 namespace sfc {
 namespace {
 
@@ -121,6 +123,15 @@ std::uint64_t hilbert_lut_index_from(Point2 p, unsigned level,
 void hilbert_lut_index_batch(const Point2* pts, std::uint64_t* out,
                              std::size_t n, unsigned level,
                              unsigned state0) noexcept {
+  // The 8-lane kernel strides the FSM over 32-bit index lanes, which
+  // caps it at 2*level index bits; deeper levels run the scalar loop.
+  if (level <= util::simd::kFsmMaxLevel) {
+    if (auto* kernel = util::simd::kernels().hilbert2_batch;
+        kernel != nullptr) {
+      kernel(coord_data(pts), out, n, level, state0, &kTables.forward[0][0]);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t x = pts[i][0];
     const std::uint32_t y = pts[i][1];
@@ -134,6 +145,32 @@ void hilbert_lut_index_batch(const Point2* pts, std::uint64_t* out,
       state = entry & 7u;
     }
     out[i] = idx;
+  }
+}
+
+void moore_lut_index_batch(const Point2* pts, std::uint64_t* out,
+                           std::size_t n, unsigned level) noexcept {
+  if (level == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  // Lane budget: 2 rank bits + 2*(level-1) Hilbert bits must fit the
+  // 32-bit index lanes, the same bound as a level-deep Hilbert encode.
+  if (level <= util::simd::kFsmMaxLevel) {
+    if (auto* kernel = util::simd::kernels().moore2_batch; kernel != nullptr) {
+      kernel(coord_data(pts), out, n, level, &kTables.forward[0][0]);
+      return;
+    }
+  }
+  const std::uint32_t s = 1u << (level - 1);
+  const std::uint64_t quad_cells = 1ull << (2 * (level - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool qx = pts[i][0] >= s;
+    const bool qy = pts[i][1] >= s;
+    const std::uint32_t rank = qx ? (qy ? 2u : 3u) : (qy ? 1u : 0u);
+    const Point2 local = make_point(pts[i][0] & (s - 1), pts[i][1] & (s - 1));
+    out[i] = rank * quad_cells +
+             hilbert_lut_index_from(local, level - 1, rank < 2 ? 5u : 6u);
   }
 }
 

@@ -40,6 +40,13 @@ void hilbert_lut_index_batch(const Point2* pts, std::uint64_t* out,
                              std::size_t n, unsigned level,
                              unsigned state0 = 0) noexcept;
 
+/// Batched Moore encode: quadrant rank decomposition + the Hilbert FSM
+/// seeded per point with the quadrant's inverse-transform state. Lives
+/// here (not moore.hpp) because the kernel needs the step table; the
+/// MooreCurve::index_batch override forwards to it.
+void moore_lut_index_batch(const Point2* pts, std::uint64_t* out,
+                           std::size_t n, unsigned level) noexcept;
+
 /// Inverse of hilbert_lut_index (bit-exact match of
 /// canonical_hilbert_point).
 Point2 hilbert_lut_point(std::uint64_t idx, unsigned level) noexcept;

@@ -60,23 +60,12 @@ class MooreCurve final : public Curve<2> {
   /// the kernel seeds the canonical Hilbert state machine with the
   /// matching initial state (5 for the ascending left half, 6 for the
   /// descending right half) and runs it on the untransformed quadrant
-  /// coordinates — no per-point recursion or virtual dispatch.
+  /// coordinates — no per-point recursion or virtual dispatch. The body
+  /// lives next to the step table in hilbert_lut.cpp, where the SIMD
+  /// FSM kernel can be dispatched.
   void index_batch(const Point<2>* pts, std::uint64_t* out, std::size_t n,
                    unsigned level) const override {
-    if (level == 0) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = 0;
-      return;
-    }
-    const std::uint32_t s = 1u << (level - 1);
-    const std::uint64_t quad_cells = 1ull << (2 * (level - 1));
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool qx = pts[i][0] >= s;
-      const bool qy = pts[i][1] >= s;
-      const std::uint32_t rank = qx ? (qy ? 2u : 3u) : (qy ? 1u : 0u);
-      const Point2 local = make_point(pts[i][0] & (s - 1), pts[i][1] & (s - 1));
-      out[i] = rank * quad_cells +
-               hilbert_lut_index_from(local, level - 1, rank < 2 ? 5u : 6u);
-    }
+    moore_lut_index_batch(pts, out, n, level);
   }
 
   CurveKind kind() const noexcept override { return CurveKind::kMoore; }

@@ -10,6 +10,7 @@
 
 #include "sfc/curve.hpp"
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 
 namespace sfc {
 
@@ -73,10 +74,19 @@ class MortonCurve final : public Curve<D> {
     return morton_point<D>(idx);
   }
 
-  /// Devirtualized batch encode: a pure bit-interleave loop.
+  /// Devirtualized batch encode: a pure bit-interleave loop, dispatched
+  /// to the BMI2 pdep kernel when the host supports it (bit-identical).
   void index_batch(const Point<D>* pts, std::uint64_t* out, std::size_t n,
                    unsigned level) const override {
     (void)level;
+    if constexpr (D == 2 || D == 3) {
+      const auto& k = util::simd::kernels();
+      auto* kernel = D == 2 ? k.morton2_batch : k.morton3_batch;
+      if (kernel != nullptr) {
+        kernel(coord_data(pts), out, n);
+        return;
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) out[i] = morton_index(pts[i]);
   }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
 
 namespace sfc {
 
@@ -37,6 +38,17 @@ struct Point {
 
 using Point2 = Point<2>;
 using Point3 = Point<3>;
+
+/// A Point<D> batch viewed as its flat coordinate array: element i's
+/// coordinate d is at [D*i + d]. Valid (and deref-free) for empty
+/// batches; the layout static_asserts make the cast well-defined.
+template <int D>
+inline const std::uint32_t* coord_data(const Point<D>* pts) noexcept {
+  static_assert(std::is_standard_layout_v<Point<D>>);
+  static_assert(sizeof(Point<D>) == D * sizeof(std::uint32_t),
+                "Point<D> must pack its coordinates with no padding");
+  return reinterpret_cast<const std::uint32_t*>(pts);
+}
 
 constexpr Point2 make_point(std::uint32_t x, std::uint32_t y) noexcept {
   return Point2{{x, y}};

@@ -1,0 +1,87 @@
+// radix_sort.cpp — threaded-path threshold calibration and path metrics
+// for the header-only sort (see radix_sort.hpp).
+#include "util/radix_sort.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace sfc::util::detail {
+namespace {
+
+// Threshold clamp: never thread a sub-4k sort (a single pass is a few
+// microseconds), always thread past 1M records (any plausible fan-out
+// cost is amortized).
+constexpr std::size_t kMinThreshold = std::size_t{1} << 12;
+constexpr std::size_t kMaxThreshold = std::size_t{1} << 20;
+
+/// Estimated fixed cost of one threaded pass: two pool fan-out/join
+/// barriers (count + scatter) plus the 256×chunks prefix sum. A fixed
+/// estimate rather than a measurement because measuring it would need a
+/// warm pool at static-init time; the serial side of the ratio is what
+/// actually varies across machines.
+constexpr double kPassOverheadNs = 150000.0;
+
+/// One-time calibration: time the serial sort of a synthetic batch that
+/// matches the common workload shape (20-bit keys → 3 varying bytes,
+/// the level-10 ordering case), derive the per-record serial cost, and
+/// place the threshold where the serial sort costs ~2 threaded-pass
+/// overheads — below that, fan-out latency dominates any speedup.
+std::size_t calibrate() {
+  constexpr std::size_t kProbe = std::size_t{1} << 15;
+  std::vector<KeyIndex> records(kProbe);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    records[i] = {x & 0xfffffu, static_cast<std::uint32_t>(i)};
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  radix_sort_pairs(records);  // no pool: cannot recurse into calibration
+  const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  // Keep the sorted result observable so the sort cannot be elided.
+  if (records.front().key > records.back().key) std::abort();
+  const double per_record =
+      std::max(0.1, static_cast<double>(dt) / static_cast<double>(kProbe));
+  const auto threshold =
+      static_cast<std::size_t>(2.0 * kPassOverheadNs / per_record);
+  return std::clamp(threshold, kMinThreshold, kMaxThreshold);
+}
+
+}  // namespace
+
+std::size_t threaded_radix_min() {
+  static obs::Gauge& gauge =
+      obs::Registry::instance().gauge("radix.threaded_threshold");
+  // The environment override is re-read on every call (the function only
+  // runs when a caller passed a pool, so the getenv cost is noise); the
+  // calibration result is latched for the process lifetime.
+  if (const char* env = std::getenv("SFCACD_RADIX_THREAD_MIN")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      const std::size_t t = std::clamp(static_cast<std::size_t>(v),
+                                       kMinThreshold, kMaxThreshold);
+      gauge.set(static_cast<double>(t));
+      return t;
+    }
+  }
+  static const std::size_t calibrated = calibrate();
+  gauge.set(static_cast<double>(calibrated));
+  return calibrated;
+}
+
+void note_radix_path(bool threaded) {
+  static obs::Counter& threaded_count =
+      obs::Registry::instance().counter("radix.sort.threaded");
+  static obs::Counter& serial_count =
+      obs::Registry::instance().counter("radix.sort.serial");
+  (threaded ? threaded_count : serial_count).add();
+}
+
+}  // namespace sfc::util::detail

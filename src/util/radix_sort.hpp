@@ -24,9 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sfc::util {
@@ -38,27 +40,83 @@ struct KeyIndex {
   std::uint32_t index = 0;
 };
 
+/// The KeyIndex key projection as a named type (not a lambda) so the
+/// sort can recognize it at compile time and hand the varying-byte
+/// pre-scan to the SIMD key16_or_and kernel — a lambda with the same
+/// body would be semantically identical but unidentifiable.
+struct KeyIndexKey {
+  std::uint64_t operator()(const KeyIndex& k) const noexcept { return k.key; }
+};
+
 namespace detail {
 
-/// Below this size the per-pass bookkeeping dominates and the fan-out
-/// latency of a threaded sort exceeds the sort itself.
-inline constexpr std::size_t kThreadedRadixMin = std::size_t{1} << 15;
+/// Minimum record count for the threaded sort: below it the fan-out
+/// latency of a pass exceeds the pass itself. Resolved per call from the
+/// SFCACD_RADIX_THREAD_MIN environment override, else from a one-time
+/// calibration of the serial sort's per-record cost (radix_sort.cpp).
+std::size_t threaded_radix_min();
 
+/// Bump the radix.sort.threaded / radix.sort.serial path counters.
+void note_radix_path(bool threaded);
+
+/// OR- and AND-reduce the projected keys — the pre-scan that finds which
+/// key bytes actually vary. Dispatches the SIMD kernel only for the
+/// (KeyIndex, KeyIndexKey) pair, where the projection is known to read
+/// the u64 at record offset 0 and nothing else.
 template <typename T, typename KeyFn>
-void radix_count_scatter_serial(const T* src, T* dst, std::size_t n,
-                                unsigned shift, KeyFn key_of) {
-  std::array<std::size_t, 256> count{};
-  for (std::size_t i = 0; i < n; ++i) {
-    ++count[(key_of(src[i]) >> shift) & 0xffu];
+void key_or_and(const T* items, std::size_t n, KeyFn key_of,
+                std::uint64_t& all_or, std::uint64_t& all_and) {
+  if constexpr (std::is_same_v<T, KeyIndex> &&
+                std::is_same_v<KeyFn, KeyIndexKey>) {
+    static_assert(sizeof(KeyIndex) == 16 && offsetof(KeyIndex, key) == 0,
+                  "key16_or_and reads a u64 key at offset 0 of a 16-byte "
+                  "record");
+    if (auto* kernel = simd::kernels().key16_or_and; kernel != nullptr) {
+      kernel(reinterpret_cast<const unsigned char*>(items), n, &all_or,
+             &all_and);
+      return;
+    }
   }
-  std::size_t sum = 0;
-  for (std::size_t v = 0; v < 256; ++v) {
-    const std::size_t c = count[v];
-    count[v] = sum;
-    sum += c;
-  }
+  std::uint64_t o = 0;
+  std::uint64_t a = ~std::uint64_t{0};
   for (std::size_t i = 0; i < n; ++i) {
-    dst[count[(key_of(src[i]) >> shift) & 0xffu]++] = src[i];
+    const std::uint64_t k = key_of(items[i]);
+    o |= k;
+    a &= k;
+  }
+  all_or = o;
+  all_and = a;
+}
+
+/// Serial passes over the varying bytes, with the counting fused into
+/// one scan: a byte-value histogram is a property of the key *multiset*,
+/// which the scatters between passes only permute, so histograms taken
+/// from the initial array are valid for every pass. A 3-varying-byte
+/// sort thus sweeps memory 4 times (1 count + 3 scatters) instead of 6.
+template <typename T, typename KeyFn>
+void radix_passes_serial(T*& src, T*& dst, std::size_t n,
+                         const unsigned* shifts, unsigned nv, KeyFn key_of) {
+  std::vector<std::array<std::size_t, 256>> hist(nv);
+  for (auto& h : hist) h.fill(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = key_of(src[i]);
+    for (unsigned v = 0; v < nv; ++v) {
+      ++hist[v][(k >> shifts[v]) & 0xffu];
+    }
+  }
+  for (unsigned v = 0; v < nv; ++v) {
+    auto& count = hist[v];
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const std::size_t c = count[b];
+      count[b] = sum;
+      sum += c;
+    }
+    const unsigned shift = shifts[v];
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[(key_of(src[i]) >> shift) & 0xffu]++] = src[i];
+    }
+    std::swap(src, dst);
   }
 }
 
@@ -137,40 +195,38 @@ void radix_sort_by_key(std::vector<T>& items, KeyFn key_of,
   if (n < 2) return;
   std::uint64_t all_or = 0;
   std::uint64_t all_and = ~std::uint64_t{0};
-  for (const T& t : items) {
-    const std::uint64_t k = key_of(t);
-    all_or |= k;
-    all_and &= k;
-  }
+  detail::key_or_and(items.data(), n, key_of, all_or, all_and);
   const std::uint64_t varying = all_or ^ all_and;
   if (varying == 0) return;  // every key equal: already stable-sorted
+
+  unsigned shifts[8];
+  unsigned nv = 0;
+  for (unsigned byte = 0; byte < 8; ++byte) {
+    if (((varying >> (byte * 8)) & 0xffu) != 0) shifts[nv++] = byte * 8;
+  }
 
   std::vector<T> buffer(n);
   T* src = items.data();
   T* dst = buffer.data();
 
   const bool threaded = pool != nullptr && pool->size() > 1 &&
-                        n >= detail::kThreadedRadixMin;
-  std::size_t chunks = 0;
-  std::size_t chunk_size = 0;
-  std::vector<std::array<std::size_t, 256>> counts;
+                        n >= detail::threaded_radix_min();
+  detail::note_radix_path(threaded);
   if (threaded) {
-    chunks = pool->size();
-    chunk_size = (n + chunks - 1) / chunks;
+    // Per-pass counting is unavoidable here: chunk-local histograms
+    // depend on which records each chunk holds, and the scatter between
+    // passes re-distributes records across chunks.
+    std::size_t chunks = pool->size();
+    std::size_t chunk_size = (n + chunks - 1) / chunks;
     chunks = (n + chunk_size - 1) / chunk_size;
-    counts.resize(chunks);
-  }
-
-  for (unsigned byte = 0; byte < 8; ++byte) {
-    const unsigned shift = byte * 8;
-    if (((varying >> shift) & 0xffu) == 0) continue;
-    if (threaded) {
-      detail::radix_count_scatter_threaded(*pool, src, dst, n, shift, key_of,
-                                           chunks, chunk_size, counts);
-    } else {
-      detail::radix_count_scatter_serial(src, dst, n, shift, key_of);
+    std::vector<std::array<std::size_t, 256>> counts(chunks);
+    for (unsigned v = 0; v < nv; ++v) {
+      detail::radix_count_scatter_threaded(*pool, src, dst, n, shifts[v],
+                                           key_of, chunks, chunk_size, counts);
+      std::swap(src, dst);
     }
-    std::swap(src, dst);
+  } else {
+    detail::radix_passes_serial(src, dst, n, shifts, nv, key_of);
   }
   if (src != items.data()) {
     // Odd number of passes: the sorted run lives in the buffer.
@@ -182,7 +238,7 @@ void radix_sort_by_key(std::vector<T>& items, KeyFn key_of,
 /// order.
 inline void radix_sort_pairs(std::vector<KeyIndex>& items,
                              ThreadPool* pool = nullptr) {
-  radix_sort_by_key(items, [](const KeyIndex& k) { return k.key; }, pool);
+  radix_sort_by_key(items, KeyIndexKey{}, pool);
 }
 
 }  // namespace sfc::util

@@ -1,0 +1,131 @@
+// simd.hpp — runtime-dispatched SIMD kernels for the encode → order →
+// aggregate hot path.
+//
+// The batched curve encoders, the radix sort's key pre-scan, and the NFI
+// half-window scan all have data-parallel inner loops whose best
+// implementation depends on the host ISA (BMI2 pdep/pext interleaves,
+// AVX2 8-lane FSM striping, vectorized occupied-cell scans). This header
+// is the seam between the portable call sites and those variants:
+//
+//   * Detection runs once, at first use: CPUID feature probes
+//     (__builtin_cpu_supports) pick the widest variant the machine
+//     supports, the SFCACD_SIMD environment variable ("off"/"scalar")
+//     forces the portable path at runtime, and the -DSFCACD_SIMD=off
+//     CMake option compiles the variant TUs out entirely.
+//   * Dispatch is one relaxed pointer load: kernels() returns a table of
+//     function pointers, where a null entry means "no SIMD variant —
+//     run your scalar loop". Call sites keep their scalar code as the
+//     always-present fallback, which is also the bit-exactness oracle
+//     (pbt_batch_diff / pbt_acd_diff run both paths against each other).
+//   * Every kernel is bit-identical to the scalar code it replaces: the
+//     curves' outputs feed sweep cache keys and golden ACD numbers, so
+//     "fast but off by an ulp" is not a tier the dispatcher offers.
+//
+// The header itself contains no intrinsics and is safe to include from
+// any TU on any architecture; the AVX2+BMI2 definitions live in
+// simd_avx2.cpp, compiled with -mavx2 -mbmi2 and only ever entered after
+// the CPUID probe has confirmed both features.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfc::util::simd {
+
+/// The ISA tiers the dispatcher knows. Exactly one is active per
+/// process (modulo the test-only ScopedForceScalar override).
+enum class Isa {
+  kScalar = 0,    // portable C++ everywhere
+  kAvx2Bmi2 = 1,  // AVX2 vector kernels + BMI2 pdep/pext interleaves
+};
+
+/// Stable short name for provenance stamps ("scalar", "avx2+bmi2").
+const char* isa_name(Isa isa) noexcept;
+
+/// The widest tier compiled into this binary (kScalar when the build
+/// disabled SFCACD_SIMD or targets a non-x86 architecture).
+Isa compiled_isa() noexcept;
+
+/// The tier actually dispatched on this machine: compiled_isa() gated by
+/// the CPUID probe and the SFCACD_SIMD environment override. Constant
+/// after first call; ScopedForceScalar does NOT change it (provenance
+/// should record the machine, not a test harness state).
+Isa active_isa() noexcept;
+
+/// 2-D Hilbert/Moore FSM lanes accumulate 2·level index bits in 32-bit
+/// lanes, so the vector kernels cover levels up to 16; deeper levels run
+/// the scalar state machine (identical table, identical output).
+inline constexpr unsigned kFsmMaxLevel = 16;
+
+/// The dispatched kernel table. Coordinates arrive as the raw
+/// std::uint32_t array backing a Point<D> batch (Point is standard
+/// layout with no padding, so pts[i][d] == xy[D*i + d]); call sites
+/// static_assert the layout before casting.
+struct Kernels {
+  /// out[i] = morton2_encode(xy[2i], xy[2i+1]).
+  void (*morton2_batch)(const std::uint32_t* xy, std::uint64_t* out,
+                        std::size_t n) = nullptr;
+  /// out[i] = gray_decode(morton2_encode(...)).
+  void (*gray2_batch)(const std::uint32_t* xy, std::uint64_t* out,
+                      std::size_t n) = nullptr;
+  /// out[i] = morton3_encode(xyz[3i], xyz[3i+1], xyz[3i+2]).
+  void (*morton3_batch)(const std::uint32_t* xyz, std::uint64_t* out,
+                        std::size_t n) = nullptr;
+  /// out[i] = gray_decode(morton3_encode(...)).
+  void (*gray3_batch)(const std::uint32_t* xyz, std::uint64_t* out,
+                      std::size_t n) = nullptr;
+  /// Batched 2-D Hilbert FSM started in state0: 8 points per vector,
+  /// one (state, quadrant) table step per bit plane. `forward` is the
+  /// flattened 8×4 step table of hilbert_lut.cpp (entry = digit<<3 |
+  /// next_state). Requires level <= kFsmMaxLevel.
+  void (*hilbert2_batch)(const std::uint32_t* xy, std::uint64_t* out,
+                         std::size_t n, unsigned level, unsigned state0,
+                         const unsigned char* forward) = nullptr;
+  /// Batched 2-D Moore encode: per-lane quadrant rank + the same FSM
+  /// seeded per lane with the quadrant's inverse-transform state.
+  /// Requires 1 <= level <= kFsmMaxLevel.
+  void (*moore2_batch)(const std::uint32_t* xy, std::uint64_t* out,
+                       std::size_t n, unsigned level,
+                       const unsigned char* forward) = nullptr;
+  /// OR- and AND-reduce the keys of a KeyIndex-shaped record array
+  /// (64-bit key at offset 0 of a 16-byte record) — the radix sort's
+  /// varying-byte pre-scan.
+  void (*key16_or_and)(const unsigned char* records, std::size_t n,
+                       std::uint64_t* all_or, std::uint64_t* all_and) =
+      nullptr;
+  /// The NFI 2-D dense half-window scan (fmm/nfi.cpp halfwindow_dense2):
+  /// append the occupied particle ids (cell values != -1, the
+  /// OccupancyGrid::kEmpty sentinel) of the radius-r half-window around
+  /// (x0, y0) to `out` — center row dx in [1, r], then rows dy in
+  /// [1, r] with the x-extent clamped to the L1 ball unless `chebyshev`
+  /// — in row order; returns the count. One call covers the whole
+  /// window so short rows cost one masked vector op, not a scalar tail,
+  /// and each block is compacted branchlessly with a full 8-lane store.
+  /// `out` must hold 2r² + 2r + 7 entries (the largest half-window plus
+  /// the unconditional store's slack).
+  std::size_t (*nfi_halfwindow2)(const std::int32_t* cells, unsigned level,
+                                 std::uint32_t x0, std::uint32_t y0,
+                                 std::uint32_t r, bool chebyshev,
+                                 std::int32_t* out) = nullptr;
+};
+
+/// The active kernel table (all-null fields in scalar mode). One relaxed
+/// atomic pointer load; hoist the fields you need out of inner loops.
+const Kernels& kernels() noexcept;
+
+/// Test/bench hook: dispatch the scalar (all-null) table for the scope's
+/// lifetime, so SIMD == scalar equivalence runs in one binary and
+/// per-ISA benchmark columns come from one process. Not thread-safe
+/// against concurrent scopes; intended for single-threaded harness code.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() noexcept;
+  ~ScopedForceScalar();
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  const Kernels* saved_;
+};
+
+}  // namespace sfc::util::simd

@@ -1,0 +1,399 @@
+// simd_avx2.cpp — AVX2 + BMI2 variants of the hot-path kernels.
+//
+// Compiled with -mavx2 -mbmi2 (see src/CMakeLists.txt); nothing in this
+// TU runs unless the CPUID probe in simd.cpp confirmed both features, so
+// it must not contain file-scope dynamic initializers (they would
+// execute unconditionally at startup).
+//
+// Bit-exactness contract: every function here reproduces the scalar
+// code it replaces exactly — same integer results, same output order.
+// The interleaves are the pdep/pext formulation of the magic-mask
+// sequences in util/bits.hpp, the FSM kernels run the hilbert_lut.cpp
+// step table with 8 points striped across 32-bit lanes, and the scans
+// enumerate the same elements in the same order. pbt_batch_diff and
+// pbt_acd_diff hold both paths against each other every run.
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace sfc::util::simd::avx2 {
+
+namespace {
+
+// Interleave masks: x bits land at even (every-2nd / every-3rd)
+// positions, matching util::morton2_encode / morton3_encode.
+constexpr std::uint64_t kMask2X = 0x5555555555555555ull;
+constexpr std::uint64_t kMask2Y = 0xAAAAAAAAAAAAAAAAull;
+constexpr std::uint64_t kMask3X = 0x1249249249249249ull;
+constexpr std::uint64_t kMask3Y = kMask3X << 1;
+constexpr std::uint64_t kMask3Z = kMask3X << 2;
+
+inline std::uint64_t morton2(std::uint64_t xy_pair) noexcept {
+  return _pdep_u64(xy_pair & 0xFFFFFFFFull, kMask2X) |
+         _pdep_u64(xy_pair >> 32, kMask2Y);
+}
+
+/// Prefix-XOR fold, identical to util::gray_decode.
+inline std::uint64_t gray_decode(std::uint64_t g) noexcept {
+  g ^= g >> 32;
+  g ^= g >> 16;
+  g ^= g >> 8;
+  g ^= g >> 4;
+  g ^= g >> 2;
+  g ^= g >> 1;
+  return g;
+}
+
+inline std::uint64_t load_pair(const std::uint32_t* xy, std::size_t i) {
+  std::uint64_t pair;
+  std::memcpy(&pair, xy + 2 * i, sizeof(pair));
+  return pair;
+}
+
+/// De-interleave 8 packed (x, y) pairs into xs/ys lane vectors.
+inline void load_points8(const std::uint32_t* xy, __m256i& xs, __m256i& ys) {
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const __m256i a = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(xy));  // x0 y0 .. x3 y3
+  const __m256i b = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(xy + 8));  // x4 y4 .. x7 y7
+  const __m256i pa = _mm256_permutevar8x32_epi32(a, pick);  // x0..x3 y0..y3
+  const __m256i pb = _mm256_permutevar8x32_epi32(b, pick);  // x4..x7 y4..y7
+  xs = _mm256_permute2x128_si256(pa, pb, 0x20);
+  ys = _mm256_permute2x128_si256(pa, pb, 0x31);
+}
+
+/// One FSM table step for 8 lanes: t = state<<2 | xbit<<1 | ybit indexes
+/// the flattened 32-entry forward table (two in-register vpshufb halves
+/// selected on t>15), yielding entry = digit<<3 | next_state per lane.
+struct FsmTables {
+  __m256i lo;
+  __m256i hi;
+};
+
+inline FsmTables fsm_tables(const unsigned char* forward) {
+  FsmTables t;
+  t.lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(forward)));
+  t.hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(forward + 16)));
+  return t;
+}
+
+/// Run `steps` FSM table steps over the lane-striped points, folding two
+/// index bits per step into `idx` (must hold 2*steps more bits; lanes
+/// are 32-bit, hence simd::kFsmMaxLevel).
+inline __m256i fsm_run(__m256i xs, __m256i ys, __m256i state, __m256i idx,
+                       unsigned steps, const FsmTables& tbl) {
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i seven = _mm256_set1_epi32(7);
+  const __m256i fifteen = _mm256_set1_epi32(15);
+  const __m256i low_byte = _mm256_set1_epi32(0xFF);
+  for (unsigned k = steps; k > 0; --k) {
+    const __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(k - 1));
+    const __m256i xb = _mm256_and_si256(_mm256_srl_epi32(xs, cnt), one);
+    const __m256i yb = _mm256_and_si256(_mm256_srl_epi32(ys, cnt), one);
+    const __m256i t = _mm256_or_si256(
+        _mm256_slli_epi32(state, 2),
+        _mm256_or_si256(_mm256_slli_epi32(xb, 1), yb));
+    const __m256i lo = _mm256_shuffle_epi8(tbl.lo, t);
+    const __m256i hi = _mm256_shuffle_epi8(tbl.hi, t);
+    const __m256i pick_hi = _mm256_cmpgt_epi32(t, fifteen);
+    // Bytes 1..3 of each lane indexed entry 0 (t's high bytes are zero);
+    // the low_byte mask discards them.
+    const __m256i entry = _mm256_and_si256(
+        _mm256_blendv_epi8(lo, hi, pick_hi), low_byte);
+    idx = _mm256_or_si256(_mm256_slli_epi32(idx, 2),
+                          _mm256_srli_epi32(entry, 3));
+    state = _mm256_and_si256(entry, seven);
+  }
+  return idx;
+}
+
+/// Zero-extend the 8 32-bit lane results to the u64 output array.
+inline void store_idx8(std::uint64_t* out, __m256i idx) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_cvtepu32_epi64(_mm256_castsi256_si128(idx)));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4),
+                      _mm256_cvtepu32_epi64(_mm256_extracti128_si256(idx, 1)));
+}
+
+/// Scalar FSM step loop — the under-8 tail of the striped kernels. Same
+/// table, same arithmetic as hilbert_lut_index_from.
+inline std::uint64_t fsm_scalar(std::uint32_t x, std::uint32_t y,
+                                unsigned steps, unsigned state,
+                                std::uint64_t idx,
+                                const unsigned char* forward) {
+  for (unsigned k = steps; k > 0; --k) {
+    const unsigned q = (((x >> (k - 1)) & 1u) << 1) | ((y >> (k - 1)) & 1u);
+    const unsigned entry = forward[(state << 2) | q];
+    idx = (idx << 2) | (entry >> 3);
+    state = entry & 7u;
+  }
+  return idx;
+}
+
+}  // namespace
+
+void morton2_batch(const std::uint32_t* xy, std::uint64_t* out,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] = morton2(load_pair(xy, i));
+    out[i + 1] = morton2(load_pair(xy, i + 1));
+    out[i + 2] = morton2(load_pair(xy, i + 2));
+    out[i + 3] = morton2(load_pair(xy, i + 3));
+  }
+  for (; i < n; ++i) out[i] = morton2(load_pair(xy, i));
+}
+
+/// gray_decode on 4 u64 lanes: the same 6-step prefix-XOR fold, with
+/// the shifts confined to each lane.
+inline __m256i gray_decode4(__m256i g) noexcept {
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 32));
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 16));
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 8));
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 4));
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 2));
+  g = _mm256_xor_si256(g, _mm256_srli_epi64(g, 1));
+  return g;
+}
+
+void gray2_batch(const std::uint32_t* xy, std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // pdep has no vector form: interleave scalar, fold vectorized.
+    const __m256i m = _mm256_setr_epi64x(
+        static_cast<long long>(morton2(load_pair(xy, i))),
+        static_cast<long long>(morton2(load_pair(xy, i + 1))),
+        static_cast<long long>(morton2(load_pair(xy, i + 2))),
+        static_cast<long long>(morton2(load_pair(xy, i + 3))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), gray_decode4(m));
+  }
+  for (; i < n; ++i) out[i] = gray_decode(morton2(load_pair(xy, i)));
+}
+
+void morton3_batch(const std::uint32_t* xyz, std::uint64_t* out,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t* p = xyz + 3 * i;
+    out[i] = _pdep_u64(p[0], kMask3X) | _pdep_u64(p[1], kMask3Y) |
+             _pdep_u64(p[2], kMask3Z);
+  }
+}
+
+inline std::uint64_t morton3(const std::uint32_t* p) noexcept {
+  return _pdep_u64(p[0], kMask3X) | _pdep_u64(p[1], kMask3Y) |
+         _pdep_u64(p[2], kMask3Z);
+}
+
+void gray3_batch(const std::uint32_t* xyz, std::uint64_t* out,
+                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i m = _mm256_setr_epi64x(
+        static_cast<long long>(morton3(xyz + 3 * i)),
+        static_cast<long long>(morton3(xyz + 3 * (i + 1))),
+        static_cast<long long>(morton3(xyz + 3 * (i + 2))),
+        static_cast<long long>(morton3(xyz + 3 * (i + 3))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), gray_decode4(m));
+  }
+  for (; i < n; ++i) out[i] = gray_decode(morton3(xyz + 3 * i));
+}
+
+void hilbert2_batch(const std::uint32_t* xy, std::uint64_t* out,
+                    std::size_t n, unsigned level, unsigned state0,
+                    const unsigned char* forward) {
+  const FsmTables tbl = fsm_tables(forward);
+  const __m256i st0 = _mm256_set1_epi32(static_cast<int>(state0));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i xs, ys;
+    load_points8(xy + 2 * i, xs, ys);
+    store_idx8(out + i,
+               fsm_run(xs, ys, st0, _mm256_setzero_si256(), level, tbl));
+  }
+  for (; i < n; ++i) {
+    out[i] = fsm_scalar(xy[2 * i], xy[2 * i + 1], level, state0, 0, forward);
+  }
+}
+
+void moore2_batch(const std::uint32_t* xy, std::uint64_t* out, std::size_t n,
+                  unsigned level, const unsigned char* forward) {
+  // Quadrant decomposition matching MooreCurve::index_batch: visit order
+  // LL(0) UL(1) UR(2) LR(3), left half seeded in FSM state 5 (T1^-1),
+  // right half in state 6 (T2^-1), idx initialized to the quadrant rank
+  // so rank * 4^(level-1) folds into the same accumulator.
+  const FsmTables tbl = fsm_tables(forward);
+  const std::uint32_t s = 1u << (level - 1);
+  const __m256i smask = _mm256_set1_epi32(static_cast<int>(s - 1));
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i five = _mm256_set1_epi32(5);
+  const __m256i six = _mm256_set1_epi32(6);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i xs, ys;
+    load_points8(xy + 2 * i, xs, ys);
+    // Coordinates are < 2^level <= 2^16, so signed compares are exact.
+    const __m256i qx = _mm256_cmpgt_epi32(xs, smask);
+    const __m256i qy = _mm256_cmpgt_epi32(ys, smask);
+    const __m256i qy01 = _mm256_and_si256(qy, one);
+    // rank = qx ? 3 - qy : qy
+    const __m256i rank =
+        _mm256_blendv_epi8(qy01, _mm256_sub_epi32(three, qy01), qx);
+    const __m256i st0 =
+        _mm256_blendv_epi8(five, six, _mm256_cmpgt_epi32(rank, one));
+    store_idx8(out + i, fsm_run(_mm256_and_si256(xs, smask),
+                                _mm256_and_si256(ys, smask), st0, rank,
+                                level - 1, tbl));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t x = xy[2 * i];
+    const std::uint32_t y = xy[2 * i + 1];
+    const unsigned rank = x >= s ? (y >= s ? 2u : 3u) : (y >= s ? 1u : 0u);
+    out[i] = fsm_scalar(x & (s - 1), y & (s - 1), level - 1,
+                        rank < 2 ? 5u : 6u, rank, forward);
+  }
+}
+
+void key16_or_and(const unsigned char* records, std::size_t n,
+                  std::uint64_t* all_or, std::uint64_t* all_and) {
+  __m256i vor = _mm256_setzero_si256();
+  __m256i vand = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Two 16-byte records per vector; the key u64s sit in lanes 0 and 2,
+    // the index+padding lanes are discarded at the extract below.
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(records + 16 * i));
+    vor = _mm256_or_si256(vor, v);
+    vand = _mm256_and_si256(vand, v);
+  }
+  std::uint64_t o = static_cast<std::uint64_t>(_mm256_extract_epi64(vor, 0)) |
+                    static_cast<std::uint64_t>(_mm256_extract_epi64(vor, 2));
+  std::uint64_t a = static_cast<std::uint64_t>(_mm256_extract_epi64(vand, 0)) &
+                    static_cast<std::uint64_t>(_mm256_extract_epi64(vand, 2));
+  for (; i < n; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, records + 16 * i, sizeof(k));
+    o |= k;
+    a &= k;
+  }
+  *all_or = o;
+  *all_and = a;
+}
+
+namespace {
+
+// Sliding lane mask for tail loads: reading 8 lanes starting at
+// kLaneMask + (8 - rem) yields `rem` set lanes followed by zeros.
+alignas(32) constexpr std::int32_t kLaneMask[16] = {
+    -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+
+// Left-packing permutation per occupancy mask: kPackLut.idx[m] moves the
+// set lanes of m to the front, in order. 256 x 8 lanes = 8 KiB, hot in
+// L1 within a few windows.
+struct PackLut {
+  alignas(32) std::int32_t idx[256][8];
+};
+
+constexpr PackLut make_pack_lut() {
+  PackLut lut{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int b = 0; b < 8; ++b) {
+      if ((m >> b) & 1) lut.idx[m][k++] = b;
+    }
+    for (; k < 8; ++k) lut.idx[m][k] = 0;
+  }
+  return lut;
+}
+
+constexpr PackLut kPackLut = make_pack_lut();
+
+/// Append the ids of occupied cells (value != -1) in p[0..len) to
+/// out[cnt...], in order; returns the new count. Every block — full or
+/// masked tail (the tail load never touches memory past p + len) — is
+/// compacted branchlessly: occupancy movemask indexes the left-packing
+/// shuffle, one full 8-lane store writes the survivors, and popcount
+/// advances the cursor. Which lanes are occupied is the one genuinely
+/// random bit of this workload, so a data-dependent branch (the obvious
+/// find-next-set-bit loop) mispredicts nearly every block; the
+/// store-8-advance-popcount form costs the same regardless of the mask.
+/// The unconditional store means `out` needs 7 lanes of slack past the
+/// worst-case count.
+inline std::size_t collect_span(const std::int32_t* p, std::size_t len,
+                                std::int32_t* out, std::size_t cnt) {
+  const __m256i empty = _mm256_set1_epi32(-1);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, empty)))) ^
+        0xFFu;
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPackLut.idx[m]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + cnt),
+                        _mm256_permutevar8x32_epi32(v, perm));
+    cnt += static_cast<unsigned>(__builtin_popcount(m));
+  }
+  const std::size_t rem = len - i;
+  if (rem != 0) {
+    const __m256i lanes = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kLaneMask + (8 - rem)));
+    const __m256i v = _mm256_maskload_epi32(p + i, lanes);
+    // Masked-off lanes read as 0 (!= -1), so clip to the live lanes.
+    const unsigned m = (static_cast<unsigned>(_mm256_movemask_ps(
+                            _mm256_castsi256_ps(
+                                _mm256_cmpeq_epi32(v, empty)))) ^
+                        0xFFu) &
+                       ((1u << rem) - 1u);
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPackLut.idx[m]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + cnt),
+                        _mm256_permutevar8x32_epi32(v, perm));
+    cnt += static_cast<unsigned>(__builtin_popcount(m));
+  }
+  return cnt;
+}
+
+}  // namespace
+
+std::size_t nfi_halfwindow2(const std::int32_t* cells, unsigned level,
+                            std::uint32_t x0u, std::uint32_t y0u,
+                            std::uint32_t ru, bool chebyshev,
+                            std::int32_t* out) {
+  // Mirrors fmm/nfi.cpp halfwindow_dense2 exactly: same rows, same
+  // in-row order, same clamps.
+  const std::int64_t side = std::int64_t{1} << level;
+  const std::int64_t x0 = x0u;
+  const std::int64_t y0 = y0u;
+  const std::int64_t r = ru;
+  std::size_t cnt = 0;
+  {
+    const std::int64_t xhi = x0 + r < side - 1 ? x0 + r : side - 1;
+    if (xhi > x0) {
+      const std::int32_t* row =
+          cells + (static_cast<std::uint64_t>(y0) << level);
+      cnt = collect_span(row + x0 + 1, static_cast<std::size_t>(xhi - x0),
+                         out, cnt);
+    }
+  }
+  const std::int64_t yhi = y0 + r < side - 1 ? y0 + r : side - 1;
+  for (std::int64_t yy = y0 + 1; yy <= yhi; ++yy) {
+    const std::int64_t budget = chebyshev ? r : r - (yy - y0);
+    const std::int64_t xlo = x0 - budget > 0 ? x0 - budget : 0;
+    const std::int64_t xhi = x0 + budget < side - 1 ? x0 + budget : side - 1;
+    const std::int32_t* row = cells + (static_cast<std::uint64_t>(yy) << level);
+    cnt = collect_span(row + xlo, static_cast<std::size_t>(xhi - xlo + 1),
+                       out, cnt);
+  }
+  return cnt;
+}
+
+}  // namespace sfc::util::simd::avx2

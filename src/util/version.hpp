@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "util/simd.hpp"
+
 namespace sfc {
 
 inline constexpr int kVersionMajor = 1;
@@ -40,11 +42,18 @@ inline constexpr const char* kCompiler =
 
 /// One JSON object identifying the build, embedded by the bench harness
 /// in every output document so BENCH_acd.json entries are attributable.
-/// All values are compile-time literals that never need escaping.
+/// "simd" is the ISA tier the dispatcher actually selected on this
+/// machine (CPUID probe + SFCACD_SIMD override), "simd_compiled" the
+/// widest tier in the binary — recorded so cross-machine gate
+/// comparisons are diagnosable instead of silently flaky. All other
+/// values are compile-time literals that never need escaping.
 inline std::string build_info_json() {
   return std::string("{\"version\":\"") + kVersionString +
          "\",\"git_sha\":\"" + kGitSha + "\",\"build_type\":\"" + kBuildType +
-         "\",\"compiler\":\"" + kCompiler + "\"}";
+         "\",\"compiler\":\"" + kCompiler + "\",\"simd\":\"" +
+         util::simd::isa_name(util::simd::active_isa()) +
+         "\",\"simd_compiled\":\"" +
+         util::simd::isa_name(util::simd::compiled_isa()) + "\"}";
 }
 
 }  // namespace sfc

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "topology/linear.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sfc::fmm {
@@ -125,6 +126,42 @@ TEST(Nfi, ThreeDimensionalPair) {
   const auto manh = nfi_totals<3>(particles, grid, part, bus, 2,
                                   NeighborNorm::kManhattan, nullptr);
   EXPECT_EQ(manh.count, 0u);  // Manhattan distance is 3
+}
+
+TEST(Nfi, SimdHalfWindowMatchesForcedScalar) {
+  // The dispatched half-window compaction kernel vs the per-cell scalar
+  // scan, over both norms and the radii that take the SIMD path (r >= 2),
+  // including a radius that clips every boundary window. Particles land
+  // on edges and corners so the masked tail loads run at the row ends.
+  std::vector<Point2> particles;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    particles.push_back(make_point((i * 17 + i / 37) % 32, (i * 29) % 32));
+  }
+  std::sort(particles.begin(), particles.end(),
+            [](const Point2& a, const Point2& b) {
+              return pack(a, 5) < pack(b, 5);
+            });
+  particles.erase(std::unique(particles.begin(), particles.end()),
+                  particles.end());
+
+  const OccupancyGrid<2> grid(particles, 5);
+  const Partition part(particles.size(), 8);
+  const topo::BusTopology bus(8);
+
+  for (const unsigned radius : {2u, 3u, 4u, 40u}) {
+    for (const NeighborNorm norm :
+         {NeighborNorm::kChebyshev, NeighborNorm::kManhattan}) {
+      const auto dispatched =
+          nfi_totals<2>(particles, grid, part, bus, radius, norm, nullptr);
+      const util::simd::ScopedForceScalar force;
+      const auto scalar =
+          nfi_totals<2>(particles, grid, part, bus, radius, norm, nullptr);
+      EXPECT_EQ(dispatched, scalar)
+          << "radius=" << radius << " norm="
+          << (norm == NeighborNorm::kChebyshev ? "chebyshev" : "manhattan");
+      EXPECT_GT(dispatched.count, 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <iterator>
 #include <ostream>
 #include <random>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "testing/domain.hpp"
 #include "testing/gtest.hpp"
 #include "util/radix_sort.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sfc::pbt {
@@ -97,7 +100,17 @@ Gen<BatchCase<D>> batch_case(Gen<CurveKind> kinds, unsigned max_lvl) {
         c.kind = kinds.sample(r);
         c.level = static_cast<unsigned>(r.between(1, max_lvl));
         c.shape = static_cast<PointShape>(r.below(3));
-        const std::size_t n = r.between(1, 64);
+        // Mostly random lengths (including 0 — an empty batch must not
+        // touch either array), with a thumb on the scale for the SIMD
+        // block boundaries: the lane widths of the vector kernels (4- and
+        // 8-point blocks) plus one, where a tail loop that runs one
+        // element short or long would hide from round sizes.
+        static constexpr std::size_t kBoundary[] = {0, 1, 3, 4, 5, 7, 8,
+                                                    9, 15, 16, 17, 65};
+        const std::size_t n =
+            r.below(4) == 0
+                ? kBoundary[r.below(std::size(kBoundary))]
+                : static_cast<std::size_t>(r.between(0, 64));
         c.pts.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
           c.pts.push_back(shaped_point<D>(r, c.shape, c.level));
@@ -151,6 +164,53 @@ bool batch_matches_per_point(const BatchCase<D>& c) {
   return true;
 }
 
+/// index_batch on sub-slices starting at every small offset: callers
+/// hand the kernels interior pointers (threaded chunking slices the
+/// particle array wherever the chunk math lands), so a kernel that
+/// assumes 32-byte alignment — Point<2> is 8 bytes, so odd offsets
+/// misalign every wider vector load — or that reads before/after its
+/// slice would diverge here and nowhere else.
+template <int D>
+bool batch_slices_match_per_point(const BatchCase<D>& c) {
+  const auto curve = make_curve<D>(c.kind);
+  const std::size_t n = c.pts.size();
+  std::vector<std::uint64_t> batched(n);
+  for (const std::size_t off : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}, std::size_t{5}}) {
+    if (off > n) break;
+    const std::size_t len = n - off;
+    std::fill(batched.begin(), batched.end(), ~std::uint64_t{0});
+    curve->index_batch(c.pts.data() + off, batched.data(), len, c.level);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (batched[i] != curve->index(c.pts[off + i], c.level)) return false;
+    }
+    // The slots past the slice must be untouched.
+    for (std::size_t i = len; i < n; ++i) {
+      if (batched[i] != ~std::uint64_t{0}) return false;
+    }
+  }
+  return true;
+}
+
+/// The dispatched kernel table vs the forced-scalar table on the same
+/// batch: bit-identity is the whole contract of the SIMD layer. On a
+/// machine (or SFCACD_SIMD=off run) where dispatch already picked
+/// scalar, this degenerates to scalar == scalar — still true, just not
+/// informative.
+template <int D>
+bool batch_simd_matches_forced_scalar(const BatchCase<D>& c) {
+  const auto curve = make_curve<D>(c.kind);
+  std::vector<std::uint64_t> dispatched(c.pts.size());
+  curve->index_batch(c.pts.data(), dispatched.data(), c.pts.size(),
+                     c.level);
+  std::vector<std::uint64_t> scalar(c.pts.size());
+  {
+    const util::simd::ScopedForceScalar force;
+    curve->index_batch(c.pts.data(), scalar.data(), c.pts.size(), c.level);
+  }
+  return dispatched == scalar;
+}
+
 // --------------------------------------------------- batched == per-point
 
 TEST(BatchDiff, BatchedMatchesPerPoint2D) {
@@ -159,6 +219,26 @@ TEST(BatchDiff, BatchedMatchesPerPoint2D) {
 
 TEST(BatchDiff, BatchedMatchesPerPoint3D) {
   SFCACD_PBT_CHECK(batch_case<3>(any_curve3(), 10), batch_matches_per_point<3>);
+}
+
+TEST(BatchDiff, BatchedSlicesMatchPerPoint2D) {
+  SFCACD_PBT_CHECK(batch_case<2>(any_curve2(), 16),
+                   batch_slices_match_per_point<2>);
+}
+
+TEST(BatchDiff, BatchedSlicesMatchPerPoint3D) {
+  SFCACD_PBT_CHECK(batch_case<3>(any_curve3(), 10),
+                   batch_slices_match_per_point<3>);
+}
+
+TEST(BatchDiff, SimdMatchesForcedScalar2D) {
+  SFCACD_PBT_CHECK(batch_case<2>(any_curve2(), 16),
+                   batch_simd_matches_forced_scalar<2>);
+}
+
+TEST(BatchDiff, SimdMatchesForcedScalar3D) {
+  SFCACD_PBT_CHECK(batch_case<3>(any_curve3(), 10),
+                   batch_simd_matches_forced_scalar<3>);
 }
 
 TEST(BatchDiff, BatchedMatchesPerPointAtMaxLevel2D) {
@@ -252,9 +332,16 @@ TEST(BatchDiff, RadixMatchesStableSortOnDuplicateHeavyKeys) {
 }
 
 TEST(BatchDiff, ThreadedRadixMatchesSerialAboveCutoff) {
-  // 50k pairs clears kThreadedRadixMin, so the pool path actually runs;
-  // dup-heavy keys make any stability break visible and the high byte
-  // forces a multi-pass sort across non-adjacent byte positions.
+  // The serial/threaded cutoff is calibrated per machine, so pin it to
+  // its floor for this test: 50k pairs then always clears it and the
+  // pool path actually runs. Dup-heavy keys make any stability break
+  // visible and the high byte forces a multi-pass sort across
+  // non-adjacent byte positions.
+  ::setenv("SFCACD_RADIX_THREAD_MIN", "4096", 1);
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("SFCACD_RADIX_THREAD_MIN"); }
+  } guard;
+  ASSERT_LE(util::detail::threaded_radix_min(), 50000u);
   std::mt19937_64 rng(20260806);
   std::vector<std::uint64_t> keys(50000);
   for (auto& k : keys) {
