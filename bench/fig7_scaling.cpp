@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   spec.add_options = [](util::ArgParser& args) {
     args.add_option("particles", "number of particles (0 = preset)", "0");
     args.add_option("level", "log2 resolution side (0 = preset)", "0");
+    args.add_option("min-procs", "smallest processor count (0 = preset)", "0");
     args.add_option("max-procs", "largest processor count (0 = preset)", "0");
     args.add_option("radius", "near-field Chebyshev radius", "1");
     args.add_option("out-csv", "basename for plot-ready CSV export", "");
@@ -37,15 +38,21 @@ int main(int argc, char** argv) {
       study.particles = static_cast<std::size_t>(h.args().i64("particles"));
     if (h.args().i64("level") > 0)
       study.level = static_cast<unsigned>(h.args().i64("level"));
+    topo::Rank min_procs = 16;
+    if (h.args().i64("min-procs") > 0)
+      min_procs = static_cast<topo::Rank>(h.args().i64("min-procs"));
     if (h.args().i64("max-procs") > 0)
       max_procs = static_cast<topo::Rank>(h.args().i64("max-procs"));
     study.radius = static_cast<unsigned>(h.args().i64("radius"));
     study.seed = h.seed();
     study.trials = h.trials();
     // Curves stay paired (processor_curves empty); the processor-count
-    // axis is the sweep, on the default torus.
+    // axis is the sweep, on the default torus. --min-procs lets the
+    // million-rank recipe (EXPERIMENTS.md) skip the small-p points: the
+    // factorized fold makes p = 2^20 cheap, but each point still pays
+    // the particle pipeline.
     study.proc_counts.clear();
-    for (topo::Rank p = 16; p <= max_procs; p *= 4)
+    for (topo::Rank p = min_procs; p <= max_procs; p *= 4)
       study.proc_counts.push_back(p);
 
     h.prose() << "== Figure 7 reproduction: " << study.particles

@@ -1,0 +1,185 @@
+// micro_fold — google-benchmark timings for the Topology::fold kernels
+// the DistanceFold API dispatches between: the factorized closed forms
+// (per-axis histograms, popcount buckets, digit-depth buckets), the
+// dense DistanceTable path they replaced, and the streamed BFS path for
+// graphs beyond the table budget. Items are distinct (src, dst) pairs,
+// so output is directly ns/distinct-pair. bench_to_json.py lifts the
+// factorized-vs-dense-cold ratio at p = 4096 into BENCH_acd.json and
+// gates it: the cold column rebuilds the p² table every iteration,
+// which is exactly the cost a sweep paid per topology before fold()
+// existed.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/rank_pair.hpp"
+#include "sfc/curve.hpp"
+#include "topology/graph.hpp"
+#include "topology/grid.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/linear.hpp"
+#include "topology/tree.hpp"
+
+namespace {
+
+using namespace sfc;
+
+// The acceptance scenario: the old p <= 4096 wall, i.e. the largest p
+// whose dense table still fits the entry budget.
+constexpr topo::Rank kProcs = 4096;
+constexpr std::size_t kAdds = 100000;
+
+using TopoFactory = std::function<std::unique_ptr<topo::Topology>()>;
+
+const Curve<2>& ranking_curve() {
+  static const auto curve = make_curve<2>(CurveKind::kHilbert);
+  return *curve;
+}
+
+TopoFactory torus_factory(unsigned level) {
+  return [level] {
+    return std::make_unique<topo::Torus2D>(level, ranking_curve());
+  };
+}
+
+TopoFactory hypercube_factory(topo::Rank p) {
+  return [p] { return std::make_unique<topo::HypercubeTopology>(p); };
+}
+
+TopoFactory tree_factory(topo::Rank p) {
+  return [p] { return std::make_unique<topo::TreeTopology>(p); };
+}
+
+TopoFactory ring_factory(topo::Rank p) {
+  return [p] { return std::make_unique<topo::RingTopology>(p); };
+}
+
+/// Deterministic (src, dst, count) stream — the same LCG walk the fold
+/// differential suite uses, so bench and tests exercise one shape.
+core::RankPairAccumulator histogram_of(topo::Rank p, std::size_t n) {
+  core::RankPairAccumulator acc(p);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    acc.add(static_cast<topo::Rank>((state >> 33) % p),
+            static_cast<topo::Rank>((state >> 13) % p), 1 + (state & 3));
+  }
+  return acc;
+}
+
+std::int64_t distinct_pairs(const topo::PairCountsView& view) {
+  std::int64_t n = 0;
+  view.for_each([&n](topo::Rank, topo::Rank, std::uint64_t) { ++n; });
+  return n;
+}
+
+/// The dense strategy as a free function: one table lookup per distinct
+/// pair. This is the kernel fold_with_table runs, reproduced here so the
+/// cold benchmark can pay the table build inside the timed region.
+core::CommTotals fold_with_dense_table(const topo::Topology& net,
+                                       const topo::PairCountsView& view) {
+  const topo::DistanceTable& t = net.dense_table();
+  core::CommTotals totals;
+  view.for_each([&](topo::Rank a, topo::Rank b, std::uint64_t c) {
+    totals.hops += c * t(a, b);
+    totals.count += c;
+  });
+  return totals;
+}
+
+/// Factorized fold, warm topology: the shape every sweep iteration runs.
+void BM_FoldFactorized(benchmark::State& state, const TopoFactory& make) {
+  const auto net = make();
+  const core::RankPairAccumulator acc = histogram_of(net->size(), kAdds);
+  const topo::PairCountsView view = acc.view();
+  for (auto _ : state) {
+    core::CommTotals totals = net->fold(view);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          distinct_pairs(view));
+}
+
+/// Dense fold, cold topology: rebuilds the p² DistanceTable inside the
+/// timed region — the per-topology cost of the pre-fold contract, and
+/// the denominator of the gated speedup ratio.
+void BM_FoldDenseCold(benchmark::State& state, const TopoFactory& make) {
+  const core::RankPairAccumulator acc = histogram_of(make()->size(), kAdds);
+  const topo::PairCountsView view = acc.view();
+  for (auto _ : state) {
+    const auto net = make();
+    core::CommTotals totals = fold_with_dense_table(*net, view);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          distinct_pairs(view));
+}
+
+/// Dense fold, warm table: lookup cost only. Ungated — factorized vs
+/// warm-dense is a fair per-pair kernel comparison, but the table build
+/// is the cost that actually walled p at 4096.
+void BM_FoldDenseWarm(benchmark::State& state, const TopoFactory& make) {
+  const auto net = make();
+  const core::RankPairAccumulator acc = histogram_of(net->size(), kAdds);
+  const topo::PairCountsView view = acc.view();
+  fold_with_dense_table(*net, view);  // build outside the timed region
+  for (auto _ : state) {
+    core::CommTotals totals = fold_with_dense_table(*net, view);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          distinct_pairs(view));
+}
+
+/// Streamed fold: an arbitrary graph one doubling past the table budget,
+/// grouped-by-source BFS rows (graph.cpp). Sparse histogram, sorted by
+/// key, so each distinct source costs one BFS.
+void BM_FoldStreamed(benchmark::State& state) {
+  const topo::Rank p = 2 * kProcs;  // 8192: distance_table_fits(p) is false
+  const topo::GraphTopology net = topo::build_ring_graph(p);
+  const core::RankPairAccumulator acc = histogram_of(p, kAdds);
+  const topo::PairCountsView view = acc.view();
+  for (auto _ : state) {
+    core::CommTotals totals = net.fold(view);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          distinct_pairs(view));
+}
+
+/// Factorized fold at p = 2^20 (1024×1024 torus): the million-rank point
+/// fig7 now reaches. No dense/streamed columns — a table would need 4 TiB.
+void BM_FoldFactorizedMillion(benchmark::State& state) {
+  const topo::Torus2D net(10, ranking_curve());
+  const core::RankPairAccumulator acc = histogram_of(net.size(), kAdds);
+  const topo::PairCountsView view = acc.view();
+  for (auto _ : state) {
+    core::CommTotals totals = net.fold(view);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          distinct_pairs(view));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FoldFactorized, torus4096, torus_factory(6));
+BENCHMARK_CAPTURE(BM_FoldDenseCold, torus4096, torus_factory(6));
+BENCHMARK_CAPTURE(BM_FoldDenseWarm, torus4096, torus_factory(6));
+
+BENCHMARK_CAPTURE(BM_FoldFactorized, hypercube4096, hypercube_factory(kProcs));
+BENCHMARK_CAPTURE(BM_FoldDenseCold, hypercube4096, hypercube_factory(kProcs));
+BENCHMARK_CAPTURE(BM_FoldDenseWarm, hypercube4096, hypercube_factory(kProcs));
+
+BENCHMARK_CAPTURE(BM_FoldFactorized, quadtree4096, tree_factory(kProcs));
+BENCHMARK_CAPTURE(BM_FoldDenseWarm, quadtree4096, tree_factory(kProcs));
+
+BENCHMARK_CAPTURE(BM_FoldFactorized, ring4096, ring_factory(kProcs));
+BENCHMARK_CAPTURE(BM_FoldDenseWarm, ring4096, ring_factory(kProcs));
+
+BENCHMARK(BM_FoldStreamed);
+BENCHMARK(BM_FoldFactorizedMillion);
+
+BENCHMARK_MAIN();

@@ -7,7 +7,11 @@ end-to-end timing, and the sweep-engine comparison (table1_nfi and
 fig6_topologies with artifact reuse vs --no-reuse, verifying the ACD cells
 are bit-identical and recording the wall-clock speedup plus the engine's
 cache counters and --metrics snapshot), then writes one JSON file so the
-perf trajectory can be compared across commits. When micro_obs is built,
+perf trajectory can be compared across commits. When micro_fold is built,
+the Topology::fold strategy timings are recorded and the factorized-vs-
+cold-dense speedup gated; when fig7_scaling is built, the million-rank
+scaling points (p = 2^16..2^20) are lifted into the document and their
+peak RSS gated below 1 GiB. When micro_obs is built,
 the obs-layer primitives are timed too, and --with-table1 additionally
 bounds the disabled-tracing overhead on table1_nfi (exits nonzero at
 >= 1%).
@@ -195,6 +199,87 @@ def run_micro_curves(binary, min_time, smoke):
     return curves, ordering, simd_context(data)
 
 
+def run_micro_fold(binary, min_time, smoke):
+    """ns/distinct-pair for the Topology::fold strategies at p = 4096 (the
+    old dense-table wall): factorized closed forms vs the dense path warm
+    (table prebuilt) and cold (p² table rebuilt inside the timed region —
+    the per-topology cost the pre-fold contract paid), plus the streamed
+    graph-BFS point beyond the budget and the factorized fold at p = 2^20."""
+    cmd = [binary, "--benchmark_filter=Fold", "--benchmark_format=json"]
+    cmd.append("--benchmark_min_time=0" if smoke
+               else f"--benchmark_min_time={min_time}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+    factorized, cold, warm, extras = {}, {}, {}, {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name, _, topo = b["name"].partition("/")
+        ns = ns_per_pair(b)
+        if name == "BM_FoldFactorized":
+            factorized[topo] = ns
+        elif name == "BM_FoldDenseCold":
+            cold[topo] = ns
+        elif name == "BM_FoldDenseWarm":
+            warm[topo] = ns
+        elif name == "BM_FoldStreamed":
+            extras["streamed_ring8192_ns_per_pair"] = ns
+        elif name == "BM_FoldFactorizedMillion":
+            extras["factorized_torus_p2e20_ns_per_pair"] = ns
+    topologies = {}
+    for topo, f in factorized.items():
+        entry = {"factorized_ns_per_pair": f}
+        c, w = cold.get(topo), warm.get(topo)
+        if c is not None:
+            entry["dense_cold_ns_per_pair"] = c
+            entry["cold_speedup"] = c / f if f and c else None
+        if w is not None:
+            entry["dense_warm_ns_per_pair"] = w
+            entry["warm_speedup"] = w / f if f and w else None
+        topologies[topo] = entry
+    return {"procs": 4096, "topologies": topologies, **extras}
+
+
+def run_fig7_scaling(build_dir, smoke):
+    """The million-rank Figure 7 points the factorized fold unlocked:
+    p ∈ {2^16, 2^18, 2^20} on the torus, 60k particles, one trial. Peak
+    RSS comes from the child's rusage (ru_maxrss, KiB on Linux) — the CI
+    assertion that no stage materializes p×p state at p = 2^20."""
+    binary = os.path.join(build_dir, "bench", "fig7_scaling")
+    if not os.path.exists(binary):
+        return None
+    args = ["--json", "--particles=60000", "--level=10",
+            "--min-procs=65536", "--max-procs=1048576", "--trials=1"]
+    start = time.monotonic()
+    with open("fig7_million.json", "w") as out:
+        proc = subprocess.Popen([binary] + args, stdout=out,
+                                stderr=subprocess.DEVNULL)
+        _, status, rusage = os.wait4(proc.pid, 0)
+        proc.returncode = os.waitstatus_to_exitcode(status)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.exit(f"error: fig7_scaling exited {proc.returncode}")
+    with open("fig7_million.json") as f:
+        doc = json.load(f)
+    os.remove("fig7_million.json")
+    points = {}
+    for cell in doc["study"]["cells"]:
+        p = cell["procs"]
+        if p not in (65536, 1048576):
+            continue
+        entry = points.setdefault(str(p), {})
+        entry[cell["particle_curve"]] = {
+            "nfi_acd": cell.get("nfi_acd"),
+            "ffi_acd": cell.get("ffi_acd"),
+        }
+    return {
+        "args": args,
+        "elapsed_seconds": elapsed,
+        "peak_rss_bytes": rusage.ru_maxrss * 1024,
+        "points": points,
+    }
+
+
 def check_gates(result, previous, smoke):
     """Regression gates against hard floors and the committed baseline.
 
@@ -212,6 +297,12 @@ def check_gates(result, previous, smoke):
       ordering >= 1.1x (full runs only). Morton ordering gets no SIMD floor:
       the radix scatter dominates that shape, so its ratio is ~1x by
       construction — it is covered by the baseline comparison instead.
+    - Every topology with a dense-cold fold column must show the
+      factorized fold >= 5x faster (3x smoke) than cold dense — the cold
+      column pays the p² table build, which is the cost that walled the
+      sweep at p = 4096 before Topology::fold.
+    - The million-rank fig7 run must peak below 1 GiB RSS: the factorized
+      fold contract promises no O(p²) state at p = 2^20.
     - Committed-baseline comparison (ordering ns/point within 25%/50%,
       NFI r4 aggregated ns/pair within the same caps) runs only when the
       committed file recorded the same dispatched SIMD tier — comparing
@@ -238,6 +329,18 @@ def check_gates(result, previous, smoke):
         if geomean < order_floor:
             failures.append(f"ordering: batched+radix geomean speedup "
                             f"{geomean:.2f}x < {order_floor}x floor")
+
+    fold_floor = 3.0 if smoke else 5.0
+    for topo, f in result.get("fold", {}).get("topologies", {}).items():
+        s = f.get("cold_speedup")
+        if s is not None and s < fold_floor:
+            failures.append(f"fold/{topo}: factorized vs cold-dense speedup "
+                            f"{s:.2f}x < {fold_floor}x floor")
+
+    rss = result.get("fig7_scaling", {}).get("peak_rss_bytes")
+    if rss is not None and rss >= 1 << 30:
+        failures.append(f"fig7_scaling: peak RSS {rss / 2**20:.0f} MiB "
+                        f">= 1 GiB cap at p = 2^20")
 
     cur_isa = result.get("build", {}).get("simd", "scalar")
     if cur_isa != "scalar":
@@ -432,6 +535,14 @@ def main():
         result["curves"] = curves
         result["ordering"] = ordering
 
+    micro_fold = os.path.join(opts.build_dir, "bench", "micro_fold")
+    if os.path.exists(micro_fold):
+        result["fold"] = run_micro_fold(micro_fold, opts.min_time, opts.smoke)
+
+    fig7 = run_fig7_scaling(opts.build_dir, opts.smoke)
+    if fig7:
+        result["fig7_scaling"] = fig7
+
     micro_obs = os.path.join(opts.build_dir, "bench", "micro_obs")
     obs = {}
     if os.path.exists(micro_obs):
@@ -526,6 +637,18 @@ def main():
             print(f"  encode/{curve}: {c['per_point_ns']:.2f} ns/point "
                   f"virtual vs {c['batched_ns']:.2f} batched "
                   f"({c['speedup']:.2f}x{simd})")
+    for topo, f in sorted(result.get("fold", {}).get("topologies", {})
+                          .items()):
+        cold = (f", {f['cold_speedup']:.0f}x vs cold-dense"
+                if f.get("cold_speedup") else "")
+        warm = (f", {f['warm_speedup']:.2f}x vs warm-dense"
+                if f.get("warm_speedup") else "")
+        print(f"  fold/{topo}: {f['factorized_ns_per_pair']:.2f} ns/pair "
+              f"factorized{cold}{warm}")
+    if "fig7_scaling" in result:
+        f7 = result["fig7_scaling"]
+        print(f"  fig7 @ 2^20 ranks: {f7['elapsed_seconds']:.1f}s, peak RSS "
+              f"{f7['peak_rss_bytes'] / 2**20:.0f} MiB (< 1024)")
     for curve, o in sorted(result.get("ordering", {}).items()):
         if o.get("speedup"):
             simd = (f", simd {o['simd_speedup']:.2f}x"

@@ -108,9 +108,10 @@ LinkLoadMap route_messages(const AcdInstance<2>& instance,
           ? fmm::nfi_pair_counts<2>(instance.particles(), instance.grid(),
                                     part, radius, *norm)
           : fmm::ffi_pair_counts<2>(instance.tree(), part);
-  pairs.for_each([&](topo::Rank from, topo::Rank to, std::uint64_t count) {
-    map.route(net.coordinate(from), net.coordinate(to), count);
-  });
+  pairs.view().for_each(
+      [&](topo::Rank from, topo::Rank to, std::uint64_t count) {
+        map.route(net.coordinate(from), net.coordinate(to), count);
+      });
   return map;
 }
 

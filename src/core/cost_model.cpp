@@ -12,6 +12,13 @@ double communication_cost_us(const CommTotals& totals,
              params.bandwidth_bytes_per_us;
 }
 
+double communication_cost_us(const RankPairAccumulator& pairs,
+                             const topo::Topology& net,
+                             std::uint32_t message_bytes,
+                             const CostParams& params) {
+  return communication_cost_us(net.fold(pairs.view()), message_bytes, params);
+}
+
 CostEstimate fmm_cost_estimate(const CommTotals& nfi,
                                const fmm::FfiTotals& ffi,
                                const CostParams& params) {
@@ -20,6 +27,14 @@ CostEstimate fmm_cost_estimate(const CommTotals& nfi,
   est.ffi_us =
       communication_cost_us(ffi.total(), params.expansion_bytes(), params);
   return est;
+}
+
+CostEstimate fmm_cost_estimate(const RankPairAccumulator& nfi,
+                               const fmm::FfiHistograms& ffi,
+                               const topo::Topology& net,
+                               const CostParams& params) {
+  return fmm_cost_estimate(net.fold(nfi.view()), fmm::ffi_fold(ffi, net),
+                           params);
 }
 
 }  // namespace sfc::core

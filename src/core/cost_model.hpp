@@ -18,6 +18,8 @@
 #include <cstdint>
 
 #include "core/acd.hpp"
+#include "core/rank_pair.hpp"
+#include "fmm/ffi.hpp"
 
 namespace sfc::core {
 
@@ -45,9 +47,22 @@ double communication_cost_us(const CommTotals& totals,
                              std::uint32_t message_bytes,
                              const CostParams& params);
 
+/// Cost of a rank-pair histogram folded through `net`'s kernel — the
+/// million-rank entry point: the fold never materializes p×p state.
+double communication_cost_us(const RankPairAccumulator& pairs,
+                             const topo::Topology& net,
+                             std::uint32_t message_bytes,
+                             const CostParams& params);
+
 /// Cost of a full FMM iteration's communication (NFI + FFI).
 CostEstimate fmm_cost_estimate(const CommTotals& nfi,
                                const fmm::FfiTotals& ffi,
+                               const CostParams& params);
+
+/// Same, from the topology-independent histograms (folds via net).
+CostEstimate fmm_cost_estimate(const RankPairAccumulator& nfi,
+                               const fmm::FfiHistograms& ffi,
+                               const topo::Topology& net,
                                const CostParams& params);
 
 }  // namespace sfc::core

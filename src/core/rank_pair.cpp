@@ -14,6 +14,17 @@ RankPairAccumulator::RankPairAccumulator(topo::Rank procs,
   }
 }
 
+RankPairAccumulator::RankPairAccumulator(topo::Rank procs,
+                                         const topo::Topology& net,
+                                         std::size_t dense_budget)
+    : p_(procs),
+      is_dense_(pick_dense(procs, dense_budget, net.fold_strategy())) {
+  assert(net.size() == procs);
+  if (is_dense_) {
+    dense_.assign(static_cast<std::size_t>(p_) * p_, 0u);
+  }
+}
+
 void RankPairAccumulator::add_sparse(topo::Rank src, topo::Rank dst,
                                      std::uint64_t count) {
   staging_.emplace_back(static_cast<std::uint64_t>(src) * p_ + dst, count);
@@ -88,12 +99,6 @@ CommTotals RankPairAccumulator::fold(const topo::Topology& net) const {
     totals.count += count;
   });
   return totals;
-}
-
-CommTotals RankPairAccumulator::fold_auto(const topo::Topology& net) const {
-  assert(net.size() == p_);
-  const topo::DistanceTable* table = topo::table_if_fits(net);
-  return table != nullptr ? fold(*table) : fold(net);
 }
 
 std::uint64_t RankPairAccumulator::events() const {

@@ -2,11 +2,12 @@
 //
 // The ACD engines enumerate O(n · window) communication events but only
 // p² distinct rank pairs exist, so the hot loops record events into one
-// of these histograms and the totals are recovered by a single
-// p²-bounded multiply-accumulate against the topology's hop table
-// (topo::DistanceTable). Integer multiplication is exact repeated
-// addition, so the folded totals are bit-identical to summing the
-// per-event distances in any order.
+// of these histograms and the totals are recovered by handing view() to
+// Topology::fold(), which picks a structure-exploiting kernel (factorized
+// closed form, dense hop table, or streamed BFS). Integer multiplication
+// is exact repeated addition, so the folded totals are bit-identical to
+// summing the per-event distances in any order — and identical across
+// fold strategies.
 //
 // Storage adapts to p: a dense p² count array while p² fits the budget
 // (p <= 2048 by default), and a sorted-sparse (key → count) list with a
@@ -35,9 +36,28 @@ class RankPairAccumulator {
   /// Dense-mode budget: p² count entries at 8 bytes each (32 MiB).
   static constexpr std::size_t kDenseEntryBudget = std::size_t{1} << 22;
 
+  /// Whether a histogram for `procs` ranks should use the dense p² array.
+  /// When the fold strategy is not kDense the p² counts are only ever
+  /// walked once by a factorized/streamed kernel, so an enlarged caller
+  /// budget is clamped back to the default — million-rank runs must never
+  /// attempt the dense allocation no matter what budget they inherit.
+  static bool pick_dense(topo::Rank procs, std::size_t dense_budget,
+                         topo::FoldStrategy strategy) noexcept {
+    if (strategy != topo::FoldStrategy::kDense &&
+        dense_budget > kDenseEntryBudget) {
+      dense_budget = kDenseEntryBudget;
+    }
+    return static_cast<std::size_t>(procs) * procs <= dense_budget;
+  }
+
   /// `dense_budget` is a test hook: pass 0 to force the sparse fallback.
   explicit RankPairAccumulator(topo::Rank procs,
                                std::size_t dense_budget = kDenseEntryBudget);
+
+  /// Histogram destined for `net`: the dense/sparse pick threads the
+  /// topology's fold strategy through pick_dense().
+  RankPairAccumulator(topo::Rank procs, const topo::Topology& net,
+                      std::size_t dense_budget = kDenseEntryBudget);
 
   topo::Rank procs() const noexcept { return p_; }
   bool dense() const noexcept { return is_dense_; }
@@ -63,16 +83,23 @@ class RankPairAccumulator {
   RankPairAccumulator& operator+=(const RankPairAccumulator& o);
 
   /// Fold against a prebuilt hop table: Σ count(a,b) · table(a,b).
+  /// Test/oracle path — production consumers hand view() to
+  /// Topology::fold() and let the topology pick its kernel.
   CommTotals fold(const topo::DistanceTable& table) const;
 
-  /// Fold with one distance() call per *distinct* pair — the path for
-  /// topologies too large for a table (still O(pairs), not O(events)).
+  /// Fold with one distance() call per *distinct* pair — the oracle path
+  /// exercising the virtual distance directly (still O(pairs)).
   CommTotals fold(const topo::Topology& net) const;
 
-  /// Fold against `net`, using its cached hop table when the processor
-  /// count fits the table budget and per-pair distance() beyond it. The
-  /// one entry point the sweep engine's fold stage needs.
-  CommTotals fold_auto(const topo::Topology& net) const;
+  /// Non-owning view of the histogram for Topology::fold(). Sparse mode
+  /// compacts first; like for_each(), seal() a histogram shared across
+  /// concurrent fold tasks before taking views. The view borrows this
+  /// histogram's storage — it is invalidated by any later add().
+  topo::PairCountsView view() const {
+    if (is_dense_) return topo::PairCountsView::dense(p_, dense_.data());
+    compact();
+    return topo::PairCountsView::sparse(p_, sorted_.data(), sorted_.size());
+  }
 
   /// Force the sparse-mode staging buffer into the sorted aggregate now.
   /// compact() runs lazily on first fold/for_each and mutates the

@@ -405,11 +405,17 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                 s.paired_curves() ? pkind : s.processor_curves[rc];
             for (std::size_t ti = 0; ti < s.topologies.size(); ++ti) {
               const topo::TopologyKind tkind = s.topologies[ti];
+              // The planned fold strategy is part of the cache identity:
+              // a strategy change (new kernel, budget change) must not
+              // resurrect payloads sized for the old plan.
+              const topo::FoldStrategy planned =
+                  topo::planned_fold_strategy(tkind, procs);
               const std::uint64_t topo_key =
                   key_of({static_cast<std::uint64_t>(tkind), procs,
                           topology_uses_ranking(tkind)
                               ? static_cast<std::uint64_t>(rkind)
-                              : kNoRanking});
+                              : kNoRanking,
+                          static_cast<std::uint64_t>(planned)});
               CellJob job;
               job.index = result.index(d, pc, pi, rc, ti);
               job.ref = StudyCellRef{d, t, pc, pi, rc_index, ti};
@@ -421,10 +427,11 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
                     std::shared_ptr<const topo::Topology> net =
                         topo::make_topology<2>(tkind, procs, ranking.get());
                     // Payload estimate: per-rank coordinates plus the hop
-                    // table the folds will materialize when it fits.
+                    // table only a dense-strategy fold would materialize
+                    // (factorized kernels never touch p×p state).
                     std::size_t bytes =
                         static_cast<std::size_t>(procs) * 2 * sizeof(topo::Rank);
-                    if (topo::distance_table_fits(procs)) {
+                    if (planned == topo::FoldStrategy::kDense) {
                       bytes += static_cast<std::size_t>(procs) * procs *
                                sizeof(std::uint32_t);
                     }
@@ -487,7 +494,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
               const std::uint64_t t0 = obs::now_ns();
               const obs::Span span(stage_span_name(SweepStage::kFold));
               if (job.nfi != nullptr) {
-                const double acd = job.nfi->fold_auto(*job.net).acd();
+                const double acd = job.net->fold(job.nfi->view()).acd();
                 result.cells[job.index].nfi_acd += acd / trials;
                 result.stats[job.index].nfi.add(acd);
               }

@@ -318,9 +318,9 @@ FfiHistograms ffi_histograms(const CellTree<D>& tree, const Partition& part,
 
 FfiTotals ffi_fold(const FfiHistograms& hist, const topo::Topology& net) {
   FfiTotals totals;
-  totals.interpolation = hist.interpolation.fold_auto(net);
+  totals.interpolation = net.fold(hist.interpolation.view());
   totals.anterpolation = totals.interpolation;
-  totals.interaction = hist.interaction.fold_auto(net);
+  totals.interaction = net.fold(hist.interaction.view());
   return totals;
 }
 

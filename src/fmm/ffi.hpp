@@ -94,8 +94,8 @@ struct FfiTotals {
 
 /// Evaluate the FFI model on a prepared cell tree. Hot path: each range
 /// histograms its (src rank, dst rank) pairs (core/rank_pair.hpp) and
-/// folds once against the topology's hop table — no per-edge distance
-/// dispatch. Bit-identical to ffi_totals_direct.
+/// hands the histograms to the topology's fold kernel — no per-edge
+/// distance dispatch. Bit-identical to ffi_totals_direct.
 template <int D>
 FfiTotals ffi_totals(const CellTree<D>& tree, const Partition& part,
                      const topo::Topology& net,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/rank_pair.hpp"
 #include "fmm/cells.hpp"
 
 namespace sfc::fmm {
@@ -26,26 +27,19 @@ template <int D>
 core::CommTotals logtree_accumulation_totals(
     const std::vector<Point<D>>& particles, unsigned level,
     const Partition& part, const topo::Topology& net) {
-  core::CommTotals totals;
   const auto lists = quadrant_processor_lists<D>(particles, level, part);
   constexpr std::size_t kArity = 1u << D;
-  // Flat-table distance lookups when p² fits the budget; per-pair virtual
-  // dispatch beyond it.
-  const topo::DistanceTable* table = topo::table_if_fits(net);
+  // Histogram the tree edges — one upward (interpolation) and one
+  // downward (anterpolation) message each — then hand the histogram to
+  // the topology's fold kernel. Same multiset of (pair, distance) events
+  // as the old per-edge lookup, so the totals are bit-identical.
+  core::RankPairAccumulator acc(part.processors(), net);
   for (const auto& procs : lists) {
     for (std::size_t i = 1; i < procs.size(); ++i) {
-      const topo::Rank child = procs[i];
-      const topo::Rank parent = procs[(i - 1) / kArity];
-      const std::uint64_t d =
-          table != nullptr ? (*table)(child, parent)
-                           : net.distance(child, parent);
-      // One upward (interpolation) and one downward (anterpolation)
-      // message per tree edge.
-      totals.hops += 2 * d;
-      totals.count += 2;
+      acc.add(procs[i], procs[(i - 1) / kArity], 2);
     }
   }
-  return totals;
+  return net.fold(acc.view());
 }
 
 template core::CommTotals logtree_accumulation_totals<2>(

@@ -345,17 +345,17 @@ void nfi_range_into_owners(const std::vector<Point<D>>& particles,
 }
 
 /// Aggregated path for particles [lo, hi): populate a (src, dst) → count
-/// histogram, then fold it once against the hop table (or, beyond the
-/// table budget, with one distance() call per distinct pair).
+/// histogram, then hand it to the topology's fold kernel (factorized
+/// closed form, dense table, or streamed — the topology's choice).
 template <int D>
 core::CommTotals nfi_range_aggregated(
     const std::vector<Point<D>>& particles, const OccupancyGrid<D>& grid,
     const Partition& part, const std::vector<topo::Rank>& owners,
-    const topo::DistanceTable* table, const topo::Topology& net,
-    unsigned radius, NeighborNorm norm, std::size_t lo, std::size_t hi) {
-  core::RankPairAccumulator acc(part.processors());
+    const topo::Topology& net, unsigned radius, NeighborNorm norm,
+    std::size_t lo, std::size_t hi) {
+  core::RankPairAccumulator acc(part.processors(), net);
   nfi_range_into<D>(particles, grid, part, owners, acc, radius, norm, lo, hi);
-  return table != nullptr ? acc.fold(*table) : acc.fold(net);
+  return net.fold(acc.view());
 }
 
 }  // namespace
@@ -367,13 +367,12 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
                             unsigned radius, NeighborNorm norm,
                             util::ThreadPool* pool) {
   if (particles.empty()) return {};
-  // Build the shared lookup state once, outside the parallel region: the
-  // hop table (when p² fits the budget) and the rank-of-particle array.
-  const topo::DistanceTable* table = topo::table_if_fits(net);
+  // Build the shared rank-of-particle array once, outside the parallel
+  // region; each chunk folds through the topology's own kernel.
   const std::vector<topo::Rank> owners = part.owner_table();
   auto chunk = [&](std::size_t lo, std::size_t hi) {
-    return nfi_range_aggregated<D>(particles, grid, part, owners, table, net,
-                                   radius, norm, lo, hi);
+    return nfi_range_aggregated<D>(particles, grid, part, owners, net, radius,
+                                   norm, lo, hi);
   };
   if (pool == nullptr || pool->size() <= 1) {
     return chunk(0, particles.size());

@@ -45,7 +45,7 @@ core::CommTotals nfi_totals(const std::vector<Point<D>>& particles,
 /// count histogram of the near-field events. The sweep engine caches one
 /// of these per (sample, particle order, p, radius, norm) and folds it
 /// against every topology / processor order that shares those inputs —
-/// acc.fold_auto(net) is bit-identical to nfi_totals over the same
+/// net.fold(acc.view()) is bit-identical to nfi_totals over the same
 /// inputs. Deterministic with or without `pool`.
 template <int D>
 core::RankPairAccumulator nfi_histogram(

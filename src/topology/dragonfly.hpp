@@ -33,14 +33,7 @@ class DragonflyTopology final : public Topology {
 
   std::uint64_t distance(Rank x, Rank y) const noexcept override {
     assert(x < size() && y < size());
-    if (x == y) return 0;
-    const Rank sx = x / a_, ix = x % a_;
-    const Rank sy = y / a_, iy = y % a_;
-    if (sx == sy) return 1;  // same group: complete graph
-    // Gateways of the unique global link between the two groups.
-    const Rank gate_src = (sy + g_ - sx - 1) % g_;  // router index in sx
-    const Rank gate_dst = (sx + g_ - sy - 1) % g_;  // router index in sy
-    return 1u + (ix == gate_src ? 0u : 1u) + (iy == gate_dst ? 0u : 1u);
+    return distance_closed_form(x, y);
   }
 
   std::uint64_t diameter() const noexcept override {
@@ -63,7 +56,22 @@ class DragonflyTopology final : public Topology {
     return (d + g_ - s - 1) % g_;
   }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return FoldStrategy::kFactorized;
+  }
+
  protected:
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // The minimal-path closed form is a handful of divisions per pair:
+    // accumulate it directly, no table.
+    core::CommTotals totals;
+    pairs.for_each([this, &totals](Rank x, Rank y, std::uint64_t c) {
+      totals.hops += c * distance_closed_form(x, y);
+      totals.count += c;
+    });
+    return totals;
+  }
+
   void fill_table(DistanceTable& t) const override {
     const Rank p = size();
     for (Rank x = 0; x < p; ++x) {
@@ -87,6 +95,17 @@ class DragonflyTopology final : public Topology {
   }
 
  private:
+  std::uint64_t distance_closed_form(Rank x, Rank y) const noexcept {
+    if (x == y) return 0;
+    const Rank sx = x / a_, ix = x % a_;
+    const Rank sy = y / a_, iy = y % a_;
+    if (sx == sy) return 1;  // same group: complete graph
+    // Gateways of the unique global link between the two groups.
+    const Rank gate_src = (sy + g_ - sx - 1) % g_;  // router index in sx
+    const Rank gate_dst = (sx + g_ - sy - 1) % g_;  // router index in sy
+    return 1u + (ix == gate_src ? 0u : 1u) + (iy == gate_dst ? 0u : 1u);
+  }
+
   Rank a_;
   Rank g_;
 };

@@ -76,6 +76,31 @@ void GraphTopology::fill_table(DistanceTable& t) const {
   }
 }
 
+core::CommTotals GraphTopology::fold_pairs(const PairCountsView& pairs) const {
+  if (distance_table_fits(size())) {
+    return Topology::fold_pairs(pairs);
+  }
+  // Streamed path: sparse histograms are sorted by key = a·p + b, so the
+  // pairs arrive grouped by source rank and one BFS per distinct source
+  // suffices — O(V) live memory, never the all-pairs cache. A remapped
+  // view (relabel delegation) can revisit sources out of order; the
+  // single-row memo still collapses runs of equal sources and the fold
+  // stays correct, just with repeated BFS runs in the worst case.
+  core::CommTotals totals;
+  Rank memo_src = ~Rank{0};
+  std::vector<std::uint32_t> dist;
+  pairs.for_each(
+      [this, &totals, &memo_src, &dist](Rank a, Rank b, std::uint64_t c) {
+        if (a != memo_src) {
+          memo_src = a;
+          dist = bfs(rank_to_vertex_[a]);
+        }
+        totals.hops += c * dist[rank_to_vertex_[b]];
+        totals.count += c;
+      });
+  return totals;
+}
+
 std::uint64_t GraphTopology::diameter() const noexcept {
   std::uint64_t best = 0;
   for (Rank a = 0; a < size(); ++a) {

@@ -49,6 +49,11 @@ class GraphTopology final : public Topology {
   /// p² virtual distance() calls.
   void fill_table(DistanceTable& t) const override;
 
+  /// Small graphs keep the dense table strategy; beyond the table budget
+  /// the fold streams one BFS row per distinct source rank in O(V)
+  /// memory instead of touching the all-pairs cache.
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override;
+
  private:
   /// Distances from `src` to every vertex (kUnreachable if disconnected).
   std::vector<std::uint32_t> bfs(std::uint32_t src) const;

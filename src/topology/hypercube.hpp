@@ -36,7 +36,26 @@ class HypercubeTopology final : public Topology {
 
   unsigned dimensions() const noexcept { return dims_; }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return FoldStrategy::kFactorized;
+  }
+
  protected:
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // Hamming distance takes only dims_ + 1 values: bucket counts by
+    // popcount(a ^ b), then fold the tiny bucket histogram.
+    std::uint64_t buckets[33] = {};
+    core::CommTotals totals;
+    pairs.for_each([&buckets, &totals](Rank a, Rank b, std::uint64_t c) {
+      buckets[std::popcount(a ^ b)] += c;
+      totals.count += c;
+    });
+    for (unsigned k = 1; k <= dims_; ++k) {
+      totals.hops += k * buckets[k];
+    }
+    return totals;
+  }
+
   void fill_table(DistanceTable& t) const override {
     for (Rank a = 0; a < size_; ++a) {
       std::uint32_t* row = t.row(a);

@@ -27,12 +27,27 @@ class BusTopology final : public Topology {
 
   TopologyKind kind() const noexcept override { return TopologyKind::kBus; }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return FoldStrategy::kFactorized;
+  }
+
  protected:
   void fill_table(DistanceTable& t) const override {
     for (Rank a = 0; a < size_; ++a) {
       std::uint32_t* row = t.row(a);
       for (Rank b = 0; b < size_; ++b) row[b] = a > b ? a - b : b - a;
     }
+  }
+
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // |a - b| already is the factorized 1-D line fold: accumulate the
+    // closed form directly — no table, no per-pair virtual dispatch.
+    core::CommTotals totals;
+    pairs.for_each([&totals](Rank a, Rank b, std::uint64_t c) {
+      totals.hops += c * (a > b ? a - b : b - a);
+      totals.count += c;
+    });
+    return totals;
   }
 
  private:
@@ -55,6 +70,10 @@ class RingTopology final : public Topology {
 
   TopologyKind kind() const noexcept override { return TopologyKind::kRing; }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return FoldStrategy::kFactorized;
+  }
+
  protected:
   void fill_table(DistanceTable& t) const override {
     for (Rank a = 0; a < size_; ++a) {
@@ -64,6 +83,17 @@ class RingTopology final : public Topology {
         row[b] = std::min(d, size_ - d);
       }
     }
+  }
+
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // 1-D ring fold: min(δ, p - δ) per pair, accumulated directly.
+    core::CommTotals totals;
+    pairs.for_each([&totals, p = size_](Rank a, Rank b, std::uint64_t c) {
+      const Rank d = a > b ? a - b : b - a;
+      totals.hops += c * std::min(d, p - d);
+      totals.count += c;
+    });
+    return totals;
   }
 
  private:

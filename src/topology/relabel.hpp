@@ -55,11 +55,33 @@ class RelabeledTopology final : public Topology {
 
   const std::vector<Rank>& permutation() const noexcept { return perm_; }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return base_.fold_strategy();
+  }
+
  protected:
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // A permutation view folds for free: reroute the histogram's emitted
+    // ranks through perm_ and hand it to the base topology's kernel, so
+    // the relabel inherits the base's factorized/streamed strategy with
+    // zero copies. A view that is already remapped (nested relabels)
+    // needs the tables composed first; the base's fold() bumps the obs
+    // counter a second time, which is fine — each delegation is a fold.
+    if (pairs.remap() == nullptr) {
+      return base_.fold(pairs.remapped(perm_.data()));
+    }
+    std::vector<Rank> composed(perm_.size());
+    const Rank* m = pairs.remap();
+    for (std::size_t r = 0; r < composed.size(); ++r) {
+      composed[r] = perm_[m[r]];
+    }
+    return base_.fold(pairs.without_remap().remapped(composed.data()));
+  }
+
   void fill_table(DistanceTable& t) const override {
     // Permute rows/columns of the base's cached table instead of p²
     // virtual dispatches.
-    const DistanceTable& base_table = base_.table();
+    const DistanceTable& base_table = base_.dense_table();
     const Rank p = size();
     for (Rank a = 0; a < p; ++a) {
       const std::uint32_t* src = base_table.row(perm_[a]);

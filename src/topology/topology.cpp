@@ -1,23 +1,90 @@
 #include "topology/topology.hpp"
 
 #include <cassert>
-#include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace sfc::topo {
 
-const DistanceTable* table_if_fits(const Topology& net) {
-  if (distance_table_fits(net.size())) return &net.table();
-  static std::once_flag notice_once;
-  std::call_once(notice_once, [&net] {
-    std::fprintf(stderr,
-                 "sfc-acd: note: %u processors exceed the hop-table budget "
-                 "(%zu entries); folding with per-pair distance() instead\n",
-                 net.size(), kDistanceTableEntryBudget);
-  });
-  return nullptr;
+std::string_view fold_strategy_name(FoldStrategy s) noexcept {
+  switch (s) {
+    case FoldStrategy::kDense:
+      return "dense";
+    case FoldStrategy::kFactorized:
+      return "factorized";
+    case FoldStrategy::kStreamed:
+      return "streamed";
+  }
+  return "unknown";
 }
 
-const DistanceTable& Topology::table() const {
+namespace {
+
+/// One counter per strategy, resolved once: which kernel class served
+/// the process's folds (replaces the old one-time stderr fallback
+/// notice). Registry handles stay valid for the process lifetime.
+void count_fold(FoldStrategy s) {
+  static obs::Counter* const counters[3] = {
+      &obs::Registry::instance().counter("topo.fold.dense"),
+      &obs::Registry::instance().counter("topo.fold.factorized"),
+      &obs::Registry::instance().counter("topo.fold.streamed"),
+  };
+  counters[static_cast<unsigned>(s)]->add();
+}
+
+}  // namespace
+
+core::CommTotals Topology::fold(const PairCountsView& pairs) const {
+  assert(pairs.procs() == size());
+  count_fold(fold_strategy());
+  return fold_pairs(pairs);
+}
+
+FoldStrategy Topology::fold_strategy() const noexcept {
+  return distance_table_fits(size()) ? FoldStrategy::kDense
+                                     : FoldStrategy::kStreamed;
+}
+
+core::CommTotals Topology::fold_pairs(const PairCountsView& pairs) const {
+  return distance_table_fits(size()) ? fold_with_table(pairs)
+                                     : fold_streaming(pairs);
+}
+
+core::CommTotals Topology::fold_with_table(const PairCountsView& pairs) const {
+  const DistanceTable& t = dense_table();
+  core::CommTotals totals;
+  if (pairs.is_dense() && pairs.remap() == nullptr) {
+    // Dense histogram against dense table: one row-major sweep with the
+    // table row hoisted.
+    pairs.for_each([&totals, &t, row_rank = Rank(~0u),
+                    row = static_cast<const std::uint32_t*>(nullptr)](
+                       Rank a, Rank b, std::uint64_t c) mutable {
+      if (a != row_rank) {
+        row_rank = a;
+        row = t.row(a);
+      }
+      totals.hops += c * row[b];
+      totals.count += c;
+    });
+    return totals;
+  }
+  pairs.for_each([&totals, &t](Rank a, Rank b, std::uint64_t c) {
+    totals.hops += c * t(a, b);
+    totals.count += c;
+  });
+  return totals;
+}
+
+core::CommTotals Topology::fold_streaming(const PairCountsView& pairs) const {
+  core::CommTotals totals;
+  pairs.for_each([&totals, this](Rank a, Rank b, std::uint64_t c) {
+    totals.hops += c * distance(a, b);
+    totals.count += c;
+  });
+  return totals;
+}
+
+const DistanceTable& Topology::dense_table() const {
   std::call_once(table_once_, [this] {
     assert(distance_table_fits(size()));
     auto t = std::make_unique<DistanceTable>(size());

@@ -16,7 +16,9 @@
 #include <string>
 #include <string_view>
 
+#include "core/totals.hpp"
 #include "topology/distance_table.hpp"
+#include "topology/fold.hpp"
 
 namespace sfc::topo {
 
@@ -59,12 +61,36 @@ class Topology {
 
   std::string_view name() const noexcept { return topology_name(kind()); }
 
+  /// Fold a rank-pair histogram against this interconnect:
+  /// Σ count(a, b) · d(a, b) plus the communication count. This is the
+  /// one aggregation entry point — the strategy (factorized closed form,
+  /// dense hop table, streamed per-pair) is an internal choice reported
+  /// by fold_strategy() and counted in the obs registry (topo.fold.*).
+  /// Bit-identical across strategies: integer sums commute, so the
+  /// totals equal the per-event sum in any enumeration order.
+  core::CommTotals fold(const PairCountsView& pairs) const;
+
+  /// The strategy fold() will execute. Closed-form topologies report
+  /// kFactorized; the default is kDense while the p×p table fits its
+  /// entry budget and kStreamed beyond.
+  virtual FoldStrategy fold_strategy() const noexcept;
+
   /// Flat p×p hop matrix, built on first call and cached (thread-safe).
-  /// The aggregation engines fold per-rank-pair counts against this table
-  /// instead of dispatching distance() per communication event. Callers
-  /// must check distance_table_fits(size()) first — construction beyond
-  /// the entry budget is a programming error (asserted).
-  const DistanceTable& table() const;
+  /// Deprecated as a public contract: consumers should hand their
+  /// histograms to fold() and let the topology pick a kernel that does
+  /// not materialize p×p state. Kept compiling for one more release.
+  [[deprecated(
+      "fold rank-pair histograms with Topology::fold(); the dense hop "
+      "table is an internal strategy now")]]
+  const DistanceTable& table() const {
+    return dense_table();
+  }
+
+  /// The internal dense-strategy table (and the escape hatch for tests
+  /// that assert table semantics). Callers must check
+  /// distance_table_fits(size()) first — construction beyond the entry
+  /// budget is a programming error (asserted).
+  const DistanceTable& dense_table() const;
 
  protected:
   /// Table-fill hook. The default loops distance() over all pairs; the
@@ -72,16 +98,19 @@ class Topology {
   /// (closed form, or the BFS cache for explicit graphs).
   virtual void fill_table(DistanceTable& t) const;
 
+  /// Fold kernel hook. Closed-form topologies override it with their
+  /// factorized kernel; the default honors the base strategy choice
+  /// (dense table while it fits, per-pair distance() beyond).
+  virtual core::CommTotals fold_pairs(const PairCountsView& pairs) const;
+
+  /// The default fold_pairs paths, exposed to overriders that keep the
+  /// dense strategy for small instances (GraphTopology).
+  core::CommTotals fold_with_table(const PairCountsView& pairs) const;
+  core::CommTotals fold_streaming(const PairCountsView& pairs) const;
+
  private:
   mutable std::once_flag table_once_;
   mutable std::unique_ptr<DistanceTable> table_;
 };
-
-/// The cached hop table when the processor count fits the table budget,
-/// nullptr beyond it. Centralizes the `distance_table_fits` gate the
-/// aggregation kernels share; the first oversized request prints a
-/// one-time stderr notice so paper-scale runs (p = 65536) report the
-/// per-pair distance() fallback instead of silently switching kernels.
-const DistanceTable* table_if_fits(const Topology& net);
 
 }  // namespace sfc::topo

@@ -8,6 +8,7 @@
 // ancestor and back down.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -63,7 +64,32 @@ class TreeTopology final : public Topology {
   unsigned depth() const noexcept { return depth_; }
   unsigned arity() const noexcept { return arity_; }
 
+  FoldStrategy fold_strategy() const noexcept override {
+    return FoldStrategy::kFactorized;
+  }
+
  protected:
+  core::CommTotals fold_pairs(const PairCountsView& pairs) const override {
+    // LCA decomposition: the divergence level is the base-arity digit
+    // index of the highest set bit of a ^ b, so bucketing counts by
+    // ceil(bit_width(a ^ b) / digit_bits) and folding the depth_ + 1
+    // buckets against 2·level reproduces the per-pair sum exactly.
+    std::uint64_t buckets[33] = {};
+    core::CommTotals totals;
+    pairs.for_each(
+        [&buckets, &totals, bits = digit_bits_](Rank a, Rank b,
+                                                std::uint64_t c) {
+          const unsigned width =
+              static_cast<unsigned>(std::bit_width(a ^ b));
+          buckets[width == 0 ? 0 : (width + bits - 1) / bits] += c;
+          totals.count += c;
+        });
+    for (unsigned level = 1; level <= depth_; ++level) {
+      totals.hops += 2ull * level * buckets[level];
+    }
+    return totals;
+  }
+
   void fill_table(DistanceTable& t) const override {
     // One pass per pair with the closed form inlined: d(a, b) is twice the
     // divergence level, i.e. depth minus the length of the common

@@ -156,8 +156,8 @@ TEST(AcdDiff, NfiEnginesMatchPairwiseOracle) {
     }
     const core::RankPairAccumulator hist =
         fmm::nfi_histogram<2>(sorted, grid, part, c.radius, c.norm);
-    return expect_eq_totals(hist.fold_auto(*net), want,
-                            "nfi_histogram + fold_auto");
+    return expect_eq_totals(net->fold(hist.view()), want,
+                            "nfi_histogram + fold");
   });
 }
 
@@ -215,7 +215,7 @@ TEST(AcdDiff, NfiOwnersPathMatchesPartitionPath) {
             reversed, rgrid, owners, c.topo.procs, c.radius, c.norm);
 
         if (a.events() != b.events()) return "event totals differ";
-        if (!(a.fold_auto(*net) == b.fold_auto(*net))) {
+        if (!(net->fold(a.view()) == net->fold(b.view()))) {
           return "folded totals differ";
         }
         std::vector<PairCount> sa;
@@ -250,7 +250,7 @@ TEST(AcdDiff, NfiSparseAccumulatorMatchesDense) {
         });
         sparse.seal();
         if (sparse.events() != dense.events()) return "event totals differ";
-        if (!(sparse.fold_auto(*net) == dense.fold_auto(*net))) {
+        if (!(net->fold(sparse.view()) == net->fold(dense.view()))) {
           return "sparse fold != dense fold";
         }
         return std::nullopt;
@@ -400,9 +400,10 @@ TEST(AcdDiff, AutomorphicRelabelingLeavesAcdInvariant) {
         const std::vector<topo::Rank> owners = part.owner_table();
 
         const core::CommTotals nfi_base =
-            fmm::nfi_histogram_owners<2>(sorted, grid, owners, c.topo.procs,
-                                         c.radius, c.norm)
-                .fold_auto(*net);
+            net->fold(fmm::nfi_histogram_owners<2>(sorted, grid, owners,
+                                                 c.topo.procs, c.radius,
+                                                 c.norm)
+                          .view());
         const fmm::FfiTotals ffi_base = fmm::ffi_totals<2>(tree, part, *net);
 
         for (const std::vector<topo::Rank>& perm : automorphisms(c.topo)) {
@@ -420,9 +421,10 @@ TEST(AcdDiff, AutomorphicRelabelingLeavesAcdInvariant) {
             owners2[i] = perm[owners[i]];
           }
           const core::CommTotals nfi_perm =
-              fmm::nfi_histogram_owners<2>(sorted, grid, owners2,
-                                           c.topo.procs, c.radius, c.norm)
-                  .fold_auto(*net);
+              net->fold(fmm::nfi_histogram_owners<2>(sorted, grid, owners2,
+                                                   c.topo.procs, c.radius,
+                                                   c.norm)
+                            .view());
           if (!(nfi_perm == nfi_base)) {
             return "NFI changed under automorphic relabeling: " +
                    show(nfi_perm) + " != " + show(nfi_base);

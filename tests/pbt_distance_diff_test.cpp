@@ -33,8 +33,8 @@ TEST(DistanceDiff, ClosedFormMatchesBfsOracle) {
         const topo::GraphTopology g = oracle::oracle_graph(c);
         if (net->size() != g.size()) return "size mismatch vs oracle graph";
         const topo::Rank p = net->size();
-        const topo::DistanceTable& nt = net->table();
-        const topo::DistanceTable& gt = g.table();
+        const topo::DistanceTable& nt = net->dense_table();
+        const topo::DistanceTable& gt = g.dense_table();
         std::uint64_t max_d = 0;
         for (topo::Rank a = 0; a < p; ++a) {
           for (topo::Rank b = 0; b < p; ++b) {
@@ -148,7 +148,7 @@ TEST(DistanceDiff, DragonflyClosedFormMatchesBfs) {
       unsigned_in(1, 10), [](const unsigned a) -> std::optional<std::string> {
         const topo::DragonflyTopology df(a);
         const topo::GraphTopology g = dragonfly_graph(df);
-        const topo::DistanceTable& dt = df.table();
+        const topo::DistanceTable& dt = df.dense_table();
         std::uint64_t max_d = 0;
         for (topo::Rank x = 0; x < df.size(); ++x) {
           for (topo::Rank y = 0; y < df.size(); ++y) {
@@ -209,7 +209,7 @@ TEST(DistanceDiff, RelabeledViewMatchesItsDefinition) {
         if (view.diameter() != base->diameter()) {
           return "diameter changed by relabel";
         }
-        const topo::DistanceTable& vt = view.table();
+        const topo::DistanceTable& vt = view.dense_table();
         for (topo::Rank a = 0; a < view.size(); ++a) {
           for (topo::Rank b = 0; b < view.size(); ++b) {
             const std::uint64_t want = base->distance(perm[a], perm[b]);

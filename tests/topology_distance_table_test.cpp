@@ -33,7 +33,7 @@ namespace {
 void expect_table_matches(const topo::Topology& net) {
   const topo::Rank p = net.size();
   ASSERT_TRUE(topo::distance_table_fits(p));
-  const topo::DistanceTable& t = net.table();
+  const topo::DistanceTable& t = net.dense_table();
   ASSERT_EQ(t.procs(), p);
   for (topo::Rank a = 0; a < p; ++a) {
     const std::uint32_t* row = t.row(a);
@@ -44,7 +44,22 @@ void expect_table_matches(const topo::Topology& net) {
     }
   }
   // Lazy construction caches: repeated calls hand back the same object.
-  EXPECT_EQ(&net.table(), &t);
+  EXPECT_EQ(&net.dense_table(), &t);
+}
+
+// The deprecated table() accessor must keep compiling (and aliasing the
+// dense-strategy table) for one more release.
+TEST(DistanceTable, DeprecatedTableShimAliasesDenseTable) {
+  const topo::RingTopology ring(8);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const topo::DistanceTable& shim = ring.table();
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ(&shim, &ring.dense_table());
 }
 
 TEST(DistanceTable, BusAndRingAllSizes) {
@@ -145,8 +160,8 @@ TEST(RankPairAccumulator, DenseAndSparseAgree) {
   EXPECT_EQ(dv, sv);
 
   const topo::RingTopology ring(p);
-  const core::CommTotals dt = dense.fold(ring.table());
-  const core::CommTotals st = sparse.fold(ring.table());
+  const core::CommTotals dt = dense.fold(ring.dense_table());
+  const core::CommTotals st = sparse.fold(ring.dense_table());
   EXPECT_EQ(dt.hops, st.hops);
   EXPECT_EQ(dt.count, st.count);
   // Virtual-dispatch fold (the beyond-budget path) matches the table fold.
@@ -168,7 +183,7 @@ TEST(RankPairAccumulator, FoldMatchesPerEventSum) {
     acc.add(a, b);
     expect_hops += tree.distance(a, b);
   }
-  const core::CommTotals t = acc.fold(tree.table());
+  const core::CommTotals t = acc.fold(tree.dense_table());
   EXPECT_EQ(t.count, pairs.size());
   EXPECT_EQ(t.hops, expect_hops);
 }
@@ -195,9 +210,9 @@ TEST(RankPairAccumulator, MergeAcrossModes) {
   }
   sparse2 += dense2;  // and the other direction
   const topo::BusTopology bus(p);
-  const auto rt = reference.fold(bus.table());
-  const auto dt = dense.fold(bus.table());
-  const auto st = sparse2.fold(bus.table());
+  const auto rt = reference.fold(bus.dense_table());
+  const auto dt = dense.fold(bus.dense_table());
+  const auto st = sparse2.fold(bus.dense_table());
   EXPECT_EQ(dt.hops, rt.hops);
   EXPECT_EQ(dt.count, rt.count);
   EXPECT_EQ(st.hops, rt.hops);

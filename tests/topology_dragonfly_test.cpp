@@ -93,7 +93,7 @@ TEST(Dragonfly, TableFillMatchesDistanceAtMinimalSizes) {
   // every pair, including the degenerate a=1 network.
   for (const Rank a : {1u, 2u, 3u}) {
     const DragonflyTopology df(a);
-    const DistanceTable& t = df.table();
+    const DistanceTable& t = df.dense_table();
     ASSERT_EQ(t.procs(), df.size());
     for (Rank x = 0; x < df.size(); ++x) {
       for (Rank y = 0; y < df.size(); ++y) {
