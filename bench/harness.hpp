@@ -13,7 +13,12 @@
 // Observability: --trace FILE enables the obs span tracer for the run
 // and writes a Chrome/Perfetto trace to FILE afterwards; --metrics
 // enables the obs metrics registry and embeds its JSON snapshot in the
-// output document under "metrics".
+// output document under "metrics". The flight recorder (obs/flight.hpp)
+// is on by *default* — every harness run gets the crash handler (path
+// from --crash-report), a "stage_profile" section aggregating span
+// durations per stage, and a background registry sampler (period from
+// --sample-ms / SFCACD_OBS_SAMPLE_MS); --no-flight opts a run out, and
+// --prom FILE exports the final registry in the Prometheus text format.
 #pragma once
 
 #include <chrono>
@@ -32,7 +37,9 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "core/sweep.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -59,6 +66,23 @@ class Harness {
       obs::Tracer::instance().set_enabled(true);
     }
     if (args.flag("metrics")) obs::Registry::instance().set_enabled(true);
+    if (flight()) {
+      // Always-on forensics: crash handler + recorder + an initial
+      // metrics snapshot, then the background sampler keeping that
+      // snapshot (and the time-series rings) fresh. --sample-ms -1
+      // leaves the recorder on but skips the sampler thread.
+      obs::FlightRecorder::instance().install_crash_handler(
+          args.str("crash-report"));
+      const long long sample_ms = args.i64("sample-ms");
+      const long long capacity = args.i64("sample-capacity");
+      if (sample_ms >= 0) {
+        obs::Sampler::instance().configure(
+            sample_ms > 0 ? static_cast<std::uint64_t>(sample_ms)
+                          : obs::Sampler::default_period_ms(),
+            capacity > 0 ? static_cast<std::size_t>(capacity) : 0);
+        obs::Sampler::instance().start();
+      }
+    }
     const long long threads = args.i64("threads");
     if (threads != 1) {
       pool_ = std::make_unique<util::ThreadPool>(
@@ -73,6 +97,7 @@ class Harness {
   bool json() const { return args_.flag("json"); }
   bool reuse() const { return !args_.flag("no-reuse"); }
   bool metrics() const { return args_.flag("metrics"); }
+  bool flight() const { return !args_.flag("no-flight"); }
   std::string trace_path() const { return args_.str("trace"); }
   std::uint64_t seed() const {
     return static_cast<std::uint64_t>(args_.i64("seed"));
@@ -219,8 +244,25 @@ inline int run_harness(int argc, const char* const* argv,
                 "disable sweep-engine artifact reuse (per-cell baseline)");
   args.add_flag("metrics",
                 "embed an obs metrics snapshot in the JSON document");
+  args.add_flag("no-flight",
+                "disable the flight recorder, crash handler, and sampler");
   args.add_option("trace",
                   "write a Chrome/Perfetto trace of the run to this file",
+                  "");
+  args.add_option("crash-report",
+                  "crash-report path for the flight recorder's handler",
+                  "sfcacd_crash_report.json");
+  args.add_option("sample-ms",
+                  "registry sampling period in ms (0 = default/env "
+                  "SFCACD_OBS_SAMPLE_MS, -1 = no sampler thread)",
+                  "0");
+  args.add_option("sample-capacity",
+                  "time-series ring capacity in points per metric "
+                  "(0 = default)",
+                  "0");
+  args.add_option("prom",
+                  "write the final metrics registry to this file in the "
+                  "Prometheus text exposition format",
                   "");
   args.add_option("seed", "master RNG seed", "1");
   args.add_option("trials", "independent trials to average", "1");
@@ -248,8 +290,32 @@ inline int run_harness(int argc, const char* const* argv,
   // The run body (and its pool tasks — the Harness pool idles before the
   // body returns) has finished: snapshot metrics into the document and
   // flush the trace.
+  if (harness.flight()) {
+    // Stop the sampler before exporting so the rings are stable, then
+    // take one final sample: even a run shorter than one period gets a
+    // closing point, and the crash-report snapshot reflects run end.
+    obs::Sampler::instance().stop();
+    obs::Sampler::instance().sample_once(obs::now_ns());
+    // Quiescent now (run body and pool tasks done): the stage profile is
+    // part of every document so regressions are attributable post hoc.
+    harness.attach_json(
+        "stage_profile",
+        obs::FlightRecorder::instance().stage_profile_json());
+  }
   if (harness.metrics()) {
     harness.attach_json("metrics", obs::Registry::instance().json());
+    if (harness.flight()) {
+      harness.attach_json("timeseries", obs::Sampler::instance().json());
+    }
+  }
+  const std::string prom_path = args.str("prom");
+  if (!prom_path.empty()) {
+    std::ofstream os(prom_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << prom_path << " for writing\n";
+      return 1;
+    }
+    os << obs::prometheus_text();
   }
   const std::string trace_path = harness.trace_path();
   if (!trace_path.empty()) {

@@ -8,7 +8,9 @@
 // table1_nfi run.
 #include <benchmark/benchmark.h>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -43,6 +45,33 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
   }
   obs::Tracer::instance().set_enabled(false);
   obs::Tracer::instance().clear();
+}
+
+void BM_ObsSpanFlight(benchmark::State& state) {
+  // The always-on price: tracer off, flight recorder on. Two clock reads
+  // plus a ring store and stage-table update per span. bench_to_json.py
+  // budgets this number (not the disabled cost) against the <1% overhead
+  // gate, since the default harness configuration runs exactly this way.
+  obs::Tracer::instance().set_enabled(false);
+  obs::FlightRecorder::instance().set_enabled(true);
+  for (auto _ : state) {
+    const obs::Span span("micro/flight");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::FlightRecorder::instance().set_enabled(false);
+  obs::FlightRecorder::instance().clear();
+}
+
+void BM_ObsSamplerSample(benchmark::State& state) {
+  // One sampler tick over whatever the registry currently holds (the
+  // micro instruments below plus anything the process registered). Paid
+  // once per period on the background thread, never on the hot path.
+  std::uint64_t t = 1;
+  for (auto _ : state) {
+    obs::Sampler::instance().sample_once(t);
+    t += 1000000;
+  }
+  obs::Sampler::instance().clear();
 }
 
 void BM_ObsNowNs(benchmark::State& state) {
@@ -85,6 +114,8 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
 
 BENCHMARK(BM_ObsSpanDisabled);
 BENCHMARK(BM_ObsSpanEnabled);
+BENCHMARK(BM_ObsSpanFlight);
+BENCHMARK(BM_ObsSamplerSample);
 BENCHMARK(BM_ObsNowNs);
 BENCHMARK(BM_ObsCounterAdd);
 BENCHMARK(BM_ObsGaugeSet);

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Name the pipeline stage responsible for a perf regression.
+
+Every bench-harness document (and every sweep entry in BENCH_acd.json)
+carries a "stage_profile": the flight recorder's per-span-name aggregate
+{count, total_ns, self_ns}, where self time excludes nested child spans.
+Given a baseline and a current document, this script diffs the two
+profiles stage by stage and ranks the stages by how much *self* time
+they gained — the stage at the top is where the regression lives, not
+merely a parent that inherited it.
+
+Deltas are compared on normalized shares (each stage's self_ns over the
+profile's total self_ns) as well as absolute nanoseconds, so a uniformly
+slower machine doesn't blame every stage equally: a pure clock-speed
+difference moves absolute times but leaves shares flat, while a real
+stage regression moves its share.
+
+Accepts either document shape:
+  - a bench harness --json document: {"stage_profile": {...}, ...}
+  - a BENCH_acd.json: stage profiles under sweep_engine.<name>.stage_profile
+    (each sweep entry is diffed against its namesake)
+
+Usage:
+  scripts/attribute_regression.py BASELINE.json CURRENT.json [--top N]
+                                  [--json] [--threshold-pct 1.0]
+
+Exit status is 0 whether or not a culprit is found — the caller
+(scripts/bench_to_json.py invokes this automatically when a perf gate
+trips) owns the failure decision; this tool only explains it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_profiles(doc):
+    """Return {label: stages-dict} for every stage profile in `doc`."""
+    profiles = {}
+    prof = doc.get("stage_profile")
+    if isinstance(prof, dict) and isinstance(prof.get("stages"), dict):
+        profiles[""] = prof["stages"]
+    for name, entry in doc.get("sweep_engine", {}).items():
+        prof = entry.get("stage_profile")
+        if isinstance(prof, dict) and isinstance(prof.get("stages"), dict):
+            profiles[name] = prof["stages"]
+    return profiles
+
+
+def attribute(baseline, current):
+    """Diff two stage dicts; return per-stage rows sorted by blame.
+
+    Each row: {stage, baseline_self_ns, current_self_ns, delta_self_ns,
+    baseline_share, current_share, delta_share, delta_total_ns,
+    count_ratio}. Sorted by delta_share descending (the normalized blame
+    signal), ties by delta_self_ns.
+    """
+    base_total = sum(s.get("self_ns", 0) for s in baseline.values()) or 1
+    cur_total = sum(s.get("self_ns", 0) for s in current.values()) or 1
+    rows = []
+    for stage in sorted(set(baseline) | set(current)):
+        b = baseline.get(stage, {})
+        c = current.get(stage, {})
+        b_self = b.get("self_ns", 0)
+        c_self = c.get("self_ns", 0)
+        b_share = b_self / base_total
+        c_share = c_self / cur_total
+        b_count = b.get("count", 0)
+        c_count = c.get("count", 0)
+        rows.append({
+            "stage": stage,
+            "baseline_self_ns": b_self,
+            "current_self_ns": c_self,
+            "delta_self_ns": c_self - b_self,
+            "baseline_share": b_share,
+            "current_share": c_share,
+            "delta_share": c_share - b_share,
+            "delta_total_ns": c.get("total_ns", 0) - b.get("total_ns", 0),
+            # A count ratio far from 1 means the *shape* of the run
+            # changed (more work), not just its speed.
+            "count_ratio": (c_count / b_count) if b_count else None,
+        })
+    rows.sort(key=lambda r: (-r["delta_share"], -r["delta_self_ns"]))
+    return rows
+
+
+def culprit(rows, threshold_pct):
+    """The top row, if its share moved by at least threshold_pct points."""
+    if rows and rows[0]["delta_share"] * 100.0 >= threshold_pct:
+        return rows[0]
+    return None
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:+.2f} ms"
+
+
+def report(label, rows, threshold_pct, top, out=sys.stdout):
+    prefix = f"{label}: " if label else ""
+    top_row = culprit(rows, threshold_pct)
+    if top_row is None:
+        print(f"{prefix}no stage gained more than "
+              f"{threshold_pct:.1f}% of self time — the regression is "
+              "outside the instrumented stages (or spread evenly: suspect "
+              "the machine, not one stage)", file=out)
+    else:
+        extra = ""
+        ratio = top_row["count_ratio"]
+        if ratio is not None and not 0.9 <= ratio <= 1.1:
+            extra = (f" [span count x{ratio:.2f} — the stage runs "
+                     "a different amount of work, not just slower]")
+        print(f"{prefix}suspect stage: {top_row['stage']} "
+              f"(self-time share {top_row['baseline_share']:.1%} -> "
+              f"{top_row['current_share']:.1%}, "
+              f"{fmt_ms(top_row['delta_self_ns'])}){extra}", file=out)
+    for r in rows[:top]:
+        print(f"{prefix}  {r['stage']}: share "
+              f"{r['baseline_share']:.1%} -> {r['current_share']:.1%} "
+              f"({r['delta_share']:+.1%}), self {fmt_ms(r['delta_self_ns'])}",
+              file=out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline JSON document")
+    parser.add_argument("current", help="current JSON document")
+    parser.add_argument("--top", type=int, default=5,
+                        help="rows to print per profile")
+    parser.add_argument("--threshold-pct", type=float, default=1.0,
+                        help="minimum self-time share gain (percentage "
+                             "points) to name a culprit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the ranked rows as JSON instead of text")
+    opts = parser.parse_args()
+
+    with open(opts.baseline) as f:
+        base_doc = json.load(f)
+    with open(opts.current) as f:
+        cur_doc = json.load(f)
+
+    base_profiles = extract_profiles(base_doc)
+    cur_profiles = extract_profiles(cur_doc)
+    shared = [k for k in cur_profiles if k in base_profiles]
+    if not shared:
+        sys.exit("error: no stage_profile section found in both documents "
+                 "(need harness --json output or BENCH_acd.json sweep "
+                 "entries from builds with the flight recorder)")
+
+    if opts.json:
+        out = {label or "document": attribute(base_profiles[label],
+                                              cur_profiles[label])
+               for label in shared}
+        json.dump(out, sys.stdout, indent=2)
+        print()
+        return
+
+    for label in shared:
+        rows = attribute(base_profiles[label], cur_profiles[label])
+        report(label, rows, opts.threshold_pct, opts.top)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder crash report (sfcacd-crash-report-v1).
+
+The obs::FlightRecorder's signal handler writes this document from inside
+SIGSEGV/SIGABRT/SIGTERM using only async-signal-safe primitives; this
+checker is the schema's executable definition. CI provokes a crash on
+purpose, runs this over the report, and archives it as an artifact.
+
+Checks:
+  - the file is valid JSON with schema == "sfcacd-crash-report-v1"
+  - signal/signal_name are present and consistent (--expect-signal pins
+    the number)
+  - build provenance carries version and git_sha
+  - crash_ns is a non-negative integer on the span clock
+  - metrics is an object (the registry snapshot published before the
+    crash, or {} when none was published)
+  - every flight thread's events are balanced: B/E alternate, each E
+    matches its B's name, timestamps are monotone within a pair, and no
+    thread exceeds the declared ring capacity in completed spans
+
+Usage: scripts/check_crash_report.py FILE [--expect-signal N]
+                                     [--min-spans N]
+Exits nonzero with a message per violation.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_SIGNALS = {4: "SIGILL", 6: "SIGABRT", 7: "SIGBUS", 8: "SIGFPE",
+                 11: "SIGSEGV", 15: "SIGTERM"}
+
+
+def check(doc, expect_signal, min_spans):
+    errors = []
+
+    if doc.get("schema") != "sfcacd-crash-report-v1":
+        errors.append(f"schema is {doc.get('schema')!r}, expected "
+                      "'sfcacd-crash-report-v1'")
+
+    sig = doc.get("signal")
+    if not isinstance(sig, int):
+        errors.append("missing integer 'signal'")
+    elif expect_signal is not None and sig != expect_signal:
+        errors.append(f"signal {sig} != expected {expect_signal}")
+    name = doc.get("signal_name")
+    if not isinstance(name, str) or not name:
+        errors.append("missing 'signal_name'")
+    elif isinstance(sig, int) and sig in KNOWN_SIGNALS \
+            and name != KNOWN_SIGNALS[sig]:
+        errors.append(f"signal_name {name!r} inconsistent with signal "
+                      f"{sig} ({KNOWN_SIGNALS[sig]})")
+
+    crash_ns = doc.get("crash_ns")
+    if not isinstance(crash_ns, int) or crash_ns < 0:
+        errors.append("crash_ns missing or negative")
+
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        errors.append("missing 'build' object")
+    else:
+        for key in ("version", "git_sha"):
+            if not build.get(key):
+                errors.append(f"build.{key} missing")
+
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append("'metrics' is not an object")
+
+    flight = doc.get("flight")
+    total_spans = 0
+    if not isinstance(flight, dict) or \
+            not isinstance(flight.get("threads"), list):
+        errors.append("missing flight.threads list")
+    else:
+        capacity = flight.get("ring_capacity")
+        if not isinstance(capacity, int) or capacity <= 0:
+            errors.append("flight.ring_capacity missing or non-positive")
+            capacity = None
+        for t in flight["threads"]:
+            tid = t.get("tid", "?")
+            events = t.get("events")
+            if not isinstance(events, list):
+                errors.append(f"thread {tid}: missing events list")
+                continue
+            if len(events) % 2 != 0:
+                errors.append(f"thread {tid}: odd event count "
+                              f"{len(events)} — unbalanced B/E")
+                continue
+            for i in range(0, len(events), 2):
+                b, e = events[i], events[i + 1]
+                if b.get("ph") != "B" or e.get("ph") != "E":
+                    errors.append(f"thread {tid}: events[{i}] not a B/E "
+                                  "pair")
+                    break
+                if b.get("name") != e.get("name"):
+                    errors.append(f"thread {tid}: E name "
+                                  f"{e.get('name')!r} != B name "
+                                  f"{b.get('name')!r} at events[{i}]")
+                    break
+                if not isinstance(b.get("ts_ns"), int) or \
+                        not isinstance(e.get("ts_ns"), int) or \
+                        e["ts_ns"] < b["ts_ns"]:
+                    errors.append(f"thread {tid}: non-monotone pair "
+                                  f"timestamps at events[{i}]")
+                    break
+            spans = len(events) // 2
+            total_spans += spans
+            if capacity is not None and spans > capacity:
+                errors.append(f"thread {tid}: {spans} spans exceed the "
+                              f"declared ring capacity {capacity}")
+    if total_spans < min_spans:
+        errors.append(f"only {total_spans} recorded spans (expected >= "
+                      f"{min_spans}) — was the flight recorder enabled?")
+    return errors, total_spans
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="crash-report JSON file")
+    parser.add_argument("--expect-signal", type=int, default=None,
+                        help="require this exact signal number")
+    parser.add_argument("--min-spans", type=int, default=0,
+                        help="require at least this many recorded spans")
+    opts = parser.parse_args()
+    try:
+        with open(opts.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_crash_report: cannot parse {opts.file}: {e}")
+    errors, spans = check(doc, opts.expect_signal, opts.min_spans)
+    if errors:
+        for e in errors:
+            print(f"check_crash_report: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_crash_report: OK — {doc['signal_name']} report with "
+          f"{spans} spans across "
+          f"{len(doc['flight']['threads'])} threads in {opts.file}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (format 0.0.4).
+
+The bench harness's --prom flag (obs::prometheus_text) emits the final
+metrics registry in the Prometheus text format; CI runs this checker over
+that output so a formatting regression fails the build rather than a
+scrape. Checks:
+
+  - every sample line parses as `name[{labels}] value`
+  - metric names match the Prometheus grammar and carry the sfcacd_ prefix
+  - every sample is preceded by a # TYPE declaration for its family
+    (histogram samples may use the _bucket/_sum/_count suffixes)
+  - the declared type is counter, gauge, or histogram
+  - histogram bucket counts are cumulative (non-decreasing in le order),
+    the +Inf bucket exists and equals _count
+  - counter and histogram values are non-negative
+
+Usage: scripts/check_prometheus.py FILE [--min-samples N]
+Exits nonzero with a message per violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>\w+)$")
+VALID_TYPES = {"counter", "gauge", "histogram"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """The declared family a sample belongs to (histograms sample through
+    their suffixed series)."""
+    if name in types:
+        return name
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(path, min_samples):
+    errors = []
+    types = {}
+    samples = 0
+    histograms = {}  # family -> {"buckets": [(le, v)], "sum": v, "count": v}
+
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = TYPE_RE.match(line)
+                if m:
+                    if m.group("type") not in VALID_TYPES:
+                        errors.append(f"line {lineno}: TYPE "
+                                      f"{m.group('type')!r} is not one of "
+                                      f"{sorted(VALID_TYPES)}")
+                    if m.group("name") in types:
+                        errors.append(f"line {lineno}: duplicate TYPE for "
+                                      f"{m.group('name')}")
+                    types[m.group("name")] = m.group("type")
+                continue  # other comments (HELP etc.) are fine
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"line {lineno}: non-numeric value "
+                              f"{m.group('value')!r}")
+                continue
+            samples += 1
+            family = family_of(name, types)
+            if family is None:
+                errors.append(f"line {lineno}: sample {name} has no "
+                              "preceding # TYPE declaration")
+                continue
+            if not family.startswith("sfcacd_"):
+                errors.append(f"line {lineno}: {family} lacks the sfcacd_ "
+                              "prefix")
+            ftype = types[family]
+            if ftype in ("counter", "histogram") and value < 0:
+                errors.append(f"line {lineno}: {name} = {value} but "
+                              f"{ftype}s are non-negative")
+            if ftype == "histogram":
+                h = histograms.setdefault(family,
+                                          {"buckets": [], "sum": None,
+                                           "count": None})
+                if name == family + "_bucket":
+                    labels = m.group("labels") or ""
+                    lm = re.match(r'^le="([^"]*)"$', labels)
+                    if not lm:
+                        errors.append(f"line {lineno}: bucket without an "
+                                      f"le label: {labels!r}")
+                        continue
+                    le = (float("inf") if lm.group(1) == "+Inf"
+                          else float(lm.group(1)))
+                    h["buckets"].append((le, value, lineno))
+                elif name == family + "_sum":
+                    h["sum"] = value
+                elif name == family + "_count":
+                    h["count"] = value
+                else:  # bare family name as a sample of a histogram
+                    errors.append(f"line {lineno}: histogram {family} "
+                                  "sampled without a suffix")
+
+    for family, h in histograms.items():
+        buckets = h["buckets"]
+        if not buckets or buckets[-1][0] != float("inf"):
+            errors.append(f"{family}: histogram missing the +Inf bucket")
+            continue
+        les = [b[0] for b in buckets]
+        if les != sorted(les):
+            errors.append(f"{family}: bucket le values not ascending")
+        values = [b[1] for b in buckets]
+        for i in range(1, len(values)):
+            if values[i] < values[i - 1]:
+                errors.append(f"{family}: bucket counts not cumulative at "
+                              f"le={les[i]} (line {buckets[i][2]})")
+                break
+        if h["count"] is None:
+            errors.append(f"{family}: missing _count")
+        elif values and values[-1] != h["count"]:
+            errors.append(f"{family}: +Inf bucket {values[-1]} != _count "
+                          f"{h['count']}")
+        if h["sum"] is None:
+            errors.append(f"{family}: missing _sum")
+
+    if samples < min_samples:
+        errors.append(f"only {samples} samples (expected >= {min_samples}) "
+                      "— did the run record any metrics?")
+    return errors, samples, len(types)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="Prometheus text-exposition file")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="fail if fewer samples than this are present")
+    opts = parser.parse_args()
+    errors, samples, families = check(opts.file, opts.min_samples)
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK — {samples} samples across "
+          f"{families} families in {opts.file}")
+
+
+if __name__ == "__main__":
+    main()

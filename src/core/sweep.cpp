@@ -41,16 +41,21 @@ std::shared_ptr<const void> ArtifactCache::lookup(SweepStage stage,
   }
   ++stats_.stage(stage).hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  // Touch timestamps exist only for the eviction-age histogram, so the
+  // clock read follows the metrics gate (same discipline as the pool).
+  if (obs::metrics_enabled()) it->second.last_touch_ns = obs::now_ns();
   return it->second.value;
 }
 
 void ArtifactCache::insert(SweepStage stage, std::uint64_t key,
                            std::shared_ptr<const void> value,
                            std::size_t bytes) {
-  (void)stage;
+  const bool metrics = obs::metrics_enabled();
   lru_.push_front(key);
-  map_[key] = Entry{std::move(value), bytes, lru_.begin()};
+  map_[key] = Entry{std::move(value), bytes, stage,
+                    metrics ? obs::now_ns() : 0, lru_.begin()};
   stats_.bytes += bytes;
+  stats_.stage_bytes[static_cast<unsigned>(stage)] += bytes;
   if (stats_.bytes > stats_.peak_bytes) stats_.peak_bytes = stats_.bytes;
   // Walk the cold end of the LRU until within budget. The entry just
   // inserted sits at the hot end and is never the victim; an over-budget
@@ -59,6 +64,15 @@ void ArtifactCache::insert(SweepStage stage, std::uint64_t key,
     const std::uint64_t victim = lru_.back();
     const auto vit = map_.find(victim);
     stats_.bytes -= vit->second.bytes;
+    stats_.stage_bytes[static_cast<unsigned>(vit->second.stage)] -=
+        vit->second.bytes;
+    if (metrics && vit->second.last_touch_ns != 0) {
+      // How long the victim sat cold: small ages mean the budget is
+      // thrashing artifacts that were just used.
+      obs::Registry::instance()
+          .histogram("sweep.cache.eviction_age_ns")
+          .record(obs::now_ns() - vit->second.last_touch_ns);
+    }
     map_.erase(vit);
     lru_.pop_back();
     ++stats_.evictions;
@@ -90,9 +104,16 @@ void publish_sweep_metrics(const SweepStats& stats) {
     const auto stage = static_cast<SweepStage>(i);
     const StageCounters& c = stats.stage(stage);
     if (c.hits + c.misses == 0) continue;  // stage never ran in this study
-    reg.gauge("sweep.stage." + std::string(sweep_stage_name(stage)) +
-              ".hit_ratio")
-        .set(c.hit_ratio());
+    const std::string base =
+        "sweep.stage." + std::string(sweep_stage_name(stage));
+    reg.gauge(base + ".hit_ratio").set(c.hit_ratio());
+  }
+  for (unsigned i = 0; i < kSweepStageCount; ++i) {
+    const auto stage = static_cast<SweepStage>(i);
+    if (stats.bytes_of(stage) == 0) continue;
+    reg.gauge("sweep.cache.stage." +
+              std::string(sweep_stage_name(stage)) + ".bytes")
+        .set(static_cast<double>(stats.bytes_of(stage)));
   }
 }
 

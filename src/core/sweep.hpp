@@ -84,12 +84,19 @@ struct SweepStats {
   std::uint64_t evictions = 0;
   std::size_t bytes = 0;       ///< resident artifact bytes after the run
   std::size_t peak_bytes = 0;  ///< high-water mark during the run
+  /// Resident bytes split by producing stage (sums to `bytes`). Answers
+  /// "what is the budget actually holding?" — published as the
+  /// sweep.cache.stage.<name>.bytes gauges.
+  std::size_t stage_bytes[kSweepStageCount] = {};
 
   const StageCounters& stage(SweepStage s) const noexcept {
     return stages[static_cast<unsigned>(s)];
   }
   StageCounters& stage(SweepStage s) noexcept {
     return stages[static_cast<unsigned>(s)];
+  }
+  std::size_t bytes_of(SweepStage s) const noexcept {
+    return stage_bytes[static_cast<unsigned>(s)];
   }
   std::uint64_t total_hits() const noexcept {
     std::uint64_t n = 0;
@@ -166,6 +173,11 @@ class ArtifactCache {
   struct Entry {
     std::shared_ptr<const void> value;
     std::size_t bytes = 0;
+    SweepStage stage = SweepStage::kSample;
+    /// Span-clock time of insertion or last hit; feeds the
+    /// sweep.cache.eviction_age_ns histogram (how long a victim sat cold
+    /// before eviction — the signal that the budget is too small).
+    std::uint64_t last_touch_ns = 0;
     std::list<std::uint64_t>::iterator lru_it;
   };
 

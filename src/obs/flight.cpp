@@ -1,0 +1,488 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"    // util::json_escape (normal-context exports)
+#include "util/version.hpp"  // build_info_json
+
+namespace sfc::obs {
+namespace {
+
+constexpr unsigned kMaxThreads = 256;
+constexpr std::size_t kSnapshotCapacity = std::size_t{64} * 1024;
+constexpr std::size_t kPathCapacity = 1024;
+constexpr unsigned kStageSlots = 512;
+
+struct FlightRecordPod {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// One thread's flight state: the bounded ring of completed spans, the
+/// open-span stack that splits self from child time, and the per-name
+/// stage table. Written only by the owning thread; read by exporters
+/// under quiescence and by the crash handler best-effort.
+struct FlightLog {
+  explicit FlightLog(std::uint32_t tid_in) : tid(tid_in) {
+    std::snprintf(name, sizeof name, "thread-%u", tid);
+  }
+
+  std::uint32_t tid;
+  char name[64];
+
+  FlightRecordPod ring[FlightRecorder::kRingCapacity];
+  std::atomic<std::uint64_t> head{0};  ///< completed spans ever recorded
+
+  struct Open {
+    const char* name = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t child_ns = 0;
+  };
+  Open stack[FlightRecorder::kMaxDepth];
+  unsigned depth = 0;
+  std::uint64_t depth_skipped = 0;  ///< opens beyond kMaxDepth, untimed
+
+  /// Open-addressed per-name aggregate. Keys are the span name pointers
+  /// themselves — Span requires static-lifetime strings, so pointer
+  /// identity is name identity for literals (interned names likewise).
+  struct StageSlot {
+    const char* name = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+  };
+  StageSlot stages[kStageSlots];
+  std::uint64_t stage_overflow = 0;
+
+  void accumulate(const char* span_name, std::uint64_t total,
+                  std::uint64_t self) noexcept {
+    const auto key = reinterpret_cast<std::uintptr_t>(span_name);
+    std::size_t slot = (key * 0x9e3779b97f4a7c15ull) >> 55;  // 512 slots
+    for (unsigned probe = 0; probe < kStageSlots; ++probe) {
+      StageSlot& s = stages[slot];
+      if (s.name == span_name || s.name == nullptr) {
+        s.name = span_name;
+        s.count += 1;
+        s.total_ns += total;
+        s.self_ns += self;
+        return;
+      }
+      slot = (slot + 1) % kStageSlots;
+    }
+    ++stage_overflow;
+  }
+};
+
+/// Heap-allocated and never destroyed (worker threads may record during
+/// static destruction). The slots array exists so the crash handler can
+/// iterate logs without touching the deque or the mutex.
+struct FlightState {
+  std::mutex mutex;            ///< registry + exports (never in the handler)
+  std::deque<FlightLog> logs;  ///< stable addresses
+  std::atomic<FlightLog*> slots[kMaxThreads] = {};
+  std::atomic<unsigned> nlogs{0};
+
+  char path[kPathCapacity] = "sfcacd_crash_report.json";
+  char build_json[1024] = "{}";
+  std::atomic<bool> installed{false};
+
+  /// Double-buffered pre-serialized metrics snapshot: the publisher
+  /// fills the inactive buffer and flips the index, so the handler
+  /// always reads a complete JSON object.
+  char snapshots[2][kSnapshotCapacity];
+  std::size_t snapshot_len[2] = {0, 0};
+  std::atomic<int> snapshot_active{-1};
+
+  std::atomic<int> in_handler{0};
+};
+
+FlightState& fstate() {
+  static FlightState* s = new FlightState;
+  return *s;
+}
+
+thread_local FlightLog* t_flight = nullptr;
+
+FlightLog& local_flight_log() {
+  if (t_flight == nullptr) {
+    FlightState& s = fstate();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.logs.emplace_back(static_cast<std::uint32_t>(s.logs.size() + 1));
+    t_flight = &s.logs.back();
+    const unsigned n = s.nlogs.load(std::memory_order_relaxed);
+    if (n < kMaxThreads) {
+      s.slots[n].store(t_flight, std::memory_order_release);
+      s.nlogs.store(n + 1, std::memory_order_release);
+    }
+  }
+  return *t_flight;
+}
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGTERM:
+      return "SIGTERM";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+// ------------------------------------------------- async-signal-safe writer
+
+/// Buffered writer over a raw fd using only write(2). Everything it
+/// formats (decimal integers, minimally-escaped strings) happens in
+/// fixed stack/struct storage — no allocation, no locale, no stdio.
+class SigsafeWriter {
+ public:
+  explicit SigsafeWriter(int fd) : fd_(fd) {}
+
+  void lit(const char* s) noexcept {
+    while (*s != '\0') put(*s++);
+  }
+
+  void u64(std::uint64_t v) noexcept {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+
+  /// JSON string body with the minimal escapes ('"', '\\', control
+  /// chars). Span names are static literals so this is normally a
+  /// straight copy.
+  void escaped(const char* s) noexcept {
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(static_cast<char>(c));
+      } else if (c < 0x20) {
+        lit("\\u00");
+        const char* hex = "0123456789abcdef";
+        put(hex[c >> 4]);
+        put(hex[c & 0xf]);
+      } else {
+        put(static_cast<char>(c));
+      }
+    }
+  }
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len_) {
+      const ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+      if (n <= 0) {
+        ok_ = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    len_ = 0;
+  }
+
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  void put(char c) noexcept {
+    if (len_ == sizeof buf_) flush();
+    buf_[len_++] = c;
+  }
+
+  int fd_;
+  char buf_[4096];
+  std::size_t len_ = 0;
+  bool ok_ = true;
+};
+
+extern "C" void sfcacd_crash_handler(int sig) {
+  FlightState& s = fstate();
+  // A fault inside the dump (or a second signal during it) must not
+  // recurse: restore default and re-raise immediately.
+  if (s.in_handler.exchange(1) == 0) {
+    FlightRecorder::instance().write_crash_report(sig);
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+namespace detail {
+
+void flight_begin_span(const char* name, std::uint64_t start_ns) {
+  FlightLog& log = local_flight_log();
+  if (log.depth >= FlightRecorder::kMaxDepth) {
+    ++log.depth_skipped;
+    return;
+  }
+  log.stack[log.depth++] = FlightLog::Open{name, start_ns, 0};
+}
+
+void flight_end_span(std::uint64_t end_ns) {
+  FlightLog& log = local_flight_log();
+  if (log.depth_skipped > 0) {
+    // The matching begin overflowed the stack; spans close LIFO, so the
+    // skipped closes all arrive before any tracked one.
+    --log.depth_skipped;
+    return;
+  }
+  if (log.depth == 0) return;  // recorder enabled mid-span: nothing pushed
+  const FlightLog::Open open = log.stack[--log.depth];
+  const std::uint64_t dur =
+      end_ns >= open.start_ns ? end_ns - open.start_ns : 0;
+  if (log.depth > 0) log.stack[log.depth - 1].child_ns += dur;
+  const std::uint64_t self =
+      dur >= open.child_ns ? dur - open.child_ns : 0;
+
+  const std::uint64_t h = log.head.load(std::memory_order_relaxed);
+  log.ring[h % FlightRecorder::kRingCapacity] =
+      FlightRecordPod{open.name, open.start_ns, dur};
+  log.head.store(h + 1, std::memory_order_release);
+  log.accumulate(open.name, dur, self);
+}
+
+void flight_set_thread_name(const char* name) noexcept {
+  FlightLog& log = local_flight_log();
+  std::snprintf(log.name, sizeof log.name, "%s", name);
+}
+
+}  // namespace detail
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::begin_span(const char* name, std::uint64_t start_ns) {
+  detail::flight_begin_span(name, start_ns);
+}
+
+void FlightRecorder::end_span(std::uint64_t end_ns) {
+  detail::flight_end_span(end_ns);
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  FlightState& s = fstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::uint64_t n = 0;
+  for (const FlightLog& log : s.logs) {
+    n += log.head.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::string FlightRecorder::stage_profile_json() const {
+  FlightState& s = fstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+  };
+  // Keyed by string value (not pointer): the same name literal can have
+  // distinct addresses across translation units.
+  std::map<std::string, Agg> merged;
+  std::uint64_t spans = 0;
+  std::uint64_t overflow = 0;
+  for (const FlightLog& log : s.logs) {
+    spans += log.head.load(std::memory_order_acquire);
+    overflow += log.stage_overflow + log.depth_skipped;
+    for (const FlightLog::StageSlot& slot : log.stages) {
+      if (slot.name == nullptr) continue;
+      Agg& a = merged[slot.name];
+      a.count += slot.count;
+      a.total_ns += slot.total_ns;
+      a.self_ns += slot.self_ns;
+    }
+  }
+  std::ostringstream os;
+  os << "{\"spans\":" << spans << ",\"untracked\":" << overflow
+     << ",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, a] : merged) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(name) << "\":{\"count\":" << a.count
+       << ",\"total_ns\":" << a.total_ns << ",\"self_ns\":" << a.self_ns
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string FlightRecorder::rings_json() const {
+  FlightState& s = fstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os << "{\"ring_capacity\":" << kRingCapacity << ",\"threads\":[";
+  bool first_log = true;
+  for (const FlightLog& log : s.logs) {
+    if (!first_log) os << ',';
+    first_log = false;
+    const std::uint64_t head = log.head.load(std::memory_order_acquire);
+    const std::uint64_t count = head < kRingCapacity ? head : kRingCapacity;
+    os << "{\"tid\":" << log.tid << ",\"name\":\""
+       << util::json_escape(log.name) << "\",\"spans\":[";
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const FlightRecordPod& r =
+          log.ring[(head - count + i) % kRingCapacity];
+      if (i != 0) os << ',';
+      os << "{\"name\":\"" << util::json_escape(r.name)
+         << "\",\"start_ns\":" << r.start_ns << ",\"dur_ns\":" << r.dur_ns
+         << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void FlightRecorder::clear() {
+  FlightState& s = fstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (FlightLog& log : s.logs) {
+    log.head.store(0, std::memory_order_release);
+    log.depth = 0;
+    log.depth_skipped = 0;
+    log.stage_overflow = 0;
+    for (FlightLog::StageSlot& slot : log.stages) {
+      slot = FlightLog::StageSlot{};
+    }
+  }
+}
+
+void FlightRecorder::install_crash_handler(const std::string& path) {
+  FlightState& s = fstate();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    std::snprintf(s.path, sizeof s.path, "%s", path.c_str());
+    const std::string build = build_info_json();
+    std::snprintf(s.build_json, sizeof s.build_json, "%s", build.c_str());
+  }
+  now_ns();  // force the span-clock epoch init outside the handler
+  set_enabled(true);
+  publish_metrics_snapshot(Registry::instance().json());
+  if (!s.installed.exchange(true)) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_handler = sfcacd_crash_handler;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : {SIGSEGV, SIGBUS, SIGABRT, SIGTERM}) {
+      ::sigaction(sig, &action, nullptr);
+    }
+  }
+}
+
+void FlightRecorder::publish_metrics_snapshot(
+    const std::string& metrics_json) {
+  FlightState& s = fstate();
+  if (metrics_json.size() >= kSnapshotCapacity) return;  // keep the old one
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const int active = s.snapshot_active.load(std::memory_order_relaxed);
+  const int next = active == 0 ? 1 : 0;
+  std::memcpy(s.snapshots[next], metrics_json.data(), metrics_json.size());
+  s.snapshot_len[next] = metrics_json.size();
+  s.snapshot_active.store(next, std::memory_order_release);
+}
+
+bool FlightRecorder::write_crash_report(int sig) noexcept {
+  FlightState& s = fstate();
+  const int fd =
+      ::open(s.path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  SigsafeWriter w(fd);
+  w.lit("{\"schema\":\"sfcacd-crash-report-v1\"");
+  w.lit(",\"signal\":");
+  w.u64(static_cast<std::uint64_t>(sig));
+  w.lit(",\"signal_name\":\"");
+  w.lit(signal_name(sig));
+  w.lit("\",\"crash_ns\":");
+  w.u64(now_ns());
+  w.lit(",\"build\":");
+  w.lit(s.build_json);
+  w.lit(",\"metrics\":");
+  const int active = s.snapshot_active.load(std::memory_order_acquire);
+  if (active >= 0 && s.snapshot_len[active] > 0) {
+    // The snapshot buffer is complete JSON published with a release
+    // store; write it raw.
+    std::size_t off = 0;
+    w.flush();
+    while (off < s.snapshot_len[active]) {
+      const ssize_t n =
+          ::write(fd, s.snapshots[active] + off, s.snapshot_len[active] - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  } else {
+    w.lit("{}");
+  }
+  w.lit(",\"flight\":{\"ring_capacity\":");
+  w.u64(kRingCapacity);
+  w.lit(",\"threads\":[");
+  const unsigned nlogs = s.nlogs.load(std::memory_order_acquire);
+  bool first_log = true;
+  for (unsigned i = 0; i < nlogs && i < kMaxThreads; ++i) {
+    const FlightLog* log = s.slots[i].load(std::memory_order_acquire);
+    if (log == nullptr) continue;
+    if (!first_log) w.lit(",");
+    first_log = false;
+    w.lit("{\"tid\":");
+    w.u64(log->tid);
+    w.lit(",\"name\":\"");
+    w.escaped(log->name);
+    w.lit("\",\"events\":[");
+    const std::uint64_t head = log->head.load(std::memory_order_acquire);
+    const std::uint64_t count = head < kRingCapacity ? head : kRingCapacity;
+    bool first_event = true;
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const FlightRecordPod r =
+          log->ring[(head - count + k) % kRingCapacity];
+      if (r.name == nullptr) continue;  // torn slot: skip, stay balanced
+      if (!first_event) w.lit(",");
+      first_event = false;
+      w.lit("{\"ph\":\"B\",\"name\":\"");
+      w.escaped(r.name);
+      w.lit("\",\"ts_ns\":");
+      w.u64(r.start_ns);
+      w.lit("},{\"ph\":\"E\",\"name\":\"");
+      w.escaped(r.name);
+      w.lit("\",\"ts_ns\":");
+      w.u64(r.start_ns + r.dur_ns);
+      w.lit("}");
+    }
+    w.lit("]}");
+  }
+  w.lit("]}}\n");
+  w.flush();
+  const bool ok = w.ok();
+  ::close(fd);
+  return ok;
+}
+
+std::string FlightRecorder::crash_report_path() const {
+  FlightState& s = fstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return std::string(s.path);
+}
+
+}  // namespace sfc::obs

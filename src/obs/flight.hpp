@@ -1,0 +1,124 @@
+// flight.hpp — an always-on flight recorder for post-mortem forensics.
+//
+// The span tracer (obs/trace.hpp) answers "what happened in this run?"
+// but must be pre-armed with --trace and grows without bound — neither
+// property suits a long-running advisor server that degrades after an
+// hour or dies mid-query. The flight recorder is the complement: a
+// *bounded* per-thread ring of the most recently completed spans, cheap
+// enough to leave enabled for the whole process lifetime, plus an
+// async-signal-safe dump path that turns SIGSEGV/SIGABRT/SIGTERM into a
+// crash-report file holding the last-N spans of every thread, the newest
+// metrics snapshot, and the build provenance.
+//
+// Three responsibilities, one per section below:
+//
+//  1. Ring recording. obs::Span feeds every completed span (name, start,
+//     duration) into the calling thread's fixed-capacity ring — single
+//     writer, no locks, wrap-around overwrite. The write path is two
+//     clock reads plus a few stores (BM_ObsSpanFlight in
+//     bench/micro_obs.cpp), which keeps the <1% disabled-tracing
+//     overhead gate green with the recorder always on.
+//
+//  2. Stage profile. The same completion hook accumulates per-name
+//     {count, total_ns, self_ns} into a per-thread open-addressed table
+//     (self time = duration minus time spent in nested child spans,
+//     tracked by a per-thread span stack). stage_profile_json() merges
+//     the per-thread tables into the document the bench harness embeds
+//     and scripts/attribute_regression.py diffs.
+//
+//  3. Crash reports. install_crash_handler(path) registers handlers for
+//     SIGSEGV/SIGABRT/SIGTERM (and SIGBUS) that write a JSON report
+//     using only async-signal-safe primitives (open/write, no
+//     allocation, no formatting library), then re-raise the signal with
+//     its default disposition. The "metrics" member is the most recent
+//     snapshot published via publish_metrics_snapshot() — the sampler
+//     (obs/sampler.hpp) republishes on every tick, so a crashed server
+//     reports state at most one sampling period old. The report schema
+//     is validated by scripts/check_crash_report.py.
+//
+// Ring reads during a dump are best-effort: other threads keep recording
+// while the handler walks their rings, so a record may pair the name of
+// one span with the timing of another. Names are always valid pointers
+// (static-lifetime strings, the same contract as Span), so the dump can
+// never fault on them — only mislabel a span that was being overwritten
+// at the instant of the crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"  // flight_enabled, now_ns, the Span hooks
+
+namespace sfc::obs {
+
+class FlightRecorder {
+ public:
+  /// Per-thread ring capacity (completed spans retained per thread).
+  static constexpr std::size_t kRingCapacity = 128;
+  /// Open-span stack depth per thread; deeper nesting is still timed
+  /// for the ring but stops contributing to parents' self-time split.
+  static constexpr unsigned kMaxDepth = 64;
+
+  static FlightRecorder& instance();
+
+  void set_enabled(bool on) noexcept {
+    g_flight_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Span-entry hook: pushes onto the calling thread's open-span stack.
+  /// Every begin_span MUST be matched by exactly one end_span on the
+  /// same thread (obs::Span guarantees this via RAII).
+  void begin_span(const char* name, std::uint64_t start_ns);
+
+  /// Span-exit hook: pops the stack, appends the completed span to the
+  /// thread's ring, and accumulates the stage profile.
+  void end_span(std::uint64_t end_ns);
+
+  /// Completed spans recorded across all threads (monotonic; rings
+  /// retain only the newest kRingCapacity per thread).
+  std::uint64_t recorded() const;
+
+  /// Merged per-span-name aggregate over all threads, ascending name
+  /// order: {"stages":{name:{"count":..,"total_ns":..,"self_ns":..}}}.
+  /// Requires quiescence (no thread inside a span), like the tracer's
+  /// export.
+  std::string stage_profile_json() const;
+
+  /// The per-thread rings as JSON (oldest to newest per thread):
+  /// {"threads":[{"tid":..,"name":..,"spans":[{"name":..,"start_ns":..,
+  /// "dur_ns":..}]}]}. Requires quiescence.
+  std::string rings_json() const;
+
+  /// Drop all recorded state (rings, stage tables, recorded() count).
+  /// Requires quiescence; intended for tests.
+  void clear();
+
+  // ----------------------------------------------------------- crash path
+
+  /// Install SIGSEGV/SIGBUS/SIGABRT/SIGTERM handlers that dump a crash
+  /// report to `path` and re-raise. Also enables the recorder, captures
+  /// the build-provenance JSON, and publishes an initial metrics
+  /// snapshot, so a crash one instruction later already has a complete
+  /// report. Idempotent; later calls just update the path.
+  void install_crash_handler(const std::string& path);
+
+  /// Replace the pre-serialized metrics snapshot the crash handler will
+  /// embed. Must be a complete JSON object; truncated to the internal
+  /// buffer capacity (64 KiB) if enormous — the handler then falls back
+  /// to "{}" for that slot rather than emit invalid JSON.
+  void publish_metrics_snapshot(const std::string& metrics_json);
+
+  /// The handler body: write the report for `sig` to the installed
+  /// path. Async-signal-safe; public so tests (and SIGTERM-style
+  /// graceful shutdown paths) can exercise the dump without crashing.
+  /// Returns false if the report file could not be opened.
+  bool write_crash_report(int sig) noexcept;
+
+  std::string crash_report_path() const;
+
+ private:
+  FlightRecorder() = default;
+};
+
+}  // namespace sfc::obs

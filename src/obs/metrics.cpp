@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "util/table.hpp"  // util::json_escape
 
@@ -12,11 +14,14 @@ namespace {
 
 /// Heap-allocated and never destroyed: instruments may be updated by
 /// worker threads during static destruction (e.g. the global ThreadPool).
+/// The retired vector holds instruments detached by reset_for_testing():
+/// handles into them stay valid, they just stop being exported.
 struct RegistryState {
   mutable std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::vector<std::shared_ptr<void>> retired;
 };
 
 RegistryState& state() {
@@ -101,12 +106,54 @@ std::string Registry::json() const {
   return os.str();
 }
 
+MetricsSnapshot Registry::snapshot() const {
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(s.counters.size());
+  for (const auto& [name, c] : s.counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(s.gauges.size());
+  for (const auto& [name, g] : s.gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) {
+    HistogramValues v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    if (v.count > 0) {
+      v.min = h->min();
+      v.max = h->max();
+    }
+    for (unsigned b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n != 0) v.buckets.emplace_back(Histogram::bucket_le(b), n);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
 void Registry::reset() {
   RegistryState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
   for (auto& [name, c] : s.counters) c->reset();
   for (auto& [name, g] : s.gauges) g->reset();
   for (auto& [name, h] : s.histograms) h->reset();
+}
+
+void Registry::reset_for_testing() {
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, c] : s.counters) s.retired.emplace_back(std::move(c));
+  for (auto& [name, g] : s.gauges) s.retired.emplace_back(std::move(g));
+  for (auto& [name, h] : s.histograms) s.retired.emplace_back(std::move(h));
+  s.counters.clear();
+  s.gauges.clear();
+  s.histograms.clear();
 }
 
 }  // namespace sfc::obs

@@ -20,6 +20,8 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sfc::obs {
 
@@ -130,6 +132,27 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// A point-in-time copy of one histogram: exact totals plus the
+/// non-empty (inclusive-upper-bound, count) buckets in ascending order.
+struct HistogramValues {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// A point-in-time copy of every registered instrument. Entries are in
+/// ascending name order (the registry's storage order), so two
+/// snapshots of the same registrations always enumerate identically —
+/// the contract the sampler's ring buffers and every exporter rely on.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramValues> histograms;
+};
+
 /// Process-wide named-instrument registry. Lookups by name are
 /// mutex-guarded and intended for registration time; the returned
 /// references stay valid for the process lifetime, so hot paths resolve
@@ -147,13 +170,29 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
-  /// {name:{count,sum,min,max,mean,buckets:[{le,count}...]}}}. Names are
-  /// sorted; histogram bucket arrays list only non-empty buckets.
+  /// {name:{count,sum,min,max,mean,buckets:[{le,count}...]}}}. Key order
+  /// is part of the contract: names are emitted in ascending
+  /// lexicographic order regardless of registration order, so snapshots
+  /// taken in different suites/processes are byte-comparable. Histogram
+  /// bucket arrays list only non-empty buckets.
   std::string json() const;
+
+  /// Consistent enumeration of every instrument (ascending name order —
+  /// same contract as json()). This is the API the time-series sampler
+  /// and the Prometheus exporter are built on.
+  MetricsSnapshot snapshot() const;
 
   /// Zero every registered instrument (registrations survive). Intended
   /// for tests and for harness runs that reuse the process.
   void reset();
+
+  /// Drop every registration so the next snapshot()/json() is empty.
+  /// Outstanding handles stay valid (retired instruments are parked, not
+  /// destroyed — hot paths may still hold references) but no longer
+  /// appear in any export. Test-only: lets telemetry assertions start
+  /// from a blank registry instead of depending on which suites ran
+  /// first in the process.
+  void reset_for_testing();
 
  private:
   Registry() = default;

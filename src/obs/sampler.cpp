@@ -1,0 +1,261 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"  // now_ns
+#include "util/table.hpp"  // util::json_escape
+
+namespace sfc::obs {
+namespace {
+
+struct Point {
+  std::uint64_t t_ns = 0;
+  double v = 0.0;
+  double rate_per_s = 0.0;  ///< counters only
+};
+
+/// One metric's bounded history. A deque trimmed to capacity — sampling
+/// happens a few times per second, never on a hot path, so pointer
+/// stability and O(1) push/pop beat a hand-rolled ring here.
+struct Series {
+  bool is_counter = false;
+  std::deque<Point> points;
+  // Last raw sample, kept even after the ring trims it, so rates stay
+  // correct across wraparound.
+  std::uint64_t last_t_ns = 0;
+  double last_v = 0.0;
+  bool has_last = false;
+};
+
+/// Heap-allocated and never destroyed (same discipline as the registry:
+/// exports may race static destruction).
+struct SamplerState {
+  mutable std::mutex mutex;
+  std::uint64_t period_ms = 0;  ///< 0 = unconfigured, resolve at start
+  std::size_t capacity = Sampler::kDefaultCapacity;
+  std::map<std::string, Series> series;
+  std::uint64_t ticks = 0;
+
+  std::thread worker;
+  std::condition_variable cv;
+  bool running = false;
+  bool stop_requested = false;
+};
+
+SamplerState& sstate() {
+  static SamplerState* s = new SamplerState;
+  return *s;
+}
+
+void append_sample(SamplerState& s, const std::string& name, bool is_counter,
+                   std::uint64_t t_ns, double v) {
+  Series& ser = s.series[name];
+  ser.is_counter = is_counter;
+  Point p{t_ns, v, 0.0};
+  if (is_counter && ser.has_last && t_ns > ser.last_t_ns) {
+    const double dv = v - ser.last_v;  // counters are monotonic; clamp anyway
+    const double dt_s =
+        static_cast<double>(t_ns - ser.last_t_ns) / 1e9;
+    p.rate_per_s = dv > 0.0 ? dv / dt_s : 0.0;
+  }
+  ser.last_t_ns = t_ns;
+  ser.last_v = v;
+  ser.has_last = true;
+  ser.points.push_back(p);
+  while (ser.points.size() > s.capacity) ser.points.pop_front();
+}
+
+void worker_loop() {
+  SamplerState& s = sstate();
+  std::unique_lock<std::mutex> lock(s.mutex);
+  while (!s.stop_requested) {
+    const auto period = std::chrono::milliseconds(s.period_ms);
+    s.cv.wait_for(lock, period, [&s] { return s.stop_requested; });
+    if (s.stop_requested) break;
+    lock.unlock();
+    Sampler::instance().sample_once(now_ns());
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+Sampler& Sampler::instance() {
+  static Sampler sampler;
+  return sampler;
+}
+
+std::uint64_t Sampler::default_period_ms() {
+  if (const char* env = std::getenv("SFCACD_OBS_SAMPLE_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return kDefaultPeriodMs;
+}
+
+void Sampler::configure(std::uint64_t period_ms, std::size_t capacity) {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (period_ms > 0) s.period_ms = period_ms;
+  if (capacity > 0) {
+    s.capacity = capacity;
+    for (auto& [name, ser] : s.series) {
+      while (ser.points.size() > s.capacity) ser.points.pop_front();
+    }
+  }
+}
+
+void Sampler::start() {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.running) return;
+  if (s.period_ms == 0) s.period_ms = default_period_ms();
+  s.stop_requested = false;
+  s.running = true;
+  s.worker = std::thread(worker_loop);
+}
+
+void Sampler::stop() {
+  SamplerState& s = sstate();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.running) return;
+    s.stop_requested = true;
+  }
+  s.cv.notify_all();
+  s.worker.join();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.running = false;
+}
+
+bool Sampler::running() const {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.running;
+}
+
+void Sampler::sample_once(std::uint64_t t_ns) {
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  SamplerState& s = sstate();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, v] : snap.counters) {
+      append_sample(s, name, /*is_counter=*/true, t_ns,
+                    static_cast<double>(v));
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      append_sample(s, name, /*is_counter=*/false, t_ns, v);
+    }
+    for (const HistogramValues& h : snap.histograms) {
+      append_sample(s, h.name + ".count", /*is_counter=*/true, t_ns,
+                    static_cast<double>(h.count));
+    }
+    ++s.ticks;
+  }
+  // Keep the crash report's metrics at most one period stale.
+  FlightRecorder::instance().publish_metrics_snapshot(
+      Registry::instance().json());
+}
+
+std::uint64_t Sampler::tick_count() const {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.ticks;
+}
+
+void Sampler::clear() {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.series.clear();
+  s.ticks = 0;
+}
+
+std::string Sampler::json() const {
+  SamplerState& s = sstate();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"period_ms\":" << s.period_ms << ",\"capacity\":" << s.capacity
+     << ",\"ticks\":" << s.ticks << ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, ser] : s.series) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(name) << "\":{\"kind\":\""
+       << (ser.is_counter ? "counter" : "gauge") << "\",\"points\":[";
+    bool fp = true;
+    for (const Point& p : ser.points) {
+      if (!fp) os << ',';
+      fp = false;
+      os << "{\"t_ns\":" << p.t_ns << ",\"v\":" << p.v << '}';
+    }
+    os << ']';
+    if (ser.is_counter) {
+      os << ",\"rate_per_s\":[";
+      fp = true;
+      for (const Point& p : ser.points) {
+        if (!fp) os << ',';
+        fp = false;
+        os << p.rate_per_s;
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "sfcacd_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text() {
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, v] : snap.counters) {
+    const std::string pname = prometheus_metric_name(name);
+    os << "# TYPE " << pname << " counter\n" << pname << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string pname = prometheus_metric_name(name);
+    os << "# TYPE " << pname << " gauge\n" << pname << ' ' << v << '\n';
+  }
+  for (const HistogramValues& h : snap.histograms) {
+    const std::string pname = prometheus_metric_name(h.name);
+    os << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cumulative += n;
+      os << pname << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+       << pname << "_sum " << h.sum << '\n'
+       << pname << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sfc::obs

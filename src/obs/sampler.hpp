@@ -1,0 +1,102 @@
+// sampler.hpp — time-series telemetry over the metrics registry.
+//
+// Registry::json() answers "what are the totals now?"; a regression
+// investigation needs "how did they move?". The Sampler closes that gap:
+// a background thread snapshots the Registry every period_ms and appends
+// each instrument's value to a fixed-capacity per-metric ring buffer, so
+// a long-running process retains a sliding window of its recent history
+// at a bounded, configurable memory cost. For counters (and histogram
+// counts) the sampler also derives a rate-per-second series from
+// consecutive samples — the signal that actually localizes a stall or a
+// throughput cliff in time.
+//
+// Each tick also republishes the freshly serialized registry snapshot to
+// the flight recorder (obs/flight.hpp), so a crash report's "metrics"
+// member is never more than one sampling period stale.
+//
+// Exports:
+//  - json(): the ring buffers as one document (deterministic ascending
+//    name order), embedded by the bench harness under "timeseries".
+//  - prometheus_text(): the *current* registry values in the Prometheus
+//    text exposition format (metric names prefixed "sfcacd_" and
+//    sanitized; histograms as cumulative le-labelled buckets with
+//    _sum/_count). Validated by scripts/check_prometheus.py in CI.
+//
+// The sampling period defaults to the SFCACD_OBS_SAMPLE_MS environment
+// variable (milliseconds) when set, else kDefaultPeriodMs; the bench
+// harness overrides it with --sample-ms. sample_once(t_ns) is public and
+// takes an explicit timestamp so tests drive the ring/rate logic under a
+// fake clock without a background thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfc::obs {
+
+/// Background registry sampler with bounded per-metric history.
+/// start()/stop() manage the thread; configure() must not be called
+/// while running. All exports are safe to call concurrently with the
+/// background thread.
+class Sampler {
+ public:
+  static constexpr std::uint64_t kDefaultPeriodMs = 250;
+  static constexpr std::size_t kDefaultCapacity = 240;
+
+  static Sampler& instance();
+
+  /// Sampling period in ms (0 keeps the current value) and ring capacity
+  /// in points per metric (0 keeps current). Existing history survives a
+  /// capacity change only up to the new capacity. Call before start().
+  void configure(std::uint64_t period_ms, std::size_t capacity);
+
+  /// The period configure() would default to: SFCACD_OBS_SAMPLE_MS if
+  /// set to a positive integer, else kDefaultPeriodMs.
+  static std::uint64_t default_period_ms();
+
+  /// Launch the background thread (idempotent). Ticks every period_ms
+  /// until stop().
+  void start();
+
+  /// Stop and join the background thread (idempotent). History is kept.
+  void stop();
+
+  bool running() const;
+
+  /// Take one sample at span-clock time `t_ns`: snapshot the registry,
+  /// append every instrument's value to its ring, derive counter rates
+  /// against the previous sample, republish the flight-recorder metrics
+  /// snapshot. The background thread calls this with now_ns(); tests
+  /// call it directly with a fake clock.
+  void sample_once(std::uint64_t t_ns);
+
+  /// Samples taken since process start (monotonic, never trimmed).
+  std::uint64_t tick_count() const;
+
+  /// Drop all recorded series and the tick count (configuration and the
+  /// running thread survive). Intended for tests.
+  void clear();
+
+  /// The ring buffers as one JSON document, ascending metric-name order:
+  /// {"period_ms":..,"capacity":..,"ticks":..,"series":{name:{"kind":
+  /// "counter"|"gauge","points":[{"t_ns":..,"v":..}],"rate_per_s":
+  /// [..]}}}. Counter series carry rate_per_s (one entry per point;
+  /// the first is 0); gauge series omit it. Histogram instruments
+  /// appear as "<name>.count" counter series.
+  std::string json() const;
+
+ private:
+  Sampler() = default;
+};
+
+/// The current registry contents in the Prometheus text exposition
+/// format (version 0.0.4): "# TYPE" lines, "sfcacd_"-prefixed sanitized
+/// names, histograms as cumulative buckets with le="..." labels plus
+/// +Inf, _sum and _count. Deterministic ascending name order.
+std::string prometheus_text();
+
+/// "sfcacd_" + name with every character outside [a-zA-Z0-9_] replaced
+/// by '_' (Prometheus metric-name grammar).
+std::string prometheus_metric_name(const std::string& name);
+
+}  // namespace sfc::obs

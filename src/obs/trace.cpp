@@ -120,9 +120,12 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::set_thread_name(const std::string& name) {
-  ThreadLog& log = local_log();
-  const std::lock_guard<std::mutex> lock(state().mutex);
-  log.set_name(name);
+  {
+    ThreadLog& log = local_log();
+    const std::lock_guard<std::mutex> lock(state().mutex);
+    log.set_name(name);
+  }
+  detail::flight_set_thread_name(name.c_str());
 }
 
 const char* Tracer::intern(const std::string& name) {

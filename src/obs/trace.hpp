@@ -50,6 +50,28 @@ inline bool tracing_enabled() noexcept {
          g_tracing_enabled.load(std::memory_order_relaxed);
 }
 
+/// Flight-recorder enable flag (obs/flight.hpp), checked alongside the
+/// tracing flag at every span entry. Lives here so Span can feed the
+/// recorder without trace.hpp depending on flight.hpp.
+inline std::atomic<bool> g_flight_enabled{false};
+
+inline bool flight_enabled() noexcept {
+  return kTracingCompiledIn &&
+         g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+/// Implemented in flight.cpp: the completion hooks Span calls when the
+/// flight recorder is enabled. begin pushes the per-thread open-span
+/// stack; end pops it, appends the completed span to the thread's ring,
+/// and accumulates the stage profile.
+void flight_begin_span(const char* name, std::uint64_t start_ns);
+void flight_end_span(std::uint64_t end_ns);
+/// Mirror a thread name into the flight recorder's log (crash reports
+/// label threads with it). Called by Tracer::set_thread_name.
+void flight_set_thread_name(const char* name) noexcept;
+}  // namespace detail
+
 class Tracer {
  public:
   static Tracer& instance();
@@ -92,21 +114,34 @@ class Tracer {
 
 #if !defined(SFC_OBS_DISABLE)
 
-/// RAII trace span. When tracing is disabled the constructor is one
-/// relaxed load and a branch; when enabled, one timestamp plus an append
-/// to the thread-local buffer at entry and at exit.
+/// RAII trace span. When both the tracer and the flight recorder are
+/// disabled the constructor is two relaxed loads and a branch; when
+/// either is enabled, a timestamp plus an append to the corresponding
+/// thread-local buffer at entry and at exit. The two sinks are
+/// independent: --trace runs feed the Perfetto export, the always-on
+/// flight recorder feeds the bounded crash-forensics ring and the
+/// stage profile.
 class Span {
  public:
   explicit Span(const char* name) noexcept {
-    if (tracing_enabled()) {
+    const bool traced = tracing_enabled();
+    const bool flight = flight_enabled();
+    if (traced || flight) {
       name_ = name;
-      Tracer::instance().record_begin(name);
+      traced_ = traced;
+      flight_ = flight;
+      if (traced) Tracer::instance().record_begin(name);
+      if (flight) detail::flight_begin_span(name, now_ns());
     }
   }
   ~Span() {
-    // An enabled-at-entry span closes even if tracing was disabled
-    // mid-scope, so exported B/E events always balance.
-    if (name_ != nullptr) Tracer::instance().record_end(name_);
+    // A sink that was enabled at entry is closed even if it was disabled
+    // mid-scope, so B/E events always balance and the flight stack
+    // always pops what it pushed.
+    if (name_ != nullptr) {
+      if (traced_) Tracer::instance().record_end(name_);
+      if (flight_) detail::flight_end_span(now_ns());
+    }
   }
 
   Span(const Span&) = delete;
@@ -114,6 +149,8 @@ class Span {
 
  private:
   const char* name_ = nullptr;
+  bool traced_ = false;
+  bool flight_ = false;
 };
 
 #else  // SFC_OBS_DISABLE: spans compile to nothing.

@@ -75,17 +75,6 @@ class Topology {
   /// entry budget and kStreamed beyond.
   virtual FoldStrategy fold_strategy() const noexcept;
 
-  /// Flat p×p hop matrix, built on first call and cached (thread-safe).
-  /// Deprecated as a public contract: consumers should hand their
-  /// histograms to fold() and let the topology pick a kernel that does
-  /// not materialize p×p state. Kept compiling for one more release.
-  [[deprecated(
-      "fold rank-pair histograms with Topology::fold(); the dense hop "
-      "table is an internal strategy now")]]
-  const DistanceTable& table() const {
-    return dense_table();
-  }
-
   /// The internal dense-strategy table (and the escape hatch for tests
   /// that assert table semantics). Callers must check
   /// distance_table_fits(size()) first — construction beyond the entry

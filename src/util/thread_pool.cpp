@@ -8,10 +8,12 @@
 namespace sfc::util {
 namespace {
 
-/// Obs instrumentation is active when either subsystem is runtime-enabled
-/// (tracing wants task spans, metrics wants the latency histograms).
+/// Obs instrumentation is active when any subsystem is runtime-enabled
+/// (tracing wants task spans, metrics wants the latency histograms, the
+/// flight recorder wants both feeding its rings).
 bool obs_active() noexcept {
-  return obs::tracing_enabled() || obs::metrics_enabled();
+  return obs::tracing_enabled() || obs::metrics_enabled() ||
+         obs::flight_enabled();
 }
 
 obs::Histogram& queue_wait_histogram() {

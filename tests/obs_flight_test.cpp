@@ -1,0 +1,249 @@
+// Flight recorder tests: deterministic ring/stage behavior via the
+// explicit-timestamp hooks, and the crash path end-to-end — a forked
+// child takes a real SIGSEGV and the parent validates the report it
+// left behind (balanced B/E spans, schema marker, build provenance).
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sfc::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Extract the integer value of `"key":` inside the object that starts
+/// at the first occurrence of `"name":{`.
+std::uint64_t stage_field(const std::string& json, const std::string& name,
+                          const std::string& key) {
+  const auto start = json.find('"' + name + "\":{");
+  EXPECT_NE(start, std::string::npos) << name << " missing in " << json;
+  if (start == std::string::npos) return 0;
+  const auto kpos = json.find('"' + key + "\":", start);
+  EXPECT_NE(kpos, std::string::npos) << key << " missing in " << json;
+  if (kpos == std::string::npos) return 0;
+  return std::stoull(json.substr(kpos + key.size() + 3));
+}
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().set_enabled(false);
+    FlightRecorder::instance().clear();
+  }
+  void TearDown() override {
+    FlightRecorder::instance().set_enabled(false);
+    FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(FlightTest, DisabledSpansRecordNothing) {
+  const std::uint64_t before = FlightRecorder::instance().recorded();
+  {
+    const Span span("flight/disabled");
+  }
+  EXPECT_EQ(FlightRecorder::instance().recorded(), before);
+}
+
+TEST_F(FlightTest, EnabledSpansFeedTheRing) {
+  FlightRecorder::instance().set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    const Span span("flight/enabled");
+  }
+  FlightRecorder::instance().set_enabled(false);
+  EXPECT_EQ(FlightRecorder::instance().recorded(), 5u);
+  const std::string rings = FlightRecorder::instance().rings_json();
+  EXPECT_EQ(count_occurrences(rings, "\"name\":\"flight/enabled\""), 5u)
+      << rings;
+}
+
+TEST_F(FlightTest, RingWrapsToNewestCapacitySpans) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  // Drive the hooks directly with a fake clock: 5 "old" spans, then
+  // capacity + 2 "new" ones. Only the newest kRingCapacity survive.
+  std::uint64_t t = 1000;
+  for (int i = 0; i < 5; ++i) {
+    rec.begin_span("flight/old", t);
+    rec.end_span(t + 10);
+    t += 100;
+  }
+  for (std::size_t i = 0; i < FlightRecorder::kRingCapacity + 2; ++i) {
+    rec.begin_span("flight/new", t);
+    rec.end_span(t + 10);
+    t += 100;
+  }
+  EXPECT_EQ(rec.recorded(), 5 + FlightRecorder::kRingCapacity + 2);
+  const std::string rings = rec.rings_json();
+  EXPECT_EQ(count_occurrences(rings, "\"name\":\"flight/new\""),
+            FlightRecorder::kRingCapacity)
+      << rings;
+  EXPECT_EQ(count_occurrences(rings, "\"name\":\"flight/old\""), 0u)
+      << rings;
+}
+
+TEST_F(FlightTest, StageProfileSplitsSelfFromChildTime) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  // outer: [100, 400) = 300 ns total; inner: [200, 250) = 50 ns. Self
+  // time of outer must be exactly 250 (child time excluded).
+  rec.begin_span("flight/outer", 100);
+  rec.begin_span("flight/inner", 200);
+  rec.end_span(250);
+  rec.end_span(400);
+
+  const std::string profile = rec.stage_profile_json();
+  EXPECT_EQ(stage_field(profile, "flight/outer", "count"), 1u);
+  EXPECT_EQ(stage_field(profile, "flight/outer", "total_ns"), 300u);
+  EXPECT_EQ(stage_field(profile, "flight/outer", "self_ns"), 250u);
+  EXPECT_EQ(stage_field(profile, "flight/inner", "total_ns"), 50u);
+  EXPECT_EQ(stage_field(profile, "flight/inner", "self_ns"), 50u);
+}
+
+TEST_F(FlightTest, StageProfileAccumulatesRepeatsBeyondTheRing) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  // Twice the ring capacity: the ring forgets, the profile must not.
+  const std::size_t n = 2 * FlightRecorder::kRingCapacity;
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.begin_span("flight/repeat", t);
+    rec.end_span(t + 7);
+    t += 10;
+  }
+  const std::string profile = rec.stage_profile_json();
+  EXPECT_EQ(stage_field(profile, "flight/repeat", "count"), n);
+  EXPECT_EQ(stage_field(profile, "flight/repeat", "total_ns"), 7 * n);
+}
+
+// ------------------------------------------------------------- crash path
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void expect_valid_report(const std::string& report, int sig,
+                         const char* sig_name) {
+  EXPECT_NE(report.find("\"schema\":\"sfcacd-crash-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"signal\":" + std::to_string(sig)),
+            std::string::npos);
+  EXPECT_NE(report.find(std::string("\"signal_name\":\"") + sig_name),
+            std::string::npos);
+  EXPECT_NE(report.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(report.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(report.find("\"flight\":{"), std::string::npos);
+  // Balanced spans: every begin has its end.
+  const std::size_t begins = count_occurrences(report, "\"ph\":\"B\"");
+  const std::size_t ends = count_occurrences(report, "\"ph\":\"E\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+/// Fork, run `child` (which must terminate the process), and return the
+/// child's wait status.
+template <typename Fn>
+int run_in_child(Fn&& child) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    child();
+    _exit(97);  // the child body was expected to terminate the process
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+TEST_F(FlightTest, ForkedChildSigsegvLeavesValidCrashReport) {
+  const std::string path = "obs_flight_segv_report.json";
+  std::remove(path.c_str());
+
+  const int status = run_in_child([&path] {
+    FlightRecorder::instance().install_crash_handler(path);
+    {
+      const Span outer("crash/outer");
+      const Span inner("crash/inner");
+    }
+    const Span open_at_crash("crash/open");
+    ::raise(SIGSEGV);
+  });
+
+  // The handler wrote the report, then re-raised with the default
+  // disposition: the child must have died of SIGSEGV, not exited.
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  const std::string report = slurp(path);
+  ASSERT_FALSE(report.empty()) << "no crash report at " << path;
+  expect_valid_report(report, SIGSEGV, "SIGSEGV");
+  // The completed spans are in the ring; the still-open one is not (the
+  // ring holds completed spans only — openness never unbalances it).
+  EXPECT_NE(report.find("crash/outer"), std::string::npos);
+  EXPECT_NE(report.find("crash/inner"), std::string::npos);
+  EXPECT_EQ(report.find("crash/open"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightTest, SigtermDumpEmbedsThePublishedMetricsSnapshot) {
+  const std::string path = "obs_flight_term_report.json";
+  std::remove(path.c_str());
+
+  const int status = run_in_child([&path] {
+    FlightRecorder::instance().install_crash_handler(path);
+    Registry::instance().counter("crash.term.counter").add(123);
+    FlightRecorder::instance().publish_metrics_snapshot(
+        Registry::instance().json());
+    {
+      const Span span("crash/term");
+    }
+    ::raise(SIGTERM);
+  });
+
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+  const std::string report = slurp(path);
+  ASSERT_FALSE(report.empty());
+  expect_valid_report(report, SIGTERM, "SIGTERM");
+  EXPECT_NE(report.find("\"crash.term.counter\":123"), std::string::npos)
+      << report;
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightTest, WriteCrashReportIsCallableWithoutASignal) {
+  // SIGTERM-style graceful paths (and this test) can dump directly.
+  const std::string path = "obs_flight_direct_report.json";
+  std::remove(path.c_str());
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.install_crash_handler(path);
+  rec.begin_span("flight/direct", 10);
+  rec.end_span(20);
+  ASSERT_TRUE(rec.write_crash_report(SIGTERM));
+  EXPECT_EQ(rec.crash_report_path(), path);
+  const std::string report = slurp(path);
+  expect_valid_report(report, SIGTERM, "SIGTERM");
+  EXPECT_NE(report.find("flight/direct"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sfc::obs

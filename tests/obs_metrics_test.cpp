@@ -125,6 +125,75 @@ TEST_F(MetricsRegistryTest, HistogramBucketBoundsAreInclusivePowersOfTwo) {
   EXPECT_EQ(hist.bucket(Histogram::kBucketCount - 1), 1u);
 }
 
+TEST_F(MetricsRegistryTest, JsonKeyOrderIsAscendingLexicographic) {
+  // Key order is a documented contract: ascending lexicographic
+  // regardless of registration order, so snapshots from different
+  // processes are byte-comparable.
+  Registry::instance().reset_for_testing();
+  Registry::instance().counter("test.order.zebra").add(1);
+  Registry::instance().counter("test.order.apple").add(2);
+  Registry::instance().counter("test.order.mango").add(3);
+  const std::string json = Registry::instance().json();
+  const auto apple = json.find("test.order.apple");
+  const auto mango = json.find("test.order.mango");
+  const auto zebra = json.find("test.order.zebra");
+  ASSERT_NE(apple, std::string::npos);
+  ASSERT_NE(mango, std::string::npos);
+  ASSERT_NE(zebra, std::string::npos);
+  EXPECT_LT(apple, mango);
+  EXPECT_LT(mango, zebra);
+}
+
+TEST_F(MetricsRegistryTest, SnapshotEnumeratesSortedWithExactValues) {
+  Registry::instance().reset_for_testing();
+  Registry::instance().counter("test.snap.b").add(7);
+  Registry::instance().counter("test.snap.a").add(4);
+  Registry::instance().gauge("test.snap.g").set(1.25);
+  Histogram& hist = Registry::instance().histogram("test.snap.h");
+  hist.record(3);
+  hist.record(1000);
+
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "test.snap.a");
+  EXPECT_EQ(snap.counters[0].second, 4u);
+  EXPECT_EQ(snap.counters[1].first, "test.snap.b");
+  EXPECT_EQ(snap.counters[1].second, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 1.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramValues& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 1003u);
+  EXPECT_EQ(h.min, 3u);
+  EXPECT_EQ(h.max, 1000u);
+  ASSERT_EQ(h.buckets.size(), 2u);  // non-empty buckets only
+  EXPECT_EQ(h.buckets[0].first, Histogram::bucket_le(Histogram::bucket_of(3)));
+  EXPECT_EQ(h.buckets[0].second, 1u);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [le, n] : h.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST_F(MetricsRegistryTest, ResetForTestingBlanksExportsButKeepsHandles) {
+  Counter& counter = Registry::instance().counter("test.rft.counter");
+  counter.add(9);
+  Registry::instance().reset_for_testing();
+  // Exports are empty...
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  // ...but the retired handle stays valid and updatable (hot paths cache
+  // references; parking must not invalidate them).
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 10u);
+  // Re-registering the same name yields a fresh instrument.
+  Counter& fresh = Registry::instance().counter("test.rft.counter");
+  EXPECT_NE(&fresh, &counter);
+  EXPECT_EQ(fresh.value(), 0u);
+}
+
 TEST(HistogramBuckets, EveryPowerOfTwoBoundaryExhaustively) {
   // For every non-saturated bucket b >= 1, the three values around its
   // power-of-two boundary must split exactly: 2^(b-1) (the bucket's

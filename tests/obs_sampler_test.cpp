@@ -1,0 +1,206 @@
+// Time-series sampler tests under a fake clock: ring-buffer wraparound,
+// counter-rate derivation across trimmed history, JSON structure, and a
+// round-trip of the Prometheus text exposition through a minimal parser.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sfc::obs {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+/// Blank registry + sampler per test: these suites assert exact series
+/// contents, which only works from a known-empty starting state.
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(Sampler::instance().running());
+    Registry::instance().reset_for_testing();
+    Sampler::instance().clear();
+  }
+  void TearDown() override {
+    Sampler::instance().clear();
+    Registry::instance().reset_for_testing();
+  }
+};
+
+TEST_F(SamplerTest, RingBufferWrapsToCapacity) {
+  Sampler::instance().configure(100, 4);
+  Counter& c = Registry::instance().counter("test.sampler.wrap");
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    c.add(1);
+    Sampler::instance().sample_once(i * kSecond);
+  }
+  EXPECT_EQ(Sampler::instance().tick_count(), 10u);
+
+  const std::string json = Sampler::instance().json();
+  // Capacity 4: only the newest four points survive — t = 7..10 s.
+  EXPECT_EQ(json.find("\"t_ns\":" + std::to_string(6 * kSecond)),
+            std::string::npos)
+      << json;
+  for (std::uint64_t t = 7; t <= 10; ++t) {
+    EXPECT_NE(json.find("\"t_ns\":" + std::to_string(t * kSecond)),
+              std::string::npos)
+        << "missing t=" << t << "s in " << json;
+  }
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ticks\":10"), std::string::npos) << json;
+}
+
+TEST_F(SamplerTest, CounterRateDerivation) {
+  Sampler::instance().configure(100, 16);
+  Counter& c = Registry::instance().counter("test.sampler.rate");
+
+  c.add(100);
+  Sampler::instance().sample_once(1 * kSecond);  // first point: rate 0
+  c.add(300);
+  Sampler::instance().sample_once(2 * kSecond);  // +300 over 1s -> 300/s
+  c.add(100);
+  Sampler::instance().sample_once(4 * kSecond);  // +100 over 2s -> 50/s
+
+  const std::string json = Sampler::instance().json();
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rate_per_s\":[0,300,50]"), std::string::npos)
+      << json;
+}
+
+TEST_F(SamplerTest, RateSurvivesRingTrim) {
+  // The rate base is the last raw sample, not the oldest retained point:
+  // trimming history must not corrupt the next derivative.
+  Sampler::instance().configure(100, 2);
+  Counter& c = Registry::instance().counter("test.sampler.trim");
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    c.add(10);
+    Sampler::instance().sample_once(i * kSecond);
+  }
+  // Every step after the first is +10 over 1s; with capacity 2 the two
+  // retained rates are both 10/s.
+  const std::string json = Sampler::instance().json();
+  EXPECT_NE(json.find("\"rate_per_s\":[10,10]"), std::string::npos) << json;
+}
+
+TEST_F(SamplerTest, GaugesCarryNoRateAndHistogramsSampleCounts) {
+  Sampler::instance().configure(100, 8);
+  Registry::instance().gauge("test.sampler.gauge").set(2.5);
+  Histogram& h = Registry::instance().histogram("test.sampler.hist");
+  h.record(5);
+  h.record(6);
+  Sampler::instance().sample_once(kSecond);
+
+  const std::string json = Sampler::instance().json();
+  EXPECT_NE(json.find("\"test.sampler.gauge\":{\"kind\":\"gauge\""),
+            std::string::npos)
+      << json;
+  // Histograms appear as a derived ".count" counter series.
+  EXPECT_NE(
+      json.find("\"test.sampler.hist.count\":{\"kind\":\"counter\""),
+      std::string::npos)
+      << json;
+  // The gauge series object must not contain a rate array. Check within
+  // the gauge's object slice (up to its closing brace).
+  const auto gpos = json.find("\"test.sampler.gauge\"");
+  const auto gend = json.find('}', json.find("]", gpos));
+  EXPECT_EQ(json.substr(gpos, gend - gpos).find("rate_per_s"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(SamplerTest, StartStopBackgroundThread) {
+  Sampler::instance().configure(5, 8);
+  Registry::instance().counter("test.sampler.bg").add(1);
+  Sampler::instance().start();
+  EXPECT_TRUE(Sampler::instance().running());
+  // Don't assert a tick happened (timing): only that stop() joins
+  // cleanly and the sampler is reusable afterwards.
+  Sampler::instance().stop();
+  EXPECT_FALSE(Sampler::instance().running());
+  Sampler::instance().sample_once(kSecond);
+  EXPECT_GE(Sampler::instance().tick_count(), 1u);
+}
+
+// ---------------------------------------------------------------- prometheus
+
+/// Minimal parser for the subset of the text exposition format the
+/// exporter emits: TYPE declarations and name[{le="..."}] value samples.
+struct PromDoc {
+  std::map<std::string, std::string> types;
+  std::vector<std::pair<std::string, double>> samples;  // full name w/ labels
+};
+
+void parse_prometheus(const std::string& text, PromDoc* doc) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      doc->types[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    doc->samples.emplace_back(line.substr(0, space),
+                              std::stod(line.substr(space + 1)));
+  }
+}
+
+double sample_value(const PromDoc& doc, const std::string& key) {
+  for (const auto& [name, v] : doc.samples) {
+    if (name == key) return v;
+  }
+  ADD_FAILURE() << "sample not found: " << key;
+  return -1.0;
+}
+
+TEST_F(SamplerTest, PrometheusRoundTrip) {
+  Registry::instance().counter("test.prom/counter").add(42);
+  Registry::instance().gauge("test.prom.gauge").set(1.5);
+  Histogram& h = Registry::instance().histogram("test.prom.hist");
+  h.record(3);    // bucket le=3
+  h.record(3);
+  h.record(100);  // bucket le=127
+
+  const std::string text = prometheus_text();
+  SCOPED_TRACE(text);
+  PromDoc doc;
+  ASSERT_NO_FATAL_FAILURE(parse_prometheus(text, &doc));
+
+  // Name sanitization: '/' and '.' become '_', prefix added.
+  EXPECT_EQ(doc.types.at("sfcacd_test_prom_counter"), "counter");
+  EXPECT_EQ(doc.types.at("sfcacd_test_prom_gauge"), "gauge");
+  EXPECT_EQ(doc.types.at("sfcacd_test_prom_hist"), "histogram");
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_counter"), 42.0);
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_gauge"), 1.5);
+  // Histogram: cumulative buckets, +Inf == _count, exact _sum.
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_hist_bucket{le=\"3\"}"),
+            2.0);
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_hist_bucket{le=\"127\"}"),
+            3.0);
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_hist_bucket{le=\"+Inf\"}"),
+            3.0);
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_hist_sum"), 106.0);
+  EXPECT_EQ(sample_value(doc, "sfcacd_test_prom_hist_count"), 3.0);
+}
+
+TEST(PrometheusName, SanitizesEveryIllegalCharacter) {
+  EXPECT_EQ(prometheus_metric_name("pool.queue_wait_ns"),
+            "sfcacd_pool_queue_wait_ns");
+  EXPECT_EQ(prometheus_metric_name("a-b/c d:e"), "sfcacd_a_b_c_d_e");
+  EXPECT_EQ(prometheus_metric_name("Already_OK_123"),
+            "sfcacd_Already_OK_123");
+}
+
+}  // namespace
+}  // namespace sfc::obs

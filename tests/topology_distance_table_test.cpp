@@ -47,21 +47,6 @@ void expect_table_matches(const topo::Topology& net) {
   EXPECT_EQ(&net.dense_table(), &t);
 }
 
-// The deprecated table() accessor must keep compiling (and aliasing the
-// dense-strategy table) for one more release.
-TEST(DistanceTable, DeprecatedTableShimAliasesDenseTable) {
-  const topo::RingTopology ring(8);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const topo::DistanceTable& shim = ring.table();
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_EQ(&shim, &ring.dense_table());
-}
-
 TEST(DistanceTable, BusAndRingAllSizes) {
   for (const topo::Rank p : {1u, 2u, 3u, 7u, 16u, 33u}) {
     expect_table_matches(topo::BusTopology(p));
