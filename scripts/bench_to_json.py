@@ -302,6 +302,25 @@ def run_fig7_scaling(build_dir, smoke):
     }
 
 
+def run_ext_dynamics(build_dir, smoke):
+    """Incremental-vs-recompute dynamics timing. ext_dynamics drives the
+    DynamicAcd engine along a drift trajectory (5% of particles per
+    step), asserting each step's incremental totals are bit-identical to
+    a full recompute, and attaches the median per-step speedup. Smoke
+    runs the reduced preset (20k particles, p=256, dense accumulators);
+    the full run uses the sparse-regime preset (250k, p=4096) where the
+    delta path's netting matters most."""
+    binary = os.path.join(build_dir, "bench", "ext_dynamics")
+    if not os.path.exists(binary):
+        return None
+    args = ["--steps=4"] + ([] if smoke else ["--full"])
+    doc = run_sweep_harness(binary, args)
+    dyn = doc.get("dynamics")
+    if not dyn:
+        sys.exit("error: ext_dynamics: no 'dynamics' attachment in document")
+    return {"args": args, "elapsed_seconds": doc["elapsed_seconds"], **dyn}
+
+
 def check_gates(result, previous, smoke):
     """Regression gates against hard floors and the committed baseline.
 
@@ -363,6 +382,18 @@ def check_gates(result, previous, smoke):
     if rss is not None and rss >= 1 << 30:
         failures.append(f"fig7_scaling: peak RSS {rss / 2**20:.0f} MiB "
                         f">= 1 GiB cap at p = 2^20")
+
+    # The incremental dynamics engine must earn its keep: with 5% of the
+    # particles moving per step, a DynamicAcd timestep (move + fold) must
+    # be >= 5x faster than recomputing NFI+FFI from scratch (2x smoke —
+    # the reduced preset's recompute is small enough that fixed per-step
+    # costs eat into the ratio). Equality of the totals is asserted
+    # inside the bench itself; this gate is purely about the speedup.
+    dyn_floor = 2.0 if smoke else 5.0
+    dyn_speedup = result.get("dynamics", {}).get("speedup_p50")
+    if dyn_speedup is not None and dyn_speedup < dyn_floor:
+        failures.append(f"dynamics: incremental timestep {dyn_speedup:.2f}x "
+                        f"vs full recompute < {dyn_floor}x floor")
 
     cur_isa = result.get("build", {}).get("simd", "scalar")
     if cur_isa != "scalar":
@@ -569,6 +600,10 @@ def main():
     if fig7:
         result["fig7_scaling"] = fig7
 
+    dynamics = run_ext_dynamics(opts.build_dir, opts.smoke)
+    if dynamics:
+        result["dynamics"] = dynamics
+
     micro_obs = os.path.join(opts.build_dir, "bench", "micro_obs")
     obs = {}
     if os.path.exists(micro_obs):
@@ -675,6 +710,11 @@ def main():
         f7 = result["fig7_scaling"]
         print(f"  fig7 @ 2^20 ranks: {f7['elapsed_seconds']:.1f}s, peak RSS "
               f"{f7['peak_rss_bytes'] / 2**20:.0f} MiB (< 1024)")
+    if "dynamics" in result:
+        dyn = result["dynamics"]
+        print(f"  dynamics: incremental timestep {dyn['speedup_p50']:.2f}x "
+              f"vs full recompute at move fraction "
+              f"{dyn['move_fraction']:.2f} ({dyn['steps']} steps)")
     for curve, o in sorted(result.get("ordering", {}).items()):
         if o.get("speedup"):
             simd = (f", simd {o['simd_speedup']:.2f}x"

@@ -3,7 +3,6 @@
 #include "util/radix_sort.hpp"
 
 namespace sfc::core {
-namespace {
 
 /// Sort particles by their position on the given curve. The keys come
 /// from the batched encode; the argsort is a stable LSD radix sort, so
@@ -12,8 +11,8 @@ namespace {
 /// (and every golden number downstream) identical across standard-library
 /// implementations and across the sort swap itself.
 template <int D>
-std::vector<Point<D>> sorted_by_curve(std::vector<Point<D>> particles,
-                                      unsigned level, const Curve<D>& curve) {
+std::vector<Point<D>> sort_by_curve(std::vector<Point<D>> particles,
+                                    unsigned level, const Curve<D>& curve) {
   const std::vector<std::uint64_t> keys = indices_of(curve, particles, level);
   std::vector<util::KeyIndex> items(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -26,14 +25,17 @@ std::vector<Point<D>> sorted_by_curve(std::vector<Point<D>> particles,
   return sorted;
 }
 
-}  // namespace
+template std::vector<Point<2>> sort_by_curve<2>(std::vector<Point<2>>,
+                                                unsigned, const Curve<2>&);
+template std::vector<Point<3>> sort_by_curve<3>(std::vector<Point<3>>,
+                                                unsigned, const Curve<3>&);
 
 template <int D>
 AcdInstance<D>::AcdInstance(std::vector<Point<D>> particles, unsigned level,
                             const Curve<D>& particle_curve)
     : level_(level),
-      particles_(sorted_by_curve<D>(std::move(particles), level,
-                                    particle_curve)),
+      particles_(sort_by_curve<D>(std::move(particles), level,
+                                  particle_curve)),
       grid_(particles_, level),
       tree_(particles_, level) {}
 

@@ -108,6 +108,15 @@ class AcdInstance {
   fmm::CellTree<D> tree_;
 };
 
+/// Sort particles by their position on the given curve (batched encode +
+/// stable radix argsort). This is the exact order AcdInstance's sorting
+/// constructor produces; the incremental dynamics engine calls it when a
+/// re-partition triggers, so a rebuilt state matches a freshly ordered
+/// instance bit-for-bit.
+template <int D>
+std::vector<Point<D>> sort_by_curve(std::vector<Point<D>> particles,
+                                    unsigned level, const Curve<D>& curve);
+
 /// One-shot evaluation of a scenario: sample, order, distribute, count.
 template <int D>
 AcdResult compute_acd(const Scenario<D>& scenario,
@@ -115,6 +124,12 @@ AcdResult compute_acd(const Scenario<D>& scenario,
 
 extern template class AcdInstance<2>;
 extern template class AcdInstance<3>;
+extern template std::vector<Point<2>> sort_by_curve<2>(std::vector<Point<2>>,
+                                                       unsigned,
+                                                       const Curve<2>&);
+extern template std::vector<Point<3>> sort_by_curve<3>(std::vector<Point<3>>,
+                                                       unsigned,
+                                                       const Curve<3>&);
 extern template AcdResult compute_acd<2>(const Scenario<2>&,
                                          util::ThreadPool*);
 extern template AcdResult compute_acd<3>(const Scenario<3>&,

@@ -56,6 +56,13 @@ void RankPairAccumulator::compact() const {
   }
   for (; i < sorted_.size(); ++i) push(sorted_[i].first, sorted_[i].second);
   for (; j < staging_.size(); ++j) push(staging_[j].first, staging_[j].second);
+  // Drop fully retracted pairs: sub() stages modular negatives, and a
+  // pair whose adds and subs cancel must not survive as a zero entry —
+  // for_each/view promise nonzero counts, and the dynamic path would
+  // otherwise grow the sorted list with every touched-then-restored pair.
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& e) { return e.second == 0; }),
+               merged.end());
   sorted_.swap(merged);
   staging_.clear();
 }

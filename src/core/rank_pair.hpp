@@ -72,6 +72,24 @@ class RankPairAccumulator {
     }
   }
 
+  /// Remove `count` previously recorded communications from rank `src` to
+  /// rank `dst` — the retraction half of the incremental (delta) update
+  /// path. Counts are unsigned, so sparse mode stages the two's-complement
+  /// 0 - count and lets the modular sums of compact() net it out; every
+  /// fold kernel is linear in the counts, so as long as the *multiset*
+  /// never goes negative overall (each sub matches an earlier add), the
+  /// folded totals stay exact. A per-pair count that a stale subtraction
+  /// drives "negative" wraps to a huge value, which the differential
+  /// dynamics suite detects immediately.
+  void sub(topo::Rank src, topo::Rank dst, std::uint64_t count = 1) {
+    if (count == 0) return;
+    if (is_dense_) {
+      dense_[static_cast<std::size_t>(src) * p_ + dst] -= count;
+    } else {
+      add_sparse(src, dst, std::uint64_t{0} - count);
+    }
+  }
+
   /// Dense-mode count row for a fixed source rank (nullptr in sparse
   /// mode) — lets kernels hoist the row base out of their inner loops.
   std::uint64_t* row(topo::Rank src) noexcept {
@@ -155,6 +173,90 @@ class RankPairAccumulator {
   std::vector<std::uint64_t> dense_;  // p² counts (dense mode only)
   mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> staging_;
   mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_;
+};
+
+/// Scratch aggregation of (src, dst) → modular count deltas for the
+/// incremental (delta) consumers.
+///
+/// A delta walk touches the same few rank pairs thousands of times per
+/// timestep. In dense mode that is harmless (each event is one array
+/// update), but in sparse mode every raw add()/sub() lands in the
+/// staging buffer and pays its share of a large compaction sort — the
+/// dominant cost of an incremental step at paper-scale p. A PairDeltas
+/// nets the step's events by pair first (open addressing, modular
+/// arithmetic, so retract/assert pairs that cancel vanish here) and
+/// flush_into() forwards only the surviving net entries. Every count is
+/// modular, so flushing preserves the multiset exactly regardless of
+/// how events were grouped.
+class PairDeltas {
+ public:
+  explicit PairDeltas(topo::Rank procs) : p_(procs) { rehash(1024); }
+
+  void add(topo::Rank src, topo::Rank dst, std::uint64_t count = 1) {
+    accum(static_cast<std::uint64_t>(src) * p_ + dst, count);
+  }
+  void sub(topo::Rank src, topo::Rank dst, std::uint64_t count = 1) {
+    accum(static_cast<std::uint64_t>(src) * p_ + dst,
+          std::uint64_t{0} - count);
+  }
+
+  /// Distinct pairs currently held (zero-net pairs included until flush).
+  std::size_t entries() const noexcept { return used_; }
+
+  /// Forward every nonzero net delta into `acc` and reset to empty (the
+  /// table keeps its capacity). add() with a modular count is exact in
+  /// both accumulator modes.
+  void flush_into(RankPairAccumulator& acc) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kEmptyKey) continue;
+      acc.add(static_cast<topo::Rank>(keys_[i] / p_),
+              static_cast<topo::Rank>(keys_[i] % p_), deltas_[i]);
+    }
+    if (used_ != 0) {
+      std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+      used_ = 0;
+    }
+  }
+
+ private:
+  /// Keys are src·p + dst < p² — never the empty sentinel.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  static std::size_t mix(std::uint64_t key) noexcept {
+    key *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing
+    return static_cast<std::size_t>(key >> 32 ^ key);
+  }
+
+  void accum(std::uint64_t key, std::uint64_t delta) {
+    std::size_t i = mix(key) & mask_;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask_;
+    if (keys_[i] == key) {
+      deltas_[i] += delta;
+      return;
+    }
+    keys_[i] = key;
+    deltas_[i] = delta;
+    // Grow at 70% load: linear probing needs slack to stay O(1).
+    if (++used_ * 10 >= keys_.size() * 7) rehash(keys_.size() * 2);
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_deltas = std::move(deltas_);
+    keys_.assign(capacity, kEmptyKey);
+    deltas_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    used_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) accum(old_keys[i], old_deltas[i]);
+    }
+  }
+
+  topo::Rank p_;
+  std::vector<std::uint64_t> keys_;    // kEmptyKey = vacant slot
+  std::vector<std::uint64_t> deltas_;  // modular net counts
+  std::size_t used_ = 0;
+  std::size_t mask_ = 0;
 };
 
 /// Per-worker shard histograms for lock-free parallel accumulation.

@@ -1,8 +1,11 @@
 #include "core/sweep.hpp"
 
 #include <atomic>
+#include <bit>
 #include <initializer_list>
+#include <optional>
 
+#include "core/dynamic_acd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/radix_sort.hpp"
@@ -26,6 +29,8 @@ std::string_view sweep_stage_name(SweepStage stage) noexcept {
       return "ffi_histogram";
     case SweepStage::kTopology:
       return "topology";
+    case SweepStage::kDelta:
+      return "delta";
     case SweepStage::kFold:
       return "fold";
   }
@@ -122,7 +127,7 @@ void publish_sweep_metrics(const SweepStats& stats) {
 constexpr const char* kStageSpanNames[kSweepStageCount] = {
     "sweep/sample",        "sweep/canonical",     "sweep/ordering",
     "sweep/instance",      "sweep/nfi_histogram", "sweep/ffi_histogram",
-    "sweep/topology",      "sweep/fold",
+    "sweep/topology",      "sweep/delta",         "sweep/fold",
 };
 
 constexpr const char* stage_span_name(SweepStage stage) noexcept {
@@ -627,6 +632,148 @@ StudyResult run_direct(const Study& s, const SweepOptions& o) {
 StudyResult run_study(const Study& study, const SweepOptions& options) {
   return options.reuse ? run_reuse(study, options)
                        : run_direct(study, options);
+}
+
+// ----------------------------------------------------------------- dynamics
+
+namespace {
+
+/// Everything run_dynamics caches per step (one kDelta artifact).
+struct DynamicsStepArtifact {
+  DynamicsStepResult result;
+};
+
+/// Scenario half of the delta-stage key: every parameter the trajectory
+/// depends on. The step loop then chains each batch's (index, target)
+/// pairs on top, so a key names one exact prefix of one exact trajectory.
+std::uint64_t dynamics_base_key(const DynamicsStudy& s) {
+  return key_of({s.particles, s.level, s.radius,
+                 static_cast<std::uint64_t>(s.norm), s.seed,
+                 static_cast<std::uint64_t>(s.curve),
+                 static_cast<std::uint64_t>(s.topology),
+                 static_cast<std::uint64_t>(s.distribution), s.procs,
+                 std::bit_cast<std::uint64_t>(s.move_fraction),
+                 std::bit_cast<std::uint64_t>(s.repartition_threshold)});
+}
+
+}  // namespace
+
+DynamicsResult run_dynamics(const DynamicsStudy& study,
+                            const DynamicsOptions& options) {
+  DynamicsResult result;
+  result.study = study;
+  result.steps.reserve(study.steps);
+
+  const auto curve = make_curve<2>(study.curve);
+  const auto net =
+      topo::make_topology<2>(study.topology, study.procs, curve.get());
+
+  dist::SampleConfig cfg;
+  cfg.count = study.particles;
+  cfg.level = study.level;
+  cfg.seed = study.seed;
+  const std::vector<Point2> sample =
+      dist::sample_particles<2>(study.distribution, cfg);
+
+  // Current positions in the *frozen* order — the order DynamicAcd's
+  // constructor produces and, with re-partitioning disabled, keeps.
+  // Maintained by plain assignment so fully cached steps never pay for
+  // an engine at all.
+  std::vector<Point2> positions =
+      sort_by_curve<2>(sample, study.level, *curve);
+
+  DynamicAcd<2>::Options frozen_opts;
+  frozen_opts.radius = study.radius;
+  frozen_opts.norm = study.norm;
+  frozen_opts.repartition_threshold = 2.0;  // never re-partition
+  DynamicAcd<2>::Options lazy_opts = frozen_opts;
+  lazy_opts.repartition_threshold = study.repartition_threshold;
+
+  std::optional<DynamicAcd<2>> frozen;
+  std::optional<DynamicAcd<2>> lazy;
+  // Batches applied so far (frozen index space), replayed if the first
+  // cache miss arrives mid-trajectory.
+  std::vector<std::vector<ParticleMove2>> history;
+
+  // Apply one frozen-order batch to both engines. The lazy engine's array
+  // order diverges once it re-partitions, so its copy of the batch is
+  // re-keyed through the pre-move positions (a move is physically
+  // position-keyed; frozen->particles() holds the pre-move state because
+  // translation happens before either engine applies the batch).
+  const auto apply_batch = [&](const std::vector<ParticleMove2>& batch) {
+    std::vector<ParticleMove2> lazy_batch;
+    lazy_batch.reserve(batch.size());
+    for (const ParticleMove2& mv : batch) {
+      const std::int32_t idx = lazy->index_at(frozen->particles()[mv.index]);
+      lazy_batch.push_back({static_cast<std::uint32_t>(idx), mv.to});
+    }
+    frozen->move_particles(batch, options.pool);
+    lazy->move_particles(lazy_batch, options.pool);
+  };
+
+  const auto materialize = [&]() {
+    if (frozen) return;
+    frozen.emplace(sample, study.level, *curve, study.procs, frozen_opts,
+                   options.pool);
+    lazy.emplace(sample, study.level, *curve, study.procs, lazy_opts,
+                 options.pool);
+    for (const auto& batch : history) apply_batch(batch);
+  };
+
+  std::uint64_t chain = dynamics_base_key(study);
+  for (unsigned s = 0; s < study.steps; ++s) {
+    const std::vector<ParticleMove2> moves = drift_moves<2>(
+        positions, study.level, study.seed, s, study.move_fraction);
+    for (const ParticleMove2& mv : moves) {
+      chain = sweep_key(chain, mv.index);
+      chain = sweep_key(chain, pack(mv.to, study.level));
+    }
+    const std::uint64_t step_key = sweep_key(chain, s);
+
+    std::shared_ptr<const DynamicsStepArtifact> art;
+    if (options.cache != nullptr) {
+      art = options.cache->find<DynamicsStepArtifact>(SweepStage::kDelta,
+                                                      step_key);
+    }
+    if (!art) {
+      const obs::Span span(stage_span_name(SweepStage::kDelta));
+      materialize();
+      apply_batch(moves);
+      auto built = std::make_shared<DynamicsStepArtifact>();
+      DynamicsStepResult& r = built->result;
+      r.moves = moves.size();
+      r.frozen_nfi = frozen->nfi(*net);
+      r.frozen_ffi = frozen->ffi(*net);
+      r.lazy_nfi = lazy->nfi(*net);
+      r.lazy_ffi = lazy->ffi(*net);
+      r.frozen_displaced = frozen->displaced_fraction();
+      r.lazy_displaced = lazy->displaced_fraction();
+      r.lazy_repartitions = lazy->repartitions();
+      // The re-sort-every-step baseline: a from-scratch AcdInstance of
+      // the post-move configuration.
+      const AcdInstance<2> inst(frozen->particles(), study.level, *curve);
+      const fmm::Partition part(study.particles, study.procs);
+      r.reorder_nfi =
+          inst.nfi(part, *net, study.radius, study.norm, options.pool);
+      r.reorder_ffi = inst.ffi(part, *net, options.pool);
+      if (options.cache != nullptr) {
+        options.cache->put<DynamicsStepArtifact>(
+            SweepStage::kDelta, step_key, built,
+            sizeof(DynamicsStepArtifact));
+      }
+      art = built;
+    }
+
+    for (const ParticleMove2& mv : moves) positions[mv.index] = mv.to;
+    history.push_back(moves);
+    result.steps.push_back(art->result);
+  }
+
+  if (options.cache != nullptr) {
+    result.sweep = options.cache->stats();
+    publish_sweep_metrics(result.sweep);
+  }
+  return result;
 }
 
 }  // namespace sfc::core

@@ -56,10 +56,11 @@ enum class SweepStage : unsigned {
   kNfiHistogram,     ///< (sample, order, p, radius, norm) -> rank-pair hist
   kFfiHistogram,     ///< (instance, p) -> FFI histograms
   kTopology,         ///< (kind, p [, processor order]) -> Topology
+  kDelta,            ///< (scenario, move-set chain) -> per-step dynamic totals
   kFold,             ///< (histogram, topology) -> CommTotals
 };
 
-inline constexpr unsigned kSweepStageCount = 8;
+inline constexpr unsigned kSweepStageCount = 9;
 
 std::string_view sweep_stage_name(SweepStage stage) noexcept;
 
@@ -313,5 +314,74 @@ struct StudyResult {
 /// size that is not a power of 4) surface as std::invalid_argument from
 /// the coordinating thread.
 StudyResult run_study(const Study& study, const SweepOptions& options = {});
+
+// ---------------------------------------------------------------- dynamics
+
+/// One dynamics trajectory: a sampled 2-D configuration evolved by
+/// `steps` drift timesteps (core::drift_moves), evaluated per step under
+/// three reordering policies — never re-order (frozen, the incremental
+/// engine), re-sort every step (the from-scratch AcdInstance baseline),
+/// and lazy re-order at `repartition_threshold` (the advisor column).
+struct DynamicsStudy {
+  std::string name = "dynamics";
+  std::size_t particles = 10000;
+  unsigned level = 7;
+  unsigned radius = 1;
+  fmm::NeighborNorm norm = fmm::NeighborNorm::kChebyshev;
+  std::uint64_t seed = 1;
+  CurveKind curve = CurveKind::kHilbert;
+  topo::TopologyKind topology = topo::TopologyKind::kTorus;
+  dist::DistKind distribution = dist::DistKind::kUniform;
+  topo::Rank procs = 64;
+  unsigned steps = 16;
+  /// Fraction of particles attempting a drift step per timestep.
+  double move_fraction = 1.0;
+  /// Lazy policy's displaced-fraction trigger (the frozen policy always
+  /// runs with re-partitioning disabled).
+  double repartition_threshold = 0.25;
+};
+
+/// Exact per-step totals under the three policies, plus the advisor
+/// signals. ACD values derive from the CommTotals (`.acd()`); integers
+/// are stored so golden tests can pin the trajectory bit-exactly.
+struct DynamicsStepResult {
+  std::size_t moves = 0;  ///< effective moves this step (no-ops excluded)
+  CommTotals frozen_nfi;
+  fmm::FfiTotals frozen_ffi;
+  CommTotals reorder_nfi;
+  fmm::FfiTotals reorder_ffi;
+  CommTotals lazy_nfi;
+  fmm::FfiTotals lazy_ffi;
+  /// Frozen engine's displaced fraction after this step (monotone-ish
+  /// drift signal the advisor thresholds against).
+  double frozen_displaced = 0.0;
+  double lazy_displaced = 0.0;
+  /// Cumulative re-sorts the lazy policy has performed through this step.
+  std::size_t lazy_repartitions = 0;
+};
+
+struct DynamicsResult {
+  DynamicsStudy study;
+  std::vector<DynamicsStepResult> steps;
+  /// Delta-stage cache accounting (zero when no cache was supplied).
+  SweepStats sweep;
+};
+
+struct DynamicsOptions {
+  util::ThreadPool* pool = nullptr;
+  /// Optional cross-run artifact store. Each step's results are cached
+  /// under SweepStage::kDelta keyed by the scenario parameters chained
+  /// with the cumulative move-set hash, so re-running the same trajectory
+  /// (or extending it by more steps) replays cached prefixes without
+  /// touching the engines. Totals are bit-identical either way.
+  ArtifactCache* cache = nullptr;
+};
+
+/// Evolve one dynamics trajectory. Deterministic in the study parameters;
+/// the incremental engines are materialized lazily — a fully cached
+/// replay never builds them. Invalid parameters (e.g. a torus size that
+/// is not a power of 4) surface as std::invalid_argument.
+DynamicsResult run_dynamics(const DynamicsStudy& study,
+                            const DynamicsOptions& options = {});
 
 }  // namespace sfc::core

@@ -20,6 +20,10 @@ std::string_view dist_name(DistKind kind) noexcept {
       return "Clusters";
     case DistKind::kPlummer:
       return "Plummer";
+    case DistKind::kBoundary:
+      return "Boundary";
+    case DistKind::kSkewed:
+      return "Skewed";
   }
   return "?";
 }
@@ -36,6 +40,10 @@ std::optional<DistKind> parse_dist(std::string_view name) noexcept {
   if (lower == "clusters" || lower == "blobs" || lower == "mixture")
     return DistKind::kClusters;
   if (lower == "plummer") return DistKind::kPlummer;
+  if (lower == "boundary" || lower == "wall" || lower == "b")
+    return DistKind::kBoundary;
+  if (lower == "skewed" || lower == "skew" || lower == "powerlaw")
+    return DistKind::kSkewed;
   return std::nullopt;
 }
 
@@ -115,6 +123,28 @@ bool draw_cell(DistKind kind, double side, util::Xoshiro256pp& rng,
       }
       break;
     }
+    case DistKind::kBoundary: {
+      // A random face of the domain, uniform along it, exponential depth
+      // into the interior — a boundary-layer input. 2·D faces; the face
+      // index picks the axis and which side of it.
+      const std::uint64_t face =
+          util::bounded_u64(rng, 2ull * static_cast<std::uint64_t>(D));
+      const int axis = static_cast<int>(face >> 1);
+      const bool high = (face & 1) != 0;
+      for (int i = 0; i < D; ++i) v[i] = util::uniform01(rng) * side;
+      const double depth =
+          util::exponential(rng, cfg.boundary_depth_frac * side);
+      v[axis] = high ? side - depth : depth;
+      break;
+    }
+    case DistKind::kSkewed:
+      // Independent power law per axis: side · u^k concentrates the mass
+      // near the low corner with density ∝ x^(1/k - 1) — much harder
+      // skew than the exponential for the default k = 3.
+      for (int i = 0; i < D; ++i) {
+        v[i] = side * std::pow(util::uniform01(rng), cfg.skew_exponent);
+      }
+      break;
   }
 
   for (int i = 0; i < D; ++i) {

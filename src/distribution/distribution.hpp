@@ -34,6 +34,11 @@ enum class DistKind {
   kClusters,  // mixture of Gaussian blobs at seeded random centers
   kPlummer,   // Plummer sphere (the classic stellar-cluster model),
               // projected onto the grid's dimensionality
+  kBoundary,  // mass pressed against the domain faces (boundary-layer
+              // style inputs from the hierarchical n-body literature):
+              // uniform along a random face, exponential depth inward
+  kSkewed,    // independent power-law per axis, piling the mass into
+              // one corner far harder than kExponential
 };
 
 /// The paper's three input distributions (Section II-C).
@@ -42,8 +47,9 @@ inline constexpr DistKind kAllDistributions[] = {
 
 /// Every implemented distribution, extensions included.
 inline constexpr DistKind kExtendedDistributions[] = {
-    DistKind::kUniform, DistKind::kNormal, DistKind::kExponential,
-    DistKind::kClusters, DistKind::kPlummer};
+    DistKind::kUniform,  DistKind::kNormal,   DistKind::kExponential,
+    DistKind::kClusters, DistKind::kPlummer,  DistKind::kBoundary,
+    DistKind::kSkewed};
 
 std::string_view dist_name(DistKind kind) noexcept;
 std::optional<DistKind> parse_dist(std::string_view name) noexcept;
@@ -57,6 +63,8 @@ struct SampleConfig {
   unsigned cluster_count = 8;          ///< blobs in the kClusters mixture
   double cluster_sigma_frac = 0.04;    ///< per-blob sigma fraction
   double plummer_radius_frac = 0.15;   ///< Plummer scale radius fraction
+  double boundary_depth_frac = 0.05;   ///< kBoundary mean depth fraction
+  double skew_exponent = 3.0;          ///< kSkewed per-axis u^k exponent
 };
 
 /// Draw `cfg.count` particles in distinct cells. Throws std::runtime_error

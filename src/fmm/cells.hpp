@@ -13,6 +13,7 @@
 
 #include "sfc/morton.hpp"
 #include "sfc/point.hpp"
+#include "util/bits.hpp"
 
 namespace sfc::fmm {
 
@@ -112,6 +113,75 @@ void for_each_interaction(const Point<D>& cell, unsigned level, Fn&& fn) {
     while (d < D && off[d] == 1) off[d++] = -1;
     if (d == D) break;
     ++off[d];
+  }
+}
+
+/// Key-level sibling of for_each_interaction: fn(child_key) over the same
+/// candidate set (enumeration order may differ), without materializing
+/// points or Morton-encoding each candidate. The parent-neighbor key is
+/// assembled from per-dimension spread components and each child key is
+/// then (neighbor_key << D) | child_mask — Morton's low D bits *are* the
+/// per-dimension low coordinate bits. The FFI delta path probes every
+/// candidate of every touched cell, so the per-candidate encode this
+/// removes is its hottest instruction stream.
+template <int D, typename Fn>
+void for_each_interaction_keys(const Point<D>& cell, unsigned level,
+                               Fn&& fn) {
+  if (level < 2) return;
+  if constexpr (D != 2 && D != 3) {
+    for_each_interaction<D>(cell, level,
+                            [&](const Point<D>& q) { fn(cell_key<D>(q)); });
+    return;
+  } else {
+    const Point<D> par = parent_cell(cell);
+    const std::int64_t side = 1ll << (level - 1);
+    // Per dimension and parent offset in {-1,0,1}: bounds, spread key
+    // component, and whether each child bit lands within Chebyshev
+    // distance 1 of `cell` along that dimension.
+    bool in[D][3] = {};
+    std::uint64_t comp[D][3] = {};
+    bool adj[D][3][2] = {};
+    for (int i = 0; i < D; ++i) {
+      for (int o = 0; o < 3; ++o) {
+        const std::int64_t v = static_cast<std::int64_t>(par[i]) + (o - 1);
+        in[i][o] = v >= 0 && v < side;
+        if (!in[i][o]) continue;
+        const auto u = static_cast<std::uint32_t>(v);
+        comp[i][o] = (D == 2 ? util::part1_by1(u) : util::part1_by2(u)) << i;
+        for (int b = 0; b < 2; ++b) {
+          const std::int64_t d = 2 * v + b - static_cast<std::int64_t>(cell[i]);
+          adj[i][o][b] = d >= -1 && d <= 1;
+        }
+      }
+    }
+    int off[D];
+    for (int i = 0; i < D; ++i) off[i] = 0;
+    for (;;) {
+      bool bounded = true;
+      std::uint64_t pnk = 0;
+      for (int i = 0; i < D; ++i) {
+        if (!in[i][off[i]]) {
+          bounded = false;
+          break;
+        }
+        pnk |= comp[i][off[i]];
+      }
+      if (bounded) {
+        for (std::uint32_t mask = 0; mask < (1u << D); ++mask) {
+          bool adjacent = true;
+          for (int i = 0; i < D; ++i) {
+            adjacent &= adj[i][off[i]][(mask >> i) & 1u];
+          }
+          // Adjacent (or identical) children are near-field, not
+          // interaction-list members — same filter as chebyshev > 1.
+          if (!adjacent) fn((pnk << D) | mask);
+        }
+      }
+      int d = 0;
+      while (d < D && off[d] == 2) off[d++] = 0;
+      if (d == D) break;
+      ++off[d];
+    }
   }
 }
 

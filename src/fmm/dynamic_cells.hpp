@@ -1,0 +1,258 @@
+// dynamic_cells.hpp — a mutable occupied-cell hierarchy for the
+// incremental dynamics path.
+//
+// CellTree (ffi.hpp) is an immutable snapshot: sorted per-level cell
+// lists whose min_particle fields implement the paper's lowest-particle
+// ownership convention. Under particle motion those lists would need a
+// re-sort per timestep, so the dynamics engine keeps this mutable mirror
+// instead, tuned for the delta walk's access pattern:
+//   * occupancy — the walk probes ~27 interaction candidates per touched
+//     cell and most are empty, so each level keeps a dense bitmap (while
+//     the key space fits kDenseBitsCap) answering occupied() in one
+//     cache-resident bit test; deeper levels fall back to the hash map;
+//   * ownership — per occupied cell a (count, cached owner, lazy min-heap
+//     of particle indices) record. The owner cache is maintained in O(1)
+//     per mutation (insert takes a min; erase of the owner marks the cell
+//     dirty) and a dirty cell re-derives its owner by popping stale heap
+//     tops on demand — erase never searches the heap;
+//   * motion — move_particle() walks the old and new ancestor chains only
+//     until they merge: above that point the cell's occupant *indices*
+//     are unchanged, so count, owner, and the index-keyed heap entries
+//     all remain valid untouched.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "fmm/cells.hpp"
+#include "sfc/point.hpp"
+
+namespace sfc::fmm {
+
+template <int D>
+class DynamicCellTree {
+ public:
+  /// Sentinel for "no particle": unoccupied cells (owner_or_none) and
+  /// dirty owner caches.
+  static constexpr std::uint32_t kNoParticle = 0xFFFFFFFFu;
+  /// A level keeps a dense occupancy bitmap while its keys need at most
+  /// this many bits (matches OccupancyGrid's dense policy; 2^26 bits is
+  /// an 8 MiB map at the deepest dense level).
+  static constexpr unsigned kDenseBitsCap = 26;
+  /// Levels at most this many key bits also mirror each cell's cached
+  /// owner in a flat array (4 bytes per cell, 16 MiB at the cap), so the
+  /// common owner query is a bit test plus one array read — no hash find.
+  static constexpr unsigned kDenseOwnerCap = 22;
+
+  /// `positions` is the particle array the tree mirrors; the tree keeps a
+  /// pointer and reads it on every ownership query, so the caller must
+  /// mutate positions and tree in step (erase with the old position while
+  /// the entry is still current is fine — erase never reads positions).
+  DynamicCellTree(const std::vector<Point<D>>& positions,
+                  unsigned finest_level)
+      : positions_(&positions), finest_(finest_level) {
+    levels_.resize(finest_ + 1);
+    bits_.resize(finest_ + 1);
+    owner_mirror_.resize(finest_ + 1);
+    for (unsigned l = 0; l <= finest_; ++l) {
+      if (D * l <= kDenseBitsCap) {
+        bits_[l].assign((std::size_t{1} << (D * l)) / 64 + 1, 0);
+      }
+      if (D * l <= kDenseOwnerCap) {
+        owner_mirror_[l].assign(std::size_t{1} << (D * l), kNoParticle);
+      }
+    }
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      insert_particle(static_cast<std::uint32_t>(i), positions[i]);
+    }
+  }
+
+  unsigned finest_level() const noexcept { return finest_; }
+
+  /// Morton key of the level-`level` ancestor of a finest-level position.
+  std::uint64_t ancestor_key(const Point<D>& finest,
+                             unsigned level) const noexcept {
+    return cell_key(finest) >> (D * (finest_ - level));
+  }
+
+  bool occupied(unsigned level, std::uint64_t key) const noexcept {
+    const std::vector<std::uint64_t>& bits = bits_[level];
+    if (!bits.empty()) {
+      return (bits[key >> 6] >> (key & 63)) & 1u;
+    }
+    const auto it = levels_[level].find(key);
+    return it != levels_[level].end() && it->second.count > 0;
+  }
+
+  /// Particle count inside the cell (0 when unoccupied).
+  std::uint32_t count(unsigned level, std::uint64_t key) const noexcept {
+    const auto it = levels_[level].find(key);
+    return it == levels_[level].end() ? 0u : it->second.count;
+  }
+
+  /// Owner particle of an occupied cell: the smallest particle index whose
+  /// level-`level` ancestor is `key` — the same lowest-particle convention
+  /// as CellTree::Cell::min_particle.
+  std::uint32_t owner_particle(unsigned level, std::uint64_t key) {
+    auto it = levels_[level].find(key);
+    assert(it != levels_[level].end() && it->second.count > 0);
+    return owner_of(it->second, level, key);
+  }
+
+  /// owner_particle and occupied in one probe: the owner, or kNoParticle
+  /// for an unoccupied cell. The delta walk's workhorse — empty probes
+  /// cost one bit test, and occupied probes on mirror-dense levels read
+  /// the flat owner mirror; only a dirty cache falls through to the map.
+  std::uint32_t owner_or_none(unsigned level, std::uint64_t key) {
+    if (!occupied(level, key)) return kNoParticle;
+    const std::vector<std::uint32_t>& mirror = owner_mirror_[level];
+    if (!mirror.empty()) {
+      const std::uint32_t cached = mirror[key];
+      if (cached != kNoParticle) return cached;
+    }
+    return owner_of(levels_[level].find(key)->second, level, key);
+  }
+
+  /// Remove particle `index`, previously inserted at `old_pos`, from every
+  /// level.
+  void erase_particle(std::uint32_t index, const Point<D>& old_pos) {
+    std::uint64_t key = cell_key(old_pos);
+    for (unsigned l = finest_ + 1; l-- > 0;) {
+      erase_at(l, key, index);
+      key >>= D;
+    }
+  }
+
+  /// Add particle `index` at `new_pos` to every level.
+  void insert_particle(std::uint32_t index, const Point<D>& new_pos) {
+    std::uint64_t key = cell_key(new_pos);
+    for (unsigned l = finest_ + 1; l-- > 0;) {
+      insert_at(l, key, index);
+      key >>= D;
+    }
+  }
+
+  /// Relocate particle `index` from `old_pos` to `new_pos`, updating only
+  /// the levels where the two ancestor chains differ. Above the merge
+  /// point the cell keeps the same occupant indices, so its whole record
+  /// is already correct. Interleaving relocations of a batch in any order
+  /// is safe: counts are multiset increments, and the owner cache rules
+  /// hold per mutation.
+  void move_particle(std::uint32_t index, const Point<D>& old_pos,
+                     const Point<D>& new_pos) {
+    std::uint64_t a = cell_key(old_pos);
+    std::uint64_t b = cell_key(new_pos);
+    for (unsigned l = finest_ + 1; l-- > 0 && a != b;) {
+      erase_at(l, a, index);
+      insert_at(l, b, index);
+      a >>= D;
+      b >>= D;
+    }
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const auto& cells : levels_) {
+      bytes += cells.size() * (sizeof(std::uint64_t) + sizeof(CellRec) +
+                               2 * sizeof(void*));
+      for (const auto& [key, rec] : cells) {
+        bytes += rec.heap.capacity() * sizeof(std::uint32_t);
+      }
+    }
+    for (const auto& bits : bits_) {
+      bytes += bits.capacity() * sizeof(std::uint64_t);
+    }
+    for (const auto& mirror : owner_mirror_) {
+      bytes += mirror.capacity() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
+ private:
+  struct CellRec {
+    std::uint32_t count = 0;
+    std::uint32_t owner = kNoParticle;  // kNoParticle = dirty, re-derive
+    std::vector<std::uint32_t> heap;    // min-heap, lazily pruned
+  };
+
+  /// Cached owner, or the lazy-deletion heap scan on a dirty cache: stale
+  /// tops (particles that have since left the cell) are popped; an entry
+  /// duplicated by a leave-and-return never outranks the live copy, and a
+  /// nonzero count guarantees a live entry remains.
+  std::uint32_t owner_of(CellRec& rec, unsigned level, std::uint64_t key) {
+    if (rec.owner != kNoParticle) return rec.owner;
+    std::vector<std::uint32_t>& heap = rec.heap;
+    for (;;) {
+      const std::uint32_t top = heap.front();
+      if (ancestor_key((*positions_)[top], level) == key) {
+        rec.owner = top;
+        mirror_owner(level, key, top);
+        return top;
+      }
+      std::pop_heap(heap.begin(), heap.end(), std::greater<std::uint32_t>{});
+      heap.pop_back();
+    }
+  }
+
+  void erase_at(unsigned level, std::uint64_t key, std::uint32_t index) {
+    auto it = levels_[level].find(key);
+    assert(it != levels_[level].end() && it->second.count > 0);
+    if (--it->second.count == 0) {
+      // No live particles left: every remaining heap entry is provably
+      // stale, so the record goes away whole.
+      levels_[level].erase(it);
+      clear_bit(level, key);
+      mirror_owner(level, key, kNoParticle);
+    } else if (it->second.owner == index) {
+      it->second.owner = kNoParticle;  // owner left: re-derive on demand
+      mirror_owner(level, key, kNoParticle);
+    }
+  }
+
+  void insert_at(unsigned level, std::uint64_t key, std::uint32_t index) {
+    CellRec& rec = levels_[level][key];
+    if (++rec.count == 1) {
+      rec.owner = index;
+      set_bit(level, key);
+      mirror_owner(level, key, index);
+    } else if (rec.owner != kNoParticle && index < rec.owner) {
+      rec.owner = index;
+      mirror_owner(level, key, index);
+    }
+    rec.heap.push_back(index);
+    std::push_heap(rec.heap.begin(), rec.heap.end(),
+                   std::greater<std::uint32_t>{});
+  }
+
+  /// Keep the flat owner array equal to CellRec::owner on mirror-dense
+  /// levels (kNoParticle doubles as "dirty" and "unoccupied"; the
+  /// occupancy bitmap disambiguates).
+  void mirror_owner(unsigned level, std::uint64_t key,
+                    std::uint32_t owner) noexcept {
+    std::vector<std::uint32_t>& mirror = owner_mirror_[level];
+    if (!mirror.empty()) mirror[key] = owner;
+  }
+
+  void set_bit(unsigned level, std::uint64_t key) noexcept {
+    std::vector<std::uint64_t>& bits = bits_[level];
+    if (!bits.empty()) bits[key >> 6] |= std::uint64_t{1} << (key & 63);
+  }
+  void clear_bit(unsigned level, std::uint64_t key) noexcept {
+    std::vector<std::uint64_t>& bits = bits_[level];
+    if (!bits.empty()) bits[key >> 6] &= ~(std::uint64_t{1} << (key & 63));
+  }
+
+  const std::vector<Point<D>>* positions_;
+  unsigned finest_;
+  std::vector<std::unordered_map<std::uint64_t, CellRec>> levels_;
+  /// Per-level dense occupancy bitmaps (empty past kDenseBitsCap).
+  std::vector<std::vector<std::uint64_t>> bits_;
+  /// Per-level flat owner mirrors (empty past kDenseOwnerCap).
+  std::vector<std::vector<std::uint32_t>> owner_mirror_;
+};
+
+}  // namespace sfc::fmm

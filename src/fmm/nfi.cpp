@@ -1,8 +1,10 @@
 #include "fmm/nfi.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/rank_pair.hpp"
+#include "fmm/nfi_window.hpp"
 #include "obs/trace.hpp"
 #include "util/simd.hpp"
 
@@ -64,91 +66,15 @@ core::CommTotals nfi_range_direct(const std::vector<Point<D>>& particles,
   return totals;
 }
 
-/// Invoke fn(j) for every occupied cell j inside the radius-r window of x
-/// (the particle's own cell excluded). When the grid is dense, the window
-/// is walked as rows: pack() keeps coordinate 0 in the low bits, so each
-/// row's x-extent is one linear scan of the cell array with no per-cell
-/// packing or odometer branches. Map-backed grids fall back to the
-/// generic odometer. Enumeration order differs from the reference path;
-/// the aggregated totals are order-independent (integer sums commute).
+/// The shared window visitor (fmm/nfi_window.hpp) takes the norm as a
+/// bool so the header need not depend on this file's enum; adapt here.
 template <int D, typename Fn>
 inline void visit_neighbors(const OccupancyGrid<D>& grid,
                             const std::int32_t* cells, const Point<D>& x,
                             std::int64_t r, NeighborNorm norm, Fn&& fn) {
-  const unsigned level = grid.level();
-  const std::int64_t side = 1ll << level;
-  if (cells != nullptr) {
-    std::int64_t off[4] = {};  // offsets of dimensions 1..D-1
-    for (int d = 1; d < D; ++d) off[d] = -r;
-    for (;;) {
-      bool in = true;
-      bool zero_outer = true;
-      std::int64_t l1_outer = 0;
-      std::uint64_t base = 0;
-      for (int d = D - 1; d >= 1; --d) {
-        const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
-        if (v < 0 || v >= side) {
-          in = false;
-          break;
-        }
-        if (off[d] != 0) zero_outer = false;
-        l1_outer += off[d] < 0 ? -off[d] : off[d];
-        base = (base << level) | static_cast<std::uint64_t>(v);
-      }
-      if (in) {
-        // Largest |x-offset| still inside the norm ball for this row.
-        const std::int64_t budget =
-            norm == NeighborNorm::kChebyshev ? r : r - l1_outer;
-        if (budget >= 0) {
-          const std::int64_t x0 = static_cast<std::int64_t>(x[0]);
-          const std::int64_t xlo = x0 - budget > 0 ? x0 - budget : 0;
-          const std::int64_t xhi =
-              x0 + budget < side - 1 ? x0 + budget : side - 1;
-          const std::int32_t* row = cells + (base << level);
-          for (std::int64_t xx = xlo; xx <= xhi; ++xx) {
-            if (zero_outer && xx == x0) continue;  // the particle itself
-            const std::int32_t j = row[xx];
-            if (j != OccupancyGrid<D>::kEmpty) {
-              fn(static_cast<std::size_t>(j));
-            }
-          }
-        }
-      }
-      int d = 1;
-      while (d < D && off[d] == r) off[d++] = -r;
-      if (d == D) break;
-      ++off[d];
-    }
-    return;
-  }
-  // Map-backed grid: generic per-cell odometer.
-  Point<D> q{};
-  std::int64_t off[4] = {};
-  for (int d = 0; d < D; ++d) off[d] = -r;
-  for (;;) {
-    bool zero = true;
-    bool in = true;
-    std::int64_t l1 = 0;
-    for (int d = 0; d < D; ++d) {
-      if (off[d] != 0) zero = false;
-      l1 += off[d] < 0 ? -off[d] : off[d];
-      const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
-      if (v < 0 || v >= side) {
-        in = false;
-        break;
-      }
-      q[d] = static_cast<std::uint32_t>(v);
-    }
-    const bool within = norm == NeighborNorm::kChebyshev || l1 <= r;
-    if (!zero && in && within) {
-      const std::int32_t j = grid.particle_at(q);
-      if (j != OccupancyGrid<D>::kEmpty) fn(static_cast<std::size_t>(j));
-    }
-    int d = 0;
-    while (d < D && off[d] == r) off[d++] = -r;
-    if (d == D) break;
-    ++off[d];
-  }
+  visit_window_neighbors<D>(grid, cells, x, r,
+                            norm == NeighborNorm::kChebyshev,
+                            std::forward<Fn>(fn));
 }
 
 /// 2-D dense-grid kernel exploiting pair symmetry: every unordered

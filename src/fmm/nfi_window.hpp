@@ -1,0 +1,107 @@
+// nfi_window.hpp — the near-field window visitor shared by the static
+// and incremental NFI paths.
+//
+// Extracted from nfi.cpp so the dynamics engine (core/dynamic_acd.hpp)
+// can enumerate exactly the same occupied-neighbor sets when it retracts
+// and re-asserts a moved particle's pair events: the incremental == full
+// recompute guarantee rests on both paths walking one shared enumeration,
+// not two implementations that merely agree today.
+#pragma once
+
+#include <cstdint>
+
+#include "fmm/occupancy.hpp"
+#include "sfc/point.hpp"
+
+namespace sfc::fmm {
+
+/// Invoke fn(j) for every occupied cell j inside the radius-r window of x
+/// (the particle's own cell excluded). When the grid is dense, the window
+/// is walked as rows: pack() keeps coordinate 0 in the low bits, so each
+/// row's x-extent is one linear scan of the cell array with no per-cell
+/// packing or odometer branches. Map-backed grids fall back to the
+/// generic odometer. Enumeration order is an implementation detail; the
+/// aggregated totals are order-independent (integer sums commute).
+/// `cells` must be grid.dense_cells() (nullptr selects the map path).
+/// `norm` true = Chebyshev ball, false = Manhattan (L1) ball.
+template <int D, typename Fn>
+inline void visit_window_neighbors(const OccupancyGrid<D>& grid,
+                                   const std::int32_t* cells,
+                                   const Point<D>& x, std::int64_t r,
+                                   bool chebyshev_norm, Fn&& fn) {
+  const unsigned level = grid.level();
+  const std::int64_t side = 1ll << level;
+  if (cells != nullptr) {
+    std::int64_t off[4] = {};  // offsets of dimensions 1..D-1
+    for (int d = 1; d < D; ++d) off[d] = -r;
+    for (;;) {
+      bool in = true;
+      bool zero_outer = true;
+      std::int64_t l1_outer = 0;
+      std::uint64_t base = 0;
+      for (int d = D - 1; d >= 1; --d) {
+        const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+        if (v < 0 || v >= side) {
+          in = false;
+          break;
+        }
+        if (off[d] != 0) zero_outer = false;
+        l1_outer += off[d] < 0 ? -off[d] : off[d];
+        base = (base << level) | static_cast<std::uint64_t>(v);
+      }
+      if (in) {
+        // Largest |x-offset| still inside the norm ball for this row.
+        const std::int64_t budget = chebyshev_norm ? r : r - l1_outer;
+        if (budget >= 0) {
+          const std::int64_t x0 = static_cast<std::int64_t>(x[0]);
+          const std::int64_t xlo = x0 - budget > 0 ? x0 - budget : 0;
+          const std::int64_t xhi =
+              x0 + budget < side - 1 ? x0 + budget : side - 1;
+          const std::int32_t* row = cells + (base << level);
+          for (std::int64_t xx = xlo; xx <= xhi; ++xx) {
+            if (zero_outer && xx == x0) continue;  // the particle itself
+            const std::int32_t j = row[xx];
+            if (j != OccupancyGrid<D>::kEmpty) {
+              fn(static_cast<std::size_t>(j));
+            }
+          }
+        }
+      }
+      int d = 1;
+      while (d < D && off[d] == r) off[d++] = -r;
+      if (d == D) break;
+      ++off[d];
+    }
+    return;
+  }
+  // Map-backed grid: generic per-cell odometer.
+  Point<D> q{};
+  std::int64_t off[4] = {};
+  for (int d = 0; d < D; ++d) off[d] = -r;
+  for (;;) {
+    bool zero = true;
+    bool in = true;
+    std::int64_t l1 = 0;
+    for (int d = 0; d < D; ++d) {
+      if (off[d] != 0) zero = false;
+      l1 += off[d] < 0 ? -off[d] : off[d];
+      const std::int64_t v = static_cast<std::int64_t>(x[d]) + off[d];
+      if (v < 0 || v >= side) {
+        in = false;
+        break;
+      }
+      q[d] = static_cast<std::uint32_t>(v);
+    }
+    const bool within = chebyshev_norm || l1 <= r;
+    if (!zero && in && within) {
+      const std::int32_t j = grid.particle_at(q);
+      if (j != OccupancyGrid<D>::kEmpty) fn(static_cast<std::size_t>(j));
+    }
+    int d = 0;
+    while (d < D && off[d] == r) off[d++] = -r;
+    if (d == D) break;
+    ++off[d];
+  }
+}
+
+}  // namespace sfc::fmm

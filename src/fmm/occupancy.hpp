@@ -50,6 +50,30 @@ class OccupancyGrid {
     return it == map_.end() ? kEmpty : it->second;
   }
 
+  /// Remove the occupant of `cell` (no-op when already empty). Mutation
+  /// pair for the incremental dynamics path: a move batch erases every
+  /// mover's old cell, then inserts every new cell, so swaps and chains
+  /// of movers never transiently collide.
+  void erase(const Point<D>& cell) {
+    const std::uint64_t key = pack(cell, level_);
+    if (dense_) {
+      grid_[key] = kEmpty;
+    } else {
+      map_.erase(key);
+    }
+  }
+
+  /// Place particle `index` into `cell` (which must be empty — the batch
+  /// protocol above guarantees it for valid move sets).
+  void insert(const Point<D>& cell, std::int32_t index) {
+    const std::uint64_t key = pack(cell, level_);
+    if (dense_) {
+      grid_[key] = index;
+    } else {
+      map_[key] = index;
+    }
+  }
+
   /// Bytes held by the lookup structure (sweep-cache accounting). The
   /// map-backed estimate charges each entry its node payload; bucket
   /// overhead is ignored.

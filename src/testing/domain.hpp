@@ -13,6 +13,7 @@
 #include <set>
 #include <vector>
 
+#include "distribution/distribution.hpp"
 #include "sfc/curve.hpp"
 #include "sfc/point.hpp"
 #include "testing/gen.hpp"
@@ -102,6 +103,42 @@ Gen<std::vector<Point<D>>> distinct_points(unsigned level, std::size_t min_n,
       }};
 }
 
+/// `min_n`..`max_n` particles drawn from one of the *implemented particle
+/// distributions* (uniform through boundary/skewed) instead of the
+/// uniform lattice of distinct_points — property suites that care about
+/// realistic clustering (the dynamics differ suite, the sampler tests)
+/// draw these so shrunk counterexamples still carry the distribution's
+/// shape. Distinctness comes from the sampler's own rejection loop;
+/// shrinking only drops particles (repositioning would leave the
+/// distribution), preserving the invariant for free.
+template <int D>
+Gen<std::vector<Point<D>>> distributed_points(dist::DistKind kind,
+                                              unsigned level,
+                                              std::size_t min_n,
+                                              std::size_t max_n) {
+  return Gen<std::vector<Point<D>>>{
+      [kind, level, min_n, max_n](Rand& r) {
+        dist::SampleConfig cfg;
+        cfg.count = r.between(min_n, max_n);
+        cfg.level = level;
+        cfg.seed = r.below(std::uint64_t{1} << 48);
+        return dist::sample_particles<D>(kind, cfg);
+      },
+      [min_n](const std::vector<Point<D>>& v,
+              std::vector<std::vector<Point<D>>>& out) {
+        // Halve, then drop one element at a time (front/back) — subsets
+        // of a distinct set stay distinct.
+        if (v.size() > min_n) {
+          const std::size_t half = v.size() / 2;
+          if (half >= min_n) {
+            out.emplace_back(v.begin(), v.begin() + half);
+          }
+          out.emplace_back(v.begin() + 1, v.end());
+          out.emplace_back(v.begin(), v.end() - 1);
+        }
+      }};
+}
+
 // --------------------------------------------------------------- curves
 
 /// Any implemented 2-D curve, shrinking toward Hilbert.
@@ -120,6 +157,16 @@ inline Gen<CurveKind> paper_curve() {
 inline Gen<CurveKind> any_curve3() {
   return element_of(std::vector<CurveKind>(std::begin(kCurves3D),
                                            std::end(kCurves3D)));
+}
+
+// --------------------------------------------------------- distributions
+
+/// Any implemented particle distribution (extensions included),
+/// shrinking toward Uniform.
+inline Gen<dist::DistKind> any_distribution() {
+  return element_of(std::vector<dist::DistKind>(
+      std::begin(dist::kExtendedDistributions),
+      std::end(dist::kExtendedDistributions)));
 }
 
 // ------------------------------------------------------ processor counts
@@ -201,6 +248,13 @@ template <>
 struct Printer<CurveKind> {
   static std::string print(const CurveKind& k) {
     return std::string(curve_name(k));
+  }
+};
+
+template <>
+struct Printer<dist::DistKind> {
+  static std::string print(const dist::DistKind& k) {
+    return std::string(dist::dist_name(k));
   }
 };
 

@@ -53,8 +53,9 @@ TEST(ExtendedStudy, ExtendedDistributionsThroughCombinationStudy) {
                            std::end(dist::kExtendedDistributions));
   cfg.curves = {CurveKind::kHilbert};
   const auto result = run_combination_study(cfg);
-  ASSERT_EQ(result.cells.size(), 5u);
-  for (std::size_t d = 0; d < 5; ++d) {
+  const std::size_t dists = std::size(dist::kExtendedDistributions);
+  ASSERT_EQ(result.cells.size(), dists);
+  for (std::size_t d = 0; d < dists; ++d) {
     EXPECT_GT(result.cells[d][0][0].nfi_acd + result.cells[d][0][0].ffi_acd,
               0.0)
         << dist_name(cfg.distributions[d]);

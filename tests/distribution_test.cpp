@@ -146,6 +146,92 @@ TEST(ClusterSampler, CenterCountIsConfigurable) {
   EXPECT_LT(max_y - min_y, 200u);
 }
 
+TEST(BoundarySampler, MassHugsTheDomainFaces) {
+  // kBoundary places each particle uniform along a per-particle random
+  // face with exponential depth inward (mean depth_frac * side = 25.6
+  // cells at level 9): nearly all mass sits within a shallow band of
+  // some face, far more than a uniform draw puts there.
+  SampleConfig cfg = config(20000, 9, 21);
+  const auto boundary = sample_particles<2>(DistKind::kBoundary, cfg);
+  const auto uniform = sample_particles<2>(DistKind::kUniform, cfg);
+  const std::uint32_t side = 1u << 9;
+  const std::uint32_t band = side / 10;  // 0.1 * side
+  auto near_face = [&](const std::vector<Point2>& pts) {
+    int n = 0;
+    for (const auto& p : pts) {
+      const std::uint32_t dx = std::min(p[0], side - 1 - p[0]);
+      const std::uint32_t dy = std::min(p[1], side - 1 - p[1]);
+      if (std::min(dx, dy) < band) ++n;
+    }
+    return n;
+  };
+  // P(depth < 0.1 side) = 1 - e^{-2} ~ 0.86 before dedup spreading; the
+  // uniform two-band expectation is 1 - 0.8^2 = 0.36.
+  EXPECT_GT(near_face(boundary), 20000 * 7 / 10);
+  EXPECT_GT(near_face(boundary), near_face(uniform) * 3 / 2);
+}
+
+TEST(BoundarySampler, AllFourFacesGetComparableMass) {
+  // The face is drawn per particle (uniform over the 2D faces), so every
+  // face of the domain carries roughly a quarter of the boundary layer —
+  // no face starves.
+  const auto pts =
+      sample_particles<2>(DistKind::kBoundary, config(20000, 9, 31));
+  const std::uint32_t side = 1u << 9;
+  const std::uint32_t band = side / 10;
+  int faces[4] = {0, 0, 0, 0};  // x-low, x-high, y-low, y-high
+  for (const auto& p : pts) {
+    // Attribute each banded particle to its nearest face.
+    const std::uint32_t d[4] = {p[0], side - 1 - p[0], p[1],
+                                side - 1 - p[1]};
+    std::size_t best = 0;
+    for (std::size_t f = 1; f < 4; ++f) {
+      if (d[f] < d[best]) best = f;
+    }
+    if (d[best] < band) ++faces[best];
+  }
+  for (const int count : faces) {
+    EXPECT_GT(count, 20000 / 8);  // each face well above half its share
+  }
+}
+
+TEST(SkewedSampler, MassPilesIntoTheLowCorner) {
+  // u^3 per axis: P(X < side/2) = (1/2)^{1/3} ~ 0.794, so the low corner
+  // quadrant holds ~63% of the mass — well above the exponential
+  // sampler's ~58% and far above the uniform 25%.
+  const auto particles =
+      sample_particles<2>(DistKind::kSkewed, config(20000, 9, 22));
+  const std::uint32_t half = 1u << 8;
+  int corner = 0;
+  for (const auto& p : particles) {
+    if (p[0] < half && p[1] < half) ++corner;
+  }
+  EXPECT_GT(corner, 20000 / 2);
+  EXPECT_GT(corner, 20000 / 4 * 2);
+}
+
+TEST(SkewedSampler, ExponentKnobControlsTheSkew) {
+  // skew_exponent = 1 degenerates to uniform; higher exponents push the
+  // low-corner share up monotonically.
+  auto corner_share = [](double exponent) {
+    SampleConfig cfg = config(10000, 9, 23);
+    cfg.skew_exponent = exponent;
+    const auto pts = sample_particles<2>(DistKind::kSkewed, cfg);
+    int corner = 0;
+    const std::uint32_t half = 1u << 8;
+    for (const auto& p : pts) {
+      if (p[0] < half && p[1] < half) ++corner;
+    }
+    return corner;
+  };
+  const int flat = corner_share(1.0);
+  const int cubed = corner_share(3.0);
+  const int sixth = corner_share(6.0);
+  EXPECT_NEAR(flat, 2500, 400);  // uniform quarter
+  EXPECT_GT(cubed, flat * 2);
+  EXPECT_GT(sixth, cubed);
+}
+
 TEST(PlummerSampler, HalfMassRadiusMatchesTheory) {
   // The projected (2-D) Plummer profile has half-mass radius exactly a
   // (Plummer 1911): half of the particles fall within the scale radius.

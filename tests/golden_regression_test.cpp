@@ -8,9 +8,12 @@
 // and are integers or exact rationals wherever possible.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/acd.hpp"
 #include "core/anns.hpp"
 #include "core/clustering.hpp"
+#include "core/sweep.hpp"
 
 namespace sfc::core {
 namespace {
@@ -83,6 +86,69 @@ TEST(Golden, ClusteringLevel5Window4) {
   EXPECT_EQ(clusters(CurveKind::kHilbert).maximum, 6u);
   EXPECT_EQ(clusters(CurveKind::kMorton).maximum, 10u);
   EXPECT_EQ(clusters(CurveKind::kRowMajor).maximum, 4u);
+}
+
+TEST(Golden, DynamicsTrajectorySixteenSteps) {
+  // A fixed 16-step drift trajectory through run_dynamics, pinning the
+  // per-step NFI of all three reordering policies. This freezes the
+  // whole dynamics stack at once: the drift RNG, the incremental
+  // engine's retract/update/assert deltas (the frozen column is
+  // maintained purely by DynamicAcd), the per-step re-sort baseline,
+  // and the advisor's displaced-fraction trigger (threshold 0.02 fires
+  // twice along this trajectory, so the lazy column re-anchors to the
+  // re-sorted ordering mid-run).
+  DynamicsStudy s;
+  s.name = "golden_dynamics";
+  s.particles = 1500;
+  s.level = 7;  // 128 x 128
+  s.procs = 64;
+  s.steps = 16;
+  s.seed = 777;
+  s.move_fraction = 0.1;
+  s.repartition_threshold = 0.02;
+  const DynamicsResult r = run_dynamics(s, {});
+  ASSERT_EQ(r.steps.size(), 16u);
+
+  const std::vector<std::size_t> moves = {120, 111, 113, 121, 123, 114,
+                                          122, 113, 120, 121, 128, 125,
+                                          121, 121, 135, 130};
+  // Event counts are placement-independent: identical for every policy.
+  const std::vector<std::uint64_t> counts = {1068, 1066, 1062, 1032,
+                                             1046, 1030, 1034, 1052,
+                                             1048, 1046, 1022, 1036,
+                                             1024, 1030, 1026, 1026};
+  const std::vector<std::uint64_t> frozen_hops = {198, 200, 212, 208,
+                                                  214, 218, 204, 224,
+                                                  214, 222, 232, 238,
+                                                  228, 218, 230, 228};
+  const std::vector<std::uint64_t> reorder_hops = {196, 178, 198, 196,
+                                                   182, 174, 174, 176,
+                                                   178, 180, 184, 164,
+                                                   172, 182, 172, 174};
+  // Tracks frozen until the first re-partition (after step 6), then
+  // re-anchors toward the re-sorted hops.
+  const std::vector<std::uint64_t> lazy_hops = {198, 200, 212, 208,
+                                                214, 218, 174, 180,
+                                                182, 186, 186, 202,
+                                                216, 182, 176, 186};
+  for (std::size_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(r.steps[t].moves, moves[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].frozen_nfi.count, counts[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].reorder_nfi.count, counts[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].lazy_nfi.count, counts[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].frozen_nfi.hops, frozen_hops[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].reorder_nfi.hops, reorder_hops[t]) << "step " << t;
+    EXPECT_EQ(r.steps[t].lazy_nfi.hops, lazy_hops[t]) << "step " << t;
+  }
+  const DynamicsStepResult& last = r.steps.back();
+  EXPECT_EQ(last.frozen_ffi.total().hops, 41792u);
+  EXPECT_EQ(last.reorder_ffi.total().hops, 40604u);
+  EXPECT_EQ(last.lazy_ffi.total().hops, 40712u);
+  EXPECT_EQ(last.frozen_ffi.total().count, 45290u);
+  EXPECT_EQ(last.reorder_ffi.total().count, 45290u);
+  EXPECT_EQ(last.lazy_ffi.total().count, 45290u);
+  EXPECT_EQ(last.lazy_repartitions, 2u);
+  EXPECT_DOUBLE_EQ(last.frozen_displaced, 0.034);
 }
 
 TEST(Golden, SamplerFirstParticlesAreFrozen) {

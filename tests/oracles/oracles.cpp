@@ -178,6 +178,15 @@ topo::GraphTopology oracle_graph(const pbt::TopoCase& spec) {
   throw std::invalid_argument("oracle_graph: unknown topology kind");
 }
 
+template <int D>
+FrozenTotals frozen_totals(const std::vector<Point<D>>& positions,
+                           unsigned level, const fmm::Partition& part,
+                           const topo::Topology& net, unsigned radius,
+                           fmm::NeighborNorm norm) {
+  return {nfi_pairwise<D>(positions, part, net, radius, norm),
+          ffi_definitional<D>(positions, level, part, net)};
+}
+
 template core::CommTotals nfi_pairwise<2>(const std::vector<Point<2>>&,
                                           const fmm::Partition&,
                                           const topo::Topology&, unsigned,
@@ -192,5 +201,13 @@ template fmm::FfiTotals ffi_definitional<2>(const std::vector<Point<2>>&,
 template fmm::FfiTotals ffi_definitional<3>(const std::vector<Point<3>>&,
                                             unsigned, const fmm::Partition&,
                                             const topo::Topology&);
+template FrozenTotals frozen_totals<2>(const std::vector<Point<2>>&, unsigned,
+                                       const fmm::Partition&,
+                                       const topo::Topology&, unsigned,
+                                       fmm::NeighborNorm);
+template FrozenTotals frozen_totals<3>(const std::vector<Point<3>>&, unsigned,
+                                       const fmm::Partition&,
+                                       const topo::Topology&, unsigned,
+                                       fmm::NeighborNorm);
 
 }  // namespace sfc::oracle

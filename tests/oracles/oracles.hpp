@@ -51,6 +51,25 @@ fmm::FfiTotals ffi_definitional(const std::vector<Point<D>>& sorted,
 /// distance must equal the closed form exactly.
 topo::GraphTopology oracle_graph(const pbt::TopoCase& spec);
 
+/// Both halves of a frozen-assignment ACD snapshot, as the dynamics
+/// differential needs them after every move batch.
+struct FrozenTotals {
+  core::CommTotals nfi;
+  fmm::FfiTotals ffi;
+};
+
+/// Full-recompute reference for the incremental engine: NFI and FFI
+/// totals of `positions` under the particle→rank assignment of `part`,
+/// via nfi_pairwise and ffi_definitional. `positions` is whatever order
+/// the engine froze (cell ownership is lowest array index, matching the
+/// engine's lowest-sorted-particle rule); it is NOT re-sorted here —
+/// that is the point: the oracle prices the frozen assignment.
+template <int D>
+FrozenTotals frozen_totals(const std::vector<Point<D>>& positions,
+                           unsigned level, const fmm::Partition& part,
+                           const topo::Topology& net, unsigned radius,
+                           fmm::NeighborNorm norm);
+
 extern template core::CommTotals nfi_pairwise<2>(const std::vector<Point<2>>&,
                                                  const fmm::Partition&,
                                                  const topo::Topology&,
@@ -65,5 +84,13 @@ extern template fmm::FfiTotals ffi_definitional<2>(
 extern template fmm::FfiTotals ffi_definitional<3>(
     const std::vector<Point<3>>&, unsigned, const fmm::Partition&,
     const topo::Topology&);
+extern template FrozenTotals frozen_totals<2>(const std::vector<Point<2>>&,
+                                              unsigned, const fmm::Partition&,
+                                              const topo::Topology&, unsigned,
+                                              fmm::NeighborNorm);
+extern template FrozenTotals frozen_totals<3>(const std::vector<Point<3>>&,
+                                              unsigned, const fmm::Partition&,
+                                              const topo::Topology&, unsigned,
+                                              fmm::NeighborNorm);
 
 }  // namespace sfc::oracle
