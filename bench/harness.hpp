@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/artifact_store.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "core/sweep.hpp"
@@ -88,6 +89,17 @@ class Harness {
       pool_ = std::make_unique<util::ThreadPool>(
           threads <= 0 ? 0u : static_cast<unsigned>(threads));
     }
+    const std::string store_dir = args.str("store");
+    if (!store_dir.empty()) {
+      core::ArtifactStoreOptions store_options;
+      store_options.dir = store_dir;
+      const long long budget = args.i64("store-budget");
+      if (budget > 0) {
+        store_options.byte_budget = static_cast<std::size_t>(budget);
+      }
+      store_options.clear = args.flag("store-clear");
+      store_ = std::make_unique<core::ArtifactStore>(store_options);
+    }
   }
 
   util::ArgParser& args() noexcept { return args_; }
@@ -113,12 +125,16 @@ class Harness {
   /// Worker pool from --threads (1 = none/serial, 0 = all cores).
   util::ThreadPool* pool() noexcept { return pool_.get(); }
 
+  /// Persistent artifact store from --store (nullptr = memory only).
+  core::ArtifactStore* store() noexcept { return store_.get(); }
+
   /// Engine options wired from the common flags. Pass the study to get a
   /// per-cell stderr progress line under --progress.
   core::SweepOptions sweep_options(const core::Study* study = nullptr) const {
     core::SweepOptions options;
     options.pool = pool_.get();
     options.reuse = reuse();
+    options.store = store_.get();
     if (args_.flag("progress") && study != nullptr) {
       const core::Study s = *study;  // copy: outlives the caller's study
       options.progress = [s](const core::StudyCellRef& ref,
@@ -161,6 +177,13 @@ class Harness {
            << std::fixed << std::setprecision(2) << c.hit_ratio();
     }
     line << '\n';
+    if (store_ != nullptr) {
+      const core::ArtifactStore::Stats st = store_->stats();
+      line << "  .. store: " << st.hits << " hits / " << st.misses
+           << " misses, " << st.corrupt << " corrupt, " << st.spills
+           << " spills, " << st.resident_files << " files ("
+           << st.resident_bytes << " bytes)\n";
+    }
     std::cerr << line.str();
   }
 
@@ -199,7 +222,11 @@ class Harness {
        << ",\"elapsed_seconds\":" << elapsed_seconds
        << ",\"reuse\":" << (reuse() ? "true" : "false")
        << ",\"threads\":" << (pool_ ? pool_->size() : 1u)
-       << ",\"build\":" << build_info_json() << ",\"tables\":[";
+       << ",\"build\":" << build_info_json();
+    // Every document from a store-backed run carries the store's
+    // accounting — bench_to_json.py gates on the warm hit ratio.
+    if (store_ != nullptr) os << ",\"artifact_store\":" << store_->json();
+    os << ",\"tables\":[";
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       if (i) os << ',';
       tables_[i].print(os, util::TableStyle::kJson);
@@ -215,6 +242,7 @@ class Harness {
  private:
   util::ArgParser& args_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<core::ArtifactStore> store_;
   detail::NullBuffer null_buffer_;
   std::ostream null_;
   std::vector<util::Table> tables_;
@@ -264,6 +292,14 @@ inline int run_harness(int argc, const char* const* argv,
                   "write the final metrics registry to this file in the "
                   "Prometheus text exposition format",
                   "");
+  args.add_option("store",
+                  "persistent artifact store directory (empty = memory-only "
+                  "cache; warm reruns deserialize instead of recomputing)",
+                  "");
+  args.add_option("store-budget",
+                  "artifact store byte budget (0 = default 4 GiB)", "0");
+  args.add_flag("store-clear",
+                "delete every stored artifact when opening --store");
   args.add_option("seed", "master RNG seed", "1");
   args.add_option("trials", "independent trials to average", "1");
   args.add_option("threads", "worker threads (1 = serial, 0 = all cores)",
@@ -280,7 +316,14 @@ inline int run_harness(int argc, const char* const* argv,
     return 0;
   }
 
-  Harness harness(args);
+  std::unique_ptr<Harness> harness_ptr;
+  try {
+    harness_ptr = std::make_unique<Harness>(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Harness& harness = *harness_ptr;
   const auto start = std::chrono::steady_clock::now();
   const int status = spec.run(harness);
   const double elapsed =

@@ -26,8 +26,10 @@ import argparse
 import json
 import math
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 
 
@@ -344,6 +346,10 @@ def check_gates(result, previous, smoke):
       sweep at p = 4096 before Topology::fold.
     - The million-rank fig7 run must peak below 1 GiB RSS: the factorized
       fold contract promises no O(p²) state at p = 2^20.
+    - The cell-graph scheduler must cut fig6 wall-clock >= 2x at 8
+      worker threads vs 1 — enforced only on hosts with >= 8 cores.
+    - A warm artifact-store rerun of table1_nfi must beat the cold run
+      >= 4x (2x smoke) with nonzero store hits.
     - Committed-baseline comparison (ordering ns/point within 25%/50%,
       NFI r4 aggregated ns/pair within the same caps) runs only when the
       committed file recorded the same dispatched SIMD tier — comparing
@@ -394,6 +400,30 @@ def check_gates(result, previous, smoke):
     if dyn_speedup is not None and dyn_speedup < dyn_floor:
         failures.append(f"dynamics: incremental timestep {dyn_speedup:.2f}x "
                         f"vs full recompute < {dyn_floor}x floor")
+
+    # Cell-graph scheduler scaling: 8 workers must halve fig6 wall-clock
+    # vs 1 worker — but only on hosts that actually have >= 8 cores
+    # (same conditionality as the SIMD gates: a 1-core runner cannot
+    # exhibit parallel speedup, and the bit-identity assertion inside
+    # the measurement still ran).
+    sched = result.get("scheduler_scaling")
+    if sched and sched.get("speedup") is not None:
+        if (sched.get("cpus") or 0) >= 8 and sched["speedup"] < 2.0:
+            failures.append(
+                f"scheduler_scaling: 8-thread speedup "
+                f"{sched['speedup']:.2f}x < 2x floor on "
+                f"{sched['cpus']}-core host")
+
+    # Persistent artifact store: a warm rerun answers the expensive
+    # stages (canonicalization, ordering, instances, histograms) from
+    # disk, so it must beat the cold run by >= 4x (2x smoke, where the
+    # shrunken grid leaves less recompute to save). Zero warm hits
+    # already aborted inside the measurement.
+    warm_floor = 2.0 if smoke else 4.0
+    warm_speedup = result.get("warm_store", {}).get("speedup")
+    if warm_speedup is not None and warm_speedup < warm_floor:
+        failures.append(f"warm_store: warm rerun speedup "
+                        f"{warm_speedup:.2f}x < {warm_floor}x floor")
 
     cur_isa = result.get("build", {}).get("simd", "scalar")
     if cur_isa != "scalar":
@@ -509,6 +539,82 @@ def sweep_comparison(build_dir, name, extra, threads):
         # with the baseline so a later gate failure can be attributed to
         # the stage that slowed (scripts/attribute_regression.py).
         "stage_profile": reused.get("stage_profile"),
+    }
+
+
+def scheduler_scaling(build_dir, name, extra):
+    """Time the cell-graph scheduler at 1 worker vs 8 on the same grid.
+
+    Both runs use the reuse engine, so the ratio isolates the scheduler's
+    concurrency (independent cells flowing through the task graph) from
+    artifact sharing. The two thread counts must produce bit-identical
+    ACD cells — the replay design makes thread count invisible to the
+    arithmetic, and any divergence aborts. The host's cpu_count is
+    recorded alongside: the >= 2x gate only binds on machines with at
+    least 8 cores (a 1-core CI runner cannot exhibit parallel speedup,
+    same pattern as the SIMD-conditional gates).
+    """
+    binary = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(binary):
+        return None
+    serial = run_sweep_harness(binary, list(extra) + ["--threads=1"])
+    threaded = run_sweep_harness(binary, list(extra) + ["--threads=8"])
+    if serial["study"]["cells"] != threaded["study"]["cells"]:
+        sys.exit(f"error: {name}: 1-thread and 8-thread ACD cells differ")
+    serial_s = serial["elapsed_seconds"]
+    threaded_s = threaded["elapsed_seconds"]
+    return {
+        "bench": name,
+        "args": list(extra),
+        "cpus": os.cpu_count(),
+        "cells": len(serial["study"]["cells"]),
+        "serial_seconds": serial_s,
+        "threads8_seconds": threaded_s,
+        "speedup": serial_s / threaded_s if threaded_s > 0 else None,
+    }
+
+
+def warm_store_comparison(build_dir, name, extra, threads):
+    """Time a cold artifact-store run vs a warm rerun of the same grid.
+
+    The cold run starts from an empty store directory (--store-clear) and
+    spills its artifacts to disk; the warm run reopens the directory and
+    must answer its expensive stages from the store. Cells must be
+    bit-identical across the two runs (the store round-trips exact
+    serialized artifacts), and a warm run with zero store hits means
+    persistence is broken — both abort. The store directory is a temp
+    dir, deleted afterwards, so the measurement never leaks state into a
+    later invocation.
+    """
+    binary = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(binary):
+        return None
+    store_dir = tempfile.mkdtemp(prefix="sfcacd_bench_store_")
+    try:
+        base = list(extra) + [f"--threads={threads}",
+                              f"--store={store_dir}"]
+        cold = run_sweep_harness(binary, base + ["--store-clear"])
+        warm = run_sweep_harness(binary, base)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    if cold["study"]["cells"] != warm["study"]["cells"]:
+        sys.exit(f"error: {name}: cold-store and warm-store ACD cells "
+                 "differ")
+    warm_store = warm.get("artifact_store", {})
+    if warm_store.get("hits", 0) == 0:
+        sys.exit(f"error: {name}: warm run recorded zero store hits")
+    cold_s = cold["elapsed_seconds"]
+    warm_s = warm["elapsed_seconds"]
+    return {
+        "bench": name,
+        "args": list(extra),
+        "threads": threads,
+        "cells": len(warm["study"]["cells"]),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "cold_store": cold.get("artifact_store"),
+        "warm_store": warm_store,
     }
 
 
@@ -649,6 +755,14 @@ def main():
                 sweeps[name] = comparison
         if sweeps:
             result["sweep_engine"] = sweeps
+        scaling = scheduler_scaling(opts.build_dir, "fig6_topologies",
+                                    grids["fig6_topologies"])
+        if scaling:
+            result["scheduler_scaling"] = scaling
+        warm = warm_store_comparison(opts.build_dir, "table1_nfi",
+                                     grids["table1_nfi"], opts.threads)
+        if warm:
+            result["warm_store"] = warm
 
     # The committed file (if any) is the regression baseline — read it
     # before overwriting.
@@ -684,6 +798,17 @@ def main():
               f"{s['direct_seconds']:.2f}s direct ({s['speedup']:.2f}x), "
               f"{s['cache']['hits']} cache hits / "
               f"{s['cache']['misses']} misses")
+    sched = result.get("scheduler_scaling")
+    if sched and sched.get("speedup") is not None:
+        print(f"  scheduler: {sched['serial_seconds']:.2f}s @1 thread vs "
+              f"{sched['threads8_seconds']:.2f}s @8 "
+              f"({sched['speedup']:.2f}x on {sched['cpus']} cpus)")
+    warm = result.get("warm_store")
+    if warm and warm.get("speedup") is not None:
+        print(f"  warm_store: {warm['cold_seconds']:.2f}s cold vs "
+              f"{warm['warm_seconds']:.2f}s warm "
+              f"({warm['speedup']:.2f}x, "
+              f"{warm['warm_store']['hits']} store hits)")
     obs_out = result.get("observability", {})
     for name, ns in sorted(obs_out.get("ns_per_op", {}).items()):
         print(f"  obs/{name}: {ns:.2f} ns/op")

@@ -1,0 +1,339 @@
+#include "core/artifact_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/version.hpp"
+
+namespace sfc::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'S', 'F', 'C', 'A', 'R', 'T', 'v', '1'};
+constexpr const char* kExtension = ".sfcart";
+
+/// Fixed-layout file header. Every field is validated on load; any
+/// mismatch makes the whole file a miss. Packed scalars, no padding
+/// surprises: 8 + 4 + 4 + 8 + 8 + 8 + 8 = 48 bytes.
+struct StoreHeader {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t stage;
+  std::uint64_t key;
+  std::uint64_t provenance;
+  std::uint64_t payload_bytes;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(StoreHeader) == 48);
+
+std::uint64_t fnv1a(const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+void ArtifactStore::Mapping::release() noexcept {
+  if (base_ != nullptr) ::munmap(base_, map_len_);
+  base_ = nullptr;
+  map_len_ = 0;
+  payload_ = nullptr;
+  size_ = 0;
+}
+
+ArtifactStore::ArtifactStore(const ArtifactStoreOptions& options)
+    : dir_(options.dir), budget_(options.byte_budget) {
+  const std::string sha =
+      options.provenance.empty() ? std::string(sfc::kGitSha)
+                                 : options.provenance;
+  provenance_ = sweep_key(fnv1a(sha.data(), sha.size()),
+                          kArtifactStoreFormatVersion);
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec && !fs::is_directory(dir_)) {
+    throw std::runtime_error("artifact store: cannot create directory '" +
+                             dir_ + "': " + ec.message());
+  }
+
+  // Index existing artifacts (or clear them). Only the filename and size
+  // are trusted here; content validation stays lazy, on load. Scan order
+  // for budget eviction is last-write-time so a long-lived shared
+  // directory sheds its stalest artifacts first.
+  struct Scanned {
+    std::uint64_t fkey;
+    FileInfo info;
+    fs::file_time_type mtime;
+  };
+  std::vector<Scanned> scanned;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 16 + std::strlen(kExtension)) continue;
+    if (name.substr(name.size() - std::strlen(kExtension)) != kExtension)
+      continue;
+    if (options.clear) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    const std::string hex =
+        name.substr(name.size() - std::strlen(kExtension) - 16, 16);
+    std::uint64_t fkey = 0;
+    bool valid_hex = true;
+    for (char c : hex) {
+      fkey <<= 4;
+      if (c >= '0' && c <= '9')
+        fkey |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        fkey |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else
+        valid_hex = false;
+    }
+    if (!valid_hex) continue;
+    Scanned s;
+    s.fkey = fkey;
+    s.info.name = name;
+    s.info.bytes = static_cast<std::size_t>(entry.file_size(ec));
+    s.mtime = entry.last_write_time(ec);
+    scanned.push_back(std::move(s));
+  }
+  std::sort(scanned.begin(), scanned.end(),
+            [](const Scanned& a, const Scanned& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime
+                                        : a.info.name < b.info.name;
+            });
+  for (auto& s : scanned) {
+    s.info.order = next_order_++;
+    counters_.resident_bytes += s.info.bytes;
+    index_.emplace(s.fkey, std::move(s.info));
+  }
+  counters_.resident_files = index_.size();
+}
+
+std::uint64_t ArtifactStore::file_key(SweepStage stage,
+                                      std::uint64_t key) const noexcept {
+  std::uint64_t k = sweep_key(provenance_, key);
+  return sweep_key(static_cast<std::uint64_t>(stage), k);
+}
+
+std::string ArtifactStore::path_of(SweepStage stage, std::uint64_t key) const {
+  return dir_ + "/" + std::string(sweep_stage_name(stage)) + "-" +
+         hex16(file_key(stage, key)) + kExtension;
+}
+
+bool ArtifactStore::contains(SweepStage stage, std::uint64_t key) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return index_.count(file_key(stage, key)) != 0;
+}
+
+std::optional<ArtifactStore::Mapping> ArtifactStore::load(SweepStage stage,
+                                                          std::uint64_t key) {
+  const std::uint64_t fkey = file_key(stage, key);
+  const std::string path = path_of(stage, key);
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++counters_.misses;
+    forget_locked(fkey);  // stale index entry (file vanished underneath us)
+    return std::nullopt;
+  }
+
+  struct ::stat st{};
+  Mapping mapping;
+  bool valid = false;
+  if (::fstat(fd, &st) == 0 &&
+      static_cast<std::size_t>(st.st_size) >= sizeof(StoreHeader)) {
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      StoreHeader header;
+      std::memcpy(&header, base, sizeof header);
+      const auto* payload =
+          static_cast<const std::uint8_t*>(base) + sizeof header;
+      const std::size_t payload_len = len - sizeof header;
+      if (std::memcmp(header.magic, kMagic, sizeof kMagic) == 0 &&
+          header.format_version == kArtifactStoreFormatVersion &&
+          header.stage == static_cast<std::uint32_t>(stage) &&
+          header.key == key && header.provenance == provenance_ &&
+          header.payload_bytes == payload_len &&
+          header.checksum == fnv1a(payload, payload_len)) {
+        mapping.base_ = base;
+        mapping.map_len_ = len;
+        mapping.payload_ = payload;
+        mapping.size_ = payload_len;
+        valid = true;
+      } else {
+        ::munmap(base, len);
+      }
+    }
+  }
+  ::close(fd);
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (valid) {
+    ++counters_.hits;
+    counters_.read_bytes += mapping.size();
+    return mapping;
+  }
+  // Existing-but-invalid: corrupt, truncated, foreign build, or wrong
+  // version. Count it, delete it (it can never validate again), miss.
+  ++counters_.misses;
+  ++counters_.corrupt;
+  ::unlink(path.c_str());
+  forget_locked(fkey);
+  return std::nullopt;
+}
+
+void ArtifactStore::save(SweepStage stage, std::uint64_t key,
+                         const void* payload, std::size_t size) {
+  const std::uint64_t fkey = file_key(stage, key);
+  std::string temp;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (index_.count(fkey) != 0) return;
+    temp = dir_ + "/tmp-" + std::to_string(::getpid()) + "-" +
+           std::to_string(temp_seq_++);
+  }
+
+  StoreHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.format_version = kArtifactStoreFormatVersion;
+  header.stage = static_cast<std::uint32_t>(stage);
+  header.key = key;
+  header.provenance = provenance_;
+  header.payload_bytes = size;
+  header.checksum = fnv1a(payload, size);
+
+  const int fd =
+      ::open(temp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  bool ok = true;
+  auto write_all = [&](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    while (len > 0) {
+      const ::ssize_t n = ::write(fd, p, len);
+      if (n <= 0) return false;
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  ok = write_all(&header, sizeof header) && (size == 0 || write_all(payload, size));
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(temp.c_str());
+    return;
+  }
+  const std::string path = path_of(stage, key);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return;
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  FileInfo info;
+  info.name = std::string(sweep_stage_name(stage)) + "-" + hex16(fkey) +
+              kExtension;
+  info.bytes = sizeof header + size;
+  info.order = next_order_++;
+  counters_.resident_bytes += info.bytes;
+  auto [it, inserted] = index_.emplace(fkey, std::move(info));
+  if (!inserted) counters_.resident_bytes -= it->second.bytes;  // raced rewrite
+  counters_.resident_files = index_.size();
+  ++counters_.spills;
+  counters_.spilled_bytes += size;
+  enforce_budget_locked();
+}
+
+void ArtifactStore::enforce_budget_locked() {
+  while (counters_.resident_bytes > budget_ && index_.size() > 1) {
+    auto victim = index_.begin();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->second.order < victim->second.order) victim = it;
+    }
+    ::unlink((dir_ + "/" + victim->second.name).c_str());
+    counters_.resident_bytes -= victim->second.bytes;
+    ++counters_.evicted_files;
+    index_.erase(victim);
+  }
+  counters_.resident_files = index_.size();
+}
+
+void ArtifactStore::forget_locked(std::uint64_t fkey) {
+  auto it = index_.find(fkey);
+  if (it == index_.end()) return;
+  counters_.resident_bytes -= it->second.bytes;
+  index_.erase(it);
+  counters_.resident_files = index_.size();
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return counters_;
+}
+
+std::string ArtifactStore::json() const {
+  const Stats s = stats();
+  std::string out = "{";
+  out += "\"dir\":\"" + dir_ + "\"";
+  out += ",\"budget_bytes\":" + std::to_string(budget_);
+  out += ",\"hits\":" + std::to_string(s.hits);
+  out += ",\"misses\":" + std::to_string(s.misses);
+  out += ",\"corrupt\":" + std::to_string(s.corrupt);
+  out += ",\"spills\":" + std::to_string(s.spills);
+  out += ",\"spilled_bytes\":" + std::to_string(s.spilled_bytes);
+  out += ",\"read_bytes\":" + std::to_string(s.read_bytes);
+  out += ",\"evicted_files\":" + std::to_string(s.evicted_files);
+  out += ",\"resident_files\":" + std::to_string(s.resident_files);
+  out += ",\"resident_bytes\":" + std::to_string(s.resident_bytes);
+  out += "}";
+  return out;
+}
+
+void ArtifactStore::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  const Stats s = stats();
+  auto& reg = obs::Registry::instance();
+  reg.gauge("sweep.store.hits").set(static_cast<double>(s.hits));
+  reg.gauge("sweep.store.misses").set(static_cast<double>(s.misses));
+  reg.gauge("sweep.store.corrupt").set(static_cast<double>(s.corrupt));
+  reg.gauge("sweep.store.spills").set(static_cast<double>(s.spills));
+  reg.gauge("sweep.store.evicted_files")
+      .set(static_cast<double>(s.evicted_files));
+  reg.gauge("sweep.store.resident_bytes")
+      .set(static_cast<double>(s.resident_bytes));
+}
+
+std::uint64_t ArtifactStore::checksum(const void* data,
+                                      std::size_t size) noexcept {
+  return fnv1a(data, size);
+}
+
+}  // namespace sfc::core

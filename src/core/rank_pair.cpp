@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace sfc::core {
 
@@ -106,6 +107,73 @@ CommTotals RankPairAccumulator::fold(const topo::Topology& net) const {
     totals.count += count;
   });
   return totals;
+}
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &v, sizeof buf);
+  out.insert(out.end(), buf, buf + sizeof buf);
+}
+
+bool read_u64(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+              std::uint64_t& v) {
+  if (offset > size || size - offset < 8) return false;
+  std::memcpy(&v, data + offset, 8);
+  offset += 8;
+  return true;
+}
+
+}  // namespace
+
+void rank_pairs_serialize(const RankPairAccumulator& acc,
+                          std::vector<std::uint8_t>& out) {
+  acc.seal();
+  append_u64(out, acc.procs());
+  append_u64(out, acc.dense() ? 1 : 0);
+  std::uint64_t pairs = 0;
+  acc.for_each([&pairs](topo::Rank, topo::Rank, std::uint64_t) { ++pairs; });
+  append_u64(out, pairs);
+  out.reserve(out.size() + pairs * 16);
+  const std::uint64_t p = acc.procs();
+  acc.for_each([&out, p](topo::Rank a, topo::Rank b, std::uint64_t count) {
+    append_u64(out, static_cast<std::uint64_t>(a) * p + b);
+    append_u64(out, count);
+  });
+}
+
+std::optional<RankPairAccumulator> rank_pairs_deserialize(
+    const std::uint8_t* data, std::size_t size, std::size_t& offset) {
+  std::uint64_t procs = 0, mode = 0, pairs = 0;
+  if (!read_u64(data, size, offset, procs) ||
+      !read_u64(data, size, offset, mode) ||
+      !read_u64(data, size, offset, pairs)) {
+    return std::nullopt;
+  }
+  if (procs == 0 || procs > 0xffffffffull || mode > 1) return std::nullopt;
+  if (pairs > (size - offset) / 16) return std::nullopt;
+  const bool dense = mode == 1;
+  const std::uint64_t p2 = procs * procs;
+  // A dense record implies the producer actually held the p² array, so
+  // p² is bounded by the dense budget plus whatever enlarged budget a
+  // caller can pass — refuse anything that would be an absurd allocation.
+  if (dense && p2 > (std::uint64_t{1} << 28)) return std::nullopt;
+  RankPairAccumulator acc(static_cast<topo::Rank>(procs),
+                          dense ? static_cast<std::size_t>(p2) : 0);
+  const auto p = static_cast<std::uint64_t>(procs);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    std::uint64_t key = 0, count = 0;
+    if (!read_u64(data, size, offset, key) ||
+        !read_u64(data, size, offset, count)) {
+      return std::nullopt;
+    }
+    if (key >= p2) return std::nullopt;
+    acc.add(static_cast<topo::Rank>(key / p), static_cast<topo::Rank>(key % p),
+            count);
+  }
+  acc.seal();
+  return acc;
 }
 
 std::uint64_t RankPairAccumulator::events() const {

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -174,6 +175,25 @@ class RankPairAccumulator {
   mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> staging_;
   mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted_;
 };
+
+// ------------------------------------------------- artifact-store codec
+
+/// Append one self-describing record for `acc` to `out`: host-endian
+/// u64s — procs, mode flag (1 = dense), nonzero-pair count, then (key,
+/// count) pairs with key = src·p + dst in key order. Sparse histograms
+/// compact first (seal() semantics), so serializing a shared histogram
+/// follows the same sealing rule as view().
+void rank_pairs_serialize(const RankPairAccumulator& acc,
+                          std::vector<std::uint8_t>& out);
+
+/// Decode the record at `offset` in [data, data+size), advancing offset
+/// past it. The restored accumulator reproduces the recorded dense or
+/// sparse mode exactly (via the ctor's budget hook), independent of what
+/// pick_dense would choose today. Returns nullopt on malformed bytes —
+/// the artifact store's checksum makes that unreachable for store-read
+/// payloads, but the codec still never trusts its input.
+std::optional<RankPairAccumulator> rank_pairs_deserialize(
+    const std::uint8_t* data, std::size_t size, std::size_t& offset);
 
 /// Scratch aggregation of (src, dst) → modular count deltas for the
 /// incremental (delta) consumers.

@@ -2,9 +2,13 @@
 
 #include <atomic>
 #include <bit>
+#include <cstring>
+#include <deque>
 #include <initializer_list>
 #include <optional>
+#include <stdexcept>
 
+#include "core/artifact_store.hpp"
 #include "core/dynamic_acd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -39,49 +43,126 @@ std::string_view sweep_stage_name(SweepStage stage) noexcept {
 
 std::shared_ptr<const void> ArtifactCache::lookup(SweepStage stage,
                                                  std::uint64_t key) {
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.stage(stage).misses;
+  const unsigned idx = static_cast<unsigned>(stage);
+  Shard& sh = shard_of(key);
+  std::unique_lock<std::mutex> lk(sh.mutex);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) {
+    lk.unlock();
+    misses_[idx].fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.stage(stage).hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.touch_seq =
+      touch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Touch timestamps exist only for the eviction-age histogram, so the
   // clock read follows the metrics gate (same discipline as the pool).
   if (obs::metrics_enabled()) it->second.last_touch_ns = obs::now_ns();
-  return it->second.value;
+  std::shared_ptr<const void> value = it->second.value;
+  lk.unlock();
+  hits_[idx].fetch_add(1, std::memory_order_relaxed);
+  return value;
 }
 
 void ArtifactCache::insert(SweepStage stage, std::uint64_t key,
+                           std::uint64_t raw_key,
                            std::shared_ptr<const void> value,
                            std::size_t bytes) {
+  const unsigned idx = static_cast<unsigned>(stage);
+  Entry fresh{std::move(value),
+              bytes,
+              stage,
+              raw_key,
+              obs::metrics_enabled() ? obs::now_ns() : 0,
+              touch_seq_.fetch_add(1, std::memory_order_relaxed) + 1};
+  {
+    Shard& sh = shard_of(key);
+    std::lock_guard<std::mutex> lk(sh.mutex);
+    Entry& slot = sh.map[key];
+    if (slot.value != nullptr) {
+      // Same-key overwrite: retire the replaced payload's accounting.
+      bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
+      stage_bytes_[static_cast<unsigned>(slot.stage)].fetch_sub(
+          slot.bytes, std::memory_order_relaxed);
+    } else {
+      entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot = std::move(fresh);
+  }
+  const std::size_t resident =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  stage_bytes_[idx].fetch_add(bytes, std::memory_order_relaxed);
+  std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (resident > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, resident,
+                                            std::memory_order_relaxed)) {
+  }
+  evict_to_budget();
+}
+
+void ArtifactCache::evict_to_budget() {
+  if (bytes_.load(std::memory_order_relaxed) <= budget_) return;
+  std::lock_guard<std::mutex> ev(evict_mutex_);
   const bool metrics = obs::metrics_enabled();
-  lru_.push_front(key);
-  map_[key] = Entry{std::move(value), bytes, stage,
-                    metrics ? obs::now_ns() : 0, lru_.begin()};
-  stats_.bytes += bytes;
-  stats_.stage_bytes[static_cast<unsigned>(stage)] += bytes;
-  if (stats_.bytes > stats_.peak_bytes) stats_.peak_bytes = stats_.bytes;
-  // Walk the cold end of the LRU until within budget. The entry just
-  // inserted sits at the hot end and is never the victim; an over-budget
+  // Evict the globally least-recently-touched entry until within budget.
+  // The entry just inserted carries the maximum recency stamp and is
+  // never the victim while anything else is resident; an over-budget
   // artifact simply leaves the cache holding only itself.
-  while (stats_.bytes > budget_ && lru_.size() > 1) {
-    const std::uint64_t victim = lru_.back();
-    const auto vit = map_.find(victim);
-    stats_.bytes -= vit->second.bytes;
-    stats_.stage_bytes[static_cast<unsigned>(vit->second.stage)] -=
-        vit->second.bytes;
-    if (metrics && vit->second.last_touch_ns != 0) {
+  while (bytes_.load(std::memory_order_relaxed) > budget_ &&
+         entries_.load(std::memory_order_relaxed) > 1) {
+    std::uint64_t victim_seq = ~std::uint64_t{0};
+    std::size_t victim_shard = 0;
+    std::uint64_t victim_key = 0;
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+      std::lock_guard<std::mutex> lk(shards_[i].mutex);
+      for (const auto& [k, e] : shards_[i].map) {
+        if (e.touch_seq < victim_seq) {
+          victim_seq = e.touch_seq;
+          victim_shard = i;
+          victim_key = k;
+        }
+      }
+    }
+    if (victim_seq == ~std::uint64_t{0}) return;
+    Entry victim;
+    {
+      Shard& sh = shards_[victim_shard];
+      std::lock_guard<std::mutex> lk(sh.mutex);
+      const auto it = sh.map.find(victim_key);
+      // A concurrent hit may have re-warmed the candidate between the
+      // scan and this lock; rescan rather than evict a hot entry.
+      if (it == sh.map.end() || it->second.touch_seq != victim_seq) continue;
+      victim = std::move(it->second);
+      sh.map.erase(it);
+    }
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    stage_bytes_[static_cast<unsigned>(victim.stage)].fetch_sub(
+        victim.bytes, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics && victim.last_touch_ns != 0) {
       // How long the victim sat cold: small ages mean the budget is
       // thrashing artifacts that were just used.
       obs::Registry::instance()
           .histogram("sweep.cache.eviction_age_ns")
-          .record(obs::now_ns() - vit->second.last_touch_ns);
+          .record(obs::now_ns() - victim.last_touch_ns);
     }
-    map_.erase(vit);
-    lru_.pop_back();
-    ++stats_.evictions;
+    if (spill_) {
+      spill_(victim.stage, victim.raw_key, victim.value, victim.bytes);
+    }
   }
+}
+
+SweepStats ArtifactCache::stats() const {
+  SweepStats out;
+  for (unsigned i = 0; i < kSweepStageCount; ++i) {
+    out.stages[i].hits = hits_[i].load(std::memory_order_relaxed);
+    out.stages[i].misses = misses_[i].load(std::memory_order_relaxed);
+    out.stage_bytes[i] = stage_bytes_[i].load(std::memory_order_relaxed);
+  }
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.bytes = bytes_.load(std::memory_order_relaxed);
+  out.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 namespace {
@@ -252,17 +333,286 @@ Ordering2 make_ordering(const std::vector<Point2>& canonical, unsigned level,
   return out;
 }
 
-/// One cell's fold inputs, pinned by the coordinator before the fold is
-/// scheduled: worker tasks never touch the cache.
-struct CellJob {
-  std::size_t index = 0;
-  StudyCellRef ref;
-  std::shared_ptr<const RankPairAccumulator> nfi;
-  std::shared_ptr<const fmm::FfiHistograms> ffi;
-  std::shared_ptr<const topo::Topology> net;
+// ------------------------------------------------------------- cell graph
+
+/// One node of the study's task graph: a stage artifact to materialize,
+/// either by computing it or by deserializing a store payload validated
+/// and pinned at plan time. The coordinator creates every node during
+/// the plan walk; execution only reads the graph shape and writes
+/// outputs, so the only cross-thread state is `pending` and `output`
+/// (ordered by the dependency hand-off).
+struct PlanNode {
+  SweepStage stage = SweepStage::kSample;
+  std::uint64_t raw_key = 0;  ///< un-mixed stage key (the store address)
+  /// Materializer: sets output and bytes. Runs exactly once, on
+  /// whichever thread the scheduler hands the node to.
+  std::function<void(PlanNode&)> build;
+  std::shared_ptr<const void> output;
+  std::size_t bytes = 0;
+  bool from_store = false;
+  ArtifactStore::Mapping mapping;  ///< pinned store payload (load nodes)
+  std::vector<PlanNode*> consumers;
+  std::atomic<unsigned> pending{0};  ///< unfinished producers
 };
 
-/// The artifact-reusing engine path.
+template <typename T>
+std::shared_ptr<const T> out_as(const PlanNode* node) {
+  return std::static_pointer_cast<const T>(node->output);
+}
+
+/// One entry of the deterministic accounting replay: the exact cache
+/// operation the serial engine would have performed at this point of the
+/// grid walk.
+struct CacheOp {
+  enum Kind { kFind, kPut, kCountFold };
+  Kind kind = kFind;
+  SweepStage stage = SweepStage::kSample;
+  std::uint64_t raw_key = 0;
+  PlanNode* node = nullptr;  ///< kPut: the materialized artifact
+};
+
+/// One cell of the drain pass (results, statistics, progress) in grid
+/// order.
+struct DrainJob {
+  std::size_t index = 0;
+  StudyCellRef ref;
+  PlanNode* fold = nullptr;
+};
+
+/// Output of a fold node: the cell's ACD contributions plus the fold's
+/// span-clock wall time for the progress sink.
+struct FoldOut {
+  double nfi_acd = 0.0;
+  double ffi_acd = 0.0;
+  bool has_nfi = false;
+  bool has_ffi = false;
+  double ms = 0.0;
+};
+
+/// Stages with an on-disk representation. kSample is superseded by
+/// kCanonical (same content, already cell-sorted); kTopology is cheap to
+/// rebuild and validation must stay on the coordinator; kDelta artifacts
+/// are keyed per trajectory prefix and stay in-memory. kFold persists
+/// its two doubles: tiny payloads, but at warm-start time the folds are
+/// the one remaining recompute, so skipping them is what turns a warm
+/// rerun into pure deserialization.
+bool store_persistable(SweepStage stage) noexcept {
+  switch (stage) {
+    case SweepStage::kCanonical:
+    case SweepStage::kOrdering:
+    case SweepStage::kInstance:
+    case SweepStage::kNfiHistogram:
+    case SweepStage::kFfiHistogram:
+    case SweepStage::kFold:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &v, sizeof buf);
+  out.insert(out.end(), buf, buf + sizeof buf);
+}
+
+bool read_u64(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+              std::uint64_t& v) {
+  if (offset > size || size - offset < 8) return false;
+  std::memcpy(&v, data + offset, 8);
+  offset += 8;
+  return true;
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + n);
+}
+
+/// Store payload of one persistable artifact (host-endian; provenance in
+/// the store header ties files to one build, so portability is not a
+/// goal). Canonical and instance payloads are the particle arrays — the
+/// occupancy grid and cell tree rebuild deterministically from them.
+std::vector<std::uint8_t> serialize_artifact(SweepStage stage,
+                                             const void* value) {
+  std::vector<std::uint8_t> out;
+  switch (stage) {
+    case SweepStage::kCanonical: {
+      const auto* canon = static_cast<const CanonicalSample2*>(value);
+      append_u64(out, canon->particles.size());
+      append_bytes(out, canon->particles.data(),
+                   canon->particles.size() * sizeof(Point2));
+      break;
+    }
+    case SweepStage::kOrdering: {
+      const auto* ord = static_cast<const Ordering2*>(value);
+      append_u64(out, ord->rank.size());
+      append_bytes(out, ord->rank.data(),
+                   ord->rank.size() * sizeof(std::uint32_t));
+      break;
+    }
+    case SweepStage::kInstance: {
+      const auto* inst = static_cast<const AcdInstance<2>*>(value);
+      append_u64(out, inst->particles().size());
+      append_bytes(out, inst->particles().data(),
+                   inst->particles().size() * sizeof(Point2));
+      break;
+    }
+    case SweepStage::kNfiHistogram:
+      rank_pairs_serialize(*static_cast<const RankPairAccumulator*>(value),
+                           out);
+      break;
+    case SweepStage::kFfiHistogram:
+      fmm::ffi_histograms_serialize(
+          *static_cast<const fmm::FfiHistograms*>(value), out);
+      break;
+    case SweepStage::kFold: {
+      // The ACD contributions as exact bit patterns; the fold's wall
+      // time is a property of the run, not the artifact, and is
+      // re-stamped with the load time on the way back in.
+      const auto* fold = static_cast<const FoldOut*>(value);
+      append_u64(out, (fold->has_nfi ? 1ull : 0ull) |
+                          (fold->has_ffi ? 2ull : 0ull));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &fold->nfi_acd, sizeof bits);
+      append_u64(out, bits);
+      std::memcpy(&bits, &fold->ffi_acd, sizeof bits);
+      append_u64(out, bits);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+[[noreturn]] void malformed_store_payload() {
+  // Unreachable for store-read payloads (the header checksum validated
+  // the exact bytes the producer wrote); reaching it means a producer
+  // bug, which must not be silently recomputed around.
+  throw std::runtime_error("artifact store: malformed payload");
+}
+
+/// Deserializer for a store-loaded node of `stage`. The returned builder
+/// reconstructs the artifact from the pinned mapping and releases the
+/// mapping immediately after.
+std::function<void(PlanNode&)> store_load_build(SweepStage stage,
+                                                unsigned level) {
+  switch (stage) {
+    case SweepStage::kCanonical:
+      return [level](PlanNode& n) {
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        std::uint64_t count = 0;
+        if (!read_u64(n.mapping.data(), n.mapping.size(), off, count) ||
+            n.mapping.size() - off != count * sizeof(Point2)) {
+          malformed_store_payload();
+        }
+        std::vector<Point2> pts(count);
+        std::memcpy(pts.data(), n.mapping.data() + off,
+                    count * sizeof(Point2));
+        auto canon =
+            std::make_shared<const CanonicalSample2>(std::move(pts), level);
+        n.bytes = canon->memory_bytes();
+        n.output = std::move(canon);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    case SweepStage::kOrdering:
+      return [](PlanNode& n) {
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        std::uint64_t count = 0;
+        if (!read_u64(n.mapping.data(), n.mapping.size(), off, count) ||
+            n.mapping.size() - off != count * sizeof(std::uint32_t)) {
+          malformed_store_payload();
+        }
+        Ordering2 ord;
+        ord.rank.resize(count);
+        std::memcpy(ord.rank.data(), n.mapping.data() + off,
+                    count * sizeof(std::uint32_t));
+        auto built = std::make_shared<const Ordering2>(std::move(ord));
+        n.bytes = built->memory_bytes();
+        n.output = std::move(built);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    case SweepStage::kInstance:
+      return [level](PlanNode& n) {
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        std::uint64_t count = 0;
+        if (!read_u64(n.mapping.data(), n.mapping.size(), off, count) ||
+            n.mapping.size() - off != count * sizeof(Point2)) {
+          malformed_store_payload();
+        }
+        std::vector<Point2> pts(count);
+        std::memcpy(pts.data(), n.mapping.data() + off,
+                    count * sizeof(Point2));
+        auto built = std::make_shared<const AcdInstance<2>>(
+            AcdInstance<2>::from_sorted(std::move(pts), level));
+        n.bytes = built->memory_bytes();
+        n.output = std::move(built);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    case SweepStage::kNfiHistogram:
+      return [](PlanNode& n) {
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        auto acc =
+            rank_pairs_deserialize(n.mapping.data(), n.mapping.size(), off);
+        if (!acc || off != n.mapping.size()) malformed_store_payload();
+        auto built =
+            std::make_shared<const RankPairAccumulator>(std::move(*acc));
+        n.bytes = built->memory_bytes();
+        n.output = std::move(built);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    case SweepStage::kFfiHistogram:
+      return [](PlanNode& n) {
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        auto hist = fmm::ffi_histograms_deserialize(n.mapping.data(),
+                                                    n.mapping.size(), off);
+        if (!hist || off != n.mapping.size()) malformed_store_payload();
+        auto built =
+            std::make_shared<const fmm::FfiHistograms>(std::move(*hist));
+        n.bytes = built->memory_bytes();
+        n.output = std::move(built);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    case SweepStage::kFold:
+      return [](PlanNode& n) {
+        const std::uint64_t t0 = obs::now_ns();
+        const obs::Span span("sweep/store/load");
+        std::size_t off = 0;
+        std::uint64_t flags = 0, nfi_bits = 0, ffi_bits = 0;
+        if (!read_u64(n.mapping.data(), n.mapping.size(), off, flags) ||
+            !read_u64(n.mapping.data(), n.mapping.size(), off, nfi_bits) ||
+            !read_u64(n.mapping.data(), n.mapping.size(), off, ffi_bits) ||
+            off != n.mapping.size() || (flags & ~3ull) != 0) {
+          malformed_store_payload();
+        }
+        auto out = std::make_shared<FoldOut>();
+        out->has_nfi = (flags & 1ull) != 0;
+        out->has_ffi = (flags & 2ull) != 0;
+        std::memcpy(&out->nfi_acd, &nfi_bits, sizeof nfi_bits);
+        std::memcpy(&out->ffi_acd, &ffi_bits, sizeof ffi_bits);
+        out->ms = static_cast<double>(obs::now_ns() - t0) / 1e6;
+        n.bytes = sizeof(FoldOut);
+        n.output = std::move(out);
+        n.mapping = ArtifactStore::Mapping();
+      };
+    default:
+      return {};
+  }
+}
+
+/// The artifact-reusing engine path: plan the whole study as a task
+/// graph on the coordinator (grid order, exactly the serial walk), run
+/// every node on the pool with dependency counters, then replay the
+/// cache accounting and drain results serially — so independent cells
+/// execute concurrently end-to-end while results, statistics, progress
+/// order, and SweepStats stay bit-identical to the serial engine.
 StudyResult run_reuse(const Study& s, const SweepOptions& o) {
   StudyResult result;
   result.study = s;
@@ -270,6 +620,7 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
   result.stats.assign(s.cell_count(), AcdCellStats{});
 
   ArtifactCache cache(o.cache_bytes);
+  ArtifactStore* store = o.store;
   util::ThreadPool* pool = o.pool;
   const bool parallel = pool != nullptr && pool->size() > 1;
   const double trials = s.trials;
@@ -281,7 +632,57 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
   std::atomic<std::uint64_t> order_build_ns{0};
   std::atomic<std::uint64_t> order_build_particles{0};
 
-  std::vector<CellJob> jobs;
+  // ---- plan -------------------------------------------------------
+  // One pass over the study grid on the coordinator, in the serial
+  // engine's exact order. Every artifact becomes a node (deduped by
+  // stage key); every cache operation the serial engine would perform
+  // is recorded in `ops` at its exact site, to be replayed after
+  // execution — so the SweepStats counters are deterministic whatever
+  // the scheduling.
+  std::deque<PlanNode> nodes;  // deque: node addresses must be stable
+  std::vector<CacheOp> ops;
+  std::vector<DrainJob> drain;
+  std::array<std::unordered_map<std::uint64_t, PlanNode*>, kSweepStageCount>
+      planned;
+  auto planned_of =
+      [&planned](SweepStage stage) -> std::unordered_map<std::uint64_t,
+                                                         PlanNode*>& {
+    return planned[static_cast<unsigned>(stage)];
+  };
+  auto make_node = [&nodes](SweepStage stage,
+                            std::uint64_t raw_key) -> PlanNode* {
+    PlanNode& n = nodes.emplace_back();
+    n.stage = stage;
+    n.raw_key = raw_key;
+    return &n;
+  };
+  auto link = [](PlanNode* node, std::initializer_list<PlanNode*> deps) {
+    unsigned count = 0;
+    for (PlanNode* dep : deps) {
+      if (dep == nullptr || dep->output != nullptr) continue;
+      dep->consumers.push_back(node);
+      ++count;
+    }
+    node->pending.store(count, std::memory_order_relaxed);
+  };
+  auto find_op = [&ops](SweepStage stage, std::uint64_t key) {
+    ops.push_back(CacheOp{CacheOp::kFind, stage, key, nullptr});
+  };
+  auto put_op = [&ops](PlanNode* node) {
+    ops.push_back(CacheOp{CacheOp::kPut, node->stage, node->raw_key, node});
+  };
+  // Store probe for a planned miss: a validated payload turns the node
+  // into a cheap deserialize; the mapping pins the bytes until then.
+  auto probe_store = [store, level = s.level](PlanNode* node) -> bool {
+    if (store == nullptr || !store_persistable(node->stage)) return false;
+    auto mapping = store->load(node->stage, node->raw_key);
+    if (!mapping) return false;
+    node->mapping = std::move(*mapping);
+    node->from_store = true;
+    node->build = store_load_build(node->stage, level);
+    return true;
+  };
+
   for (std::size_t d = 0; d < s.distributions.size(); ++d) {
     for (unsigned t = 0; t < s.trials; ++t) {
       const std::uint64_t sample_key =
@@ -290,77 +691,107 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
 
       // Canonical spatial state for this (distribution, trial): the
       // cell-sorted sample and its occupancy grid, which every curve of
-      // the row shares.
-      const auto canonical = cache.get<CanonicalSample2>(
-          SweepStage::kCanonical, sample_key, [&] {
+      // the row shares. The serial engine's canonical builder starts
+      // with the sample lookup, so the sample ops nest inside the
+      // canonical miss.
+      find_op(SweepStage::kCanonical, sample_key);
+      PlanNode* canonical = nullptr;
+      if (const auto it = planned_of(SweepStage::kCanonical).find(sample_key);
+          it != planned_of(SweepStage::kCanonical).end()) {
+        canonical = it->second;
+      } else {
+        canonical = make_node(SweepStage::kCanonical, sample_key);
+        if (!probe_store(canonical)) {
+          find_op(SweepStage::kSample, sample_key);
+          PlanNode* sample = nullptr;
+          if (const auto sit = planned_of(SweepStage::kSample).find(sample_key);
+              sit != planned_of(SweepStage::kSample).end()) {
+            sample = sit->second;
+          } else {
+            sample = make_node(SweepStage::kSample, sample_key);
+            sample->build = [dk = s.distributions[d], count = s.particles,
+                             level = s.level,
+                             seed = util::substream_seed(s.seed, t)](
+                                PlanNode& n) {
+              const obs::Span span(stage_span_name(SweepStage::kSample));
+              dist::SampleConfig cfg;
+              cfg.count = count;
+              cfg.level = level;
+              cfg.seed = seed;
+              auto pts = std::make_shared<const Sample2>(
+                  dist::sample_particles<2>(dk, cfg));
+              n.bytes = pts->capacity() * sizeof(Point2);
+              n.output = std::move(pts);
+            };
+            put_op(sample);
+            planned_of(SweepStage::kSample).emplace(sample_key, sample);
+          }
+          canonical->build = [sample, level = s.level, pool](PlanNode& n) {
             const obs::Span span(stage_span_name(SweepStage::kCanonical));
-            const auto sample =
-                cache.get<Sample2>(SweepStage::kSample, sample_key, [&] {
-                  const obs::Span sample_span(
-                      stage_span_name(SweepStage::kSample));
-                  dist::SampleConfig cfg;
-                  cfg.count = s.particles;
-                  cfg.level = s.level;
-                  cfg.seed = util::substream_seed(s.seed, t);
-                  auto pts = std::make_shared<const Sample2>(
-                      dist::sample_particles<2>(s.distributions[d], cfg));
-                  const std::size_t bytes = pts->capacity() * sizeof(Point2);
-                  return std::pair{pts, bytes};
-                });
+            const auto raw = out_as<Sample2>(sample);
             auto canon = std::make_shared<const CanonicalSample2>(
-                canonical_order(*sample, s.level, pool), s.level);
-            return std::pair{canon, canon->memory_bytes()};
-          });
+                canonical_order(*raw, level, pool), level);
+            n.bytes = canon->memory_bytes();
+            n.output = std::move(canon);
+          };
+          link(canonical, {sample});
+        }
+        put_op(canonical);
+        planned_of(SweepStage::kCanonical).emplace(sample_key, canonical);
+      }
 
-      // Ordering (and, for FFI studies, instance) prefetch: the cache
-      // lookups run on the coordinator in pc order (the counter sequence
-      // is identical to building inline), while the misses — the most
-      // expensive serial artifacts of the whole sweep — build
-      // concurrently on the pool. Construction is deterministic, so
-      // scheduling never changes the artifacts.
+      // Ordering (and, for FFI studies, instance) sites: lookups in pc
+      // order, then the misses in pc order — the serial engine's
+      // prefetch shape, so the counter sequence is identical.
       const std::size_t npc = s.particle_curves.size();
-      std::vector<std::shared_ptr<const Ordering2>> orderings(npc);
+      std::vector<PlanNode*> orderings(npc, nullptr);
       {
-        struct OrderingBuild {
-          std::size_t pc = 0;
-          std::uint64_t key = 0;
-          std::shared_ptr<const Ordering2> built;
-        };
-        std::vector<OrderingBuild> builds;
+        std::vector<std::size_t> missed;
         for (std::size_t pc = 0; pc < npc; ++pc) {
           const std::uint64_t order_key = sweep_key(
               sample_key, static_cast<std::uint64_t>(s.particle_curves[pc]));
-          orderings[pc] =
-              cache.find<Ordering2>(SweepStage::kOrdering, order_key);
-          if (orderings[pc] == nullptr) {
-            builds.push_back(OrderingBuild{pc, order_key, nullptr});
-          }
-        }
-        for (OrderingBuild& b : builds) {
-          const CurveKind pkind = s.particle_curves[b.pc];
-          auto construct = [&b, &canonical, pkind, level = s.level,
-                            &order_build_ns, &order_build_particles] {
-            const obs::Span span(stage_span_name(SweepStage::kOrdering));
-            const std::uint64_t t0 = obs::now_ns();
-            const auto curve = make_curve<2>(pkind);
-            b.built = std::make_shared<const Ordering2>(
-                make_ordering(canonical->particles, level, *curve));
-            order_build_ns.fetch_add(obs::now_ns() - t0,
-                                     std::memory_order_relaxed);
-            order_build_particles.fetch_add(canonical->particles.size(),
-                                            std::memory_order_relaxed);
-          };
-          if (parallel) {
-            pool->submit(construct);
+          find_op(SweepStage::kOrdering, order_key);
+          if (const auto it = planned_of(SweepStage::kOrdering).find(order_key);
+              it != planned_of(SweepStage::kOrdering).end()) {
+            orderings[pc] = it->second;
           } else {
-            construct();
+            missed.push_back(pc);
           }
         }
-        if (parallel) pool->wait_idle();
-        for (OrderingBuild& b : builds) {
-          cache.put<Ordering2>(SweepStage::kOrdering, b.key, b.built,
-                               b.built->memory_bytes());
-          orderings[b.pc] = std::move(b.built);
+        for (const std::size_t pc : missed) {
+          const CurveKind pkind = s.particle_curves[pc];
+          const std::uint64_t order_key =
+              sweep_key(sample_key, static_cast<std::uint64_t>(pkind));
+          if (const auto it = planned_of(SweepStage::kOrdering).find(order_key);
+              it != planned_of(SweepStage::kOrdering).end()) {
+            // Duplicate curve in the study row: one build, two puts —
+            // the same artifact the serial engine would re-put.
+            orderings[pc] = it->second;
+            put_op(it->second);
+            continue;
+          }
+          PlanNode* node = make_node(SweepStage::kOrdering, order_key);
+          if (!probe_store(node)) {
+            node->build = [canonical, pkind, level = s.level, &order_build_ns,
+                           &order_build_particles](PlanNode& n) {
+              const obs::Span span(stage_span_name(SweepStage::kOrdering));
+              const std::uint64_t t0 = obs::now_ns();
+              const auto canon = out_as<CanonicalSample2>(canonical);
+              const auto curve = make_curve<2>(pkind);
+              auto built = std::make_shared<const Ordering2>(
+                  make_ordering(canon->particles, level, *curve));
+              order_build_ns.fetch_add(obs::now_ns() - t0,
+                                       std::memory_order_relaxed);
+              order_build_particles.fetch_add(canon->particles.size(),
+                                              std::memory_order_relaxed);
+              n.bytes = built->memory_bytes();
+              n.output = std::move(built);
+            };
+            link(node, {canonical});
+          }
+          put_op(node);
+          planned_of(SweepStage::kOrdering).emplace(order_key, node);
+          orderings[pc] = node;
         }
       }
 
@@ -368,46 +799,52 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
       // physically in curve order; scatter them through the rank table
       // instead of re-sorting (the sequence is identical). Near-field-
       // only studies never build an instance at all.
-      std::vector<std::shared_ptr<const AcdInstance<2>>> instances(
-          s.far_field ? npc : 0);
+      std::vector<PlanNode*> instances(s.far_field ? npc : 0, nullptr);
       if (s.far_field) {
-        struct InstanceBuild {
-          std::size_t pc = 0;
-          std::uint64_t key = 0;
-          std::shared_ptr<const AcdInstance<2>> built;
-        };
-        std::vector<InstanceBuild> builds;
+        std::vector<std::size_t> missed;
         for (std::size_t pc = 0; pc < npc; ++pc) {
           const std::uint64_t instance_key = sweep_key(
               sample_key, static_cast<std::uint64_t>(s.particle_curves[pc]));
-          instances[pc] =
-              cache.find<AcdInstance<2>>(SweepStage::kInstance, instance_key);
-          if (instances[pc] == nullptr) {
-            builds.push_back(InstanceBuild{pc, instance_key, nullptr});
-          }
-        }
-        for (InstanceBuild& b : builds) {
-          const std::shared_ptr<const Ordering2>& ordering = orderings[b.pc];
-          auto construct = [&b, &canonical, &ordering, level = s.level] {
-            const obs::Span span(stage_span_name(SweepStage::kInstance));
-            std::vector<Point2> sorted(canonical->particles.size());
-            for (std::size_t i = 0; i < sorted.size(); ++i) {
-              sorted[ordering->rank[i]] = canonical->particles[i];
-            }
-            b.built = std::make_shared<const AcdInstance<2>>(
-                AcdInstance<2>::from_sorted(std::move(sorted), level));
-          };
-          if (parallel) {
-            pool->submit(construct);
+          find_op(SweepStage::kInstance, instance_key);
+          if (const auto it =
+                  planned_of(SweepStage::kInstance).find(instance_key);
+              it != planned_of(SweepStage::kInstance).end()) {
+            instances[pc] = it->second;
           } else {
-            construct();
+            missed.push_back(pc);
           }
         }
-        if (parallel) pool->wait_idle();
-        for (InstanceBuild& b : builds) {
-          cache.put<AcdInstance<2>>(SweepStage::kInstance, b.key, b.built,
-                                    b.built->memory_bytes());
-          instances[b.pc] = std::move(b.built);
+        for (const std::size_t pc : missed) {
+          const std::uint64_t instance_key = sweep_key(
+              sample_key, static_cast<std::uint64_t>(s.particle_curves[pc]));
+          if (const auto it =
+                  planned_of(SweepStage::kInstance).find(instance_key);
+              it != planned_of(SweepStage::kInstance).end()) {
+            instances[pc] = it->second;
+            put_op(it->second);
+            continue;
+          }
+          PlanNode* node = make_node(SweepStage::kInstance, instance_key);
+          if (!probe_store(node)) {
+            node->build = [canonical, ordering = orderings[pc],
+                           level = s.level](PlanNode& n) {
+              const obs::Span span(stage_span_name(SweepStage::kInstance));
+              const auto canon = out_as<CanonicalSample2>(canonical);
+              const auto ord = out_as<Ordering2>(ordering);
+              std::vector<Point2> sorted(canon->particles.size());
+              for (std::size_t i = 0; i < sorted.size(); ++i) {
+                sorted[ord->rank[i]] = canon->particles[i];
+              }
+              auto built = std::make_shared<const AcdInstance<2>>(
+                  AcdInstance<2>::from_sorted(std::move(sorted), level));
+              n.bytes = built->memory_bytes();
+              n.output = std::move(built);
+            };
+            link(node, {canonical, orderings[pc]});
+          }
+          put_op(node);
+          planned_of(SweepStage::kInstance).emplace(instance_key, node);
+          instances[pc] = node;
         }
       }
 
@@ -415,16 +852,15 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
         const CurveKind pkind = s.particle_curves[pc];
         const std::uint64_t instance_key =
             sweep_key(sample_key, static_cast<std::uint64_t>(pkind));
-        const std::shared_ptr<const Ordering2>& ordering = orderings[pc];
 
         for (std::size_t pi = 0; pi < s.proc_counts.size(); ++pi) {
           const topo::Rank procs = s.proc_counts[pi];
-          const fmm::Partition part(canonical->particles.size(), procs);
 
-          // Prefetch/build this group's fold inputs on the coordinator
-          // (cache traffic stays deterministic; make_topology's argument
-          // validation throws here, never inside a pool task).
-          jobs.clear();
+          // Plan this group's fold inputs (cache ops stay in the serial
+          // prefetch order; make_topology's argument validation throws
+          // here on the coordinator, never inside a pool task).
+          std::vector<DrainJob> group;
+          group.reserve(nrc * s.topologies.size());
           for (std::size_t rc = 0; rc < nrc; ++rc) {
             const std::size_t rc_index = s.paired_curves() ? pc : rc;
             const CurveKind rkind =
@@ -434,120 +870,308 @@ StudyResult run_reuse(const Study& s, const SweepOptions& o) {
               // The planned fold strategy is part of the cache identity:
               // a strategy change (new kernel, budget change) must not
               // resurrect payloads sized for the old plan.
-              const topo::FoldStrategy planned =
+              const topo::FoldStrategy planned_fold =
                   topo::planned_fold_strategy(tkind, procs);
               const std::uint64_t topo_key =
                   key_of({static_cast<std::uint64_t>(tkind), procs,
                           topology_uses_ranking(tkind)
                               ? static_cast<std::uint64_t>(rkind)
                               : kNoRanking,
-                          static_cast<std::uint64_t>(planned)});
-              CellJob job;
-              job.index = result.index(d, pc, pi, rc, ti);
-              job.ref = StudyCellRef{d, t, pc, pi, rc_index, ti};
-              job.net = cache.get<topo::Topology>(
-                  SweepStage::kTopology, topo_key, [&] {
-                    const obs::Span span(
-                        stage_span_name(SweepStage::kTopology));
-                    const auto ranking = make_curve<2>(rkind);
-                    std::shared_ptr<const topo::Topology> net =
-                        topo::make_topology<2>(tkind, procs, ranking.get());
-                    // Payload estimate: per-rank coordinates plus the hop
-                    // table only a dense-strategy fold would materialize
-                    // (factorized kernels never touch p×p state).
-                    std::size_t bytes =
-                        static_cast<std::size_t>(procs) * 2 * sizeof(topo::Rank);
-                    if (planned == topo::FoldStrategy::kDense) {
-                      bytes += static_cast<std::size_t>(procs) * procs *
-                               sizeof(std::uint32_t);
-                    }
-                    return std::pair{net, bytes};
-                  });
+                          static_cast<std::uint64_t>(planned_fold)});
+              find_op(SweepStage::kTopology, topo_key);
+              PlanNode* topo_node = nullptr;
+              if (const auto it = planned_of(SweepStage::kTopology)
+                                      .find(topo_key);
+                  it != planned_of(SweepStage::kTopology).end()) {
+                topo_node = it->second;
+              } else {
+                // Topologies are built eagerly at plan time: they are
+                // cheap, their validation must throw on the coordinator,
+                // and pre-materializing them keeps them out of the
+                // execution graph entirely.
+                topo_node = make_node(SweepStage::kTopology, topo_key);
+                const obs::Span span(stage_span_name(SweepStage::kTopology));
+                const auto ranking = make_curve<2>(rkind);
+                std::shared_ptr<const topo::Topology> net =
+                    topo::make_topology<2>(tkind, procs, ranking.get());
+                // Payload estimate: per-rank coordinates plus the hop
+                // table only a dense-strategy fold would materialize
+                // (factorized kernels never touch p×p state).
+                std::size_t bytes =
+                    static_cast<std::size_t>(procs) * 2 * sizeof(topo::Rank);
+                if (planned_fold == topo::FoldStrategy::kDense) {
+                  bytes += static_cast<std::size_t>(procs) * procs *
+                           sizeof(std::uint32_t);
+                }
+                topo_node->bytes = bytes;
+                topo_node->output = std::move(net);
+                put_op(topo_node);
+                planned_of(SweepStage::kTopology).emplace(topo_key, topo_node);
+              }
+              const auto net = out_as<topo::Topology>(topo_node);
+
+              PlanNode* nfi_node = nullptr;
               if (s.near_field) {
                 const std::uint64_t nfi_key =
                     key_of({instance_key, procs, s.radius,
                             static_cast<std::uint64_t>(s.norm)});
-                job.nfi = cache.get<RankPairAccumulator>(
-                    SweepStage::kNfiHistogram, nfi_key, [&] {
+                find_op(SweepStage::kNfiHistogram, nfi_key);
+                if (const auto it = planned_of(SweepStage::kNfiHistogram)
+                                        .find(nfi_key);
+                    it != planned_of(SweepStage::kNfiHistogram).end()) {
+                  nfi_node = it->second;
+                } else {
+                  nfi_node = make_node(SweepStage::kNfiHistogram, nfi_key);
+                  if (!probe_store(nfi_node)) {
+                    nfi_node->build = [canonical, ordering = orderings[pc],
+                                       procs, radius = s.radius, norm = s.norm,
+                                       pool](PlanNode& n) {
                       const obs::Span span(
                           stage_span_name(SweepStage::kNfiHistogram));
+                      const auto canon = out_as<CanonicalSample2>(canonical);
+                      const auto ord = out_as<Ordering2>(ordering);
                       // Owner of canonical particle i: the partition
                       // chunk its curve rank falls in.
+                      const fmm::Partition part(canon->particles.size(),
+                                                procs);
                       const std::vector<topo::Rank> by_rank =
                           part.owner_table();
                       std::vector<topo::Rank> owners(
-                          canonical->particles.size());
+                          canon->particles.size());
                       for (std::size_t i = 0; i < owners.size(); ++i) {
-                        owners[i] = by_rank[ordering->rank[i]];
+                        owners[i] = by_rank[ord->rank[i]];
                       }
                       auto hist = std::make_shared<const RankPairAccumulator>(
                           fmm::nfi_histogram_owners<2>(
-                              canonical->particles, canonical->grid, owners,
-                              procs, s.radius, s.norm, pool));
+                              canon->particles, canon->grid, owners, procs,
+                              radius, norm, pool));
                       hist->seal();
-                      return std::pair{hist, hist->memory_bytes()};
-                    });
+                      n.bytes = hist->memory_bytes();
+                      n.output = std::move(hist);
+                    };
+                    link(nfi_node, {canonical, orderings[pc]});
+                  }
+                  put_op(nfi_node);
+                  planned_of(SweepStage::kNfiHistogram)
+                      .emplace(nfi_key, nfi_node);
+                }
               }
+
+              PlanNode* ffi_node = nullptr;
               if (s.far_field) {
                 const std::uint64_t ffi_key = key_of({instance_key, procs});
-                job.ffi = cache.get<fmm::FfiHistograms>(
-                    SweepStage::kFfiHistogram, ffi_key, [&] {
+                find_op(SweepStage::kFfiHistogram, ffi_key);
+                if (const auto it = planned_of(SweepStage::kFfiHistogram)
+                                        .find(ffi_key);
+                    it != planned_of(SweepStage::kFfiHistogram).end()) {
+                  ffi_node = it->second;
+                } else {
+                  ffi_node = make_node(SweepStage::kFfiHistogram, ffi_key);
+                  if (!probe_store(ffi_node)) {
+                    ffi_node->build = [instance = instances[pc], procs,
+                                       pool](PlanNode& n) {
                       const obs::Span span(
                           stage_span_name(SweepStage::kFfiHistogram));
+                      const auto inst = out_as<AcdInstance<2>>(instance);
+                      const fmm::Partition part(inst->particles().size(),
+                                                procs);
                       auto hist = std::make_shared<const fmm::FfiHistograms>(
-                          fmm::ffi_histograms<2>(instances[pc]->tree(), part,
-                                                 pool));
+                          fmm::ffi_histograms<2>(inst->tree(), part, pool));
                       hist->interpolation.seal();
                       hist->interaction.seal();
-                      return std::pair{hist, hist->memory_bytes()};
-                    });
+                      n.bytes = hist->memory_bytes();
+                      n.output = std::move(hist);
+                    };
+                    link(ffi_node, {instances[pc]});
+                  }
+                  put_op(ffi_node);
+                  planned_of(SweepStage::kFfiHistogram)
+                      .emplace(ffi_key, ffi_node);
+                }
               }
-              jobs.push_back(std::move(job));
+
+              // The fold: one per cell, never memory-cached or deduped
+              // in-plan, but keyed by its inputs (histograms ⊕ topology)
+              // so a warm store answers it — at warm-start the folds are
+              // the only remaining compute. It holds the topology
+              // directly (pre-materialized above), so its only graph
+              // dependencies are the histograms.
+              const std::uint64_t fold_key =
+                  key_of({nfi_node != nullptr ? nfi_node->raw_key : 0,
+                          ffi_node != nullptr ? ffi_node->raw_key : 0,
+                          topo_key});
+              PlanNode* fold = make_node(SweepStage::kFold, fold_key);
+              if (probe_store(fold)) {
+                group.push_back(
+                    DrainJob{result.index(d, pc, pi, rc, ti),
+                             StudyCellRef{d, t, pc, pi, rc_index, ti}, fold});
+                continue;
+              }
+              fold->build = [net, nfi_node, ffi_node](PlanNode& n) {
+                const std::uint64_t t0 = obs::now_ns();
+                const obs::Span span(stage_span_name(SweepStage::kFold));
+                auto out = std::make_shared<FoldOut>();
+                if (nfi_node != nullptr) {
+                  const auto hist = out_as<RankPairAccumulator>(nfi_node);
+                  out->nfi_acd = net->fold(hist->view()).acd();
+                  out->has_nfi = true;
+                }
+                if (ffi_node != nullptr) {
+                  const auto hist = out_as<fmm::FfiHistograms>(ffi_node);
+                  out->ffi_acd = fmm::ffi_fold(*hist, *net).total().acd();
+                  out->has_ffi = true;
+                }
+                out->ms = static_cast<double>(obs::now_ns() - t0) / 1e6;
+                n.bytes = sizeof(FoldOut);
+                n.output = std::move(out);
+              };
+              link(fold, {nfi_node, ffi_node});
+              group.push_back(DrainJob{result.index(d, pc, pi, rc, ti),
+                                       StudyCellRef{d, t, pc, pi, rc_index, ti},
+                                       fold});
             }
           }
 
-          // Fold every cell of the group. Distinct cells write distinct
-          // slots; the wait_idle barrier below orders the trials of each
-          // cell, so the float accumulation order matches the direct
-          // path exactly. Each fold's wall time is measured on the obs
-          // span clock and handed to the progress sink after the barrier.
-          std::vector<double> fold_ms(jobs.size(), 0.0);
-          for (std::size_t k = 0; k < jobs.size(); ++k) {
-            const CellJob& job = jobs[k];
-            if (job.nfi != nullptr) cache.count_fold();
-            if (job.ffi != nullptr) cache.count_fold();
-            auto fold_cell = [&result, job, trials, ms = &fold_ms[k]] {
-              const std::uint64_t t0 = obs::now_ns();
-              const obs::Span span(stage_span_name(SweepStage::kFold));
-              if (job.nfi != nullptr) {
-                const double acd = job.net->fold(job.nfi->view()).acd();
-                result.cells[job.index].nfi_acd += acd / trials;
-                result.stats[job.index].nfi.add(acd);
-              }
-              if (job.ffi != nullptr) {
-                const double acd =
-                    fmm::ffi_fold(*job.ffi, *job.net).total().acd();
-                result.cells[job.index].ffi_acd += acd / trials;
-                result.stats[job.index].ffi.add(acd);
-              }
-              *ms = static_cast<double>(obs::now_ns() - t0) / 1e6;
-            };
-            if (parallel) {
-              pool->submit(fold_cell);
-            } else {
-              fold_cell();
+          // The serial engine counts the fold traffic after the group's
+          // prefetch, one tick per model per cell.
+          for (const DrainJob& job : group) {
+            if (s.near_field) {
+              ops.push_back(CacheOp{CacheOp::kCountFold, SweepStage::kFold, 0,
+                                    nullptr});
             }
-          }
-          if (parallel) pool->wait_idle();
-          if (o.progress) {
-            for (std::size_t k = 0; k < jobs.size(); ++k) {
-              o.progress(jobs[k].ref, fold_ms[k]);
+            if (s.far_field) {
+              ops.push_back(CacheOp{CacheOp::kCountFold, SweepStage::kFold, 0,
+                                    nullptr});
             }
+            drain.push_back(job);
           }
         }
       }
     }
   }
+
+  // ---- execute ----------------------------------------------------
+  // Everything not pre-materialized at plan time runs here. Both paths
+  // seed the ready roots and let completions cascade through the
+  // dependency counters; the parallel path additionally has the
+  // coordinator help drain the pool's queue.
+  std::vector<PlanNode*> runnable;
+  runnable.reserve(nodes.size());
+  for (PlanNode& n : nodes) {
+    if (n.output == nullptr) runnable.push_back(&n);
+  }
+  if (!parallel) {
+    std::vector<PlanNode*> ready;
+    ready.reserve(runnable.size());
+    for (PlanNode* n : runnable) {
+      if (n->pending.load(std::memory_order_relaxed) == 0) {
+        ready.push_back(n);
+      }
+    }
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      PlanNode* n = ready[i];
+      n->build(*n);
+      for (PlanNode* c : n->consumers) {
+        if (c->pending.fetch_sub(1, std::memory_order_relaxed) == 1) {
+          ready.push_back(c);
+        }
+      }
+    }
+  } else if (!runnable.empty()) {
+    struct Exec {
+      util::ThreadPool* pool;
+      util::Latch* done;
+      void run(PlanNode* n) const {
+        n->build(*n);
+        for (PlanNode* c : n->consumers) {
+          // acq_rel: the consumer's build must observe every producer
+          // output, whichever thread decrements last.
+          if (c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            pool->submit([this, c] { run(c); });
+          }
+        }
+        done->count_down();
+      }
+    };
+    util::Latch done(runnable.size());
+    const Exec exec{pool, &done};
+    // Snapshot the roots before submitting any of them: once a root
+    // runs, its completions decrement consumers toward zero, and a
+    // live scan would re-submit those as roots.
+    std::vector<PlanNode*> roots;
+    for (PlanNode* n : runnable) {
+      if (n->pending.load(std::memory_order_relaxed) == 0) {
+        roots.push_back(n);
+      }
+    }
+    for (PlanNode* n : roots) {
+      pool->submit([&exec, n] { exec.run(n); });
+    }
+    done.wait_and_help(util::can_help(*pool) ? pool : nullptr);
+  }
+
+  // ---- account ----------------------------------------------------
+  // Replay the recorded cache traffic through the real cache on this
+  // one thread: hit/miss/eviction counters, byte accounting, and the
+  // spill stream are exactly what the serial engine would have
+  // produced, independent of how execution was scheduled.
+  if (store != nullptr) {
+    cache.set_spill_hook([store](SweepStage stage, std::uint64_t raw_key,
+                                 const std::shared_ptr<const void>& value,
+                                 std::size_t) {
+      if (!store_persistable(stage) || value == nullptr) return;
+      if (store->contains(stage, raw_key)) return;
+      const std::vector<std::uint8_t> payload =
+          serialize_artifact(stage, value.get());
+      store->save(stage, raw_key, payload.data(), payload.size());
+    });
+  }
+  for (const CacheOp& op : ops) {
+    switch (op.kind) {
+      case CacheOp::kFind:
+        (void)cache.find<void>(op.stage, op.raw_key);
+        break;
+      case CacheOp::kPut:
+        cache.put<void>(op.stage, op.raw_key, op.node->output,
+                        op.node->bytes);
+        break;
+      case CacheOp::kCountFold:
+        cache.count_fold();
+        break;
+    }
+  }
+
+  // Flush: every persistable artifact this run computed lands on disk
+  // (spilled evictions and store-loaded nodes are already there), so a
+  // warm rerun deserializes instead of recomputing.
+  if (store != nullptr) {
+    for (const PlanNode& n : nodes) {
+      if (!store_persistable(n.stage) || n.from_store || !n.output) continue;
+      if (store->contains(n.stage, n.raw_key)) continue;
+      const std::vector<std::uint8_t> payload =
+          serialize_artifact(n.stage, n.output.get());
+      store->save(n.stage, n.raw_key, payload.data(), payload.size());
+    }
+    store->publish_metrics();
+  }
+
+  // ---- drain ------------------------------------------------------
+  // Results, statistics, and progress callbacks in plan (= grid) order:
+  // the float accumulation order matches the serial engine exactly, so
+  // cells are bit-identical whatever the thread count.
+  for (const DrainJob& job : drain) {
+    const auto out = out_as<FoldOut>(job.fold);
+    if (out->has_nfi) {
+      result.cells[job.index].nfi_acd += out->nfi_acd / trials;
+      result.stats[job.index].nfi.add(out->nfi_acd);
+    }
+    if (out->has_ffi) {
+      result.cells[job.index].ffi_acd += out->ffi_acd / trials;
+      result.stats[job.index].ffi.add(out->ffi_acd);
+    }
+    if (o.progress) o.progress(job.ref, out->ms);
+  }
+
   result.sweep = cache.stats();
   publish_sweep_metrics(result.sweep);
   if (obs::metrics_enabled() && order_build_particles.load() > 0) {

@@ -9,10 +9,12 @@
 // radius), not on the topology or processor order, which only enter the
 // final p²-bounded fold. The engine decomposes a declarative Study into
 // content-hash-keyed stage artifacts, memoizes them in a byte-budgeted
-// LRU, and schedules the independent folds of each cell group on the
-// ThreadPool — so Table I's four processor-order rows and Figure 6's six
-// topologies fold the *same* histograms instead of re-running the
-// O(n·window) enumeration. The spatial side of a sample is factored out
+// LRU (optionally backed by the on-disk ArtifactStore tier), and
+// schedules the whole study as a task graph on the ThreadPool — every
+// stage node is a task with hash-keyed dependencies, so independent
+// cells run concurrently end-to-end while Table I's four
+// processor-order rows and Figure 6's six topologies still fold the
+// *same* histograms instead of re-running the O(n·window) enumeration. The spatial side of a sample is factored out
 // once per (distribution, trial) as a cell-sorted *canonical* copy with
 // its occupancy grid; each curve then contributes only a rank table (a
 // linear-time bucket argsort of its cell indices), the NFI events are
@@ -27,11 +29,13 @@
 // invalidation rules.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -78,8 +82,13 @@ struct StageCounters {
   }
 };
 
-/// Cache accounting for one engine run. Counters are deterministic: all
-/// cache traffic happens on the coordinating thread in grid order.
+/// Cache accounting for one engine run. Counter *totals* are
+/// deterministic — the engine plans every lookup in grid order and
+/// replays the accounting sequence on the coordinating thread — but
+/// under the concurrent scheduler the wall-clock moment a given stage's
+/// build runs (and therefore per-stage *attribution order* in traces) is
+/// scheduling-dependent. See docs/architecture.md, "Cell-graph
+/// scheduling".
 struct SweepStats {
   StageCounters stages[kSweepStageCount];
   std::uint64_t evictions = 0;
@@ -126,13 +135,35 @@ constexpr std::uint64_t sweep_key(std::uint64_t h, std::uint64_t v) noexcept {
   return sweep_mix(h ^ sweep_mix(v));
 }
 
-/// LRU artifact store with byte-budget eviction and per-stage hit/miss
-/// counters. Single-threaded by design: the engine performs all cache
-/// traffic on the coordinating thread (worker tasks only receive
-/// already-pinned shared_ptrs), which keeps the counters deterministic.
+/// Thread-safe LRU artifact cache with byte-budget eviction and atomic
+/// per-stage hit/miss counters. The key space is sharded across
+/// independently-locked hash maps (keys are splitmix64-mixed, so any
+/// shard selection bits are uniform); recency is a global atomic touch
+/// sequence, which makes eviction order *exactly* the single LRU list's
+/// whenever operations are serialized (the unit tests pin that), and a
+/// consistent least-recently-touched choice under concurrency.
+/// Evictions run under one eviction mutex and may invoke a spill hook —
+/// the bridge to the disk-backed ArtifactStore tier. The sweep engine
+/// serializes its accounting traffic (plan-order replay on the
+/// coordinator), so SweepStats stays deterministic regardless of thread
+/// count; the locking here is what lets dynamics replays, tests, and
+/// future query servers share one cache across threads.
 class ArtifactCache {
  public:
+  /// Eviction spill hook: (stage, un-mixed stage key, artifact, payload
+  /// bytes). Runs outside the shard locks (the hook may do IO).
+  using SpillFn =
+      std::function<void(SweepStage, std::uint64_t,
+                         const std::shared_ptr<const void>&, std::size_t)>;
+
   explicit ArtifactCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Install the eviction spill hook. Not thread-safe against concurrent
+  /// cache traffic — set it before the cache is shared.
+  void set_spill_hook(SpillFn hook) { spill_ = std::move(hook); }
 
   /// Artifact under (stage, key), building it via `make` on a miss.
   /// `make` returns {artifact, payload bytes}. The returned pointer stays
@@ -160,36 +191,69 @@ class ArtifactCache {
   template <typename T>
   void put(SweepStage stage, std::uint64_t key,
            std::shared_ptr<const T> value, std::size_t bytes) {
-    key = sweep_key(static_cast<std::uint64_t>(stage), key);
-    insert(stage, key, std::move(value), bytes);
+    const std::uint64_t mixed =
+        sweep_key(static_cast<std::uint64_t>(stage), key);
+    insert(stage, mixed, key, std::move(value), bytes);
   }
 
   /// Count a per-cell fold execution (computed, never stored).
-  void count_fold() noexcept { ++stats_.stage(SweepStage::kFold).misses; }
+  void count_fold() noexcept {
+    misses_[static_cast<unsigned>(SweepStage::kFold)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   std::size_t budget() const noexcept { return budget_; }
-  const SweepStats& stats() const noexcept { return stats_; }
+  /// Counter snapshot (each field individually atomic; a snapshot taken
+  /// while traffic is in flight is internally consistent only once the
+  /// traffic quiesces — every engine path reads it after its barrier).
+  SweepStats stats() const;
 
  private:
   struct Entry {
     std::shared_ptr<const void> value;
     std::size_t bytes = 0;
     SweepStage stage = SweepStage::kSample;
+    /// The caller's un-mixed stage key — what the spill hook needs to
+    /// address the same artifact in the ArtifactStore.
+    std::uint64_t raw_key = 0;
     /// Span-clock time of insertion or last hit; feeds the
     /// sweep.cache.eviction_age_ns histogram (how long a victim sat cold
     /// before eviction — the signal that the budget is too small).
     std::uint64_t last_touch_ns = 0;
-    std::list<std::uint64_t>::iterator lru_it;
+    /// Global recency stamp: larger = touched more recently. The victim
+    /// scan evicts the minimum, which reproduces list-LRU order exactly.
+    std::uint64_t touch_seq = 0;
   };
 
+  static constexpr std::size_t kShardCount = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map;
+  };
+
+  Shard& shard_of(std::uint64_t mixed_key) noexcept {
+    return shards_[mixed_key % kShardCount];
+  }
+
   std::shared_ptr<const void> lookup(SweepStage stage, std::uint64_t key);
-  void insert(SweepStage stage, std::uint64_t key,
+  void insert(SweepStage stage, std::uint64_t key, std::uint64_t raw_key,
               std::shared_ptr<const void> value, std::size_t bytes);
+  void evict_to_budget();
 
   std::size_t budget_;
-  SweepStats stats_;
-  std::unordered_map<std::uint64_t, Entry> map_;
-  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  SpillFn spill_;
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint64_t> touch_seq_{0};
+  std::atomic<std::uint64_t> hits_[kSweepStageCount]{};
+  std::atomic<std::uint64_t> misses_[kSweepStageCount]{};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::size_t> stage_bytes_[kSweepStageCount]{};
+  std::atomic<std::size_t> entries_{0};
+  /// Serializes victim selection (the scan-and-remove would otherwise
+  /// race two inserters into double-evicting).
+  std::mutex evict_mutex_;
 };
 
 // ------------------------------------------------------------- study grammar
@@ -266,14 +330,21 @@ using CellProgressFn =
 /// particle curve at ~50 MiB for n = 10^6).
 inline constexpr std::size_t kDefaultSweepCacheBytes = std::size_t{1} << 30;
 
+class ArtifactStore;
+
 struct SweepOptions {
-  util::ThreadPool* pool = nullptr;  ///< parallelism (histograms + folds)
+  util::ThreadPool* pool = nullptr;  ///< parallelism (cell graph + kernels)
   std::size_t cache_bytes = kDefaultSweepCacheBytes;
   /// false = evaluate every cell from scratch (no artifact reuse): the
   /// legacy per-cell pipeline, kept as the equivalence oracle and the
   /// speedup baseline. Results are bit-identical either way.
   bool reuse = true;
   CellProgressFn progress;
+  /// Optional disk tier (reuse path only): stage artifacts missing from
+  /// the in-memory cache are probed here before being recomputed, and
+  /// every persistable artifact this run materializes is written back.
+  /// Results are bit-identical with or without a store, warm or cold.
+  ArtifactStore* store = nullptr;
 };
 
 struct StudyResult {

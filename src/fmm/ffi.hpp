@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/rank_pair.hpp"
@@ -124,6 +125,29 @@ struct FfiHistograms {
     return interpolation.memory_bytes() + interaction.memory_bytes();
   }
 };
+
+/// Artifact-store codec for FfiHistograms: the two rank-pair records
+/// back to back (core::rank_pairs_serialize format).
+inline void ffi_histograms_serialize(const FfiHistograms& hist,
+                                     std::vector<std::uint8_t>& out) {
+  core::rank_pairs_serialize(hist.interpolation, out);
+  core::rank_pairs_serialize(hist.interaction, out);
+}
+
+/// Decode at `offset`, advancing past both records; nullopt on malformed
+/// bytes or mismatched processor counts.
+inline std::optional<FfiHistograms> ffi_histograms_deserialize(
+    const std::uint8_t* data, std::size_t size, std::size_t& offset) {
+  auto interpolation = core::rank_pairs_deserialize(data, size, offset);
+  if (!interpolation) return std::nullopt;
+  auto interaction = core::rank_pairs_deserialize(data, size, offset);
+  if (!interaction) return std::nullopt;
+  if (interpolation->procs() != interaction->procs()) return std::nullopt;
+  FfiHistograms hist(interpolation->procs());
+  hist.interpolation = std::move(*interpolation);
+  hist.interaction = std::move(*interaction);
+  return hist;
+}
 
 /// Build the FFI histograms for a prepared cell tree. The sweep engine
 /// caches one of these per (sample, particle order, p) and folds it

@@ -30,13 +30,20 @@ obs::Histogram& run_histogram() {
 
 /// Identity of the executing thread within its owning pool. Workers are
 /// created by exactly one pool and never migrate, so a plain
-/// thread_local set once in worker_loop is enough.
+/// thread_local set once in worker_loop is enough. The owning pool is
+/// recorded alongside so nested fan-outs can tell "worker of this pool"
+/// (safe to help) from "worker of another pool" (must block).
 thread_local unsigned t_worker_index = ThreadPool::kNotAWorker;
+thread_local const ThreadPool* t_worker_pool = nullptr;
 
 }  // namespace
 
 unsigned ThreadPool::current_worker_index() noexcept {
   return t_worker_index;
+}
+
+bool ThreadPool::current_thread_in_pool() const noexcept {
+  return t_worker_pool == this;
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -74,20 +81,64 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::try_run_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  run_task(std::move(task));
+  return true;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
+void ThreadPool::run_task(Task&& task) {
+  if (task.enqueue_ns != 0) {
+    const std::uint64_t start = obs::now_ns();
+    {
+      const obs::Span span("pool/task");
+      task.fn();
+    }
+    const std::uint64_t run_ns = obs::now_ns() - start;
+    if (obs::metrics_enabled()) {
+      queue_wait_histogram().record(start - task.enqueue_ns);
+      run_histogram().record(run_ns);
+      // Per-worker utilization counters only for actual pool workers; a
+      // helping coordinator has no worker slot to attribute to. The
+      // instruments are resolved once per worker thread and cached.
+      const unsigned index = t_worker_index;
+      if (index != kNotAWorker && t_worker_pool == this) {
+        thread_local obs::Counter* busy_ns = nullptr;
+        thread_local obs::Counter* tasks_run = nullptr;
+        if (busy_ns == nullptr) {
+          const std::string worker = "pool.worker." + std::to_string(index);
+          busy_ns = &obs::Registry::instance().counter(worker + ".busy_ns");
+          tasks_run = &obs::Registry::instance().counter(worker + ".tasks");
+        }
+        busy_ns->add(run_ns);
+        tasks_run->add(1);
+      }
+    }
+  } else {
+    task.fn();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (--in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(unsigned index) {
   t_worker_index = index;
+  t_worker_pool = this;
   obs::Tracer::instance().set_thread_name("pool-worker-" +
                                           std::to_string(index));
-  // Per-worker instruments, resolved on first observed task so an
-  // unobserved run never touches the registry.
-  obs::Counter* busy_ns = nullptr;
-  obs::Counter* tasks_run = nullptr;
-
   for (;;) {
     Task task;
     {
@@ -97,32 +148,7 @@ void ThreadPool::worker_loop(unsigned index) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    if (task.enqueue_ns != 0) {
-      const std::uint64_t start = obs::now_ns();
-      {
-        const obs::Span span("pool/task");
-        task.fn();
-      }
-      const std::uint64_t run_ns = obs::now_ns() - start;
-      if (obs::metrics_enabled()) {
-        queue_wait_histogram().record(start - task.enqueue_ns);
-        run_histogram().record(run_ns);
-        if (busy_ns == nullptr) {
-          const std::string worker =
-              "pool.worker." + std::to_string(index);
-          busy_ns = &obs::Registry::instance().counter(worker + ".busy_ns");
-          tasks_run = &obs::Registry::instance().counter(worker + ".tasks");
-        }
-        busy_ns->add(run_ns);
-        tasks_run->add(1);
-      }
-    } else {
-      task.fn();
-    }
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      if (--in_flight_ == 0) cv_idle_.notify_all();
-    }
+    run_task(std::move(task));
   }
 }
 
@@ -143,20 +169,16 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
     return;
   }
 
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t done = 0;
+  Latch latch(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = lo + chunk_size < end ? lo + chunk_size : end;
     pool.submit([&, lo, hi] {
       body(lo, hi);
-      std::lock_guard<std::mutex> lk(m);
-      if (++done == chunks) cv.notify_one();
+      latch.count_down();
     });
   }
-  std::unique_lock<std::mutex> lk(m);
-  cv.wait(lk, [&] { return done == chunks; });
+  latch.wait_and_help(can_help(pool) ? &pool : nullptr);
 }
 
 }  // namespace sfc::util

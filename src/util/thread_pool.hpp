@@ -1,9 +1,22 @@
 // thread_pool.hpp — a small fixed-size worker pool with blocking fan-out
 // helpers. The ACD engine's inner loops (one network-distance lookup per
 // communication) are embarrassingly parallel over particles/cells, so the
-// only primitives we need are parallel_for over an index range and a
-// deterministic parallel_reduce (integer sums commute, so the reduction is
-// bit-reproducible regardless of scheduling).
+// primitives we need are parallel_for over an index range, a deterministic
+// parallel_reduce (integer sums commute, so the reduction is
+// bit-reproducible regardless of scheduling), and a completion Latch for
+// the sweep scheduler's task graph.
+//
+// Nested-submit safety: the sweep engine runs whole pipeline stages as
+// pool tasks, and those stages fan out *again* (threaded radix sort, NFI
+// chunking) on the same pool. A worker that blocked inside such a nested
+// fan-out would strand its chunks in the queue behind other stage tasks —
+// with every worker blocked that is a deadlock. The fan-out helpers
+// therefore never sleep when the calling thread may legally execute
+// queued tasks: they pop and run tasks (try_run_one) until their own
+// chunks are done. Helping is restricted to workers of the *same* pool
+// and to non-worker threads (the coordinator): a worker of a different
+// pool keeps the old blocking wait, so per-worker shard slots
+// (RankPairShards) stay exclusive.
 //
 // Observability: when obs tracing or metrics are runtime-enabled, every
 // task is stamped at submit and the workers record queue-wait and run-time
@@ -13,6 +26,7 @@
 // single relaxed atomic load per submit and per task.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +55,15 @@ class ThreadPool {
   /// Block until every task submitted so far has finished.
   void wait_idle();
 
+  /// Pop and run one queued task on the calling thread; false when the
+  /// queue was empty. This is the work-helping primitive behind the
+  /// deadlock-free nested fan-outs: a thread waiting on a Latch makes
+  /// progress on whatever is queued instead of sleeping.
+  bool try_run_one();
+
+  /// Whether the calling thread is one of *this* pool's workers.
+  bool current_thread_in_pool() const noexcept;
+
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
@@ -64,6 +87,9 @@ class ThreadPool {
   };
 
   void worker_loop(unsigned index);
+  /// Execute one dequeued task (obs instrumentation included) and settle
+  /// the in-flight accounting. Shared by worker_loop and try_run_one.
+  void run_task(Task&& task);
 
   std::vector<std::thread> workers_;
   std::queue<Task> tasks_;
@@ -72,6 +98,62 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+};
+
+/// Single-use completion latch: count_down() from any thread, wait()
+/// until the count reaches zero. wait_and_help() is the form every
+/// pool-side join should use — instead of sleeping it drains queued
+/// tasks from the pool, so a join executed *on* a pool worker (a nested
+/// fan-out) can never deadlock the pool.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : remaining_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    remaining_ -= n;
+    if (remaining_ == 0) cv_.notify_all();
+  }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return remaining_ == 0;
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [this] { return remaining_ == 0; });
+  }
+
+  /// Wait for the count to reach zero, running queued tasks from `pool`
+  /// while it has any (null pool = plain wait). The short timed sleep
+  /// between polls covers the window where the queue is momentarily
+  /// empty but running tasks are about to submit more — those submits
+  /// carry no latch signal, so an untimed wait could stall.
+  void wait_and_help(ThreadPool* pool) {
+    if (pool == nullptr) {
+      wait();
+      return;
+    }
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        if (remaining_ == 0) return;
+      }
+      if (pool->try_run_one()) continue;
+      std::unique_lock<std::mutex> lk(mutex_);
+      if (remaining_ == 0) return;
+      cv_.wait_for(lk, std::chrono::microseconds(200));
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
 };
 
 /// Grain sentinel: derive the minimum chunk size from the range length
@@ -89,11 +171,21 @@ inline std::size_t resolve_grain(std::size_t grain, std::size_t n,
   return target > kGrainFloor ? target : kGrainFloor;
 }
 
+/// Whether a join on `pool` may run queued tasks while waiting: yes for
+/// the pool's own workers and for non-worker threads (each gets a
+/// distinct shard slot in the fan-out kernels); no for workers of a
+/// *different* pool, whose worker index could collide with this pool's.
+inline bool can_help(const ThreadPool& pool) noexcept {
+  return pool.current_thread_in_pool() ||
+         ThreadPool::current_worker_index() == ThreadPool::kNotAWorker;
+}
+
 /// Split [begin, end) into roughly `pool.size() * 4` chunks (but at least
 /// `grain` indices each; kAutoGrain picks a size) and run
 /// `body(chunk_begin, chunk_end)` on the pool. Blocks until all chunks
-/// are done. Falls back to a direct call when the range is small or the
-/// pool has a single worker.
+/// are done (helping with queued work while it waits, so nested calls
+/// from pool tasks are safe). Falls back to a direct call when the range
+/// is small or the pool has a single worker.
 void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          std::size_t grain,
                          const std::function<void(std::size_t, std::size_t)>& body);
@@ -120,22 +212,16 @@ T parallel_reduce_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
 
   std::vector<T> partials(chunks, init);
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t done = 0;
+  Latch latch(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = lo + chunk_size < end ? lo + chunk_size : end;
     pool.submit([&, c, lo, hi] {
       partials[c] = body(lo, hi);
-      std::lock_guard<std::mutex> lk(m);
-      if (++done == chunks) cv.notify_one();
+      latch.count_down();
     });
   }
-  {
-    std::unique_lock<std::mutex> lk(m);
-    cv.wait(lk, [&] { return done == chunks; });
-  }
+  latch.wait_and_help(can_help(pool) ? &pool : nullptr);
   T acc = init;
   for (auto& p : partials) acc += p;
   return acc;

@@ -1,0 +1,300 @@
+// Unit tests for the persistent artifact store: crash-safe writes,
+// validated mmap reads, and the contract that every failure mode —
+// absent file, truncation, bit rot, version skew, foreign build — is a
+// silent miss, never an error.
+#include "core/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace sfc::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArtifactStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sfcacd_store_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  ArtifactStoreOptions options(std::string provenance = "test-build") const {
+    ArtifactStoreOptions o;
+    o.dir = dir_;
+    o.provenance = std::move(provenance);
+    return o;
+  }
+
+  /// The single .sfcart file for `stage` in the store directory (the
+  /// corruption tests rewrite it in place).
+  fs::path only_artifact_file() const {
+    fs::path found;
+    std::size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".sfcart") {
+        found = entry.path();
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, 1u);
+    return found;
+  }
+
+  static std::vector<std::uint8_t> payload(std::size_t n,
+                                           std::uint8_t fill = 7) {
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(fill + i);
+    }
+    return out;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ArtifactStoreTest, SaveThenLoadRoundTrips) {
+  ArtifactStore store(options());
+  const auto bytes = payload(256);
+  store.save(SweepStage::kOrdering, 42, bytes.data(), bytes.size());
+  EXPECT_TRUE(store.contains(SweepStage::kOrdering, 42));
+
+  const auto mapping = store.load(SweepStage::kOrdering, 42);
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_EQ(mapping->size(), bytes.size());
+  EXPECT_EQ(std::memcmp(mapping->data(), bytes.data(), bytes.size()), 0);
+
+  const ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.corrupt, 0u);
+  EXPECT_EQ(s.spills, 1u);
+  EXPECT_EQ(s.resident_files, 1u);
+  EXPECT_EQ(s.read_bytes, bytes.size());
+}
+
+TEST_F(ArtifactStoreTest, AbsentKeyIsAMiss) {
+  ArtifactStore store(options());
+  EXPECT_FALSE(store.contains(SweepStage::kInstance, 7));
+  EXPECT_FALSE(store.load(SweepStage::kInstance, 7).has_value());
+  const ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.corrupt, 0u);
+}
+
+TEST_F(ArtifactStoreTest, SameKeyDifferentStageAreDistinctArtifacts) {
+  ArtifactStore store(options());
+  const auto a = payload(32, 1);
+  const auto b = payload(64, 9);
+  store.save(SweepStage::kOrdering, 42, a.data(), a.size());
+  store.save(SweepStage::kInstance, 42, b.data(), b.size());
+  const auto la = store.load(SweepStage::kOrdering, 42);
+  const auto lb = store.load(SweepStage::kInstance, 42);
+  ASSERT_TRUE(la.has_value());
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(la->size(), a.size());
+  EXPECT_EQ(lb->size(), b.size());
+}
+
+TEST_F(ArtifactStoreTest, SecondSaveOfAKeyIsIgnored) {
+  ArtifactStore store(options());
+  const auto first = payload(64, 1);
+  const auto second = payload(64, 200);
+  store.save(SweepStage::kNfiHistogram, 5, first.data(), first.size());
+  store.save(SweepStage::kNfiHistogram, 5, second.data(), second.size());
+  const auto mapping = store.load(SweepStage::kNfiHistogram, 5);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(std::memcmp(mapping->data(), first.data(), first.size()), 0);
+  EXPECT_EQ(store.stats().spills, 1u);
+}
+
+TEST_F(ArtifactStoreTest, ReopenIndexesExistingArtifacts) {
+  const auto bytes = payload(128);
+  {
+    ArtifactStore store(options());
+    store.save(SweepStage::kCanonical, 9, bytes.data(), bytes.size());
+  }
+  ArtifactStore reopened(options());
+  EXPECT_TRUE(reopened.contains(SweepStage::kCanonical, 9));
+  const auto mapping = reopened.load(SweepStage::kCanonical, 9);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->size(), bytes.size());
+  EXPECT_EQ(reopened.stats().resident_files, 1u);
+}
+
+TEST_F(ArtifactStoreTest, MappingOutlivesEviction) {
+  // POSIX unlink leaves established mappings intact: a payload handed
+  // out stays readable even after the budget deletes its file.
+  ArtifactStore store(options());
+  const auto bytes = payload(512);
+  store.save(SweepStage::kOrdering, 1, bytes.data(), bytes.size());
+  const auto mapping = store.load(SweepStage::kOrdering, 1);
+  ASSERT_TRUE(mapping.has_value());
+  fs::remove(only_artifact_file());
+  EXPECT_EQ(std::memcmp(mapping->data(), bytes.data(), bytes.size()), 0);
+}
+
+TEST_F(ArtifactStoreTest, TruncatedFileIsACountedMissAndIsDeleted) {
+  ArtifactStore store(options());
+  const auto bytes = payload(256);
+  store.save(SweepStage::kFfiHistogram, 3, bytes.data(), bytes.size());
+  const fs::path file = only_artifact_file();
+  fs::resize_file(file, fs::file_size(file) - 17);
+
+  EXPECT_FALSE(store.load(SweepStage::kFfiHistogram, 3).has_value());
+  const ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.corrupt, 1u);
+  EXPECT_FALSE(fs::exists(file));
+  EXPECT_FALSE(store.contains(SweepStage::kFfiHistogram, 3));
+  // The second probe is a plain miss: the invalid file is gone.
+  EXPECT_FALSE(store.load(SweepStage::kFfiHistogram, 3).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(ArtifactStoreTest, TruncationBelowHeaderIsACountedMiss) {
+  ArtifactStore store(options());
+  const auto bytes = payload(64);
+  store.save(SweepStage::kOrdering, 11, bytes.data(), bytes.size());
+  fs::resize_file(only_artifact_file(), 10);
+  EXPECT_FALSE(store.load(SweepStage::kOrdering, 11).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(ArtifactStoreTest, BitFlippedPayloadFailsTheChecksum) {
+  ArtifactStore store(options());
+  const auto bytes = payload(256);
+  store.save(SweepStage::kInstance, 4, bytes.data(), bytes.size());
+  const fs::path file = only_artifact_file();
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(48 + 100);  // one payload byte, past the 48-byte header
+    char flipped = static_cast<char>(bytes[100] ^ 0x80);
+    f.write(&flipped, 1);
+  }
+  EXPECT_FALSE(store.load(SweepStage::kInstance, 4).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(file));
+}
+
+TEST_F(ArtifactStoreTest, WrongFormatVersionIsACountedMiss) {
+  ArtifactStore store(options());
+  const auto bytes = payload(64);
+  store.save(SweepStage::kCanonical, 8, bytes.data(), bytes.size());
+  const fs::path file = only_artifact_file();
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // format_version field, just past the magic
+    const std::uint32_t bad = kArtifactStoreFormatVersion + 1;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  }
+  EXPECT_FALSE(store.load(SweepStage::kCanonical, 8).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(ArtifactStoreTest, ForeignProvenanceNeverAnswersProbes) {
+  const auto bytes = payload(64);
+  {
+    ArtifactStore store(options("build-a"));
+    store.save(SweepStage::kOrdering, 6, bytes.data(), bytes.size());
+  }
+  // A different build shares the directory: the foreign artifact is
+  // simply invisible (filename keys differ), not corrupt, not deleted.
+  ArtifactStore other(options("build-b"));
+  EXPECT_FALSE(other.contains(SweepStage::kOrdering, 6));
+  EXPECT_FALSE(other.load(SweepStage::kOrdering, 6).has_value());
+  EXPECT_EQ(other.stats().corrupt, 0u);
+  EXPECT_EQ(other.stats().misses, 1u);
+  EXPECT_FALSE(only_artifact_file().empty());
+
+  ArtifactStore original(options("build-a"));
+  EXPECT_TRUE(original.load(SweepStage::kOrdering, 6).has_value());
+}
+
+TEST_F(ArtifactStoreTest, BudgetEvictsOldestFirst) {
+  ArtifactStoreOptions o = options();
+  // Three ~1 KiB artifacts against a 2.5 KiB budget: the first save
+  // must be evicted, the last two survive.
+  o.byte_budget = 2560;
+  ArtifactStore store(o);
+  const auto bytes = payload(1024 - 48);
+  store.save(SweepStage::kOrdering, 1, bytes.data(), bytes.size());
+  store.save(SweepStage::kOrdering, 2, bytes.data(), bytes.size());
+  store.save(SweepStage::kOrdering, 3, bytes.data(), bytes.size());
+
+  const ArtifactStore::Stats s = store.stats();
+  EXPECT_EQ(s.evicted_files, 1u);
+  EXPECT_EQ(s.resident_files, 2u);
+  EXPECT_LE(s.resident_bytes, o.byte_budget);
+  EXPECT_FALSE(store.contains(SweepStage::kOrdering, 1));
+  EXPECT_TRUE(store.contains(SweepStage::kOrdering, 2));
+  EXPECT_TRUE(store.contains(SweepStage::kOrdering, 3));
+}
+
+TEST_F(ArtifactStoreTest, OverBudgetStoreStillKeepsTheNewestArtifact) {
+  ArtifactStoreOptions o = options();
+  o.byte_budget = 1;  // nothing fits, but the newest file is never culled
+  ArtifactStore store(o);
+  const auto bytes = payload(512);
+  store.save(SweepStage::kInstance, 1, bytes.data(), bytes.size());
+  EXPECT_TRUE(store.contains(SweepStage::kInstance, 1));
+  store.save(SweepStage::kInstance, 2, bytes.data(), bytes.size());
+  EXPECT_FALSE(store.contains(SweepStage::kInstance, 1));
+  EXPECT_TRUE(store.contains(SweepStage::kInstance, 2));
+}
+
+TEST_F(ArtifactStoreTest, ClearRemovesEveryArtifactAtOpen) {
+  const auto bytes = payload(64);
+  {
+    ArtifactStore store(options());
+    store.save(SweepStage::kOrdering, 1, bytes.data(), bytes.size());
+    store.save(SweepStage::kInstance, 2, bytes.data(), bytes.size());
+  }
+  ArtifactStoreOptions o = options();
+  o.clear = true;
+  ArtifactStore cleared(o);
+  EXPECT_EQ(cleared.stats().resident_files, 0u);
+  EXPECT_FALSE(cleared.contains(SweepStage::kOrdering, 1));
+  EXPECT_FALSE(cleared.contains(SweepStage::kInstance, 2));
+  std::size_t artifact_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".sfcart") ++artifact_files;
+  }
+  EXPECT_EQ(artifact_files, 0u);
+}
+
+TEST_F(ArtifactStoreTest, EmptyPayloadRoundTrips) {
+  ArtifactStore store(options());
+  store.save(SweepStage::kOrdering, 77, nullptr, 0);
+  const auto mapping = store.load(SweepStage::kOrdering, 77);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->size(), 0u);
+}
+
+TEST_F(ArtifactStoreTest, JsonSnapshotCarriesTheCounters) {
+  ArtifactStore store(options());
+  const auto bytes = payload(64);
+  store.save(SweepStage::kOrdering, 1, bytes.data(), bytes.size());
+  (void)store.load(SweepStage::kOrdering, 1);
+  const std::string json = store.json();
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"spills\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"resident_files\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfc::core

@@ -4,15 +4,19 @@
 // across-trial statistics, and (for a fixed configuration) the cache
 // counters must be bit-identical across those execution strategies.
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/artifact_store.hpp"
 #include "core/sweep.hpp"
 #include "distribution/distribution.hpp"
 #include "sfc/curve.hpp"
@@ -227,6 +231,156 @@ TEST(SweepDiff, ThreadedMatchesSerial) {
         }
         if (!same_sweep_stats(a.sweep, b.sweep)) {
           return "threaded sweep counters differ from serial";
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(SweepDiff, EveryThreadCountMatchesTheNoReuseOracle) {
+  // The cell-graph scheduler at any width must agree bit-for-bit with
+  // both the serial reuse engine and the from-scratch per-cell oracle,
+  // and the replayed cache counters must not depend on the thread count.
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.03),
+      [](const core::Study& s) -> std::optional<std::string> {
+        static util::ThreadPool pool2(2);
+        static util::ThreadPool pool8(8);
+        core::SweepOptions oracle;
+        oracle.reuse = false;
+        const core::StudyResult base = core::run_study(s, oracle);
+        const core::StudyResult serial =
+            core::run_study(s, core::SweepOptions{});
+        if (auto err = expect_same_cells(base, serial, "no-reuse vs serial")) {
+          return err;
+        }
+        for (util::ThreadPool* pool : {&pool2, &shared_pool(), &pool8}) {
+          core::SweepOptions threaded;
+          threaded.pool = pool;
+          const core::StudyResult t = core::run_study(s, threaded);
+          const std::string what =
+              "no-reuse vs " + std::to_string(pool->size()) + " threads";
+          if (auto err = expect_same_cells(base, t, what.c_str())) {
+            return err;
+          }
+          if (!same_sweep_stats(serial.sweep, t.sweep)) {
+            return what + ": sweep counters depend on thread count";
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+/// A fresh store directory for one property case (removed afterwards).
+struct TempStoreDir {
+  TempStoreDir() {
+    char tmpl[] = "/tmp/sfcacd_pbt_store_XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~TempStoreDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  core::ArtifactStoreOptions options() const {
+    core::ArtifactStoreOptions o;
+    o.dir = path;
+    o.provenance = "pbt-fixed-build";
+    return o;
+  }
+  std::string path;
+};
+
+TEST(SweepDiff, StoreRoundTripIsBitIdenticalAndWarmRunsHit) {
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.02),
+      [](const core::Study& s) -> std::optional<std::string> {
+        const TempStoreDir dir;
+        if (dir.path.empty()) return std::string("mkdtemp failed");
+        const core::StudyResult base =
+            core::run_study(s, core::SweepOptions{});
+        std::uint64_t spilled = 0;
+        {
+          core::ArtifactStore store(dir.options());
+          core::SweepOptions cold;
+          cold.store = &store;
+          const core::StudyResult c = core::run_study(s, cold);
+          if (auto err = expect_same_cells(base, c, "cold store run")) {
+            return err;
+          }
+          if (store.stats().hits != 0) {
+            return std::string("cold run hit a fresh store");
+          }
+          spilled = store.stats().spills;
+        }
+        if (spilled == 0) return std::string("cold run persisted nothing");
+        {
+          // Warm rerun (threaded, through a fresh store handle):
+          // deserialized artifacts must fold bit-identically.
+          core::ArtifactStore store(dir.options());
+          core::SweepOptions warm;
+          warm.store = &store;
+          warm.pool = &shared_pool();
+          const core::StudyResult w = core::run_study(s, warm);
+          if (auto err = expect_same_cells(base, w, "warm store run")) {
+            return err;
+          }
+          if (store.stats().hits == 0) {
+            return std::string("warm run never hit the store");
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(SweepDiff, CorruptedStoreFilesAreMissesNeverWrongAnswers) {
+  SFCACD_PBT_CHECK_CFG(
+      study_gen(), CheckConfig{}.scaled(0.02),
+      [](const core::Study& s) -> std::optional<std::string> {
+        namespace fs = std::filesystem;
+        const TempStoreDir dir;
+        if (dir.path.empty()) return std::string("mkdtemp failed");
+        const core::StudyResult base =
+            core::run_study(s, core::SweepOptions{});
+        {
+          core::ArtifactStore store(dir.options());
+          core::SweepOptions cold;
+          cold.store = &store;
+          (void)core::run_study(s, cold);
+        }
+        // Vandalize every artifact: alternately truncate (mid-payload or
+        // below the header) and flip a payload bit. A warm run over this
+        // rubble must recompute and still match bit-for-bit.
+        std::size_t i = 0;
+        for (const auto& entry : fs::directory_iterator(dir.path)) {
+          if (entry.path().extension() != ".sfcart") continue;
+          const auto size = fs::file_size(entry.path());
+          switch (i++ % 3) {
+            case 0:
+              fs::resize_file(entry.path(), size > 30 ? size - 13 : 0);
+              break;
+            case 1:
+              fs::resize_file(entry.path(), 17);  // below the header
+              break;
+            default: {
+              std::fstream f(entry.path(), std::ios::in | std::ios::out |
+                                               std::ios::binary);
+              f.seekp(static_cast<std::streamoff>(size - 1));
+              char byte = 0x5a;
+              f.write(&byte, 1);
+              break;
+            }
+          }
+        }
+        if (i == 0) return std::string("cold run wrote no artifacts");
+        core::ArtifactStore store(dir.options());
+        core::SweepOptions warm;
+        warm.store = &store;
+        const core::StudyResult w = core::run_study(s, warm);
+        if (auto err = expect_same_cells(base, w, "corrupted store run")) {
+          return err;
+        }
+        const core::ArtifactStore::Stats st = store.stats();
+        if (st.corrupt == 0) {
+          return std::string("no probe saw the corruption");
         }
         return std::nullopt;
       });
