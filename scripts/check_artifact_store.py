@@ -16,7 +16,7 @@ Per file named `<stage>-<hex16>.sfcart`:
     header's raw key (u64 at offset 16) and provenance (u64 at 24)
   - payload_bytes (u64 at offset 32) == file size - 48 exactly
   - checksum (u64 at offset 40) == FNV-1a over the payload
-  - only persistable stages appear (sample/topology/delta/fold never
+  - only persistable stages appear (sample/topology/delta never
     touch disk)
 Across files:
   - with --single-provenance, every file must share one provenance
@@ -49,7 +49,7 @@ STAGE_NAMES = [
     "nfi_histogram", "ffi_histogram", "topology", "delta", "fold",
 ]
 PERSISTABLE = {"canonical", "ordering", "instance",
-               "nfi_histogram", "ffi_histogram"}
+               "nfi_histogram", "ffi_histogram", "fold"}
 
 
 def fnv1a(data):

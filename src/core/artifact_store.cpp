@@ -92,7 +92,8 @@ ArtifactStore::ArtifactStore(const ArtifactStoreOptions& options)
   std::vector<Scanned> scanned;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (ec) break;
-    if (!entry.is_regular_file(ec)) continue;
+    std::error_code stat_ec;
+    if (!entry.is_regular_file(stat_ec) || stat_ec) continue;
     const std::string name = entry.path().filename().string();
     if (name.size() < 16 + std::strlen(kExtension)) continue;
     if (name.substr(name.size() - std::strlen(kExtension)) != kExtension)
@@ -118,8 +119,12 @@ ArtifactStore::ArtifactStore(const ArtifactStoreOptions& options)
     Scanned s;
     s.fkey = fkey;
     s.info.name = name;
-    s.info.bytes = static_cast<std::size_t>(entry.file_size(ec));
-    s.mtime = entry.last_write_time(ec);
+    const std::uintmax_t bytes = entry.file_size(stat_ec);
+    if (stat_ec) continue;  // racing delete; the sentinel -1 would poison
+                            // resident_bytes and evict the whole store
+    s.info.bytes = static_cast<std::size_t>(bytes);
+    s.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) continue;
     scanned.push_back(std::move(s));
   }
   std::sort(scanned.begin(), scanned.end(),
@@ -156,11 +161,29 @@ std::optional<ArtifactStore::Mapping> ArtifactStore::load(SweepStage stage,
   const std::uint64_t fkey = file_key(stage, key);
   const std::string path = path_of(stage, key);
 
+  // Snapshot the index entry's order before touching the file. If a
+  // concurrent save() replaces the file while we read it, the order
+  // changes (save renames and indexes under the mutex), and the cleanup
+  // below must not delete the fresh artifact it never looked at.
+  std::optional<std::uint64_t> order_before;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = index_.find(fkey);
+    if (it != index_.end()) order_before = it->second.order;
+  }
+  auto entry_unchanged_locked = [&]() {
+    auto it = index_.find(fkey);
+    if (it == index_.end()) return !order_before.has_value();
+    return order_before.has_value() && it->second.order == *order_before;
+  };
+
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     std::lock_guard<std::mutex> lk(mutex_);
     ++counters_.misses;
-    forget_locked(fkey);  // stale index entry (file vanished underneath us)
+    // Stale index entry (file vanished underneath us) — unless a save
+    // raced in after the failed open, in which case the entry is live.
+    if (entry_unchanged_locked()) forget_locked(fkey);
     return std::nullopt;
   }
 
@@ -202,11 +225,15 @@ std::optional<ArtifactStore::Mapping> ArtifactStore::load(SweepStage stage,
     return mapping;
   }
   // Existing-but-invalid: corrupt, truncated, foreign build, or wrong
-  // version. Count it, delete it (it can never validate again), miss.
+  // version. Count it, delete it (it can never validate again), miss —
+  // but only if no concurrent save() swapped in a fresh file since the
+  // open; deleting that would turn a just-written artifact into a miss.
   ++counters_.misses;
   ++counters_.corrupt;
-  ::unlink(path.c_str());
-  forget_locked(fkey);
+  if (entry_unchanged_locked()) {
+    ::unlink(path.c_str());
+    forget_locked(fkey);
+  }
   return std::nullopt;
 }
 
@@ -252,20 +279,26 @@ void ArtifactStore::save(SweepStage stage, std::uint64_t key,
     return;
   }
   const std::string path = path_of(stage, key);
+
+  // Rename under the mutex so the index and the directory can never
+  // disagree: a racing save for the same key either loses here (its temp
+  // file is discarded, no counter traffic) or is serialized before us.
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (index_.count(fkey) != 0) {
+    ::unlink(temp.c_str());
+    return;
+  }
   if (::rename(temp.c_str(), path.c_str()) != 0) {
     ::unlink(temp.c_str());
     return;
   }
-
-  std::lock_guard<std::mutex> lk(mutex_);
   FileInfo info;
   info.name = std::string(sweep_stage_name(stage)) + "-" + hex16(fkey) +
               kExtension;
   info.bytes = sizeof header + size;
   info.order = next_order_++;
   counters_.resident_bytes += info.bytes;
-  auto [it, inserted] = index_.emplace(fkey, std::move(info));
-  if (!inserted) counters_.resident_bytes -= it->second.bytes;  // raced rewrite
+  index_.emplace(fkey, std::move(info));
   counters_.resident_files = index_.size();
   ++counters_.spills;
   counters_.spilled_bytes += size;
